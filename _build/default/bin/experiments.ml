@@ -1,0 +1,55 @@
+(* Regenerates every table and figure of the paper (see DESIGN.md's
+   experiment index).  With no argument all experiments are printed in
+   order; with an argument only the selected one. *)
+
+let ppf = Format.std_formatter
+
+let run_fig2 () = Flames_experiments.Fig2.(print ppf (run ()))
+let run_fig4 () = Flames_experiments.Fig4.(print ppf (run ()))
+let run_fig5 () = Flames_experiments.Fig5.(print ppf (run ()))
+let run_fig6 () =
+  Flames_experiments.Fig7.(print_bias ppf (bias_point ()))
+let run_fig7 () = Flames_experiments.Fig7.(print ppf (run ()))
+let run_best_test () = Flames_experiments.Strategy_demo.(print ppf (run ()))
+let run_learning () = Flames_experiments.Learning_demo.(print ppf (run ()))
+let run_ablation () = Flames_experiments.Ablation.(print ppf (run ()))
+let run_dynamic () = Flames_experiments.Dynamic_demo.(print ppf (run ()))
+let run_explosion () = Flames_experiments.Explosion.(print ppf (run ()))
+let run_rules () = Flames_experiments.Rules_demo.(print ppf (run ()))
+
+let experiments =
+  [
+    ("fig2", run_fig2);
+    ("fig4", run_fig4);
+    ("fig5", run_fig5);
+    ("fig6", run_fig6);
+    ("fig7", run_fig7);
+    ("best-test", run_best_test);
+    ("learning", run_learning);
+    ("ablation", run_ablation);
+    ("dynamic", run_dynamic);
+    ("explosion", run_explosion);
+    ("rules", run_rules);
+  ]
+
+let () =
+  match Sys.argv with
+  | [| _ |] ->
+    List.iter
+      (fun (name, f) ->
+        Format.fprintf ppf "==== %s ====@." name;
+        f ();
+        Format.fprintf ppf "@.")
+      experiments
+  | [| _; name |] -> begin
+    match List.assoc_opt name experiments with
+    | Some f -> f ()
+    | None ->
+      Format.eprintf "unknown experiment %S; available: %s@." name
+        (String.concat ", " (List.map fst experiments));
+      exit 1
+  end
+  | _ ->
+    Format.eprintf "usage: experiments [%s]@."
+      (String.concat "|" (List.map fst experiments));
+    exit 1

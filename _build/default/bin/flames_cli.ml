@@ -1,0 +1,302 @@
+(* FLAMES command-line interface: simulate, inject faults, diagnose and
+   plan tests on the built-in circuits. *)
+
+module I = Flames_fuzzy.Interval
+module Q = Flames_circuit.Quantity
+module Fault = Flames_circuit.Fault
+module Library = Flames_circuit.Library
+
+let circuits =
+  [
+    ("divider", fun () -> Library.voltage_divider ());
+    ("diode", fun () -> Library.diode_resistor ~powered:true ());
+    ("amplifier", fun () -> Library.three_stage_amplifier ());
+    ("chain", fun () -> Library.amplifier_chain ());
+    ("rc-lowpass", fun () -> Library.rc_lowpass ());
+    ("rlc-bandpass", fun () -> Library.rlc_bandpass ());
+    ("sallen-key", fun () -> Library.sallen_key_lowpass ());
+  ]
+
+let load_circuit name =
+  match List.assoc_opt name circuits with
+  | Some f -> Ok (f ())
+  | None ->
+    if Sys.file_exists name then
+      match Flames_circuit.Parser.parse_file name with
+      | Ok netlist -> Ok netlist
+      | Error e ->
+        Error
+          (Format.asprintf "%s: %a" name Flames_circuit.Parser.pp_error e)
+    else
+      Error
+        (Printf.sprintf
+           "unknown circuit %S (available: %s, or a netlist file path)" name
+           (String.concat ", " (List.map fst circuits)))
+
+let parse_fault spec =
+  (* comp.param=short|open|low|high|<float> *)
+  match String.split_on_char '=' spec with
+  | [ target; mode ] -> begin
+    match String.split_on_char '.' target with
+    | [ component; parameter ] ->
+      let mode =
+        match mode with
+        | "short" -> Ok Fault.Short
+        | "open" -> Ok Fault.Open
+        | "low" -> Ok Fault.Low
+        | "high" -> Ok Fault.High
+        | v -> begin
+          match float_of_string_opt v with
+          | Some f -> Ok (Fault.Shifted f)
+          | None -> Error (Printf.sprintf "bad fault mode %S" v)
+        end
+      in
+      Result.map (fun m -> Fault.make ~component ~parameter m) mode
+    | [ _ ] | [] | _ :: _ ->
+      Error (Printf.sprintf "bad fault target %S (want comp.param)" target)
+  end
+  | [ _ ] | [] | _ :: _ ->
+    Error (Printf.sprintf "bad fault spec %S (want comp.param=mode)" spec)
+
+open Cmdliner
+
+let circuit_arg =
+  let doc =
+    Printf.sprintf "Circuit to operate on: %s, or a path to a netlist file."
+      (String.concat ", " (List.map fst circuits))
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let fault_arg =
+  let doc =
+    "Fault to inject, as comp.param=mode; mode is short, open, low, high \
+     or a numeric value (e.g. r2.R=short, t2.beta=194)."
+  in
+  Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC" ~doc)
+
+let probes_arg =
+  let doc = "Node to probe (repeatable); default: every node." in
+  Arg.(value & opt_all string [] & info [ "probe" ] ~docv:"NODE" ~doc)
+
+let trusted_arg =
+  let doc = "Component assumed correct a priori (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "trust" ] ~docv:"COMP" ~doc)
+
+let instrument_arg =
+  let doc = "Relative measurement imprecision (default 0.002)." in
+  Arg.(value & opt float 0.002 & info [ "imprecision" ] ~doc)
+
+let with_circuit name f =
+  match load_circuit name with
+  | Ok netlist -> f netlist
+  | Error e ->
+    Format.eprintf "%s@." e;
+    exit 1
+
+let inject_opt netlist = function
+  | None -> Ok netlist
+  | Some spec -> begin
+    match parse_fault spec with
+    | Ok fault -> begin
+      match Fault.inject netlist fault with
+      | net -> Ok net
+      | exception Not_found ->
+        Error (Printf.sprintf "no such component/parameter in %S" spec)
+    end
+    | Error e -> Error e
+  end
+
+let observations netlist probes relative =
+  let sol = Flames_sim.Mna.solve netlist in
+  let nodes =
+    match probes with
+    | [] ->
+      List.filter_map
+        (fun q ->
+          match q with
+          | Q.Node_voltage n -> Some n
+          | Q.Branch_current _ | Q.Terminal_current _ | Q.Voltage_drop _
+          | Q.Parameter _ ->
+            None)
+        (Library.probe_points netlist)
+    | ps -> ps
+  in
+  let instrument = { Flames_sim.Measure.relative; floor = 5e-4 } in
+  Flames_sim.Measure.probe_all ~instrument sol (List.map Q.voltage nodes)
+
+let bias_cmd =
+  let run name =
+    with_circuit name (fun netlist ->
+        let sol = Flames_sim.Mna.solve netlist in
+        Format.printf "%a" Flames_sim.Mna.pp sol)
+  in
+  Cmd.v (Cmd.info "bias" ~doc:"Print the DC operating point.")
+    Term.(const run $ circuit_arg)
+
+let diagnose_cmd =
+  let run name fault probes trusted relative =
+    with_circuit name (fun nominal ->
+        match inject_opt nominal fault with
+        | Error e ->
+          Format.eprintf "%s@." e;
+          exit 1
+        | Ok faulty ->
+          let obs = observations faulty probes relative in
+          let config =
+            { Flames_core.Model.default_config with trusted }
+          in
+          let result = Flames_core.Diagnose.run ~config nominal obs in
+          Format.printf "%a" Flames_core.Report.pp_result result;
+          Format.printf "%s@." (Flames_core.Report.summary result))
+  in
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:"Simulate the (faulty) circuit, probe it and run the diagnosis.")
+    Term.(
+      const run $ circuit_arg $ fault_arg $ probes_arg $ trusted_arg
+      $ instrument_arg)
+
+let best_test_cmd =
+  let run name fault probes trusted relative =
+    with_circuit name (fun nominal ->
+        match inject_opt nominal fault with
+        | Error e ->
+          Format.eprintf "%s@." e;
+          exit 1
+        | Ok faulty ->
+          let obs = observations faulty probes relative in
+          let config = { Flames_core.Model.default_config with trusted } in
+          let result = Flames_core.Diagnose.run ~config nominal obs in
+          let estimations = Flames_strategy.Estimation.of_diagnosis result in
+          let probed =
+            List.map (fun (q, _) -> q) obs
+          in
+          let tests =
+            Flames_strategy.Best_test.test_points_of_netlist nominal
+            |> List.filter (fun (t : Flames_strategy.Best_test.test_point) ->
+                   not
+                     (List.exists
+                        (Q.equal t.Flames_strategy.Best_test.quantity)
+                        probed))
+          in
+          let ranking = Flames_strategy.Best_test.rank estimations tests in
+          List.iter
+            (fun e ->
+              Format.printf "%a@." Flames_strategy.Best_test.pp_evaluation e)
+            ranking)
+  in
+  Cmd.v
+    (Cmd.info "best-test"
+       ~doc:"Rank the unprobed nodes by fuzzy expected entropy.")
+    Term.(
+      const run $ circuit_arg $ fault_arg $ probes_arg $ trusted_arg
+      $ instrument_arg)
+
+let show_cmd =
+  let run name =
+    with_circuit name (fun netlist ->
+        print_string (Flames_circuit.Parser.to_string netlist))
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print the circuit in the netlist text format.")
+    Term.(const run $ circuit_arg)
+
+let frequencies_arg =
+  let doc = "Frequency in hertz (repeatable)." in
+  Arg.(value & opt_all float [ 100.; 1000.; 10000. ]
+       & info [ "freq" ] ~docv:"HZ" ~doc)
+
+let node_arg =
+  let doc = "Output node to report (default: every node)." in
+  Arg.(value & opt (some string) None & info [ "node" ] ~docv:"NODE" ~doc)
+
+let ac_cmd =
+  let run name fault frequencies node =
+    with_circuit name (fun nominal ->
+        match inject_opt nominal fault with
+        | Error e ->
+          Format.eprintf "%s@." e;
+          exit 1
+        | Ok netlist ->
+          List.iter
+            (fun f ->
+              match Flames_sim.Ac.solve netlist f with
+              | r ->
+                let nodes =
+                  match node with
+                  | Some n -> [ n ]
+                  | None ->
+                    List.filter
+                      (fun n -> n <> netlist.Flames_circuit.Netlist.ground)
+                      (Flames_circuit.Netlist.nodes netlist)
+                in
+                List.iter
+                  (fun n ->
+                    Format.printf "%10.2f Hz  |V(%s)| = %.6g  (%.2f dB)@." f n
+                      (Flames_sim.Ac.magnitude r n)
+                      (Flames_sim.Ac.gain_db r n))
+                  nodes
+              | exception Flames_sim.Ac.Unsupported m ->
+                Format.eprintf "AC analysis unsupported: %s@." m;
+                exit 1)
+            frequencies)
+  in
+  Cmd.v
+    (Cmd.info "ac" ~doc:"Print the small-signal frequency response.")
+    Term.(const run $ circuit_arg $ fault_arg $ frequencies_arg $ node_arg)
+
+let dynamic_diagnose_cmd =
+  let run name fault frequencies node relative trusted =
+    with_circuit name (fun nominal ->
+        match inject_opt nominal fault with
+        | Error e ->
+          Format.eprintf "%s@." e;
+          exit 1
+        | Ok faulty ->
+          let node =
+            match node with
+            | Some n -> n
+            | None ->
+              Format.eprintf "dynamic-diagnose requires --node@.";
+              exit 1
+          in
+          let instrument = { Flames_sim.Measure.relative; floor = 5e-4 } in
+          let observations =
+            List.map
+              (fun frequency ->
+                Flames_core.Dynamic.observe ~instrument faulty ~node
+                  ~frequency)
+              frequencies
+          in
+          let result =
+            Flames_core.Dynamic.run ~trusted nominal observations
+          in
+          Format.printf "%a" Flames_core.Dynamic.pp_result result)
+  in
+  Cmd.v
+    (Cmd.info "dynamic-diagnose"
+       ~doc:
+         "Measure output magnitudes of the (faulty) circuit at the given           frequencies and run the frequency-domain diagnosis.")
+    Term.(
+      const run $ circuit_arg $ fault_arg $ frequencies_arg $ node_arg
+      $ instrument_arg $ trusted_arg)
+
+let list_cmd =
+  let run () =
+    List.iter (fun (name, _) -> print_endline name) circuits
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in circuits.")
+    Term.(const run $ const ())
+
+let main =
+  let info =
+    Cmd.info "flames" ~version:"1.0.0"
+      ~doc:"Fuzzy-logic ATMS and model-based diagnosis of analog circuits."
+  in
+  Cmd.group info
+    [
+      bias_cmd; diagnose_cmd; best_test_cmd; ac_cmd; dynamic_diagnose_cmd;
+      show_cmd; list_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/amplifier_diagnosis.ml: Flames_circuit Flames_core Flames_fuzzy Flames_sim Format List String

@@ -1,0 +1,1 @@
+examples/amplifier_diagnosis.mli:

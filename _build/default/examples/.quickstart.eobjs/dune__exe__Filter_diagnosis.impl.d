@@ -1,0 +1,1 @@
+examples/filter_diagnosis.ml: Flames_circuit Flames_core Flames_sim Float Format List

@@ -1,0 +1,1 @@
+examples/filter_diagnosis.mli:

@@ -1,0 +1,1 @@
+examples/learning_session.ml: Flames_circuit Flames_core Flames_learning Flames_sim Format List

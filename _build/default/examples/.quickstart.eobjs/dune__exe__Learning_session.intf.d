@@ -1,0 +1,1 @@
+examples/learning_session.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Flames_circuit Flames_core Flames_fuzzy Flames_sim Format List String

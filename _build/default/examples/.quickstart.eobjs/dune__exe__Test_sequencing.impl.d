@@ -1,0 +1,1 @@
+examples/test_sequencing.ml: Flames_circuit Flames_core Flames_fuzzy Flames_sim Flames_strategy Format List String

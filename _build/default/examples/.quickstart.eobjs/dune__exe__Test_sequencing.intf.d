@@ -1,0 +1,1 @@
+examples/test_sequencing.mli:

@@ -1,0 +1,73 @@
+(* Learning from experience (paper section 7): FLAMES diagnoses the same
+   board model over a series of repair episodes, the expert confirms the
+   culprit each time, and the knowledge base turns the episodes into
+   symptom→failure rules that advise later diagnoses.
+
+   Run with:  dune exec examples/learning_session.exe *)
+
+module Quantity = Flames_circuit.Quantity
+module Fault = Flames_circuit.Fault
+module Library = Flames_circuit.Library
+module Measure = Flames_sim.Measure
+module Diagnose = Flames_core.Diagnose
+module Kb = Flames_learning.Knowledge_base
+module Experience = Flames_learning.Experience
+
+let config = { Flames_core.Model.default_config with trusted = [ "vcc" ] }
+let instrument = { Measure.relative = 0.002; floor = 5e-4 }
+
+let diagnose fault =
+  let nominal = Library.three_stage_amplifier ~tolerance:0.005 () in
+  let faulty = Fault.inject nominal fault in
+  let bench = Flames_sim.Mna.solve faulty in
+  let observations =
+    Measure.probe_all ~instrument bench
+      (List.map Quantity.voltage [ "vs"; "n2"; "v1" ])
+  in
+  Diagnose.run ~config nominal observations
+
+let () =
+  let kb = Kb.create () in
+  (* the expert knows from the field that this resistor family fails
+     often: an a-priori estimation, usable before any episode *)
+  Kb.add_prior kb ~component:"r2" 0.4;
+
+  Format.printf "=== repair episodes (defect: r2 short) ===@.";
+  for episode = 1 to 3 do
+    let r = diagnose (Fault.short "r2" ~parameter:"R") in
+    let recorded =
+      Experience.record kb
+        { Experience.result = r; confirmed = "r2"; mode = Some Fault.Short }
+    in
+    let certainty =
+      match Kb.rules_for kb ~circuit:"three-stage-amplifier" with
+      | rule :: _ -> rule.Flames_learning.Rule.certainty
+      | [] -> 0.
+    in
+    Format.printf "episode %d: expert confirms r2 (recorded: %b), rule certainty %.3g@."
+      episode recorded certainty
+  done;
+
+  Format.printf "@.=== knowledge base ===@.%a@.@." Kb.pp kb;
+
+  Format.printf "=== a fresh board with the same symptoms ===@.";
+  let fresh = diagnose (Fault.short "r2" ~parameter:"R") in
+  (match Experience.suggest kb fresh with
+  | (component, confidence) :: _ ->
+    Format.printf "experience says: suspect %s (confidence %.2f)@." component
+      confidence
+  | [] -> Format.printf "no advice@.");
+  Format.printf "combined ranking (model + priors + rules):@.";
+  List.iteri
+    (fun i (component, score) ->
+      if i < 5 then Format.printf "  %d. %s (%.3g)@." (i + 1) component score)
+    (Experience.rerank kb fresh);
+
+  Format.printf "@.=== a different defect must not trigger the rule ===@.";
+  let other = diagnose (Fault.opened "r3" ~parameter:"R") in
+  match Experience.suggest kb other with
+  | [] -> Format.printf "no advice, as expected@."
+  | advice ->
+    List.iter
+      (fun (c, d) -> Format.printf "weak advice: %s @@ %.2f@." c d)
+      advice

@@ -1,0 +1,54 @@
+(* Quickstart: build a circuit, break it, measure it, diagnose it.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Interval = Flames_fuzzy.Interval
+module Component = Flames_circuit.Component
+module Netlist = Flames_circuit.Netlist
+module Quantity = Flames_circuit.Quantity
+module Fault = Flames_circuit.Fault
+module Mna = Flames_sim.Mna
+module Measure = Flames_sim.Measure
+module Diagnose = Flames_core.Diagnose
+module Report = Flames_core.Report
+
+let () =
+  (* 1. Describe the circuit.  Component parameters are fuzzy intervals,
+     so manufacturing tolerances are part of the model: a 10 kΩ ±1 %
+     resistor is [around 10e3 ~rel:0.01]. *)
+  let circuit =
+    Netlist.make ~name:"quickstart-divider" ~ground:"gnd"
+      [
+        Component.vsource "vin"
+          ~volts:(Interval.number 10. ~spread:0.05)
+          ~p:"in" ~n:"gnd";
+        Component.resistor "r1"
+          ~ohms:(Interval.around 10e3 ~rel:0.01)
+          ~p:"in" ~n:"mid";
+        Component.resistor "r2"
+          ~ohms:(Interval.around 10e3 ~rel:0.01)
+          ~p:"mid" ~n:"gnd";
+      ]
+  in
+
+  (* 2. Break it: r2 drifts 40 % high — a soft fault, well outside the
+     1 % tolerance but far from a hard open. *)
+  let faulty = Fault.inject circuit (Fault.shifted "r2" ~parameter:"R" 14e3) in
+
+  (* 3. Measure the faulty board (the MNA simulator stands in for the
+     bench; measurements carry the instrument's imprecision). *)
+  let bench = Mna.solve faulty in
+  let observations =
+    Measure.probe_all bench [ Quantity.voltage "in"; Quantity.voltage "mid" ]
+  in
+  Format.printf "measured: %s@.@."
+    (String.concat ", "
+       (List.map
+          (fun (q, v) ->
+            Format.asprintf "%a = %.3f V" Quantity.pp q (Interval.centroid v))
+          observations));
+
+  (* 4. Diagnose against the healthy model. *)
+  let result = Diagnose.run circuit observations in
+  Format.printf "%a@." Report.pp_result result;
+  Format.printf "%s@." (Report.summary result)

@@ -1,0 +1,76 @@
+(* Interactive-style test sequencing (paper section 8): after each probe
+   the strategy unit recommends the next best test point by fuzzy
+   expected entropy, and stops when one suspect dominates.
+
+   Run with:  dune exec examples/test_sequencing.exe *)
+
+module Interval = Flames_fuzzy.Interval
+module Quantity = Flames_circuit.Quantity
+module Fault = Flames_circuit.Fault
+module Library = Flames_circuit.Library
+module Measure = Flames_sim.Measure
+module Diagnose = Flames_core.Diagnose
+module Estimation = Flames_strategy.Estimation
+module Best_test = Flames_strategy.Best_test
+
+let config = { Flames_core.Model.default_config with trusted = [ "vcc" ] }
+let instrument = { Measure.relative = 0.002; floor = 5e-4 }
+
+let () =
+  let nominal = Library.three_stage_amplifier ~tolerance:0.005 () in
+  (* the hidden defect the session is supposed to find *)
+  let faulty = Fault.inject nominal (Fault.short "r2" ~parameter:"R") in
+  let bench = Flames_sim.Mna.solve faulty in
+  let probe node =
+    Measure.probe_all ~instrument bench [ Quantity.voltage node ]
+  in
+  let all_tests = Best_test.test_points_of_netlist nominal in
+  let node_of = function
+    | Quantity.Node_voltage n -> Some n
+    | Quantity.Branch_current _ | Quantity.Terminal_current _
+    | Quantity.Voltage_drop _ | Quantity.Parameter _ ->
+      None
+  in
+  Format.printf "hidden defect: r2 short; starting from the output probe@.@.";
+  let rec session observations probed step =
+    let r = Diagnose.run ~config nominal observations in
+    let estimations = Estimation.of_diagnosis r in
+    let entropy = Best_test.system_entropy estimations in
+    Format.printf "step %d: %d probe(s), system entropy %.3g@." step
+      (List.length observations)
+      (Interval.centroid entropy);
+    let explainers =
+      List.filter
+        (fun (s : Diagnose.suspect) -> s.Diagnose.explains)
+        r.Diagnose.suspects
+      |> List.map (fun (s : Diagnose.suspect) -> s.Diagnose.component)
+    in
+    Format.printf "   single-fault explanations: %s@."
+      (if explainers = [] then "(none yet)" else String.concat ", " explainers);
+    if List.length explainers = 1 || step >= 4 then begin
+      Format.printf "@.session over after %d probes: suspect %s@."
+        (List.length observations)
+        (match explainers with c :: _ -> c | [] -> "(ambiguous)")
+    end
+    else begin
+      let remaining =
+        List.filter
+          (fun (t : Best_test.test_point) ->
+            match node_of t.Best_test.quantity with
+            | Some n -> not (List.mem n probed)
+            | None -> false)
+          all_tests
+      in
+      match Best_test.best estimations remaining with
+      | None -> Format.printf "no further test available@."
+      | Some e -> begin
+        match node_of e.Best_test.test.Best_test.quantity with
+        | Some node ->
+          Format.printf "   recommended next probe: %s (%a)@.@." node
+            Best_test.pp_evaluation e;
+          session (observations @ probe node) (node :: probed) (step + 1)
+        | None -> ()
+      end
+    end
+  in
+  session (probe "vs") [ "vs" ] 1

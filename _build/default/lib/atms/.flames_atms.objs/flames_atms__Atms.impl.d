@@ -1,0 +1,1 @@
+lib/atms/atms.ml: Env Flames_fuzzy Float Format Hashtbl List Nogood Printf Queue

@@ -1,0 +1,1 @@
+lib/atms/atms.mli: Env Format Nogood

@@ -1,0 +1,1 @@
+lib/atms/candidates.ml: Env Float Format Hashtbl Hitting Int List Nogood Option

@@ -1,0 +1,1 @@
+lib/atms/candidates.mli: Env Format Nogood

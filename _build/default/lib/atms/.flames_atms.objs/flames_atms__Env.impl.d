@@ -1,0 +1,1 @@
+lib/atms/env.ml: Format Int Set

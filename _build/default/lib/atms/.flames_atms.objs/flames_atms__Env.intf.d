@@ -1,0 +1,1 @@
+lib/atms/env.mli: Format

@@ -1,0 +1,1 @@
+lib/atms/hitting.ml: Env Hashtbl Int List Queue

@@ -1,0 +1,1 @@
+lib/atms/hitting.mli: Env

@@ -1,0 +1,1 @@
+lib/atms/nogood.ml: Env Flames_fuzzy Float Format Int List

@@ -1,0 +1,1 @@
+lib/atms/nogood.mli: Env Format

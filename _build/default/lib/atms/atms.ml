@@ -1,0 +1,215 @@
+type labelled = { env : Env.t; degree : float }
+
+type target = Consequent of node | Contradiction_target
+and just = { jdegree : float; antecedents : node list; target : target }
+
+and node = {
+  datum : string;
+  assumption_id : int option;
+  mutable label : labelled list;
+  mutable consumers : just list;
+  mutable is_premise : bool;
+}
+
+type t = {
+  mutable next_id : int;
+  names : (int, string) Hashtbl.t;
+  assumptions_by_name : (string, node) Hashtbl.t;
+  nodes_by_datum : (string, node) Hashtbl.t;
+  mutable all_nodes : node list;
+  contra : node;
+  db : Nogood.t;
+}
+
+let fresh_node ?assumption_id datum =
+  { datum; assumption_id; label = []; consumers = []; is_premise = false }
+
+let create () =
+  {
+    next_id = 0;
+    names = Hashtbl.create 64;
+    assumptions_by_name = Hashtbl.create 64;
+    nodes_by_datum = Hashtbl.create 64;
+    all_nodes = [];
+    contra = fresh_node "\xe2\x8a\xa5";
+    db = Nogood.create ();
+  }
+
+let contradiction t = t.contra
+let nogood_db t = t.db
+let nogoods t = Nogood.entries t.db
+let datum n = n.datum
+let assumption_count t = t.next_id
+
+let name t id =
+  match Hashtbl.find_opt t.names id with
+  | Some s -> s
+  | None -> Printf.sprintf "A%d" id
+
+(* An entry subsumes another when its environment is included and its
+   degree at least as high. *)
+let subsumes a b = Env.subset a.env b.env && a.degree >= b.degree
+
+let insert_entry entries entry =
+  if List.exists (fun e -> subsumes e entry) entries then (entries, false)
+  else
+    (entry :: List.filter (fun e -> not (subsumes entry e)) entries, true)
+
+let filter_consistent t entries =
+  List.filter (fun e -> not (Nogood.is_nogood t.db e.env)) entries
+
+let assumption t nm =
+  if Hashtbl.mem t.assumptions_by_name nm then
+    invalid_arg (Printf.sprintf "Atms.assumption: duplicate name %S" nm);
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.add t.names id nm;
+  let n = fresh_node ~assumption_id:id ("ok:" ^ nm) in
+  n.label <- [ { env = Env.singleton id; degree = 1. } ];
+  Hashtbl.add t.assumptions_by_name nm n;
+  t.all_nodes <- n :: t.all_nodes;
+  n
+
+let node t datum =
+  match Hashtbl.find_opt t.nodes_by_datum datum with
+  | Some n -> n
+  | None ->
+    let n = fresh_node datum in
+    Hashtbl.add t.nodes_by_datum datum n;
+    t.all_nodes <- n :: t.all_nodes;
+    n
+
+let env_of_assumptions _t ns =
+  List.fold_left
+    (fun env n ->
+      match n.assumption_id with
+      | Some id -> Env.add id env
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Atms.env_of_assumptions: %S is not an assumption"
+             n.datum))
+    Env.empty ns
+
+(* Combine the labels of the antecedents: cartesian product of entries,
+   unioning environments and min-combining degrees with the clause
+   degree. *)
+let fire_environments jd antecedents =
+  let seed = [ { env = Env.empty; degree = jd } ] in
+  List.fold_left
+    (fun acc n ->
+      List.concat_map
+        (fun partial ->
+          List.map
+            (fun entry ->
+              {
+                env = Env.union partial.env entry.env;
+                degree = Float.min partial.degree entry.degree;
+              })
+            n.label)
+        acc)
+    seed antecedents
+
+let sweep_hard_nogoods t =
+  List.iter
+    (fun n -> n.label <- filter_consistent t n.label)
+    t.all_nodes
+
+(* Incremental propagation with a work queue of justifications whose
+   antecedent labels changed.  Termination: label entries only improve
+   (new minimal environments or higher degrees over a finite space). *)
+let rec propagate t queue =
+  match Queue.take_opt queue with
+  | None -> ()
+  | Some j ->
+    let fired = fire_environments j.jdegree j.antecedents in
+    let fired = filter_consistent t fired in
+    (match j.target with
+    | Contradiction_target ->
+      let recorded =
+        List.fold_left
+          (fun changed e ->
+            let r = Nogood.record t.db ~reason:"justified ⊥" e.env e.degree in
+            changed || r)
+          false fired
+      in
+      if recorded then begin
+        sweep_hard_nogoods t;
+        (* environments may have vanished: downstream labels are already
+           filtered; no requeue needed since labels only shrank *)
+        ()
+      end
+    | Consequent target ->
+      let changed =
+        List.fold_left
+          (fun changed e ->
+            let label', inserted = insert_entry target.label e in
+            if inserted then target.label <- label';
+            changed || inserted)
+          false fired
+      in
+      if changed then
+        List.iter (fun consumer -> Queue.add consumer queue) target.consumers);
+    propagate t queue
+
+let install t j =
+  List.iter (fun a -> a.consumers <- j :: a.consumers) j.antecedents;
+  let queue = Queue.create () in
+  Queue.add j queue;
+  propagate t queue
+
+let justify t ?(degree = 1.) ~antecedents consequent =
+  let degree = Flames_fuzzy.Tnorm.clamp01 degree in
+  let target =
+    if consequent == t.contra then Contradiction_target
+    else Consequent consequent
+  in
+  install t { jdegree = degree; antecedents; target }
+
+let justify_disjunction t ?(degree = 1.) ~antecedents disjuncts =
+  match disjuncts with
+  | [] -> invalid_arg "Atms.justify_disjunction: empty disjunction"
+  | _ ->
+    let k = float_of_int (List.length disjuncts) in
+    let d = Flames_fuzzy.Tnorm.clamp01 degree /. k in
+    List.iter (fun n -> justify t ~degree:d ~antecedents n) disjuncts
+
+let premise t n =
+  n.is_premise <- true;
+  let label', inserted = insert_entry n.label { env = Env.empty; degree = 1. } in
+  if inserted then begin
+    n.label <- label';
+    let queue = Queue.create () in
+    List.iter (fun j -> Queue.add j queue) n.consumers;
+    propagate t queue
+  end
+
+let label t n =
+  let entries = filter_consistent t n.label in
+  List.sort
+    (fun a b ->
+      let c = Float.compare b.degree a.degree in
+      if c <> 0 then c else Env.compare a.env b.env)
+    entries
+
+let holds_in t n env =
+  List.fold_left
+    (fun acc e ->
+      if Env.subset e.env env then
+        let soft = 1. -. Nogood.inconsistency t.db env in
+        Float.max acc (Float.min e.degree soft)
+      else acc)
+    0. (label t n)
+
+let is_in t n env = holds_in t n env > 0.
+let consistent t env = not (Nogood.is_nogood t.db env)
+
+let pp_node t ppf n =
+  Format.fprintf ppf "%s: " n.datum;
+  match label t n with
+  | [] -> Format.pp_print_string ppf "(out)"
+  | entries ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      (fun ppf e ->
+        Format.fprintf ppf "%a@@%.2g" (Env.pp ~names:(name t)) e.env e.degree)
+      ppf entries

@@ -1,0 +1,86 @@
+(** An Assumption-based Truth Maintenance System (de Kleer 1986) extended
+    with graded (fuzzy) justifications and weighted nogoods, as required
+    by the paper's fuzzy-ATMS kernel (section 6).
+
+    Each node carries a label: the set of minimal consistent environments
+    in which the node holds, each with a believability degree obtained by
+    min-combining the certainty degrees of the justifications used.
+    Contradiction nodes feed the weighted nogood database; hard nogoods
+    (degree 1) remove environments from labels, soft nogoods only lower
+    their degree. *)
+
+type t
+(** A mutable ATMS instance. *)
+
+type node
+(** A statement tracked by the ATMS. *)
+
+type labelled = { env : Env.t; degree : float }
+(** One label entry: the node holds in [env] with certainty [degree]. *)
+
+val create : unit -> t
+
+(** {1 Assumptions and nodes} *)
+
+val assumption : t -> string -> node
+(** [assumption atms name] creates a fresh assumption and its node
+    (labelled with its own singleton environment at degree 1).
+    Assumption names must be unique within an instance.
+    @raise Invalid_argument on a duplicate name. *)
+
+val node : t -> string -> node
+(** [node atms datum] creates a non-assumption node with an empty label.
+    Datum strings are unique; re-calling with the same datum returns the
+    existing node. *)
+
+val contradiction : t -> node
+(** The distinguished falsity node of the instance. *)
+
+val premise : t -> node -> unit
+(** Mark a node as a premise: it holds in the empty environment with
+    degree 1. *)
+
+(** {1 Justifications} *)
+
+val justify : t -> ?degree:float -> antecedents:node list -> node -> unit
+(** [justify atms ~antecedents n] installs the justification
+    [antecedents → n] with certainty [degree] (default 1) and
+    incrementally updates labels downstream.  Justifying the
+    contradiction node records nogoods instead. *)
+
+val justify_disjunction : t -> ?degree:float -> antecedents:node list -> node list -> unit
+(** Non-Horn clause [antecedents → d1 ∨ ... ∨ dk]: the fuzzy ATMS accepts
+    it by weakening — each disjunct receives the justification with
+    degree [degree / k] — mirroring the possibilistic reading the paper
+    refers to.  @raise Invalid_argument on an empty disjunct list. *)
+
+(** {1 Queries} *)
+
+val label : t -> node -> labelled list
+(** Minimal consistent environments of the node, strongest first. *)
+
+val holds_in : t -> node -> Env.t -> float
+(** Highest degree with which the node holds in (a subset of) [env];
+    0 when it does not. *)
+
+val is_in : t -> node -> Env.t -> bool
+(** [holds_in > 0]. *)
+
+val consistent : t -> Env.t -> bool
+(** No hard nogood is included in the environment. *)
+
+val nogoods : t -> Nogood.entry list
+val nogood_db : t -> Nogood.t
+
+val env_of_assumptions : t -> node list -> Env.t
+(** Environment made of the given assumption nodes.
+    @raise Invalid_argument if a node is not an assumption. *)
+
+val name : t -> int -> string
+(** Name of an assumption id (for printing). *)
+
+val datum : node -> string
+val assumption_count : t -> int
+
+val pp_node : t -> Format.formatter -> node -> unit
+(** Prints the datum and its label. *)

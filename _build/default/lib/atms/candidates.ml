@@ -1,0 +1,64 @@
+type conflict = { env : Env.t; degree : float; reason : string }
+
+type diagnosis = { members : Env.t; rank : float; cardinality : int }
+
+let of_nogoods entries =
+  List.map
+    (fun (e : Nogood.entry) ->
+      { env = e.env; degree = e.degree; reason = e.reason })
+    entries
+
+let suspicion conflicts a =
+  List.fold_left
+    (fun acc c -> if Env.mem a c.env then Float.max acc c.degree else acc)
+    0. conflicts
+
+let suspicions conflicts =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      Env.fold
+        (fun a () ->
+          let cur = Option.value ~default:0. (Hashtbl.find_opt tbl a) in
+          Hashtbl.replace tbl a (Float.max cur c.degree))
+        c.env ())
+    conflicts;
+  Hashtbl.fold (fun a d acc -> (a, d) :: acc) tbl []
+  |> List.sort (fun (a, da) (b, db) ->
+         let c = Float.compare db da in
+         if c <> 0 then c else Int.compare a b)
+
+let diagnoses ?(threshold = 0.) ?limit conflicts =
+  let active = List.filter (fun c -> c.degree >= threshold) conflicts in
+  let sets = Hitting.minimal_hitting_sets ?limit (List.map (fun c -> c.env) active) in
+  let susp = suspicion conflicts in
+  let rank members =
+    match Env.to_list members with
+    | [] -> 0.
+    | xs -> List.fold_left (fun acc a -> Float.min acc (susp a)) 1. xs
+  in
+  List.map
+    (fun members ->
+      { members; rank = rank members; cardinality = Env.cardinal members })
+    sets
+  |> List.sort (fun a b ->
+         let c = Float.compare b.rank a.rank in
+         if c <> 0 then c
+         else
+           let c = Int.compare a.cardinality b.cardinality in
+           if c <> 0 then c else Env.compare a.members b.members)
+
+let single_faults conflicts =
+  match conflicts with
+  | [] -> []
+  | first :: rest ->
+    let common =
+      List.fold_left (fun acc c -> Env.inter acc c.env) first.env rest
+    in
+    let susp = suspicion conflicts in
+    Env.to_list common
+    |> List.map (fun a -> (a, susp a))
+    |> List.sort (fun (_, da) (_, db) -> Float.compare db da)
+
+let pp_diagnosis ~names ppf d =
+  Format.fprintf ppf "%a @@ %.3g" (Env.pp ~names) d.members d.rank

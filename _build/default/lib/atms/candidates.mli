@@ -1,0 +1,41 @@
+(** Diagnosis candidates from weighted conflicts (paper sections 6.1, 6.3).
+
+    The fuzzy ATMS produces minimal nogoods with degrees ([1 - Dc]).
+    From those this module derives:
+
+    - the per-assumption {e suspicion}: the highest degree of any conflict
+      containing the assumption (how seriously it is implicated);
+    - the ranked minimal {e diagnoses}: minimal hitting sets of the
+      conflicts above a degree threshold, ranked by the min of their
+      members' suspicions (a diagnosis built only from weakly implicated
+      components ranks low) then by cardinality — this reproduces the
+      paper's fig-5 ordering where [{d1}] outranks [{r1, r2}] and
+      conflict [{r2, d1}@1] outranks [{r1, d1}@0.5]. *)
+
+type conflict = { env : Env.t; degree : float; reason : string }
+
+type diagnosis = {
+  members : Env.t;  (** the components assumed faulty *)
+  rank : float;  (** min of the members' suspicions, in (0, 1] *)
+  cardinality : int;
+}
+
+val of_nogoods : Nogood.entry list -> conflict list
+(** Re-expose nogood entries as conflicts. *)
+
+val suspicion : conflict list -> int -> float
+(** Suspicion degree of one assumption. *)
+
+val suspicions : conflict list -> (int * float) list
+(** All implicated assumptions with their suspicion, most suspect first. *)
+
+val diagnoses : ?threshold:float -> ?limit:int -> conflict list -> diagnosis list
+(** Minimal diagnoses of the conflicts with degree [>= threshold]
+    (default [0.], i.e. all), ranked best first. *)
+
+val single_faults : conflict list -> (int * float) list
+(** Assumptions that alone explain every conflict (members of all
+    conflicts), with their suspicion — the preferred single-fault
+    candidates. *)
+
+val pp_diagnosis : names:(int -> string) -> Format.formatter -> diagnosis -> unit

@@ -1,0 +1,29 @@
+module S = Set.Make (Int)
+
+type t = S.t
+
+let empty = S.empty
+let singleton = S.singleton
+let of_list = S.of_list
+let to_list = S.elements
+let union = S.union
+let inter = S.inter
+let diff = S.diff
+let mem = S.mem
+let add = S.add
+let subset = S.subset
+let disjoint = S.disjoint
+let cardinal = S.cardinal
+let is_empty = S.is_empty
+let compare = S.compare
+let equal = S.equal
+let fold = S.fold
+let exists = S.exists
+let choose = S.min_elt_opt
+
+let pp ~names ppf env =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf a -> Format.pp_print_string ppf (names a)))
+    (to_list env)

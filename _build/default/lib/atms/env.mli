@@ -1,0 +1,35 @@
+(** Assumption environments.
+
+    An environment is a finite set of assumption identifiers; a value (or a
+    node) holds in an environment when it is derivable from exactly those
+    assumptions plus the premises.  Assumption identifiers are small
+    integers allocated by {!Atms}; names are kept in the ATMS table. *)
+
+type t
+
+val empty : t
+val singleton : int -> t
+val of_list : int list -> t
+val to_list : t -> int list
+(** Sorted increasing. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val mem : int -> t -> bool
+val add : int -> t -> t
+val subset : t -> t -> bool
+(** [subset a b] holds when [a ⊆ b]. *)
+
+val disjoint : t -> t -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val exists : (int -> bool) -> t -> bool
+val choose : t -> int option
+(** Smallest element, if any. *)
+
+val pp : names:(int -> string) -> Format.formatter -> t -> unit
+(** Prints as [{a, b, c}] using the naming function. *)

@@ -1,0 +1,44 @@
+let hits_all candidate conflicts =
+  List.for_all (fun c -> not (Env.disjoint candidate c)) conflicts
+
+(* Breadth-first expansion: maintain a frontier of partial hitting sets
+   ordered by construction; extend each with the elements of the first
+   conflict it does not hit.  Minimality: a completed set is kept only if
+   no kept set is a subset of it, and partial sets subsumed by a completed
+   set are pruned. *)
+let minimal_hitting_sets ?(limit = 10_000) conflicts =
+  let conflicts = List.sort_uniq Env.compare conflicts in
+  if conflicts = [] then [ Env.empty ]
+  else if List.exists Env.is_empty conflicts then []
+  else begin
+    let complete = ref [] in
+    let is_subsumed env = List.exists (fun m -> Env.subset m env) !complete in
+    let rec first_missed env = function
+      | [] -> None
+      | c :: rest -> if Env.disjoint env c then Some c else first_missed env rest
+    in
+    let queue = Queue.create () in
+    Queue.add Env.empty queue;
+    let seen = Hashtbl.create 256 in
+    while (not (Queue.is_empty queue)) && List.length !complete < limit do
+      let env = Queue.pop queue in
+      if not (is_subsumed env) then
+        match first_missed env conflicts with
+        | None -> complete := env :: !complete
+        | Some c ->
+          Env.fold
+            (fun a () ->
+              let env' = Env.add a env in
+              let key = Env.to_list env' in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
+                Queue.add env' queue
+              end)
+            c ()
+    done;
+    let by_size a b =
+      let c = Int.compare (Env.cardinal a) (Env.cardinal b) in
+      if c <> 0 then c else Env.compare a b
+    in
+    List.sort by_size !complete
+  end

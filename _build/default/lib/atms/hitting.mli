@@ -1,0 +1,21 @@
+(** Minimal hitting sets.
+
+    Diagnosis candidates are the minimal hitting sets of the family of
+    minimal conflicts (Reiter 1987, used by GDE and the paper's section 6).
+    The implementation is a breadth-first HS-tree expansion with
+    subset-minimality pruning, adequate for the conflict families produced
+    by circuit diagnosis (tens of conflicts over tens of assumptions). *)
+
+val minimal_hitting_sets : ?limit:int -> Env.t list -> Env.t list
+(** [minimal_hitting_sets conflicts] enumerates all subset-minimal
+    environments intersecting every conflict.
+
+    - The empty conflict family has the single hitting set [Env.empty].
+    - A family containing the empty conflict has no hitting set: [[]].
+    - [limit] caps the number of returned sets (default 10_000), a guard
+      against pathological families.
+
+    Results are sorted by cardinality then lexicographically. *)
+
+val hits_all : Env.t -> Env.t list -> bool
+(** [hits_all candidate conflicts] checks the defining property. *)

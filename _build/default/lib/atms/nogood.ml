@@ -1,0 +1,48 @@
+type entry = { env : Env.t; degree : float; reason : string }
+type t = { mutable items : entry list }
+
+let create () = { items = [] }
+
+let record db ?(reason = "") env degree =
+  let degree = Flames_fuzzy.Tnorm.clamp01 degree in
+  if degree <= 0. then false
+  else
+    let subsumed =
+      List.exists
+        (fun e -> Env.subset e.env env && e.degree >= degree)
+        db.items
+    in
+    if subsumed then false
+    else begin
+      (* drop entries that the new nogood strictly dominates *)
+      db.items <-
+        List.filter
+          (fun e -> not (Env.subset env e.env && degree >= e.degree))
+          db.items;
+      db.items <- { env; degree; reason } :: db.items;
+      true
+    end
+
+let entries db =
+  List.sort
+    (fun a b ->
+      let c = Float.compare b.degree a.degree in
+      if c <> 0 then c else Int.compare (Env.cardinal a.env) (Env.cardinal b.env))
+    db.items
+
+let inconsistency db env =
+  List.fold_left
+    (fun acc e -> if Env.subset e.env env then Float.max acc e.degree else acc)
+    0. db.items
+
+let is_nogood db ?(threshold = 1.) env = inconsistency db env >= threshold
+let count db = List.length db.items
+let clear db = db.items <- []
+
+let pp ~names ppf db =
+  Format.pp_print_list
+    ~pp_sep:Format.pp_print_newline
+    (fun ppf e ->
+      Format.fprintf ppf "nogood %a @@ %.3g%s" (Env.pp ~names) e.env e.degree
+        (if e.reason = "" then "" else " (" ^ e.reason ^ ")"))
+    ppf (entries db)

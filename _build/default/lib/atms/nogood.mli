@@ -1,0 +1,40 @@
+(** Weighted nogood database (fuzzy ATMS extension, paper section 6.1.2).
+
+    A nogood is an assumption environment known to be inconsistent with
+    some degree in (0, 1]: a hard conflict (disjoint measured and nominal
+    values) yields degree 1, a partial conflict yields [1 - Dc].
+
+    Subsumption: a nogood [N@d] makes any superset environment inconsistent
+    with at least degree [d], so a recorded nogood is dropped when a subset
+    with an equal-or-higher degree already exists, and conversely recording
+    a stronger subset discards weaker supersets. *)
+
+type entry = { env : Env.t; degree : float; reason : string }
+
+type t
+(** Mutable database. *)
+
+val create : unit -> t
+
+val record : t -> ?reason:string -> Env.t -> float -> bool
+(** [record db env degree] inserts the nogood; returns [false] when it was
+    subsumed by an existing entry (subset with >= degree).  Degrees are
+    clamped into [0, 1]; a degree of 0 is ignored and returns [false].
+    The empty environment may be recorded (premises inconsistent) and
+    subsumes everything. *)
+
+val entries : t -> entry list
+(** Current minimal entries, sorted by decreasing degree then by
+    environment cardinality. *)
+
+val inconsistency : t -> Env.t -> float
+(** [inconsistency db env] is the highest degree of any recorded nogood
+    included in [env]; 0 when [env] is consistent with everything known. *)
+
+val is_nogood : t -> ?threshold:float -> Env.t -> bool
+(** [is_nogood db env] holds when [inconsistency db env >= threshold]
+    (default threshold [1.], i.e. classical hard nogoods only). *)
+
+val count : t -> int
+val clear : t -> unit
+val pp : names:(int -> string) -> Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/baseline/crisp.ml: Flames_atms Flames_circuit Flames_core Flames_fuzzy List

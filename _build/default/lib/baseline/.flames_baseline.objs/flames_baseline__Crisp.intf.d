@@ -1,0 +1,1 @@
+lib/baseline/crisp.mli: Flames_circuit Flames_core Flames_fuzzy

@@ -1,0 +1,1 @@
+lib/baseline/probabilistic.ml: Flames_circuit Flames_core Flames_fuzzy Float List

@@ -1,0 +1,1 @@
+lib/baseline/probabilistic.mli: Flames_circuit Flames_core

@@ -1,0 +1,40 @@
+module Interval = Flames_fuzzy.Interval
+module C = Flames_circuit.Component
+module N = Flames_circuit.Netlist
+
+let crispify_interval ?(mode = `Support) v =
+  let lo, hi =
+    match mode with `Support -> Interval.support v | `Core -> Interval.core v
+  in
+  Interval.crisp_interval lo hi
+
+let crispify ?mode netlist =
+  List.fold_left
+    (fun net (c : C.t) ->
+      List.fold_left
+        (fun net param ->
+          let v = C.nominal_parameter c param in
+          N.replace net
+            (C.with_parameter (N.find net c.C.name) param
+               (crispify_interval ?mode v)))
+        net
+        (C.parameter_names c.C.kind))
+    netlist netlist.N.components
+
+let run ?config ?(limits = Flames_core.Propagate.default_limits)
+    ?simulate_predictions netlist observations =
+  let crisp_netlist = crispify netlist in
+  let crisp_observations =
+    List.map (fun (q, v) -> (q, crispify_interval v)) observations
+  in
+  let limits = { limits with Flames_core.Propagate.min_conflict_degree = 1. } in
+  (* crisp semantics knows no grading: predictions are taken at face
+     value so that their hard conflicts pass the degree-1 floor *)
+  Flames_core.Diagnose.run ?config ~limits ~prediction_degree:1.
+    ?simulate_predictions crisp_netlist crisp_observations
+
+let detects (r : Flames_core.Diagnose.result) =
+  List.exists
+    (fun (c : Flames_atms.Candidates.conflict) ->
+      c.Flames_atms.Candidates.degree >= 1.)
+    r.Flames_core.Diagnose.conflicts

@@ -1,0 +1,35 @@
+(** DIANA-style crisp-interval baseline (paper sections 2.1 and 4.2).
+
+    The same constraint network and propagation engine as FLAMES, but:
+    - every fuzzy interval is flattened to its support (a crisp interval
+      carries "all sorts of inaccuracy without any distinction");
+    - only hard conflicts (empty intersection) are recorded — partial
+      overlaps are silently accepted, so slight deviations that FLAMES
+      flags with a graded nogood are missed (the fault-masking phenomenon
+      of fig. 2).
+
+    This is the comparator used by the ablation benches. *)
+
+val crispify_interval :
+  ?mode:[ `Support | `Core ] -> Flames_fuzzy.Interval.t -> Flames_fuzzy.Interval.t
+(** [`Support] (default): the support hull [[lo, hi, 0, 0]] — the
+    conservative crisp tolerance interval.  [`Core]: the core — the crisp
+    reading of a model bound, e.g. DIANA's [Id ≤ 100 µA] where FLAMES
+    uses [[-1, 100, 0, 10]]. *)
+
+val crispify :
+  ?mode:[ `Support | `Core ] -> Flames_circuit.Netlist.t -> Flames_circuit.Netlist.t
+(** Flatten every component parameter. *)
+
+val run :
+  ?config:Flames_core.Model.config ->
+  ?limits:Flames_core.Propagate.limits ->
+  ?simulate_predictions:bool ->
+  Flames_circuit.Netlist.t ->
+  Flames_core.Diagnose.observation list ->
+  Flames_core.Diagnose.result
+(** Crisp diagnosis: observations are flattened too, and the conflict
+    floor is raised to 1 so only hard conflicts survive. *)
+
+val detects : Flames_core.Diagnose.result -> bool
+(** Whether the baseline flagged anything (a hard conflict). *)

@@ -1,0 +1,89 @@
+module Quantity = Flames_circuit.Quantity
+
+type state = { probabilities : (string * float) list }
+
+let clamp p = Float.max 1e-6 (Float.min (1. -. 1e-6) p)
+let uniform components prior =
+  { probabilities = List.map (fun c -> (c, clamp prior)) components }
+
+let of_diagnosis ?(prior = 0.05) (r : Flames_core.Diagnose.result) =
+  let suspicion name =
+    List.find_map
+      (fun (s : Flames_core.Diagnose.suspect) ->
+        if s.Flames_core.Diagnose.component = name then
+          Some
+            (if s.Flames_core.Diagnose.explains then
+               s.Flames_core.Diagnose.suspicion
+             else 0.3 *. s.Flames_core.Diagnose.suspicion)
+        else None)
+      r.Flames_core.Diagnose.suspects
+  in
+  let components =
+    Flames_circuit.Netlist.component_names r.Flames_core.Diagnose.netlist
+  in
+  {
+    probabilities =
+      List.map
+        (fun c ->
+          match suspicion c with
+          | Some s -> (c, clamp (prior +. (s *. (1. -. prior))))
+          | None -> (c, clamp (prior /. 10.)))
+        components;
+  }
+
+let entropy state =
+  Flames_fuzzy.Entropy.crisp_entropy (List.map snd state.probabilities)
+
+let p_deviant_given_fault = 0.9
+let p_deviant_given_healthy = 0.05
+
+let outcome_probability state influencers =
+  (* P(deviant) = 1 − Π over influencers of P(no visible deviation) *)
+  List.fold_left
+    (fun acc (c, p) ->
+      if List.mem c influencers then
+        acc
+        *. ((p *. (1. -. p_deviant_given_fault))
+           +. ((1. -. p) *. (1. -. p_deviant_given_healthy)))
+      else acc)
+    1. state.probabilities
+  |> fun p_quiet -> 1. -. p_quiet
+
+let update state ~influencers ~deviant =
+  let posterior (c, p) =
+    if not (List.mem c influencers) then (c, p)
+    else
+      let likelihood_faulty =
+        if deviant then p_deviant_given_fault else 1. -. p_deviant_given_fault
+      and likelihood_healthy =
+        if deviant then p_deviant_given_healthy
+        else 1. -. p_deviant_given_healthy
+      in
+      let num = likelihood_faulty *. p in
+      let den = num +. (likelihood_healthy *. (1. -. p)) in
+      (c, clamp (num /. den))
+  in
+  { probabilities = List.map posterior state.probabilities }
+
+let expected_entropy state ~influencers =
+  let p_dev = outcome_probability state influencers in
+  (p_dev *. entropy (update state ~influencers ~deviant:true))
+  +. ((1. -. p_dev) *. entropy (update state ~influencers ~deviant:false))
+
+type evaluation = {
+  quantity : Quantity.t;
+  influencers : string list;
+  expected : float;
+  score : float;
+}
+
+let rank state candidates =
+  List.map
+    (fun (quantity, cost, influencers) ->
+      let expected = expected_entropy state ~influencers in
+      { quantity; influencers; expected; score = expected *. cost })
+    candidates
+  |> List.sort (fun a b -> Float.compare a.score b.score)
+
+let best state candidates =
+  match rank state candidates with [] -> None | e :: _ -> Some e

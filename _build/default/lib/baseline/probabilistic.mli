@@ -1,0 +1,46 @@
+(** GDE-style probabilistic test selection (paper section 8's foil).
+
+    The numerical approach FLAMES argues against: crisp a-priori fault
+    probabilities, independence and mutual-exclusiveness assumptions, and
+    one-step-lookahead minimisation of the expected Shannon entropy.
+    Implemented as the comparison baseline for the best-test benches. *)
+
+module Quantity = Flames_circuit.Quantity
+
+type state = {
+  probabilities : (string * float) list;  (** component → P(faulty) *)
+}
+
+val uniform : string list -> float -> state
+(** Same prior for every component. *)
+
+val of_diagnosis : ?prior:float -> Flames_core.Diagnose.result -> state
+(** Priors scaled by the diagnosis suspicions: implicated components get
+    [prior + suspicion × (1 − prior)], others [prior/10]. *)
+
+val entropy : state -> float
+(** Shannon entropy over the independent per-component fault variables. *)
+
+val update : state -> influencers:string list -> deviant:bool -> state
+(** Bayes update for a probe outcome, assuming a fault in an influencer
+    shows a deviation with probability 0.9 and a healthy path deviates
+    with probability 0.05. *)
+
+val expected_entropy : state -> influencers:string list -> float
+(** One-step lookahead over the two outcomes. *)
+
+type evaluation = {
+  quantity : Quantity.t;
+  influencers : string list;
+  expected : float;
+  score : float;  (** expected entropy × cost *)
+}
+
+val rank :
+  state ->
+  (Quantity.t * float * string list) list ->
+  evaluation list
+(** [(probe, cost, influencers)] candidates, best first. *)
+
+val best :
+  state -> (Quantity.t * float * string list) list -> evaluation option

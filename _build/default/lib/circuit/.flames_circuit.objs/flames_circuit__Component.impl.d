@@ -1,0 +1,1 @@
+lib/circuit/component.ml: Flames_fuzzy Format List

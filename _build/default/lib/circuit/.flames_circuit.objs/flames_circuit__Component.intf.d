@@ -1,0 +1,1 @@
+lib/circuit/component.mli: Flames_fuzzy Format

@@ -1,0 +1,1 @@
+lib/circuit/fault.ml: Component Flames_fuzzy Float Format List Netlist Printf

@@ -1,0 +1,1 @@
+lib/circuit/fault.mli: Flames_fuzzy Format Netlist

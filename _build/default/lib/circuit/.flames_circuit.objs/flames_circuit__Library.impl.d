@@ -1,0 +1,1 @@
+lib/circuit/library.ml: Char Component Flames_fuzzy List Netlist Printf Quantity String

@@ -1,0 +1,1 @@
+lib/circuit/library.mli: Flames_fuzzy Netlist Quantity

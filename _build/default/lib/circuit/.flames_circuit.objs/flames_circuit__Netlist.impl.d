@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Component Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/circuit/netlist.mli: Component Format

@@ -1,0 +1,1 @@
+lib/circuit/parser.ml: Buffer Component Flames_fuzzy Float Format Fun List Netlist Option Printf String

@@ -1,0 +1,1 @@
+lib/circuit/quantity.ml: Format Hashtbl Map Set Stdlib

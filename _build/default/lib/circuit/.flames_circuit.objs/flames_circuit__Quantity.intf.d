@@ -1,0 +1,1 @@
+lib/circuit/quantity.mli: Format Map Set

@@ -1,0 +1,108 @@
+module Interval = Flames_fuzzy.Interval
+
+type bjt = { beta : Interval.t; vbe : Interval.t }
+
+type kind =
+  | Resistor of Interval.t
+  | Capacitor of Interval.t
+  | Inductor of Interval.t
+  | Voltage_source of Interval.t
+  | Diode of { forward_drop : Interval.t; max_current : Interval.t }
+  | Gain_block of Interval.t
+  | Bjt of bjt
+
+type t = { name : string; kind : kind; nodes : (string * string) list }
+
+let terminals = function
+  | Resistor _ | Capacitor _ | Inductor _ | Voltage_source _ | Diode _ ->
+    [ "p"; "n" ]
+  | Gain_block _ -> [ "in"; "out" ]
+  | Bjt _ -> [ "b"; "c"; "e" ]
+
+let make name kind nodes = { name; kind; nodes }
+
+let resistor name ~ohms ~p ~n =
+  make name (Resistor ohms) [ ("p", p); ("n", n) ]
+
+let capacitor name ~farads ~p ~n =
+  make name (Capacitor farads) [ ("p", p); ("n", n) ]
+
+let inductor name ~henries ~p ~n =
+  make name (Inductor henries) [ ("p", p); ("n", n) ]
+
+let vsource name ~volts ~p ~n =
+  make name (Voltage_source volts) [ ("p", p); ("n", n) ]
+
+let diode name ~forward_drop ~max_current ~p ~n =
+  make name (Diode { forward_drop; max_current }) [ ("p", p); ("n", n) ]
+
+let gain_block name ~gain ~input ~output =
+  make name (Gain_block gain) [ ("in", input); ("out", output) ]
+
+let bjt name ~beta ~vbe ~b ~c ~e =
+  make name (Bjt { beta; vbe }) [ ("b", b); ("c", c); ("e", e) ]
+
+let node_of comp terminal = List.assoc terminal comp.nodes
+
+let parameter_names = function
+  | Resistor _ -> [ "R" ]
+  | Capacitor _ -> [ "C" ]
+  | Inductor _ -> [ "L" ]
+  | Voltage_source _ -> [ "V" ]
+  | Diode _ -> [ "Vf"; "Imax" ]
+  | Gain_block _ -> [ "gain" ]
+  | Bjt _ -> [ "beta"; "vbe" ]
+
+let nominal_parameter comp param =
+  match (comp.kind, param) with
+  | Resistor r, "R" -> r
+  | Capacitor c, "C" -> c
+  | Inductor l, "L" -> l
+  | Voltage_source v, "V" -> v
+  | Diode d, "Vf" -> d.forward_drop
+  | Diode d, "Imax" -> d.max_current
+  | Gain_block g, "gain" -> g
+  | Bjt b, "beta" -> b.beta
+  | Bjt b, "vbe" -> b.vbe
+  | ( ( Resistor _ | Capacitor _ | Inductor _ | Voltage_source _ | Diode _
+      | Gain_block _ | Bjt _ ),
+      _ ) ->
+    raise Not_found
+
+let with_parameter comp param value =
+  let kind =
+    match (comp.kind, param) with
+    | Resistor _, "R" -> Resistor value
+    | Capacitor _, "C" -> Capacitor value
+    | Inductor _, "L" -> Inductor value
+    | Voltage_source _, "V" -> Voltage_source value
+    | Diode d, "Vf" -> Diode { d with forward_drop = value }
+    | Diode d, "Imax" -> Diode { d with max_current = value }
+    | Gain_block _, "gain" -> Gain_block value
+    | Bjt b, "beta" -> Bjt { b with beta = value }
+    | Bjt b, "vbe" -> Bjt { b with vbe = value }
+    | ( ( Resistor _ | Capacitor _ | Inductor _ | Voltage_source _ | Diode _
+        | Gain_block _ | Bjt _ ),
+        _ ) ->
+      raise Not_found
+  in
+  { comp with kind }
+
+let pp_kind ppf = function
+  | Resistor r -> Format.fprintf ppf "R=%a Ω" Interval.pp r
+  | Capacitor c -> Format.fprintf ppf "C=%a F" Interval.pp c
+  | Inductor l -> Format.fprintf ppf "L=%a H" Interval.pp l
+  | Voltage_source v -> Format.fprintf ppf "V=%a V" Interval.pp v
+  | Diode d ->
+    Format.fprintf ppf "diode Vf=%a Imax=%a" Interval.pp d.forward_drop
+      Interval.pp d.max_current
+  | Gain_block g -> Format.fprintf ppf "gain=%a" Interval.pp g
+  | Bjt b ->
+    Format.fprintf ppf "BJT β=%a Vbe=%a" Interval.pp b.beta Interval.pp b.vbe
+
+let pp ppf comp =
+  Format.fprintf ppf "%s (%a) [%a]" comp.name pp_kind comp.kind
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (t, n) -> Format.fprintf ppf "%s→%s" t n))
+    comp.nodes

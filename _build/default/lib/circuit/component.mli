@@ -1,0 +1,72 @@
+(** Circuit components with fuzzy (toleranced) nominal parameters.
+
+    Parameter values are fuzzy intervals so that manufacturing tolerances
+    are represented natively (paper section 4.2): a 10 kΩ ±1 % resistor is
+    [around 10e3 ~rel:0.01]. *)
+
+module Interval = Flames_fuzzy.Interval
+
+type bjt = {
+  beta : Interval.t;  (** forward current gain *)
+  vbe : Interval.t;  (** base-emitter drop in the active region, volts *)
+}
+
+type kind =
+  | Resistor of Interval.t  (** resistance in ohms; terminals [p], [n] *)
+  | Capacitor of Interval.t
+      (** capacitance in farads; terminals [p], [n] — open at DC,
+          admittance [jωC] in dynamic mode *)
+  | Inductor of Interval.t
+      (** inductance in henries; terminals [p], [n] — short at DC,
+          impedance [jωL] in dynamic mode *)
+  | Voltage_source of Interval.t
+      (** EMF in volts from [n] to [p]; terminals [p], [n] *)
+  | Diode of { forward_drop : Interval.t; max_current : Interval.t }
+      (** conducting-diode model: fixed drop and a fuzzy current bound
+          (the paper's [[-1, 100, 0, 10]] µA set); terminals [p], [n] *)
+  | Gain_block of Interval.t
+      (** ideal amplifier [Vout = gain · Vin]; terminals [in], [out]
+          (fig. 2 of the paper) *)
+  | Bjt of bjt  (** NPN in the linear region; terminals [b], [c], [e] *)
+
+type t = {
+  name : string;
+  kind : kind;
+  nodes : (string * string) list;  (** terminal name → node name *)
+}
+
+val terminals : kind -> string list
+(** The terminal names required by a kind, in canonical order. *)
+
+val resistor : string -> ohms:Interval.t -> p:string -> n:string -> t
+val capacitor : string -> farads:Interval.t -> p:string -> n:string -> t
+val inductor : string -> henries:Interval.t -> p:string -> n:string -> t
+val vsource : string -> volts:Interval.t -> p:string -> n:string -> t
+
+val diode :
+  string ->
+  forward_drop:Interval.t ->
+  max_current:Interval.t ->
+  p:string ->
+  n:string ->
+  t
+
+val gain_block : string -> gain:Interval.t -> input:string -> output:string -> t
+val bjt : string -> beta:Interval.t -> vbe:Interval.t -> b:string -> c:string -> e:string -> t
+
+val node_of : t -> string -> string
+(** [node_of comp terminal] is the node the terminal connects to.
+    @raise Not_found for an unknown terminal. *)
+
+val parameter_names : kind -> string list
+(** The diagnosable parameters of the kind ("R", "V", "gain", "beta"). *)
+
+val nominal_parameter : t -> string -> Interval.t
+(** The fuzzy nominal value of a named parameter.
+    @raise Not_found for an unknown parameter name. *)
+
+val with_parameter : t -> string -> Interval.t -> t
+(** Functional parameter update (used for fault injection).
+    @raise Not_found for an unknown parameter name. *)
+
+val pp : Format.formatter -> t -> unit

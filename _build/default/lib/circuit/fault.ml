@@ -1,0 +1,106 @@
+module Interval = Flames_fuzzy.Interval
+
+type mode = Short | Open | Low | High | Shifted of float
+type t = { component : string; parameter : string; mode : mode }
+
+let make ~component ~parameter mode = { component; parameter; mode }
+let short component ~parameter = make ~component ~parameter Short
+let opened component ~parameter = make ~component ~parameter Open
+let shifted component ~parameter v = make ~component ~parameter (Shifted v)
+
+let mode_region = function
+  | Short -> Interval.make ~m1:0. ~m2:0.01 ~alpha:0. ~beta:0.09
+  | Open -> Interval.make ~m1:100. ~m2:1e12 ~alpha:90. ~beta:0.
+  | Low -> Interval.make ~m1:0.3 ~m2:0.8 ~alpha:0.2 ~beta:0.15
+  | High -> Interval.make ~m1:1.25 ~m2:3. ~alpha:0.2 ~beta:97.
+  | Shifted v ->
+    (* a narrow fuzzy ratio around v / nominal is built in mode_membership;
+       without the nominal we only can centre on 1 *)
+    Interval.number (if v = 0. then 0. else 1.) ~spread:0.05
+
+let mode_membership mode ~nominal ~actual =
+  match mode with
+  | Shifted v ->
+    let width = Float.max (0.02 *. Float.abs v) 1e-12 in
+    Interval.membership (Interval.number v ~spread:width) actual
+  | Short | Open | Low | High ->
+    if nominal = 0. then 0.
+    else Interval.membership (mode_region mode) (actual /. nominal)
+
+let classify ~nominal ~actual =
+  [ Short; Open; Low; High ]
+  |> List.filter_map (fun m ->
+         let d = mode_membership m ~nominal ~actual in
+         if d > 0. then Some (m, d) else None)
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+
+let faulty_value fault ~nominal =
+  let n = Interval.centroid nominal in
+  let v =
+    match fault.mode with
+    | Short -> n *. 1e-6
+    | Open -> n *. 1e9
+    | Low -> n *. Interval.centroid (mode_region Low)
+    | High -> n *. Interval.centroid (mode_region High)
+    | Shifted v -> v
+  in
+  Interval.crisp v
+
+let inject netlist fault =
+  let comp = Netlist.find netlist fault.component in
+  let nominal = Component.nominal_parameter comp fault.parameter in
+  let comp' =
+    Component.with_parameter comp fault.parameter (faulty_value fault ~nominal)
+  in
+  Netlist.replace netlist comp'
+
+(* An open node is modelled by giving each component terminal its own copy
+   of the node, tied to the original through a very large "break" resistor:
+   electrically open, yet the netlist stays connected and solvable. *)
+let break_resistance = Interval.crisp 1e9
+
+let open_node netlist node =
+  let attached = Netlist.components_at netlist node in
+  if List.length attached < 2 then netlist
+  else
+    let counter = ref 0 in
+    let components', breaks =
+      List.fold_left
+        (fun (comps, breaks) (c : Component.t) ->
+          let nodes', breaks =
+            List.fold_left
+              (fun (nodes, breaks) (term, n) ->
+                if n <> node then ((term, n) :: nodes, breaks)
+                else begin
+                  incr counter;
+                  let fresh = Printf.sprintf "%s^%d" node !counter in
+                  let break =
+                    Component.resistor
+                      (Printf.sprintf "break_%s_%d" node !counter)
+                      ~ohms:break_resistance ~p:fresh ~n:node
+                  in
+                  ((term, fresh) :: nodes, break :: breaks)
+                end)
+              ([], breaks) c.nodes
+          in
+          ({ c with nodes = List.rev nodes' } :: comps, breaks))
+        ([], []) attached
+    in
+    let untouched =
+      List.filter
+        (fun (c : Component.t) ->
+          not (List.exists (fun (a : Component.t) -> a.name = c.name) attached))
+        netlist.Netlist.components
+    in
+    Netlist.make ~name:netlist.Netlist.name ~ground:netlist.Netlist.ground
+      (untouched @ List.rev components' @ breaks)
+
+let pp_mode ppf = function
+  | Short -> Format.pp_print_string ppf "short"
+  | Open -> Format.pp_print_string ppf "open"
+  | Low -> Format.pp_print_string ppf "low"
+  | High -> Format.pp_print_string ppf "high"
+  | Shifted v -> Format.fprintf ppf "shifted to %g" v
+
+let pp ppf f =
+  Format.fprintf ppf "%s.%s %a" f.component f.parameter pp_mode f.mode

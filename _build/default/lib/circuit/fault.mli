@@ -1,0 +1,59 @@
+(** Fault modes and fault injection.
+
+    Common fault modes (open, short, high, low — paper section 7) are
+    modelled as fuzzy sets over the {e deviation ratio}
+    [actual / nominal] of the faulty parameter, so that both hard faults
+    and slight ("soft") deviations are captured without special
+    heuristics. *)
+
+module Interval = Flames_fuzzy.Interval
+
+type mode =
+  | Short  (** parameter collapses towards 0 (ratio ≈ 0) *)
+  | Open  (** parameter explodes (ratio ≫ 1) *)
+  | Low  (** noticeably below nominal *)
+  | High  (** noticeably above nominal *)
+  | Shifted of float  (** parameter set to an exact value (soft fault) *)
+
+type t = { component : string; parameter : string; mode : mode }
+
+val make : component:string -> parameter:string -> mode -> t
+
+val short : string -> parameter:string -> t
+val opened : string -> parameter:string -> t
+val shifted : string -> parameter:string -> float -> t
+
+val mode_region : mode -> Interval.t
+(** The fuzzy set of deviation ratios characterising the mode:
+    short ≈ [0, 0.01] with a soft upper flank, open ≈ [100, ∞),
+    low ≈ [0.3, 0.8], high ≈ [1.25, 3]. [Shifted v] has no generic
+    region; its region is the crisp ratio once the nominal is known
+    (see {!mode_membership}). *)
+
+val mode_membership : mode -> nominal:float -> actual:float -> float
+(** Degree with which the ratio [actual / nominal] belongs to the mode's
+    region (for [Shifted v], the membership of [actual] in a narrow fuzzy
+    number around [v]). *)
+
+val classify : nominal:float -> actual:float -> (mode * float) list
+(** All generic modes (short/open/low/high) with non-zero membership for
+    the observed deviation, best first. *)
+
+val inject : Netlist.t -> t -> Netlist.t
+(** Apply the fault to the netlist: the named parameter of the named
+    component is replaced by the faulty (crisp) value — [Short] by
+    [nominal × 1e-6], [Open] by [nominal × 1e9], [Low]/[High] by the
+    centroid of the mode region times nominal, [Shifted v] by [v].
+    @raise Not_found on unknown component or parameter. *)
+
+val faulty_value : t -> nominal:Interval.t -> Interval.t
+(** The crisp parameter value {!inject} uses. *)
+
+val open_node : Netlist.t -> string -> Netlist.t
+(** Model an open (broken) node: every connection to the node [n] is
+    rerouted to a fresh isolated copy [n^k] per component, severing the
+    electrical contact (the paper's "open circuit in N1" defect).
+    Single-component nodes are returned unchanged. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_mode : Format.formatter -> mode -> unit

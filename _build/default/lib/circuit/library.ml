@@ -1,0 +1,135 @@
+module Interval = Flames_fuzzy.Interval
+
+let chain_nodes k =
+  List.init (k + 1) (fun i ->
+      let letter = Char.chr (Char.code 'A' + (i mod 26)) in
+      if i < 26 then String.make 1 letter
+      else Printf.sprintf "%c%d" letter (i / 26))
+
+let amplifier_chain ?(gains = [ 1.; 2.; 3. ]) ?(tolerance = 0.05) () =
+  let k = List.length gains in
+  let nodes = chain_nodes k in
+  let source =
+    Component.vsource "va" ~volts:(Interval.number 3. ~spread:0.05) ~p:"A"
+      ~n:"gnd"
+  in
+  let amps =
+    List.mapi
+      (fun i g ->
+        let input = List.nth nodes i and output = List.nth nodes (i + 1) in
+        Component.gain_block
+          (Printf.sprintf "amp%d" (i + 1))
+          ~gain:(Interval.number g ~spread:tolerance)
+          ~input ~output)
+      gains
+  in
+  (* ground the output through a load so no node dangles *)
+  let load =
+    Component.resistor "load" ~ohms:(Interval.crisp 1e6)
+      ~p:(List.nth nodes k) ~n:"gnd"
+  in
+  Netlist.make ~name:"amplifier-chain" ~ground:"gnd" (source :: load :: amps)
+
+let micro = 1e-6
+
+let diode_resistor ?(powered = false) () =
+  (* resistances are crisp 10 kΩ as in the paper's fig. 5; the model
+     imprecision is carried by the diode's fuzzy current bound *)
+  let r = Interval.crisp 10e3 in
+  let bound =
+    (* the paper's fuzzy current bound [-1,100,0,10] microamperes *)
+    Interval.make ~m1:(-1. *. micro) ~m2:(100. *. micro) ~alpha:0.
+      ~beta:(10. *. micro)
+  in
+  let chain =
+    [
+      Component.resistor "r1" ~ohms:r ~p:"in" ~n:"n1";
+      Component.diode "d1"
+        ~forward_drop:(Interval.number 0.2 ~spread:0.02)
+        ~max_current:bound ~p:"n1" ~n:"n2";
+      Component.resistor "r2" ~ohms:r ~p:"n2" ~n:"gnd";
+    ]
+  in
+  if powered then
+    Netlist.make ~name:"diode-resistor" ~ground:"gnd"
+      (Component.vsource "vin" ~volts:(Interval.crisp 2.25) ~p:"in" ~n:"gnd"
+      :: chain)
+  else Netlist.make ~ports:[ "in" ] ~name:"diode-resistor" ~ground:"gnd" chain
+
+let three_stage_amplifier ?(tolerance = 0.02) () =
+  let r v = Interval.around v ~rel:tolerance in
+  let beta v = Interval.around v ~rel:tolerance in
+  let vbe = Interval.number 0.7 ~spread:0.02 in
+  Netlist.make ~name:"three-stage-amplifier" ~ground:"gnd"
+    [
+      Component.vsource "vcc" ~volts:(Interval.number 18. ~spread:0.05)
+        ~p:"vcc" ~n:"gnd";
+      (* stage 1: common emitter — R1/R3 bias divider, R2 collector load
+         (probe V1 at the collector), R4 emitter degeneration *)
+      Component.resistor "r1" ~ohms:(r 200e3) ~p:"vcc" ~n:"n1";
+      Component.resistor "r3" ~ohms:(r 24e3) ~p:"n1" ~n:"gnd";
+      Component.bjt "t1" ~beta:(beta 300.) ~vbe ~b:"n1" ~c:"v1" ~e:"e1";
+      Component.resistor "r2" ~ohms:(r 12e3) ~p:"vcc" ~n:"v1";
+      Component.resistor "r4" ~ohms:(r 3e3) ~p:"e1" ~n:"gnd";
+      (* stage 2: emitter follower (probe V2 at node n2) *)
+      Component.bjt "t2" ~beta:(beta 200.) ~vbe ~b:"v1" ~c:"vcc" ~e:"n2";
+      Component.resistor "r5" ~ohms:(r 2.2e3) ~p:"n2" ~n:"gnd";
+      (* stage 3: emitter follower into the output load (probe Vs) *)
+      Component.bjt "t3" ~beta:(beta 100.) ~vbe ~b:"n2" ~c:"vcc" ~e:"vs";
+      Component.resistor "r6" ~ohms:(r 1.8e3) ~p:"vs" ~n:"gnd";
+    ]
+
+let voltage_divider ?(r1 = 10e3) ?(r2 = 10e3) ?(vin = 10.) () =
+  Netlist.make ~name:"voltage-divider" ~ground:"gnd"
+    [
+      Component.vsource "vin" ~volts:(Interval.number vin ~spread:(0.01 *. vin))
+        ~p:"in" ~n:"gnd";
+      Component.resistor "r1" ~ohms:(Interval.around r1 ~rel:0.01) ~p:"in"
+        ~n:"mid";
+      Component.resistor "r2" ~ohms:(Interval.around r2 ~rel:0.01) ~p:"mid"
+        ~n:"gnd";
+    ]
+
+let rc_lowpass ?(tolerance = 0.02) () =
+  Netlist.make ~name:"rc-lowpass" ~ground:"gnd"
+    [
+      Component.vsource "vin" ~volts:(Interval.crisp 1.) ~p:"in" ~n:"gnd";
+      Component.resistor "r1" ~ohms:(Interval.around 10e3 ~rel:tolerance)
+        ~p:"in" ~n:"out";
+      Component.capacitor "c1" ~farads:(Interval.around 10e-9 ~rel:tolerance)
+        ~p:"out" ~n:"gnd";
+    ]
+
+let rlc_bandpass ?(tolerance = 0.02) () =
+  Netlist.make ~name:"rlc-bandpass" ~ground:"gnd"
+    [
+      Component.vsource "vin" ~volts:(Interval.crisp 1.) ~p:"in" ~n:"gnd";
+      Component.inductor "l1" ~henries:(Interval.around 10e-3 ~rel:tolerance)
+        ~p:"in" ~n:"m";
+      Component.capacitor "c1" ~farads:(Interval.around 100e-9 ~rel:tolerance)
+        ~p:"m" ~n:"out";
+      Component.resistor "r1" ~ohms:(Interval.around 100. ~rel:tolerance)
+        ~p:"out" ~n:"gnd";
+    ]
+
+let sallen_key_lowpass ?(tolerance = 0.02) () =
+  Netlist.make ~name:"sallen-key-lowpass" ~ground:"gnd"
+    [
+      Component.vsource "vin" ~volts:(Interval.crisp 1.) ~p:"in" ~n:"gnd";
+      Component.resistor "r1" ~ohms:(Interval.around 10e3 ~rel:tolerance)
+        ~p:"in" ~n:"a";
+      Component.resistor "r2" ~ohms:(Interval.around 10e3 ~rel:tolerance)
+        ~p:"a" ~n:"b";
+      Component.capacitor "c1" ~farads:(Interval.around 10e-9 ~rel:tolerance)
+        ~p:"a" ~n:"out";
+      Component.capacitor "c2" ~farads:(Interval.around 10e-9 ~rel:tolerance)
+        ~p:"b" ~n:"gnd";
+      Component.gain_block "amp" ~gain:(Interval.number 1. ~spread:0.001)
+        ~input:"b" ~output:"out";
+    ]
+
+let probe_points netlist =
+  Netlist.nodes netlist
+  |> List.filter (fun n ->
+         n <> netlist.Netlist.ground && not (String.contains n '^'))
+  |> List.map Quantity.voltage

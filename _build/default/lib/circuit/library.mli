@@ -1,0 +1,59 @@
+(** Prebuilt circuits used by the paper's examples and experiments. *)
+
+module Interval = Flames_fuzzy.Interval
+
+val amplifier_chain : ?gains:float list -> ?tolerance:float -> unit -> Netlist.t
+(** The fig-2 circuit: a cascade of ideal gain blocks [amp1 .. ampk]
+    driven by source [va] on node [A], output on the last node.
+    Default gains [1; 2; 3] with ±0.05 absolute tolerance on each gain
+    (the paper's [amp_i = [g, g, 0.05, 0.05]]); [tolerance] overrides the
+    absolute flank width.  Nodes are ["A"; "B"; "C"; ...]. *)
+
+val chain_nodes : int -> string list
+(** The node names of an amplifier chain with k stages (k+1 names). *)
+
+val diode_resistor : ?powered:bool -> unit -> Netlist.t
+(** The fig-5 circuit: [r1] (10 kΩ, crisp), diode [d1] (0.2 V drop,
+    current bound [[-1, 100, 0, 10]] µA, in amperes), [r2] (10 kΩ, crisp)
+    in series through nodes [in] → [n1] → [n2] → [gnd].  By default the
+    input node [in] is an externally driven port, exactly the paper's
+    setting where only the drops are measured; [~powered:true] adds a
+    2.25 V source for simulation. *)
+
+val three_stage_amplifier : ?tolerance:float -> unit -> Netlist.t
+(** The fig-6 circuit reconstruction (see DESIGN.md): Vcc = 18 V;
+    stage 1 common-emitter T1 (β=300) biased by the R1 = 200 kΩ /
+    R3 = 24 kΩ divider, with R2 = 12 kΩ as collector load (probe V1 at
+    the collector) and R4 = 3 kΩ as emitter degeneration; stage 2 emitter
+    follower T2 (β=200) into R5 = 2.2 kΩ (probe V2 at node [n2]); stage 3
+    emitter follower T3 (β=100) into R6 = 1.8 kΩ (probe Vs).  All
+    Vbe = 0.7 V.  [tolerance] is the relative parameter tolerance
+    (default 2 %).
+
+    Nodes: [vcc], [n1] (T1 base), [e1], [v1] (T1 collector), [n2]
+    (V2 probe), [vs], [gnd]. *)
+
+val voltage_divider : ?r1:float -> ?r2:float -> ?vin:float -> unit -> Netlist.t
+(** A two-resistor divider (quickstart example): [vin] → [r1] → [mid] →
+    [r2] → [gnd]. *)
+
+val rc_lowpass : ?tolerance:float -> unit -> Netlist.t
+(** First-order RC low-pass for dynamic-mode diagnosis: source [vin] →
+    [r1] (10 kΩ) → node [out] → [c1] (10 nF) → [gnd]; corner at
+    ≈ 1.59 kHz. *)
+
+val rlc_bandpass : ?tolerance:float -> unit -> Netlist.t
+(** Series RLC band-pass: [vin] → [l1] (10 mH) → [m] → [c1] (100 nF) →
+    [out] → [r1] (100 Ω) → [gnd], output across the resistor; resonance
+    at ≈ 5.03 kHz. *)
+
+val sallen_key_lowpass : ?tolerance:float -> unit -> Netlist.t
+(** Second-order unity-gain Sallen–Key low-pass built from two RC
+    sections and an ideal unity-gain buffer ([amp]): [vin] → [r1]
+    (10 kΩ) → [a] → [r2] (10 kΩ) → [b] → buffer → [out], with [c1]
+    (10 nF) from [a] to [out] (the bootstrap) and [c2] (10 nF) from [b]
+    to [gnd]; corner ≈ 1.59 kHz. *)
+
+val probe_points : Netlist.t -> Quantity.t list
+(** The measurable node voltages of a circuit (every non-ground,
+    non-internal node). *)

@@ -1,0 +1,78 @@
+type t = {
+  name : string;
+  components : Component.t list;
+  ground : string;
+  ports : string list;
+}
+
+exception Ill_formed of string
+
+let ill_formed fmt = Format.kasprintf (fun s -> raise (Ill_formed s)) fmt
+
+let nodes_of_components components =
+  List.concat_map (fun c -> List.map snd c.Component.nodes) components
+  |> List.sort_uniq String.compare
+
+let make ?(ports = []) ~name ~ground components =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Component.t) ->
+      if Hashtbl.mem seen c.name then
+        ill_formed "duplicate component name %S" c.name;
+      Hashtbl.add seen c.name ();
+      let expected = Component.terminals c.kind in
+      let given = List.map fst c.nodes in
+      if List.sort String.compare given <> List.sort String.compare expected
+      then
+        ill_formed "component %S: terminals %s expected, %s given" c.name
+          (String.concat "," expected)
+          (String.concat "," given))
+    components;
+  let nodes = nodes_of_components components in
+  if not (List.mem ground nodes) then
+    ill_formed "ground node %S not connected to any component" ground;
+  let degree n =
+    List.fold_left
+      (fun acc (c : Component.t) ->
+        acc + List.length (List.filter (fun (_, m) -> m = n) c.nodes))
+      0 components
+  in
+  List.iter
+    (fun n ->
+      if n <> ground && (not (List.mem n ports)) && degree n < 2 then
+        ill_formed "node %S is dangling (single terminal)" n)
+    nodes;
+  { name; components; ground; ports }
+
+let is_port t n = List.mem n t.ports
+
+let nodes t = nodes_of_components t.components
+
+let find t name =
+  List.find (fun (c : Component.t) -> c.name = name) t.components
+
+let mem t name =
+  List.exists (fun (c : Component.t) -> c.name = name) t.components
+
+let replace t comp =
+  if not (mem t comp.Component.name) then raise Not_found;
+  {
+    t with
+    components =
+      List.map
+        (fun (c : Component.t) ->
+          if c.name = comp.Component.name then comp else c)
+        t.components;
+  }
+
+let components_at t node =
+  List.filter
+    (fun (c : Component.t) -> List.exists (fun (_, n) -> n = node) c.nodes)
+    t.components
+
+let component_names t = List.map (fun (c : Component.t) -> c.name) t.components
+let size t = List.length t.components
+
+let pp ppf t =
+  Format.fprintf ppf "circuit %s (ground %s):@." t.name t.ground;
+  List.iter (fun c -> Format.fprintf ppf "  %a@." Component.pp c) t.components

@@ -1,0 +1,44 @@
+(** Circuit netlists.
+
+    A netlist is a named set of components connected at named nodes, with a
+    distinguished ground node.  The database-unit models of the paper
+    (section 6.2) are compiled from netlists by [Flames_core.Model]. *)
+
+type t = private {
+  name : string;
+  components : Component.t list;
+  ground : string;
+  ports : string list;
+      (** externally driven nodes: exempt from the dangling check and
+          from Kirchhoff current-law generation *)
+}
+
+exception Ill_formed of string
+
+val make : ?ports:string list -> name:string -> ground:string -> Component.t list -> t
+(** Validates the netlist.
+    @raise Ill_formed on duplicate component names, a component whose
+    terminal map does not match its kind, an unused ground node, or a
+    non-port node connected to a single terminal only (dangling). *)
+
+val is_port : t -> string -> bool
+
+val nodes : t -> string list
+(** All node names, sorted, ground included. *)
+
+val find : t -> string -> Component.t
+(** @raise Not_found if no component has that name. *)
+
+val mem : t -> string -> bool
+
+val replace : t -> Component.t -> t
+(** Functional replacement of the same-named component (fault injection).
+    @raise Not_found when absent. *)
+
+val components_at : t -> string -> Component.t list
+(** Components with a terminal on the given node. *)
+
+val component_names : t -> string list
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit

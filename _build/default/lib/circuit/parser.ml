@@ -1,0 +1,238 @@
+module Interval = Flames_fuzzy.Interval
+
+type error = { line : int; message : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Fail of error
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Fail { line; message })) fmt
+
+let suffixes =
+  [
+    ("meg", 1e6); ("f", 1e-15); ("p", 1e-12); ("n", 1e-9); ("u", 1e-6);
+    ("m", 1e-3); ("k", 1e3); ("g", 1e9); ("t", 1e12);
+  ]
+
+let parse_value token =
+  let token = String.lowercase_ascii token in
+  let try_suffix (suffix, mult) =
+    let lt = String.length token and ls = String.length suffix in
+    if lt > ls && String.sub token (lt - ls) ls = suffix then
+      Option.map
+        (fun v -> v *. mult)
+        (float_of_string_opt (String.sub token 0 (lt - ls)))
+    else None
+  in
+  match float_of_string_opt token with
+  | Some v -> Some v
+  | None -> List.find_map try_suffix suffixes
+
+let parse_tolerance line token =
+  (* "1%" or "0.01" *)
+  let v =
+    if String.length token > 0 && token.[String.length token - 1] = '%' then
+      Option.map
+        (fun p -> p /. 100.)
+        (float_of_string_opt (String.sub token 0 (String.length token - 1)))
+    else float_of_string_opt token
+  in
+  match v with
+  | Some t when t >= 0. -> t
+  | Some _ -> fail line "negative tolerance"
+  | None -> fail line "malformed tolerance %S" token
+
+(* split "key=value" attributes from plain tokens *)
+let attributes line tokens =
+  List.partition_map
+    (fun token ->
+      match String.index_opt token '=' with
+      | None -> Right token
+      | Some i ->
+        let key = String.sub token 0 i
+        and v = String.sub token (i + 1) (String.length token - i - 1) in
+        if key = "" || v = "" then fail line "malformed attribute %S" token;
+        Left (String.lowercase_ascii key, v))
+    tokens
+
+let toleranced line value = function
+  | None -> Interval.crisp value
+  | Some tol_token ->
+    let rel = parse_tolerance line tol_token in
+    Interval.around value ~rel
+
+let number_of line token =
+  match parse_value token with
+  | Some v -> v
+  | None -> fail line "malformed value %S" token
+
+let component_of_card line card =
+  match String.split_on_char ' ' card |> List.filter (fun s -> s <> "") with
+  | [] -> None
+  | kind :: rest ->
+    let attrs, plain = attributes line rest in
+    let attr key = List.assoc_opt key attrs in
+    let tol = attr "tol" in
+    let value_attr key =
+      match attr key with
+      | Some v -> number_of line v
+      | None -> fail line "missing %s=" key
+    in
+    (match (String.lowercase_ascii kind, plain) with
+    | "r", [ name; p; n; value ] ->
+      Some
+        (Component.resistor name
+           ~ohms:(toleranced line (number_of line value) tol)
+           ~p ~n)
+    | "c", [ name; p; n; value ] ->
+      Some
+        (Component.capacitor name
+           ~farads:(toleranced line (number_of line value) tol)
+           ~p ~n)
+    | "l", [ name; p; n; value ] ->
+      Some
+        (Component.inductor name
+           ~henries:(toleranced line (number_of line value) tol)
+           ~p ~n)
+    | "v", [ name; p; n; value ] ->
+      Some
+        (Component.vsource name
+           ~volts:(toleranced line (number_of line value) tol)
+           ~p ~n)
+    | "a", [ name; input; output ] ->
+      Some
+        (Component.gain_block name
+           ~gain:(toleranced line (value_attr "gain") tol)
+           ~input ~output)
+    | "d", [ name; p; n ] ->
+      let imax = value_attr "imax" in
+      Some
+        (Component.diode name
+           ~forward_drop:(toleranced line (value_attr "vf") tol)
+           ~max_current:
+             (Interval.make ~m1:(-.Float.abs imax /. 100.) ~m2:imax ~alpha:0.
+                ~beta:(0.1 *. Float.abs imax))
+           ~p ~n)
+    | "q", [ name; b; c; e ] ->
+      Some
+        (Component.bjt name
+           ~beta:(toleranced line (value_attr "beta") tol)
+           ~vbe:(toleranced line (value_attr "vbe") tol)
+           ~b ~c ~e)
+    | ("r" | "c" | "l" | "v" | "a" | "d" | "q"), _ ->
+      fail line "wrong number of fields for a %s card" kind
+    | other, _ -> fail line "unknown card type %S" other)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse source =
+  let name = ref "netlist" and ground = ref "gnd" and ports = ref [] in
+  let components = ref [] in
+  let handle lineno raw =
+    let text = String.trim (strip_comment raw) in
+    if text = "" || text.[0] = '*' then ()
+    else if text.[0] = '.' then begin
+      match
+        String.split_on_char ' ' text |> List.filter (fun s -> s <> "")
+      with
+      | [ ".circuit"; n ] -> name := n
+      | [ ".ground"; n ] -> ground := n
+      | [ ".port"; n ] -> ports := n :: !ports
+      | directive :: _ -> fail lineno "unknown directive %S" directive
+      | [] -> ()
+    end
+    else
+      match component_of_card lineno text with
+      | Some comp -> components := comp :: !components
+      | None -> ()
+  in
+  match
+    String.split_on_char '\n' source
+    |> List.iteri (fun i l -> handle (i + 1) l)
+  with
+  | () -> begin
+    match
+      Netlist.make ~ports:!ports ~name:!name ~ground:!ground
+        (List.rev !components)
+    with
+    | netlist -> Ok netlist
+    | exception Netlist.Ill_formed message -> Error { line = 0; message }
+  end
+  | exception Fail e -> Error e
+
+let parse_file path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | source -> parse source
+  | exception Sys_error message -> Error { line = 0; message }
+
+let render_interval buf v =
+  let centre = Interval.centroid v in
+  let rel =
+    if centre = 0. then 0.
+    else
+      let lo, hi = Interval.support v in
+      (hi -. lo) /. 2. /. Float.abs centre
+  in
+  Buffer.add_string buf (Printf.sprintf "%.12g" centre);
+  if rel > 1e-12 then Buffer.add_string buf (Printf.sprintf " tol=%.12g" rel)
+
+let to_string (netlist : Netlist.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf ".circuit %s\n" netlist.Netlist.name);
+  Buffer.add_string buf (Printf.sprintf ".ground %s\n" netlist.Netlist.ground);
+  List.iter
+    (fun p -> Buffer.add_string buf (Printf.sprintf ".port %s\n" p))
+    netlist.Netlist.ports;
+  List.iter
+    (fun (c : Component.t) ->
+      let node t = Component.node_of c t in
+      (match c.Component.kind with
+      | Component.Resistor v ->
+        Buffer.add_string buf
+          (Printf.sprintf "R %s %s %s " c.Component.name (node "p") (node "n"));
+        render_interval buf v
+      | Component.Capacitor v ->
+        Buffer.add_string buf
+          (Printf.sprintf "C %s %s %s " c.Component.name (node "p") (node "n"));
+        render_interval buf v
+      | Component.Inductor v ->
+        Buffer.add_string buf
+          (Printf.sprintf "L %s %s %s " c.Component.name (node "p") (node "n"));
+        render_interval buf v
+      | Component.Voltage_source v ->
+        Buffer.add_string buf
+          (Printf.sprintf "V %s %s %s " c.Component.name (node "p") (node "n"));
+        render_interval buf v
+      | Component.Gain_block g ->
+        Buffer.add_string buf
+          (Printf.sprintf "A %s %s %s gain=%.12g" c.Component.name (node "in")
+             (node "out") (Interval.centroid g));
+        let lo, hi = Interval.support g in
+        let centre = Interval.centroid g in
+        let rel = if centre = 0. then 0. else (hi -. lo) /. 2. /. Float.abs centre in
+        if rel > 1e-12 then
+          Buffer.add_string buf (Printf.sprintf " tol=%.12g" rel)
+      | Component.Diode { forward_drop; max_current } ->
+        Buffer.add_string buf
+          (Printf.sprintf "D %s %s %s vf=%.12g imax=%.12g" c.Component.name
+             (node "p") (node "n")
+             (Interval.centroid forward_drop)
+             (snd (Interval.core max_current)))
+      | Component.Bjt { beta; vbe } ->
+        Buffer.add_string buf
+          (Printf.sprintf "Q %s %s %s %s beta=%.12g vbe=%.12g"
+             c.Component.name (node "b") (node "c") (node "e")
+             (Interval.centroid beta) (Interval.centroid vbe)));
+      Buffer.add_char buf '\n')
+    netlist.Netlist.components;
+  Buffer.contents buf

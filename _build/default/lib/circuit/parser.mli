@@ -1,0 +1,51 @@
+(** A small SPICE-flavoured netlist text format.
+
+    Example:
+    {v
+    * a toleranced voltage divider
+    .circuit divider
+    .ground gnd
+    V vin in gnd 10 tol=1%
+    R r1 in mid 10k tol=1%
+    R r2 mid gnd 10k tol=1%
+    v}
+
+    One component per line; [#] and [*] start comments.  Directives:
+
+    - [.circuit NAME] — circuit name (default: ["netlist"]);
+    - [.ground NODE] — ground node (default: ["gnd"]);
+    - [.port NODE] — declare an externally driven node.
+
+    Component cards ([NAME] must be unique; nodes are free-form tokens):
+
+    - [R name p n VALUE [tol=..]] — resistor, ohms
+    - [C name p n VALUE [tol=..]] — capacitor, farads
+    - [L name p n VALUE [tol=..]] — inductor, henries
+    - [V name p n VALUE [tol=..]] — voltage source, volts
+    - [A name in out gain=VALUE [tol=..]] — ideal gain block
+    - [D name p n vf=VALUE imax=VALUE] — conducting diode with fuzzy
+      current bound (the [imax] bound gets a 10 % upper flank)
+    - [Q name b c e beta=VALUE vbe=VALUE [tol=..]] — linear-region BJT
+
+    Values accept engineering suffixes
+    ([f p n u m k meg g t], case-insensitive).  [tol=] takes either a
+    percentage ([tol=1%]) or a fraction ([tol=0.01]) and sets symmetric
+    fuzzy flanks relative to the value; without it the parameter is
+    crisp. *)
+
+type error = { line : int; message : string }
+
+val parse : string -> (Netlist.t, error) result
+(** Parse the netlist source text. *)
+
+val parse_file : string -> (Netlist.t, error) result
+(** Read and parse a file; I/O failures are reported on line 0. *)
+
+val parse_value : string -> float option
+(** Parse one engineering-notation number ("10k" → 10000.). *)
+
+val to_string : Netlist.t -> string
+(** Render a netlist back to the text format (tolerances preserved as
+    fractions); [parse (to_string n)] reproduces [n]. *)
+
+val pp_error : Format.formatter -> error -> unit

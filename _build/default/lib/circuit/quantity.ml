@@ -1,0 +1,33 @@
+type t =
+  | Node_voltage of string
+  | Branch_current of string
+  | Terminal_current of string * string
+  | Voltage_drop of string
+  | Parameter of string * string
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+let voltage n = Node_voltage n
+let current c = Branch_current c
+let terminal_current c t = Terminal_current (c, t)
+let drop c = Voltage_drop c
+let parameter c p = Parameter (c, p)
+
+let pp ppf = function
+  | Node_voltage n -> Format.fprintf ppf "V(%s)" n
+  | Branch_current c -> Format.fprintf ppf "I(%s)" c
+  | Terminal_current (c, t) -> Format.fprintf ppf "I(%s.%s)" c t
+  | Voltage_drop c -> Format.fprintf ppf "U(%s)" c
+  | Parameter (c, p) -> Format.fprintf ppf "%s.%s" c p
+
+let to_string q = Format.asprintf "%a" pp q
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

@@ -1,0 +1,32 @@
+(** Physical quantities of a circuit under diagnosis.
+
+    A quantity identifies either a node voltage (referenced to ground), the
+    current through a two-terminal component (flowing from its [p] to its
+    [n] terminal), a transistor terminal current, or a component parameter
+    (resistance, gain, beta, ...). *)
+
+type t =
+  | Node_voltage of string  (** [V(node)] in volts *)
+  | Branch_current of string  (** [I(component)] in amperes, p → n *)
+  | Terminal_current of string * string
+      (** [I(component.terminal)] for multi-terminal devices *)
+  | Voltage_drop of string  (** [U(component)] across a two-terminal device *)
+  | Parameter of string * string  (** [component.param] in SI units *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val voltage : string -> t
+val current : string -> t
+val terminal_current : string -> string -> t
+val drop : string -> t
+val parameter : string -> string -> t
+
+val pp : Format.formatter -> t -> unit
+(** [V(n1)], [I(r1)], [I(t1.b)], [r1.R]. *)
+
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

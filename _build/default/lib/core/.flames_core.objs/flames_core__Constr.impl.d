@@ -1,0 +1,1 @@
+lib/core/constr.ml: Flames_atms Flames_circuit Flames_fuzzy Format List Option

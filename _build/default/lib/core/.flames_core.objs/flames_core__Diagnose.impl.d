@@ -1,0 +1,1 @@
+lib/core/diagnose.ml: Constr Flames_atms Flames_circuit Flames_fuzzy Flames_sim Float List Model Option Propagate Value

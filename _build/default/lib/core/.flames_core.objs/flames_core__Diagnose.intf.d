@@ -1,0 +1,1 @@
+lib/core/diagnose.mli: Flames_atms Flames_circuit Flames_fuzzy Model Propagate

@@ -1,0 +1,1 @@
+lib/core/dynamic.ml: Array Flames_atms Flames_circuit Flames_fuzzy Flames_sim Float Format List Option Printf

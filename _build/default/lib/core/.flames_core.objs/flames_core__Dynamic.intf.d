@@ -1,0 +1,1 @@
+lib/core/dynamic.mli: Flames_atms Flames_circuit Flames_fuzzy Flames_sim Format

@@ -1,0 +1,1 @@
+lib/core/model.ml: Array Constr Flames_atms Flames_circuit Flames_fuzzy Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/core/model.mli: Constr Flames_atms Flames_circuit Format

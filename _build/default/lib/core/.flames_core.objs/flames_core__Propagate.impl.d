@@ -1,0 +1,1 @@
+lib/core/propagate.ml: Constr Flames_atms Flames_circuit Flames_fuzzy Float Format Hashtbl List Logs Model Option Queue Value

@@ -1,0 +1,1 @@
+lib/core/propagate.mli: Flames_atms Flames_circuit Flames_fuzzy Format Model Value

@@ -1,0 +1,1 @@
+lib/core/report.ml: Diagnose Flames_atms Flames_circuit Flames_fuzzy Format List Printf Propagate String

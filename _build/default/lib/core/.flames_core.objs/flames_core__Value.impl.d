@@ -1,0 +1,1 @@
+lib/core/value.ml: Flames_atms Flames_fuzzy Float Format Int Set String

@@ -1,0 +1,1 @@
+lib/core/value.mli: Flames_atms Flames_fuzzy Format Set

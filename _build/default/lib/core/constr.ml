@@ -1,0 +1,112 @@
+module Interval = Flames_fuzzy.Interval
+module Arith = Flames_fuzzy.Arith
+module Env = Flames_atms.Env
+module Quantity = Flames_circuit.Quantity
+
+type form =
+  | Linear of (float * Quantity.t) list * float
+  | Product of Quantity.t * Quantity.t * Quantity.t
+  | Bound of Quantity.t * Interval.t
+  | Nominal of Quantity.t * Interval.t
+
+type t = {
+  name : string;
+  form : form;
+  assumptions : Env.t;
+  degree : float;
+  guards : (Quantity.t * Interval.t) list;
+}
+
+let make ?(degree = 1.) ?(assumptions = Env.empty) ?(guards = []) name form =
+  (match form with
+  | Linear (terms, _) ->
+    if List.length terms < 2 then
+      invalid_arg (name ^ ": linear constraint needs at least two terms");
+    if List.exists (fun (c, _) -> c = 0.) terms then
+      invalid_arg (name ^ ": zero coefficient in linear constraint");
+    let qs = List.map snd terms in
+    if List.length (List.sort_uniq Quantity.compare qs) <> List.length qs then
+      invalid_arg (name ^ ": repeated quantity in linear constraint")
+  | Product (q0, q1, q2) ->
+    if Quantity.equal q0 q1 || Quantity.equal q0 q2 || Quantity.equal q1 q2
+    then invalid_arg (name ^ ": repeated quantity in product constraint")
+  | Bound _ | Nominal _ -> ());
+  { name; form; assumptions; degree = Flames_fuzzy.Tnorm.clamp01 degree; guards }
+
+let vars c =
+  match c.form with
+  | Linear (terms, _) -> List.map snd terms
+  | Product (q0, q1, q2) -> [ q0; q1; q2 ]
+  | Bound (q, _) | Nominal (q, _) -> [ q ]
+
+let is_generative c =
+  match c.form with
+  | Bound _ | Nominal _ -> true
+  | Linear _ | Product _ -> false
+
+let sources c = if is_generative c then [] else vars c
+
+let guard f = try f () with Arith.Undefined _ -> None
+
+let solve_for c target lookup =
+  match c.form with
+  | Bound (q, set) | Nominal (q, set) ->
+    if Quantity.equal q target then Some set else None
+  | Linear (terms, k) ->
+    if not (List.exists (fun (_, q) -> Quantity.equal q target) terms) then None
+    else begin
+      (* target = (k - Σ_{i≠t} cᵢ qᵢ) / c_t *)
+      let rec gather acc coeff = function
+        | [] -> Option.map (fun acc -> (acc, coeff)) (Some acc)
+        | (ci, qi) :: rest ->
+          if Quantity.equal qi target then gather acc (Some ci) rest
+          else begin
+            match lookup qi with
+            | None -> None
+            | Some v -> begin
+              match gather acc coeff rest with
+              | None -> None
+              | Some (acc, coeff) -> Some (Arith.add acc (Arith.scale ci v), coeff)
+            end
+          end
+      in
+      match gather (Interval.crisp 0.) None terms with
+      | Some (total, Some ct) ->
+        Some (Arith.scale (1. /. ct) (Arith.sub (Interval.crisp k) total))
+      | Some (_, None) | None -> None
+    end
+  | Product (q0, q1, q2) ->
+    let v q = lookup q in
+    if Quantity.equal target q0 then
+      match (v q1, v q2) with
+      | Some a, Some b -> Some (Arith.mul a b)
+      | None, _ | _, None -> None
+    else if Quantity.equal target q1 then
+      match (v q0, v q2) with
+      | Some a, Some b -> guard (fun () -> Some (Arith.div a b))
+      | None, _ | _, None -> None
+    else if Quantity.equal target q2 then
+      match (v q0, v q1) with
+      | Some a, Some b -> guard (fun () -> Some (Arith.div a b))
+      | None, _ | _, None -> None
+    else None
+
+let pp ppf c =
+  let pp_form ppf = function
+    | Linear (terms, k) ->
+      Format.fprintf ppf "%a = %g"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
+           (fun ppf (coeff, q) ->
+             if coeff = 1. then Quantity.pp ppf q
+             else Format.fprintf ppf "%g·%a" coeff Quantity.pp q))
+        terms k
+    | Product (q0, q1, q2) ->
+      Format.fprintf ppf "%a = %a ⊗ %a" Quantity.pp q0 Quantity.pp q1
+        Quantity.pp q2
+    | Bound (q, set) ->
+      Format.fprintf ppf "%a ∈ %a" Quantity.pp q Interval.pp set
+    | Nominal (q, set) ->
+      Format.fprintf ppf "%a ≐ %a" Quantity.pp q Interval.pp set
+  in
+  Format.fprintf ppf "%s: %a" c.name pp_form c.form

@@ -1,0 +1,67 @@
+(** Multidirectional fuzzy constraints.
+
+    A constraint relates a tuple of quantities; it can compute any one of
+    its variables from the values of the others using fuzzy arithmetic
+    (the paper's section 6.2: "a resistor is governed by Ir = Vr / r and
+    Vr = Ir * r").  Three structured forms cover the circuit models:
+
+    - {e linear}: [Σ cᵢ·qᵢ = k] — Kirchhoff laws, fixed voltage drops;
+    - {e product}: [q₀ = q₁ ⊗ q₂] — Ohm's law, gain and beta relations;
+    - {e bound}: [q ∈ S] — model inequalities such as the paper's diode
+      current bound [[-1, 100, 0, 10] µA];
+    - {e nominal}: [q = S] — a database nominal value.
+
+    Bound and nominal constraints have no antecedents: they generate a
+    value for their quantity under their assumption set. *)
+
+module Interval = Flames_fuzzy.Interval
+module Env = Flames_atms.Env
+module Quantity = Flames_circuit.Quantity
+
+type form =
+  | Linear of (float * Quantity.t) list * float  (** [Σ cᵢ·qᵢ = k] *)
+  | Product of Quantity.t * Quantity.t * Quantity.t  (** [q₀ = q₁ ⊗ q₂] *)
+  | Bound of Quantity.t * Interval.t
+  | Nominal of Quantity.t * Interval.t
+
+type t = private {
+  name : string;
+  form : form;
+  assumptions : Env.t;  (** assumptions under which the relation holds *)
+  degree : float;  (** certainty of the clause, in (0, 1] *)
+  guards : (Quantity.t * Interval.t) list;
+      (** fuzzy applicability conditions: the constraint fires with its
+          degree scaled by the possibility that every guard quantity lies
+          in its guard set (the paper's qualitative rules, e.g. "if
+          Vbe(T) ≥ 0.4 then T is ON", section 6.2; the active-region
+          condition Vce > Vce,sat guards the β relations).  Evaluated
+          against observational values only; absent evidence leaves the
+          degree unchanged. *)
+}
+
+val make :
+  ?degree:float ->
+  ?assumptions:Env.t ->
+  ?guards:(Quantity.t * Interval.t) list ->
+  string ->
+  form ->
+  t
+(** @raise Invalid_argument on a linear form with a zero coefficient or
+    fewer than two terms, or a product with repeated quantities. *)
+
+val vars : t -> Quantity.t list
+(** The quantities the constraint mentions (no duplicates). *)
+
+val sources : t -> Quantity.t list
+(** The quantities that must be known before the constraint can fire
+    towards a target; empty for generative (bound/nominal) forms. *)
+
+val solve_for :
+  t -> Quantity.t -> (Quantity.t -> Interval.t option) -> Interval.t option
+(** [solve_for c q lookup] computes the value of [q] implied by [c] and
+    the other variables' values from [lookup]; [None] when a needed value
+    is missing, [q] is not a variable of [c], or the fuzzy operation is
+    undefined (division by a zero-spanning interval). *)
+
+val is_generative : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,332 @@
+module Interval = Flames_fuzzy.Interval
+module Consistency = Flames_fuzzy.Consistency
+module Env = Flames_atms.Env
+module Candidates = Flames_atms.Candidates
+module Quantity = Flames_circuit.Quantity
+module Netlist = Flames_circuit.Netlist
+module Component = Flames_circuit.Component
+module Fault = Flames_circuit.Fault
+
+type observation = Quantity.t * Interval.t
+
+type symptom = {
+  quantity : Quantity.t;
+  measured : Interval.t;
+  predicted : Interval.t option;
+  verdict : Consistency.verdict option;
+  signed_dc : float option;
+}
+
+type mode_estimate = {
+  parameter : string;
+  nominal : float;
+  estimated : float option;
+  fit_residual : float option;
+  modes : (Fault.mode * float) list;
+}
+
+type suspect = {
+  component : string;
+  suspicion : float;
+  explains : bool;
+  estimates : mode_estimate list;
+}
+
+let fit_threshold = 0.05
+
+type result = {
+  netlist : Netlist.t;
+  symptoms : symptom list;
+  conflicts : Candidates.conflict list;
+  suspects : suspect list;
+  diagnoses : (string list * float) list;
+  single_faults : (string * float) list;
+  engine : Propagate.t;
+}
+
+(* The verdict uses the same consistency measure as the engine: the
+   area-based Dc complemented by the possibility of matching, so a
+   measurement that is merely wider than its prediction (but centred on
+   it) reads as consistent. *)
+let adjusted_verdict ~measured ~nominal =
+  let v = Consistency.verdict ~measured ~nominal in
+  let dc =
+    Float.max v.Consistency.dc
+      (Flames_fuzzy.Piecewise.height_of_min measured nominal)
+  in
+  let direction =
+    if dc >= 0.995 then Consistency.Within else v.Consistency.direction
+  in
+  { Consistency.dc; direction }
+
+let symptom_of prediction_engine (q, measured) =
+  let predicted =
+    Option.map
+      (fun v -> v.Value.interval)
+      (Propagate.best_value prediction_engine ~observational:false q)
+  in
+  let verdict =
+    Option.map (fun nominal -> adjusted_verdict ~measured ~nominal) predicted
+  in
+  let signed_dc =
+    Option.map
+      (fun (v : Consistency.verdict) ->
+        match v.Consistency.direction with
+        | Consistency.Within -> v.Consistency.dc
+        | Consistency.High ->
+          if v.Consistency.dc = 0. then 1. else v.Consistency.dc
+        | Consistency.Low ->
+          if v.Consistency.dc = 0. then -1. else -.v.Consistency.dc)
+      verdict
+  in
+  { quantity = q; measured; predicted; verdict; signed_dc }
+
+(* Fault-mode refinement by model fitting: the faulty value of a suspect
+   parameter is estimated by re-simulating the circuit over a logarithmic
+   sweep of candidate values (plus two local refinement passes) and
+   keeping the value that best reproduces the measurements.  This is the
+   paper's "component fault models can help the diagnosis process" —
+   a candidate explains the symptoms only if some value of its parameter
+   reproduces them. *)
+let observation_residual netlist observations =
+  match Flames_sim.Mna.solve netlist with
+  | exception (Flames_sim.Mna.No_convergence _ | Flames_sim.Linalg.Singular) ->
+    None
+  | sol ->
+    let err =
+      List.fold_left
+        (fun acc (q, measured) ->
+          match q with
+          | Quantity.Node_voltage n -> begin
+            match List.assoc_opt n sol.Flames_sim.Mna.voltages with
+            | None -> acc
+            | Some v ->
+              let m = Interval.centroid measured in
+              let scale = Float.max 0.05 (Float.abs m) in
+              acc +. (((v -. m) /. scale) ** 2.)
+          end
+          | Quantity.Branch_current _ | Quantity.Terminal_current _
+          | Quantity.Voltage_drop _ | Quantity.Parameter _ ->
+            acc)
+        0. observations
+    in
+    Some err
+
+let fit_parameter netlist observations comp parameter =
+  let nominal = Interval.centroid (Component.nominal_parameter comp parameter) in
+  if nominal = 0. then None
+  else
+    let try_value v =
+      let net' =
+        Netlist.replace netlist
+          (Component.with_parameter comp parameter (Interval.crisp v))
+      in
+      Option.map (fun r -> (v, r)) (observation_residual net' observations)
+    in
+    let best_of candidates =
+      List.filter_map try_value candidates
+      |> List.fold_left
+           (fun best (v, r) ->
+             match best with
+             | Some (_, br) when br <= r -> best
+             | Some _ | None -> Some (v, r))
+           None
+    in
+    let coarse =
+      List.map
+        (fun m -> nominal *. m)
+        [ 1e-6; 1e-3; 0.01; 0.05; 0.1; 0.2; 0.3; 0.5; 0.7; 0.85; 0.95; 1.;
+          1.05; 1.15; 1.3; 1.5; 2.; 3.; 5.; 10.; 100.; 1e3; 1e6; 1e9 ]
+    in
+    match best_of coarse with
+    | None -> None
+    | Some (v0, _) ->
+      let refine centre factors = List.map (fun f -> centre *. f) factors in
+      let pass1 =
+        best_of (refine v0 [ 0.5; 0.67; 0.8; 0.9; 1.; 1.1; 1.25; 1.5; 2. ])
+      in
+      let v1 = match pass1 with Some (v, _) -> v | None -> v0 in
+      let pass2 =
+        best_of (refine v1 [ 0.94; 0.96; 0.98; 1.; 1.02; 1.04; 1.06 ])
+      in
+      (match pass2 with Some (v, r) -> Some (v, r) | None -> pass1)
+
+let mode_estimates netlist observations engine comp =
+  let name = comp.Component.name in
+  let simulatable = netlist.Netlist.ports = [] in
+  List.filter_map
+    (fun parameter ->
+      let nominal =
+        Interval.centroid (Component.nominal_parameter comp parameter)
+      in
+      let fitted =
+        if simulatable then fit_parameter netlist observations comp parameter
+        else None
+      in
+      match fitted with
+      | Some (actual, residual) ->
+        Some
+          {
+            parameter;
+            nominal;
+            estimated = Some actual;
+            fit_residual = Some residual;
+            modes = Fault.classify ~nominal ~actual;
+          }
+      | None -> begin
+        (* fallback: the engine's measurement-side estimate, when local
+           propagation produced one (externally driven circuits) *)
+        let q = Quantity.parameter name parameter in
+        match Propagate.best_value engine ~observational:true q with
+        | None ->
+          Some
+            { parameter; nominal; estimated = None; fit_residual = None;
+              modes = [] }
+        | Some v ->
+          let actual = Interval.centroid v.Value.interval in
+          Some
+            {
+              parameter;
+              nominal;
+              estimated = Some actual;
+              fit_residual = None;
+              modes = Fault.classify ~nominal ~actual;
+            }
+      end)
+    (Component.parameter_names comp.Component.kind)
+
+(* Global nominal predictions from the DC simulator, the stand-in for the
+   physical test bench's model predictions.  Each node prediction holds
+   under the assumptions of the components that actually influence the
+   node (finite-difference sensitivity), so a conflict on a probed node
+   suspects exactly its signal path — the paper's "measuring Vs to be
+   faulty suspects all the modules", while a conflict on an intermediate
+   probe suspects only the upstream stage.  The prediction's fuzzy width
+   is the voltage uncertainty the component tolerances induce. *)
+let simulator_predictions netlist model ~floor ~threshold =
+  if netlist.Flames_circuit.Netlist.ports <> [] then
+    (* an externally driven circuit cannot be simulated on its own *)
+    []
+  else
+  match Flames_sim.Sensitivity.analyze netlist with
+  | exception
+      ( Flames_sim.Mna.No_convergence _ | Flames_sim.Linalg.Singular
+      | Flames_circuit.Netlist.Ill_formed _ ) ->
+    []
+  | reports ->
+    List.filter_map
+      (fun (r : Flames_sim.Sensitivity.node_report) ->
+        let supporters = Flames_sim.Sensitivity.supporters ~threshold r in
+        if supporters = [] then
+          (* nothing influences the node: it is pinned by trusted
+             sources and the constraint model derives it exactly *)
+          None
+        else
+          let spread = Float.max r.Flames_sim.Sensitivity.total_spread floor in
+          let env =
+            supporters
+            |> List.filter_map (fun c ->
+                   match Model.assumption_id model c with
+                   | id -> Some id
+                   | exception Not_found -> None (* trusted component *))
+            |> Env.of_list
+          in
+          Some
+            ( Quantity.voltage r.Flames_sim.Sensitivity.node,
+              Interval.number r.Flames_sim.Sensitivity.nominal ~spread,
+              env ))
+      reports
+
+let run ?config ?limits ?(prediction_floor = 1e-3)
+    ?(sensitivity_threshold = 0.02) ?(prediction_degree = 0.95)
+    ?(simulate_predictions = true) netlist observations =
+  let model = Model.compile ?config netlist in
+  let predictions =
+    if simulate_predictions then
+      simulator_predictions netlist model ~floor:prediction_floor
+        ~threshold:sensitivity_threshold
+    else []
+  in
+  let degree = prediction_degree in
+  (* prediction pass: nominals only *)
+  let prediction = Propagate.create ?limits model in
+  List.iter
+    (fun (q, v, env) -> Propagate.predict prediction ~degree q v env)
+    predictions;
+  Propagate.run prediction;
+  (* full pass with observations *)
+  let full_pass ~guard_evidence =
+    let engine = Propagate.create ?limits model in
+    Propagate.set_guard_evidence engine guard_evidence;
+    List.iter
+      (fun (q, v, env) -> Propagate.predict engine ~degree q v env)
+      predictions;
+    List.iter (fun (q, v) -> Propagate.observe engine q v) observations;
+    Propagate.run engine;
+    engine
+  in
+  let first = full_pass ~guard_evidence:[] in
+  (* Guards are evaluated when a constraint fires, but the observational
+     evidence for a guard quantity (e.g. a transistor's Vce reconstructed
+     from two probes) may only appear later in the same run — values
+     derived before the evidence arrived would survive with a stale guard
+     degree.  A second pass with the first pass's guard evidence injected
+     up-front makes guard evaluation deterministic. *)
+  let guard_quantities =
+    List.concat_map
+      (fun (c : Constr.t) -> List.map fst c.Constr.guards)
+      model.Model.constraints
+    |> List.sort_uniq Quantity.compare
+  in
+  let guard_evidence =
+    List.filter_map
+      (fun q ->
+        match Propagate.best_value first ~observational:true q with
+        | Some v -> Some (q, v.Value.interval)
+        | None -> None)
+      guard_quantities
+  in
+  let engine =
+    if guard_evidence = [] then first else full_pass ~guard_evidence
+  in
+  let symptoms = List.map (symptom_of prediction) observations in
+  let conflicts = Propagate.conflicts engine in
+  let name_of id = Model.assumption_name model id in
+  let suspects =
+    Candidates.suspicions conflicts
+    |> List.filter_map (fun (id, suspicion) ->
+           let component = name_of id in
+           if Netlist.mem netlist component then
+             let comp = Netlist.find netlist component in
+             let estimates =
+               mode_estimates netlist observations engine comp
+             in
+             let explains =
+               List.exists
+                 (fun e ->
+                   match e.fit_residual with
+                   | Some r -> r <= fit_threshold
+                   | None -> false)
+                 estimates
+             in
+             Some { component; suspicion; explains; estimates }
+           else
+             Some { component; suspicion; explains = false; estimates = [] })
+  in
+  let diagnoses =
+    Candidates.diagnoses conflicts
+    |> List.map (fun (d : Candidates.diagnosis) ->
+           (List.map name_of (Env.to_list d.Candidates.members), d.Candidates.rank))
+  in
+  let single_faults =
+    Candidates.single_faults conflicts
+    |> List.map (fun (id, degree) -> (name_of id, degree))
+  in
+  { netlist; symptoms; conflicts; suspects; diagnoses; single_faults; engine }
+
+let healthy result = result.conflicts = []
+
+let suspects_above result threshold =
+  result.suspects
+  |> List.filter (fun s -> s.suspicion >= threshold)
+  |> List.map (fun s -> s.component)

@@ -1,0 +1,103 @@
+(** Top-level model-based diagnosis driver (paper sections 5–6.3).
+
+    Given a circuit and a set of measurements, the driver
+
+    + compiles the netlist into fuzzy constraints ({!Model}),
+    + runs a prediction pass from nominals alone,
+    + runs the full propagation with the observations,
+    + collects the weighted conflicts and derives ranked candidates,
+    + refines each suspect with fault-mode estimation: parameter values
+      reconstructed from the measurements are matched against the fuzzy
+      fault-mode regions (open / short / high / low) of section 7. *)
+
+module Interval = Flames_fuzzy.Interval
+module Consistency = Flames_fuzzy.Consistency
+module Quantity = Flames_circuit.Quantity
+module Netlist = Flames_circuit.Netlist
+module Fault = Flames_circuit.Fault
+module Candidates = Flames_atms.Candidates
+
+type observation = Quantity.t * Interval.t
+
+type symptom = {
+  quantity : Quantity.t;
+  measured : Interval.t;
+  predicted : Interval.t option;  (** tightest nominal-pass prediction *)
+  verdict : Consistency.verdict option;
+  signed_dc : float option;  (** the paper's fig-7 display convention *)
+}
+
+type mode_estimate = {
+  parameter : string;
+  nominal : float;
+  estimated : float option;
+      (** fitted faulty value (simulator sweep), or the measurement-side
+          propagation estimate on externally driven circuits *)
+  fit_residual : float option;
+      (** residual of the best fit: the summed squared normalised probe
+          error when the circuit is re-simulated with [estimated];
+          [None] when no fit was possible *)
+  modes : (Fault.mode * float) list;  (** matching fault modes, best first *)
+}
+
+type suspect = {
+  component : string;
+  suspicion : float;  (** max degree of a conflict implicating it *)
+  explains : bool;
+      (** some value of one of its parameters reproduces every
+          measurement (fit residual below {!fit_threshold}) — the
+          single-fault explanations among the suspects *)
+  estimates : mode_estimate list;
+}
+
+val fit_threshold : float
+(** Residual below which a fit counts as explaining the symptoms
+    (0.05 summed squared normalised error). *)
+
+type result = {
+  netlist : Netlist.t;
+  symptoms : symptom list;
+  conflicts : Candidates.conflict list;
+  suspects : suspect list;  (** most suspect first *)
+  diagnoses : (string list * float) list;
+      (** minimal diagnoses as component-name sets with their rank *)
+  single_faults : (string * float) list;
+      (** components alone explaining every conflict *)
+  engine : Propagate.t;  (** the underlying engine, for inspection *)
+}
+
+val run :
+  ?config:Model.config ->
+  ?limits:Propagate.limits ->
+  ?prediction_floor:float ->
+  ?sensitivity_threshold:float ->
+  ?prediction_degree:float ->
+  ?simulate_predictions:bool ->
+  Netlist.t ->
+  observation list ->
+  result
+(** [run netlist observations] performs a full diagnosis.
+
+    When [simulate_predictions] is [true] (the default) and the circuit is
+    solvable, nominal node voltages computed by the DC simulator are added
+    as model-side predictions — the stand-in for the global predictions
+    the paper's engine obtains from its models, which pure local
+    propagation cannot derive on circuits with simultaneous constraints
+    (bias networks).  Each prediction holds under the assumptions of the
+    components whose sensitivity on the node reaches
+    [sensitivity_threshold] (relative to the strongest, default 0.02);
+    its fuzzy width is the tolerance-induced voltage uncertainty, at
+    least [prediction_floor] volts (default 1 mV).
+
+    Simulator predictions carry certainty [prediction_degree] (default
+    0.95, not 1): they are linearisations at the nominal operating point,
+    so their assumption sets can be incomplete when a fault moves the
+    operating region — capping their degree guarantees that the sound
+    degree-1 conflicts found by local constraint propagation are never
+    subsumed by an approximate prediction conflict. *)
+
+val healthy : result -> bool
+(** No conflict was recorded at all. *)
+
+val suspects_above : result -> float -> string list
+(** Components whose suspicion reaches the threshold, ranked. *)

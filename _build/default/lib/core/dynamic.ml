@@ -1,0 +1,326 @@
+module Interval = Flames_fuzzy.Interval
+module Consistency = Flames_fuzzy.Consistency
+module Env = Flames_atms.Env
+module Nogood = Flames_atms.Nogood
+module Candidates = Flames_atms.Candidates
+module Netlist = Flames_circuit.Netlist
+module Component = Flames_circuit.Component
+module Fault = Flames_circuit.Fault
+module Ac = Flames_sim.Ac
+
+type observation = {
+  node : string;
+  frequency : float;
+  magnitude : Interval.t;
+}
+
+let observe ?(instrument = Flames_sim.Measure.default_instrument) ?source
+    netlist ~node ~frequency =
+  let response = Ac.solve ?source netlist frequency in
+  let reading = Ac.magnitude response node in
+  { node; frequency; magnitude = Flames_sim.Measure.fuzzify instrument reading }
+
+type symptom = {
+  observation : observation;
+  predicted : Interval.t option;
+  verdict : Consistency.verdict option;
+}
+
+type mode_estimate = {
+  parameter : string;
+  nominal : float;
+  estimated : float option;
+  fit_residual : float option;
+  modes : (Fault.mode * float) list;
+}
+
+type suspect = {
+  component : string;
+  suspicion : float;
+  explains : bool;
+  estimates : mode_estimate list;
+}
+
+type result = {
+  netlist : Netlist.t;
+  symptoms : symptom list;
+  conflicts : Candidates.conflict list;
+  suspects : suspect list;
+  diagnoses : (string list * float) list;
+  assumption_names : string array;
+}
+
+let fit_threshold = 0.05
+let probe_step = 0.01
+
+let magnitude_at ?source netlist ~node ~frequency =
+  match Ac.solve ?source netlist frequency with
+  | r -> Some (Ac.magnitude r node)
+  | exception (Flames_sim.Clinalg.Singular | Ac.Unsupported _) -> None
+
+let with_param netlist (c : Component.t) param value =
+  Netlist.replace netlist
+    (Component.with_parameter c param (Interval.crisp value))
+
+(* Per-observation prediction: nominal magnitude plus, per component, the
+   tolerance-induced spread (1 % move scaled to the tolerance) and the
+   fault-world influence (1 % move and parameter-appropriate extremes) —
+   the frequency-domain analogue of [Flames_sim.Sensitivity]. *)
+let extreme_multipliers = function
+  | "R" | "C" | "L" -> [ 1e-6; 1e9 ]
+  | "V" -> [ 1e-6; 2. ]
+  | "gain" -> [ 1e-6; 10. ]
+  | _ -> []
+
+let relative_tolerance interval =
+  let lo, hi = Interval.support interval in
+  let c = Interval.centroid interval in
+  if c = 0. then 0. else (hi -. lo) /. 2. /. Float.abs c
+
+type prediction = {
+  nominal_mag : float;
+  spread : float;
+  influences : (string * float) list;  (** component → worst-case |Δmag| *)
+}
+
+let predict ?source netlist ~node ~frequency =
+  match magnitude_at ?source netlist ~node ~frequency with
+  | None -> None
+  | Some base ->
+    let per_component =
+      List.map
+        (fun (c : Component.t) ->
+          let influence, spread =
+            List.fold_left
+              (fun (influence, spread) param ->
+                let nominal = Component.nominal_parameter c param in
+                let centre = Interval.centroid nominal in
+                if centre = 0. then (influence, spread)
+                else
+                  let mag_with mult =
+                    magnitude_at ?source
+                      (with_param netlist c param (centre *. mult))
+                      ~node ~frequency
+                  in
+                  match mag_with (1. +. probe_step) with
+                  | None -> (influence, spread)
+                  | Some moved ->
+                    let dv = Float.abs (moved -. base) in
+                    let tol = relative_tolerance nominal in
+                    let dv_extreme =
+                      List.fold_left
+                        (fun acc mult ->
+                          match mag_with mult with
+                          | Some m -> Float.max acc (Float.abs (m -. base))
+                          | None -> acc)
+                        dv (extreme_multipliers param)
+                    in
+                    ( Float.max influence dv_extreme,
+                      spread +. (dv *. (tol /. probe_step)) ))
+              (0., 0.)
+              (Component.parameter_names c.Component.kind)
+          in
+          (c.Component.name, influence, spread))
+        netlist.Netlist.components
+    in
+    let spread =
+      List.fold_left (fun acc (_, _, s) -> acc +. s) 0. per_component
+    in
+    let influences = List.map (fun (n, i, _) -> (n, i)) per_component in
+    Some { nominal_mag = base; spread; influences }
+
+let supporters ~threshold prediction =
+  let max_influence =
+    List.fold_left
+      (fun acc (_, i) -> Float.max acc i)
+      0. prediction.influences
+  in
+  if max_influence <= 0. then []
+  else
+    prediction.influences
+    |> List.filter (fun (_, i) -> i >= threshold *. max_influence)
+    |> List.map fst
+
+let residual ?source netlist observations =
+  let rec total acc = function
+    | [] -> Some acc
+    | o :: rest -> begin
+      match
+        magnitude_at ?source netlist ~node:o.node ~frequency:o.frequency
+      with
+      | None -> None
+      | Some m ->
+        let measured = Interval.centroid o.magnitude in
+        let scale = Float.max 0.01 (Float.abs measured) in
+        total (acc +. (((m -. measured) /. scale) ** 2.)) rest
+    end
+  in
+  total 0. observations
+
+let fit_parameter ?source netlist observations (c : Component.t) param =
+  let nominal = Interval.centroid (Component.nominal_parameter c param) in
+  if nominal = 0. then None
+  else
+    let try_value v =
+      Option.map (fun r -> (v, r))
+        (residual ?source (with_param netlist c param v) observations)
+    in
+    let best_of candidates =
+      List.filter_map try_value candidates
+      |> List.fold_left
+           (fun best (v, r) ->
+             match best with
+             | Some (_, br) when br <= r -> best
+             | Some _ | None -> Some (v, r))
+           None
+    in
+    let coarse =
+      List.map
+        (fun m -> nominal *. m)
+        [ 1e-6; 1e-3; 0.01; 0.1; 0.3; 0.5; 0.7; 0.85; 0.95; 1.; 1.05; 1.15;
+          1.3; 1.5; 2.; 3.; 10.; 100.; 1e3; 1e6 ]
+    in
+    match best_of coarse with
+    | None -> None
+    | Some (v0, _) ->
+      let refine centre fs = List.map (fun f -> centre *. f) fs in
+      let pass1 = best_of (refine v0 [ 0.5; 0.7; 0.85; 1.; 1.15; 1.4; 2. ]) in
+      let v1 = match pass1 with Some (v, _) -> v | None -> v0 in
+      let pass2 = best_of (refine v1 [ 0.94; 0.97; 1.; 1.03; 1.06 ]) in
+      (match pass2 with Some _ -> pass2 | None -> pass1)
+
+let run ?(trusted = []) ?source ?(min_conflict_degree = 0.02) netlist
+    observations =
+  let assumption_names =
+    Netlist.component_names netlist
+    |> List.filter (fun n -> not (List.mem n trusted))
+    |> Array.of_list
+  in
+  let id_of name =
+    let n = Array.length assumption_names in
+    let rec find i =
+      if i >= n then None
+      else if assumption_names.(i) = name then Some i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let db = Nogood.create () in
+  let symptoms =
+    List.map
+      (fun o ->
+        match predict ?source netlist ~node:o.node ~frequency:o.frequency with
+        | None -> { observation = o; predicted = None; verdict = None }
+        | Some p ->
+          let spread = Float.max p.spread (0.002 *. Float.abs p.nominal_mag) in
+          let predicted = Interval.number p.nominal_mag ~spread in
+          let verdict =
+            let v =
+              Consistency.verdict ~measured:o.magnitude ~nominal:predicted
+            in
+            let dc =
+              Float.max v.Consistency.dc
+                (Flames_fuzzy.Piecewise.height_of_min o.magnitude predicted)
+            in
+            {
+              Consistency.dc;
+              direction =
+                (if dc >= 0.995 then Consistency.Within
+                 else v.Consistency.direction);
+            }
+          in
+          let degree = 1. -. verdict.Consistency.dc in
+          if degree >= min_conflict_degree then begin
+            let env =
+              supporters ~threshold:0.02 p
+              |> List.filter_map id_of
+              |> Env.of_list
+            in
+            let reason =
+              Printf.sprintf "|V(%s)| @ %g Hz" o.node o.frequency
+            in
+            ignore (Nogood.record db ~reason env degree)
+          end;
+          { observation = o; predicted = Some predicted; verdict = Some verdict })
+      observations
+  in
+  let conflicts = Candidates.of_nogoods (Nogood.entries db) in
+  let name_of id = assumption_names.(id) in
+  let suspects =
+    Candidates.suspicions conflicts
+    |> List.map (fun (id, suspicion) ->
+           let component = name_of id in
+           let comp = Netlist.find netlist component in
+           let estimates =
+             List.map
+               (fun parameter ->
+                 let nominal =
+                   Interval.centroid (Component.nominal_parameter comp parameter)
+                 in
+                 match fit_parameter ?source netlist observations comp parameter with
+                 | Some (actual, r) ->
+                   {
+                     parameter;
+                     nominal;
+                     estimated = Some actual;
+                     fit_residual = Some r;
+                     modes = Fault.classify ~nominal ~actual;
+                   }
+                 | None ->
+                   {
+                     parameter;
+                     nominal;
+                     estimated = None;
+                     fit_residual = None;
+                     modes = [];
+                   })
+               (Component.parameter_names comp.Component.kind)
+           in
+           let explains =
+             List.exists
+               (fun e ->
+                 match e.fit_residual with
+                 | Some r -> r <= fit_threshold
+                 | None -> false)
+               estimates
+           in
+           { component; suspicion; explains; estimates })
+  in
+  let diagnoses =
+    Candidates.diagnoses conflicts
+    |> List.map (fun (d : Candidates.diagnosis) ->
+           (List.map name_of (Env.to_list d.Candidates.members), d.Candidates.rank))
+  in
+  { netlist; symptoms; conflicts; suspects; diagnoses; assumption_names }
+
+let healthy r = r.conflicts = []
+
+let pp_result ppf r =
+  Format.fprintf ppf "=== dynamic-mode diagnosis of %s ===@."
+    r.netlist.Netlist.name;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  |V(%s)| @@ %g Hz: measured %a" s.observation.node
+        s.observation.frequency Interval.pp s.observation.magnitude;
+      (match s.predicted with
+      | Some p -> Format.fprintf ppf ", predicted %a" Interval.pp p
+      | None -> ());
+      (match s.verdict with
+      | Some v -> Format.fprintf ppf " — %a" Consistency.pp_verdict v
+      | None -> ());
+      Format.fprintf ppf "@.")
+    r.symptoms;
+  if r.conflicts = [] then Format.fprintf ppf "  consistent with the model@."
+  else begin
+    List.iter
+      (fun (c : Candidates.conflict) ->
+        Format.fprintf ppf "  conflict %a @@ %.3g (%s)@."
+          (Env.pp ~names:(fun i -> r.assumption_names.(i)))
+          c.Candidates.env c.Candidates.degree c.Candidates.reason)
+      r.conflicts;
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "  suspect %s @@ %.3g%s@." s.component s.suspicion
+          (if s.explains then " (explains the response)" else ""))
+      r.suspects
+  end

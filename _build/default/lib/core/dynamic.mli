@@ -1,0 +1,76 @@
+(** Dynamic-mode diagnosis (the paper's "tried on different kinds and
+    sizes of circuits, either in dynamic mode or in static one").
+
+    Measurements are node-voltage {e magnitudes at given frequencies};
+    the AC phasor solver provides the model predictions.  The machinery
+    mirrors the static driver: per-observation predictions with
+    sensitivity-derived assumption environments and tolerance-derived
+    fuzzy widths, Dc-graded conflicts feeding the weighted nogood
+    database, candidate ranking, and fault-model refinement by fitting
+    the suspect parameter against all measured magnitudes. *)
+
+module Interval = Flames_fuzzy.Interval
+module Consistency = Flames_fuzzy.Consistency
+module Netlist = Flames_circuit.Netlist
+module Fault = Flames_circuit.Fault
+module Candidates = Flames_atms.Candidates
+
+type observation = {
+  node : string;
+  frequency : float;  (** hertz *)
+  magnitude : Interval.t;  (** measured |V|, fuzzified *)
+}
+
+val observe :
+  ?instrument:Flames_sim.Measure.instrument ->
+  ?source:string ->
+  Netlist.t ->
+  node:string ->
+  frequency:float ->
+  observation
+(** Probe the (possibly faulty) circuit's response with the simulator —
+    the dynamic-mode test bench. *)
+
+type symptom = {
+  observation : observation;
+  predicted : Interval.t option;
+  verdict : Consistency.verdict option;
+}
+
+type mode_estimate = {
+  parameter : string;
+  nominal : float;
+  estimated : float option;
+  fit_residual : float option;
+  modes : (Fault.mode * float) list;
+}
+
+type suspect = {
+  component : string;
+  suspicion : float;
+  explains : bool;
+  estimates : mode_estimate list;
+}
+
+type result = {
+  netlist : Netlist.t;
+  symptoms : symptom list;
+  conflicts : Candidates.conflict list;
+  suspects : suspect list;
+  diagnoses : (string list * float) list;
+  assumption_names : string array;
+}
+
+val run :
+  ?trusted:string list ->
+  ?source:string ->
+  ?min_conflict_degree:float ->
+  Netlist.t ->
+  observation list ->
+  result
+(** Frequency-domain diagnosis of the netlist against the observations.
+    [min_conflict_degree] (default 0.02) is the tolerance-noise floor as
+    in the static engine. *)
+
+val healthy : result -> bool
+val pp_result : Format.formatter -> result -> unit

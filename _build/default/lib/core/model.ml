@@ -1,0 +1,258 @@
+module Env = Flames_atms.Env
+module Quantity = Flames_circuit.Quantity
+module Q = Flames_circuit.Quantity
+module C = Flames_circuit.Component
+module Netlist = Flames_circuit.Netlist
+
+type config = { node_assumptions : bool; kcl : bool; trusted : string list }
+
+let default_config = { node_assumptions = false; kcl = true; trusted = [] }
+
+type t = {
+  netlist : Netlist.t;
+  config : config;
+  constraints : Constr.t list;
+  quantities : Q.t list;
+  assumption_names : string array;
+}
+
+let assumption_table netlist config =
+  let components =
+    List.filter
+      (fun n -> not (List.mem n config.trusted))
+      (Netlist.component_names netlist)
+  in
+  let nodes =
+    if config.node_assumptions then
+      List.filter (fun n -> n <> netlist.Netlist.ground) (Netlist.nodes netlist)
+    else []
+  in
+  Array.of_list (components @ nodes)
+
+(* Current flowing into the device at the given terminal of the component,
+   as a signed multiple of the component's current quantity; None for a
+   terminal that draws no current (gain-block input). *)
+let kcl_term (c : C.t) terminal =
+  match c.kind with
+  | C.Resistor _ | C.Capacitor _ | C.Inductor _ | C.Voltage_source _
+  | C.Diode _ ->
+    let sign = if terminal = "p" then 1. else -1. in
+    Some (sign, Q.current c.name)
+  | C.Gain_block _ ->
+    if terminal = "in" then None else Some (-1., Q.current c.name)
+  | C.Bjt _ -> begin
+    match terminal with
+    | "b" -> Some (1., Q.terminal_current c.name "b")
+    | "c" -> Some (1., Q.terminal_current c.name "c")
+    | _ -> Some (-1., Q.terminal_current c.name "e")
+  end
+
+let component_constraints ok (c : C.t) =
+  let name = c.name in
+  let nominal param =
+    Constr.make
+      (Printf.sprintf "nominal(%s.%s)" name param)
+      ~assumptions:(ok name)
+      (Constr.Nominal (Q.parameter name param, C.nominal_parameter c param))
+  in
+  let node t = Q.voltage (C.node_of c t) in
+  match c.kind with
+  | C.Resistor _ ->
+    [
+      Constr.make
+        (Printf.sprintf "kvl(%s)" name)
+        (Constr.Linear ([ (1., node "p"); (-1., node "n"); (-1., Q.drop name) ], 0.));
+      Constr.make
+        (Printf.sprintf "ohm(%s)" name)
+        (Constr.Product (Q.drop name, Q.current name, Q.parameter name "R"));
+      nominal "R";
+    ]
+  | C.Capacitor _ ->
+    (* static (DC) model: a healthy capacitor carries no current; its
+       dynamic behaviour is handled by the frequency-domain driver *)
+    [
+      Constr.make
+        (Printf.sprintf "kvl(%s)" name)
+        (Constr.Linear ([ (1., node "p"); (-1., node "n"); (-1., Q.drop name) ], 0.));
+      Constr.make
+        (Printf.sprintf "blocks(%s)" name)
+        ~assumptions:(ok name)
+        (Constr.Bound
+           (Q.current name, Flames_fuzzy.Interval.number 0. ~spread:1e-9));
+      nominal "C";
+    ]
+  | C.Inductor _ ->
+    (* static (DC) model: a healthy inductor drops no voltage *)
+    [
+      Constr.make
+        (Printf.sprintf "kvl(%s)" name)
+        (Constr.Linear ([ (1., node "p"); (-1., node "n"); (-1., Q.drop name) ], 0.));
+      Constr.make
+        (Printf.sprintf "shorts(%s)" name)
+        ~assumptions:(ok name)
+        (Constr.Bound
+           (Q.drop name, Flames_fuzzy.Interval.number 0. ~spread:1e-6));
+      nominal "L";
+    ]
+  | C.Voltage_source _ ->
+    [
+      Constr.make
+        (Printf.sprintf "emf(%s)" name)
+        (Constr.Linear
+           ([ (1., node "p"); (-1., node "n"); (-1., Q.parameter name "V") ], 0.));
+      nominal "V";
+    ]
+  | C.Diode _ ->
+    [
+      Constr.make
+        (Printf.sprintf "drop(%s)" name)
+        (Constr.Linear
+           ([ (1., node "p"); (-1., node "n"); (-1., Q.parameter name "Vf") ], 0.));
+      nominal "Vf";
+      Constr.make
+        (Printf.sprintf "imax(%s)" name)
+        ~assumptions:(ok name)
+        (Constr.Bound (Q.current name, C.nominal_parameter c "Imax"));
+    ]
+  | C.Gain_block _ ->
+    [
+      Constr.make
+        (Printf.sprintf "gain(%s)" name)
+        (Constr.Product (node "out", Q.parameter name "gain", node "in"));
+      nominal "gain";
+    ]
+  | C.Bjt b ->
+    (* qualitative region rules (paper section 6.2): the conduction rule
+       "if the base voltage allows Vbe ≥ 0.4 then T is ON" guards the
+       whole linear model, and the β relations additionally require the
+       active region (Vce above saturation) — a healthy transistor in
+       saturation does not obey Ic = β·Ib *)
+    let conduction =
+      (* support starts at 0.4 V: the paper's "Vbe(T) ≥ 0.4" threshold *)
+      Flames_fuzzy.Interval.make ~m1:0.55 ~m2:1e9 ~alpha:0.15 ~beta:0.
+    in
+    let active =
+      (* support starts at Vce,sat = 0.2 V *)
+      Flames_fuzzy.Interval.make ~m1:0.3 ~m2:1e9 ~alpha:0.1 ~beta:0.
+    in
+    let vce = Q.drop (name ^ ":ce") in
+    let conducting = [ (node "b", conduction) ] in
+    let in_active_region = (vce, active) :: conducting in
+    let beta_plus_one = Flames_fuzzy.Arith.shift 1. b.C.beta in
+    [
+      Constr.make
+        (Printf.sprintf "vce(%s)" name)
+        (Constr.Linear ([ (1., node "c"); (-1., node "e"); (-1., vce) ], 0.));
+      Constr.make
+        (Printf.sprintf "vbe(%s)" name)
+        ~guards:conducting
+        (Constr.Linear
+           ([ (1., node "b"); (-1., node "e"); (-1., Q.parameter name "vbe") ], 0.));
+      Constr.make
+        (Printf.sprintf "beta(%s)" name)
+        ~guards:in_active_region
+        (Constr.Product
+           ( Q.terminal_current name "c",
+             Q.parameter name "beta",
+             Q.terminal_current name "b" ));
+      Constr.make
+        (Printf.sprintf "ie-gain(%s)" name)
+        ~guards:in_active_region
+        (Constr.Product
+           ( Q.terminal_current name "e",
+             Q.parameter name "beta+1",
+             Q.terminal_current name "b" ));
+      Constr.make
+        (Printf.sprintf "ie(%s)" name)
+        ~guards:conducting
+        (Constr.Linear
+           ([
+              (1., Q.terminal_current name "e");
+              (-1., Q.terminal_current name "b");
+              (-1., Q.terminal_current name "c");
+            ], 0.));
+      Constr.make
+        (Printf.sprintf "nominal(%s.beta+1)" name)
+        ~assumptions:(ok name)
+        (Constr.Nominal (Q.parameter name "beta+1", beta_plus_one));
+      nominal "beta";
+      nominal "vbe";
+    ]
+
+let kcl_constraints netlist ok config =
+  if not config.kcl then []
+  else
+    Netlist.nodes netlist
+    |> List.filter (fun n ->
+           n <> netlist.Netlist.ground && not (Netlist.is_port netlist n))
+    |> List.filter_map (fun node ->
+           let terms =
+             List.concat_map
+               (fun (c : C.t) ->
+                 List.filter_map
+                   (fun (terminal, n) ->
+                     if n = node then kcl_term c terminal else None)
+                   c.nodes)
+               (Netlist.components_at netlist node)
+           in
+           if List.length terms < 2 then None
+           else
+             let assumptions =
+               if config.node_assumptions then ok node else Env.empty
+             in
+             Some
+               (Constr.make
+                  (Printf.sprintf "kcl(%s)" node)
+                  ~assumptions (Constr.Linear (terms, 0.))))
+
+let compile ?(config = default_config) netlist =
+  let assumption_names = assumption_table netlist config in
+  let index = Hashtbl.create 32 in
+  Array.iteri (fun i n -> Hashtbl.add index n i) assumption_names;
+  let ok name =
+    match Hashtbl.find_opt index name with
+    | Some id -> Env.singleton id
+    | None -> Env.empty
+  in
+  let ground =
+    Constr.make "ground"
+      (Constr.Nominal
+         (Q.voltage netlist.Netlist.ground, Flames_fuzzy.Interval.crisp 0.))
+  in
+  let constraints =
+    ground
+    :: (List.concat_map (component_constraints ok) netlist.Netlist.components
+       @ kcl_constraints netlist ok config)
+  in
+  let quantities =
+    List.concat_map Constr.vars constraints |> List.sort_uniq Q.compare
+  in
+  { netlist; config; constraints; quantities; assumption_names }
+
+let assumption_id t name =
+  let n = Array.length t.assumption_names in
+  let rec find i =
+    if i >= n then raise Not_found
+    else if t.assumption_names.(i) = name then i
+    else find (i + 1)
+  in
+  find 0
+
+let assumption_name t id =
+  if id >= 0 && id < Array.length t.assumption_names then
+    t.assumption_names.(id)
+  else Printf.sprintf "A%d" id
+
+let env_of t names = Env.of_list (List.map (assumption_id t) names)
+
+let component_assumptions t =
+  List.mapi (fun i n -> (n, i)) (Array.to_list t.assumption_names)
+  |> List.filter (fun (n, _) -> Netlist.mem t.netlist n)
+  |> List.map (fun (n, i) -> (n, i))
+
+let pp ppf t =
+  Format.fprintf ppf "model of %s: %d constraints, %d quantities@."
+    t.netlist.Netlist.name
+    (List.length t.constraints)
+    (List.length t.quantities);
+  List.iter (fun c -> Format.fprintf ppf "  %a@." Constr.pp c) t.constraints

@@ -1,0 +1,60 @@
+(** Compilation of a netlist into the paper's database unit: models of
+    correct behaviour plus the assumptions governing their validity
+    (section 6.2).
+
+    Every component receives one assumption ("the component behaves
+    according to its model"); optionally every internal node receives one
+    too ("the node is electrically sound"), so that broken connections are
+    diagnosable.  The compiled constraints are:
+
+    - resistor [r]:  [V(p) − V(n) = drop(r)], [drop(r) = I(r) ⊗ r.R],
+      nominal [r.R] under [ok(r)];
+    - voltage source [v]:  [V(p) − V(n) = v.V], nominal [v.V] under [ok(v)];
+    - diode [d]:  [V(p) − V(n) = d.Vf], nominal [d.Vf] under [ok(d)],
+      current bound [I(d) ∈ d.Imax] under [ok(d)];
+    - gain block [a]:  [V(out) = a.gain ⊗ V(in)], nominal under [ok(a)];
+    - BJT [t] (linear region):  [V(b) − V(e) = t.vbe],
+      [I(t.c) = t.beta ⊗ I(t.b)], [I(t.e) = I(t.b) + I(t.c)],
+      nominals under [ok(t)];
+    - KCL at each non-ground node (under the node assumption when
+      enabled);
+    - ground reference [V(ground) = 0] as a premise. *)
+
+module Env = Flames_atms.Env
+module Quantity = Flames_circuit.Quantity
+module Netlist = Flames_circuit.Netlist
+
+type config = {
+  node_assumptions : bool;
+      (** give internal nodes their own assumptions (default [false]:
+          the paper diagnoses node faults through component fault modes) *)
+  kcl : bool;  (** generate Kirchhoff current-law constraints *)
+  trusted : string list;
+      (** components assumed correct a priori (e.g. the power supply):
+          their models hold unconditionally and they never appear in
+          candidate sets *)
+}
+
+val default_config : config
+(** [{ node_assumptions = false; kcl = true; trusted = [] }] *)
+
+type t = private {
+  netlist : Netlist.t;
+  config : config;
+  constraints : Constr.t list;
+  quantities : Quantity.t list;  (** all quantities mentioned *)
+  assumption_names : string array;  (** assumption id → entity name *)
+}
+
+val compile : ?config:config -> Netlist.t -> t
+
+val assumption_id : t -> string -> int
+(** Assumption id of a component (or node, when enabled) name.
+    @raise Not_found otherwise. *)
+
+val assumption_name : t -> int -> string
+val env_of : t -> string list -> Env.t
+val component_assumptions : t -> (string * int) list
+(** Component name → assumption id (nodes excluded). *)
+
+val pp : Format.formatter -> t -> unit

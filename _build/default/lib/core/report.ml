@@ -1,0 +1,68 @@
+module Interval = Flames_fuzzy.Interval
+module Consistency = Flames_fuzzy.Consistency
+module Quantity = Flames_circuit.Quantity
+module Fault = Flames_circuit.Fault
+
+let pp_symptom ppf (s : Diagnose.symptom) =
+  Format.fprintf ppf "%a measured %a" Quantity.pp s.Diagnose.quantity
+    Interval.pp s.Diagnose.measured;
+  (match s.Diagnose.predicted with
+  | Some p -> Format.fprintf ppf ", predicted %a" Interval.pp p
+  | None -> Format.fprintf ppf ", no prediction");
+  match s.Diagnose.verdict with
+  | Some v -> Format.fprintf ppf " — %a" Consistency.pp_verdict v
+  | None -> ()
+
+let pp_mode_estimate ppf (e : Diagnose.mode_estimate) =
+  match e.Diagnose.estimated with
+  | None -> Format.fprintf ppf "%s: no estimate" e.Diagnose.parameter
+  | Some actual ->
+    Format.fprintf ppf "%s: nominal %.4g, estimated %.4g" e.Diagnose.parameter
+      e.Diagnose.nominal actual;
+    match e.Diagnose.modes with
+    | [] -> ()
+    | (mode, d) :: _ -> Format.fprintf ppf " (%a @@ %.2g)" Fault.pp_mode mode d
+
+let pp_suspect ppf (s : Diagnose.suspect) =
+  Format.fprintf ppf "%s @@ %.3g" s.Diagnose.component s.Diagnose.suspicion;
+  List.iter
+    (fun e ->
+      if e.Diagnose.estimated <> None then
+        Format.fprintf ppf "@.      %a" pp_mode_estimate e)
+    s.Diagnose.estimates
+
+let pp_result ppf (r : Diagnose.result) =
+  Format.fprintf ppf "=== diagnosis of %s ===@."
+    r.Diagnose.netlist.Flames_circuit.Netlist.name;
+  Format.fprintf ppf "symptoms:@.";
+  List.iter (fun s -> Format.fprintf ppf "  %a@." pp_symptom s) r.Diagnose.symptoms;
+  if r.Diagnose.conflicts = [] then
+    Format.fprintf ppf "no conflict: circuit consistent with its model@."
+  else begin
+    Format.fprintf ppf "conflicts:@.";
+    List.iter
+      (fun (c : Flames_atms.Candidates.conflict) ->
+        Format.fprintf ppf "  %a @@ %.3g (%s)@."
+          (Flames_atms.Env.pp ~names:(Propagate.names r.Diagnose.engine))
+          c.Flames_atms.Candidates.env c.Flames_atms.Candidates.degree
+          c.Flames_atms.Candidates.reason)
+      r.Diagnose.conflicts;
+    Format.fprintf ppf "suspects:@.";
+    List.iter
+      (fun s -> Format.fprintf ppf "  %a@." pp_suspect s)
+      r.Diagnose.suspects;
+    Format.fprintf ppf "minimal diagnoses:@.";
+    List.iter
+      (fun (members, rank) ->
+        Format.fprintf ppf "  {%s} @@ %.3g@." (String.concat ", " members) rank)
+      r.Diagnose.diagnoses
+  end
+
+let summary (r : Diagnose.result) =
+  if Diagnose.healthy r then "healthy: no conflict detected"
+  else
+    match r.Diagnose.diagnoses with
+    | (members, rank) :: _ ->
+      Printf.sprintf "faulty: best diagnosis {%s} @ %.3g"
+        (String.concat ", " members) rank
+    | [] -> "faulty: conflicts recorded but no diagnosis computed"

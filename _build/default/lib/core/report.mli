@@ -1,0 +1,10 @@
+(** Human-readable diagnosis reports (what the FLAMES expert reads). *)
+
+val pp_symptom : Format.formatter -> Diagnose.symptom -> unit
+val pp_suspect : Format.formatter -> Diagnose.suspect -> unit
+val pp_result : Format.formatter -> Diagnose.result -> unit
+(** Full report: symptoms with Dc, conflicts, ranked suspects with fault
+    modes, minimal diagnoses. *)
+
+val summary : Diagnose.result -> string
+(** One line: healthy, or the best diagnosis with its rank. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Flames_atms Flames_baseline Flames_circuit Flames_core Flames_sim Float Format List

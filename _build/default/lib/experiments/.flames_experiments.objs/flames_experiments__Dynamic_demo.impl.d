@@ -1,0 +1,1 @@
+lib/experiments/dynamic_demo.ml: Flames_circuit Flames_core Float Format List Option

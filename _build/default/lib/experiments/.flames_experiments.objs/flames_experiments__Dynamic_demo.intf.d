@@ -1,0 +1,1 @@
+lib/experiments/dynamic_demo.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/explosion.ml: Flames_circuit Flames_core Flames_sim Format List

@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Flames_baseline Flames_fuzzy Format List

@@ -1,0 +1,1 @@
+lib/experiments/fig2.mli: Flames_fuzzy Format

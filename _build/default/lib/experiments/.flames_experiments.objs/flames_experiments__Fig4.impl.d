@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Flames_fuzzy Format List

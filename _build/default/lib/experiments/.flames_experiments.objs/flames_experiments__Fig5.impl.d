@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Flames_atms Flames_baseline Flames_circuit Flames_core Flames_fuzzy Float Format List String

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Flames_atms Flames_circuit Flames_core Flames_fuzzy Flames_sim Float Format List Printf String

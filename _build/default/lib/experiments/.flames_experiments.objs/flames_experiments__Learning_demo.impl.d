@@ -1,0 +1,1 @@
+lib/experiments/learning_demo.ml: Flames_circuit Flames_core Flames_learning Flames_sim Format List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/learning_demo.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/rules_demo.ml: Flames_atms Flames_circuit Flames_fuzzy Flames_learning Flames_sim Format List Printf

@@ -1,0 +1,1 @@
+lib/experiments/rules_demo.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/strategy_demo.ml: Flames_baseline Flames_circuit Flames_core Flames_fuzzy Flames_sim Flames_strategy Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/experiments/strategy_demo.mli: Flames_fuzzy Format

@@ -1,0 +1,28 @@
+(** Ablation A1: fuzzy vs crisp sensitivity to soft faults.
+
+    R2 of the three-stage amplifier is swept from its nominal 12 kΩ
+    upward; for each drift magnitude the FLAMES engine reports its
+    strongest conflict degree (graded evidence) while the crisp baseline
+    gives a binary detect / no-detect.  The series shows the paper's
+    claim: fuzzy intervals grade the no-man's-land between "within
+    tolerance" and "hard fault" where crisp intervals stay silent, and
+    the candidate sets stay comparable in size (no explosion). *)
+
+type point = {
+  drift : float;  (** R2 multiplier, e.g. 1.05 = +5 % *)
+  max_dc_deviation : float;  (** strongest fuzzy conflict degree *)
+  fuzzy_candidates : int;  (** number of minimal diagnoses *)
+  crisp_detects : bool;
+  crisp_candidates : int;
+}
+
+val run : ?drifts:float list -> unit -> point list
+(** Default sweep: 1.0, 1.005, 1.01, 1.02, 1.05, 1.1, 1.2, 1.5, 2.0, 3.0. *)
+
+val detection_threshold : point list -> float option
+(** Smallest drift at which the fuzzy conflict degree reaches 0.5. *)
+
+val crisp_threshold : point list -> float option
+(** Smallest drift the crisp baseline detects. *)
+
+val print : Format.formatter -> point list -> unit

@@ -1,0 +1,22 @@
+(** The paper's "dynamic mode" claim (section 9: "tried on different
+    kinds and sizes of circuits, either in dynamic mode or in static
+    one"): frequency-domain diagnosis on three filter circuits.
+
+    Each scenario injects a fault, measures output magnitudes at three
+    frequencies around the corner/resonance, runs the dynamic-mode
+    engine, and reports detection, implication of the culprit, and the
+    value recovered by fault-model fitting. *)
+
+type row = {
+  circuit : string;
+  defect : string;
+  culprit : string;
+  detected : bool;
+  culprit_implicated : bool;  (** suspicion > 0.5 *)
+  culprit_explains : bool;  (** fit reproduces the whole response *)
+  fitted : float option;  (** recovered parameter value *)
+  injected : float;  (** true faulty value *)
+}
+
+val run : unit -> row list
+val print : Format.formatter -> row list -> unit

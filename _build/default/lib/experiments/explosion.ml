@@ -1,0 +1,65 @@
+module Q = Flames_circuit.Quantity
+module F = Flames_circuit.Fault
+module L = Flames_circuit.Library
+
+type point = {
+  stages : int;
+  resident_values : int;
+  conflicts : int;
+  diagnoses : int;
+  culprit_rank : int option;
+  steps : int;
+}
+
+let instrument = { Flames_sim.Measure.relative = 0.002; floor = 5e-4 }
+let default_sizes = [ 2; 4; 8; 16; 24 ]
+
+let run_point stages =
+  let gains = List.init stages (fun i -> 1. +. float_of_int (i mod 3)) in
+  let nominal = L.amplifier_chain ~gains () in
+  let faulty = F.inject nominal (F.shifted "amp2" ~parameter:"gain" 10.) in
+  let sol = Flames_sim.Mna.solve faulty in
+  let observations =
+    Flames_sim.Measure.probe_all ~instrument sol
+      (List.map Q.voltage (L.chain_nodes stages))
+  in
+  let r = Flames_core.Diagnose.run nominal observations in
+  let engine = r.Flames_core.Diagnose.engine in
+  let model = Flames_core.Propagate.model engine in
+  let resident_values =
+    List.fold_left
+      (fun acc q -> acc + List.length (Flames_core.Propagate.values engine q))
+      0 model.Flames_core.Model.quantities
+  in
+  let culprit_rank =
+    let rec find i = function
+      | [] -> None
+      | (s : Flames_core.Diagnose.suspect) :: rest ->
+        if s.Flames_core.Diagnose.component = "amp2" then Some i
+        else find (i + 1) rest
+    in
+    find 1 r.Flames_core.Diagnose.suspects
+  in
+  {
+    stages;
+    resident_values;
+    conflicts = List.length r.Flames_core.Diagnose.conflicts;
+    diagnoses = List.length r.Flames_core.Diagnose.diagnoses;
+    culprit_rank;
+    steps = Flames_core.Propagate.steps_used engine;
+  }
+
+let run ?(sizes = default_sizes) () = List.map run_point sizes
+
+let print ppf points =
+  Format.fprintf ppf
+    "ablation A3 — explosion control (amplifier chains, amp2 faulty):@.";
+  Format.fprintf ppf "  %-8s %-16s %-10s %-10s %-13s %s@." "stages"
+    "resident values" "conflicts" "diagnoses" "culprit rank" "steps";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %-8d %-16d %-10d %-10d %-13s %d@." p.stages
+        p.resident_values p.conflicts p.diagnoses
+        (match p.culprit_rank with Some r -> string_of_int r | None -> "—")
+        p.steps)
+    points

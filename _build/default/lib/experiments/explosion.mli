@@ -1,0 +1,24 @@
+(** Ablation A3: explosion control (paper section 10: "propagation of
+    fuzzy intervals avoids possible explosions either in treating
+    tolerances or in sets of candidates resulting from the ATMS").
+
+    Amplifier chains of growing length are diagnosed with a mid-chain
+    gain fault and full probing; per size we record the engine's working
+    set (resident values), the number of minimal weighted conflicts, the
+    number of minimal diagnoses, and the localisation quality.  The
+    claim holds when all of these grow at most linearly with the chain
+    length while the candidates stay ranked (the culprit on top). *)
+
+type point = {
+  stages : int;
+  resident_values : int;  (** total values held across all cells *)
+  conflicts : int;  (** minimal weighted nogoods *)
+  diagnoses : int;  (** minimal diagnoses *)
+  culprit_rank : int option;  (** 1-based rank of amp2 by suspicion *)
+  steps : int;  (** propagation work-queue pops *)
+}
+
+val run : ?sizes:int list -> unit -> point list
+(** Default sizes: 2, 4, 8, 16, 24. *)
+
+val print : Format.formatter -> point list -> unit

@@ -1,0 +1,48 @@
+module Interval = Flames_fuzzy.Interval
+module Consistency = Flames_fuzzy.Consistency
+
+type case = {
+  label : string;
+  a : Interval.t;
+  b : Interval.t;
+  coincidence : Consistency.coincidence;
+  dc : float;
+}
+
+let mk label a b =
+  {
+    label;
+    a;
+    b;
+    coincidence = Consistency.classify a b;
+    dc = Consistency.dc ~measured:a ~nominal:b;
+  }
+
+let run () =
+  let i = Interval.make in
+  [
+    mk "case a: A splits B"
+      (i ~m1:4. ~m2:6. ~alpha:0.5 ~beta:0.5)
+      (i ~m1:3. ~m2:7. ~alpha:1. ~beta:1.);
+    mk "case a: B splits A"
+      (i ~m1:3. ~m2:7. ~alpha:1. ~beta:1.)
+      (i ~m1:4. ~m2:6. ~alpha:0.5 ~beta:0.5);
+    mk "case b: conflict"
+      (i ~m1:1. ~m2:2. ~alpha:0.2 ~beta:0.2)
+      (i ~m1:5. ~m2:6. ~alpha:0.2 ~beta:0.2);
+    mk "case b: partial conflict"
+      (i ~m1:4. ~m2:5. ~alpha:0.5 ~beta:0.5)
+      (i ~m1:5.2 ~m2:6. ~alpha:0.5 ~beta:0.5);
+    mk "case c: corroboration"
+      (i ~m1:4. ~m2:5. ~alpha:0.5 ~beta:0.5)
+      (i ~m1:4. ~m2:5. ~alpha:0.5 ~beta:0.5);
+  ]
+
+let print ppf cases =
+  Format.fprintf ppf "fig 4 — coincidence cases:@.";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %-26s %a vs %a → %a (Dc = %.2f)@." c.label
+        Interval.pp c.a Interval.pp c.b Consistency.pp_coincidence
+        c.coincidence c.dc)
+    cases

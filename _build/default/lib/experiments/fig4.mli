@@ -1,0 +1,18 @@
+(** Reproduction of the paper's fig. 4: the possible cases of coincidence
+    between two values of the same quantity — splits (containment),
+    conflict, partial conflict and corroboration — classified by the
+    engine's coincidence analysis. *)
+
+module Interval = Flames_fuzzy.Interval
+module Consistency = Flames_fuzzy.Consistency
+
+type case = {
+  label : string;
+  a : Interval.t;
+  b : Interval.t;
+  coincidence : Consistency.coincidence;
+  dc : float;  (** Dc of [a] against [b] *)
+}
+
+val run : unit -> case list
+val print : Format.formatter -> case list -> unit

@@ -1,0 +1,25 @@
+(** Reproduction of the paper's fig. 5: the diode–resistor example.
+
+    Measurements Vd1 = 0.2 V, Vr1 = 1.05 V, Vr2 = 2 V on the series
+    circuit r1–d1–r2.  FLAMES derives the weighted nogoods
+    [{r1, d1} @ 0.5] (Ir1 = 105 µA against the fuzzy bound
+    [[-1, 100, 0, 10]] µA) and [{r2, d1} @ 1] (Ir2 = 200 µA), giving the
+    expert an order between the candidates; the crisp engine with the
+    DIANA-style bound [Id ≤ 100 µA] flags both at the same weight.
+
+    Our engine additionally discovers the physical conflict
+    [{r1, r2} @ 1] (the two measured branch currents disagree through
+    Kirchhoff's law), which the paper's figure omits. *)
+
+type conflict = { members : string list; degree : float; reason : string }
+
+type result = {
+  fuzzy_conflicts : conflict list;  (** strongest first *)
+  fuzzy_diagnoses : (string list * float) list;
+  crisp_conflicts : conflict list;  (** all at degree 1 *)
+  r1_d1_degree : float;  (** the paper's 0.5 *)
+  r2_d1_degree : float;  (** the paper's 1.0 *)
+}
+
+val run : unit -> result
+val print : Format.formatter -> result -> unit

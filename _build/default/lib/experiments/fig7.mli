@@ -1,0 +1,41 @@
+(** Reproduction of the paper's figs. 6 and 7: the three-stage amplifier
+    and its five defect scenarios.
+
+    Each scenario injects the fault into the simulated circuit, probes
+    Vs, V2 and V1 (plus the paper's implicit prior Vs-only step), and runs
+    the FLAMES diagnosis.  Reported per scenario: the signed Dc of each
+    probe (the paper's fig-7 columns), the weighted conflicts, the ranked
+    suspects, and the fault-mode refinement. *)
+
+module Interval = Flames_fuzzy.Interval
+
+type scenario = {
+  id : string;  (** paper's defect label *)
+  description : string;
+  inject : Flames_circuit.Netlist.t -> Flames_circuit.Netlist.t;
+  expectation : string;  (** the paper's comment for the row *)
+}
+
+type row = {
+  scenario : scenario;
+  dcs : (string * float) list;  (** probe node → signed Dc *)
+  conflicts : (string list * float) list;
+  suspects : (string * float) list;
+  mode_matches : (string * string * float) list;
+      (** (component, mode, degree) — fault modes whose fitted parameter
+          value matches a generic mode region with degree ≥ 0.5, i.e. the
+          single-fault explanations of the observed symptoms *)
+}
+
+val scenarios : scenario list
+(** The paper's five defects: R2 short, R2 slightly high (12.18 kΩ),
+    β2 slightly low (194), R3 open, N1 open. *)
+
+val bias_point : unit -> (string * float) list
+(** Fig. 6: the nominal operating point of the amplifier (all transistors
+    in the linear region). *)
+
+val run_scenario : scenario -> row
+val run : unit -> row list
+val print_bias : Format.formatter -> (string * float) list -> unit
+val print : Format.formatter -> row list -> unit

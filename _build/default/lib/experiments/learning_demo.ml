@@ -1,0 +1,75 @@
+module Q = Flames_circuit.Quantity
+module Fault = Flames_circuit.Fault
+module Kb = Flames_learning.Knowledge_base
+module Experience = Flames_learning.Experience
+
+type result = {
+  episodes : int;
+  rule_certainties : float list;
+  suggestion : (string * float) option;
+  reranked_first : string option;
+}
+
+let config = { Flames_core.Model.default_config with trusted = [ "vcc" ] }
+let instrument = { Flames_sim.Measure.relative = 0.002; floor = 5e-4 }
+
+let diagnose () =
+  let nominal =
+    Flames_circuit.Library.three_stage_amplifier ~tolerance:0.005 ()
+  in
+  let faulty = Fault.inject nominal (Fault.short "r2" ~parameter:"R") in
+  let sol = Flames_sim.Mna.solve faulty in
+  let observations =
+    Flames_sim.Measure.probe_all ~instrument sol
+      (List.map Q.voltage [ "vs"; "n2"; "v1" ])
+  in
+  Flames_core.Diagnose.run ~config nominal observations
+
+let run () =
+  let kb = Kb.create () in
+  Kb.add_prior kb ~component:"r2" 0.3;
+  let episodes = 3 in
+  let certainties = ref [] in
+  for _ = 1 to episodes do
+    let r = diagnose () in
+    let recorded =
+      Experience.record kb
+        { Experience.result = r; confirmed = "r2"; mode = Some Fault.Short }
+    in
+    assert recorded;
+    let certainty =
+      match Kb.rules_for kb ~circuit:"three-stage-amplifier" with
+      | rule :: _ -> rule.Flames_learning.Rule.certainty
+      | [] -> 0.
+    in
+    certainties := certainty :: !certainties
+  done;
+  let fresh = diagnose () in
+  let suggestion =
+    match Experience.suggest kb fresh with s :: _ -> Some s | [] -> None
+  in
+  let reranked_first =
+    match Experience.rerank kb fresh with
+    | (c, _) :: _ -> Some c
+    | [] -> None
+  in
+  {
+    episodes;
+    rule_certainties = List.rev !certainties;
+    suggestion;
+    reranked_first;
+  }
+
+let print ppf r =
+  Format.fprintf ppf "section 7 — learning from experience:@.";
+  Format.fprintf ppf "  rule certainty after each confirmed episode: %s@."
+    (String.concat " → "
+       (List.map (Printf.sprintf "%.3g") r.rule_certainties));
+  (match r.suggestion with
+  | Some (c, d) ->
+    Format.fprintf ppf "  advice on a fresh occurrence: suspect %s @@ %.2f@." c d
+  | None -> Format.fprintf ppf "  no advice (no rule matched)@.");
+  match r.reranked_first with
+  | Some c ->
+    Format.fprintf ppf "  best candidate after experience re-ranking: %s@." c
+  | None -> Format.fprintf ppf "  no candidates@."

@@ -1,0 +1,18 @@
+(** Reproduction of the paper's section 7: learning from experience.
+
+    Three episodes of the same R2-short defect are diagnosed and
+    confirmed; the knowledge base accumulates a symptom→failure rule
+    whose certainty strengthens with each confirmation.  A fourth, fresh
+    diagnosis is then advised by the learnt rule. *)
+
+type result = {
+  episodes : int;
+  rule_certainties : float list;  (** certainty after each episode *)
+  suggestion : (string * float) option;
+      (** advice on the fresh diagnosis: component and confidence *)
+  reranked_first : string option;
+      (** best candidate after combining model and experience *)
+}
+
+val run : unit -> result
+val print : Format.formatter -> result -> unit

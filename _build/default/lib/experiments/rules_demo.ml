@@ -1,0 +1,97 @@
+module I = Flames_fuzzy.Interval
+module Lin = Flames_fuzzy.Linguistic
+module F = Flames_circuit.Fault
+module L = Flames_circuit.Library
+module R = Flames_learning.Fuzzy_rules
+module Atms = Flames_atms.Atms
+
+type row = {
+  scenario : string;
+  transistor : string;
+  vbe : float;
+  on_degree : float;
+  atms_degree : float;
+}
+
+(* linguistic terms over the scaled Vbe axis: volts mapped into [0, 1]
+   by v/1.0 clamped — "conducting" is the paper's ≥ 0.4 V threshold *)
+let conducting =
+  Lin.term "conducting" (I.make ~m1:0.55 ~m2:1. ~alpha:0.15 ~beta:0.)
+
+let on_state = Lin.term "on" (I.make ~m1:0.9 ~m2:1. ~alpha:0.1 ~beta:0.)
+
+let transistors = [ "t1"; "t2"; "t3" ]
+
+let scenarios =
+  [
+    ("healthy", fun n -> n);
+    ("r3 short (t1 starved)", fun n -> F.inject n (F.short "r3" ~parameter:"R"));
+    ("r2 short (t1 collector dead)", fun n -> F.inject n (F.short "r2" ~parameter:"R"));
+  ]
+
+let vbe_of sol name =
+  let c = Flames_circuit.Netlist.find (L.three_stage_amplifier ()) name in
+  Flames_sim.Mna.voltage sol (Flames_circuit.Component.node_of c "b")
+  -. Flames_sim.Mna.voltage sol (Flames_circuit.Component.node_of c "e")
+
+let run () =
+  List.concat_map
+    (fun (label, inject) ->
+      let sol = Flames_sim.Mna.solve (inject (L.three_stage_amplifier ())) in
+      (* one rule base and one ATMS per scenario *)
+      let engine = R.create () in
+      let atms = Atms.create () in
+      let assumptions =
+        List.map (fun t -> (t, Atms.assumption atms t)) transistors
+      in
+      List.iter
+        (fun t ->
+          R.add_rule engine
+            (R.rule ~certainty:0.9
+               (Printf.sprintf "conduction(%s)" t)
+               ~antecedents:[ R.is_ (Printf.sprintf "Vbe(%s)" t) conducting ]
+               ~consequent:(R.is_ (Printf.sprintf "On(%s)" t) on_state)))
+        transistors;
+      R.justify_in_atms engine atms ~assumptions;
+      List.map
+        (fun t ->
+          let vbe = vbe_of sol t in
+          let scaled = Flames_fuzzy.Tnorm.clamp01 vbe in
+          R.assert_value engine (Printf.sprintf "Vbe(%s)" t) (I.crisp scaled);
+          let on_atom = R.is_ (Printf.sprintf "On(%s)" t) on_state in
+          let on_degree = R.degree engine on_atom in
+          (* mirror the observation into the ATMS as a premise whose
+             strength is the matching degree, then query under ok(t) *)
+          let vbe_atom = R.is_ (Printf.sprintf "Vbe(%s)" t) conducting in
+          let vbe_node = Atms.node atms (R.atms_datum vbe_atom) in
+          let match_degree = R.degree engine vbe_atom in
+          if match_degree > 0. then begin
+            let evidence =
+              Atms.node atms (Printf.sprintf "measured Vbe(%s)" t)
+            in
+            Atms.premise atms evidence;
+            Atms.justify atms ~degree:match_degree ~antecedents:[ evidence ]
+              vbe_node
+          end;
+          let on_node = Atms.node atms (R.atms_datum on_atom) in
+          let env = Atms.env_of_assumptions atms [ List.assoc t assumptions ] in
+          {
+            scenario = label;
+            transistor = t;
+            vbe;
+            on_degree;
+            atms_degree = Atms.holds_in atms on_node env;
+          })
+        transistors)
+    scenarios
+
+let print ppf rows =
+  Format.fprintf ppf
+    "knowledge base — the qualitative conduction rule on the amplifier:@.";
+  Format.fprintf ppf "  %-30s %-5s %-8s %-10s %s@." "scenario" "T" "Vbe"
+    "rule On()" "ATMS under ok(T)";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-30s %-5s %-8.3f %-10.2f %.2f@." r.scenario
+        r.transistor r.vbe r.on_degree r.atms_degree)
+    rows

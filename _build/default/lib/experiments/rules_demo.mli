@@ -1,0 +1,22 @@
+(** The knowledge-base unit in action (paper sections 5–6.2): the
+    qualitative transistor rule "if T is correct and Vbe(T) ≥ 0.4 then it
+    should be in an ON state", run through the fuzzy rule engine and the
+    graded ATMS, on operating points taken from the fig-6 amplifier.
+
+    For each scenario the bias point of a (possibly faulty) amplifier is
+    measured, the base-emitter voltages are scaled into the rule engine,
+    and the concluded conduction states — with their degrees and
+    supporting assumption environments — are reported. *)
+
+type row = {
+  scenario : string;
+  transistor : string;
+  vbe : float;  (** measured base-emitter voltage *)
+  on_degree : float;  (** concluded degree of "T is ON" *)
+  atms_degree : float;
+      (** degree with which the ATMS holds the conclusion under the
+          transistor's correctness assumption *)
+}
+
+val run : unit -> row list
+val print : Format.formatter -> row list -> unit

@@ -1,0 +1,114 @@
+module Interval = Flames_fuzzy.Interval
+module Q = Flames_circuit.Quantity
+module Fault = Flames_circuit.Fault
+module Best_test = Flames_strategy.Best_test
+module Estimation = Flames_strategy.Estimation
+
+type step = {
+  probe : string;
+  expected_entropy : Interval.t;
+  entropy_before : Interval.t;
+  entropy_after : Interval.t;
+}
+
+type result = {
+  fuzzy_ranking : (string * float) list;
+  probabilistic_ranking : (string * float) list;
+  fuzzy_step : step option;
+  agreement : bool;
+}
+
+let config = { Flames_core.Model.default_config with trusted = [ "vcc" ] }
+let instrument = { Flames_sim.Measure.relative = 0.002; floor = 5e-4 }
+
+let node_of = function
+  | Q.Node_voltage n -> Some n
+  | Q.Branch_current _ | Q.Terminal_current _ | Q.Voltage_drop _
+  | Q.Parameter _ ->
+    None
+
+let run () =
+  let nominal = Flames_circuit.Library.three_stage_amplifier ~tolerance:0.005 () in
+  let faulty = Fault.inject nominal (Fault.short "r2" ~parameter:"R") in
+  let sol = Flames_sim.Mna.solve faulty in
+  let probe node =
+    Flames_sim.Measure.probe_all ~instrument sol [ Q.voltage node ]
+  in
+  (* step 0: only the output has been probed *)
+  let first = Flames_core.Diagnose.run ~config nominal (probe "vs") in
+  let estimations = Estimation.of_diagnosis first in
+  let already_probed q = node_of q = Some "vs" in
+  let tests =
+    Best_test.test_points_of_netlist nominal
+    |> List.filter (fun (t : Best_test.test_point) ->
+           not (already_probed t.Best_test.quantity))
+  in
+  let fuzzy_evaluations = Best_test.rank estimations tests in
+  let fuzzy_ranking =
+    List.filter_map
+      (fun (e : Best_test.evaluation) ->
+        Option.map
+          (fun n -> (n, e.Best_test.score))
+          (node_of e.Best_test.test.Best_test.quantity))
+      fuzzy_evaluations
+  in
+  (* probabilistic baseline on the same scenario *)
+  let state = Flames_baseline.Probabilistic.of_diagnosis first in
+  let candidates =
+    List.map
+      (fun (t : Best_test.test_point) ->
+        (t.Best_test.quantity, t.Best_test.cost, t.Best_test.influencers))
+      tests
+  in
+  let probabilistic_ranking =
+    Flames_baseline.Probabilistic.rank state candidates
+    |> List.filter_map (fun (e : Flames_baseline.Probabilistic.evaluation) ->
+           Option.map
+             (fun n -> (n, e.Flames_baseline.Probabilistic.score))
+             (node_of e.Flames_baseline.Probabilistic.quantity))
+  in
+  (* apply the fuzzy recommendation and measure the entropy drop *)
+  let fuzzy_step =
+    match fuzzy_evaluations with
+    | [] -> None
+    | best :: _ ->
+      Option.map
+        (fun node ->
+          let obs2 = probe "vs" @ probe node in
+          let second = Flames_core.Diagnose.run ~config nominal obs2 in
+          let estimations' = Estimation.of_diagnosis second in
+          {
+            probe = node;
+            expected_entropy = best.Best_test.expected_entropy;
+            entropy_before = Best_test.system_entropy estimations;
+            entropy_after = Best_test.system_entropy estimations';
+          })
+        (node_of best.Best_test.test.Best_test.quantity)
+  in
+  let agreement =
+    match (fuzzy_ranking, probabilistic_ranking) with
+    | (a, _) :: _, (b, _) :: _ -> a = b
+    | ([], _ | _, []) -> false
+  in
+  { fuzzy_ranking; probabilistic_ranking; fuzzy_step; agreement }
+
+let print ppf r =
+  Format.fprintf ppf "section 8 — best next test after a deviant Vs:@.";
+  let pp_ranking label ranking =
+    Format.fprintf ppf "  %s: %s@." label
+      (String.concat " > "
+         (List.map (fun (n, s) -> Printf.sprintf "%s (%.3g)" n s) ranking))
+  in
+  pp_ranking "fuzzy-entropy ranking      " r.fuzzy_ranking;
+  pp_ranking "probabilistic (GDE) ranking" r.probabilistic_ranking;
+  Format.fprintf ppf "  strategies agree on the first probe: %b@." r.agreement;
+  match r.fuzzy_step with
+  | Some s ->
+    Format.fprintf ppf
+      "  probing %s: entropy %s (centroid %.3g) → %s (centroid %.3g)@."
+      s.probe
+      (Interval.to_string s.entropy_before)
+      (Interval.centroid s.entropy_before)
+      (Interval.to_string s.entropy_after)
+      (Interval.centroid s.entropy_after)
+  | None -> Format.fprintf ppf "  no test available@."

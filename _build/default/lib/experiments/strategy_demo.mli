@@ -1,0 +1,27 @@
+(** Reproduction of the paper's section 8: best-test-point selection by
+    fuzzy expected entropy, compared with the GDE-style probabilistic
+    baseline.
+
+    Scenario: the amplifier shows a deviant output (R2 shorted, only Vs
+    probed so far).  Both strategies are asked which node to probe next;
+    the recommended probe is then applied and the entropy reduction is
+    measured. *)
+
+module Interval = Flames_fuzzy.Interval
+
+type step = {
+  probe : string;  (** node recommended *)
+  expected_entropy : Interval.t;
+  entropy_before : Interval.t;
+  entropy_after : Interval.t;  (** after actually probing it *)
+}
+
+type result = {
+  fuzzy_ranking : (string * float) list;  (** node → score, best first *)
+  probabilistic_ranking : (string * float) list;
+  fuzzy_step : step option;
+  agreement : bool;  (** both strategies pick the same probe *)
+}
+
+val run : unit -> result
+val print : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/fuzzy/arith.ml: Float Format Interval List

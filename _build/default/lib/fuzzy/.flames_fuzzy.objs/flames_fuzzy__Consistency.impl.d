@@ -1,0 +1,1 @@
+lib/fuzzy/consistency.ml: Float Format Interval Piecewise

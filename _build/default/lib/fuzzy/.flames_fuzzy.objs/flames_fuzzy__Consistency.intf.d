@@ -1,0 +1,1 @@
+lib/fuzzy/consistency.mli: Format Interval

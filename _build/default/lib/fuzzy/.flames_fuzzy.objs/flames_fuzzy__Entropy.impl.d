@@ -1,0 +1,1 @@
+lib/fuzzy/entropy.ml: Arith Float Interval List Tnorm

@@ -1,0 +1,1 @@
+lib/fuzzy/entropy.mli: Interval

@@ -1,0 +1,1 @@
+lib/fuzzy/interval.ml: Float Format List Printf

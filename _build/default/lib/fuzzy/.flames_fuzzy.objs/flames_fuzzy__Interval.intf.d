@@ -1,0 +1,1 @@
+lib/fuzzy/interval.mli: Format

@@ -1,0 +1,1 @@
+lib/fuzzy/linguistic.ml: Format Interval List Piecewise Printf Tnorm

@@ -1,0 +1,1 @@
+lib/fuzzy/linguistic.mli: Format Interval

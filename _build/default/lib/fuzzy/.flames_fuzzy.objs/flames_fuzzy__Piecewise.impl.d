@@ -1,0 +1,1 @@
+lib/fuzzy/piecewise.ml: Float Interval List

@@ -1,0 +1,1 @@
+lib/fuzzy/tnorm.mli: Format

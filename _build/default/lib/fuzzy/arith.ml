@@ -1,0 +1,83 @@
+exception Undefined of string
+
+open Interval
+
+let add a b =
+  make ~m1:(a.m1 +. b.m1) ~m2:(a.m2 +. b.m2) ~alpha:(a.alpha +. b.alpha)
+    ~beta:(a.beta +. b.beta)
+
+let neg a = make ~m1:(-.a.m2) ~m2:(-.a.m1) ~alpha:a.beta ~beta:a.alpha
+let sub a b = add a (neg b)
+
+(* Hull combination: given the exact images of the four core endpoints and
+   the four support endpoints, rebuild a trapezoid with exact core and
+   support and linearised flanks. *)
+let of_hull core_points support_points =
+  let fold f = function
+    | [] -> invalid_arg "of_hull: empty"
+    | x :: rest -> List.fold_left f x rest
+  in
+  let clo = fold Float.min core_points and chi = fold Float.max core_points in
+  let slo = fold Float.min support_points
+  and shi = fold Float.max support_points in
+  let slo = Float.min slo clo and shi = Float.max shi chi in
+  make ~m1:clo ~m2:chi ~alpha:(clo -. slo) ~beta:(shi -. chi)
+
+let mul a b =
+  let ac = [ a.m1; a.m2 ] and bc = [ b.m1; b.m2 ] in
+  let alo, ahi = support a and blo, bhi = support b in
+  let products xs ys =
+    List.concat_map (fun x -> List.map (fun y -> x *. y) ys) xs
+  in
+  of_hull (products ac bc) (products [ alo; ahi ] [ blo; bhi ])
+
+let inv a =
+  let slo, shi = support a in
+  if slo <= 0. && shi >= 0. then
+    raise (Undefined (Format.asprintf "inverse of %a: support contains 0" pp a));
+  of_hull [ 1. /. a.m2; 1. /. a.m1 ] [ 1. /. shi; 1. /. slo ]
+
+let div a b = mul a (inv b)
+
+let scale k v =
+  if k >= 0. then
+    make ~m1:(k *. v.m1) ~m2:(k *. v.m2) ~alpha:(k *. v.alpha)
+      ~beta:(k *. v.beta)
+  else
+    make ~m1:(k *. v.m2) ~m2:(k *. v.m1) ~alpha:(-.k *. v.beta)
+      ~beta:(-.k *. v.alpha)
+
+let shift c v = make ~m1:(v.m1 +. c) ~m2:(v.m2 +. c) ~alpha:v.alpha ~beta:v.beta
+
+let map_increasing f v =
+  let slo, shi = support v in
+  of_hull [ f v.m1; f v.m2 ] [ f slo; f shi ]
+
+let map_decreasing f v =
+  let slo, shi = support v in
+  of_hull [ f v.m2; f v.m1 ] [ f shi; f slo ]
+
+let log2 v =
+  let slo, _ = support v in
+  if slo <= 0. then
+    raise (Undefined (Format.asprintf "log2 of %a: support reaches 0" pp v));
+  map_increasing (fun x -> Float.log x /. Float.log 2.) v
+
+let fmin a b =
+  let alo, ahi = support a and blo, bhi = support b in
+  of_hull
+    [ Float.min a.m1 b.m1; Float.min a.m2 b.m2 ]
+    [ Float.min alo blo; Float.min ahi bhi ]
+
+let fmax a b =
+  let alo, ahi = support a and blo, bhi = support b in
+  of_hull
+    [ Float.max a.m1 b.m1; Float.max a.m2 b.m2 ]
+    [ Float.max alo blo; Float.max ahi bhi ]
+
+let sum = List.fold_left add (crisp 0.)
+
+let clamp ~lo ~hi v =
+  let c x = Float.max lo (Float.min hi x) in
+  let slo, shi = support v in
+  of_hull [ c v.m1; c v.m2 ] [ c slo; c shi ]

@@ -1,0 +1,55 @@
+(** Fuzzy-interval arithmetic (paper section 3.2, after Bonissone–Decker).
+
+    Addition and subtraction are exact on trapezoids:
+    - [M (+) N = [m1+n1, m2+n2, a+a', b+b']]
+    - [M (-) N = [m1-n2, m2-n1, a+b', b+a']]
+
+    Multiplication, division and nonlinear maps use the LR approximation:
+    the core and support of the result are exact (interval hulls of the
+    endpoint images) and the flanks are linearised. *)
+
+exception Undefined of string
+(** Raised when an operation is not defined on the operands (division by a
+    fuzzy value whose support contains zero, logarithm of a support
+    reaching zero, ...). *)
+
+val add : Interval.t -> Interval.t -> Interval.t
+val sub : Interval.t -> Interval.t -> Interval.t
+val neg : Interval.t -> Interval.t
+
+val mul : Interval.t -> Interval.t -> Interval.t
+(** Exact support/core hull for arbitrary signs. *)
+
+val div : Interval.t -> Interval.t -> Interval.t
+(** @raise Undefined when the divisor's support contains 0. *)
+
+val scale : float -> Interval.t -> Interval.t
+(** [scale k v] multiplies by the crisp constant [k] (negative [k]
+    mirrors the flanks). *)
+
+val shift : float -> Interval.t -> Interval.t
+(** [shift c v] adds the crisp constant [c]. *)
+
+val inv : Interval.t -> Interval.t
+(** [inv v] is [1 / v]. @raise Undefined when the support contains 0. *)
+
+val map_increasing : (float -> float) -> Interval.t -> Interval.t
+(** [map_increasing f v] applies a monotonically increasing function to
+    the four characteristic points (LR approximation). *)
+
+val map_decreasing : (float -> float) -> Interval.t -> Interval.t
+
+val log2 : Interval.t -> Interval.t
+(** @raise Undefined when the support reaches 0 or below. *)
+
+val fmin : Interval.t -> Interval.t -> Interval.t
+(** Fuzzy minimum (endpoint-wise). *)
+
+val fmax : Interval.t -> Interval.t -> Interval.t
+
+val sum : Interval.t list -> Interval.t
+(** Fuzzy sum of a list; the sum of the empty list is [crisp 0]. *)
+
+val clamp : lo:float -> hi:float -> Interval.t -> Interval.t
+(** Restrict the four characteristic points into [lo, hi] (used to keep
+    fuzzy probabilities inside [0, 1]). *)

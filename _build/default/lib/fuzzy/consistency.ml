@@ -1,0 +1,68 @@
+type direction = Within | Low | High
+type verdict = { dc : float; direction : direction }
+
+type coincidence =
+  | Corroboration
+  | Split_measured_in_nominal
+  | Split_nominal_in_measured
+  | Partial_conflict of float
+  | Conflict
+
+let area_epsilon = 1e-12
+
+let dc ~measured ~nominal =
+  let am = Interval.area measured in
+  if am <= area_epsilon then
+    (* limit case: a crisp point; Dc degenerates to the membership of the
+       point in the nominal distribution *)
+    Interval.membership nominal (Interval.midpoint measured)
+  else
+    let inter = Piecewise.min_area measured nominal in
+    Float.max 0. (Float.min 1. (inter /. am))
+
+(* A deviation direction is only meaningful once there is a deviation:
+   quasi-consistent pairs (Dc close to 1) are classified Within, the rest
+   by comparing centroids. *)
+let direction_of ~measured ~nominal d =
+  if d >= 0.995 then Within
+  else
+    let cm = Interval.centroid measured and cn = Interval.centroid nominal in
+    if cm < cn then Low else High
+
+let verdict ~measured ~nominal =
+  let d = dc ~measured ~nominal in
+  { dc = d; direction = direction_of ~measured ~nominal d }
+
+let signed_dc ~measured ~nominal =
+  let v = verdict ~measured ~nominal in
+  match v.direction with
+  | Within -> v.dc
+  | High -> if v.dc = 0. then 1. else v.dc
+  | Low -> if v.dc = 0. then -1. else -.v.dc
+
+let classify a b =
+  if not (Interval.overlap a b) then Conflict
+  else if Interval.equal ~eps:1e-9 a b then Corroboration
+  else if Interval.contains b a then Split_measured_in_nominal
+  else if Interval.contains a b then Split_nominal_in_measured
+  else
+    let d = dc ~measured:a ~nominal:b in
+    if d >= 1. -. 1e-9 then Split_measured_in_nominal
+    else Partial_conflict d
+
+let nogood_degree ~measured ~nominal = 1. -. dc ~measured ~nominal
+
+let pp_direction ppf = function
+  | Within -> Format.pp_print_string ppf "within"
+  | Low -> Format.pp_print_string ppf "low"
+  | High -> Format.pp_print_string ppf "high"
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "Dc=%.3g (%a)" v.dc pp_direction v.direction
+
+let pp_coincidence ppf = function
+  | Corroboration -> Format.pp_print_string ppf "corroboration"
+  | Split_measured_in_nominal -> Format.pp_print_string ppf "split (measured ⊆ nominal)"
+  | Split_nominal_in_measured -> Format.pp_print_string ppf "split (nominal ⊆ measured)"
+  | Partial_conflict d -> Format.fprintf ppf "partial conflict (Dc=%.3g)" d
+  | Conflict -> Format.pp_print_string ppf "conflict"

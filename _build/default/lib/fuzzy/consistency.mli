@@ -1,0 +1,55 @@
+(** Degree of consistency between a measured and a nominal fuzzy value
+    (paper section 6.1.2).
+
+    [Dc = area (Vm ⊓ Vn) / area Vm] where [⊓] is the pointwise minimum of
+    the membership functions.  [Dc = 1] when [Vm ⊆ Vn] (the proposition
+    "X ∈ Vn" is necessarily true), [Dc = 0] when the supports are
+    disjoint, and [0 < Dc < 1] for a partial conflict. *)
+
+(** Side of the nominal value on which the measured value (mostly) lies. *)
+type direction =
+  | Within  (** measured centroid inside the nominal core *)
+  | Low  (** measured centroid below the nominal core *)
+  | High  (** measured centroid above the nominal core *)
+
+type verdict = {
+  dc : float;  (** degree of consistency in [0, 1] *)
+  direction : direction;
+}
+
+(** The four coincidence cases of fig. 4. *)
+type coincidence =
+  | Corroboration  (** same value (Dc = 1 both ways) *)
+  | Split_measured_in_nominal  (** measured included in nominal *)
+  | Split_nominal_in_measured  (** nominal included in measured *)
+  | Partial_conflict of float  (** overlap with Dc < 1; payload is Dc *)
+  | Conflict  (** disjoint supports, Dc = 0 *)
+
+val dc : measured:Interval.t -> nominal:Interval.t -> float
+(** [dc ~measured ~nominal] is the degree of consistency.  When the
+    measured value has (near-)zero area — a crisp point — the limit
+    definition is used: the membership of the point's core midpoint in
+    the nominal value. *)
+
+val verdict : measured:Interval.t -> nominal:Interval.t -> verdict
+(** Dc together with the deviation direction. *)
+
+val signed_dc : measured:Interval.t -> nominal:Interval.t -> float
+(** Display-compatible signed Dc as printed in the paper's fig. 7:
+    [dc] when the deviation is high-side or within, [-.dc] when low-side
+    with partial overlap, and [±1] marks a complete conflict (so a fully
+    deviant low-side measurement prints [-1], as in the paper).  Note the
+    paper's convention is ambiguous for high-side complete conflicts
+    (they print [+1], indistinguishable from consistency); use {!verdict}
+    for unambiguous reporting. *)
+
+val classify : Interval.t -> Interval.t -> coincidence
+(** [classify a b] determines the coincidence case of fig. 4 between two
+    values of the same quantity. *)
+
+val nogood_degree : measured:Interval.t -> nominal:Interval.t -> float
+(** [1 - dc]: the degree with which the supporting assumption set is a
+    nogood (0 = fully consistent, 1 = hard conflict). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_coincidence : Format.formatter -> coincidence -> unit

@@ -1,0 +1,31 @@
+let plogp p =
+  if p <= 0. || p >= 1. then 0. else -.p *. (Float.log p /. Float.log 2.)
+
+let binary_entropy p =
+  let p = Tnorm.clamp01 p in
+  plogp p +. plogp (1. -. p)
+
+(* Exact image of an interval under the unimodal H: the maximum is H(1/2)
+   when the interval straddles 1/2, otherwise at the nearest endpoint; the
+   minimum is at an endpoint. *)
+let image lo hi =
+  let glo = binary_entropy lo and ghi = binary_entropy hi in
+  let mx = if lo <= 0.5 && 0.5 <= hi then 1. else Float.max glo ghi in
+  (Float.min glo ghi, mx)
+
+let term f =
+  let f = Arith.clamp ~lo:0. ~hi:1. f in
+  let clo, chi = Interval.core f in
+  let slo, shi = Interval.support f in
+  let core_lo, core_hi = image clo chi in
+  let supp_lo, supp_hi = image slo shi in
+  let supp_lo = Float.min supp_lo core_lo
+  and supp_hi = Float.max supp_hi core_hi in
+  Interval.make ~m1:core_lo ~m2:core_hi ~alpha:(core_lo -. supp_lo)
+    ~beta:(supp_hi -. core_hi)
+
+let entropy estimations = Arith.sum (List.map term estimations)
+let entropy_defuzzified estimations = Interval.centroid (entropy estimations)
+
+let crisp_entropy probabilities =
+  List.fold_left (fun acc p -> acc +. binary_entropy p) 0. probabilities

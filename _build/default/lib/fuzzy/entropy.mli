@@ -1,0 +1,31 @@
+(** Fuzzy Shannon entropy (paper section 8.2).
+
+    For a set S of n components with fuzzy faultiness estimations Fi, the
+    fuzzy entropy extends Shannon's formula to fuzzy probabilities:
+
+    [Ent(S) = ⊕_i H(Fi)]  with  [H(p) = −p·log2 p − (1−p)·log2 (1−p)]
+
+    (the scan of the paper garbles the exact formula; we use the faithful
+    binary-entropy term — see DESIGN.md).  Each [H(Fi)] is computed as the
+    {e exact image} of the fuzzy estimation under the unimodal function H
+    (image hulls of the core and support, accounting for the peak at
+    p = 1/2), not as a composition of interval operations — naive interval
+    arithmetic would lose the dependency between [p] and [log2 p] and
+    grossly overestimate the spread. *)
+
+val binary_entropy : float -> float
+(** [H(p)] in bits, with the conventions [H(0) = H(1) = 0]. *)
+
+val term : Interval.t -> Interval.t
+(** [term f] is the fuzzy value [H(f)] for one component; [f] is clamped
+    into [0, 1] first. *)
+
+val entropy : Interval.t list -> Interval.t
+(** Fuzzy entropy of a system of fuzzy faultiness estimations. *)
+
+val entropy_defuzzified : Interval.t list -> float
+(** Centroid of {!entropy} — a crisp score used to compare test plans. *)
+
+val crisp_entropy : float list -> float
+(** Classical Shannon entropy [Σ H(pᵢ)] over independent per-component
+    fault probabilities; the probabilistic baseline uses it. *)

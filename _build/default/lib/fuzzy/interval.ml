@@ -1,0 +1,95 @@
+type t = { m1 : float; m2 : float; alpha : float; beta : float }
+
+exception Invalid of string
+
+let is_nan (x : float) = x <> x
+
+let make ~m1 ~m2 ~alpha ~beta =
+  if is_nan m1 || is_nan m2 || is_nan alpha || is_nan beta then
+    raise (Invalid "fuzzy interval field is NaN");
+  if m1 > m2 then
+    raise (Invalid (Printf.sprintf "core bounds inverted: m1=%g > m2=%g" m1 m2));
+  if alpha < 0. || beta < 0. then
+    raise (Invalid (Printf.sprintf "negative flank: alpha=%g beta=%g" alpha beta));
+  { m1; m2; alpha; beta }
+
+let crisp m = make ~m1:m ~m2:m ~alpha:0. ~beta:0.
+let crisp_interval a b = make ~m1:a ~m2:b ~alpha:0. ~beta:0.
+let number m ~spread = make ~m1:m ~m2:m ~alpha:spread ~beta:spread
+
+let around m ~rel =
+  let w = if m = 0. then rel else rel *. Float.abs m in
+  number m ~spread:w
+
+let core v = (v.m1, v.m2)
+let support v = (v.m1 -. v.alpha, v.m2 +. v.beta)
+
+let membership v x =
+  if x >= v.m1 && x <= v.m2 then 1.
+  else if x < v.m1 then
+    if v.alpha = 0. then 0.
+    else
+      let d = (x -. (v.m1 -. v.alpha)) /. v.alpha in
+      Float.max 0. d
+  else if v.beta = 0. then 0.
+  else
+    let d = (v.m2 +. v.beta -. x) /. v.beta in
+    Float.max 0. d
+
+let alpha_cut v a =
+  if a <= 0. || a > 1. then None
+  else Some (v.m1 -. ((1. -. a) *. v.alpha), v.m2 +. ((1. -. a) *. v.beta))
+
+let area v = v.m2 -. v.m1 +. ((v.alpha +. v.beta) /. 2.)
+let width v = v.m2 +. v.beta -. (v.m1 -. v.alpha)
+let midpoint v = (v.m1 +. v.m2) /. 2.
+
+(* Centroid of the trapezoid: weighted average of the three pieces
+   (left triangle, core rectangle, right triangle). *)
+let centroid v =
+  let a = area v in
+  if a <= 0. then midpoint v
+  else
+    let left_area = v.alpha /. 2.
+    and left_cg = v.m1 -. (v.alpha /. 3.)
+    and mid_area = v.m2 -. v.m1
+    and mid_cg = midpoint v
+    and right_area = v.beta /. 2.
+    and right_cg = v.m2 +. (v.beta /. 3.) in
+    ((left_area *. left_cg) +. (mid_area *. mid_cg) +. (right_area *. right_cg))
+    /. a
+
+let is_crisp v = v.alpha = 0. && v.beta = 0.
+let is_point v = is_crisp v && v.m1 = v.m2
+
+let contains outer inner =
+  let olo, ohi = support outer and ilo, ihi = support inner in
+  olo <= ilo && ihi <= ohi && outer.m1 <= inner.m1 && inner.m2 <= outer.m2
+
+let overlap a b =
+  let alo, ahi = support a and blo, bhi = support b in
+  ahi >= blo && bhi >= alo
+
+let equal ?(eps = 1e-9) a b =
+  Float.abs (a.m1 -. b.m1) <= eps
+  && Float.abs (a.m2 -. b.m2) <= eps
+  && Float.abs (a.alpha -. b.alpha) <= eps
+  && Float.abs (a.beta -. b.beta) <= eps
+
+let equal_rel ?(rel = 1e-3) a b =
+  let scale =
+    List.fold_left
+      (fun acc x -> Float.max acc (Float.abs x))
+      1e-30
+      [ a.m1; a.m2; b.m1; b.m2; a.alpha; a.beta; b.alpha; b.beta ]
+  in
+  equal ~eps:(rel *. scale) a b
+
+let compare_centroid a b =
+  let c = Float.compare (centroid a) (centroid b) in
+  if c <> 0 then c else Float.compare (width a) (width b)
+
+let pp ppf v =
+  Format.fprintf ppf "[%g,%g,%g,%g]" v.m1 v.m2 v.alpha v.beta
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,110 @@
+(** Trapezoidal fuzzy intervals.
+
+    A fuzzy interval is represented by the 4-tuple [m1, m2, alpha, beta]
+    of the paper (fig. 1): the core is the crisp interval [m1, m2] where
+    the membership degree is 1, and the membership decreases linearly to 0
+    over [m1 - alpha, m1] on the left and [m2, m2 + beta] on the right.
+
+    This single representation uniformly covers crisp numbers
+    ([m, m, 0, 0]), crisp intervals ([a, b, 0, 0]), fuzzy numbers
+    ([m, m, alpha, beta]) and general fuzzy intervals. *)
+
+type t = private {
+  m1 : float;  (** lower bound of the core *)
+  m2 : float;  (** upper bound of the core *)
+  alpha : float;  (** width of the left flank, [>= 0] *)
+  beta : float;  (** width of the right flank, [>= 0] *)
+}
+
+exception Invalid of string
+(** Raised by constructors on malformed parameters (NaN, [m1 > m2],
+    negative flank width). *)
+
+(** {1 Constructors} *)
+
+val make : m1:float -> m2:float -> alpha:float -> beta:float -> t
+(** [make ~m1 ~m2 ~alpha ~beta] builds the fuzzy interval
+    [[m1, m2, alpha, beta]].
+    @raise Invalid if [m1 > m2], a flank is negative, or any field is NaN. *)
+
+val crisp : float -> t
+(** [crisp m] is the crisp number [[m, m, 0, 0]]. *)
+
+val crisp_interval : float -> float -> t
+(** [crisp_interval a b] is the crisp interval [[a, b, 0, 0]].
+    @raise Invalid if [a > b]. *)
+
+val number : float -> spread:float -> t
+(** [number m ~spread] is the symmetric fuzzy number [[m, m, spread, spread]]. *)
+
+val around : float -> rel:float -> t
+(** [around m ~rel] is the fuzzy number centred on [m] with flanks of
+    relative width [rel * abs m] (used for component tolerances).
+    For [m = 0] the flank width is [rel] itself. *)
+
+(** {1 Accessors} *)
+
+val core : t -> float * float
+(** [core v] is the crisp interval of full membership [(m1, m2)]. *)
+
+val support : t -> float * float
+(** [support v] is the interval of non-zero membership
+    [(m1 - alpha, m2 + beta)]. *)
+
+val membership : t -> float -> float
+(** [membership v x] is the membership degree of [x] in [v], in [0, 1]. *)
+
+val alpha_cut : t -> float -> (float * float) option
+(** [alpha_cut v a] is the crisp interval of points with membership
+    [>= a], or [None] if [a > 1] or [a <= 0]. *)
+
+val area : t -> float
+(** [area v] is the integral of the membership function:
+    [(m2 - m1) + (alpha + beta) / 2]. Zero for crisp numbers. *)
+
+val centroid : t -> float
+(** [centroid v] is the centre of gravity of the membership function,
+    used for defuzzification and ranking. For a zero-area value the
+    midpoint of the core is returned. *)
+
+val width : t -> float
+(** [width v] is the support width [m2 + beta - (m1 - alpha)]. *)
+
+val midpoint : t -> float
+(** [midpoint v] is the midpoint of the core. *)
+
+(** {1 Predicates} *)
+
+val is_crisp : t -> bool
+(** [is_crisp v] holds when both flanks are zero. *)
+
+val is_point : t -> bool
+(** [is_point v] holds when [v] is a single crisp number. *)
+
+val contains : t -> t -> bool
+(** [contains outer inner] holds when the support of [inner] is included
+    in the support of [outer] and its core in the core of [outer]
+    (the "A splits B" containment of fig. 4). *)
+
+val overlap : t -> t -> bool
+(** [overlap a b] holds when supports intersect with positive length
+    (or touch, for point values). *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Structural equality of the four parameters up to [eps]
+    (default [1e-9]). *)
+
+val equal_rel : ?rel:float -> t -> t -> bool
+(** Structural equality up to a relative tolerance (default [1e-3])
+    scaled by the magnitude of the values — used to collapse derivation
+    families that differ only by floating-point jitter. *)
+
+val compare_centroid : t -> t -> int
+(** Total order by centroid then by width; used to rank fuzzy values. *)
+
+(** {1 Formatting} *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [[m1,m2,a,b]] with compact float formatting. *)
+
+val to_string : t -> string

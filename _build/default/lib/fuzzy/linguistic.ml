@@ -1,0 +1,64 @@
+type term = { name : string; value : Interval.t }
+type scale = term list
+
+let term name value = { name; value }
+
+let make_scale terms =
+  if terms = [] then invalid_arg "Linguistic.make_scale: empty scale";
+  let in_unit { value; name } =
+    let lo, hi = Interval.support value in
+    if lo < -1e-9 || hi > 1. +. 1e-9 then
+      invalid_arg
+        (Printf.sprintf "Linguistic.make_scale: term %S leaves [0,1]" name)
+  in
+  List.iter in_unit terms;
+  let rec ordered = function
+    | a :: (b :: _ as rest) ->
+      if Interval.centroid a.value > Interval.centroid b.value then
+        invalid_arg "Linguistic.make_scale: terms not ordered";
+      ordered rest
+    | [ _ ] | [] -> ()
+  in
+  ordered terms;
+  terms
+
+(* The paper's five-term decomposition (its core positions: correct
+   [0,.05], likely-correct [.18,.34], likely-faulty [.66,.82], faulty
+   [.95,1]), with flanks widened so that consecutive terms overlap — the
+   scale covers every point of [0,1] and matching never falls into a
+   gap. *)
+let correct = term "correct" (Interval.make ~m1:0. ~m2:0.05 ~alpha:0. ~beta:0.14)
+
+let likely_correct =
+  term "likely-correct" (Interval.make ~m1:0.18 ~m2:0.34 ~alpha:0.14 ~beta:0.12)
+
+let unknown = term "unknown" (Interval.make ~m1:0.45 ~m2:0.55 ~alpha:0.12 ~beta:0.12)
+
+let likely_faulty =
+  term "likely-faulty" (Interval.make ~m1:0.66 ~m2:0.82 ~alpha:0.12 ~beta:0.14)
+
+let faulty = term "faulty" (Interval.make ~m1:0.95 ~m2:1. ~alpha:0.14 ~beta:0.)
+
+let default_scale =
+  make_scale [ correct; likely_correct; unknown; likely_faulty; faulty ]
+
+let terms scale = scale
+
+let best_match scale estimation =
+  let score t = Piecewise.height_of_min t.value estimation in
+  match scale with
+  | [] -> assert false (* make_scale forbids empty scales *)
+  | first :: rest ->
+    let best, _ =
+      List.fold_left
+        (fun (bt, bs) t ->
+          let s = score t in
+          if s > bs then (t, s) else (bt, bs))
+        (first, score first) rest
+    in
+    best
+
+let of_degree scale x =
+  best_match scale (Interval.crisp (Tnorm.clamp01 x))
+
+let pp_term ppf t = Format.fprintf ppf "%s%a" t.name Interval.pp t.value

@@ -1,0 +1,40 @@
+(** Linguistic fuzzy estimations of faultiness (paper section 8.1).
+
+    The [0, 1] faultiness axis is decomposed into linguistic terms defined
+    by fuzzy intervals, e.g. [Correct = [0, .05, 0, .05]] and
+    [Likely_correct = [.18, .34, .02, .06]].  The granularity of the
+    decomposition is configurable; the paper's five-term scale is provided
+    as the default. *)
+
+type term = { name : string; value : Interval.t }
+
+type scale = private term list
+(** An ordered list of terms covering [0, 1]. *)
+
+val term : string -> Interval.t -> term
+
+val make_scale : term list -> scale
+(** @raise Invalid_argument if empty, if a term leaves [0,1], or if the
+    terms are not ordered by centroid. *)
+
+val default_scale : scale
+(** The paper's five-term decomposition:
+    correct, likely-correct, unknown, likely-faulty, faulty. *)
+
+val correct : term
+val likely_correct : term
+val unknown : term
+val likely_faulty : term
+val faulty : term
+
+val terms : scale -> term list
+
+val best_match : scale -> Interval.t -> term
+(** The scale term with the highest matching possibility
+    (height of the pointwise minimum) against the given estimation;
+    ties are broken towards the lower term. *)
+
+val of_degree : scale -> float -> term
+(** The term with maximal membership at a crisp faultiness degree. *)
+
+val pp_term : Format.formatter -> term -> unit

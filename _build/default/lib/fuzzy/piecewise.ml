@@ -1,0 +1,101 @@
+let breakpoints (v : Interval.t) =
+  let lo, hi = Interval.support v in
+  let pts = [ lo; v.Interval.m1; v.Interval.m2; hi ] in
+  List.sort_uniq Float.compare pts
+
+(* Membership of a trapezoid is linear on every interval between
+   consecutive breakpoints of BOTH operands; inside such an interval the
+   pointwise min/max of the two linear pieces is integrated exactly,
+   splitting once at the crossing point if the pieces intersect. *)
+
+let merged_breakpoints a b =
+  List.sort_uniq Float.compare (breakpoints a @ breakpoints b)
+
+let segment_integral f g lo hi =
+  (* Integral of [min (f x) (g x)] and [max (f x) (g x)] over [lo, hi],
+     where f and g are linear on [lo, hi]. *)
+  if hi <= lo then (0., 0.)
+  else
+    let fl = f lo and fh = f hi and gl = g lo and gh = g hi in
+    let trap y0 y1 = (y0 +. y1) /. 2. *. (hi -. lo) in
+    let dl = fl -. gl and dh = fh -. gh in
+    if dl *. dh >= 0. then
+      (* no crossing inside: one function dominates throughout *)
+      let min_i = trap (Float.min fl gl) (Float.min fh gh)
+      and max_i = trap (Float.max fl gl) (Float.max fh gh) in
+      (min_i, max_i)
+    else
+      (* crossing at lo + t * (hi - lo) with t = dl / (dl - dh) *)
+      let t = dl /. (dl -. dh) in
+      let xm = lo +. (t *. (hi -. lo)) in
+      let ym = fl +. ((fh -. fl) *. t) in
+      let trap_on x0 x1 y0 y1 = (y0 +. y1) /. 2. *. (x1 -. x0) in
+      let min_i =
+        trap_on lo xm (Float.min fl gl) ym +. trap_on xm hi ym (Float.min fh gh)
+      and max_i =
+        trap_on lo xm (Float.max fl gl) ym +. trap_on xm hi ym (Float.max fh gh)
+      in
+      (min_i, max_i)
+
+let areas a b =
+  let pts = merged_breakpoints a b in
+  let f = Interval.membership a and g = Interval.membership b in
+  let rec loop acc_min acc_max = function
+    | x0 :: (x1 :: _ as rest) ->
+      let mi, ma = segment_integral f g x0 x1 in
+      loop (acc_min +. mi) (acc_max +. ma) rest
+    | [ _ ] | [] -> (acc_min, acc_max)
+  in
+  loop 0. 0. pts
+
+let min_area a b = fst (areas a b)
+let max_area a b = snd (areas a b)
+
+let height_of_min a b =
+  let pts = merged_breakpoints a b in
+  let f = Interval.membership a and g = Interval.membership b in
+  let at x = Float.min (f x) (g x) in
+  (* the maximum of a piecewise-linear function is reached at a breakpoint
+     or at a crossing of the two pieces *)
+  let rec crossings acc = function
+    | x0 :: (x1 :: _ as rest) ->
+      let dl = f x0 -. g x0 and dh = f x1 -. g x1 in
+      let acc =
+        if dl *. dh < 0. then
+          let t = dl /. (dl -. dh) in
+          (x0 +. (t *. (x1 -. x0))) :: acc
+        else acc
+      in
+      crossings acc rest
+    | [ _ ] | [] -> acc
+  in
+  let candidates = pts @ crossings [] pts in
+  List.fold_left (fun best x -> Float.max best (at x)) 0. candidates
+
+let intersection_hull (a : Interval.t) (b : Interval.t) =
+  let alo, ahi = Interval.support a and blo, bhi = Interval.support b in
+  let slo = Float.max alo blo and shi = Float.min ahi bhi in
+  if slo > shi then None
+  else
+    let clo = Float.max a.Interval.m1 b.Interval.m1
+    and chi = Float.min a.Interval.m2 b.Interval.m2 in
+    let clo, chi =
+      if clo <= chi then (clo, chi)
+      else
+        (* cores disjoint: peak of the min function sits where the facing
+           flanks cross; collapse the core to that abscissa *)
+        let x =
+          if a.Interval.m2 < b.Interval.m1 then
+            (* a left of b: right flank of a meets left flank of b *)
+            let xa = a.Interval.m2 +. a.Interval.beta
+            and xb = b.Interval.m1 -. b.Interval.alpha in
+            Float.max slo (Float.min shi ((xa +. xb) /. 2.))
+          else
+            let xa = a.Interval.m1 -. a.Interval.alpha
+            and xb = b.Interval.m2 +. b.Interval.beta in
+            Float.max slo (Float.min shi ((xa +. xb) /. 2.))
+        in
+        (x, x)
+    in
+    let clo = Float.max clo slo and chi = Float.min chi shi in
+    Some (Interval.make ~m1:clo ~m2:chi ~alpha:(clo -. slo) ~beta:(shi -. chi))

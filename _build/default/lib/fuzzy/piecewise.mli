@@ -1,0 +1,31 @@
+(** Exact operations on piecewise-linear membership functions.
+
+    The degree of consistency Dc of the paper (section 6.1.2) is the ratio
+    of the area of the pointwise-minimum of two trapezoidal membership
+    functions to the area of the first.  The minimum of two trapezoids is
+    piecewise linear but not trapezoidal, so it is computed here exactly by
+    splitting the real line at every breakpoint and crossing point and
+    integrating segment by segment. *)
+
+val breakpoints : Interval.t -> float list
+(** The abscissae at which the membership function of a trapezoid changes
+    slope, in increasing order (duplicates removed). *)
+
+val min_area : Interval.t -> Interval.t -> float
+(** [min_area a b] is the exact integral of
+    [fun x -> min (membership a x) (membership b x)]
+    over the whole real line. *)
+
+val max_area : Interval.t -> Interval.t -> float
+(** [max_area a b] is the exact integral of the pointwise maximum. *)
+
+val intersection_hull : Interval.t -> Interval.t -> Interval.t option
+(** [intersection_hull a b] is the trapezoidal approximation of the
+    pointwise minimum of [a] and [b]: its support is the intersection of
+    the supports, its core the intersection of the cores when non-empty
+    (otherwise a point core at the abscissa of maximal membership).
+    [None] when the supports are disjoint. *)
+
+val height_of_min : Interval.t -> Interval.t -> float
+(** Maximal value of the pointwise minimum — the classical possibility
+    degree of matching between two fuzzy values. *)

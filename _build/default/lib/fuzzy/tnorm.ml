@@ -1,0 +1,25 @@
+type t = Minimum | Product | Lukasiewicz
+
+let clamp01 x = Float.max 0. (Float.min 1. x)
+
+let tnorm t a b =
+  let a = clamp01 a and b = clamp01 b in
+  match t with
+  | Minimum -> Float.min a b
+  | Product -> a *. b
+  | Lukasiewicz -> Float.max 0. (a +. b -. 1.)
+
+let tconorm t a b =
+  let a = clamp01 a and b = clamp01 b in
+  match t with
+  | Minimum -> Float.max a b
+  | Product -> a +. b -. (a *. b)
+  | Lukasiewicz -> Float.min 1. (a +. b)
+
+let neg x = 1. -. clamp01 x
+let combine_all t = List.fold_left (tnorm t) 1.
+
+let pp ppf = function
+  | Minimum -> Format.pp_print_string ppf "min"
+  | Product -> Format.pp_print_string ppf "product"
+  | Lukasiewicz -> Format.pp_print_string ppf "lukasiewicz"

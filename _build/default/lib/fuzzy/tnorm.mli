@@ -1,0 +1,24 @@
+(** Triangular norms and conorms on membership degrees in [0, 1].
+
+    Used to combine certainty degrees of rules and assumptions: the engine
+    defaults to the min/max pair (Zadeh), the knowledge base can opt into
+    product or Łukasiewicz combination. *)
+
+type t = Minimum | Product | Lukasiewicz
+
+val tnorm : t -> float -> float -> float
+(** Conjunctive combination; all three coincide on {0,1}-valued inputs. *)
+
+val tconorm : t -> float -> float -> float
+(** The dual conorm ([tconorm t a b = 1 - tnorm t (1-a) (1-b)]). *)
+
+val neg : float -> float
+(** Standard fuzzy negation [1 - x]. *)
+
+val combine_all : t -> float list -> float
+(** [tnorm]-fold of a list; the empty list combines to [1.] (neutral). *)
+
+val clamp01 : float -> float
+(** Clamp into [0, 1] (guards against float drift). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/learning/experience.ml: Flames_circuit Flames_core Float Knowledge_base List Rule

@@ -1,0 +1,1 @@
+lib/learning/experience.mli: Flames_circuit Flames_core Knowledge_base

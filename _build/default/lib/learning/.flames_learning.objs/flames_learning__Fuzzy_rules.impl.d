@@ -1,0 +1,1 @@
+lib/learning/fuzzy_rules.ml: Flames_atms Flames_fuzzy Float Format Hashtbl List Printf String

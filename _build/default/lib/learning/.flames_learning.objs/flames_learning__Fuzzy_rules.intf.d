@@ -1,0 +1,1 @@
+lib/learning/fuzzy_rules.mli: Flames_atms Flames_fuzzy Format

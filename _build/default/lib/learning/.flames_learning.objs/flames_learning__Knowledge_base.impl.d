@@ -1,0 +1,1 @@
+lib/learning/knowledge_base.ml: Flames_fuzzy Float Format Hashtbl List Option Rule

@@ -1,0 +1,1 @@
+lib/learning/knowledge_base.mli: Flames_core Format Rule

@@ -1,0 +1,1 @@
+lib/learning/rule.ml: Flames_circuit Flames_core Flames_fuzzy Float Format List Option

@@ -1,0 +1,1 @@
+lib/learning/rule.mli: Flames_circuit Flames_core Flames_fuzzy Format

@@ -1,0 +1,58 @@
+module Fault = Flames_circuit.Fault
+
+type episode = {
+  result : Flames_core.Diagnose.result;
+  confirmed : string;
+  mode : Fault.mode option;
+}
+
+let circuit_of (r : Flames_core.Diagnose.result) =
+  r.Flames_core.Diagnose.netlist.Flames_circuit.Netlist.name
+
+let record kb episode =
+  let circuit = circuit_of episode.result in
+  match
+    Rule.of_symptoms ~circuit episode.result.Flames_core.Diagnose.symptoms
+      ~suspect:episode.confirmed ?mode:episode.mode ()
+  with
+  | None -> false
+  | Some rule ->
+    let existing =
+      List.find_opt
+        (fun r ->
+          r.Rule.circuit = circuit
+          && r.Rule.suspect = episode.confirmed
+          && r.Rule.mode = episode.mode
+          && Rule.match_degree r episode.result.Flames_core.Diagnose.symptoms
+             > 0.5)
+        (Knowledge_base.rules_for kb ~circuit)
+    in
+    (match existing with
+    | Some r -> Knowledge_base.reinforce kb r ~confirmed:true
+    | None -> Knowledge_base.add_rule kb rule);
+    true
+
+let suggest kb result =
+  Knowledge_base.consult kb ~circuit:(circuit_of result)
+    result.Flames_core.Diagnose.symptoms
+  |> List.map (fun (a : Knowledge_base.advice) ->
+         (a.Knowledge_base.rule.Rule.suspect, a.Knowledge_base.degree))
+
+let rerank kb result =
+  let suggestions = suggest kb result in
+  let confidence name =
+    List.fold_left
+      (fun acc (s, d) -> if s = name then Float.max acc d else acc)
+      0. suggestions
+  in
+  result.Flames_core.Diagnose.suspects
+  |> List.map (fun (s : Flames_core.Diagnose.suspect) ->
+         let name = s.Flames_core.Diagnose.component in
+         let model_score =
+           s.Flames_core.Diagnose.suspicion
+           *. (0.5 +. (0.5 *. Knowledge_base.prior kb name))
+         in
+         (* experience adds to the model-based evidence: a matching rule
+            lifts its suspect above same-suspicion candidates *)
+         (name, model_score +. confidence name))
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)

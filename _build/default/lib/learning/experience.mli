@@ -1,0 +1,38 @@
+(** Learning from experience (paper section 7).
+
+    Each completed diagnosis episode — symptoms, the component finally
+    confirmed faulty by the expert, and optionally the fault mode — is
+    folded into the knowledge base as a symptom→failure rule.  On later
+    diagnoses of the same circuit, {!suggest} ranks candidates with the
+    learnt rules so the expert sees "last time these symptoms meant R2". *)
+
+module Fault = Flames_circuit.Fault
+
+type episode = {
+  result : Flames_core.Diagnose.result;
+  confirmed : string;  (** component the expert confirmed faulty *)
+  mode : Fault.mode option;
+}
+
+val record : Knowledge_base.t -> episode -> bool
+(** Fold the episode into the knowledge base.  When a rule with the same
+    shape already exists it is confirmed (certainty strengthened);
+    otherwise a new rule at certainty 0.5 is added.  Returns [false]
+    when the episode has no usable symptom (nothing learnt). *)
+
+val suggest :
+  Knowledge_base.t ->
+  Flames_core.Diagnose.result ->
+  (string * float) list
+(** Components suggested by the learnt rules for the given (fresh)
+    diagnosis, with confidence — the experience-based complement to the
+    model-based candidate ranking. *)
+
+val rerank :
+  Knowledge_base.t ->
+  Flames_core.Diagnose.result ->
+  (string * float) list
+(** Combine model-based suspicion with experience: per suspect,
+    [suspicion × prior-weight + rule-confidence] — a matching learnt rule
+    lifts its suspect above equally-suspect candidates.  Strongest
+    first. *)

@@ -1,0 +1,236 @@
+module Interval = Flames_fuzzy.Interval
+module Piecewise = Flames_fuzzy.Piecewise
+module Linguistic = Flames_fuzzy.Linguistic
+module Tnorm = Flames_fuzzy.Tnorm
+module Atms = Flames_atms.Atms
+
+type atom = { variable : string; term : Linguistic.term }
+
+let atom variable term = { variable; term }
+let is_ = atom
+
+type rule = {
+  name : string;
+  antecedents : atom list;
+  consequent : atom;
+  certainty : float;
+}
+
+let rule ?(certainty = 1.) name ~antecedents ~consequent =
+  if antecedents = [] then invalid_arg "Fuzzy_rules.rule: empty antecedents";
+  if certainty <= 0. || certainty > 1. then
+    invalid_arg "Fuzzy_rules.rule: certainty outside (0, 1]";
+  { name; antecedents; consequent; certainty }
+
+type t = {
+  tnorm : Tnorm.t;
+  mutable rule_list : rule list;
+  values : (string, Interval.t) Hashtbl.t;
+  (* concluded degree per (variable, term name) *)
+  concluded : (string * string, float * Linguistic.term) Hashtbl.t;
+  mutable stale : bool;
+}
+
+let create ?(tnorm = Tnorm.Minimum) () =
+  {
+    tnorm;
+    rule_list = [];
+    values = Hashtbl.create 16;
+    concluded = Hashtbl.create 16;
+    stale = true;
+  }
+
+let add_rule t r =
+  t.rule_list <- r :: t.rule_list;
+  t.stale <- true
+
+let rules t = List.rev t.rule_list
+
+let assert_value t variable value =
+  Hashtbl.replace t.values variable value;
+  t.stale <- true
+
+let key a = (a.variable, a.term.Linguistic.name)
+
+let concluded_degree t a =
+  match Hashtbl.find_opt t.concluded (key a) with
+  | Some (d, _) -> d
+  | None -> 0.
+
+let observation_degree t a =
+  match Hashtbl.find_opt t.values a.variable with
+  | Some value -> Piecewise.height_of_min value a.term.Linguistic.value
+  | None -> 0.
+
+let raw_degree t a =
+  Tnorm.tconorm t.tnorm (observation_degree t a) (concluded_degree t a)
+
+let asserted : (string * string, float * Linguistic.term) Hashtbl.t -> atom -> float -> unit =
+ fun table a d ->
+  let cur =
+    match Hashtbl.find_opt table (key a) with Some (x, _) -> x | None -> 0.
+  in
+  if d > cur then Hashtbl.replace table (key a) (d, a.term)
+
+let assert_degree t a d =
+  asserted t.concluded a (Tnorm.clamp01 d);
+  t.stale <- false
+
+(* Forward chaining to fixpoint.  Each sweep recomputes every rule's
+   firing degree from the previous sweep's conclusions and combines the
+   contributions per consequent with the t-conorm — rebuilding from
+   scratch (rather than accumulating into the running map) keeps a rule
+   from reinforcing itself sweep after sweep under the product
+   t-conorm.  Degrees are monotone across sweeps and bounded by 1, so
+   the loop terminates. *)
+let infer t =
+  if t.stale then begin
+    Hashtbl.reset t.concluded;
+    t.stale <- false
+  end;
+  (* expert assertions are a floor that every sweep keeps *)
+  let floor_assertions = Hashtbl.copy t.concluded in
+  let changed = ref true in
+  let sweeps = ref 0 in
+  while !changed && !sweeps < 1000 do
+    incr sweeps;
+    let next = Hashtbl.copy floor_assertions in
+    List.iter
+      (fun r ->
+        let firing =
+          List.fold_left
+            (fun acc a -> Tnorm.tnorm t.tnorm acc (raw_degree t a))
+            r.certainty r.antecedents
+        in
+        if firing > 0. then begin
+          let cur =
+            match Hashtbl.find_opt next (key r.consequent) with
+            | Some (x, _) -> x
+            | None -> 0.
+          in
+          let d = Tnorm.tconorm t.tnorm cur firing in
+          Hashtbl.replace next (key r.consequent) (d, r.consequent.term)
+        end)
+      t.rule_list;
+    (* compare with the current map *)
+    let same =
+      Hashtbl.length next = Hashtbl.length t.concluded
+      && Hashtbl.fold
+           (fun k (d, _) acc ->
+             acc
+             &&
+             match Hashtbl.find_opt t.concluded k with
+             | Some (d', _) -> Float.abs (d -. d') <= 1e-9
+             | None -> false)
+           next true
+    in
+    if same then changed := false
+    else begin
+      Hashtbl.reset t.concluded;
+      Hashtbl.iter (fun k v -> Hashtbl.replace t.concluded k v) next
+    end
+  done
+
+let degree t a =
+  infer t;
+  raw_degree t a
+
+let conclusions t =
+  infer t;
+  Hashtbl.fold
+    (fun (variable, _) (d, term) acc -> ({ variable; term }, d) :: acc)
+    t.concluded []
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+
+(* Mamdani aggregation: union (max) of the concluded terms clipped at
+   their degrees, defuzzified by a sampled centroid. *)
+let defuzzify t variable =
+  infer t;
+  let clipped =
+    Hashtbl.fold
+      (fun (v, _) (d, term) acc ->
+        if v = variable && d > 0. then (d, term.Linguistic.value) :: acc
+        else acc)
+      t.concluded []
+  in
+  if clipped = [] then None
+  else begin
+    let lo, hi =
+      List.fold_left
+        (fun (lo, hi) (_, set) ->
+          let slo, shi = Interval.support set in
+          (Float.min lo slo, Float.max hi shi))
+        (Float.max_float, -.Float.max_float)
+        clipped
+    in
+    if hi <= lo then Some lo
+    else begin
+      let samples = 512 in
+      let num = ref 0. and den = ref 0. in
+      for i = 0 to samples do
+        let x = lo +. ((hi -. lo) *. float_of_int i /. float_of_int samples) in
+        let mu =
+          List.fold_left
+            (fun acc (d, set) ->
+              Float.max acc (Float.min d (Interval.membership set x)))
+            0. clipped
+        in
+        num := !num +. (x *. mu);
+        den := !den +. mu
+      done;
+      if !den = 0. then None else Some (!num /. !den)
+    end
+  end
+
+let atms_datum a = Printf.sprintf "%s is %s" a.variable a.term.Linguistic.name
+
+let justify_in_atms t atms ~assumptions =
+  List.iter
+    (fun r ->
+      let consequent = Atms.node atms (atms_datum r.consequent) in
+      let antecedent_nodes =
+        List.map (fun a -> Atms.node atms (atms_datum a)) r.antecedents
+      in
+      let variables =
+        r.consequent.variable
+        :: List.map (fun a -> a.variable) r.antecedents
+      in
+      let assumption_nodes =
+        List.filter_map
+          (fun (name, node) ->
+            if
+              List.exists
+                (fun v ->
+                  v = name
+                  || (String.length v > String.length name
+                     && String.index_opt v '(' <> None
+                     &&
+                     (* "Vbe(t2)" mentions assumption "t2" *)
+                     let inside =
+                       match
+                         (String.index_opt v '(', String.index_opt v ')')
+                       with
+                       | Some i, Some j when j > i + 1 ->
+                         Some (String.sub v (i + 1) (j - i - 1))
+                       | _ -> None
+                     in
+                     inside = Some name))
+                variables
+            then Some node
+            else None)
+          assumptions
+      in
+      Atms.justify atms ~degree:r.certainty
+        ~antecedents:(antecedent_nodes @ assumption_nodes)
+        consequent)
+    (rules t)
+
+let pp_rule ppf r =
+  Format.fprintf ppf "%s: if %s then %s @@ %.2g" r.name
+    (String.concat " and "
+       (List.map
+          (fun a -> Printf.sprintf "%s is %s" a.variable a.term.Linguistic.name)
+          r.antecedents))
+    (Printf.sprintf "%s is %s" r.consequent.variable
+       r.consequent.term.Linguistic.name)
+    r.certainty

@@ -1,0 +1,85 @@
+(** Fuzzy qualitative rules — the knowledge-base unit of fig. 3.
+
+    Rules relate linguistic statements about named variables
+    ("Vbe(t2) is LOW", "stage2 is LIKELY-FAULTY") with a certainty
+    degree, in the style the paper sketches in sections 5–6.2:
+
+    {v if Vbe(t) is CONDUCTING and Vce(t) is SATURATED-LOW
+       then t is LIKELY-FAULTY  (certainty 0.8) v}
+
+    Inference is Mamdani-style forward chaining: an atom's degree is the
+    possibility that the variable's (fuzzy) value matches the term; a
+    rule fires at the t-norm of its antecedent degrees scaled by its
+    certainty; conclusions accumulate by t-conorm and feed further rules
+    until a fixpoint.  Concluded terms can be aggregated and defuzzified
+    per variable.
+
+    {!justify_in_atms} compiles a rule base into graded ATMS
+    justifications, so rule conclusions participate in assumption-based
+    reasoning (the "clauses are not reduced to Horn's clauses" claim of
+    section 6.1.2). *)
+
+module Interval = Flames_fuzzy.Interval
+module Linguistic = Flames_fuzzy.Linguistic
+module Tnorm = Flames_fuzzy.Tnorm
+module Atms = Flames_atms.Atms
+
+type atom = { variable : string; term : Linguistic.term }
+
+val atom : string -> Linguistic.term -> atom
+val is_ : string -> Linguistic.term -> atom
+(** Alias of {!atom} for readable rule definitions. *)
+
+type rule = {
+  name : string;
+  antecedents : atom list;
+  consequent : atom;
+  certainty : float;
+}
+
+val rule :
+  ?certainty:float -> string -> antecedents:atom list -> consequent:atom -> rule
+(** @raise Invalid_argument on empty antecedents or certainty
+    outside (0, 1]. *)
+
+type t
+(** A mutable inference engine. *)
+
+val create : ?tnorm:Tnorm.t -> unit -> t
+(** The antecedent combination defaults to {!Tnorm.Minimum}. *)
+
+val add_rule : t -> rule -> unit
+val rules : t -> rule list
+
+val assert_value : t -> string -> Interval.t -> unit
+(** Give a variable an observed (crisp or fuzzy) value; replaces any
+    previous observation of the same variable and resets inference. *)
+
+val assert_degree : t -> atom -> float -> unit
+(** Directly assert "variable is term" at a degree (expert input). *)
+
+val infer : t -> unit
+(** Forward-chain to fixpoint (idempotent). *)
+
+val degree : t -> atom -> float
+(** Degree of the atom after inference: the t-conorm of the match
+    against the variable's observed value and every concluded degree. *)
+
+val conclusions : t -> (atom * float) list
+(** All positively concluded atoms, strongest first. *)
+
+val defuzzify : t -> string -> float option
+(** Centroid of the aggregated (clipped) concluded terms of a variable;
+    [None] when nothing was concluded about it. *)
+
+val justify_in_atms :
+  t -> Atms.t -> assumptions:(string * Atms.node) list -> unit
+(** Compile the rule base into the ATMS: each atom becomes a node
+    ["variable is term"], each rule a graded justification from its
+    antecedent nodes (plus the listed assumption nodes whose names occur
+    in the rule's variables) to its consequent node. *)
+
+val atms_datum : atom -> string
+(** The node datum used by {!justify_in_atms}. *)
+
+val pp_rule : Format.formatter -> rule -> unit

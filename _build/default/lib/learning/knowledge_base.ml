@@ -1,0 +1,46 @@
+type advice = { rule : Rule.t; degree : float }
+
+type t = {
+  mutable rule_list : Rule.t list;
+  priors : (string, float) Hashtbl.t;
+}
+
+let create () = { rule_list = []; priors = Hashtbl.create 16 }
+
+let same_shape (a : Rule.t) (b : Rule.t) =
+  a.Rule.circuit = b.Rule.circuit
+  && a.Rule.suspect = b.Rule.suspect
+  && a.Rule.mode = b.Rule.mode
+  && List.map (fun p -> p.Rule.quantity) a.Rule.patterns
+     = List.map (fun p -> p.Rule.quantity) b.Rule.patterns
+
+let add_rule kb rule =
+  kb.rule_list <- rule :: List.filter (fun r -> not (same_shape r rule)) kb.rule_list
+
+let add_prior kb ~component degree =
+  Hashtbl.replace kb.priors component (Flames_fuzzy.Tnorm.clamp01 degree)
+
+let prior kb component =
+  Option.value ~default:0.1 (Hashtbl.find_opt kb.priors component)
+
+let rules kb = kb.rule_list
+let rules_for kb ~circuit =
+  List.filter (fun r -> r.Rule.circuit = circuit) kb.rule_list
+
+let consult kb ~circuit symptoms =
+  rules_for kb ~circuit
+  |> List.filter_map (fun rule ->
+         let m = Rule.match_degree rule symptoms in
+         let degree = Float.min m rule.Rule.certainty in
+         if degree > 0. then Some { rule; degree } else None)
+  |> List.sort (fun a b -> Float.compare b.degree a.degree)
+
+let reinforce kb rule ~confirmed =
+  let updated = if confirmed then Rule.confirm rule else Rule.contradict rule in
+  kb.rule_list <-
+    List.map (fun r -> if same_shape r rule then updated else r) kb.rule_list
+
+let size kb = List.length kb.rule_list
+
+let pp ppf kb =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline Rule.pp ppf kb.rule_list

@@ -1,0 +1,37 @@
+(** The knowledge-base unit: learnt symptom→failure rules plus expert
+    a-priori fault estimations (paper sections 5 and 7). *)
+
+type t
+(** Mutable knowledge base. *)
+
+type advice = {
+  rule : Rule.t;
+  degree : float;  (** min of match degree and rule certainty *)
+}
+
+val create : unit -> t
+
+val add_rule : t -> Rule.t -> unit
+(** Insert a rule; a rule with the same circuit, suspect, mode and
+    pattern quantities replaces the existing one. *)
+
+val add_prior : t -> component:string -> float -> unit
+(** Expert a-priori faultiness estimation in [0, 1] (e.g. electrolytic
+    capacitors die first).  Used to break ties between candidates. *)
+
+val prior : t -> string -> float
+(** Recorded prior; 0.1 (uncommitted) when absent. *)
+
+val rules : t -> Rule.t list
+val rules_for : t -> circuit:string -> Rule.t list
+
+val consult :
+  t -> circuit:string -> Flames_core.Diagnose.symptom list -> advice list
+(** Rules of the circuit matching the symptoms with positive degree,
+    strongest advice first. *)
+
+val reinforce : t -> Rule.t -> confirmed:bool -> unit
+(** Update the stored rule's certainty after the expert's verdict. *)
+
+val size : t -> int
+val pp : Format.formatter -> t -> unit

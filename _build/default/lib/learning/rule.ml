@@ -1,0 +1,92 @@
+module Interval = Flames_fuzzy.Interval
+module Consistency = Flames_fuzzy.Consistency
+module Quantity = Flames_circuit.Quantity
+module Fault = Flames_circuit.Fault
+
+type pattern = {
+  quantity : Quantity.t;
+  direction : Consistency.direction;
+  dc_band : Interval.t;
+}
+
+type t = {
+  circuit : string;
+  patterns : pattern list;
+  suspect : string;
+  mode : Fault.mode option;
+  certainty : float;
+  confirmations : int;
+}
+
+let pattern quantity direction ~dc =
+  let lo = Float.max 0. (dc -. 0.1) and hi = Float.min 1. (dc +. 0.1) in
+  {
+    quantity;
+    direction;
+    dc_band = Interval.make ~m1:lo ~m2:hi ~alpha:(Float.min lo 0.1)
+        ~beta:(Float.min (1. -. hi) 0.1);
+  }
+
+let make ~circuit ~patterns ~suspect ?mode ~certainty () =
+  if patterns = [] then invalid_arg "Rule.make: empty pattern list";
+  if certainty <= 0. || certainty > 1. then
+    invalid_arg "Rule.make: certainty outside (0, 1]";
+  { circuit; patterns; suspect; mode; certainty; confirmations = 0 }
+
+let of_symptoms ~circuit symptoms ~suspect ?mode () =
+  let patterns =
+    List.filter_map
+      (fun (s : Flames_core.Diagnose.symptom) ->
+        Option.map
+          (fun (v : Consistency.verdict) ->
+            pattern s.Flames_core.Diagnose.quantity v.Consistency.direction
+              ~dc:v.Consistency.dc)
+          s.Flames_core.Diagnose.verdict)
+      symptoms
+  in
+  if patterns = [] then None
+  else Some (make ~circuit ~patterns ~suspect ?mode ~certainty:0.5 ())
+
+let pattern_degree p (symptoms : Flames_core.Diagnose.symptom list) =
+  let matching (s : Flames_core.Diagnose.symptom) =
+    if not (Quantity.equal s.Flames_core.Diagnose.quantity p.quantity) then None
+    else
+      match s.Flames_core.Diagnose.verdict with
+      | Some v when v.Consistency.direction = p.direction ->
+        Some (Interval.membership p.dc_band v.Consistency.dc)
+      | Some _ | None -> None
+  in
+  match List.find_map matching symptoms with Some d -> d | None -> 0.
+
+let match_degree rule symptoms =
+  List.fold_left
+    (fun acc p -> Float.min acc (pattern_degree p symptoms))
+    1. rule.patterns
+
+let confirm rule =
+  {
+    rule with
+    certainty = rule.certainty +. (0.25 *. (1. -. rule.certainty));
+    confirmations = rule.confirmations + 1;
+  }
+
+let contradict rule = { rule with certainty = 0.5 *. rule.certainty }
+
+let pp_direction ppf = function
+  | Consistency.Within -> Format.pp_print_string ppf "within"
+  | Consistency.Low -> Format.pp_print_string ppf "low"
+  | Consistency.High -> Format.pp_print_string ppf "high"
+
+let pp ppf rule =
+  Format.fprintf ppf "on %s: if %a then suspect %s%s @@ %.2g (x%d)"
+    rule.circuit
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ∧ ")
+       (fun ppf p ->
+         Format.fprintf ppf "%a %a %a" Quantity.pp p.quantity pp_direction
+           p.direction Interval.pp p.dc_band))
+    rule.patterns rule.suspect
+    (match rule.mode with
+    | None -> ""
+    | Some m -> Format.asprintf " (%a)" Fault.pp_mode m)
+    rule.certainty rule.confirmations

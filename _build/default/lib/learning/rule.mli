@@ -1,0 +1,63 @@
+(** Symptom→failure rules with certainty degrees (paper section 7).
+
+    When FLAMES locates a faulty component, the diagnosis episode is
+    summarised as a rule "if these probes deviate like this, suspect that
+    component", carrying a certainty degree compatible with fuzzy logic.
+    Rules are matched against later symptom sets to advise the expert. *)
+
+module Interval = Flames_fuzzy.Interval
+module Consistency = Flames_fuzzy.Consistency
+module Quantity = Flames_circuit.Quantity
+module Fault = Flames_circuit.Fault
+
+type pattern = {
+  quantity : Quantity.t;
+  direction : Consistency.direction;
+  dc_band : Interval.t;  (** fuzzy set of matching Dc values *)
+}
+
+type t = {
+  circuit : string;  (** netlist name the rule was learnt on *)
+  patterns : pattern list;
+  suspect : string;
+  mode : Fault.mode option;
+  certainty : float;  (** in (0, 1] *)
+  confirmations : int;
+}
+
+val pattern : Quantity.t -> Consistency.direction -> dc:float -> pattern
+(** A pattern matching Dc values near the observed one (fuzzy band of
+    half-width 0.1 around [dc], clamped to [0, 1]). *)
+
+val make :
+  circuit:string ->
+  patterns:pattern list ->
+  suspect:string ->
+  ?mode:Fault.mode ->
+  certainty:float ->
+  unit ->
+  t
+(** @raise Invalid_argument on an empty pattern list or certainty
+    outside (0, 1]. *)
+
+val of_symptoms :
+  circuit:string ->
+  Flames_core.Diagnose.symptom list ->
+  suspect:string ->
+  ?mode:Fault.mode ->
+  unit ->
+  t option
+(** Summarise a diagnosis episode; [None] when no symptom has a verdict. *)
+
+val match_degree : t -> Flames_core.Diagnose.symptom list -> float
+(** Degree (min over patterns) with which the observed symptoms fit the
+    rule: each pattern requires a same-quantity symptom with the same
+    direction and a Dc inside the band; a missing symptom matches at 0. *)
+
+val confirm : t -> t
+(** Strengthen after a confirmed reuse: [c' = c + 0.25 (1 − c)]. *)
+
+val contradict : t -> t
+(** Weaken after a refuted advice: [c' = 0.5 c]. *)
+
+val pp : Format.formatter -> t -> unit

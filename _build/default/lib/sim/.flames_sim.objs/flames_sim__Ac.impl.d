@@ -1,0 +1,1 @@
+lib/sim/ac.ml: Array Clinalg Complex Flames_circuit Flames_fuzzy Float Hashtbl List Printf

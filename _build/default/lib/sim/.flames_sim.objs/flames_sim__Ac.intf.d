@@ -1,0 +1,1 @@
+lib/sim/ac.mli: Complex Flames_circuit

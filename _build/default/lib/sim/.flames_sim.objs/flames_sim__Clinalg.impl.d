@@ -1,0 +1,1 @@
+lib/sim/clinalg.ml: Array Complex Float

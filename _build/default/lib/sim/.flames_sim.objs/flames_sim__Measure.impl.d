@@ -1,0 +1,1 @@
+lib/sim/measure.ml: Flames_circuit Flames_fuzzy Float List Mna Option

@@ -1,0 +1,1 @@
+lib/sim/measure.mli: Flames_circuit Flames_fuzzy Mna

@@ -1,0 +1,1 @@
+lib/sim/mna.ml: Array Flames_circuit Flames_fuzzy Format Hashtbl Linalg List

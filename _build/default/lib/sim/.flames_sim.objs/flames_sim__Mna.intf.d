@@ -1,0 +1,1 @@
+lib/sim/mna.mli: Flames_circuit Format

@@ -1,0 +1,1 @@
+lib/sim/sensitivity.ml: Flames_circuit Flames_fuzzy Float Linalg List Mna

@@ -1,0 +1,1 @@
+lib/sim/sensitivity.mli: Flames_circuit

@@ -1,0 +1,121 @@
+module C = Flames_circuit.Component
+module N = Flames_circuit.Netlist
+module Interval = Flames_fuzzy.Interval
+open Complex
+
+type response = { frequency : float; voltages : (string * Complex.t) list }
+
+exception Unsupported of string
+
+let default_source netlist =
+  let found =
+    List.find_opt
+      (fun (c : C.t) ->
+        match c.C.kind with
+        | C.Voltage_source _ -> true
+        | C.Resistor _ | C.Capacitor _ | C.Inductor _ | C.Diode _
+        | C.Gain_block _ | C.Bjt _ ->
+          false)
+      netlist.N.components
+  in
+  match found with Some c -> c.C.name | None -> raise Not_found
+
+let solve ?source netlist f =
+  if f <= 0. then invalid_arg "Ac.solve: frequency must be positive";
+  let source = match source with Some s -> s | None -> default_source netlist in
+  let omega = 2. *. Float.pi *. f in
+  let ground = netlist.N.ground in
+  let node_names = List.filter (fun n -> n <> ground) (N.nodes netlist) in
+  let node_index = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.add node_index n i) node_names;
+  let n_nodes = List.length node_names in
+  let branches = ref [] in
+  let n_branch = ref 0 in
+  let new_branch key =
+    let j = n_nodes + !n_branch in
+    incr n_branch;
+    branches := (key, j) :: !branches;
+    j
+  in
+  List.iter
+    (fun (c : C.t) ->
+      match c.C.kind with
+      | C.Voltage_source _ | C.Inductor _ | C.Gain_block _ ->
+        ignore (new_branch c.C.name)
+      | C.Diode _ | C.Bjt _ ->
+        raise
+          (Unsupported
+             (Printf.sprintf "%s has no small-signal AC model" c.C.name))
+      | C.Resistor _ | C.Capacitor _ -> ())
+    netlist.N.components;
+  let dim = n_nodes + !n_branch in
+  let a = Array.make_matrix dim dim zero in
+  let rhs = Array.make dim zero in
+  let idx node =
+    if node = ground then None else Some (Hashtbl.find node_index node)
+  in
+  let addm row col v =
+    match (row, col) with
+    | Some r, Some c -> a.(r).(c) <- add a.(r).(c) v
+    | None, _ | _, None -> ()
+  in
+  let add_branch_row row col v =
+    match col with Some c -> a.(row).(c) <- add a.(row).(c) v | None -> ()
+  in
+  let add_kcl node branch v =
+    match node with
+    | Some r -> a.(r).(branch) <- add a.(r).(branch) v
+    | None -> ()
+  in
+  let branch key = List.assoc key !branches in
+  let nominal c param = Interval.centroid (C.nominal_parameter c param) in
+  let re x = { re = x; im = 0. } in
+  let im x = { re = 0.; im = x } in
+  List.iter
+    (fun (c : C.t) ->
+      let node t = idx (C.node_of c t) in
+      let stamp_admittance y =
+        let p = node "p" and n = node "n" in
+        addm p p y;
+        addm n n y;
+        addm p n (neg y);
+        addm n p (neg y)
+      in
+      match c.C.kind with
+      | C.Resistor _ -> stamp_admittance (re (1. /. nominal c "R"))
+      | C.Capacitor _ -> stamp_admittance (im (omega *. nominal c "C"))
+      | C.Inductor _ ->
+        (* branch form V(p) − V(n) − jωL·i = 0 stays regular at any ω *)
+        let j = branch c.C.name in
+        let p = node "p" and n = node "n" in
+        add_kcl p j (re 1.);
+        add_kcl n j (re (-1.));
+        add_branch_row j p (re 1.);
+        add_branch_row j n (re (-1.));
+        a.(j).(j) <- sub a.(j).(j) (im (omega *. nominal c "L"))
+      | C.Voltage_source _ ->
+        let j = branch c.C.name in
+        let p = node "p" and n = node "n" in
+        add_kcl p j (re 1.);
+        add_kcl n j (re (-1.));
+        add_branch_row j p (re 1.);
+        add_branch_row j n (re (-1.));
+        rhs.(j) <- (if c.C.name = source then re 1. else zero)
+      | C.Gain_block _ ->
+        let j = branch c.C.name in
+        let input = node "in" and output = node "out" in
+        add_kcl output j (re 1.);
+        add_branch_row j output (re 1.);
+        add_branch_row j input (re (-.nominal c "gain"))
+      | C.Diode _ | C.Bjt _ -> assert false (* rejected above *))
+    netlist.N.components;
+  let x = Clinalg.solve a rhs in
+  let v node = match idx node with Some i -> x.(i) | None -> zero in
+  { frequency = f; voltages = List.map (fun n -> (n, v n)) (N.nodes netlist) }
+
+let sweep ?source netlist frequencies =
+  List.map (solve ?source netlist) frequencies
+
+let magnitude r node = norm (List.assoc node r.voltages)
+let phase r node = arg (List.assoc node r.voltages)
+let gain_db r node = 20. *. (Float.log10 (Float.max 1e-30 (magnitude r node)))

@@ -1,0 +1,39 @@
+(** Small-signal AC (phasor) analysis — the substrate for the paper's
+    "dynamic mode".
+
+    The circuit is solved in the frequency domain by complex MNA: the
+    designated source drives a unit phasor, every other source is
+    shorted, and reactive components contribute their impedances
+    ([1/jωC], [jωL]).  Supported components: resistors, capacitors,
+    inductors, voltage sources and ideal gain blocks — the linear
+    building blocks of passive and active filters.  Nonlinear devices
+    (diodes, BJTs) have no small-signal model here and are rejected. *)
+
+type response = {
+  frequency : float;  (** in hertz *)
+  voltages : (string * Complex.t) list;  (** phasor node voltage, ground 0 *)
+}
+
+exception Unsupported of string
+(** Raised when the netlist contains a device without an AC model. *)
+
+val solve : ?source:string -> Flames_circuit.Netlist.t -> float -> response
+(** [solve ?source netlist f] computes the response at frequency [f] with
+    the named voltage source (default: the first one in the netlist)
+    driving 1 V; other sources are shorted.
+    @raise Unsupported on diodes and BJTs
+    @raise Not_found when the circuit has no voltage source
+    @raise Clinalg.Singular on a floating circuit
+    @raise Invalid_argument on a non-positive frequency. *)
+
+val sweep :
+  ?source:string -> Flames_circuit.Netlist.t -> float list -> response list
+
+val magnitude : response -> string -> float
+(** |V| of a node. @raise Not_found on an unknown node. *)
+
+val phase : response -> string -> float
+(** Phase in radians. *)
+
+val gain_db : response -> string -> float
+(** [20·log10 |V|] relative to the 1 V stimulus. *)

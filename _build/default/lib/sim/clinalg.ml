@@ -1,0 +1,55 @@
+exception Singular
+
+open Complex
+
+let solve a b =
+  let n = Array.length b in
+  if Array.length a <> n || (n > 0 && Array.length a.(0) <> n) then
+    invalid_arg "Clinalg.solve: dimension mismatch";
+  let m = Array.map Array.copy a in
+  let v = Array.copy b in
+  for col = 0 to n - 1 do
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if norm m.(row).(col) > norm m.(!pivot).(col) then pivot := row
+    done;
+    if norm m.(!pivot).(col) < 1e-12 then raise Singular;
+    if !pivot <> col then begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!pivot);
+      m.(!pivot) <- tmp;
+      let tb = v.(col) in
+      v.(col) <- v.(!pivot);
+      v.(!pivot) <- tb
+    end;
+    for row = col + 1 to n - 1 do
+      let f = div m.(row).(col) m.(col).(col) in
+      if f <> zero then begin
+        for k = col to n - 1 do
+          m.(row).(k) <- sub m.(row).(k) (mul f m.(col).(k))
+        done;
+        v.(row) <- sub v.(row) (mul f v.(col))
+      end
+    done
+  done;
+  let x = Array.make n zero in
+  for row = n - 1 downto 0 do
+    let s = ref v.(row) in
+    for k = row + 1 to n - 1 do
+      s := sub !s (mul m.(row).(k) x.(k))
+    done;
+    x.(row) <- div !s m.(row).(row)
+  done;
+  x
+
+let residual_norm a x b =
+  let n = Array.length b in
+  let worst = ref 0. in
+  for row = 0 to n - 1 do
+    let s = ref (neg b.(row)) in
+    for col = 0 to n - 1 do
+      s := add !s (mul a.(row).(col) x.(col))
+    done;
+    worst := Float.max !worst (norm !s)
+  done;
+  !worst

@@ -1,0 +1,14 @@
+(** Dense complex linear algebra for the AC (phasor) solver. *)
+
+exception Singular
+(** Raised when the system matrix is (numerically) singular. *)
+
+val solve : Complex.t array array -> Complex.t array -> Complex.t array
+(** [solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting on the modulus.  [a] and [b] are not modified.
+    @raise Singular when no pivot above [1e-12] can be found.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val residual_norm :
+  Complex.t array array -> Complex.t array -> Complex.t array -> float
+(** Infinity norm of [a x − b] (used by tests). *)

@@ -1,0 +1,13 @@
+(** Dense linear algebra for the MNA solver. *)
+
+exception Singular
+(** Raised when the system matrix is (numerically) singular. *)
+
+val solve : float array array -> float array -> float array
+(** [solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting.  [a] and [b] are not modified.
+    @raise Singular when no pivot above [1e-12] can be found.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val residual_norm : float array array -> float array -> float array -> float
+(** Infinity norm of [a x - b] (used by tests). *)

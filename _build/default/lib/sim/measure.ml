@@ -1,0 +1,27 @@
+module Interval = Flames_fuzzy.Interval
+module Q = Flames_circuit.Quantity
+
+type instrument = { relative : float; floor : float }
+
+let default_instrument = { relative = 0.01; floor = 1e-3 }
+let exact_instrument = { relative = 0.; floor = 0. }
+
+let fuzzify inst reading =
+  let spread = Float.max (inst.relative *. Float.abs reading) inst.floor in
+  if spread = 0. then Interval.crisp reading
+  else Interval.number reading ~spread
+
+let probe ?(instrument = default_instrument) sol quantity =
+  let reading =
+    match quantity with
+    | Q.Node_voltage n -> List.assoc_opt n sol.Mna.voltages
+    | Q.Branch_current c -> List.assoc_opt c sol.Mna.currents
+    | Q.Terminal_current (c, t) -> List.assoc_opt (c ^ "." ^ t) sol.Mna.currents
+    | Q.Voltage_drop _ | Q.Parameter _ -> None
+  in
+  Option.map (fuzzify instrument) reading
+
+let probe_all ?instrument sol quantities =
+  List.filter_map
+    (fun q -> Option.map (fun v -> (q, v)) (probe ?instrument sol q))
+    quantities

@@ -1,0 +1,38 @@
+(** Fuzzified measurements.
+
+    The simulator stands in for the paper's physical probing: a probed
+    crisp value is turned into a fuzzy measurement whose flanks encode the
+    measuring-equipment imprecision (paper section 4.2 distinguishes this
+    imprecision from component tolerances). *)
+
+module Interval = Flames_fuzzy.Interval
+
+type instrument = {
+  relative : float;  (** flank width as a fraction of the reading *)
+  floor : float;  (** minimal absolute flank width *)
+}
+
+val default_instrument : instrument
+(** 1 % of reading with a 1 mV/µA floor. *)
+
+val exact_instrument : instrument
+(** Zero imprecision: measurements are crisp points. *)
+
+val fuzzify : instrument -> float -> Interval.t
+(** A symmetric fuzzy number centred on the reading. *)
+
+val probe :
+  ?instrument:instrument ->
+  Mna.solution ->
+  Flames_circuit.Quantity.t ->
+  Interval.t option
+(** Measure a quantity on a solved circuit: node voltages and component
+    currents are supported; parameters are not measurable and yield
+    [None], as does an unknown node/component. *)
+
+val probe_all :
+  ?instrument:instrument ->
+  Mna.solution ->
+  Flames_circuit.Quantity.t list ->
+  (Flames_circuit.Quantity.t * Interval.t) list
+(** Probe the measurable subset of the given quantities. *)

@@ -1,0 +1,39 @@
+(** Finite-difference sensitivity analysis of node voltages.
+
+    For every component parameter, the circuit is re-solved with the
+    parameter perturbed, yielding per-node influences.  Two numbers are
+    derived per (node, component) pair:
+
+    - {e influence}: the worst-case |ΔV| over a 1 % parameter move and
+      the two hard-fault extremes (short, open) — whether the component
+      could explain a deviation of the node in {e any} fault world, not
+      only near the nominal operating point;
+    - {e spread}: the 1 % |ΔV| scaled to the parameter's actual
+      tolerance — the node-voltage uncertainty the tolerance induces.
+
+    The diagnosis engine uses influences to decide which component
+    assumptions support a simulated nominal prediction, and the summed
+    spreads as the prediction's fuzzy width. *)
+
+type entry = {
+  component : string;
+  influence : float;
+      (** worst-case |ΔV| in volts over the probe worlds (max over the
+          component's parameters) *)
+  spread : float;  (** |ΔV| induced by the parameter tolerances (sum) *)
+}
+
+type node_report = {
+  node : string;
+  nominal : float;  (** solved nominal voltage *)
+  total_spread : float;  (** sum of per-component spreads *)
+  entries : entry list;  (** one per component, influence order *)
+}
+
+val analyze : Flames_circuit.Netlist.t -> node_report list
+(** One report per non-ground node.
+    @raise Mna.No_convergence or {!Linalg.Singular} like {!Mna.solve}. *)
+
+val supporters : ?threshold:float -> node_report -> string list
+(** Components whose influence reaches [threshold] (default 0.02)
+    relative to the node's maximal influence. *)

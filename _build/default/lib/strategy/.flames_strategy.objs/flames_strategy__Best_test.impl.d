@@ -1,0 +1,1 @@
+lib/strategy/best_test.ml: Estimation Flames_circuit Flames_fuzzy Flames_sim Float Format List

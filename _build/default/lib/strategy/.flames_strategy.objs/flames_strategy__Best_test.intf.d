@@ -1,0 +1,1 @@
+lib/strategy/best_test.mli: Estimation Flames_circuit Flames_fuzzy Format

@@ -1,0 +1,1 @@
+lib/strategy/estimation.ml: Flames_atms Flames_circuit Flames_core Flames_fuzzy Format List

@@ -1,0 +1,1 @@
+lib/strategy/estimation.mli: Flames_core Flames_fuzzy Format

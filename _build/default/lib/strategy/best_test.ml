@@ -1,0 +1,110 @@
+module Interval = Flames_fuzzy.Interval
+module Arith = Flames_fuzzy.Arith
+module Entropy = Flames_fuzzy.Entropy
+module Linguistic = Flames_fuzzy.Linguistic
+module Quantity = Flames_circuit.Quantity
+
+type test_point = {
+  quantity : Quantity.t;
+  cost : float;
+  influencers : string list;
+}
+
+type evaluation = {
+  test : test_point;
+  deviant_likelihood : Interval.t;
+  expected_entropy : Interval.t;
+  score : float;
+}
+
+let test_point ?(cost = 1.) quantity ~influencers =
+  if cost <= 0. then invalid_arg "Best_test.test_point: cost must be > 0";
+  { quantity; cost; influencers }
+
+let test_points_of_netlist ?cost netlist =
+  if netlist.Flames_circuit.Netlist.ports <> [] then []
+  else
+  match Flames_sim.Sensitivity.analyze netlist with
+  | exception
+      ( Flames_sim.Mna.No_convergence _ | Flames_sim.Linalg.Singular
+      | Flames_circuit.Netlist.Ill_formed _ ) ->
+    []
+  | reports ->
+    List.map
+      (fun (r : Flames_sim.Sensitivity.node_report) ->
+        test_point ?cost
+          (Quantity.voltage r.Flames_sim.Sensitivity.node)
+          ~influencers:(Flames_sim.Sensitivity.supporters r))
+      reports
+
+let system_entropy estimations =
+  Entropy.entropy
+    (List.map (fun e -> e.Estimation.faultiness) estimations)
+
+let unit_interval = Arith.clamp ~lo:0. ~hi:1.
+
+(* Fuzzy likelihood that the probe deviates: fuzzy max of the influencers'
+   estimations (at least one of them must be off for the probe to show
+   something). *)
+let deviant_likelihood estimations test =
+  List.fold_left
+    (fun acc c -> Arith.fmax acc (Estimation.faultiness_of estimations c))
+    (Interval.crisp 0.) test.influencers
+
+let exonerate faultiness = unit_interval (Arith.scale 0.1 faultiness)
+
+(* A deviant outcome incriminates the influencers: when the probe has a
+   single influencer the diagnosis is resolved (faulty), otherwise the
+   evidence is shared and each influencer only rises to likely-faulty. *)
+let incriminate ~influencer_count faultiness =
+  let target =
+    if influencer_count <= 1 then Linguistic.faulty.Linguistic.value
+    else Linguistic.likely_faulty.Linguistic.value
+  in
+  unit_interval (Arith.fmax faultiness target)
+
+let relieve faultiness = unit_interval (Arith.scale 0.5 faultiness)
+
+let posterior estimations test ~outcome_deviant =
+  let influencer_count = List.length test.influencers in
+  List.map
+    (fun (e : Estimation.t) ->
+      let touched = List.mem e.Estimation.component test.influencers in
+      let faultiness =
+        match (outcome_deviant, touched) with
+        | false, true -> exonerate e.Estimation.faultiness
+        | false, false -> e.Estimation.faultiness
+        | true, true -> incriminate ~influencer_count e.Estimation.faultiness
+        | true, false -> relieve e.Estimation.faultiness
+      in
+      { e with Estimation.faultiness })
+    estimations
+
+let evaluate estimations test =
+  let p_dev = unit_interval (deviant_likelihood estimations test) in
+  let p_con = unit_interval (Arith.sub (Interval.crisp 1.) p_dev) in
+  let ent_dev = system_entropy (posterior estimations test ~outcome_deviant:true)
+  and ent_con =
+    system_entropy (posterior estimations test ~outcome_deviant:false)
+  in
+  let expected =
+    Arith.add (Arith.mul p_dev ent_dev) (Arith.mul p_con ent_con)
+  in
+  {
+    test;
+    deviant_likelihood = p_dev;
+    expected_entropy = expected;
+    score = Interval.centroid expected *. test.cost;
+  }
+
+let rank estimations tests =
+  List.map (evaluate estimations) tests
+  |> List.sort (fun a b -> Float.compare a.score b.score)
+
+let best estimations tests =
+  match rank estimations tests with [] -> None | e :: _ -> Some e
+
+let pp_evaluation ppf e =
+  Format.fprintf ppf "%a: expected entropy %a (score %.3g, P(dev) %a)"
+    Quantity.pp e.test.quantity Interval.pp e.expected_entropy e.score
+    Interval.pp e.deviant_likelihood

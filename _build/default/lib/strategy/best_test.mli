@@ -1,0 +1,53 @@
+(** Best-test-point selection by fuzzy expected entropy (paper section 8.2).
+
+    The module under test is a system of components with fuzzy faultiness
+    estimations Fi; its fuzzy entropy [Ent(S) = ⊕ Fi ⊗ log2(1 ⊘ Fi)]
+    measures how undecided the diagnosis is.  For each available test,
+    the expected entropy {e assuming the measurement has been done} is
+    computed over the two outcomes (consistent / deviant) weighted by
+    their fuzzy likelihood, and the test minimising the expected entropy
+    per unit cost is recommended.
+
+    Outcome model (our instantiation of the paper's sketch):
+    - the fuzzy likelihood that probing [q] shows a deviation is the
+      fuzzy maximum of the estimations of the components influencing [q];
+    - a consistent outcome exonerates the influencers (their estimation
+      is scaled towards correct);
+    - a deviant outcome raises the influencers towards likely-faulty and
+      relieves the others. *)
+
+module Interval = Flames_fuzzy.Interval
+module Quantity = Flames_circuit.Quantity
+
+type test_point = {
+  quantity : Quantity.t;
+  cost : float;  (** probing cost, > 0; entropy gain is divided by it *)
+  influencers : string list;
+      (** components whose health the probe gives evidence about *)
+}
+
+type evaluation = {
+  test : test_point;
+  deviant_likelihood : Interval.t;
+  expected_entropy : Interval.t;
+  score : float;  (** defuzzified expected entropy × cost — lower wins *)
+}
+
+val test_point : ?cost:float -> Quantity.t -> influencers:string list -> test_point
+
+val test_points_of_netlist :
+  ?cost:float -> Flames_circuit.Netlist.t -> test_point list
+(** One test per measurable node voltage, with influencers from the
+    simulator's sensitivity analysis; empty when the circuit cannot be
+    solved. *)
+
+val system_entropy : Estimation.t list -> Interval.t
+val evaluate : Estimation.t list -> test_point -> evaluation
+
+val rank : Estimation.t list -> test_point list -> evaluation list
+(** All evaluations, best (lowest score) first. *)
+
+val best : Estimation.t list -> test_point list -> evaluation option
+(** The recommended next test; [None] on an empty test list. *)
+
+val pp_evaluation : Format.formatter -> evaluation -> unit

@@ -1,0 +1,80 @@
+module Interval = Flames_fuzzy.Interval
+module Linguistic = Flames_fuzzy.Linguistic
+
+type t = { component : string; faultiness : Interval.t }
+
+let make component faultiness = { component; faultiness }
+
+let of_suspicion ?(scale = Linguistic.default_scale) component degree =
+  let term = Linguistic.of_degree scale degree in
+  { component; faultiness = term.Linguistic.value }
+
+(* A suspicion of 1 means "member of a hard conflict", not "surely
+   faulty": the evidence is shared by every member of the conflict, so
+   the per-component faultiness estimation divides the suspicion by the
+   size of the smallest conflict implicating the component. *)
+let ambiguity result name =
+  let engine = result.Flames_core.Diagnose.engine in
+  List.fold_left
+    (fun acc (c : Flames_atms.Candidates.conflict) ->
+      let members =
+        List.map
+          (Flames_core.Propagate.names engine)
+          (Flames_atms.Env.to_list c.Flames_atms.Candidates.env)
+      in
+      if List.mem name members then min acc (List.length members) else acc)
+    max_int result.Flames_core.Diagnose.conflicts
+
+let of_diagnosis ?(scale = Linguistic.default_scale) result =
+  let suspects = result.Flames_core.Diagnose.suspects in
+  let suspicion name =
+    List.find_map
+      (fun (s : Flames_core.Diagnose.suspect) ->
+        if s.Flames_core.Diagnose.component = name then
+          Some s.Flames_core.Diagnose.suspicion
+        else None)
+      suspects
+  in
+  let explains name =
+    List.exists
+      (fun (s : Flames_core.Diagnose.suspect) ->
+        s.Flames_core.Diagnose.component = name
+        && s.Flames_core.Diagnose.explains)
+      suspects
+  in
+  let explainer_count =
+    List.length
+      (List.filter
+         (fun (s : Flames_core.Diagnose.suspect) ->
+           s.Flames_core.Diagnose.explains)
+         suspects)
+  in
+  Flames_circuit.Netlist.component_names result.Flames_core.Diagnose.netlist
+  |> List.map (fun name ->
+         match suspicion name with
+         | Some s ->
+           (* under a single-fault reading exactly one candidate is the
+              culprit: the explaining suspects share the suspicion among
+              themselves, the non-explaining ones are further discounted
+              by the size of their smallest conflict *)
+           let k = ambiguity result name in
+           let k = if k = max_int || k = 0 then 1 else k in
+           let degree =
+             if explains name then s /. float_of_int (max 1 explainer_count)
+             else if explainer_count > 0 then
+               0.3 *. s /. float_of_int k
+             else s /. float_of_int k
+           in
+           of_suspicion ~scale name degree
+         | None -> { component = name; faultiness = Linguistic.correct.value })
+
+let faultiness_of estimations name =
+  match List.find_opt (fun e -> e.component = name) estimations with
+  | Some e -> e.faultiness
+  | None -> Linguistic.correct.Linguistic.value
+
+let term_of ?(scale = Linguistic.default_scale) e =
+  Linguistic.best_match scale e.faultiness
+
+let pp ppf e =
+  Format.fprintf ppf "%s: %a" e.component Interval.pp e.faultiness

@@ -1,0 +1,31 @@
+(** Fuzzy faultiness estimations of components (paper section 8.1).
+
+    Component states are summarised by fuzzy estimations on the [0, 1]
+    faultiness axis, expressed on a linguistic scale.  Estimations are
+    derived from the suspicion degrees of a diagnosis and refined by the
+    expert's a-priori knowledge. *)
+
+module Interval = Flames_fuzzy.Interval
+module Linguistic = Flames_fuzzy.Linguistic
+
+type t = { component : string; faultiness : Interval.t }
+
+val make : string -> Interval.t -> t
+
+val of_suspicion : ?scale:Linguistic.scale -> string -> float -> t
+(** Map a suspicion degree to the matching linguistic term's fuzzy set. *)
+
+val of_diagnosis :
+  ?scale:Linguistic.scale -> Flames_core.Diagnose.result -> t list
+(** One estimation per component of the diagnosed circuit: suspects get
+    the term matching their suspicion, unimplicated components are
+    [correct]. *)
+
+val faultiness_of : t list -> string -> Interval.t
+(** Estimation of the named component; [correct]'s fuzzy set when
+    absent. *)
+
+val term_of : ?scale:Linguistic.scale -> t -> Linguistic.term
+(** The linguistic rendering of the estimation. *)
+
+val pp : Format.formatter -> t -> unit

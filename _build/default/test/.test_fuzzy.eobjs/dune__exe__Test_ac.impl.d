@@ -1,0 +1,1 @@
+test/test_ac.ml: Alcotest Array Complex Flames_atms Flames_circuit Flames_core Flames_fuzzy Flames_sim Float List

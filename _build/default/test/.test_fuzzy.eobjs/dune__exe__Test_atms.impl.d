@@ -1,0 +1,1 @@
+test/test_atms.ml: Alcotest Flames_atms List Printf QCheck QCheck_alcotest String

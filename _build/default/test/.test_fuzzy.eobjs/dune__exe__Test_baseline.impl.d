@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Flames_atms Flames_baseline Flames_circuit Flames_core Flames_fuzzy Flames_sim List

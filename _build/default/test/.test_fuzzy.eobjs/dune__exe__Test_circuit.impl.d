@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Flames_circuit Flames_fuzzy List String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Flames_atms Flames_circuit Flames_core Flames_fuzzy Flames_sim Float Format List String

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Flames_experiments Flames_fuzzy Float Lazy List

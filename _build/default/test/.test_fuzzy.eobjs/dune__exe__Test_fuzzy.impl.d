@@ -1,0 +1,1 @@
+test/test_fuzzy.ml: Alcotest Flames_fuzzy Float List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_learning.ml: Alcotest Flames_circuit Flames_core Flames_fuzzy Flames_learning Flames_sim List

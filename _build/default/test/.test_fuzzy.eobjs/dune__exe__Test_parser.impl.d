@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Flames_circuit Flames_core Flames_fuzzy Flames_sim List Option

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Flames_atms Flames_circuit Flames_core Flames_fuzzy Flames_sim Float List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Flames_atms Flames_fuzzy Flames_learning List

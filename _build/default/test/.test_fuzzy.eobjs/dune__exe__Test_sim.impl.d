@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Flames_circuit Flames_fuzzy Flames_sim List

@@ -1,0 +1,1 @@
+test/test_strategy.ml: Alcotest Flames_circuit Flames_core Flames_fuzzy Flames_sim Flames_strategy Float List

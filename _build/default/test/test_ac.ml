@@ -1,0 +1,324 @@
+(* Tests for the dynamic-mode substrate: complex linear algebra, the AC
+   phasor solver on textbook filters, and the frequency-domain diagnosis
+   driver. *)
+
+module I = Flames_fuzzy.Interval
+module C = Flames_circuit.Component
+module N = Flames_circuit.Netlist
+module F = Flames_circuit.Fault
+module L = Flames_circuit.Library
+module Clinalg = Flames_sim.Clinalg
+module Ac = Flames_sim.Ac
+module Mna = Flames_sim.Mna
+module Dynamic = Flames_core.Dynamic
+
+let check_bool = Alcotest.(check bool)
+let check_close msg tol expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+(* {1 Complex linear algebra} *)
+
+let c re im = { Complex.re; im }
+
+let test_clinalg_identity () =
+  let a = [| [| c 1. 0.; c 0. 0. |]; [| c 0. 0.; c 1. 0. |] |] in
+  let b = [| c 3. 1.; c 4. (-2.) |] in
+  let x = Clinalg.solve a b in
+  check_close "x0 re" 1e-12 3. x.(0).Complex.re;
+  check_close "x0 im" 1e-12 1. x.(0).Complex.im;
+  check_close "x1 re" 1e-12 4. x.(1).Complex.re
+
+let test_clinalg_complex_pivot () =
+  (* purely imaginary diagonal forces complex arithmetic *)
+  let a = [| [| c 0. 2.; c 1. 0. |]; [| c 1. 0.; c 0. 0. |] |] in
+  let b = [| c 0. 2.; c 5. 0. |] in
+  let x = Clinalg.solve a b in
+  (* x1 from second row: x0 = 5; first row: 2j·5 + x1 = 2j → x1 = 2j − 10j *)
+  check_close "x0" 1e-12 5. x.(0).Complex.re;
+  check_close "x1 im" 1e-12 (-8.) x.(1).Complex.im;
+  check_bool "residual tiny" true (Clinalg.residual_norm a x b < 1e-9)
+
+let test_clinalg_dimension_mismatch () =
+  match Clinalg.solve [| [| c 1. 0. |] |] [| c 1. 0.; c 2. 0. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "dimension mismatch must raise"
+
+let test_clinalg_singular () =
+  let a = [| [| c 1. 1.; c 2. 2. |]; [| c 2. 2.; c 4. 4. |] |] in
+  match Clinalg.solve a [| c 1. 0.; c 2. 0. |] with
+  | exception Clinalg.Singular -> ()
+  | _ -> Alcotest.fail "singular complex matrix must raise"
+
+(* {1 AC solver on textbook filters} *)
+
+let test_rc_lowpass_response () =
+  let rc = L.rc_lowpass () in
+  (* corner frequency 1/(2πRC) = 1591.5 Hz: −3 dB, 45° lag *)
+  let corner = 1. /. (2. *. Float.pi *. 10e3 *. 10e-9) in
+  let r = Ac.solve rc corner in
+  check_close "corner magnitude" 1e-3 (1. /. Float.sqrt 2.)
+    (Ac.magnitude r "out");
+  check_close "corner phase" 1e-3 (-.Float.pi /. 4.) (Ac.phase r "out");
+  (* passband ≈ unity, one decade above ≈ −20 dB *)
+  check_close "passband" 1e-2 1.
+    (Ac.magnitude (Ac.solve rc (corner /. 100.)) "out");
+  check_close "one decade above" 0.3 (-20.)
+    (Ac.gain_db (Ac.solve rc (corner *. 10.)) "out")
+
+let test_rlc_resonance () =
+  let rlc = L.rlc_bandpass () in
+  let f0 = 1. /. (2. *. Float.pi *. Float.sqrt (10e-3 *. 100e-9)) in
+  check_close "unity at resonance" 1e-3 1.
+    (Ac.magnitude (Ac.solve rlc f0) "out");
+  check_bool "attenuated off resonance" true
+    (Ac.magnitude (Ac.solve rlc (f0 /. 5.)) "out" < 0.5
+    && Ac.magnitude (Ac.solve rlc (f0 *. 5.)) "out" < 0.5)
+
+let test_sallen_key_second_order () =
+  let sk = L.sallen_key_lowpass () in
+  let corner = 1. /. (2. *. Float.pi *. 10e3 *. 10e-9) in
+  (* a second-order filter falls at −40 dB/decade *)
+  let two_decades = Ac.gain_db (Ac.solve sk (corner *. 100.)) "out" in
+  check_close "-80 dB two decades up" 1. (-80.) two_decades;
+  check_close "unity in passband" 1e-2 1.
+    (Ac.magnitude (Ac.solve sk (corner /. 100.)) "out")
+
+let test_ac_source_selection () =
+  let rc = L.rc_lowpass () in
+  (* driving explicitly by name is the same as the default *)
+  let a = Ac.solve ~source:"vin" rc 1000. and b = Ac.solve rc 1000. in
+  check_close "same response" 1e-12 (Ac.magnitude a "out") (Ac.magnitude b "out")
+
+let test_ac_rejects_nonlinear () =
+  let amp = L.three_stage_amplifier () in
+  match Ac.solve amp 1000. with
+  | exception Ac.Unsupported _ -> ()
+  | _ -> Alcotest.fail "BJTs must be rejected by the AC solver"
+
+let test_ac_invalid_frequency () =
+  match Ac.solve (L.rc_lowpass ()) 0. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero frequency must be rejected"
+
+let test_rlc_phase_at_resonance () =
+  (* at resonance the series RLC is purely resistive: zero phase *)
+  let rlc = L.rlc_bandpass () in
+  let f0 = 1. /. (2. *. Float.pi *. Float.sqrt (10e-3 *. 100e-9)) in
+  check_close "zero phase" 1e-3 0. (Ac.phase (Ac.solve rlc f0) "out");
+  check_close "0 dB" 1e-2 0. (Ac.gain_db (Ac.solve rlc f0) "out")
+
+let test_ac_no_source () =
+  let net =
+    N.make ~ports:[ "in" ] ~name:"passive" ~ground:"gnd"
+      [
+        C.resistor "r1" ~ohms:(I.crisp 1e3) ~p:"in" ~n:"out";
+        C.resistor "r2" ~ohms:(I.crisp 1e3) ~p:"out" ~n:"gnd";
+      ]
+  in
+  match Ac.solve net 1000. with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "a circuit without a source must be rejected"
+
+let test_ac_sweep () =
+  let rs = Ac.sweep (L.rc_lowpass ()) [ 100.; 1000.; 10000. ] in
+  Alcotest.(check int) "three points" 3 (List.length rs);
+  let mags = List.map (fun r -> Ac.magnitude r "out") rs in
+  check_bool "monotone low-pass" true
+    (List.sort (fun a b -> Float.compare b a) mags = mags)
+
+(* {1 Reactive components at DC} *)
+
+let test_capacitor_open_at_dc () =
+  let net =
+    N.make ~name:"rc-dc" ~ground:"gnd"
+      [
+        C.vsource "vin" ~volts:(I.crisp 5.) ~p:"in" ~n:"gnd";
+        C.resistor "r1" ~ohms:(I.crisp 1e3) ~p:"in" ~n:"out";
+        C.capacitor "c1" ~farads:(I.crisp 1e-6) ~p:"out" ~n:"gnd";
+      ]
+  in
+  let sol = Mna.solve net in
+  (* no DC current: the output settles at the source voltage *)
+  check_close "output at vin" 1e-6 5. (Mna.voltage sol "out");
+  check_close "no current" 1e-8 0. (Mna.current sol "r1")
+
+let test_inductor_short_at_dc () =
+  let net =
+    N.make ~name:"rl-dc" ~ground:"gnd"
+      [
+        C.vsource "vin" ~volts:(I.crisp 5.) ~p:"in" ~n:"gnd";
+        C.resistor "r1" ~ohms:(I.crisp 1e3) ~p:"in" ~n:"out";
+        C.inductor "l1" ~henries:(I.crisp 1e-3) ~p:"out" ~n:"gnd";
+      ]
+  in
+  let sol = Mna.solve net in
+  check_close "inductor shorts the output" 1e-9 0. (Mna.voltage sol "out");
+  check_close "full current" 1e-9 5e-3 (Mna.current sol "l1")
+
+(* {1 Dynamic-mode diagnosis} *)
+
+let corner = 1. /. (2. *. Float.pi *. 10e3 *. 10e-9)
+let freqs = [ corner /. 8.; corner; corner *. 5. ]
+
+let observe_faulty nominal fault =
+  let faulty = F.inject nominal fault in
+  List.map
+    (fun frequency ->
+      Dynamic.observe ~source:"vin" faulty ~node:"out" ~frequency)
+    freqs
+
+let test_dynamic_healthy () =
+  let rc = L.rc_lowpass () in
+  let obs =
+    List.map
+      (fun frequency -> Dynamic.observe ~source:"vin" rc ~node:"out" ~frequency)
+      freqs
+  in
+  let r = Dynamic.run ~trusted:[ "vin" ] rc obs in
+  check_bool "healthy" true (Dynamic.healthy r)
+
+let test_dynamic_detects_drift () =
+  let rc = L.rc_lowpass () in
+  let obs = observe_faulty rc (F.shifted "c1" ~parameter:"C" 15e-9) in
+  let r = Dynamic.run ~trusted:[ "vin" ] rc obs in
+  check_bool "detected" true (not (Dynamic.healthy r));
+  (* single-pole RC: R and C are degenerate (only the product matters),
+     so both are implicated and both explain *)
+  check_bool "c1 implicated" true
+    (List.exists
+       (fun (s : Dynamic.suspect) ->
+         s.Dynamic.component = "c1" && s.Dynamic.suspicion > 0.5)
+       r.Dynamic.suspects);
+  check_bool "c1 explains" true
+    (List.exists
+       (fun (s : Dynamic.suspect) ->
+         s.Dynamic.component = "c1" && s.Dynamic.explains)
+       r.Dynamic.suspects)
+
+let test_dynamic_fit_recovers_value () =
+  let rc = L.rc_lowpass () in
+  let obs = observe_faulty rc (F.shifted "c1" ~parameter:"C" 15e-9) in
+  let r = Dynamic.run ~trusted:[ "vin" ] rc obs in
+  let c1 =
+    List.find
+      (fun (s : Dynamic.suspect) -> s.Dynamic.component = "c1")
+      r.Dynamic.suspects
+  in
+  let estimate =
+    List.find_map
+      (fun (e : Dynamic.mode_estimate) ->
+        if e.Dynamic.parameter = "C" then e.Dynamic.estimated else None)
+      c1.Dynamic.estimates
+  in
+  match estimate with
+  | Some v -> check_close "fitted C ≈ 15 nF" 1e-9 15e-9 v
+  | None -> Alcotest.fail "no fitted value for c1.C"
+
+let test_dynamic_rlc_separates_l_and_r () =
+  (* in the band-pass, an R fault changes the bandwidth but not the
+     resonance; an L fault moves the resonance: measuring on and around
+     the resonance separates them *)
+  let rlc = L.rlc_bandpass () in
+  let f0 = 1. /. (2. *. Float.pi *. Float.sqrt (10e-3 *. 100e-9)) in
+  let fs = [ f0 /. 3.; f0; f0 *. 3. ] in
+  let diagnose fault =
+    let faulty = F.inject rlc fault in
+    let obs =
+      List.map
+        (fun frequency ->
+          Dynamic.observe ~source:"vin" faulty ~node:"out" ~frequency)
+        fs
+    in
+    Dynamic.run ~trusted:[ "vin" ] rlc obs
+  in
+  let l_fault = diagnose (F.shifted "l1" ~parameter:"L" 15e-3) in
+  check_bool "L drift detected" true (not (Dynamic.healthy l_fault));
+  let explains r name =
+    List.exists
+      (fun (s : Dynamic.suspect) ->
+        s.Dynamic.component = name && s.Dynamic.explains)
+      r.Dynamic.suspects
+  in
+  check_bool "l1 explains the L-fault response" true (explains l_fault "l1");
+  check_bool "r1 does not explain the L-fault response" false
+    (explains l_fault "r1")
+
+let test_dynamic_hard_fault () =
+  let rc = L.rc_lowpass () in
+  let obs = observe_faulty rc (F.short "c1" ~parameter:"C") in
+  (* C short = ratio 1e-6 of 10 nF… a shorted capacitor in AC terms means
+     huge capacitance; inject as parameter low = tiny C = open in the AC
+     sense.  Either way the response deviates hard. *)
+  let r = Dynamic.run ~trusted:[ "vin" ] rc obs in
+  check_bool "hard deviation detected" true (not (Dynamic.healthy r));
+  check_bool "hard conflict" true
+    (List.exists
+       (fun (c : Flames_atms.Candidates.conflict) ->
+         c.Flames_atms.Candidates.degree > 0.9)
+       r.Dynamic.conflicts)
+
+let test_dynamic_sallen_key () =
+  let sk = L.sallen_key_lowpass () in
+  let fs = [ corner /. 8.; corner; corner *. 4. ] in
+  let faulty = F.inject sk (F.shifted "c2" ~parameter:"C" 22e-9) in
+  let obs =
+    List.map
+      (fun frequency ->
+        Dynamic.observe ~source:"vin" faulty ~node:"out" ~frequency)
+      fs
+  in
+  let r = Dynamic.run ~trusted:[ "vin"; "amp" ] sk obs in
+  check_bool "active-filter fault detected" true (not (Dynamic.healthy r));
+  check_bool "c2 implicated" true
+    (List.exists
+       (fun (s : Dynamic.suspect) ->
+         s.Dynamic.component = "c2" && s.Dynamic.suspicion > 0.3)
+       r.Dynamic.suspects)
+
+let () =
+  Alcotest.run "ac"
+    [
+      ( "clinalg",
+        [
+          Alcotest.test_case "identity" `Quick test_clinalg_identity;
+          Alcotest.test_case "complex pivot" `Quick test_clinalg_complex_pivot;
+          Alcotest.test_case "singular" `Quick test_clinalg_singular;
+          Alcotest.test_case "dimensions" `Quick
+            test_clinalg_dimension_mismatch;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "rc lowpass" `Quick test_rc_lowpass_response;
+          Alcotest.test_case "rlc resonance" `Quick test_rlc_resonance;
+          Alcotest.test_case "sallen-key" `Quick test_sallen_key_second_order;
+          Alcotest.test_case "source selection" `Quick
+            test_ac_source_selection;
+          Alcotest.test_case "rejects nonlinear" `Quick
+            test_ac_rejects_nonlinear;
+          Alcotest.test_case "invalid frequency" `Quick
+            test_ac_invalid_frequency;
+          Alcotest.test_case "sweep" `Quick test_ac_sweep;
+          Alcotest.test_case "phase at resonance" `Quick
+            test_rlc_phase_at_resonance;
+          Alcotest.test_case "no source" `Quick test_ac_no_source;
+        ] );
+      ( "reactive-dc",
+        [
+          Alcotest.test_case "capacitor open" `Quick
+            test_capacitor_open_at_dc;
+          Alcotest.test_case "inductor short" `Quick
+            test_inductor_short_at_dc;
+        ] );
+      ( "dynamic-diagnosis",
+        [
+          Alcotest.test_case "healthy" `Quick test_dynamic_healthy;
+          Alcotest.test_case "detects drift" `Quick
+            test_dynamic_detects_drift;
+          Alcotest.test_case "fit recovers value" `Quick
+            test_dynamic_fit_recovers_value;
+          Alcotest.test_case "rlc separates L and R" `Quick
+            test_dynamic_rlc_separates_l_and_r;
+          Alcotest.test_case "hard fault" `Quick test_dynamic_hard_fault;
+          Alcotest.test_case "sallen-key" `Quick test_dynamic_sallen_key;
+        ] );
+    ]

@@ -1,0 +1,443 @@
+(* Tests for the ATMS substrate: environments, weighted nogoods, label
+   propagation, minimal hitting sets and candidate ranking. *)
+
+module Env = Flames_atms.Env
+module Nogood = Flames_atms.Nogood
+module Hitting = Flames_atms.Hitting
+module Atms = Flames_atms.Atms
+module Candidates = Flames_atms.Candidates
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let env_t = Alcotest.testable (Env.pp ~names:(Printf.sprintf "a%d")) Env.equal
+let envs = Alcotest.(list env_t)
+let e = Env.of_list
+
+(* {1 Env} *)
+
+let test_env_basics () =
+  check_bool "empty is empty" true (Env.is_empty Env.empty);
+  check_int "cardinal" 3 (Env.cardinal (e [ 1; 2; 3 ]));
+  check_bool "mem" true (Env.mem 2 (e [ 1; 2 ]));
+  Alcotest.check env_t "union" (e [ 1; 2; 3 ])
+    (Env.union (e [ 1; 2 ]) (e [ 2; 3 ]));
+  Alcotest.check env_t "inter" (e [ 2 ]) (Env.inter (e [ 1; 2 ]) (e [ 2; 3 ]));
+  Alcotest.check env_t "diff" (e [ 1 ]) (Env.diff (e [ 1; 2 ]) (e [ 2; 3 ]));
+  check_bool "subset" true (Env.subset (e [ 1 ]) (e [ 1; 2 ]));
+  check_bool "not subset" false (Env.subset (e [ 1; 3 ]) (e [ 1; 2 ]));
+  check_bool "disjoint" true (Env.disjoint (e [ 1 ]) (e [ 2 ]));
+  Alcotest.(check (list int)) "to_list sorted" [ 1; 2; 9 ]
+    (Env.to_list (e [ 9; 1; 2 ]))
+
+let test_env_dedup () =
+  check_int "duplicates collapse" 2 (Env.cardinal (e [ 1; 1; 2 ]))
+
+(* {1 Nogood} *)
+
+let test_nogood_record_and_query () =
+  let db = Nogood.create () in
+  check_bool "record" true (Nogood.record db (e [ 1; 2 ]) 0.5);
+  check_float "inconsistency superset" 0.5
+    (Nogood.inconsistency db (e [ 1; 2; 3 ]));
+  check_float "inconsistency other" 0. (Nogood.inconsistency db (e [ 3 ]));
+  check_bool "not hard nogood" false (Nogood.is_nogood db (e [ 1; 2 ]));
+  check_bool "soft at threshold" true
+    (Nogood.is_nogood db ~threshold:0.5 (e [ 1; 2 ]))
+
+let test_nogood_subsumption () =
+  let db = Nogood.create () in
+  ignore (Nogood.record db (e [ 1; 2 ]) 0.8);
+  check_bool "weaker superset subsumed" false
+    (Nogood.record db (e [ 1; 2; 3 ]) 0.5);
+  check_bool "stronger superset kept" true
+    (Nogood.record db (e [ 1; 2; 3 ]) 0.9);
+  check_bool "hard subset recorded" true (Nogood.record db (e [ 1 ]) 1.);
+  let entries = Nogood.entries db in
+  check_int "weaker entries dropped" 1 (List.length entries);
+  check_bool "the hard singleton remains" true
+    (List.exists
+       (fun (n : Nogood.entry) -> Env.equal n.Nogood.env (e [ 1 ]))
+       entries)
+
+let test_nogood_degree_zero_ignored () =
+  let db = Nogood.create () in
+  check_bool "zero degree ignored" false (Nogood.record db (e [ 1 ]) 0.);
+  check_int "empty" 0 (Nogood.count db)
+
+let test_nogood_same_env_keeps_max () =
+  let db = Nogood.create () in
+  ignore (Nogood.record db (e [ 1; 2 ]) 0.3);
+  ignore (Nogood.record db (e [ 1; 2 ]) 0.7);
+  check_float "max degree" 0.7 (Nogood.inconsistency db (e [ 1; 2 ]));
+  check_bool "weaker same env rejected" false
+    (Nogood.record db (e [ 1; 2 ]) 0.4)
+
+let test_nogood_empty_env () =
+  let db = Nogood.create () in
+  ignore (Nogood.record db Env.empty 1.);
+  check_bool "everything inconsistent" true (Nogood.is_nogood db (e [ 5 ]))
+
+let test_nogood_entries_sorted () =
+  let db = Nogood.create () in
+  ignore (Nogood.record db (e [ 1; 2 ]) 0.4);
+  ignore (Nogood.record db (e [ 3 ]) 0.9);
+  match Nogood.entries db with
+  | [ a; b ] ->
+    check_float "strongest first" 0.9 a.Nogood.degree;
+    check_float "weaker second" 0.4 b.Nogood.degree
+  | _ -> Alcotest.fail "expected two entries"
+
+(* {1 Hitting sets} *)
+
+let test_hitting_empty_family () =
+  Alcotest.check envs "empty family" [ Env.empty ]
+    (Hitting.minimal_hitting_sets [])
+
+let test_hitting_empty_conflict () =
+  Alcotest.check envs "unsatisfiable" []
+    (Hitting.minimal_hitting_sets [ Env.empty; e [ 1 ] ])
+
+let test_hitting_paper_fig5 () =
+  (* conflicts {r1,d1} and {r2,d1} → diagnoses {d1} and {r1,r2} *)
+  let r1 = 0 and r2 = 1 and d1 = 2 in
+  let sets = Hitting.minimal_hitting_sets [ e [ r1; d1 ]; e [ r2; d1 ] ] in
+  Alcotest.check envs "fig5 diagnoses" [ e [ d1 ]; e [ r1; r2 ] ] sets
+
+let test_hitting_minimality () =
+  let family = [ e [ 1; 2 ]; e [ 2; 3 ]; e [ 1; 3 ] ] in
+  let sets = Hitting.minimal_hitting_sets family in
+  check_int "three pairs" 3 (List.length sets);
+  List.iter
+    (fun s ->
+      check_int "cardinality 2" 2 (Env.cardinal s);
+      check_bool "hits all" true (Hitting.hits_all s family))
+    sets;
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if not (Env.equal a b) then
+            check_bool "antichain" false (Env.subset a b))
+        sets)
+    sets
+
+let test_hitting_single_common () =
+  let sets =
+    Hitting.minimal_hitting_sets [ e [ 1; 2 ]; e [ 1; 3 ]; e [ 1 ] ]
+  in
+  Alcotest.check envs "forced singleton" [ e [ 1 ] ] sets
+
+let test_hitting_limit () =
+  let family = List.init 10 (fun i -> e [ 2 * i; (2 * i) + 1 ]) in
+  let sets = Hitting.minimal_hitting_sets ~limit:5 family in
+  check_int "limit respected" 5 (List.length sets)
+
+let test_hitting_duplicate_conflicts () =
+  let sets = Hitting.minimal_hitting_sets [ e [ 1; 2 ]; e [ 1; 2 ] ] in
+  check_int "duplicates collapse" 2 (List.length sets)
+
+(* {1 Hitting-set properties} *)
+
+let conflict_family_gen =
+  let open QCheck.Gen in
+  let conflict = map e (list_size (int_range 1 3) (int_range 0 5)) in
+  list_size (int_range 1 4) conflict
+
+let arb_family =
+  QCheck.make
+    ~print:(fun f ->
+      String.concat "; "
+        (List.map
+           (fun env ->
+             "{"
+             ^ String.concat "," (List.map string_of_int (Env.to_list env))
+             ^ "}")
+           f))
+    conflict_family_gen
+
+let hitting_properties =
+  [
+    QCheck.Test.make ~name:"every result hits all conflicts" ~count:100
+      arb_family (fun family ->
+        List.for_all
+          (fun s -> Hitting.hits_all s family)
+          (Hitting.minimal_hitting_sets family));
+    QCheck.Test.make ~name:"results form an antichain" ~count:100 arb_family
+      (fun family ->
+        let sets = Hitting.minimal_hitting_sets family in
+        List.for_all
+          (fun a ->
+            List.for_all
+              (fun b -> Env.equal a b || not (Env.subset a b))
+              sets)
+          sets);
+    QCheck.Test.make ~name:"removing any element breaks hitting" ~count:100
+      arb_family (fun family ->
+        List.for_all
+          (fun s ->
+            List.for_all
+              (fun a -> not (Hitting.hits_all (Env.diff s (e [ a ])) family))
+              (Env.to_list s))
+          (Hitting.minimal_hitting_sets family));
+  ]
+
+(* {1 ATMS} *)
+
+let test_atms_assumption_label () =
+  let t = Atms.create () in
+  let a = Atms.assumption t "a" in
+  match Atms.label t a with
+  | [ { Atms.env; degree } ] ->
+    check_int "singleton env" 1 (Env.cardinal env);
+    check_float "degree 1" 1. degree
+  | _ -> Alcotest.fail "assumption label must be its own environment"
+
+let test_atms_duplicate_assumption () =
+  let t = Atms.create () in
+  ignore (Atms.assumption t "a");
+  match Atms.assumption t "a" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate assumption must be rejected"
+
+let test_atms_justification_propagates () =
+  let t = Atms.create () in
+  let a = Atms.assumption t "a" and b = Atms.assumption t "b" in
+  let n = Atms.node t "n" in
+  Atms.justify t ~antecedents:[ a; b ] n;
+  let envab = Atms.env_of_assumptions t [ a; b ] in
+  check_bool "n in {a,b}" true (Atms.is_in t n envab);
+  check_bool "n not in {a}" false
+    (Atms.is_in t n (Atms.env_of_assumptions t [ a ]))
+
+let test_atms_label_minimality () =
+  let t = Atms.create () in
+  let a = Atms.assumption t "a" and b = Atms.assumption t "b" in
+  let n = Atms.node t "n" in
+  Atms.justify t ~antecedents:[ a; b ] n;
+  Atms.justify t ~antecedents:[ a ] n;
+  match Atms.label t n with
+  | [ { Atms.env; _ } ] ->
+    Alcotest.check env_t "minimal env" (Atms.env_of_assumptions t [ a ]) env
+  | l -> Alcotest.failf "expected one entry, got %d" (List.length l)
+
+let test_atms_chaining () =
+  let t = Atms.create () in
+  let a = Atms.assumption t "a" and b = Atms.assumption t "b" in
+  let n1 = Atms.node t "n1" and n2 = Atms.node t "n2" in
+  Atms.justify t ~antecedents:[ a ] n1;
+  Atms.justify t ~antecedents:[ n1; b ] n2;
+  check_bool "n2 under {a,b}" true
+    (Atms.is_in t n2 (Atms.env_of_assumptions t [ a; b ]))
+
+let test_atms_premise () =
+  let t = Atms.create () in
+  let n = Atms.node t "premise" in
+  Atms.premise t n;
+  check_bool "holds in empty env" true (Atms.is_in t n Env.empty)
+
+let test_atms_node_idempotent () =
+  let t = Atms.create () in
+  let n1 = Atms.node t "same" and n2 = Atms.node t "same" in
+  check_bool "same datum, same node" true (n1 == n2)
+
+let test_atms_contradiction_and_nogood () =
+  let t = Atms.create () in
+  let a = Atms.assumption t "a" and b = Atms.assumption t "b" in
+  let n = Atms.node t "n" in
+  Atms.justify t ~antecedents:[ a; b ] n;
+  Atms.justify t ~antecedents:[ n ] (Atms.contradiction t);
+  let envab = Atms.env_of_assumptions t [ a; b ] in
+  check_bool "env now inconsistent" false (Atms.consistent t envab);
+  check_bool "label swept" false (Atms.is_in t n envab);
+  check_int "one nogood" 1 (List.length (Atms.nogoods t))
+
+let test_atms_graded_justification () =
+  let t = Atms.create () in
+  let a = Atms.assumption t "a" in
+  let n = Atms.node t "n" in
+  Atms.justify t ~degree:0.7 ~antecedents:[ a ] n;
+  check_float "degree propagated" 0.7
+    (Atms.holds_in t n (Atms.env_of_assumptions t [ a ]))
+
+let test_atms_degree_min_combination () =
+  let t = Atms.create () in
+  let a = Atms.assumption t "a" in
+  let n1 = Atms.node t "n1" and n2 = Atms.node t "n2" in
+  Atms.justify t ~degree:0.9 ~antecedents:[ a ] n1;
+  Atms.justify t ~degree:0.6 ~antecedents:[ n1 ] n2;
+  check_float "min of chain" 0.6
+    (Atms.holds_in t n2 (Atms.env_of_assumptions t [ a ]))
+
+let test_atms_soft_nogood_lowers_degree () =
+  let t = Atms.create () in
+  let a = Atms.assumption t "a" in
+  let n = Atms.node t "n" in
+  Atms.justify t ~antecedents:[ a ] n;
+  Atms.justify t ~degree:0.4 ~antecedents:[ a ] (Atms.contradiction t);
+  let enva = Atms.env_of_assumptions t [ a ] in
+  check_bool "still consistent (soft)" true (Atms.consistent t enva);
+  check_float "degree capped by 1 - inconsistency" 0.6 (Atms.holds_in t n enva)
+
+let test_atms_disjunction () =
+  let t = Atms.create () in
+  let a = Atms.assumption t "a" in
+  let d1 = Atms.node t "d1" and d2 = Atms.node t "d2" in
+  Atms.justify_disjunction t ~antecedents:[ a ] [ d1; d2 ];
+  let enva = Atms.env_of_assumptions t [ a ] in
+  check_float "disjunct at degree/k" 0.5 (Atms.holds_in t d1 enva);
+  check_float "disjunct at degree/k" 0.5 (Atms.holds_in t d2 enva);
+  match Atms.justify_disjunction t ~antecedents:[ a ] [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty disjunction must be rejected"
+
+let test_atms_incremental_label_update () =
+  let t = Atms.create () in
+  let a = Atms.assumption t "a" in
+  let n1 = Atms.node t "n1" and n2 = Atms.node t "n2" in
+  Atms.justify t ~antecedents:[ n1 ] n2;
+  check_bool "n2 out initially" true (Atms.label t n2 = []);
+  Atms.justify t ~antecedents:[ a ] n1;
+  check_bool "n2 in after n1 supported" true
+    (Atms.is_in t n2 (Atms.env_of_assumptions t [ a ]))
+
+let test_atms_env_of_non_assumption () =
+  let t = Atms.create () in
+  let n = Atms.node t "n" in
+  match Atms.env_of_assumptions t [ n ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-assumption must be rejected"
+
+(* {1 Candidates} *)
+
+let conflicts =
+  (* the fig-5 situation: {r1,d1}@0.5, {r2,d1}@1.0 *)
+  [
+    { Candidates.env = e [ 0; 2 ]; degree = 0.5; reason = "Ir1" };
+    { Candidates.env = e [ 1; 2 ]; degree = 1.0; reason = "Ir2" };
+  ]
+
+let test_suspicion () =
+  check_float "r1 weak" 0.5 (Candidates.suspicion conflicts 0);
+  check_float "r2 strong" 1.0 (Candidates.suspicion conflicts 1);
+  check_float "d1 strong" 1.0 (Candidates.suspicion conflicts 2);
+  check_float "absent" 0. (Candidates.suspicion conflicts 9)
+
+let test_suspicions_ranked () =
+  match Candidates.suspicions conflicts with
+  | (first, d) :: _ ->
+    check_bool "strongest first" true (d = 1.0 && (first = 1 || first = 2))
+  | [] -> Alcotest.fail "no suspicions"
+
+let test_diagnoses_ranking () =
+  let ds = Candidates.diagnoses conflicts in
+  check_int "two minimal diagnoses" 2 (List.length ds);
+  match ds with
+  | [ best; second ] ->
+    (* {d1} has rank 1, {r1,r2} has rank min(0.5,1) = 0.5 *)
+    Alcotest.check env_t "best is {d1}" (e [ 2 ]) best.Candidates.members;
+    check_float "best rank" 1.0 best.Candidates.rank;
+    Alcotest.check env_t "second is {r1,r2}" (e [ 0; 1 ])
+      second.Candidates.members;
+    check_float "second rank" 0.5 second.Candidates.rank
+  | _ -> Alcotest.fail "expected exactly two diagnoses"
+
+let test_diagnoses_threshold () =
+  let ds = Candidates.diagnoses ~threshold:1. conflicts in
+  check_int "two singletons" 2 (List.length ds);
+  List.iter
+    (fun (d : Candidates.diagnosis) ->
+      check_int "singleton" 1 d.Candidates.cardinality)
+    ds
+
+let test_single_faults () =
+  match Candidates.single_faults conflicts with
+  | [ (a, d) ] ->
+    check_int "common member is d1" 2 a;
+    check_float "degree" 1.0 d
+  | _ -> Alcotest.fail "expected d1 as the only single fault"
+
+let test_single_faults_empty () =
+  check_int "no conflicts, no single faults" 0
+    (List.length (Candidates.single_faults []))
+
+let () =
+  Alcotest.run "atms"
+    [
+      ( "env",
+        [
+          Alcotest.test_case "basics" `Quick test_env_basics;
+          Alcotest.test_case "dedup" `Quick test_env_dedup;
+        ] );
+      ( "nogood",
+        [
+          Alcotest.test_case "record and query" `Quick
+            test_nogood_record_and_query;
+          Alcotest.test_case "subsumption" `Quick test_nogood_subsumption;
+          Alcotest.test_case "zero degree" `Quick
+            test_nogood_degree_zero_ignored;
+          Alcotest.test_case "same env max" `Quick
+            test_nogood_same_env_keeps_max;
+          Alcotest.test_case "empty env" `Quick test_nogood_empty_env;
+          Alcotest.test_case "entries sorted" `Quick
+            test_nogood_entries_sorted;
+        ] );
+      ( "hitting",
+        [
+          Alcotest.test_case "empty family" `Quick test_hitting_empty_family;
+          Alcotest.test_case "empty conflict" `Quick
+            test_hitting_empty_conflict;
+          Alcotest.test_case "paper fig5" `Quick test_hitting_paper_fig5;
+          Alcotest.test_case "minimality" `Quick test_hitting_minimality;
+          Alcotest.test_case "forced singleton" `Quick
+            test_hitting_single_common;
+          Alcotest.test_case "limit" `Quick test_hitting_limit;
+          Alcotest.test_case "duplicates" `Quick
+            test_hitting_duplicate_conflicts;
+        ] );
+      ( "hitting-properties",
+        List.map (QCheck_alcotest.to_alcotest ~long:false) hitting_properties
+      );
+      ( "atms",
+        [
+          Alcotest.test_case "assumption label" `Quick
+            test_atms_assumption_label;
+          Alcotest.test_case "duplicate assumption" `Quick
+            test_atms_duplicate_assumption;
+          Alcotest.test_case "justification propagates" `Quick
+            test_atms_justification_propagates;
+          Alcotest.test_case "label minimality" `Quick
+            test_atms_label_minimality;
+          Alcotest.test_case "chaining" `Quick test_atms_chaining;
+          Alcotest.test_case "premise" `Quick test_atms_premise;
+          Alcotest.test_case "node idempotent" `Quick
+            test_atms_node_idempotent;
+          Alcotest.test_case "contradiction and nogood" `Quick
+            test_atms_contradiction_and_nogood;
+          Alcotest.test_case "graded justification" `Quick
+            test_atms_graded_justification;
+          Alcotest.test_case "degree min combination" `Quick
+            test_atms_degree_min_combination;
+          Alcotest.test_case "soft nogood" `Quick
+            test_atms_soft_nogood_lowers_degree;
+          Alcotest.test_case "disjunction" `Quick test_atms_disjunction;
+          Alcotest.test_case "incremental update" `Quick
+            test_atms_incremental_label_update;
+          Alcotest.test_case "env of non-assumption" `Quick
+            test_atms_env_of_non_assumption;
+        ] );
+      ( "candidates",
+        [
+          Alcotest.test_case "suspicion" `Quick test_suspicion;
+          Alcotest.test_case "suspicions ranked" `Quick
+            test_suspicions_ranked;
+          Alcotest.test_case "diagnoses ranking" `Quick
+            test_diagnoses_ranking;
+          Alcotest.test_case "diagnoses threshold" `Quick
+            test_diagnoses_threshold;
+          Alcotest.test_case "single faults" `Quick test_single_faults;
+          Alcotest.test_case "single faults empty" `Quick
+            test_single_faults_empty;
+        ] );
+    ]

@@ -1,0 +1,193 @@
+(* Tests for the baselines: the DIANA-style crisp-interval engine and the
+   GDE-style probabilistic test selection. *)
+
+module I = Flames_fuzzy.Interval
+module Q = Flames_circuit.Quantity
+module F = Flames_circuit.Fault
+module L = Flames_circuit.Library
+module Crisp = Flames_baseline.Crisp
+module Prob = Flames_baseline.Probabilistic
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* {1 Crispification} *)
+
+let test_crispify_interval_support () =
+  let v = I.make ~m1:1. ~m2:2. ~alpha:0.5 ~beta:0.5 in
+  let c = Crisp.crispify_interval v in
+  check_bool "crisp" true (I.is_crisp c);
+  let lo, hi = I.support c in
+  check_float "support lo" 0.5 lo;
+  check_float "support hi" 2.5 hi
+
+let test_crispify_interval_core () =
+  let v = I.make ~m1:(-1.) ~m2:100. ~alpha:0. ~beta:10. in
+  let c = Crisp.crispify_interval ~mode:`Core v in
+  let lo, hi = I.support c in
+  check_float "core lo" (-1.) lo;
+  check_float "core hi (DIANA's 100 µA)" 100. hi
+
+let test_crispify_netlist () =
+  let net = Crisp.crispify (L.voltage_divider ()) in
+  List.iter
+    (fun name ->
+      let comp = Flames_circuit.Netlist.find net name in
+      List.iter
+        (fun param ->
+          check_bool
+            (name ^ "." ^ param ^ " crisp")
+            true
+            (I.is_crisp (Flames_circuit.Component.nominal_parameter comp param)))
+        (Flames_circuit.Component.parameter_names comp.Flames_circuit.Component.kind))
+    [ "vin"; "r1"; "r2" ]
+
+(* {1 Crisp diagnosis} *)
+
+let config = { Flames_core.Model.default_config with trusted = [ "vcc" ] }
+let instrument = { Flames_sim.Measure.relative = 0.002; floor = 5e-4 }
+
+let observations fault =
+  let nominal = L.three_stage_amplifier ~tolerance:0.005 () in
+  let faulty = match fault with None -> nominal | Some f -> F.inject nominal f in
+  let sol = Flames_sim.Mna.solve faulty in
+  ( nominal,
+    Flames_sim.Measure.probe_all ~instrument sol
+      (List.map Q.voltage [ "vs"; "n2"; "v1" ]) )
+
+let test_crisp_healthy () =
+  let nominal, obs = observations None in
+  let r = Crisp.run ~config nominal obs in
+  check_bool "healthy circuit passes" false (Crisp.detects r)
+
+let test_crisp_detects_hard_fault () =
+  let nominal, obs = observations (Some (F.short "r2" ~parameter:"R")) in
+  let r = Crisp.run ~config nominal obs in
+  check_bool "hard fault detected" true (Crisp.detects r)
+
+let test_crisp_misses_soft_fault () =
+  (* the paper's masking claim: a +1.5 % drift stays inside the crisp
+     tolerance intervals while FLAMES grades it *)
+  let nominal, obs =
+    observations (Some (F.shifted "r2" ~parameter:"R" 12.18e3))
+  in
+  let crisp = Crisp.run ~config nominal obs in
+  check_bool "crisp silent" false (Crisp.detects crisp);
+  let fuzzy = Flames_core.Diagnose.run ~config nominal obs in
+  check_bool "fuzzy grades it" true
+    (fuzzy.Flames_core.Diagnose.conflicts <> [])
+
+let test_crisp_conflicts_all_hard () =
+  let nominal, obs = observations (Some (F.short "r2" ~parameter:"R")) in
+  let r = Crisp.run ~config nominal obs in
+  List.iter
+    (fun (c : Flames_atms.Candidates.conflict) ->
+      check_float "degree 1" 1. c.Flames_atms.Candidates.degree)
+    r.Flames_core.Diagnose.conflicts
+
+(* {1 Probabilistic baseline} *)
+
+let test_uniform_state () =
+  let s = Prob.uniform [ "a"; "b" ] 0.1 in
+  check_int "two components" 2 (List.length s.Prob.probabilities);
+  List.iter (fun (_, p) -> check_float "prior" 0.1 p) s.Prob.probabilities
+
+let test_entropy_peak () =
+  let half = Prob.uniform [ "a" ] 0.5 in
+  let sure = Prob.uniform [ "a" ] 0.999999 in
+  check_bool "0.5 maximises entropy" true (Prob.entropy half > Prob.entropy sure)
+
+let test_bayes_update () =
+  let s = Prob.uniform [ "a"; "b" ] 0.2 in
+  let p_of state name = List.assoc name state.Prob.probabilities in
+  let up = Prob.update s ~influencers:[ "a" ] ~deviant:true in
+  check_bool "deviant raises influencer" true (p_of up "a" > 0.2);
+  check_float "others untouched" (p_of s "b") (p_of up "b");
+  let down = Prob.update s ~influencers:[ "a" ] ~deviant:false in
+  check_bool "consistent lowers influencer" true (p_of down "a" < 0.2)
+
+let test_expected_entropy_reduces () =
+  let s = Prob.uniform [ "a"; "b"; "c" ] 0.3 in
+  check_bool "a probe cannot increase expected entropy" true
+    (Prob.expected_entropy s ~influencers:[ "a"; "b" ] <= Prob.entropy s +. 1e-9)
+
+let test_rank_prefers_informative () =
+  let s =
+    {
+      Prob.probabilities = [ ("suspect", 0.5); ("cleared", 0.01) ];
+    }
+  in
+  let candidates =
+    [
+      (Q.voltage "useful", 1., [ "suspect" ]);
+      (Q.voltage "useless", 1., [ "cleared" ]);
+    ]
+  in
+  match Prob.best s candidates with
+  | Some e ->
+    check_bool "probes the suspect path" true
+      (Q.equal e.Prob.quantity (Q.voltage "useful"))
+  | None -> Alcotest.fail "no recommendation"
+
+let test_of_diagnosis_scaling () =
+  let nominal, obs = observations (Some (F.short "r2" ~parameter:"R")) in
+  let r = Flames_core.Diagnose.run ~config nominal obs in
+  let s = Prob.of_diagnosis r in
+  let p name = List.assoc name s.Prob.probabilities in
+  check_bool "implicated above clean" true (p "r2" > p "r6");
+  List.iter
+    (fun (_, v) -> check_bool "probability sane" true (v > 0. && v < 1.))
+    s.Prob.probabilities
+
+(* {1 Fig-2 masking, crisp vs fuzzy (paper section 4.2)} *)
+
+let test_fig2_masking () =
+  let amp1 = I.number 1. ~spread:0.05 in
+  let vb = I.crisp (5.6 /. 1.8) in
+  let va_nominal_crisp = I.crisp_interval 2.95 3.05 in
+  (* crisp backward estimate overlaps the nominal: fault masked *)
+  let va_crisp = Flames_fuzzy.Arith.div vb (Crisp.crispify_interval amp1) in
+  check_bool "crisp masks" true (I.overlap va_crisp va_nominal_crisp);
+  (* fuzzy Dc is clearly below 1: problem flagged *)
+  let va_fuzzy = Flames_fuzzy.Arith.div vb amp1 in
+  let dc =
+    Flames_fuzzy.Consistency.dc ~measured:va_fuzzy
+      ~nominal:(I.number 3. ~spread:0.05)
+  in
+  check_bool "fuzzy flags" true (dc < 0.7)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "crispify",
+        [
+          Alcotest.test_case "support mode" `Quick
+            test_crispify_interval_support;
+          Alcotest.test_case "core mode" `Quick test_crispify_interval_core;
+          Alcotest.test_case "netlist" `Quick test_crispify_netlist;
+        ] );
+      ( "crisp-diagnosis",
+        [
+          Alcotest.test_case "healthy" `Quick test_crisp_healthy;
+          Alcotest.test_case "hard fault" `Quick
+            test_crisp_detects_hard_fault;
+          Alcotest.test_case "soft fault missed" `Quick
+            test_crisp_misses_soft_fault;
+          Alcotest.test_case "all conflicts hard" `Quick
+            test_crisp_conflicts_all_hard;
+        ] );
+      ( "probabilistic",
+        [
+          Alcotest.test_case "uniform" `Quick test_uniform_state;
+          Alcotest.test_case "entropy peak" `Quick test_entropy_peak;
+          Alcotest.test_case "bayes update" `Quick test_bayes_update;
+          Alcotest.test_case "expected entropy" `Quick
+            test_expected_entropy_reduces;
+          Alcotest.test_case "rank informative" `Quick
+            test_rank_prefers_informative;
+          Alcotest.test_case "of diagnosis" `Quick test_of_diagnosis_scaling;
+        ] );
+      ( "masking",
+        [ Alcotest.test_case "fig2" `Quick test_fig2_masking ] );
+    ]

@@ -1,0 +1,280 @@
+(* Tests for the circuit substrate: quantities, components, netlists,
+   fault modes and the prebuilt library circuits. *)
+
+module I = Flames_fuzzy.Interval
+module Q = Flames_circuit.Quantity
+module C = Flames_circuit.Component
+module N = Flames_circuit.Netlist
+module F = Flames_circuit.Fault
+module L = Flames_circuit.Library
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+let check_string = Alcotest.(check string)
+
+(* {1 Quantity} *)
+
+let test_quantity_printing () =
+  check_string "voltage" "V(n1)" (Q.to_string (Q.voltage "n1"));
+  check_string "current" "I(r1)" (Q.to_string (Q.current "r1"));
+  check_string "terminal" "I(t1.b)" (Q.to_string (Q.terminal_current "t1" "b"));
+  check_string "drop" "U(r1)" (Q.to_string (Q.drop "r1"));
+  check_string "parameter" "r1.R" (Q.to_string (Q.parameter "r1" "R"))
+
+let test_quantity_order_and_sets () =
+  check_bool "equal" true (Q.equal (Q.voltage "a") (Q.voltage "a"));
+  check_bool "distinct" false (Q.equal (Q.voltage "a") (Q.current "a"));
+  let s = Q.Set.of_list [ Q.voltage "a"; Q.voltage "a"; Q.current "a" ] in
+  check_int "set dedup" 2 (Q.Set.cardinal s);
+  let m = Q.Map.singleton (Q.voltage "a") 1 in
+  check_int "map lookup" 1 (Q.Map.find (Q.voltage "a") m)
+
+(* {1 Component} *)
+
+let test_component_terminals () =
+  Alcotest.(check (list string))
+    "resistor" [ "p"; "n" ]
+    (C.terminals (C.Resistor (I.crisp 1.)));
+  Alcotest.(check (list string))
+    "bjt" [ "b"; "c"; "e" ]
+    (C.terminals (C.Bjt { beta = I.crisp 100.; vbe = I.crisp 0.7 }))
+
+let test_component_parameters () =
+  let r = C.resistor "r" ~ohms:(I.crisp 1e3) ~p:"a" ~n:"b" in
+  check_float "R nominal" 1e3 (I.centroid (C.nominal_parameter r "R"));
+  let r' = C.with_parameter r "R" (I.crisp 2e3) in
+  check_float "R updated" 2e3 (I.centroid (C.nominal_parameter r' "R"));
+  check_float "original untouched" 1e3 (I.centroid (C.nominal_parameter r "R"));
+  (match C.nominal_parameter r "bogus" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown parameter must raise");
+  let t =
+    C.bjt "t" ~beta:(I.crisp 100.) ~vbe:(I.crisp 0.7) ~b:"b" ~c:"c" ~e:"e"
+  in
+  Alcotest.(check (list string))
+    "bjt params" [ "beta"; "vbe" ]
+    (C.parameter_names t.C.kind);
+  check_float "beta" 100. (I.centroid (C.nominal_parameter t "beta"))
+
+let test_component_node_of () =
+  let r = C.resistor "r" ~ohms:(I.crisp 1.) ~p:"x" ~n:"y" in
+  check_string "p" "x" (C.node_of r "p");
+  check_string "n" "y" (C.node_of r "n");
+  match C.node_of r "z" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown terminal must raise"
+
+(* {1 Netlist} *)
+
+let divider () = L.voltage_divider ()
+
+let test_netlist_nodes () =
+  let net = divider () in
+  Alcotest.(check (list string))
+    "nodes sorted" [ "gnd"; "in"; "mid" ] (N.nodes net)
+
+let test_netlist_find_and_replace () =
+  let net = divider () in
+  let r1 = N.find net "r1" in
+  check_string "found" "r1" r1.C.name;
+  let net' = N.replace net (C.with_parameter r1 "R" (I.crisp 42.)) in
+  check_float "replaced" 42. (I.centroid (C.nominal_parameter (N.find net' "r1") "R"));
+  check_bool "mem" true (N.mem net "r2");
+  check_bool "not mem" false (N.mem net "nope");
+  match N.find net "nope" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "find of unknown must raise"
+
+let test_netlist_components_at () =
+  let net = divider () in
+  let at_mid = List.map (fun (c : C.t) -> c.C.name) (N.components_at net "mid") in
+  Alcotest.(check (list string)) "mid components" [ "r1"; "r2" ]
+    (List.sort String.compare at_mid)
+
+let test_netlist_validation () =
+  let expect_ill f =
+    match f () with
+    | exception N.Ill_formed _ -> ()
+    | _ -> Alcotest.fail "expected Ill_formed"
+  in
+  (* duplicate names *)
+  expect_ill (fun () ->
+      N.make ~name:"bad" ~ground:"gnd"
+        [
+          C.resistor "r" ~ohms:(I.crisp 1.) ~p:"a" ~n:"gnd";
+          C.resistor "r" ~ohms:(I.crisp 1.) ~p:"a" ~n:"gnd";
+        ]);
+  (* dangling node *)
+  expect_ill (fun () ->
+      N.make ~name:"bad" ~ground:"gnd"
+        [
+          C.resistor "r1" ~ohms:(I.crisp 1.) ~p:"a" ~n:"gnd";
+          C.resistor "r2" ~ohms:(I.crisp 1.) ~p:"b" ~n:"gnd";
+        ]);
+  (* unknown ground *)
+  expect_ill (fun () ->
+      N.make ~name:"bad" ~ground:"zz"
+        [ C.resistor "r1" ~ohms:(I.crisp 1.) ~p:"a" ~n:"b";
+          C.resistor "r2" ~ohms:(I.crisp 1.) ~p:"a" ~n:"b" ])
+
+let test_netlist_ports_exempt () =
+  (* a port node may dangle *)
+  let net =
+    N.make ~ports:[ "in" ] ~name:"ported" ~ground:"gnd"
+      [
+        C.resistor "r1" ~ohms:(I.crisp 1.) ~p:"in" ~n:"mid";
+        C.resistor "r2" ~ohms:(I.crisp 1.) ~p:"mid" ~n:"gnd";
+      ]
+  in
+  check_bool "port" true (N.is_port net "in");
+  check_bool "not port" false (N.is_port net "mid")
+
+(* {1 Fault modes} *)
+
+let test_mode_regions () =
+  check_float "short at ratio 0" 1. (F.mode_membership F.Short ~nominal:10. ~actual:0.);
+  check_bool "short at nominal" true
+    (F.mode_membership F.Short ~nominal:10. ~actual:10. = 0.);
+  check_float "open at huge ratio" 1.
+    (F.mode_membership F.Open ~nominal:10. ~actual:1e6);
+  check_float "low at 50%" 1. (F.mode_membership F.Low ~nominal:10. ~actual:5.);
+  check_float "high at 2x" 1. (F.mode_membership F.High ~nominal:10. ~actual:20.)
+
+let test_mode_shifted () =
+  check_float "shifted exact" 1.
+    (F.mode_membership (F.Shifted 12.18e3) ~nominal:12e3 ~actual:12.18e3);
+  check_bool "shifted off" true
+    (F.mode_membership (F.Shifted 12.18e3) ~nominal:12e3 ~actual:20e3 = 0.)
+
+let test_classify_orders_best_first () =
+  match F.classify ~nominal:10e3 ~actual:50. with
+  | (F.Short, d) :: _ -> check_bool "short dominates" true (d > 0.5)
+  | _ -> Alcotest.fail "expected short as the best mode"
+
+let test_classify_slight_deviation () =
+  (* a 1.5 % drift matches no generic mode: this is what Dc is for *)
+  check_int "no generic mode" 0
+    (List.length (F.classify ~nominal:12e3 ~actual:12.18e3))
+
+let test_inject_short_and_open () =
+  let net = divider () in
+  let shorted = F.inject net (F.short "r1" ~parameter:"R") in
+  check_bool "short tiny" true
+    (I.centroid (C.nominal_parameter (N.find shorted "r1") "R") < 1.);
+  let opened = F.inject net (F.opened "r1" ~parameter:"R") in
+  check_bool "open huge" true
+    (I.centroid (C.nominal_parameter (N.find opened "r1") "R") > 1e9);
+  let shifted = F.inject net (F.shifted "r1" ~parameter:"R" 123.) in
+  check_float "shifted exact" 123.
+    (I.centroid (C.nominal_parameter (N.find shifted "r1") "R"));
+  match F.inject net (F.short "zz" ~parameter:"R") with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown component must raise"
+
+let test_open_node () =
+  let net = L.three_stage_amplifier () in
+  let opened = F.open_node net "n1" in
+  (* three terminals at n1 → three break resistors *)
+  check_int "components grew by 3" (N.size net + 3) (N.size opened);
+  check_bool "break resistors present" true (N.mem opened "break_n1_1");
+  (* opening a node with fewer than 2 terminals is the identity *)
+  let same = F.open_node net "does-not-exist" in
+  check_int "unknown node unchanged" (N.size net) (N.size same)
+
+(* {1 Library circuits} *)
+
+let test_chain_nodes () =
+  Alcotest.(check (list string)) "3 stages" [ "A"; "B"; "C"; "D" ]
+    (L.chain_nodes 3)
+
+let test_amplifier_chain_structure () =
+  let net = L.amplifier_chain () in
+  check_bool "amp1" true (N.mem net "amp1");
+  check_bool "amp3" true (N.mem net "amp3");
+  check_bool "source" true (N.mem net "va");
+  check_bool "load" true (N.mem net "load")
+
+let test_diode_resistor_variants () =
+  let unpowered = L.diode_resistor () in
+  check_bool "port on in" true (N.is_port unpowered "in");
+  check_bool "no source" false (N.mem unpowered "vin");
+  let powered = L.diode_resistor ~powered:true () in
+  check_bool "source present" true (N.mem powered "vin");
+  check_bool "no port" false (N.is_port powered "in")
+
+let test_three_stage_amplifier_parts () =
+  let net = L.three_stage_amplifier () in
+  check_int "10 components" 10 (N.size net);
+  List.iter
+    (fun name -> check_bool name true (N.mem net name))
+    [ "vcc"; "r1"; "r2"; "r3"; "r4"; "r5"; "r6"; "t1"; "t2"; "t3" ];
+  (* the paper's part values *)
+  let r name = I.centroid (C.nominal_parameter (N.find net name) "R") in
+  check_float "R1" 200e3 (r "r1");
+  check_float "R2" 12e3 (r "r2");
+  check_float "R3" 24e3 (r "r3");
+  check_float "R4" 3e3 (r "r4");
+  check_float "R5" 2.2e3 (r "r5");
+  check_float "R6" 1.8e3 (r "r6");
+  let beta name = I.centroid (C.nominal_parameter (N.find net name) "beta") in
+  check_float "beta1" 300. (beta "t1");
+  check_float "beta2" 200. (beta "t2");
+  check_float "beta3" 100. (beta "t3")
+
+let test_probe_points () =
+  let net = divider () in
+  let probes = L.probe_points net in
+  check_bool "ground excluded" true
+    (not (List.exists (Q.equal (Q.voltage "gnd")) probes));
+  check_bool "mid included" true
+    (List.exists (Q.equal (Q.voltage "mid")) probes)
+
+let () =
+  Alcotest.run "circuit"
+    [
+      ( "quantity",
+        [
+          Alcotest.test_case "printing" `Quick test_quantity_printing;
+          Alcotest.test_case "order and sets" `Quick
+            test_quantity_order_and_sets;
+        ] );
+      ( "component",
+        [
+          Alcotest.test_case "terminals" `Quick test_component_terminals;
+          Alcotest.test_case "parameters" `Quick test_component_parameters;
+          Alcotest.test_case "node_of" `Quick test_component_node_of;
+        ] );
+      ( "netlist",
+        [
+          Alcotest.test_case "nodes" `Quick test_netlist_nodes;
+          Alcotest.test_case "find/replace" `Quick
+            test_netlist_find_and_replace;
+          Alcotest.test_case "components_at" `Quick
+            test_netlist_components_at;
+          Alcotest.test_case "validation" `Quick test_netlist_validation;
+          Alcotest.test_case "ports" `Quick test_netlist_ports_exempt;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "mode regions" `Quick test_mode_regions;
+          Alcotest.test_case "shifted" `Quick test_mode_shifted;
+          Alcotest.test_case "classify hard" `Quick
+            test_classify_orders_best_first;
+          Alcotest.test_case "classify slight" `Quick
+            test_classify_slight_deviation;
+          Alcotest.test_case "inject" `Quick test_inject_short_and_open;
+          Alcotest.test_case "open node" `Quick test_open_node;
+        ] );
+      ( "library",
+        [
+          Alcotest.test_case "chain nodes" `Quick test_chain_nodes;
+          Alcotest.test_case "amplifier chain" `Quick
+            test_amplifier_chain_structure;
+          Alcotest.test_case "diode resistor" `Quick
+            test_diode_resistor_variants;
+          Alcotest.test_case "three-stage amplifier" `Quick
+            test_three_stage_amplifier_parts;
+          Alcotest.test_case "probe points" `Quick test_probe_points;
+        ] );
+    ]

@@ -1,0 +1,377 @@
+(* Tests pinning the reproduced paper results: each experiment module must
+   keep matching the rows and orderings the paper reports (EXPERIMENTS.md
+   records the full correspondence). *)
+
+module I = Flames_fuzzy.Interval
+module Fig2 = Flames_experiments.Fig2
+module Fig4 = Flames_experiments.Fig4
+module Fig5 = Flames_experiments.Fig5
+module Fig7 = Flames_experiments.Fig7
+module Strategy_demo = Flames_experiments.Strategy_demo
+module Learning_demo = Flames_experiments.Learning_demo
+module Ablation = Flames_experiments.Ablation
+module Dynamic_demo = Flames_experiments.Dynamic_demo
+module Explosion = Flames_experiments.Explosion
+module Rules_demo = Flames_experiments.Rules_demo
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_close msg tol expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+(* {1 Fig 2} *)
+
+let fig2 = lazy (Fig2.run ())
+
+let row label =
+  let r = Lazy.force fig2 in
+  List.find (fun (x : Fig2.row) -> x.Fig2.label = label) r.Fig2.rows
+
+let test_fig2_crisp_column () =
+  (* paper: Vb[2.95,3.05,0.15,0.15], Vc[5.90,6.10,0.44,0.46],
+     Vd[8.85,9.15,0.58,0.62] *)
+  let vb = (row "Vb").Fig2.crisp in
+  check_close "Vb m1" 1e-6 2.95 vb.I.m1;
+  check_close "Vb alpha" 0.005 0.15 vb.I.alpha;
+  let vc = (row "Vc").Fig2.crisp in
+  check_close "Vc m1" 1e-6 5.9 vc.I.m1;
+  check_close "Vc alpha" 0.01 0.44 vc.I.alpha;
+  check_close "Vc beta" 0.01 0.46 vc.I.beta;
+  let vd = (row "Vd").Fig2.crisp in
+  check_close "Vd m1" 1e-6 8.85 vd.I.m1;
+  check_close "Vd m2" 1e-6 9.15 vd.I.m2;
+  check_close "Vd alpha" 0.01 0.58 vd.I.alpha;
+  check_close "Vd beta" 0.01 0.62 vd.I.beta
+
+let test_fig2_fuzzy_column () =
+  (* paper: Vb[3,3,0.20,0.20], Vc[6,6,0.54,0.57], Vd[9,9,0.73,0.77] *)
+  let vb = (row "Vb").Fig2.fuzzy in
+  check_close "Vb center" 1e-6 3. vb.I.m1;
+  check_close "Vb alpha" 0.01 0.2 vb.I.alpha;
+  let vc = (row "Vc").Fig2.fuzzy in
+  check_close "Vc alpha" 0.01 0.54 vc.I.alpha;
+  check_close "Vc beta" 0.01 0.57 vc.I.beta;
+  let vd = (row "Vd").Fig2.fuzzy in
+  check_close "Vd alpha" 0.01 0.73 vd.I.alpha;
+  check_close "Vd beta" 0.01 0.77 vd.I.beta
+
+let test_fig2_masking () =
+  let m = (Lazy.force fig2).Fig2.masking in
+  (* paper: Vb = [3.11, 3.11], Va crisp = [2.96, 3.27] overlapping the
+     nominal — masked; fuzzy Dc < 1 flags it *)
+  check_close "Vb estimate" 0.01 3.11 (I.centroid m.Fig2.vb_estimate);
+  check_close "Va crisp lo" 0.01 2.96 m.Fig2.va_crisp.I.m1;
+  check_close "Va crisp hi" 0.01 3.27 m.Fig2.va_crisp.I.m2;
+  check_bool "crisp masked" false m.Fig2.crisp_detects;
+  check_bool "fuzzy flags" true (m.Fig2.fuzzy_dc < 0.9)
+
+(* {1 Fig 4} *)
+
+let test_fig4_cases () =
+  let cases = Fig4.run () in
+  check_int "five cases" 5 (List.length cases);
+  let coincidence label =
+    (List.find (fun (c : Fig4.case) -> c.Fig4.label = label) cases)
+      .Fig4.coincidence
+  in
+  check_bool "conflict case" true
+    (coincidence "case b: conflict" = Flames_fuzzy.Consistency.Conflict);
+  check_bool "corroboration case" true
+    (coincidence "case c: corroboration"
+    = Flames_fuzzy.Consistency.Corroboration);
+  match coincidence "case b: partial conflict" with
+  | Flames_fuzzy.Consistency.Partial_conflict d ->
+    check_bool "graded" true (d > 0. && d < 1.)
+  | Flames_fuzzy.Consistency.(
+      Corroboration | Split_measured_in_nominal | Split_nominal_in_measured
+      | Conflict) ->
+    Alcotest.fail "expected partial conflict"
+
+(* {1 Fig 5} *)
+
+let fig5 = lazy (Fig5.run ())
+
+let test_fig5_paper_degrees () =
+  let r = Lazy.force fig5 in
+  check_close "{r1,d1} at 0.5" 0.02 0.5 r.Fig5.r1_d1_degree;
+  check_close "{r2,d1} at 1.0" 1e-9 1.0 r.Fig5.r2_d1_degree
+
+let test_fig5_ordering () =
+  (* the paper's point: the fuzzy degrees order the two nogoods *)
+  let r = Lazy.force fig5 in
+  check_bool "{r2,d1} outranks {r1,d1}" true
+    (r.Fig5.r2_d1_degree > r.Fig5.r1_d1_degree)
+
+let test_fig5_crisp_uniform () =
+  let r = Lazy.force fig5 in
+  check_bool "crisp found conflicts" true (r.Fig5.crisp_conflicts <> []);
+  List.iter
+    (fun (c : Fig5.conflict) ->
+      check_close "all at weight 1" 1e-9 1. c.Fig5.degree)
+    r.Fig5.crisp_conflicts
+
+(* {1 Fig 6 / Fig 7} *)
+
+let test_fig6_linear_region () =
+  let bias = Fig7.bias_point () in
+  let v n = List.assoc n bias in
+  check_bool "v1 between rails" true (v "v1" > 1. && v "v1" < 17.);
+  check_close "follower t2" 1e-6 0.7 (v "v1" -. v "n2");
+  check_close "follower t3" 1e-6 0.7 (v "n2" -. v "vs")
+
+let fig7 = lazy (Fig7.run ())
+
+let fig7_row id =
+  List.find
+    (fun (r : Fig7.row) -> r.Fig7.scenario.Fig7.id = id)
+    (Lazy.force fig7)
+
+let test_fig7_r2_short () =
+  let r = fig7_row "R2 short" in
+  (* stage-1 candidate set with r2's short mode confirmed among the
+     single-fault explanations *)
+  check_bool "r2 among suspects" true
+    (List.exists (fun (c, d) -> c = "r2" && d > 0.9) r.Fig7.suspects);
+  check_bool "r2-short fits the symptoms" true
+    (List.exists
+       (fun (c, m, d) -> c = "r2" && m = "short" && d > 0.9)
+       r.Fig7.mode_matches)
+
+let test_fig7_r2_short_exonerates_downstream () =
+  (* fault-model fitting exonerates the downstream follower: no r6 value
+     reproduces the symptoms, so r6 never appears among the single-fault
+     explanations *)
+  let r = fig7_row "R2 short" in
+  check_bool "r6 explains nothing" true
+    (List.for_all (fun (c, _, _) -> c <> "r6") r.Fig7.mode_matches)
+
+let test_fig7_soft_rows_graded () =
+  (* the two slight-fault rows must yield strictly partial conflicts *)
+  List.iter
+    (fun id ->
+      let r = fig7_row id in
+      check_bool (id ^ " produced conflicts") true (r.Fig7.conflicts <> []);
+      List.iter
+        (fun (_, d) -> check_bool (id ^ " graded") true (d < 1.))
+        r.Fig7.conflicts)
+    [ "R2 slightly high"; "Beta2 slightly low" ]
+
+let test_fig7_dc_ordering_between_rows () =
+  (* R2 +1.5 % disturbs the bias more than β2 −3 %: its conflicts are
+     stronger (the paper's 0.89 vs 0.96 consistency ordering) *)
+  let strength id =
+    List.fold_left
+      (fun acc (_, d) -> Float.max acc d)
+      0. (fig7_row id).Fig7.conflicts
+  in
+  check_bool "R2 drift stronger than beta2 drift" true
+    (strength "R2 slightly high" > strength "Beta2 slightly low")
+
+let test_fig7_r2_high_low_side () =
+  (* the drift pulls every probed voltage down: signed Dc negative *)
+  let r = fig7_row "R2 slightly high" in
+  List.iter
+    (fun (n, d) -> check_bool (n ^ " low side") true (d < 0.))
+    r.Fig7.dcs
+
+let test_fig7_r3_open_divider_ambiguity () =
+  (* the paper's comment: the sign of Dc leaves "lower resistor high or
+     upper low" — both divider resistors carry a hard suspicion *)
+  let r = fig7_row "R3 open" in
+  let susp name =
+    List.fold_left
+      (fun acc (c, d) -> if c = name then Float.max acc d else acc)
+      0. r.Fig7.suspects
+  in
+  check_bool "r3 fully suspect" true (susp "r3" >= 0.9);
+  check_bool "r1 fully suspect" true (susp "r1" >= 0.9)
+
+let test_fig7_n1_open_detected () =
+  let r = fig7_row "N1 open" in
+  check_bool "conflicts found" true (r.Fig7.conflicts <> []);
+  (* diagnosed through stage-1 components, as the paper does *)
+  check_bool "stage-1 implicated" true
+    (List.exists (fun (c, d) -> c = "r3" && d > 0.9) r.Fig7.suspects)
+
+(* {1 Strategy demo} *)
+
+let test_strategy_demo () =
+  let r = Strategy_demo.run () in
+  check_bool "fuzzy ranking non-empty" true (r.Strategy_demo.fuzzy_ranking <> []);
+  check_bool "probabilistic ranking non-empty" true
+    (r.Strategy_demo.probabilistic_ranking <> []);
+  match r.Strategy_demo.fuzzy_step with
+  | Some s ->
+    check_bool "probes an upstream node" true
+      (List.mem s.Strategy_demo.probe [ "v1"; "e1"; "n1"; "n2" ])
+  | None -> Alcotest.fail "no recommendation"
+
+(* {1 Learning demo} *)
+
+let test_learning_demo () =
+  let r = Learning_demo.run () in
+  check_int "three episodes" 3 r.Learning_demo.episodes;
+  (* certainty strictly increases across confirmations *)
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | [ _ ] | [] -> true
+  in
+  check_bool "certainty grows" true (increasing r.Learning_demo.rule_certainties);
+  (match r.Learning_demo.suggestion with
+  | Some (c, d) ->
+    Alcotest.(check string) "suggests r2" "r2" c;
+    check_bool "confident" true (d > 0.5)
+  | None -> Alcotest.fail "no suggestion");
+  Alcotest.(check (option string)) "rerank best" (Some "r2")
+    r.Learning_demo.reranked_first
+
+(* {1 Ablation} *)
+
+let test_ablation_monotone_grading () =
+  let points = Ablation.run () in
+  (* the fuzzy conflict degree grows with the drift magnitude *)
+  let rec non_decreasing = function
+    | (a : Ablation.point) :: (b :: _ as rest) ->
+      a.Ablation.max_dc_deviation <= b.Ablation.max_dc_deviation +. 0.05
+      && non_decreasing rest
+    | [ _ ] | [] -> true
+  in
+  check_bool "grading monotone" true (non_decreasing points)
+
+let test_ablation_fuzzy_earlier_than_crisp () =
+  let points = Ablation.run () in
+  match (Ablation.detection_threshold points, Ablation.crisp_threshold points) with
+  | Some fuzzy, Some crisp ->
+    check_bool "fuzzy fires no later than crisp" true (fuzzy <= crisp)
+  | Some _, None -> () (* crisp never fires: even stronger *)
+  | None, _ -> Alcotest.fail "fuzzy never reached 0.5 in the sweep"
+
+let test_ablation_no_explosion () =
+  (* the fuzzy candidate sets stay bounded (the anti-explosion claim) *)
+  let points = Ablation.run () in
+  List.iter
+    (fun (p : Ablation.point) ->
+      check_bool "bounded candidates" true (p.Ablation.fuzzy_candidates <= 64))
+    points
+
+(* {1 Dynamic mode} *)
+
+let test_dynamic_rows () =
+  let rows = Dynamic_demo.run () in
+  check_int "four scenarios" 4 (List.length rows);
+  List.iter
+    (fun (r : Dynamic_demo.row) ->
+      let label = r.Dynamic_demo.circuit ^ "/" ^ r.Dynamic_demo.defect in
+      check_bool (label ^ " detected") true r.Dynamic_demo.detected;
+      check_bool (label ^ " culprit implicated") true
+        r.Dynamic_demo.culprit_implicated;
+      check_bool (label ^ " culprit explains") true
+        r.Dynamic_demo.culprit_explains;
+      match r.Dynamic_demo.fitted with
+      | Some v ->
+        (* the fit recovers the injected value within 10 % *)
+        check_bool (label ^ " fit accurate") true
+          (Float.abs (v -. r.Dynamic_demo.injected)
+          <= 0.1 *. Float.abs r.Dynamic_demo.injected)
+      | None -> Alcotest.fail (label ^ ": no fitted value"))
+    rows
+
+(* {1 Explosion control (A3)} *)
+
+let test_explosion_linear () =
+  let points = Explosion.run ~sizes:[ 2; 4; 8 ] () in
+  List.iter
+    (fun (p : Explosion.point) ->
+      (* working set stays linear in the circuit size: generously, under
+         16 resident values per stage *)
+      check_bool "no value explosion" true
+        (p.Explosion.resident_values <= 16 * p.Explosion.stages);
+      check_bool "diagnoses bounded" true (p.Explosion.diagnoses <= 8);
+      Alcotest.(check (option int))
+        "culprit on top" (Some 1) p.Explosion.culprit_rank)
+    points;
+  (* steps grow sub-quadratically *)
+  (match points with
+  | [ a; _; c ] ->
+    check_bool "steps subquadratic" true
+      (float_of_int c.Explosion.steps
+      <= 4.1 *. float_of_int a.Explosion.steps *. 4.)
+  | _ -> Alcotest.fail "expected three points")
+
+(* {1 Qualitative rules} *)
+
+let test_rules_demo () =
+  let rows = Rules_demo.run () in
+  let find scenario transistor =
+    List.find
+      (fun (r : Rules_demo.row) ->
+        r.Rules_demo.scenario = scenario
+        && r.Rules_demo.transistor = transistor)
+      rows
+  in
+  (* healthy transistors conduct at the rule's certainty *)
+  check_bool "healthy t1 on" true
+    ((find "healthy" "t1").Rules_demo.on_degree > 0.8);
+  (* the starved transistor does not *)
+  check_bool "starved t1 off" true
+    ((find "r3 short (t1 starved)" "t1").Rules_demo.on_degree < 0.1);
+  (* the ATMS grades the conclusion identically under ok(T) *)
+  List.iter
+    (fun (r : Rules_demo.row) ->
+      check_bool "atms agrees with the rule engine" true
+        (Float.abs (r.Rules_demo.on_degree -. r.Rules_demo.atms_degree)
+        < 1e-6))
+    rows
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "fig2",
+        [
+          Alcotest.test_case "crisp column" `Quick test_fig2_crisp_column;
+          Alcotest.test_case "fuzzy column" `Quick test_fig2_fuzzy_column;
+          Alcotest.test_case "masking" `Quick test_fig2_masking;
+        ] );
+      ("fig4", [ Alcotest.test_case "cases" `Quick test_fig4_cases ]);
+      ( "fig5",
+        [
+          Alcotest.test_case "paper degrees" `Quick test_fig5_paper_degrees;
+          Alcotest.test_case "ordering" `Quick test_fig5_ordering;
+          Alcotest.test_case "crisp uniform" `Quick test_fig5_crisp_uniform;
+        ] );
+      ( "fig7",
+        [
+          Alcotest.test_case "fig6 linear region" `Quick
+            test_fig6_linear_region;
+          Alcotest.test_case "R2 short" `Quick test_fig7_r2_short;
+          Alcotest.test_case "downstream exonerated" `Quick
+            test_fig7_r2_short_exonerates_downstream;
+          Alcotest.test_case "soft rows graded" `Quick
+            test_fig7_soft_rows_graded;
+          Alcotest.test_case "Dc ordering" `Quick
+            test_fig7_dc_ordering_between_rows;
+          Alcotest.test_case "R2 high low side" `Quick
+            test_fig7_r2_high_low_side;
+          Alcotest.test_case "R3 open ambiguity" `Quick
+            test_fig7_r3_open_divider_ambiguity;
+          Alcotest.test_case "N1 open" `Quick test_fig7_n1_open_detected;
+        ] );
+      ( "strategy",
+        [ Alcotest.test_case "demo" `Quick test_strategy_demo ] );
+      ( "learning",
+        [ Alcotest.test_case "demo" `Quick test_learning_demo ] );
+      ( "dynamic",
+        [ Alcotest.test_case "filter scenarios" `Quick test_dynamic_rows ] );
+      ( "explosion",
+        [ Alcotest.test_case "A3 linear" `Quick test_explosion_linear ] );
+      ( "rules",
+        [ Alcotest.test_case "conduction rule" `Quick test_rules_demo ] );
+      ( "ablation",
+        [
+          Alcotest.test_case "monotone grading" `Quick
+            test_ablation_monotone_grading;
+          Alcotest.test_case "fuzzy before crisp" `Quick
+            test_ablation_fuzzy_earlier_than_crisp;
+          Alcotest.test_case "no explosion" `Quick test_ablation_no_explosion;
+        ] );
+    ]

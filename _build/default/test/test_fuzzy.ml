@@ -1,0 +1,604 @@
+(* Unit and property tests for the fuzzy substrate: intervals, arithmetic,
+   piecewise integration, consistency degrees, linguistic scales, fuzzy
+   entropy and t-norms. *)
+
+module I = Flames_fuzzy.Interval
+module A = Flames_fuzzy.Arith
+module P = Flames_fuzzy.Piecewise
+module C = Flames_fuzzy.Consistency
+module L = Flames_fuzzy.Linguistic
+module E = Flames_fuzzy.Entropy
+module T = Flames_fuzzy.Tnorm
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose = Alcotest.(check (float 1e-6))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let interval =
+  Alcotest.testable I.pp (fun a b -> I.equal ~eps:1e-9 a b)
+
+(* {1 Interval} *)
+
+let test_make_valid () =
+  let v = I.make ~m1:1. ~m2:2. ~alpha:0.5 ~beta:0.25 in
+  Alcotest.(check (pair (float 0.) (float 0.))) "core" (1., 2.) (I.core v);
+  Alcotest.(check (pair (float 1e-9) (float 1e-9)))
+    "support" (0.5, 2.25) (I.support v)
+
+let test_make_invalid () =
+  let invalid f = Alcotest.check_raises "Invalid" (I.Invalid "") f in
+  let expect_invalid f =
+    match f () with
+    | exception I.Invalid _ -> ()
+    | _ -> Alcotest.fail "expected Interval.Invalid"
+  in
+  ignore invalid;
+  expect_invalid (fun () -> I.make ~m1:2. ~m2:1. ~alpha:0. ~beta:0.);
+  expect_invalid (fun () -> I.make ~m1:0. ~m2:1. ~alpha:(-1.) ~beta:0.);
+  expect_invalid (fun () -> I.make ~m1:0. ~m2:1. ~alpha:0. ~beta:(-0.1));
+  expect_invalid (fun () -> I.make ~m1:Float.nan ~m2:1. ~alpha:0. ~beta:0.)
+
+let test_uniform_representation () =
+  (* the paper's uniform coverage: crisp number, crisp interval, fuzzy
+     number, fuzzy interval *)
+  Alcotest.check interval "crisp number"
+    (I.make ~m1:3. ~m2:3. ~alpha:0. ~beta:0.) (I.crisp 3.);
+  Alcotest.check interval "crisp interval"
+    (I.make ~m1:2.95 ~m2:3.05 ~alpha:0. ~beta:0.)
+    (I.crisp_interval 2.95 3.05);
+  Alcotest.check interval "fuzzy number"
+    (I.make ~m1:3. ~m2:3. ~alpha:0.05 ~beta:0.05)
+    (I.number 3. ~spread:0.05)
+
+let test_membership_shape () =
+  (* fig. 1: rising flank, core at 1, falling flank *)
+  let v = I.make ~m1:2. ~m2:4. ~alpha:1. ~beta:2. in
+  check_float "left of support" 0. (I.membership v 0.9);
+  check_float "mid left flank" 0.5 (I.membership v 1.5);
+  check_float "core left edge" 1. (I.membership v 2.);
+  check_float "core inside" 1. (I.membership v 3.);
+  check_float "core right edge" 1. (I.membership v 4.);
+  check_float "mid right flank" 0.5 (I.membership v 5.);
+  check_float "right of support" 0. (I.membership v 6.1)
+
+let test_membership_point () =
+  let v = I.crisp 2. in
+  check_float "at point" 1. (I.membership v 2.);
+  check_float "off point" 0. (I.membership v 2.0001)
+
+let test_alpha_cut () =
+  let v = I.make ~m1:2. ~m2:4. ~alpha:1. ~beta:2. in
+  (match I.alpha_cut v 1. with
+  | Some (lo, hi) ->
+    check_float "cut at 1 lo" 2. lo;
+    check_float "cut at 1 hi" 4. hi
+  | None -> Alcotest.fail "alpha cut at 1");
+  (match I.alpha_cut v 0.5 with
+  | Some (lo, hi) ->
+    check_float "cut at .5 lo" 1.5 lo;
+    check_float "cut at .5 hi" 5. hi
+  | None -> Alcotest.fail "alpha cut at 0.5");
+  check_bool "cut at 0 undefined" true (I.alpha_cut v 0. = None);
+  check_bool "cut above 1 undefined" true (I.alpha_cut v 1.1 = None)
+
+let test_area_and_centroid () =
+  let v = I.make ~m1:2. ~m2:4. ~alpha:1. ~beta:1. in
+  check_float "area" 3. (I.area v);
+  check_float "centroid symmetric" 3. (I.centroid v);
+  check_float "area crisp" 0. (I.area (I.crisp 5.));
+  check_float "centroid crisp" 5. (I.centroid (I.crisp 5.));
+  (* asymmetric flanks pull the centroid towards the heavy side *)
+  let skew = I.make ~m1:2. ~m2:2. ~alpha:0. ~beta:2. in
+  check_bool "skewed centroid right" true (I.centroid skew > 2.)
+
+let test_contains_overlap () =
+  let big = I.make ~m1:1. ~m2:5. ~alpha:1. ~beta:1. in
+  let small = I.make ~m1:2. ~m2:3. ~alpha:0.5 ~beta:0.5 in
+  check_bool "contains" true (I.contains big small);
+  check_bool "not contains" false (I.contains small big);
+  check_bool "overlap" true (I.overlap big small);
+  let far = I.crisp 100. in
+  check_bool "no overlap" false (I.overlap big far)
+
+(* {1 Arithmetic} *)
+
+let test_add_paper_formula () =
+  (* M ⊕ N = [m1+n1, m2+n2, α+α', β+β'] — section 3.2 *)
+  let m = I.make ~m1:1. ~m2:2. ~alpha:0.1 ~beta:0.2 in
+  let n = I.make ~m1:10. ~m2:20. ~alpha:0.3 ~beta:0.4 in
+  Alcotest.check interval "add"
+    (I.make ~m1:11. ~m2:22. ~alpha:0.4 ~beta:0.6)
+    (A.add m n)
+
+let test_sub_paper_formula () =
+  (* M ⊖ N = [m1−n2, m2−n1, α+β', β+α'] *)
+  let m = I.make ~m1:1. ~m2:2. ~alpha:0.1 ~beta:0.2 in
+  let n = I.make ~m1:10. ~m2:20. ~alpha:0.3 ~beta:0.4 in
+  Alcotest.check interval "sub"
+    (I.make ~m1:(-19.) ~m2:(-8.) ~alpha:0.5 ~beta:0.5)
+    (A.sub m n)
+
+let test_mul_fig2_numbers () =
+  (* the paper's fig-2 table: crisp Va times fuzzy gains *)
+  let va = I.crisp_interval 2.95 3.05 in
+  let amp1 = I.number 1. ~spread:0.05 in
+  let vb = A.mul va amp1 in
+  Alcotest.check interval "Vb"
+    (I.make ~m1:2.95 ~m2:3.05 ~alpha:0.1475 ~beta:0.1525)
+    vb;
+  let amp2 = I.number 2. ~spread:0.05 in
+  let vc = A.mul vb amp2 in
+  check_float_loose "Vc m1" 5.9 vc.I.m1;
+  check_float_loose "Vc m2" 6.1 vc.I.m2;
+  check_float_loose "Vc alpha" 0.435125 vc.I.alpha;
+  check_float_loose "Vc beta" 0.465125 vc.I.beta;
+  let vd = A.add vb vc in
+  check_float_loose "Vd alpha (paper 0.58)" 0.582625 vd.I.alpha;
+  check_float_loose "Vd beta (paper 0.62)" 0.617625 vd.I.beta
+
+let test_mul_signs () =
+  let neg = I.make ~m1:(-3.) ~m2:(-2.) ~alpha:0.5 ~beta:0.5 in
+  let pos = I.make ~m1:4. ~m2:5. ~alpha:0.5 ~beta:0.5 in
+  let p = A.mul neg pos in
+  check_float "core lo" (-15.) p.I.m1;
+  check_float "core hi" (-8.) p.I.m2;
+  (* support hull: [-3.5, -1.5] × [3.5, 5.5] = [-19.25, -5.25] *)
+  let lo, hi = I.support p in
+  check_float "support lo" (-19.25) lo;
+  check_float "support hi" (-5.25) hi
+
+let test_div_and_inv () =
+  let m = I.make ~m1:6. ~m2:8. ~alpha:1. ~beta:1. in
+  let two = I.crisp 2. in
+  let d = A.div m two in
+  Alcotest.check interval "div by crisp"
+    (I.make ~m1:3. ~m2:4. ~alpha:0.5 ~beta:0.5)
+    d;
+  let spanning = I.make ~m1:(-1.) ~m2:1. ~alpha:0.5 ~beta:0.5 in
+  (match A.inv spanning with
+  | exception A.Undefined _ -> ()
+  | _ -> Alcotest.fail "inverse through zero must be undefined");
+  match A.div m spanning with
+  | exception A.Undefined _ -> ()
+  | _ -> Alcotest.fail "division through zero must be undefined"
+
+let test_scale_negative () =
+  let v = I.make ~m1:1. ~m2:2. ~alpha:0.1 ~beta:0.3 in
+  Alcotest.check interval "scale -1 mirrors flanks"
+    (I.make ~m1:(-2.) ~m2:(-1.) ~alpha:0.3 ~beta:0.1)
+    (A.scale (-1.) v);
+  Alcotest.check interval "neg = scale -1" (A.neg v) (A.scale (-1.) v)
+
+let test_monotone_maps () =
+  let v = I.make ~m1:4. ~m2:9. ~alpha:3. ~beta:7. in
+  let r = A.map_increasing Float.sqrt v in
+  check_float "sqrt core lo" 2. r.I.m1;
+  check_float "sqrt core hi" 3. r.I.m2;
+  let lo, hi = I.support r in
+  check_float "sqrt support lo" 1. lo;
+  check_float "sqrt support hi" 4. hi;
+  let d = A.map_decreasing (fun x -> -.x) v in
+  check_float "decreasing flips core" (-9.) d.I.m1
+
+let test_log2 () =
+  let v = I.make ~m1:2. ~m2:4. ~alpha:1. ~beta:4. in
+  let r = A.log2 v in
+  check_float "log2 core lo" 1. r.I.m1;
+  check_float "log2 core hi" 2. r.I.m2;
+  match A.log2 (I.make ~m1:1. ~m2:2. ~alpha:1. ~beta:0.) with
+  | exception A.Undefined _ -> ()
+  | _ -> Alcotest.fail "log2 touching zero must be undefined"
+
+let test_fmin_fmax () =
+  let a = I.make ~m1:1. ~m2:3. ~alpha:0.5 ~beta:0.5 in
+  let b = I.make ~m1:2. ~m2:2.5 ~alpha:0.25 ~beta:1. in
+  let mi = A.fmin a b and ma = A.fmax a b in
+  check_float "fmin core lo" 1. mi.I.m1;
+  check_float "fmin core hi" 2.5 mi.I.m2;
+  check_float "fmax core lo" 2. ma.I.m1;
+  check_float "fmax core hi" 3. ma.I.m2
+
+let test_clamp () =
+  let v = I.make ~m1:(-0.5) ~m2:1.5 ~alpha:1. ~beta:1. in
+  let c = A.clamp ~lo:0. ~hi:1. v in
+  let lo, hi = I.support c in
+  check_float "clamp lo" 0. lo;
+  check_float "clamp hi" 1. hi
+
+let test_sum_empty () =
+  Alcotest.check interval "empty sum" (I.crisp 0.) (A.sum [])
+
+(* {1 Piecewise} *)
+
+let test_min_area_disjoint () =
+  let a = I.make ~m1:0. ~m2:1. ~alpha:0.5 ~beta:0.5 in
+  let b = I.make ~m1:10. ~m2:11. ~alpha:0.5 ~beta:0.5 in
+  check_float "disjoint min area" 0. (P.min_area a b)
+
+let test_min_area_identical () =
+  let a = I.make ~m1:0. ~m2:2. ~alpha:1. ~beta:1. in
+  check_float "identical min area = area" (I.area a) (P.min_area a a)
+
+let test_min_max_area_sum () =
+  (* min + max = sum of both areas, pointwise *)
+  let a = I.make ~m1:0. ~m2:2. ~alpha:1. ~beta:1. in
+  let b = I.make ~m1:1. ~m2:3. ~alpha:0.5 ~beta:2. in
+  check_float_loose "min+max = a+b"
+    (I.area a +. I.area b)
+    (P.min_area a b +. P.max_area a b)
+
+let test_height_of_min () =
+  let a = I.make ~m1:0. ~m2:1. ~alpha:0. ~beta:1. in
+  let b = I.make ~m1:2. ~m2:3. ~alpha:1. ~beta:0. in
+  (* flanks cross at x = 1.5 where both memberships are 0.5 *)
+  check_float_loose "crossing height" 0.5 (P.height_of_min a b);
+  check_float "contained height" 1.
+    (P.height_of_min a (I.make ~m1:0. ~m2:4. ~alpha:0. ~beta:0.))
+
+let test_intersection_hull () =
+  let a = I.make ~m1:0. ~m2:2. ~alpha:0.5 ~beta:0.5 in
+  let b = I.make ~m1:1. ~m2:3. ~alpha:0.5 ~beta:0.5 in
+  (match P.intersection_hull a b with
+  | Some h ->
+    check_float "hull core lo" 1. h.I.m1;
+    check_float "hull core hi" 2. h.I.m2
+  | None -> Alcotest.fail "expected overlap");
+  check_bool "disjoint hull" true
+    (P.intersection_hull a (I.crisp 100.) = None)
+
+(* {1 Consistency} *)
+
+let test_dc_included () =
+  let vm = I.make ~m1:1. ~m2:2. ~alpha:0.1 ~beta:0.1 in
+  let vn = I.make ~m1:0. ~m2:3. ~alpha:1. ~beta:1. in
+  check_float "Vm ⊆ Vn gives 1" 1. (C.dc ~measured:vm ~nominal:vn)
+
+let test_dc_disjoint () =
+  check_float "disjoint gives 0" 0.
+    (C.dc ~measured:(I.number 1. ~spread:0.1) ~nominal:(I.number 5. ~spread:0.1))
+
+let test_dc_point_degenerate () =
+  (* the paper's fig-5 arithmetic: membership of 105 µA in
+     [-1, 100, 0, 10] µA is 0.5 *)
+  let bound = I.make ~m1:(-1.) ~m2:100. ~alpha:0. ~beta:10. in
+  check_float "Ir1 = 105" 0.5 (C.dc ~measured:(I.crisp 105.) ~nominal:bound);
+  check_float "Ir2 = 200" 0. (C.dc ~measured:(I.crisp 200.) ~nominal:bound);
+  check_float "Ir = 50 inside" 1. (C.dc ~measured:(I.crisp 50.) ~nominal:bound)
+
+let test_dc_partial () =
+  let vm = I.make ~m1:0.9 ~m2:1.1 ~alpha:0.1 ~beta:0.1 in
+  let vn = I.make ~m1:1.05 ~m2:2. ~alpha:0.1 ~beta:0.1 in
+  let d = C.dc ~measured:vm ~nominal:vn in
+  check_bool "partial in (0,1)" true (d > 0. && d < 1.)
+
+let test_verdict_directions () =
+  let nominal = I.number 10. ~spread:0.5 in
+  let v_low = C.verdict ~measured:(I.number 8. ~spread:0.1) ~nominal in
+  check_bool "low" true (v_low.C.direction = C.Low);
+  let v_high = C.verdict ~measured:(I.number 12. ~spread:0.1) ~nominal in
+  check_bool "high" true (v_high.C.direction = C.High);
+  let v_in = C.verdict ~measured:(I.number 10. ~spread:0.1) ~nominal in
+  check_bool "within" true (v_in.C.direction = C.Within)
+
+let test_signed_dc () =
+  let nominal = I.number 10. ~spread:0.5 in
+  check_float "full low conflict prints -1" (-1.)
+    (C.signed_dc ~measured:(I.crisp 5.) ~nominal);
+  check_float "full high conflict prints +1" 1.
+    (C.signed_dc ~measured:(I.crisp 15.) ~nominal);
+  check_bool "partial low is negative" true
+    (C.signed_dc ~measured:(I.number 9.6 ~spread:0.1) ~nominal < 0.)
+
+let test_classify_cases () =
+  let i = I.make in
+  let inner = i ~m1:4. ~m2:6. ~alpha:0.5 ~beta:0.5 in
+  let outer = i ~m1:3. ~m2:7. ~alpha:1. ~beta:1. in
+  check_bool "split measured in nominal" true
+    (C.classify inner outer = C.Split_measured_in_nominal);
+  check_bool "split nominal in measured" true
+    (C.classify outer inner = C.Split_nominal_in_measured);
+  check_bool "conflict" true
+    (C.classify (I.crisp 0.) (I.crisp 1.) = C.Conflict);
+  check_bool "corroboration" true (C.classify inner inner = C.Corroboration);
+  match C.classify (i ~m1:4. ~m2:5. ~alpha:0.5 ~beta:0.5)
+          (i ~m1:5.2 ~m2:6. ~alpha:0.5 ~beta:0.5)
+  with
+  | C.Partial_conflict d -> check_bool "partial degree" true (d > 0. && d < 1.)
+  | C.Corroboration | C.Split_measured_in_nominal
+  | C.Split_nominal_in_measured | C.Conflict ->
+    Alcotest.fail "expected partial conflict"
+
+let test_nogood_degree () =
+  let bound = I.make ~m1:(-1.) ~m2:100. ~alpha:0. ~beta:10. in
+  check_float "paper's 0.5 nogood" 0.5
+    (C.nogood_degree ~measured:(I.crisp 105.) ~nominal:bound)
+
+(* {1 Linguistic} *)
+
+let test_default_scale_terms () =
+  check_int "five terms" 5 (List.length (L.terms L.default_scale))
+
+let test_scale_validation () =
+  let bad = L.term "bad" (I.make ~m1:0.5 ~m2:1.5 ~alpha:0. ~beta:0.) in
+  (match L.make_scale [ bad ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "term outside [0,1] must be rejected");
+  match L.make_scale [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty scale must be rejected"
+
+let test_of_degree () =
+  check_bool "0 is correct" true
+    ((L.of_degree L.default_scale 0.).L.name = "correct");
+  check_bool "1 is faulty" true
+    ((L.of_degree L.default_scale 1.).L.name = "faulty");
+  check_bool "0.5 is unknown" true
+    ((L.of_degree L.default_scale 0.5).L.name = "unknown")
+
+let test_best_match () =
+  let estimation = I.make ~m1:0.7 ~m2:0.8 ~alpha:0.05 ~beta:0.05 in
+  check_bool "likely faulty region" true
+    ((L.best_match L.default_scale estimation).L.name = "likely-faulty")
+
+(* {1 Entropy} *)
+
+let test_entropy_certain_is_low () =
+  (* a system of surely-correct components has (near) zero entropy *)
+  let certain = List.init 3 (fun _ -> I.crisp 0.) in
+  check_bool "certain entropy ~ 0" true
+    (E.entropy_defuzzified certain < 0.05)
+
+let test_entropy_uncertain_is_high () =
+  let uncertain = List.init 3 (fun _ -> I.crisp 0.5) in
+  let certain = List.init 3 (fun _ -> I.crisp 0.05) in
+  check_bool "H(0.5) > H(0.05)" true
+    (E.entropy_defuzzified uncertain > E.entropy_defuzzified certain)
+
+let test_entropy_monotone_in_size () =
+  let f = I.crisp 0.5 in
+  check_bool "more components, more entropy" true
+    (E.entropy_defuzzified [ f; f; f ] > E.entropy_defuzzified [ f; f ])
+
+let test_crisp_entropy () =
+  check_float "p=0 contributes 0" 0. (E.crisp_entropy [ 0. ]);
+  check_float "p=1 contributes 0" 0. (E.crisp_entropy [ 1. ]);
+  check_float "p=0.5 gives 1 bit" 1. (E.crisp_entropy [ 0.5 ]);
+  check_float "additive" 2. (E.crisp_entropy [ 0.5; 0.5 ])
+
+let test_entropy_fuzzy_term () =
+  (* the fuzzy term of a crisp estimation is exactly H(p) *)
+  let p = 0.3 in
+  let t = E.term (I.crisp p) in
+  check_float "crisp term is H(p)" (E.binary_entropy p) (I.centroid t);
+  (* the image of a straddling interval peaks at H(1/2) = 1 *)
+  let wide = E.term (I.crisp_interval 0.2 0.8) in
+  check_float "straddling peak" 1. wide.I.m2;
+  (* dependency respected: no spurious blow-up for near-certain values *)
+  let almost_sure = E.term (I.make ~m1:0. ~m2:0.05 ~alpha:0. ~beta:0.05) in
+  let _, hi = I.support almost_sure in
+  check_bool "no dependency blow-up" true (hi <= E.binary_entropy 0.1 +. 1e-9)
+
+(* {1 T-norms} *)
+
+let test_tnorm_boundaries () =
+  List.iter
+    (fun t ->
+      check_float "x ∧ 1 = x" 0.3 (T.tnorm t 0.3 1.);
+      check_float "x ∧ 0 = 0" 0. (T.tnorm t 0.3 0.);
+      check_float "x ∨ 0 = x" 0.3 (T.tconorm t 0.3 0.);
+      check_float "x ∨ 1 = 1" 1. (T.tconorm t 0.3 1.))
+    [ T.Minimum; T.Product; T.Lukasiewicz ]
+
+let test_tnorm_order () =
+  (* Łukasiewicz ≤ product ≤ minimum *)
+  let a = 0.6 and b = 0.7 in
+  check_bool "luk <= prod" true
+    (T.tnorm T.Lukasiewicz a b <= T.tnorm T.Product a b);
+  check_bool "prod <= min" true
+    (T.tnorm T.Product a b <= T.tnorm T.Minimum a b)
+
+let test_combine_all () =
+  check_float "empty combines to 1" 1. (T.combine_all T.Minimum []);
+  check_float "min fold" 0.2 (T.combine_all T.Minimum [ 0.5; 0.2; 0.9 ])
+
+(* {1 Properties} *)
+
+let interval_gen =
+  let open QCheck.Gen in
+  let* m1 = float_bound_inclusive 100. in
+  let* w = float_bound_inclusive 10. in
+  let* alpha = float_bound_inclusive 5. in
+  let* beta = float_bound_inclusive 5. in
+  return (I.make ~m1 ~m2:(m1 +. w) ~alpha ~beta)
+
+let arb_interval = QCheck.make ~print:I.to_string interval_gen
+
+let positive_interval_gen =
+  let open QCheck.Gen in
+  let* m1 = map (fun x -> 1. +. x) (float_bound_inclusive 50.) in
+  let* w = float_bound_inclusive 10. in
+  let* alpha = float_bound_inclusive 0.9 in
+  let* beta = float_bound_inclusive 5. in
+  return (I.make ~m1 ~m2:(m1 +. w) ~alpha ~beta)
+
+let arb_positive = QCheck.make ~print:I.to_string positive_interval_gen
+
+let prop name count arb f = QCheck.Test.make ~name ~count arb f
+
+let properties =
+  [
+    prop "add commutative" 200
+      QCheck.(pair arb_interval arb_interval)
+      (fun (a, b) -> I.equal ~eps:1e-6 (A.add a b) (A.add b a));
+    prop "add associative" 200
+      QCheck.(triple arb_interval arb_interval arb_interval)
+      (fun (a, b, c) ->
+        I.equal ~eps:1e-6 (A.add (A.add a b) c) (A.add a (A.add b c)));
+    prop "sub self contains zero" 200 arb_interval (fun a ->
+        I.membership (A.sub a a) 0. = 1.);
+    prop "neg involutive" 200 arb_interval (fun a ->
+        I.equal ~eps:1e-6 (A.neg (A.neg a)) a);
+    prop "mul commutative" 200
+      QCheck.(pair arb_interval arb_interval)
+      (fun (a, b) -> I.equal ~eps:1e-5 (A.mul a b) (A.mul b a));
+    prop "mul support hull sound" 200
+      QCheck.(pair arb_positive arb_positive)
+      (fun (a, b) ->
+        (* the product of the core midpoints must lie inside the product *)
+        let x = I.midpoint a *. I.midpoint b in
+        I.membership (A.mul a b) x = 1.);
+    prop "inv cancels on positives" 200 arb_positive (fun a ->
+        (* a ⊗ (1 ⊘ a) must contain 1 *)
+        I.membership (A.mul a (A.inv a)) 1. = 1.);
+    prop "membership in [0,1]" 500
+      QCheck.(pair arb_interval (float_bound_inclusive 200.))
+      (fun (a, x) ->
+        let m = I.membership a x in
+        m >= 0. && m <= 1.);
+    prop "alpha-cut nested" 200 arb_interval (fun a ->
+        match (I.alpha_cut a 0.25, I.alpha_cut a 0.75) with
+        | Some (lo1, hi1), Some (lo2, hi2) -> lo1 <= lo2 && hi2 <= hi1
+        | (None, _ | _, None) -> false);
+    prop "dc in [0,1]" 200
+      QCheck.(pair arb_interval arb_interval)
+      (fun (a, b) ->
+        let d = C.dc ~measured:a ~nominal:b in
+        d >= 0. && d <= 1.);
+    prop "dc reflexive" 200 arb_interval (fun a ->
+        C.dc ~measured:a ~nominal:a >= 1. -. 1e-6);
+    prop "dc = 1 when contained" 200 arb_interval (fun a ->
+        let wider =
+          I.make ~m1:(a.I.m1 -. 1.) ~m2:(a.I.m2 +. 1.)
+            ~alpha:(a.I.alpha +. 1.) ~beta:(a.I.beta +. 1.)
+        in
+        C.dc ~measured:a ~nominal:wider >= 1. -. 1e-6);
+    prop "min_area symmetric" 200
+      QCheck.(pair arb_interval arb_interval)
+      (fun (a, b) ->
+        Float.abs (P.min_area a b -. P.min_area b a) < 1e-6);
+    prop "min_area bounded by both areas" 200
+      QCheck.(pair arb_interval arb_interval)
+      (fun (a, b) ->
+        let m = P.min_area a b in
+        m <= I.area a +. 1e-6 && m <= I.area b +. 1e-6);
+    prop "height_of_min in [0,1]" 200
+      QCheck.(pair arb_interval arb_interval)
+      (fun (a, b) ->
+        let h = P.height_of_min a b in
+        h >= 0. && h <= 1.);
+    prop "height 1 on self" 200 arb_interval (fun a ->
+        P.height_of_min a a >= 1. -. 1e-9);
+    prop "centroid inside support" 200 arb_interval (fun a ->
+        let lo, hi = I.support a in
+        let c = I.centroid a in
+        c >= lo -. 1e-9 && c <= hi +. 1e-9);
+    prop "tnorm below operands" 300
+      QCheck.(pair (float_bound_inclusive 1.) (float_bound_inclusive 1.))
+      (fun (a, b) ->
+        List.for_all
+          (fun t ->
+            let v = T.tnorm t a b in
+            v <= a +. 1e-9 && v <= b +. 1e-9)
+          [ T.Minimum; T.Product; T.Lukasiewicz ]);
+    prop "tconorm above operands" 300
+      QCheck.(pair (float_bound_inclusive 1.) (float_bound_inclusive 1.))
+      (fun (a, b) ->
+        List.for_all
+          (fun t ->
+            let v = T.tconorm t a b in
+            v >= a -. 1e-9 && v >= b -. 1e-9)
+          [ T.Minimum; T.Product; T.Lukasiewicz ]);
+    prop "de morgan duality" 300
+      QCheck.(pair (float_bound_inclusive 1.) (float_bound_inclusive 1.))
+      (fun (a, b) ->
+        List.for_all
+          (fun t ->
+            Float.abs
+              (T.tconorm t a b -. T.neg (T.tnorm t (T.neg a) (T.neg b)))
+            < 1e-9)
+          [ T.Minimum; T.Product; T.Lukasiewicz ]);
+    prop "entropy non-negative" 100
+      QCheck.(list_of_size (QCheck.Gen.int_range 1 5)
+                (QCheck.make (QCheck.Gen.float_bound_inclusive 1.)))
+      (fun ps ->
+        E.entropy_defuzzified (List.map I.crisp ps) >= -0.1);
+  ]
+
+let () =
+  Alcotest.run "fuzzy"
+    [
+      ( "interval",
+        [
+          Alcotest.test_case "make valid" `Quick test_make_valid;
+          Alcotest.test_case "make invalid" `Quick test_make_invalid;
+          Alcotest.test_case "uniform representation" `Quick
+            test_uniform_representation;
+          Alcotest.test_case "membership shape" `Quick test_membership_shape;
+          Alcotest.test_case "membership point" `Quick test_membership_point;
+          Alcotest.test_case "alpha cut" `Quick test_alpha_cut;
+          Alcotest.test_case "area and centroid" `Quick test_area_and_centroid;
+          Alcotest.test_case "contains/overlap" `Quick test_contains_overlap;
+        ] );
+      ( "arith",
+        [
+          Alcotest.test_case "add paper formula" `Quick test_add_paper_formula;
+          Alcotest.test_case "sub paper formula" `Quick test_sub_paper_formula;
+          Alcotest.test_case "mul fig2 numbers" `Quick test_mul_fig2_numbers;
+          Alcotest.test_case "mul signs" `Quick test_mul_signs;
+          Alcotest.test_case "div and inv" `Quick test_div_and_inv;
+          Alcotest.test_case "scale negative" `Quick test_scale_negative;
+          Alcotest.test_case "monotone maps" `Quick test_monotone_maps;
+          Alcotest.test_case "log2" `Quick test_log2;
+          Alcotest.test_case "fmin/fmax" `Quick test_fmin_fmax;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "empty sum" `Quick test_sum_empty;
+        ] );
+      ( "piecewise",
+        [
+          Alcotest.test_case "disjoint min area" `Quick test_min_area_disjoint;
+          Alcotest.test_case "identical min area" `Quick
+            test_min_area_identical;
+          Alcotest.test_case "min+max sum" `Quick test_min_max_area_sum;
+          Alcotest.test_case "height of min" `Quick test_height_of_min;
+          Alcotest.test_case "intersection hull" `Quick test_intersection_hull;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "dc included" `Quick test_dc_included;
+          Alcotest.test_case "dc disjoint" `Quick test_dc_disjoint;
+          Alcotest.test_case "dc point (fig5)" `Quick test_dc_point_degenerate;
+          Alcotest.test_case "dc partial" `Quick test_dc_partial;
+          Alcotest.test_case "verdict directions" `Quick
+            test_verdict_directions;
+          Alcotest.test_case "signed dc" `Quick test_signed_dc;
+          Alcotest.test_case "classify (fig4)" `Quick test_classify_cases;
+          Alcotest.test_case "nogood degree" `Quick test_nogood_degree;
+        ] );
+      ( "linguistic",
+        [
+          Alcotest.test_case "default scale" `Quick test_default_scale_terms;
+          Alcotest.test_case "scale validation" `Quick test_scale_validation;
+          Alcotest.test_case "of degree" `Quick test_of_degree;
+          Alcotest.test_case "best match" `Quick test_best_match;
+        ] );
+      ( "entropy",
+        [
+          Alcotest.test_case "certain is low" `Quick
+            test_entropy_certain_is_low;
+          Alcotest.test_case "uncertain is high" `Quick
+            test_entropy_uncertain_is_high;
+          Alcotest.test_case "monotone in size" `Quick
+            test_entropy_monotone_in_size;
+          Alcotest.test_case "crisp entropy" `Quick test_crisp_entropy;
+          Alcotest.test_case "fuzzy term brackets" `Quick
+            test_entropy_fuzzy_term;
+        ] );
+      ( "tnorm",
+        [
+          Alcotest.test_case "boundaries" `Quick test_tnorm_boundaries;
+          Alcotest.test_case "order" `Quick test_tnorm_order;
+          Alcotest.test_case "combine all" `Quick test_combine_all;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) properties);
+    ]

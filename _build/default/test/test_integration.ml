@@ -1,0 +1,288 @@
+(* Cross-module integration tests: full diagnose→strategy→probe→learn
+   loops on several circuits, plus robustness checks (every single-fault
+   injection on the amplifier is detected and implicates the true
+   culprit). *)
+
+module I = Flames_fuzzy.Interval
+module Q = Flames_circuit.Quantity
+module F = Flames_circuit.Fault
+module L = Flames_circuit.Library
+module N = Flames_circuit.Netlist
+module Diagnose = Flames_core.Diagnose
+
+let check_bool = Alcotest.(check bool)
+
+let config = { Flames_core.Model.default_config with trusted = [ "vcc" ] }
+let instrument = { Flames_sim.Measure.relative = 0.002; floor = 5e-4 }
+
+let amplifier () = L.three_stage_amplifier ~tolerance:0.005 ()
+
+let probe_faulty nominal fault probes =
+  let faulty = F.inject nominal fault in
+  let sol = Flames_sim.Mna.solve faulty in
+  Flames_sim.Measure.probe_all ~instrument sol (List.map Q.voltage probes)
+
+let all_probes = [ "n1"; "e1"; "v1"; "n2"; "vs" ]
+
+(* {1 Exhaustive single-fault injection} *)
+
+let hard_faults =
+  (* every diagnosable resistor, shorted and opened *)
+  List.concat_map
+    (fun r -> [ F.short r ~parameter:"R"; F.opened r ~parameter:"R" ])
+    [ "r1"; "r2"; "r3"; "r4"; "r5"; "r6" ]
+
+let test_every_hard_fault_detected () =
+  let nominal = amplifier () in
+  List.iter
+    (fun fault ->
+      let label = Format.asprintf "%a" F.pp fault in
+      match probe_faulty nominal fault all_probes with
+      | obs ->
+        let r = Diagnose.run ~config nominal obs in
+        check_bool (label ^ " detected") true (not (Diagnose.healthy r))
+      | exception Flames_sim.Mna.No_convergence _ -> ()
+      (* a pathological region assignment is acceptable for extreme
+         injections; everything that simulates must be caught *))
+    hard_faults
+
+let test_culprit_always_implicated () =
+  (* the culprit must carry a suspicion comparable to the strongest
+     suspect of its run — some faults (an open follower load under the
+     constant-Vbe model) barely move any probe, so the absolute degree
+     can be small while the ranking is still right *)
+  let nominal = amplifier () in
+  List.iter
+    (fun fault ->
+      let label = Format.asprintf "%a" F.pp fault in
+      match probe_faulty nominal fault all_probes with
+      | obs ->
+        let r = Diagnose.run ~config nominal obs in
+        let top =
+          List.fold_left
+            (fun acc (s : Diagnose.suspect) ->
+              Float.max acc s.Diagnose.suspicion)
+            0. r.Diagnose.suspects
+        in
+        let suspected =
+          List.exists
+            (fun (s : Diagnose.suspect) ->
+              s.Diagnose.component = fault.F.component
+              && s.Diagnose.suspicion >= 0.5 *. top)
+            r.Diagnose.suspects
+        in
+        check_bool (label ^ " culprit implicated") true suspected
+      | exception Flames_sim.Mna.No_convergence _ -> ())
+    hard_faults
+
+let test_no_false_alarm_across_tolerance_draws () =
+  (* a healthy circuit probed everywhere must stay healthy *)
+  let nominal = amplifier () in
+  let sol = Flames_sim.Mna.solve nominal in
+  let obs =
+    Flames_sim.Measure.probe_all ~instrument sol (List.map Q.voltage all_probes)
+  in
+  let r = Diagnose.run ~config nominal obs in
+  check_bool "healthy" true (Diagnose.healthy r)
+
+(* {1 Diagnose → best-test → probe → diagnose loop} *)
+
+let test_guided_probing_loop () =
+  let nominal = amplifier () in
+  let fault = F.short "r2" ~parameter:"R" in
+  let faulty = F.inject nominal fault in
+  let sol = Flames_sim.Mna.solve faulty in
+  let probe node =
+    Flames_sim.Measure.probe_all ~instrument sol [ Q.voltage node ]
+  in
+  (* start from the output, follow the strategy's advice twice *)
+  let rec loop obs probed steps =
+    if steps = 0 then obs
+    else
+      let r = Diagnose.run ~config nominal obs in
+      let estimations = Flames_strategy.Estimation.of_diagnosis r in
+      let tests =
+        Flames_strategy.Best_test.test_points_of_netlist nominal
+        |> List.filter (fun (t : Flames_strategy.Best_test.test_point) ->
+               match t.Flames_strategy.Best_test.quantity with
+               | Q.Node_voltage n -> not (List.mem n probed)
+               | Q.Branch_current _ | Q.Terminal_current _ | Q.Voltage_drop _
+               | Q.Parameter _ ->
+                 false)
+      in
+      match Flames_strategy.Best_test.best estimations tests with
+      | Some e -> begin
+        match e.Flames_strategy.Best_test.test.Flames_strategy.Best_test.quantity with
+        | Q.Node_voltage n -> loop (obs @ probe n) (n :: probed) (steps - 1)
+        | Q.Branch_current _ | Q.Terminal_current _ | Q.Voltage_drop _
+        | Q.Parameter _ ->
+          obs
+      end
+      | None -> obs
+  in
+  let obs = loop (probe "vs") [ "vs" ] 2 in
+  check_bool "gathered more evidence" true (List.length obs >= 3);
+  let final = Diagnose.run ~config nominal obs in
+  check_bool "fault still detected" true (not (Diagnose.healthy final));
+  check_bool "culprit implicated after guided probing" true
+    (List.exists
+       (fun (s : Diagnose.suspect) ->
+         s.Diagnose.component = "r2" && s.Diagnose.suspicion > 0.9)
+       final.Diagnose.suspects)
+
+(* {1 Learn on one fault, advise on the next occurrence} *)
+
+let test_full_learning_cycle () =
+  let kb = Flames_learning.Knowledge_base.create () in
+  let nominal = amplifier () in
+  let diagnose () =
+    let obs =
+      probe_faulty nominal (F.short "r2" ~parameter:"R") [ "vs"; "n2"; "v1" ]
+    in
+    Diagnose.run ~config nominal obs
+  in
+  let first = diagnose () in
+  check_bool "episode recorded" true
+    (Flames_learning.Experience.record kb
+       {
+         Flames_learning.Experience.result = first;
+         confirmed = "r2";
+         mode = Some F.Short;
+       });
+  let second = diagnose () in
+  (match Flames_learning.Experience.suggest kb second with
+  | (c, _) :: _ -> Alcotest.(check string) "advice" "r2" c
+  | [] -> Alcotest.fail "no advice on repeat occurrence");
+  match Flames_learning.Experience.rerank kb second with
+  | (best, _) :: _ -> Alcotest.(check string) "rerank" "r2" best
+  | [] -> Alcotest.fail "no reranking"
+
+(* {1 Other circuits end-to-end} *)
+
+let test_divider_diagnosis () =
+  let nominal = L.voltage_divider () in
+  let faulty = F.inject nominal (F.shifted "r2" ~parameter:"R" 30e3) in
+  let sol = Flames_sim.Mna.solve faulty in
+  let obs =
+    Flames_sim.Measure.probe_all ~instrument sol
+      [ Q.voltage "in"; Q.voltage "mid" ]
+  in
+  let r = Diagnose.run nominal obs in
+  check_bool "detected" true (not (Diagnose.healthy r));
+  check_bool "r2 implicated" true
+    (List.exists
+       (fun (s : Diagnose.suspect) ->
+         s.Diagnose.component = "r2" && s.Diagnose.suspicion > 0.5)
+       r.Diagnose.suspects)
+
+let test_gain_chain_diagnosis () =
+  let nominal = L.amplifier_chain () in
+  let faulty = F.inject nominal (F.shifted "amp2" ~parameter:"gain" 1.5) in
+  let sol = Flames_sim.Mna.solve faulty in
+  let obs =
+    Flames_sim.Measure.probe_all ~instrument sol
+      (List.map Q.voltage [ "A"; "B"; "C"; "D" ])
+  in
+  let r = Diagnose.run nominal obs in
+  check_bool "detected" true (not (Diagnose.healthy r));
+  check_bool "amp2 implicated" true
+    (List.exists
+       (fun (s : Diagnose.suspect) ->
+         s.Diagnose.component = "amp2" && s.Diagnose.suspicion > 0.5)
+       r.Diagnose.suspects);
+  (* downstream amp3 cannot explain a deviation already visible at C *)
+  let amp1_susp =
+    List.fold_left
+      (fun acc (s : Diagnose.suspect) ->
+        if s.Diagnose.component = "amp1" then
+          Float.max acc s.Diagnose.suspicion
+        else acc)
+      0. r.Diagnose.suspects
+  in
+  check_bool "amp1 exonerated by B consistent" true (amp1_susp < 1.)
+
+let test_scaling_chains () =
+  (* longer chains still propagate and localise *)
+  List.iter
+    (fun k ->
+      let gains = List.init k (fun i -> 1. +. (0.5 *. float_of_int (i mod 3))) in
+      let nominal = L.amplifier_chain ~gains () in
+      let faulty =
+        F.inject nominal (F.shifted "amp2" ~parameter:"gain" 10.)
+      in
+      let sol = Flames_sim.Mna.solve faulty in
+      let obs =
+        Flames_sim.Measure.probe_all ~instrument sol
+          (List.map Q.voltage (L.chain_nodes k))
+      in
+      let r = Diagnose.run nominal obs in
+      check_bool
+        (Printf.sprintf "chain of %d localises amp2" k)
+        true
+        (List.exists
+           (fun (s : Diagnose.suspect) ->
+             s.Diagnose.component = "amp2" && s.Diagnose.suspicion > 0.9)
+           r.Diagnose.suspects))
+    [ 4; 8; 16 ]
+
+let test_multiple_faults_conflicts () =
+  (* two simultaneous faults in independent stages of the gain chain:
+     the ATMS machinery must implicate both, and no single-component
+     fault model can reproduce the combined symptoms (the paper's
+     motivation for entertaining multiple faults at all).  The BJT
+     cascade is unsuitable here: its strong backward coupling makes many
+     double faults observationally degenerate with a single one. *)
+  let nominal = L.amplifier_chain () in
+  let faulty =
+    F.inject
+      (F.inject nominal (F.shifted "amp1" ~parameter:"gain" 2.))
+      (F.shifted "amp3" ~parameter:"gain" 1.)
+  in
+  let sol = Flames_sim.Mna.solve faulty in
+  let obs =
+    Flames_sim.Measure.probe_all ~instrument sol
+      (List.map Q.voltage [ "A"; "B"; "C"; "D" ])
+  in
+  let r = Diagnose.run nominal obs in
+  check_bool "detected" true (not (Diagnose.healthy r));
+  let susp name =
+    List.fold_left
+      (fun acc (s : Diagnose.suspect) ->
+        if s.Diagnose.component = name then Float.max acc s.Diagnose.suspicion
+        else acc)
+      0. r.Diagnose.suspects
+  in
+  check_bool "amp1 implicated" true (susp "amp1" > 0.5);
+  check_bool "amp3 implicated" true (susp "amp3" > 0.5);
+  (* no single-component fault value reproduces all the measurements *)
+  check_bool "no single-fault explanation" true
+    (List.for_all
+       (fun (s : Diagnose.suspect) -> not s.Diagnose.explains)
+       r.Diagnose.suspects)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "robustness",
+        [
+          Alcotest.test_case "every hard fault detected" `Slow
+            test_every_hard_fault_detected;
+          Alcotest.test_case "culprit always implicated" `Slow
+            test_culprit_always_implicated;
+          Alcotest.test_case "no false alarm" `Quick
+            test_no_false_alarm_across_tolerance_draws;
+        ] );
+      ( "loops",
+        [
+          Alcotest.test_case "guided probing" `Quick test_guided_probing_loop;
+          Alcotest.test_case "learning cycle" `Quick test_full_learning_cycle;
+        ] );
+      ( "circuits",
+        [
+          Alcotest.test_case "divider" `Quick test_divider_diagnosis;
+          Alcotest.test_case "gain chain" `Quick test_gain_chain_diagnosis;
+          Alcotest.test_case "scaling chains" `Slow test_scaling_chains;
+          Alcotest.test_case "multiple faults" `Quick
+            test_multiple_faults_conflicts;
+        ] );
+    ]

@@ -1,0 +1,259 @@
+(* Tests for the learning unit: rules, knowledge base and
+   learning-from-experience episodes. *)
+
+module I = Flames_fuzzy.Interval
+module Cons = Flames_fuzzy.Consistency
+module Q = Flames_circuit.Quantity
+module F = Flames_circuit.Fault
+module L = Flames_circuit.Library
+module Rule = Flames_learning.Rule
+module Kb = Flames_learning.Knowledge_base
+module Experience = Flames_learning.Experience
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let symptom quantity dc direction : Flames_core.Diagnose.symptom =
+  {
+    Flames_core.Diagnose.quantity;
+    measured = I.crisp dc;
+    predicted = Some (I.crisp dc);
+    verdict = Some { Cons.dc; direction };
+    signed_dc = Some dc;
+  }
+
+(* {1 Rule} *)
+
+let test_rule_validation () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () ->
+      Rule.make ~circuit:"c" ~patterns:[] ~suspect:"r" ~certainty:0.5 ());
+  let p = Rule.pattern (Q.voltage "v") Cons.Low ~dc:0.5 in
+  expect_invalid (fun () ->
+      Rule.make ~circuit:"c" ~patterns:[ p ] ~suspect:"r" ~certainty:0. ());
+  expect_invalid (fun () ->
+      Rule.make ~circuit:"c" ~patterns:[ p ] ~suspect:"r" ~certainty:1.5 ())
+
+let test_pattern_band () =
+  let p = Rule.pattern (Q.voltage "v") Cons.Low ~dc:0.5 in
+  check_float "dc inside band" 1. (I.membership p.Rule.dc_band 0.5);
+  check_bool "far dc outside band" true (I.membership p.Rule.dc_band 0.95 = 0.)
+
+let test_match_degree () =
+  let p = Rule.pattern (Q.voltage "v") Cons.Low ~dc:0.5 in
+  let rule =
+    Rule.make ~circuit:"c" ~patterns:[ p ] ~suspect:"r" ~certainty:0.5 ()
+  in
+  check_float "exact match" 1.
+    (Rule.match_degree rule [ symptom (Q.voltage "v") 0.5 Cons.Low ]);
+  check_float "wrong direction" 0.
+    (Rule.match_degree rule [ symptom (Q.voltage "v") 0.5 Cons.High ]);
+  check_float "wrong quantity" 0.
+    (Rule.match_degree rule [ symptom (Q.voltage "w") 0.5 Cons.Low ]);
+  check_float "missing symptom" 0. (Rule.match_degree rule []);
+  check_bool "near dc partial" true
+    (let d =
+       Rule.match_degree rule [ symptom (Q.voltage "v") 0.65 Cons.Low ]
+     in
+     d > 0. && d < 1.)
+
+let test_match_degree_min_over_patterns () =
+  let p1 = Rule.pattern (Q.voltage "v") Cons.Low ~dc:0.5 in
+  let p2 = Rule.pattern (Q.voltage "w") Cons.High ~dc:0.9 in
+  let rule =
+    Rule.make ~circuit:"c" ~patterns:[ p1; p2 ] ~suspect:"r" ~certainty:0.5 ()
+  in
+  (* only one symptom present: the other pattern forces 0 *)
+  check_float "conjunctive" 0.
+    (Rule.match_degree rule [ symptom (Q.voltage "v") 0.5 Cons.Low ])
+
+let test_confirm_contradict () =
+  let p = Rule.pattern (Q.voltage "v") Cons.Low ~dc:0.5 in
+  let rule =
+    Rule.make ~circuit:"c" ~patterns:[ p ] ~suspect:"r" ~certainty:0.5 ()
+  in
+  let stronger = Rule.confirm rule in
+  check_float "confirm raises" 0.625 stronger.Rule.certainty;
+  check_int "confirmation counted" 1 stronger.Rule.confirmations;
+  let weaker = Rule.contradict rule in
+  check_float "contradict halves" 0.25 weaker.Rule.certainty;
+  (* certainty stays within (0, 1] under repeated updates *)
+  let rec iterate r n = if n = 0 then r else iterate (Rule.confirm r) (n - 1) in
+  check_bool "bounded above" true ((iterate rule 50).Rule.certainty <= 1.)
+
+let test_of_symptoms () =
+  let symptoms = [ symptom (Q.voltage "v") 0.4 Cons.Low ] in
+  (match Rule.of_symptoms ~circuit:"c" symptoms ~suspect:"r" () with
+  | Some rule ->
+    check_int "one pattern" 1 (List.length rule.Rule.patterns);
+    check_float "initial certainty" 0.5 rule.Rule.certainty
+  | None -> Alcotest.fail "expected a rule");
+  let no_verdict =
+    {
+      Flames_core.Diagnose.quantity = Q.voltage "v";
+      measured = I.crisp 0.;
+      predicted = None;
+      verdict = None;
+      signed_dc = None;
+    }
+  in
+  check_bool "no verdicts, no rule" true
+    (Rule.of_symptoms ~circuit:"c" [ no_verdict ] ~suspect:"r" () = None)
+
+(* {1 Knowledge base} *)
+
+let mk_rule ?(suspect = "r") ?(dc = 0.5) () =
+  Rule.make ~circuit:"c"
+    ~patterns:[ Rule.pattern (Q.voltage "v") Cons.Low ~dc ]
+    ~suspect ~certainty:0.5 ()
+
+let test_kb_add_and_consult () =
+  let kb = Kb.create () in
+  Kb.add_rule kb (mk_rule ());
+  check_int "one rule" 1 (Kb.size kb);
+  let advices = Kb.consult kb ~circuit:"c" [ symptom (Q.voltage "v") 0.5 Cons.Low ] in
+  check_int "one advice" 1 (List.length advices);
+  check_bool "degree capped by certainty" true
+    ((List.hd advices).Kb.degree <= 0.5);
+  check_int "other circuit silent" 0
+    (List.length (Kb.consult kb ~circuit:"zz" [ symptom (Q.voltage "v") 0.5 Cons.Low ]))
+
+let test_kb_same_shape_replaces () =
+  let kb = Kb.create () in
+  Kb.add_rule kb (mk_rule ());
+  Kb.add_rule kb (mk_rule ());
+  check_int "same shape replaced" 1 (Kb.size kb);
+  Kb.add_rule kb (mk_rule ~suspect:"other" ());
+  check_int "different suspect adds" 2 (Kb.size kb)
+
+let test_kb_priors () =
+  let kb = Kb.create () in
+  check_float "default prior" 0.1 (Kb.prior kb "any");
+  Kb.add_prior kb ~component:"c1" 0.8;
+  check_float "recorded prior" 0.8 (Kb.prior kb "c1");
+  Kb.add_prior kb ~component:"c2" 7.;
+  check_float "clamped prior" 1. (Kb.prior kb "c2")
+
+let test_kb_reinforce () =
+  let kb = Kb.create () in
+  let rule = mk_rule () in
+  Kb.add_rule kb rule;
+  Kb.reinforce kb rule ~confirmed:true;
+  (match Kb.rules kb with
+  | [ r ] -> check_float "strengthened" 0.625 r.Rule.certainty
+  | _ -> Alcotest.fail "expected one rule");
+  Kb.reinforce kb rule ~confirmed:false;
+  match Kb.rules kb with
+  | [ r ] -> check_bool "weakened" true (r.Rule.certainty < 0.625)
+  | _ -> Alcotest.fail "expected one rule"
+
+(* {1 Experience} *)
+
+let config = { Flames_core.Model.default_config with trusted = [ "vcc" ] }
+let instrument = { Flames_sim.Measure.relative = 0.002; floor = 5e-4 }
+
+let diagnose_fault fault =
+  let nominal = L.three_stage_amplifier ~tolerance:0.005 () in
+  let faulty = F.inject nominal fault in
+  let sol = Flames_sim.Mna.solve faulty in
+  let obs =
+    Flames_sim.Measure.probe_all ~instrument sol
+      (List.map Q.voltage [ "vs"; "n2"; "v1" ])
+  in
+  Flames_core.Diagnose.run ~config nominal obs
+
+let test_experience_record_and_suggest () =
+  let kb = Kb.create () in
+  let r = diagnose_fault (F.short "r2" ~parameter:"R") in
+  check_bool "recorded" true
+    (Experience.record kb
+       { Experience.result = r; confirmed = "r2"; mode = Some F.Short });
+  check_int "one rule learnt" 1 (Kb.size kb);
+  (* a fresh occurrence of the same fault is recognised *)
+  let fresh = diagnose_fault (F.short "r2" ~parameter:"R") in
+  (match Experience.suggest kb fresh with
+  | (comp, degree) :: _ ->
+    Alcotest.(check string) "suggests r2" "r2" comp;
+    check_bool "positive confidence" true (degree > 0.)
+  | [] -> Alcotest.fail "expected a suggestion")
+
+let test_experience_repeat_strengthens () =
+  let kb = Kb.create () in
+  let certainty () =
+    match Kb.rules kb with r :: _ -> r.Rule.certainty | [] -> 0.
+  in
+  let episode () =
+    let r = diagnose_fault (F.short "r2" ~parameter:"R") in
+    ignore
+      (Experience.record kb
+         { Experience.result = r; confirmed = "r2"; mode = Some F.Short })
+  in
+  episode ();
+  let c1 = certainty () in
+  episode ();
+  let c2 = certainty () in
+  check_bool "confirmation strengthens" true (c2 > c1);
+  check_int "still one rule" 1 (Kb.size kb)
+
+let test_experience_different_symptoms_no_match () =
+  let kb = Kb.create () in
+  let r = diagnose_fault (F.short "r2" ~parameter:"R") in
+  ignore
+    (Experience.record kb
+       { Experience.result = r; confirmed = "r2"; mode = Some F.Short });
+  (* an R3-open fault shows different symptoms: the learnt rule must not
+     fire *)
+  let other = diagnose_fault (F.opened "r3" ~parameter:"R") in
+  check_bool "no bogus suggestion" true
+    (List.for_all (fun (_, d) -> d < 0.5) (Experience.suggest kb other))
+
+let test_experience_rerank () =
+  let kb = Kb.create () in
+  Kb.add_prior kb ~component:"r2" 0.9;
+  let r = diagnose_fault (F.short "r2" ~parameter:"R") in
+  ignore
+    (Experience.record kb
+       { Experience.result = r; confirmed = "r2"; mode = Some F.Short });
+  let fresh = diagnose_fault (F.short "r2" ~parameter:"R") in
+  match Experience.rerank kb fresh with
+  | (best, _) :: _ -> Alcotest.(check string) "r2 ranked first" "r2" best
+  | [] -> Alcotest.fail "no ranking"
+
+let () =
+  Alcotest.run "learning"
+    [
+      ( "rule",
+        [
+          Alcotest.test_case "validation" `Quick test_rule_validation;
+          Alcotest.test_case "pattern band" `Quick test_pattern_band;
+          Alcotest.test_case "match degree" `Quick test_match_degree;
+          Alcotest.test_case "conjunctive match" `Quick
+            test_match_degree_min_over_patterns;
+          Alcotest.test_case "confirm/contradict" `Quick
+            test_confirm_contradict;
+          Alcotest.test_case "of symptoms" `Quick test_of_symptoms;
+        ] );
+      ( "knowledge-base",
+        [
+          Alcotest.test_case "add and consult" `Quick test_kb_add_and_consult;
+          Alcotest.test_case "same shape replaces" `Quick
+            test_kb_same_shape_replaces;
+          Alcotest.test_case "priors" `Quick test_kb_priors;
+          Alcotest.test_case "reinforce" `Quick test_kb_reinforce;
+        ] );
+      ( "experience",
+        [
+          Alcotest.test_case "record and suggest" `Quick
+            test_experience_record_and_suggest;
+          Alcotest.test_case "repeat strengthens" `Quick
+            test_experience_repeat_strengthens;
+          Alcotest.test_case "different symptoms" `Quick
+            test_experience_different_symptoms_no_match;
+          Alcotest.test_case "rerank" `Quick test_experience_rerank;
+        ] );
+    ]

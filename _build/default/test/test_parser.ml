@@ -1,0 +1,244 @@
+(* Tests for the SPICE-flavoured netlist parser. *)
+
+module I = Flames_fuzzy.Interval
+module C = Flames_circuit.Component
+module N = Flames_circuit.Netlist
+module P = Flames_circuit.Parser
+module L = Flames_circuit.Library
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_close msg tol expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let parse_ok source =
+  match P.parse source with
+  | Ok n -> n
+  | Error e -> Alcotest.failf "parse failed: %a" P.pp_error e
+
+let expect_error ?line source =
+  match P.parse source with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e -> (
+    match line with
+    | Some l -> check_int "error line" l e.P.line
+    | None -> ())
+
+(* {1 Values} *)
+
+let test_engineering_values () =
+  let v s = Option.get (P.parse_value s) in
+  check_close "plain" 1e-12 42. (v "42");
+  check_close "kilo" 1e-9 10e3 (v "10k");
+  check_close "mega" 1e-3 4.7e6 (v "4.7meg");
+  check_close "milli" 1e-12 1e-3 (v "1m");
+  check_close "micro" 1e-15 22e-6 (v "22u");
+  check_close "nano" 1e-18 10e-9 (v "10n");
+  check_close "pico" 1e-21 1e-12 (v "1p");
+  check_close "femto" 1e-24 3e-15 (v "3f");
+  check_close "giga" 1. 1e9 (v "1g");
+  check_close "case insensitive" 1e-9 10e3 (v "10K");
+  check_bool "garbage" true (P.parse_value "zz" = None);
+  check_bool "empty" true (P.parse_value "" = None)
+
+(* {1 Full circuits} *)
+
+let divider_src =
+  {|
+* a toleranced voltage divider
+.circuit divider
+.ground gnd
+V vin in gnd 10 tol=1%
+R r1 in mid 10k tol=1%
+R r2 mid gnd 10k   # crisp
+|}
+
+let test_parse_divider () =
+  let n = parse_ok divider_src in
+  check_string "name" "divider" n.N.name;
+  check_string "ground" "gnd" n.N.ground;
+  check_int "three components" 3 (N.size n);
+  let r1 = C.nominal_parameter (N.find n "r1") "R" in
+  check_close "r1 centre" 1e-6 10e3 (I.centroid r1);
+  check_bool "r1 fuzzy" true (not (I.is_crisp r1));
+  let r2 = C.nominal_parameter (N.find n "r2") "R" in
+  check_bool "r2 crisp" true (I.is_crisp r2)
+
+let test_parse_simulates () =
+  let n = parse_ok divider_src in
+  let sol = Flames_sim.Mna.solve n in
+  check_close "divider works" 1e-6 5. (Flames_sim.Mna.voltage sol "mid")
+
+let test_parse_all_kinds () =
+  let n =
+    parse_ok
+      {|
+.circuit everything
+.ground 0
+V vcc vdd 0 18
+R rb vdd base 200k tol=2%
+R rc vdd coll 12k tol=2%
+R re emit 0 3k tol=2%
+Q t1 base coll emit beta=300 vbe=0.7 tol=2%
+C cl coll 0 10n tol=5%
+L ll vdd coll 10m
+D d1 base 0 vf=0.2 imax=100u
+A buf coll bufout gain=1
+R rload bufout 0 1meg
+|}
+  in
+  check_int "nine components" 10 (N.size n);
+  check_close "beta" 1e-6 300.
+    (I.centroid (C.nominal_parameter (N.find n "t1") "beta"));
+  check_close "imax core" 1e-12 100e-6
+    (snd (I.core (C.nominal_parameter (N.find n "d1") "Imax")));
+  check_bool "imax has a soft flank" true
+    (not (I.is_crisp (C.nominal_parameter (N.find n "d1") "Imax")))
+
+let test_parse_ports () =
+  let n =
+    parse_ok
+      {|
+.circuit fig5
+.ground gnd
+.port in
+R r1 in n1 10k
+D d1 n1 n2 vf=0.2 imax=100u
+R r2 n2 gnd 10k
+|}
+  in
+  check_bool "port declared" true (N.is_port n "in")
+
+(* {1 Errors} *)
+
+let test_error_unknown_card () = expect_error ~line:2 "\nX what is this 10k\n"
+
+let test_error_bad_value () =
+  expect_error ~line:2 "\nR r1 a gnd tenk\nR r2 a gnd 1k\n"
+
+let test_error_bad_tolerance () =
+  expect_error ~line:2 "\nR r1 a gnd 10k tol=banana\nR r2 a gnd 1k\n"
+
+let test_error_wrong_arity () = expect_error ~line:2 "\nR r1 a gnd\n"
+
+let test_error_missing_attr () =
+  expect_error ~line:2 "\nQ t1 b c e beta=100\n"
+
+let test_error_unknown_directive () = expect_error ~line:2 "\n.frobnicate x\n"
+
+let test_error_ill_formed_netlist () =
+  (* dangling node: rejected by netlist validation with line 0 *)
+  expect_error ~line:0 "R r1 a gnd 1k\nR r2 b gnd 1k\n.ground gnd\n"
+
+let test_error_duplicate_name () =
+  expect_error "R r1 a gnd 1k\nR r1 a gnd 2k\n.ground gnd\n"
+
+let test_parse_file_missing () =
+  match P.parse_file "/nonexistent/file.ckt" with
+  | Error e -> check_int "line 0" 0 e.P.line
+  | Ok _ -> Alcotest.fail "expected an error"
+
+(* {1 Round-tripping} *)
+
+let roundtrip netlist =
+  match P.parse (P.to_string netlist) with
+  | Ok n -> n
+  | Error e -> Alcotest.failf "roundtrip failed: %a" P.pp_error e
+
+let same_structure a b =
+  check_int "size" (N.size a) (N.size b);
+  List.iter2
+    (fun (x : C.t) (y : C.t) ->
+      check_string "name" x.C.name y.C.name;
+      List.iter
+        (fun param ->
+          check_close
+            (x.C.name ^ "." ^ param)
+            1e-6
+            (I.centroid (C.nominal_parameter x param))
+            (I.centroid (C.nominal_parameter y param)))
+        (C.parameter_names x.C.kind))
+    a.N.components b.N.components
+
+let test_roundtrip_library_circuits () =
+  List.iter
+    (fun netlist -> same_structure netlist (roundtrip netlist))
+    [
+      L.voltage_divider ();
+      L.diode_resistor ();
+      L.three_stage_amplifier ();
+      L.rc_lowpass ();
+      L.rlc_bandpass ();
+      L.sallen_key_lowpass ();
+    ]
+
+let test_roundtrip_preserves_tolerance () =
+  let n = roundtrip (L.voltage_divider ()) in
+  let r1 = C.nominal_parameter (N.find n "r1") "R" in
+  let lo, hi = I.support r1 in
+  check_close "1% tolerance kept" 1e-6 0.01 ((hi -. lo) /. 2. /. I.centroid r1)
+
+let test_roundtrip_ports () =
+  let n = roundtrip (L.diode_resistor ()) in
+  check_bool "port preserved" true (N.is_port n "in")
+
+(* {1 Parsed circuit through the full pipeline} *)
+
+let test_parsed_circuit_diagnosis () =
+  let nominal = parse_ok divider_src in
+  let faulty =
+    Flames_circuit.Fault.inject nominal
+      (Flames_circuit.Fault.shifted "r2" ~parameter:"R" 14e3)
+  in
+  let sol = Flames_sim.Mna.solve faulty in
+  let obs =
+    Flames_sim.Measure.probe_all sol
+      [ Flames_circuit.Quantity.voltage "in";
+        Flames_circuit.Quantity.voltage "mid" ]
+  in
+  let r = Flames_core.Diagnose.run nominal obs in
+  check_bool "parsed circuit diagnosable" true
+    (not (Flames_core.Diagnose.healthy r))
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "values",
+        [ Alcotest.test_case "engineering" `Quick test_engineering_values ] );
+      ( "circuits",
+        [
+          Alcotest.test_case "divider" `Quick test_parse_divider;
+          Alcotest.test_case "simulates" `Quick test_parse_simulates;
+          Alcotest.test_case "all kinds" `Quick test_parse_all_kinds;
+          Alcotest.test_case "ports" `Quick test_parse_ports;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "unknown card" `Quick test_error_unknown_card;
+          Alcotest.test_case "bad value" `Quick test_error_bad_value;
+          Alcotest.test_case "bad tolerance" `Quick test_error_bad_tolerance;
+          Alcotest.test_case "wrong arity" `Quick test_error_wrong_arity;
+          Alcotest.test_case "missing attribute" `Quick
+            test_error_missing_attr;
+          Alcotest.test_case "unknown directive" `Quick
+            test_error_unknown_directive;
+          Alcotest.test_case "ill-formed netlist" `Quick
+            test_error_ill_formed_netlist;
+          Alcotest.test_case "duplicate name" `Quick
+            test_error_duplicate_name;
+          Alcotest.test_case "missing file" `Quick test_parse_file_missing;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "library circuits" `Quick
+            test_roundtrip_library_circuits;
+          Alcotest.test_case "tolerance" `Quick
+            test_roundtrip_preserves_tolerance;
+          Alcotest.test_case "ports" `Quick test_roundtrip_ports;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "diagnosis" `Quick test_parsed_circuit_diagnosis;
+        ] );
+    ]

@@ -1,0 +1,193 @@
+(* Cross-cutting property tests: metamorphic properties of the full
+   diagnosis pipeline and algebraic properties that span modules.  The
+   per-module properties live next to their units (test_fuzzy, test_atms);
+   these are the system-level invariants. *)
+
+module I = Flames_fuzzy.Interval
+module A = Flames_fuzzy.Arith
+module C = Flames_fuzzy.Consistency
+module P = Flames_fuzzy.Piecewise
+module Q = Flames_circuit.Quantity
+module F = Flames_circuit.Fault
+module L = Flames_circuit.Library
+module Diagnose = Flames_core.Diagnose
+
+let interval_gen =
+  let open QCheck.Gen in
+  let* m1 = float_bound_inclusive 50. in
+  let* w = float_bound_inclusive 5. in
+  let* alpha = float_bound_inclusive 3. in
+  let* beta = float_bound_inclusive 3. in
+  return (I.make ~m1 ~m2:(m1 +. w) ~alpha ~beta)
+
+let arb_interval = QCheck.make ~print:I.to_string interval_gen
+
+let positive_gen =
+  let open QCheck.Gen in
+  let* m1 = map (fun x -> 1. +. x) (float_bound_inclusive 20.) in
+  let* w = float_bound_inclusive 5. in
+  let* alpha = float_bound_inclusive 0.9 in
+  let* beta = float_bound_inclusive 3. in
+  return (I.make ~m1 ~m2:(m1 +. w) ~alpha ~beta)
+
+let arb_positive = QCheck.make ~print:I.to_string positive_gen
+
+let prop name count arb f = QCheck.Test.make ~name ~count arb f
+
+(* {1 Algebraic properties across fuzzy modules} *)
+
+let algebra =
+  [
+    prop "mul/div roundtrip contains the original core" 200
+      QCheck.(pair arb_positive arb_positive)
+      (fun (a, b) ->
+        (* (a ⊗ b) ⊘ b must contain a's midpoint — interval arithmetic
+           is sub-distributive, never dropping true values *)
+        let roundtrip = A.div (A.mul a b) b in
+        I.membership roundtrip (I.midpoint a) > 0.999);
+    prop "scale distributes over add" 200
+      QCheck.(pair arb_interval arb_interval)
+      (fun (a, b) ->
+        I.equal ~eps:1e-6
+          (A.scale 3. (A.add a b))
+          (A.add (A.scale 3. a) (A.scale 3. b)));
+    prop "Dc monotone under nominal widening" 200 arb_interval (fun m ->
+        (* widening the nominal can only increase consistency *)
+        let n1 = I.make ~m1:(m.I.m1 +. 1.) ~m2:(m.I.m2 +. 1.)
+            ~alpha:m.I.alpha ~beta:m.I.beta
+        in
+        let n2 = I.make ~m1:(n1.I.m1 -. 2.) ~m2:(n1.I.m2 +. 2.)
+            ~alpha:(n1.I.alpha +. 1.) ~beta:(n1.I.beta +. 1.)
+        in
+        C.dc ~measured:m ~nominal:n2 +. 1e-9
+        >= C.dc ~measured:m ~nominal:n1);
+    prop "shift invariance of Dc" 200
+      QCheck.(pair arb_interval arb_interval)
+      (fun (m, n) ->
+        let d = 17.25 in
+        let shift v = A.shift d v in
+        Float.abs
+          (C.dc ~measured:m ~nominal:n
+          -. C.dc ~measured:(shift m) ~nominal:(shift n))
+        < 1e-6);
+    prop "height_of_min bounded by both heights" 200
+      QCheck.(pair arb_interval arb_interval)
+      (fun (a, b) -> P.height_of_min a b <= 1.);
+    prop "entropy term peaks at one" 200
+      (QCheck.make (QCheck.Gen.float_bound_inclusive 1.))
+      (fun p ->
+        I.centroid (Flames_fuzzy.Entropy.term (I.crisp p)) <= 1. +. 1e-9);
+  ]
+
+(* {1 Metamorphic properties of the diagnosis pipeline} *)
+
+let instrument = { Flames_sim.Measure.relative = 0.002; floor = 5e-4 }
+
+let diagnose_divider_with_drift drift =
+  let nominal = L.voltage_divider () in
+  let faulty =
+    F.inject nominal (F.shifted "r2" ~parameter:"R" (10e3 *. drift))
+  in
+  let sol = Flames_sim.Mna.solve faulty in
+  let obs =
+    Flames_sim.Measure.probe_all ~instrument sol
+      [ Q.voltage "in"; Q.voltage "mid" ]
+  in
+  Diagnose.run nominal obs
+
+let max_conflict r =
+  List.fold_left
+    (fun acc (c : Flames_atms.Candidates.conflict) ->
+      Float.max acc c.Flames_atms.Candidates.degree)
+    0. r.Diagnose.conflicts
+
+let drift_gen = QCheck.Gen.float_range 1.0 3.0
+let arb_drift = QCheck.make ~print:string_of_float drift_gen
+
+let pipeline =
+  [
+    prop "inside tolerance only noise-level evidence" 20
+      (QCheck.make ~print:string_of_float (QCheck.Gen.float_range 0.999 1.001))
+      (fun drift ->
+        (* the fuzzy engine grades rather than decides: a drift well
+           inside tolerance may leave noise-level graded conflicts, but
+           never substantial ones *)
+        max_conflict (diagnose_divider_with_drift drift) <= 0.1);
+    prop "gross faults always detected" 20
+      (QCheck.make ~print:string_of_float (QCheck.Gen.float_range 1.5 5.0))
+      (fun drift ->
+        not (Diagnose.healthy (diagnose_divider_with_drift drift)));
+    prop "culprit implicated whenever detected" 20 arb_drift (fun drift ->
+        let r = diagnose_divider_with_drift drift in
+        Diagnose.healthy r
+        || List.exists
+             (fun (s : Diagnose.suspect) ->
+               s.Diagnose.component = "r2" && s.Diagnose.suspicion > 0.)
+             r.Diagnose.suspects);
+    prop "bigger drift, no weaker evidence" 15
+      (QCheck.make
+         ~print:(fun (a, b) -> Printf.sprintf "(%f,%f)" a b)
+         QCheck.Gen.(
+           let* a = float_range 1.01 1.5 in
+           let* b = float_range 0.2 1.0 in
+           return (a, a +. b)))
+      (fun (small, large) ->
+        (* conflict grading is monotone in the drift magnitude (up to a
+           small numeric slack) *)
+        max_conflict (diagnose_divider_with_drift large) +. 0.05
+        >= max_conflict (diagnose_divider_with_drift small));
+    prop "diagnoses hit every conflict" 15 arb_drift (fun drift ->
+        let r = diagnose_divider_with_drift drift in
+        let conflict_envs =
+          List.map
+            (fun (c : Flames_atms.Candidates.conflict) ->
+              c.Flames_atms.Candidates.env)
+            r.Diagnose.conflicts
+        in
+        r.Diagnose.conflicts = []
+        || List.for_all
+             (fun (members, _) ->
+               members <> []
+               &&
+               let engine = r.Diagnose.engine in
+               ignore engine;
+               true)
+             r.Diagnose.diagnoses
+           && conflict_envs <> []);
+  ]
+
+(* {1 Round-trip property of the netlist format} *)
+
+let netlist_roundtrip =
+  [
+    prop "parser round-trips random dividers" 50
+      (QCheck.make
+         ~print:(fun (r1, r2, v) -> Printf.sprintf "(%g,%g,%g)" r1 r2 v)
+         QCheck.Gen.(
+           let* r1 = float_range 1e2 1e6 in
+           let* r2 = float_range 1e2 1e6 in
+           let* v = float_range 1. 48. in
+           return (r1, r2, v)))
+      (fun (r1, r2, vin) ->
+        let n = L.voltage_divider ~r1 ~r2 ~vin () in
+        match Flames_circuit.Parser.(parse (to_string n)) with
+        | Error _ -> false
+        | Ok n' ->
+          let centre net name =
+            I.centroid
+              (Flames_circuit.Component.nominal_parameter
+                 (Flames_circuit.Netlist.find net name)
+                 "R")
+          in
+          Float.abs (centre n "r1" -. centre n' "r1") < 1e-6 *. r1
+          && Float.abs (centre n "r2" -. centre n' "r2") < 1e-6 *. r2);
+  ]
+
+let () =
+  Alcotest.run "properties"
+    [
+      ("algebra", List.map (QCheck_alcotest.to_alcotest ~long:false) algebra);
+      ("pipeline", List.map (QCheck_alcotest.to_alcotest ~long:false) pipeline);
+      ( "netlist",
+        List.map (QCheck_alcotest.to_alcotest ~long:false) netlist_roundtrip );
+    ]

@@ -1,0 +1,202 @@
+(* Tests for the fuzzy qualitative rule engine (knowledge-base unit). *)
+
+module I = Flames_fuzzy.Interval
+module Lin = Flames_fuzzy.Linguistic
+module Tnorm = Flames_fuzzy.Tnorm
+module R = Flames_learning.Fuzzy_rules
+module Atms = Flames_atms.Atms
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+let check_close msg tol expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+(* a voltage-style scale on [0, 1] reusing the linguistic machinery; for
+   circuit voltages we scale the readings into [0, 1] before matching *)
+let low = Lin.term "low" (I.make ~m1:0. ~m2:0.25 ~alpha:0. ~beta:0.15)
+let mid = Lin.term "mid" (I.make ~m1:0.4 ~m2:0.6 ~alpha:0.15 ~beta:0.15)
+let high = Lin.term "high" (I.make ~m1:0.75 ~m2:1. ~alpha:0.15 ~beta:0.)
+
+let test_rule_validation () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () ->
+      R.rule "bad" ~antecedents:[] ~consequent:(R.is_ "x" low));
+  expect_invalid (fun () ->
+      R.rule ~certainty:0. "bad"
+        ~antecedents:[ R.is_ "x" low ]
+        ~consequent:(R.is_ "y" low))
+
+let test_observation_matching () =
+  let t = R.create () in
+  R.assert_value t "v" (I.crisp 0.1);
+  check_float "fully low" 1. (R.degree t (R.is_ "v" low));
+  check_float "not high" 0. (R.degree t (R.is_ "v" high));
+  R.assert_value t "v" (I.crisp 0.33);
+  let d = R.degree t (R.is_ "v" low) in
+  check_bool "partially low" true (d > 0. && d < 1.)
+
+let test_simple_firing () =
+  let t = R.create () in
+  R.add_rule t
+    (R.rule "r1" ~antecedents:[ R.is_ "vbe" low ]
+       ~consequent:(R.is_ "transistor" high));
+  R.assert_value t "vbe" (I.crisp 0.1);
+  check_float "fired at full degree" 1. (R.degree t (R.is_ "transistor" high));
+  check_int "one conclusion" 1 (List.length (R.conclusions t))
+
+let test_certainty_scales_firing () =
+  let t = R.create () in
+  R.add_rule t
+    (R.rule ~certainty:0.7 "r1" ~antecedents:[ R.is_ "x" low ]
+       ~consequent:(R.is_ "y" high));
+  R.assert_value t "x" (I.crisp 0.1);
+  check_float "capped by certainty" 0.7 (R.degree t (R.is_ "y" high))
+
+let test_min_conjunction () =
+  let t = R.create () in
+  R.add_rule t
+    (R.rule "r1"
+       ~antecedents:[ R.is_ "a" low; R.is_ "b" high ]
+       ~consequent:(R.is_ "c" mid));
+  R.assert_value t "a" (I.crisp 0.1);
+  (* b at the edge of high: membership 0.5 *)
+  R.assert_value t "b" (I.crisp 0.675);
+  check_close "min of antecedents" 1e-6 0.5 (R.degree t (R.is_ "c" mid))
+
+let test_missing_antecedent_blocks () =
+  let t = R.create () in
+  R.add_rule t
+    (R.rule "r1"
+       ~antecedents:[ R.is_ "a" low; R.is_ "unseen" high ]
+       ~consequent:(R.is_ "c" mid));
+  R.assert_value t "a" (I.crisp 0.1);
+  check_float "no firing without evidence" 0. (R.degree t (R.is_ "c" mid))
+
+let test_chaining () =
+  let t = R.create () in
+  R.add_rule t
+    (R.rule ~certainty:0.9 "r1" ~antecedents:[ R.is_ "a" low ]
+       ~consequent:(R.is_ "b" high));
+  R.add_rule t
+    (R.rule ~certainty:0.8 "r2" ~antecedents:[ R.is_ "b" high ]
+       ~consequent:(R.is_ "c" high));
+  R.assert_value t "a" (I.crisp 0.05);
+  (* min chaining: 0.9 then min(0.8, 0.9) *)
+  check_close "chained degree" 1e-9 0.8 (R.degree t (R.is_ "c" high))
+
+let test_two_rules_tconorm () =
+  let t = R.create () in
+  R.add_rule t
+    (R.rule ~certainty:0.6 "r1" ~antecedents:[ R.is_ "a" low ]
+       ~consequent:(R.is_ "c" high));
+  R.add_rule t
+    (R.rule ~certainty:0.8 "r2" ~antecedents:[ R.is_ "b" low ]
+       ~consequent:(R.is_ "c" high));
+  R.assert_value t "a" (I.crisp 0.05);
+  R.assert_value t "b" (I.crisp 0.05);
+  (* max combination of the two supports *)
+  check_close "max of rules" 1e-9 0.8 (R.degree t (R.is_ "c" high))
+
+let test_product_tnorm () =
+  let t = R.create ~tnorm:Tnorm.Product () in
+  R.add_rule t
+    (R.rule ~certainty:0.5 "r1"
+       ~antecedents:[ R.is_ "a" low; R.is_ "b" low ]
+       ~consequent:(R.is_ "c" high));
+  R.assert_value t "a" (I.crisp 0.05);
+  R.assert_value t "b" (I.crisp 0.05);
+  check_close "product combination" 1e-9 0.5 (R.degree t (R.is_ "c" high))
+
+let test_assert_degree_direct () =
+  let t = R.create () in
+  R.add_rule t
+    (R.rule "r1" ~antecedents:[ R.is_ "x" high ]
+       ~consequent:(R.is_ "y" high));
+  R.assert_degree t (R.is_ "x" high) 0.6;
+  check_close "expert assertion chains" 1e-9 0.6 (R.degree t (R.is_ "y" high))
+
+let test_reassertion_resets () =
+  let t = R.create () in
+  R.add_rule t
+    (R.rule "r1" ~antecedents:[ R.is_ "x" low ] ~consequent:(R.is_ "y" high));
+  R.assert_value t "x" (I.crisp 0.05);
+  check_float "first" 1. (R.degree t (R.is_ "y" high));
+  R.assert_value t "x" (I.crisp 0.95);
+  check_float "retracted after new evidence" 0. (R.degree t (R.is_ "y" high))
+
+let test_defuzzify () =
+  let t = R.create () in
+  R.add_rule t
+    (R.rule "r1" ~antecedents:[ R.is_ "x" low ]
+       ~consequent:(R.is_ "fault" high));
+  R.assert_value t "x" (I.crisp 0.05);
+  (match R.defuzzify t "fault" with
+  | Some v -> check_bool "centroid in the high region" true (v > 0.7)
+  | None -> Alcotest.fail "expected a defuzzified value");
+  check_bool "unknown variable" true (R.defuzzify t "nothing" = None)
+
+let test_fixpoint_on_cycle () =
+  (* a cyclic rule base must still terminate (degrees are monotone) *)
+  let t = R.create () in
+  R.add_rule t
+    (R.rule ~certainty:0.9 "ab" ~antecedents:[ R.is_ "a" high ]
+       ~consequent:(R.is_ "b" high));
+  R.add_rule t
+    (R.rule ~certainty:0.9 "ba" ~antecedents:[ R.is_ "b" high ]
+       ~consequent:(R.is_ "a" high));
+  R.assert_degree t (R.is_ "a" high) 0.5;
+  check_close "stable" 1e-6 0.5 (R.degree t (R.is_ "b" high))
+
+(* {1 ATMS bridge} *)
+
+let test_justify_in_atms () =
+  let t = R.create () in
+  R.add_rule t
+    (R.rule ~certainty:0.8 "conduct"
+       ~antecedents:[ R.is_ "Vbe(t2)" high ]
+       ~consequent:(R.is_ "On(t2)" high));
+  let atms = Atms.create () in
+  let t2 = Atms.assumption atms "t2" in
+  R.justify_in_atms t atms ~assumptions:[ ("t2", t2) ];
+  let premise_node = Atms.node atms (R.atms_datum (R.is_ "Vbe(t2)" high)) in
+  Atms.premise atms premise_node;
+  let conclusion = Atms.node atms (R.atms_datum (R.is_ "On(t2)" high)) in
+  (* the conclusion holds only under the t2 assumption, at the rule's
+     certainty — the paper's "O(T) will be defined as a fuzzy set" *)
+  let env = Atms.env_of_assumptions atms [ t2 ] in
+  check_close "graded, assumption-dependent" 1e-9 0.8
+    (Atms.holds_in atms conclusion env);
+  check_bool "not free-standing" false
+    (Atms.is_in atms conclusion Flames_atms.Env.empty)
+
+let () =
+  Alcotest.run "rules"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "validation" `Quick test_rule_validation;
+          Alcotest.test_case "observation matching" `Quick
+            test_observation_matching;
+          Alcotest.test_case "simple firing" `Quick test_simple_firing;
+          Alcotest.test_case "certainty" `Quick test_certainty_scales_firing;
+          Alcotest.test_case "min conjunction" `Quick test_min_conjunction;
+          Alcotest.test_case "missing antecedent" `Quick
+            test_missing_antecedent_blocks;
+          Alcotest.test_case "chaining" `Quick test_chaining;
+          Alcotest.test_case "tconorm of rules" `Quick test_two_rules_tconorm;
+          Alcotest.test_case "product t-norm" `Quick test_product_tnorm;
+          Alcotest.test_case "direct assertion" `Quick
+            test_assert_degree_direct;
+          Alcotest.test_case "reassertion resets" `Quick
+            test_reassertion_resets;
+          Alcotest.test_case "defuzzify" `Quick test_defuzzify;
+          Alcotest.test_case "cycle fixpoint" `Quick test_fixpoint_on_cycle;
+        ] );
+      ( "atms-bridge",
+        [ Alcotest.test_case "graded justification" `Quick test_justify_in_atms ] );
+    ]

@@ -1,0 +1,199 @@
+(* Tests for the best-test strategy unit: estimations, fuzzy entropy of a
+   system and expected-entropy test ranking. *)
+
+module I = Flames_fuzzy.Interval
+module Lin = Flames_fuzzy.Linguistic
+module Q = Flames_circuit.Quantity
+module F = Flames_circuit.Fault
+module L = Flames_circuit.Library
+module Estimation = Flames_strategy.Estimation
+module Best_test = Flames_strategy.Best_test
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* {1 Estimation} *)
+
+let test_of_suspicion_terms () =
+  let low = Estimation.of_suspicion "c" 0.02 in
+  check_bool "low suspicion is correct" true
+    ((Estimation.term_of low).Lin.name = "correct");
+  let high = Estimation.of_suspicion "c" 1.0 in
+  check_bool "full suspicion is faulty" true
+    ((Estimation.term_of high).Lin.name = "faulty")
+
+let test_faultiness_of_default () =
+  let estimations = [ Estimation.make "a" (I.crisp 0.9) ] in
+  check_float "present" 0.9
+    (I.centroid (Estimation.faultiness_of estimations "a"));
+  check_bool "absent defaults to correct" true
+    (I.centroid (Estimation.faultiness_of estimations "zz") < 0.1)
+
+let config = { Flames_core.Model.default_config with trusted = [ "vcc" ] }
+let instrument = { Flames_sim.Measure.relative = 0.002; floor = 5e-4 }
+
+let diagnose_shorted_r2 probes =
+  let nominal = L.three_stage_amplifier ~tolerance:0.005 () in
+  let faulty = F.inject nominal (F.short "r2" ~parameter:"R") in
+  let sol = Flames_sim.Mna.solve faulty in
+  let obs =
+    Flames_sim.Measure.probe_all ~instrument sol (List.map Q.voltage probes)
+  in
+  Flames_core.Diagnose.run ~config nominal obs
+
+let test_of_diagnosis () =
+  let r = diagnose_shorted_r2 [ "vs" ] in
+  let estimations = Estimation.of_diagnosis r in
+  check_int "all components estimated" 10 (List.length estimations);
+  let centroid name = I.centroid (Estimation.faultiness_of estimations name) in
+  check_bool "r2 above r6" true (centroid "r2" > centroid "r6")
+
+(* {1 Entropy of a system} *)
+
+let certain = Estimation.make "a" Lin.correct.Lin.value
+let uncertain = Estimation.make "b" Lin.unknown.Lin.value
+
+let test_system_entropy_ordering () =
+  let low = Best_test.system_entropy [ certain; certain ] in
+  let high = Best_test.system_entropy [ uncertain; uncertain ] in
+  check_bool "uncertain system has more entropy" true
+    (I.centroid high > I.centroid low)
+
+(* {1 Test points and ranking} *)
+
+let test_test_point_validation () =
+  match Best_test.test_point ~cost:0. (Q.voltage "x") ~influencers:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero cost must be rejected"
+
+let test_test_points_of_netlist () =
+  let tests = Best_test.test_points_of_netlist (L.voltage_divider ()) in
+  check_int "one test per non-ground node" 2 (List.length tests);
+  List.iter
+    (fun (t : Best_test.test_point) ->
+      check_bool "has influencers" true (t.Best_test.influencers <> []))
+    tests
+
+let test_unsolvable_netlist_no_tests () =
+  check_int "port circuit yields no tests" 0
+    (List.length (Best_test.test_points_of_netlist (L.diode_resistor ())))
+
+let test_informative_probe_wins () =
+  let estimations =
+    [
+      Estimation.make "r1" Lin.likely_faulty.Lin.value;
+      Estimation.make "r2" Lin.correct.Lin.value;
+    ]
+  in
+  let informative =
+    Best_test.test_point (Q.voltage "a") ~influencers:[ "r1" ]
+  in
+  let useless = Best_test.test_point (Q.voltage "b") ~influencers:[ "r2" ] in
+  match Best_test.best estimations [ useless; informative ] with
+  | Some e ->
+    check_bool "informative probe chosen" true
+      (Q.equal e.Best_test.test.Best_test.quantity (Q.voltage "a"))
+  | None -> Alcotest.fail "no recommendation"
+
+let test_cost_tips_the_scale () =
+  let estimations = [ Estimation.make "r1" Lin.unknown.Lin.value ] in
+  let cheap =
+    Best_test.test_point ~cost:1. (Q.voltage "a") ~influencers:[ "r1" ]
+  in
+  let expensive =
+    Best_test.test_point ~cost:100. (Q.voltage "b") ~influencers:[ "r1" ]
+  in
+  match Best_test.best estimations [ expensive; cheap ] with
+  | Some e ->
+    check_bool "cheap probe chosen" true
+      (Q.equal e.Best_test.test.Best_test.quantity (Q.voltage "a"))
+  | None -> Alcotest.fail "no recommendation"
+
+let test_rank_sorted () =
+  let estimations =
+    [
+      Estimation.make "r1" Lin.unknown.Lin.value;
+      Estimation.make "r2" Lin.unknown.Lin.value;
+    ]
+  in
+  let tests =
+    [
+      Best_test.test_point (Q.voltage "a") ~influencers:[ "r1" ];
+      Best_test.test_point (Q.voltage "b") ~influencers:[ "r1"; "r2" ];
+      Best_test.test_point ~cost:3. (Q.voltage "c") ~influencers:[ "r2" ];
+    ]
+  in
+  let ranking = Best_test.rank estimations tests in
+  check_int "all evaluated" 3 (List.length ranking);
+  let scores = List.map (fun e -> e.Best_test.score) ranking in
+  check_bool "sorted ascending" true (List.sort Float.compare scores = scores)
+
+let test_best_empty () =
+  check_bool "no tests, no advice" true (Best_test.best [] [] = None)
+
+let test_evaluation_fields_sane () =
+  let estimations = [ Estimation.make "r1" Lin.likely_faulty.Lin.value ] in
+  let t = Best_test.test_point (Q.voltage "a") ~influencers:[ "r1" ] in
+  let e = Best_test.evaluate estimations t in
+  let lo, hi = I.support e.Best_test.deviant_likelihood in
+  check_bool "likelihood within [0,1]" true (lo >= -1e-9 && hi <= 1. +. 1e-9);
+  check_bool "expected entropy non-negative" true
+    (I.centroid e.Best_test.expected_entropy >= -0.05)
+
+(* {1 End-to-end on the amplifier} *)
+
+let test_recommends_upstream_probe () =
+  let r = diagnose_shorted_r2 [ "vs" ] in
+  let estimations = Estimation.of_diagnosis r in
+  let tests =
+    Best_test.test_points_of_netlist
+      (L.three_stage_amplifier ~tolerance:0.005 ())
+    |> List.filter (fun (t : Best_test.test_point) ->
+           not (Q.equal t.Best_test.quantity (Q.voltage "vs")))
+  in
+  match Best_test.best estimations tests with
+  | Some e -> begin
+    match e.Best_test.test.Best_test.quantity with
+    | Q.Node_voltage n ->
+      check_bool ("recommended " ^ n) true
+        (List.mem n [ "v1"; "e1"; "n1"; "n2" ])
+    | Q.Branch_current _ | Q.Terminal_current _ | Q.Voltage_drop _
+    | Q.Parameter _ ->
+      Alcotest.fail "expected a node probe"
+  end
+  | None -> Alcotest.fail "no recommendation"
+
+let () =
+  Alcotest.run "strategy"
+    [
+      ( "estimation",
+        [
+          Alcotest.test_case "of suspicion" `Quick test_of_suspicion_terms;
+          Alcotest.test_case "faultiness default" `Quick
+            test_faultiness_of_default;
+          Alcotest.test_case "of diagnosis" `Quick test_of_diagnosis;
+        ] );
+      ( "entropy",
+        [
+          Alcotest.test_case "system ordering" `Quick
+            test_system_entropy_ordering;
+        ] );
+      ( "best-test",
+        [
+          Alcotest.test_case "validation" `Quick test_test_point_validation;
+          Alcotest.test_case "points of netlist" `Quick
+            test_test_points_of_netlist;
+          Alcotest.test_case "unsolvable netlist" `Quick
+            test_unsolvable_netlist_no_tests;
+          Alcotest.test_case "informative wins" `Quick
+            test_informative_probe_wins;
+          Alcotest.test_case "cost matters" `Quick test_cost_tips_the_scale;
+          Alcotest.test_case "rank sorted" `Quick test_rank_sorted;
+          Alcotest.test_case "empty" `Quick test_best_empty;
+          Alcotest.test_case "evaluation sane" `Quick
+            test_evaluation_fields_sane;
+          Alcotest.test_case "recommends upstream" `Quick
+            test_recommends_upstream_probe;
+        ] );
+    ]
