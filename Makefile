@@ -1,0 +1,32 @@
+# Developer entry points.  `make check` is the one-command gate: it must
+# stay green before every commit (tier-1 verify + engine tests + dune-file
+# formatting).
+
+.PHONY: all build test fmt check bench bench-engine clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# dune-file formatting check; OCaml sources are gated off in dune-project
+# until an ocamlformat binary is part of the toolchain.
+fmt:
+	dune build @fmt
+
+check: fmt build test
+	@echo "check: build, tests and formatting are green"
+
+# full harness: paper tables, bechamel timings, BENCH_engine.json
+bench: build
+	dune exec bench/main.exe
+
+# just the engine throughput series (writes BENCH_engine.json)
+bench-engine: build
+	dune exec bench/main.exe -- --engine-json-only
+
+clean:
+	dune clean

@@ -193,9 +193,59 @@ let bench_dynamic =
           fun () -> Flames_core.Dynamic.run ~trusted:[ "vin" ] rc obs));
   ]
 
+(* batch engine: pool throughput at 1/2/4 workers and the model cache.
+   Pools are created once and reused across bechamel iterations; the
+   divider jobs are deliberately cheap so the measurement is dominated by
+   the engine's dispatch/cache machinery, not by one long diagnosis. *)
+module Engine = Flames_engine
+
+let engine_jobs =
+  lazy
+    (List.init 12 (fun i ->
+         let nominal = L.voltage_divider () in
+         let faulty = F.inject nominal (F.shifted "r2" ~parameter:"R" 6.8e3) in
+         let sol = Flames_sim.Mna.solve faulty in
+         let obs =
+           Flames_sim.Measure.probe_all ~instrument sol [ Q.voltage "out" ]
+         in
+         Engine.Batch.job ~label:(Printf.sprintf "divider-%02d" i) nominal obs))
+
+let bench_engine =
+  let pool_of = Hashtbl.create 4 in
+  let pool workers =
+    match Hashtbl.find_opt pool_of workers with
+    | Some p -> p
+    | None ->
+      let p = Engine.Pool.create ~workers () in
+      Hashtbl.add pool_of workers p;
+      p
+  in
+  List.map
+    (fun workers ->
+      Test.make
+        ~name:(Printf.sprintf "engine:batch-divider-w%d" workers)
+        (Staged.stage (fun () ->
+             Engine.Batch.run_in ~pool:(pool workers)
+               (Lazy.force engine_jobs))))
+    [ 1; 2; 4 ]
+  @ [
+      Test.make ~name:"engine:cache-cold"
+        (Staged.stage
+           (let net = L.three_stage_amplifier () in
+            fun () ->
+              (* fresh cache: every call pays the full compilation *)
+              Engine.Cache.compile (Engine.Cache.create ()) net));
+      Test.make ~name:"engine:cache-warm"
+        (Staged.stage
+           (let net = L.three_stage_amplifier () in
+            let cache = Engine.Cache.create () in
+            ignore (Engine.Cache.compile cache net);
+            fun () -> Engine.Cache.compile cache net));
+    ]
+
 let benchmarks =
   bench_fuzzy_ops @ bench_fig2 @ bench_fig5 @ bench_fig7 @ bench_strategy
-  @ bench_dynamic @ bench_scaling @ bench_atms
+  @ bench_dynamic @ bench_scaling @ bench_atms @ bench_engine
 
 let run_benchmarks () =
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
@@ -226,9 +276,83 @@ let report results =
       ~predictor:Measure.run results in
   eol img |> output_image
 
+(* {1 BENCH_engine.json}
+
+   Wall-clock throughput of the A2 scaling series (amplifier chains)
+   through the batch engine, at 1/2/4 workers, cold and warm model
+   cache.  Hand-rolled JSON: one object per (workers, cache) cell.
+   Speedup from extra workers requires actual cores — the [cores] field
+   records what the host offered. *)
+
+let engine_json_path = "BENCH_engine.json"
+
+let engine_series_sizes = [ 2; 4; 8; 16 ]
+
+let emit_engine_json () =
+  let jobs = Flames_experiments.Explosion.jobs ~sizes:engine_series_sizes () in
+  let cell ~workers ~label ~cache =
+    (* best of three: the series is tens of milliseconds, scheduler noise
+       would otherwise dominate the w1/w4 comparison *)
+    let best (a : Engine.Stats.t) (b : Engine.Stats.t) =
+      if a.Engine.Stats.wall_time <= b.Engine.Stats.wall_time then a else b
+    in
+    let run () =
+      let outcomes, stats = Engine.Batch.run ~workers ~cache jobs in
+      assert (List.for_all Result.is_ok outcomes);
+      stats
+    in
+    let first = run () in
+    let stats = best (best first (run ())) (run ()) in
+    (* hits/misses of the first repetition: the later ones always hit *)
+    let stats =
+      { stats with
+        Engine.Stats.cache_hits = first.Engine.Stats.cache_hits;
+        cache_misses = first.Engine.Stats.cache_misses }
+    in
+    Printf.sprintf
+      "    { \"workers\": %d, \"cache\": %S, \"wall_s\": %.4f, \"cpu_s\": \
+       %.4f, \"jobs_per_s\": %.3f, \"cache_hits\": %d, \"cache_misses\": %d }"
+      workers label stats.Engine.Stats.wall_time stats.Engine.Stats.cpu_time
+      (Engine.Stats.throughput stats)
+      stats.Engine.Stats.cache_hits stats.Engine.Stats.cache_misses
+  in
+  let cells =
+    List.concat_map
+      (fun workers ->
+        let cache = Engine.Cache.create () in
+        let cold = cell ~workers ~label:"cold" ~cache in
+        let warm = cell ~workers ~label:"warm" ~cache in
+        [ cold; warm ])
+      [ 1; 2; 4 ]
+  in
+  let oc = open_out engine_json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"series\": \"A2-scaling-amplifier-chains\",\n\
+    \  \"sizes\": [%s],\n\
+    \  \"jobs\": %d,\n\
+    \  \"cores\": %d,\n\
+    \  \"runs\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    (String.concat ", " (List.map string_of_int engine_series_sizes))
+    (List.length jobs)
+    (Domain.recommended_domain_count ())
+    (String.concat ",\n" cells);
+  close_out oc;
+  Format.fprintf ppf "wrote %s@." engine_json_path
+
 let () =
-  regenerate_tables ();
-  Format.fprintf ppf "================ timing benches ================@.";
-  Format.pp_print_flush ppf ();
-  let results = run_benchmarks () in
-  report results
+  let engine_json_only =
+    Array.exists (fun a -> a = "--engine-json-only") Sys.argv
+  in
+  if engine_json_only then emit_engine_json ()
+  else begin
+    regenerate_tables ();
+    Format.fprintf ppf "================ timing benches ================@.";
+    Format.pp_print_flush ppf ();
+    let results = run_benchmarks () in
+    report results;
+    emit_engine_json ()
+  end

@@ -281,6 +281,124 @@ let dynamic_diagnose_cmd =
       const run $ circuit_arg $ fault_arg $ frequencies_arg $ node_arg
       $ instrument_arg $ trusted_arg)
 
+(* batch scenario files: one job per line,
+     <circuit> [comp.param=mode] [probe,probe,...]
+   where <circuit> is a built-in name or a netlist file path; '#' starts
+   a comment.  Fields after the circuit are recognised by shape (a fault
+   spec contains '='). *)
+let parse_batch_line lineno line =
+  match String.split_on_char '#' line with
+  | [] -> Ok None
+  | code :: _ -> begin
+    match
+      String.split_on_char ' ' code
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.filter (fun f -> f <> "")
+    with
+    | [] -> Ok None
+    | circuit :: fields ->
+      let fault, probes =
+        List.partition (fun f -> String.contains f '=') fields
+      in
+      let fault = match fault with [] -> None | spec :: _ -> Some spec in
+      let probes =
+        List.concat_map (String.split_on_char ',') probes
+        |> List.filter (fun p -> p <> "")
+      in
+      (match load_circuit circuit with
+      | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+      | Ok nominal -> begin
+        match inject_opt nominal fault with
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+        | Ok faulty ->
+          let label =
+            match fault with
+            | Some spec -> Printf.sprintf "%s %s" circuit spec
+            | None -> circuit
+          in
+          Ok (Some (label, nominal, faulty, probes))
+      end)
+  end
+
+let read_batch_file path =
+  let ic = open_in path in
+  let rec loop lineno acc =
+    match input_line ic with
+    | line -> begin
+      match parse_batch_line lineno line with
+      | Ok None -> loop (lineno + 1) acc
+      | Ok (Some job) -> loop (lineno + 1) (job :: acc)
+      | Error e ->
+        close_in ic;
+        Error e
+    end
+    | exception End_of_file ->
+      close_in ic;
+      Ok (List.rev acc)
+  in
+  loop 1 []
+
+let workers_arg =
+  let doc = "Worker domains for the batch engine (default 4)." in
+  Arg.(value & opt int 4 & info [ "workers"; "j" ] ~docv:"N" ~doc)
+
+let timeout_arg =
+  let doc = "Per-job timeout in seconds (default: none)." in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"S" ~doc)
+
+let file_arg =
+  let doc =
+    "Scenario list: one 'circuit [comp.param=mode] [probe,probe,...]' per \
+     line, '#' comments.  Without a file, the paper's five fig-7 defect \
+     scenarios are run."
+  in
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let batch_cmd =
+  let run file workers timeout trusted relative =
+    if workers < 1 then begin
+      Format.eprintf "batch: --workers must be >= 1 (got %d)@." workers;
+      exit 1
+    end;
+    let jobs =
+      match file with
+      | None -> Flames_experiments.Fig7.jobs ()
+      | Some path -> begin
+        match read_batch_file path with
+        | Error e ->
+          Format.eprintf "%s: %s@." path e;
+          exit 1
+        | Ok lines ->
+          let config = { Flames_core.Model.default_config with trusted } in
+          List.map
+            (fun (label, nominal, faulty, probes) ->
+              let obs = observations faulty probes relative in
+              Flames_engine.Batch.job ~label ~config nominal obs)
+            lines
+      end
+    in
+    let cache = Flames_engine.Cache.create () in
+    let outcomes, stats =
+      Flames_engine.Batch.run ~workers ~cache ?timeout jobs
+    in
+    List.iter2
+      (fun (j : Flames_engine.Batch.job) outcome ->
+        Format.printf "%-24s %a@." j.Flames_engine.Batch.label
+          Flames_engine.Batch.pp_outcome outcome)
+      jobs outcomes;
+    Format.printf "%a@." Flames_engine.Stats.pp stats;
+    if List.exists Result.is_error outcomes then exit 1
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Diagnose a list of fault scenarios concurrently on the \
+          domain-pool batch engine, with model-compilation caching, and \
+          print per-job summaries plus engine statistics.")
+    Term.(
+      const run $ file_arg $ workers_arg $ timeout_arg $ trusted_arg
+      $ instrument_arg)
+
 let list_cmd =
   let run () =
     List.iter (fun (name, _) -> print_endline name) circuits
@@ -296,7 +414,7 @@ let main =
   Cmd.group info
     [
       bias_cmd; diagnose_cmd; best_test_cmd; ac_cmd; dynamic_diagnose_cmd;
-      show_cmd; list_cmd;
+      batch_cmd; show_cmd; list_cmd;
     ]
 
 let () = exit (Cmd.eval main)

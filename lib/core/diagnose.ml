@@ -112,16 +112,34 @@ let observation_residual netlist observations =
     in
     Some err
 
+(* Simulation audit: within one [run] the nominal circuit is solved once
+   by [simulator_predictions] (inside [Sensitivity.analyze]) and never
+   per symptom — [observation_residual] folds every observation over a
+   single solve.  The remaining redundancy is inside the fit sweep: the
+   coarse grid and both refinement passes revisit candidate values (the
+   1.0 factors re-solve the previous pass's best value, and refinement
+   grids overlap), each costing a full MNA solve.  A per-sweep memo on
+   the exact candidate value removes those repeats. *)
 let fit_parameter netlist observations comp parameter =
   let nominal = Interval.centroid (Component.nominal_parameter comp parameter) in
   if nominal = 0. then None
   else
+    let solved = Hashtbl.create 64 in
     let try_value v =
-      let net' =
-        Netlist.replace netlist
-          (Component.with_parameter comp parameter (Interval.crisp v))
+      let key = Int64.bits_of_float v in
+      let residual =
+        match Hashtbl.find_opt solved key with
+        | Some r -> r
+        | None ->
+          let net' =
+            Netlist.replace netlist
+              (Component.with_parameter comp parameter (Interval.crisp v))
+          in
+          let r = observation_residual net' observations in
+          Hashtbl.add solved key r;
+          r
       in
-      Option.map (fun r -> (v, r)) (observation_residual net' observations)
+      Option.map (fun r -> (v, r)) residual
     in
     let best_of candidates =
       List.filter_map try_value candidates
@@ -237,10 +255,14 @@ let simulator_predictions netlist model ~floor ~threshold =
               env ))
       reports
 
-let run ?config ?limits ?(prediction_floor = 1e-3)
+let run ?config ?limits ?model ?(prediction_floor = 1e-3)
     ?(sensitivity_threshold = 0.02) ?(prediction_degree = 0.95)
     ?(simulate_predictions = true) netlist observations =
-  let model = Model.compile ?config netlist in
+  let model =
+    match model with
+    | Some m -> m
+    | None -> Model.compile ?config netlist
+  in
   let predictions =
     if simulate_predictions then
       simulator_predictions netlist model ~floor:prediction_floor

@@ -69,6 +69,7 @@ type result = {
 val run :
   ?config:Model.config ->
   ?limits:Propagate.limits ->
+  ?model:Model.t ->
   ?prediction_floor:float ->
   ?sensitivity_threshold:float ->
   ?prediction_degree:float ->
@@ -77,6 +78,12 @@ val run :
   observation list ->
   result
 (** [run netlist observations] performs a full diagnosis.
+
+    [?model] supplies a pre-compiled constraint model (it must be the
+    compilation of exactly this [netlist] under exactly this [config] —
+    e.g. obtained from [Flames_engine.Cache]); without it the netlist is
+    compiled afresh.  Passing the cached compilation of the same input
+    leaves the result bit-for-bit unchanged.
 
     When [simulate_predictions] is [true] (the default) and the circuit is
     solvable, nominal node voltages computed by the DC simulator are added

@@ -1,0 +1,119 @@
+module Model = Flames_core.Model
+module Diagnose = Flames_core.Diagnose
+module Propagate = Flames_core.Propagate
+module Report = Flames_core.Report
+module Netlist = Flames_circuit.Netlist
+
+type job = {
+  label : string;
+  netlist : Netlist.t;
+  observations : Diagnose.observation list;
+  config : Model.config option;
+  limits : Propagate.limits option;
+}
+
+let job ?label ?config ?limits netlist observations =
+  let label =
+    match label with Some l -> l | None -> netlist.Netlist.name
+  in
+  { label; netlist; observations; config; limits }
+
+type outcome = (Diagnose.result, Pool.error) result
+
+type timed = {
+  result : Diagnose.result;
+  compile_s : float;
+  diagnose_s : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+let run_one cache j =
+  let t0 = now () in
+  let model = Cache.compile cache ?config:j.config j.netlist in
+  let t1 = now () in
+  let result =
+    Diagnose.run ?config:j.config ?limits:j.limits ~model j.netlist
+      j.observations
+  in
+  let t2 = now () in
+  { result; compile_s = t1 -. t0; diagnose_s = t2 -. t1 }
+
+let summarize ~workers ~cache_before ~cache_after ~wall ~cpu outcomes timings =
+  let succeeded, failed, conflicts =
+    List.fold_left
+      (fun (ok, ko, cf) outcome ->
+        match outcome with
+        | Ok (r : Diagnose.result) ->
+          (ok + 1, ko, cf + List.length r.Diagnose.conflicts)
+        | Error _ -> (ok, ko + 1, cf))
+      (0, 0, 0) outcomes
+  in
+  let compile_wall, diagnose_wall =
+    List.fold_left
+      (fun (c, d) t -> (c +. t.compile_s, d +. t.diagnose_s))
+      (0., 0.) timings
+  in
+  {
+    Stats.jobs = List.length outcomes;
+    succeeded;
+    failed;
+    workers;
+    conflicts;
+    cache_hits = cache_after.Cache.hits - cache_before.Cache.hits;
+    cache_misses = cache_after.Cache.misses - cache_before.Cache.misses;
+    wall_time = wall;
+    cpu_time = cpu;
+    compile_wall;
+    diagnose_wall;
+  }
+
+let run_in ~pool ?cache ?timeout jobs =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let cache_before = Cache.stats cache in
+  let wall0 = now () and cpu0 = Sys.time () in
+  let promises =
+    List.map (fun j -> Pool.submit pool ?timeout (fun () -> run_one cache j)) jobs
+  in
+  (* awaiting in submission order is what makes the batch deterministic:
+     completion order depends on scheduling, the returned list does not *)
+  let resolved = List.map Pool.await promises in
+  let wall = now () -. wall0 and cpu = Sys.time () -. cpu0 in
+  let outcomes =
+    List.map
+      (function Ok t -> Ok t.result | Error e -> (Error e : outcome))
+      resolved
+  in
+  let timings =
+    List.filter_map (function Ok t -> Some t | Error _ -> None) resolved
+  in
+  let stats =
+    summarize ~workers:(Pool.workers pool) ~cache_before
+      ~cache_after:(Cache.stats cache) ~wall ~cpu outcomes timings
+  in
+  (outcomes, stats)
+
+let run ?workers ?cache ?timeout jobs =
+  Pool.with_pool ?workers (fun pool -> run_in ~pool ?cache ?timeout jobs)
+
+let sequential ?cache jobs =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let cache_before = Cache.stats cache in
+  let wall0 = now () and cpu0 = Sys.time () in
+  let timings = List.map (run_one cache) jobs in
+  let wall = now () -. wall0 and cpu = Sys.time () -. cpu0 in
+  let results = List.map (fun t -> t.result) timings in
+  let stats =
+    summarize ~workers:1 ~cache_before ~cache_after:(Cache.stats cache) ~wall
+      ~cpu
+      (List.map (fun t -> Ok t.result) timings)
+      timings
+  in
+  (results, stats)
+
+let pp_outcome ppf = function
+  | Ok result -> Format.pp_print_string ppf (Report.summary result)
+  | Error Pool.Cancelled -> Format.pp_print_string ppf "cancelled"
+  | Error Pool.Timed_out -> Format.pp_print_string ppf "timed out"
+  | Error (Pool.Failed e) ->
+    Format.fprintf ppf "failed: %s" (Printexc.to_string e)

@@ -1,0 +1,64 @@
+(** Deterministic batch diagnosis over a {!Pool} of workers.
+
+    A batch is a list of independent [(netlist, observations)] jobs.
+    Each job compiles its model through the shared {!Cache} and runs the
+    standard sequential {!Flames_core.Diagnose.run} in a worker domain —
+    the parallel path executes exactly the same computation as the
+    sequential one, so results are identical and are returned in
+    submission order regardless of completion order. *)
+
+module Model = Flames_core.Model
+module Diagnose = Flames_core.Diagnose
+module Propagate = Flames_core.Propagate
+module Netlist = Flames_circuit.Netlist
+
+type job = private {
+  label : string;
+  netlist : Netlist.t;
+  observations : Diagnose.observation list;
+  config : Model.config option;
+  limits : Propagate.limits option;
+}
+
+val job :
+  ?label:string ->
+  ?config:Model.config ->
+  ?limits:Propagate.limits ->
+  Netlist.t ->
+  Diagnose.observation list ->
+  job
+(** A diagnosis job; [label] defaults to the netlist name. *)
+
+type outcome = (Diagnose.result, Pool.error) result
+
+val run_in :
+  pool:Pool.t ->
+  ?cache:Cache.t ->
+  ?timeout:float ->
+  job list ->
+  outcome list * Stats.t
+(** [run_in ~pool jobs] submits every job to the pool, awaits them in
+    submission order and returns the outcomes in that same order.
+    [?cache] shares compiled models across jobs (and across calls, when
+    the caller reuses the cache); without it a private cache is used, so
+    same-topology jobs within the batch still share one compilation.
+    [?timeout] bounds each job individually (seconds). *)
+
+val run :
+  ?workers:int ->
+  ?cache:Cache.t ->
+  ?timeout:float ->
+  job list ->
+  outcome list * Stats.t
+(** One-shot convenience: run over a fresh pool of [?workers] domains
+    (default {!Pool.create}'s default) and shut it down afterwards. *)
+
+val sequential :
+  ?cache:Cache.t -> job list -> Diagnose.result list * Stats.t
+(** Reference implementation: the same jobs through plain
+    [Diagnose.run], in order, on the calling domain.  The determinism
+    tests compare {!run} against this. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** One-line summary of an outcome (the {!Flames_core.Report} summary,
+    or the failure reason). *)

@@ -1,0 +1,157 @@
+module Model = Flames_core.Model
+module Netlist = Flames_circuit.Netlist
+module Component = Flames_circuit.Component
+module Interval = Flames_fuzzy.Interval
+
+type entry = { model : Model.t; mutable last_used : int }
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  capacity : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+let create ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create (2 * capacity);
+    capacity;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+(* Floats are rendered in hex so the fingerprint is bit-exact: a 1e-9
+   parameter shift (a fault, a tolerance tweak) must change the key. *)
+let add_interval b (v : Interval.t) =
+  Printf.bprintf b "[%h;%h;%h;%h]" v.Interval.m1 v.Interval.m2 v.Interval.alpha
+    v.Interval.beta
+
+let add_kind b (kind : Component.kind) =
+  match kind with
+  | Component.Resistor r ->
+    Buffer.add_string b "R";
+    add_interval b r
+  | Component.Capacitor c ->
+    Buffer.add_string b "C";
+    add_interval b c
+  | Component.Inductor l ->
+    Buffer.add_string b "L";
+    add_interval b l
+  | Component.Voltage_source v ->
+    Buffer.add_string b "V";
+    add_interval b v
+  | Component.Diode { forward_drop; max_current } ->
+    Buffer.add_string b "D";
+    add_interval b forward_drop;
+    add_interval b max_current
+  | Component.Gain_block g ->
+    Buffer.add_string b "A";
+    add_interval b g
+  | Component.Bjt { beta; vbe } ->
+    Buffer.add_string b "Q";
+    add_interval b beta;
+    add_interval b vbe
+
+let add_component b (c : Component.t) =
+  Printf.bprintf b "%s:" c.Component.name;
+  add_kind b c.Component.kind;
+  List.iter (fun (t, n) -> Printf.bprintf b ";%s=%s" t n) c.Component.nodes;
+  Buffer.add_char b '|'
+
+let fingerprint ?(config = Model.default_config) netlist =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "net:%s;gnd:%s;ports:%s|" netlist.Netlist.name
+    netlist.Netlist.ground
+    (String.concat "," netlist.Netlist.ports);
+  List.iter (add_component b) netlist.Netlist.components;
+  Printf.bprintf b "cfg:%b;%b;%s" config.Model.node_assumptions config.Model.kcl
+    (String.concat "," config.Model.trusted);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let evict_lru cache =
+  while Hashtbl.length cache.table > cache.capacity do
+    let victim =
+      Hashtbl.fold
+        (fun key entry acc ->
+          match acc with
+          | Some (_, best) when best.last_used <= entry.last_used -> acc
+          | Some _ | None -> Some (key, entry))
+        cache.table None
+    in
+    match victim with
+    | Some (key, _) ->
+      Hashtbl.remove cache.table key;
+      cache.evictions <- cache.evictions + 1
+    | None -> ()
+  done
+
+let compile cache ?config netlist =
+  let key = fingerprint ?config netlist in
+  Mutex.lock cache.mutex;
+  cache.tick <- cache.tick + 1;
+  let tick = cache.tick in
+  match Hashtbl.find_opt cache.table key with
+  | Some entry ->
+    entry.last_used <- tick;
+    cache.hits <- cache.hits + 1;
+    let model = entry.model in
+    Mutex.unlock cache.mutex;
+    model
+  | None ->
+    cache.misses <- cache.misses + 1;
+    (* compile outside the lock so distinct keys compile in parallel;
+       a racing domain may compile the same key twice — both results
+       are identical and the first insertion wins *)
+    Mutex.unlock cache.mutex;
+    let model = Model.compile ?config netlist in
+    Mutex.lock cache.mutex;
+    let model =
+      match Hashtbl.find_opt cache.table key with
+      | Some entry ->
+        entry.last_used <- tick;
+        entry.model
+      | None ->
+        Hashtbl.replace cache.table key { model; last_used = tick };
+        evict_lru cache;
+        model
+    in
+    Mutex.unlock cache.mutex;
+    model
+
+let stats cache =
+  Mutex.lock cache.mutex;
+  let s =
+    {
+      hits = cache.hits;
+      misses = cache.misses;
+      evictions = cache.evictions;
+      size = Hashtbl.length cache.table;
+      capacity = cache.capacity;
+    }
+  in
+  Mutex.unlock cache.mutex;
+  s
+
+let clear cache =
+  Mutex.lock cache.mutex;
+  Hashtbl.reset cache.table;
+  Mutex.unlock cache.mutex
+
+let pp_stats ppf s =
+  Format.fprintf ppf "hits %d, misses %d, evictions %d, resident %d/%d" s.hits
+    s.misses s.evictions s.size s.capacity

@@ -1,0 +1,49 @@
+(** Memoization of {!Flames_core.Model.compile} keyed by a structural
+    fingerprint of [(netlist, config)].
+
+    Repeated diagnoses of the same topology — fault dictionaries,
+    parameter sweeps, fig-7 reruns — recompile an identical constraint
+    model every time; this cache makes the second and later compilations
+    free.  Compiled models are immutable, so a cached model is safely
+    shared by concurrent {!Pool} workers.  The cache itself is
+    thread-safe and evicts least-recently-used entries beyond its
+    capacity. *)
+
+module Model = Flames_core.Model
+module Netlist = Flames_circuit.Netlist
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;  (** entries currently resident *)
+  capacity : int;
+}
+
+val create : ?capacity:int -> unit -> t
+(** Fresh cache holding at most [capacity] compiled models
+    (default 64).
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val fingerprint : ?config:Model.config -> Netlist.t -> string
+(** Structural fingerprint of the compilation input: an MD5 digest over
+    the netlist name, ground, ports, every component (name, kind,
+    hex-exact parameter fuzzy intervals, terminal wiring) in netlist
+    order, and every {!Model.config} field.  Two inputs with equal
+    fingerprints compile to structurally identical models; any fault
+    injection, tolerance change or config change yields a different
+    fingerprint. *)
+
+val compile : t -> ?config:Model.config -> Netlist.t -> Model.t
+(** [compile cache netlist] returns the cached model for the input's
+    fingerprint, compiling (and caching) it on a miss.  Drop-in
+    replacement for [Model.compile]. *)
+
+val stats : t -> stats
+
+val clear : t -> unit
+(** Evict everything; counters are kept. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,194 @@
+type error =
+  | Cancelled
+  | Timed_out
+  | Failed of exn
+
+(* Each promise carries its own mutex/condition so resolution only wakes
+   its awaiters, and so a promise can be awaited after the pool is gone. *)
+type 'a promise = {
+  p_mutex : Mutex.t;
+  p_cond : Condition.t;
+  deadline : float option;  (* absolute, seconds since the epoch *)
+  mutable running : bool;
+  mutable result : ('a, error) result option;
+}
+
+type packed = Job : 'a promise * (unit -> 'a) -> packed
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;  (* signalled on enqueue and on shutdown *)
+  queue : packed Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+  nworkers : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+let expired promise =
+  match promise.deadline with
+  | None -> false
+  | Some d -> now () >= d
+
+(* Caller holds [p_mutex].  First resolution wins; later ones (a worker
+   finishing a job that already timed out) are discarded. *)
+let resolve promise result =
+  if promise.result = None then begin
+    promise.result <- Some result;
+    promise.running <- false;
+    Condition.broadcast promise.p_cond
+  end
+
+let run_job (Job (promise, f)) =
+  Mutex.lock promise.p_mutex;
+  if promise.result <> None then
+    (* cancelled or expired while queued *)
+    Mutex.unlock promise.p_mutex
+  else if expired promise then begin
+    resolve promise (Error Cancelled);
+    Mutex.unlock promise.p_mutex
+  end
+  else begin
+    promise.running <- true;
+    Mutex.unlock promise.p_mutex;
+    let outcome = match f () with v -> Ok v | exception e -> Error (Failed e) in
+    Mutex.lock promise.p_mutex;
+    resolve promise (if expired promise then Error Timed_out else outcome);
+    Mutex.unlock promise.p_mutex
+  end
+
+let worker ~minor_heap_words pool () =
+  (* Diagnosis jobs allocate heavily; OCaml 5 minor collections are
+     stop-the-world across every domain, so a small minor heap makes the
+     workers spend their time synchronising instead of diagnosing
+     (catastrophically so when the pool oversubscribes the cores).
+     Growing each worker's own minor heap cuts the sync rate; the
+     setting dies with the domain. *)
+  if minor_heap_words > 0 then
+    Gc.set { (Gc.get ()) with Gc.minor_heap_size = minor_heap_words };
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.stop do
+      Condition.wait pool.cond pool.mutex
+    done;
+    match Queue.take_opt pool.queue with
+    | Some job ->
+      Mutex.unlock pool.mutex;
+      run_job job;
+      loop ()
+    | None ->
+      (* stop requested and the queue is drained *)
+      Mutex.unlock pool.mutex
+  in
+  loop ()
+
+let create ?workers ?(minor_heap_words = 4_194_304) () =
+  let nworkers =
+    match workers with
+    | Some n ->
+      if n < 1 then invalid_arg "Pool.create: workers must be >= 1";
+      n
+    | None -> Int.max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let pool =
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      domains = [];
+      nworkers;
+    }
+  in
+  pool.domains <-
+    List.init nworkers (fun _ ->
+        Domain.spawn (worker ~minor_heap_words pool));
+  pool
+
+let workers pool = pool.nworkers
+
+let submit pool ?timeout f =
+  let deadline = Option.map (fun t -> now () +. t) timeout in
+  let promise =
+    {
+      p_mutex = Mutex.create ();
+      p_cond = Condition.create ();
+      deadline;
+      running = false;
+      result = None;
+    }
+  in
+  Mutex.lock pool.mutex;
+  if pool.stop then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.add (Job (promise, f)) pool.queue;
+  Condition.signal pool.cond;
+  Mutex.unlock pool.mutex;
+  promise
+
+let cancel promise =
+  Mutex.lock promise.p_mutex;
+  let ok = promise.result = None && not promise.running in
+  if ok then resolve promise (Error Cancelled);
+  Mutex.unlock promise.p_mutex;
+  ok
+
+(* The stdlib has no timed condition wait, so promises with a deadline
+   are awaited by short poll-sleeps; undeadlined promises block on the
+   condition variable proper. *)
+let await promise =
+  let rec loop () =
+    match promise.result with
+    | Some r -> r
+    | None -> begin
+      match promise.deadline with
+      | None ->
+        Condition.wait promise.p_cond promise.p_mutex;
+        loop ()
+      | Some d ->
+        let t = now () in
+        if t >= d then begin
+          let r = if promise.running then Error Timed_out else Error Cancelled in
+          resolve promise r;
+          r
+        end
+        else begin
+          Mutex.unlock promise.p_mutex;
+          Unix.sleepf (Float.min 0.002 (d -. t));
+          Mutex.lock promise.p_mutex;
+          loop ()
+        end
+    end
+  in
+  Mutex.lock promise.p_mutex;
+  let r = loop () in
+  Mutex.unlock promise.p_mutex;
+  r
+
+let peek promise =
+  Mutex.lock promise.p_mutex;
+  let r = promise.result in
+  Mutex.unlock promise.p_mutex;
+  r
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.cond;
+  let domains = pool.domains in
+  pool.domains <- [];
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join domains
+
+let with_pool ?workers ?minor_heap_words f =
+  let pool = create ?workers ?minor_heap_words () in
+  match f pool with
+  | v ->
+    shutdown pool;
+    v
+  | exception e ->
+    shutdown pool;
+    raise e

@@ -1,0 +1,63 @@
+(** Fixed-size worker pool on OCaml 5 domains.
+
+    Jobs are closures submitted to a shared FIFO queue; a fixed set of
+    worker domains drains it.  Submission returns a typed promise that
+    can be awaited, cancelled while still queued, and given a deadline.
+    The pool is the concurrency substrate of {!Batch}: diagnosis jobs
+    are pure (each builds its own propagation engine over an immutable
+    compiled model), so workers never share mutable state beyond the
+    queue itself. *)
+
+type t
+(** A running pool.  Workers block on a condition variable when idle. *)
+
+type error =
+  | Cancelled  (** cancelled (or timed out) before a worker picked it up *)
+  | Timed_out  (** still running at its deadline: the result is discarded *)
+  | Failed of exn  (** the job raised *)
+
+type 'a promise
+(** The future result of a submitted job. *)
+
+val create : ?workers:int -> ?minor_heap_words:int -> unit -> t
+(** [create ~workers ()] spawns [workers] domains (default: the
+    recommended domain count minus one, at least 1).  Workers live until
+    {!shutdown}.
+
+    Each worker grows its own minor heap to [minor_heap_words] (default
+    4 M words, ≈32 MB; [0] leaves the runtime default).  Minor
+    collections are stop-the-world across all OCaml 5 domains, so the
+    default 256 k-word heap makes allocation-heavy diagnosis jobs
+    synchronise thousands of times per second — measured on the fig-7
+    sweep this tuning is worth >3× in batch wall time. *)
+
+val workers : t -> int
+
+val submit : t -> ?timeout:float -> (unit -> 'a) -> 'a promise
+(** [submit pool job] enqueues [job] and returns immediately.  With
+    [?timeout] (seconds, from submission) the promise resolves to
+    [Error Cancelled] if the deadline passes while the job is still
+    queued, and to [Error Timed_out] if it passes while the job is
+    running — a running job cannot be preempted safely in OCaml, so it
+    runs to completion but its result is discarded.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val cancel : _ promise -> bool
+(** [cancel p] withdraws the job if it has not started yet; [true] on
+    success.  A running or finished job is not affected ([false]). *)
+
+val await : 'a promise -> ('a, error) result
+(** Block until the promise resolves (job finished, cancelled, or its
+    deadline passed).  Idempotent: repeated awaits return the same
+    result. *)
+
+val peek : 'a promise -> ('a, error) result option
+(** Non-blocking check: [None] while the job is queued or running. *)
+
+val shutdown : t -> unit
+(** Graceful shutdown: stop accepting new jobs, let queued and running
+    jobs finish, then join every worker domain.  Idempotent. *)
+
+val with_pool : ?workers:int -> ?minor_heap_words:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] over a fresh pool and guarantees shutdown,
+    also on exceptions. *)

@@ -1,0 +1,48 @@
+type t = {
+  jobs : int;
+  succeeded : int;
+  failed : int;
+  workers : int;
+  conflicts : int;
+  cache_hits : int;
+  cache_misses : int;
+  wall_time : float;
+  cpu_time : float;
+  compile_wall : float;
+  diagnose_wall : float;
+}
+
+let zero =
+  {
+    jobs = 0;
+    succeeded = 0;
+    failed = 0;
+    workers = 0;
+    conflicts = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    wall_time = 0.;
+    cpu_time = 0.;
+    compile_wall = 0.;
+    diagnose_wall = 0.;
+  }
+
+let throughput t =
+  if t.wall_time > 0. then float_of_int (t.succeeded + t.failed) /. t.wall_time
+  else 0.
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>engine stats:@,\
+    \  jobs      %d (%d ok, %d failed) on %d worker%s@,\
+    \  conflicts %d@,\
+    \  cache     %d hit%s, %d miss%s@,\
+    \  wall      %.3f s (%.1f jobs/s), cpu %.3f s@,\
+    \  stages    compile %.3f s, diagnose %.3f s (summed across workers)@]"
+    t.jobs t.succeeded t.failed t.workers
+    (if t.workers = 1 then "" else "s")
+    t.conflicts t.cache_hits
+    (if t.cache_hits = 1 then "" else "s")
+    t.cache_misses
+    (if t.cache_misses = 1 then "" else "es")
+    t.wall_time (throughput t) t.cpu_time t.compile_wall t.diagnose_wall

@@ -14,7 +14,7 @@ type point = {
 let instrument = { Flames_sim.Measure.relative = 0.002; floor = 5e-4 }
 let default_sizes = [ 2; 4; 8; 16; 24 ]
 
-let run_point stages =
+let observations stages =
   let gains = List.init stages (fun i -> 1. +. float_of_int (i mod 3)) in
   let nominal = L.amplifier_chain ~gains () in
   let faulty = F.inject nominal (F.shifted "amp2" ~parameter:"gain" 10.) in
@@ -23,7 +23,9 @@ let run_point stages =
     Flames_sim.Measure.probe_all ~instrument sol
       (List.map Q.voltage (L.chain_nodes stages))
   in
-  let r = Flames_core.Diagnose.run nominal observations in
+  (nominal, observations)
+
+let point_of_result stages (r : Flames_core.Diagnose.result) =
   let engine = r.Flames_core.Diagnose.engine in
   let model = Flames_core.Propagate.model engine in
   let resident_values =
@@ -49,7 +51,41 @@ let run_point stages =
     steps = Flames_core.Propagate.steps_used engine;
   }
 
+let run_point stages =
+  let nominal, obs = observations stages in
+  point_of_result stages (Flames_core.Diagnose.run nominal obs)
+
 let run ?(sizes = default_sizes) () = List.map run_point sizes
+
+(* The scaling series as batch-engine jobs: every chain length is a
+   distinct topology, so these exercise the cache's miss path (and its
+   LRU eviction when the capacity is below the number of sizes). *)
+let jobs ?(sizes = default_sizes) () =
+  List.map
+    (fun stages ->
+      let nominal, obs = observations stages in
+      Flames_engine.Batch.job
+        ~label:(Printf.sprintf "chain-%02d" stages)
+        nominal obs)
+    sizes
+
+let run_parallel ?workers ?cache ?(sizes = default_sizes) () =
+  let outcomes, stats =
+    Flames_engine.Batch.run ?workers ?cache (jobs ~sizes ())
+  in
+  let points =
+    List.map2
+      (fun stages outcome ->
+        match outcome with
+        | Ok r -> point_of_result stages r
+        | Error e ->
+          failwith
+            (Format.asprintf "explosion chain-%d: %a" stages
+               Flames_engine.Batch.pp_outcome
+               (Error e : Flames_engine.Batch.outcome)))
+      sizes outcomes
+  in
+  (points, stats)
 
 let print ppf points =
   Format.fprintf ppf

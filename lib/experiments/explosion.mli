@@ -21,4 +21,18 @@ type point = {
 val run : ?sizes:int list -> unit -> point list
 (** Default sizes: 2, 4, 8, 16, 24. *)
 
+val jobs : ?sizes:int list -> unit -> Flames_engine.Batch.job list
+(** The scaling series as batch-engine jobs (one chain per size, mid-chain
+    gain fault injected and probed), labelled [chain-NN]. *)
+
+val run_parallel :
+  ?workers:int ->
+  ?cache:Flames_engine.Cache.t ->
+  ?sizes:int list ->
+  unit ->
+  point list * Flames_engine.Stats.t
+(** The scaling series through the batch engine; points identical to
+    {!run}'s, plus the engine's run statistics.
+    @raise Failure if a job is cancelled or times out. *)
+
 val print : Format.formatter -> point list -> unit

@@ -37,5 +37,21 @@ val bias_point : unit -> (string * float) list
 
 val run_scenario : scenario -> row
 val run : unit -> row list
+
+val jobs : unit -> Flames_engine.Batch.job list
+(** The five defect scenarios as batch-engine jobs (simulated and probed
+    measurements attached), labelled by scenario id — shared by the CLI
+    [batch] demo, the determinism tests and the benchmarks. *)
+
+val run_parallel :
+  ?workers:int ->
+  ?cache:Flames_engine.Cache.t ->
+  unit ->
+  row list * Flames_engine.Stats.t
+(** The five-defect sweep through the batch engine.  Rows are identical
+    to {!run}'s (the determinism guarantee of {!Flames_engine.Batch})
+    and come with the engine's run statistics.
+    @raise Failure if a job is cancelled or times out. *)
+
 val print_bias : Format.formatter -> (string * float) list -> unit
 val print : Format.formatter -> row list -> unit

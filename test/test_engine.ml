@@ -1,0 +1,281 @@
+(* Tests for the batch-diagnosis engine: the domain worker pool, the
+   model-compilation cache, and the determinism guarantee of the batch
+   runner against the sequential [Diagnose.run] path. *)
+
+module I = Flames_fuzzy.Interval
+module Q = Flames_circuit.Quantity
+module F = Flames_circuit.Fault
+module L = Flames_circuit.Library
+module Pool = Flames_engine.Pool
+module Cache = Flames_engine.Cache
+module Batch = Flames_engine.Batch
+module Stats = Flames_engine.Stats
+module Model = Flames_core.Model
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* {1 Pool} *)
+
+let test_pool_submit_await () =
+  Pool.with_pool ~workers:2 (fun pool ->
+      let p = Pool.submit pool (fun () -> 6 * 7) in
+      match Pool.await p with
+      | Ok v -> check_int "result" 42 v
+      | Error _ -> Alcotest.fail "job failed")
+
+let test_pool_order_preserved () =
+  Pool.with_pool ~workers:4 (fun pool ->
+      let promises =
+        List.init 32 (fun i -> Pool.submit pool (fun () -> i * i))
+      in
+      let results = List.map Pool.await promises in
+      List.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> check_int "square" (i * i) v
+          | Error _ -> Alcotest.fail "job failed")
+        results)
+
+exception Boom
+
+let test_pool_exception () =
+  Pool.with_pool ~workers:1 (fun pool ->
+      let p = Pool.submit pool (fun () -> raise Boom) in
+      (match Pool.await p with
+      | Error (Pool.Failed Boom) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected Failed Boom");
+      (* the worker survives a raising job *)
+      match Pool.await (Pool.submit pool (fun () -> 1)) with
+      | Ok v -> check_int "worker alive" 1 v
+      | Error _ -> Alcotest.fail "worker died")
+
+let test_pool_cancel_queued () =
+  Pool.with_pool ~workers:1 (fun pool ->
+      (* occupy the single worker, then cancel a queued job *)
+      let blocker = Pool.submit pool (fun () -> Unix.sleepf 0.2) in
+      let victim = Pool.submit pool (fun () -> 99) in
+      Unix.sleepf 0.02 (* let the worker pick up the blocker *);
+      check_bool "cancelled" true (Pool.cancel victim);
+      (match Pool.await victim with
+      | Error Pool.Cancelled -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected Cancelled");
+      check_bool "blocker unaffected" true (Pool.await blocker = Ok ()))
+
+let test_pool_cancel_finished () =
+  Pool.with_pool ~workers:1 (fun pool ->
+      let p = Pool.submit pool (fun () -> 5) in
+      ignore (Pool.await p);
+      check_bool "cannot cancel finished" false (Pool.cancel p);
+      check_bool "result kept" true (Pool.await p = Ok 5))
+
+let test_pool_timeout_running () =
+  Pool.with_pool ~workers:1 (fun pool ->
+      let p = Pool.submit pool ~timeout:0.05 (fun () -> Unix.sleepf 0.5; 1) in
+      let t0 = Unix.gettimeofday () in
+      (match Pool.await p with
+      | Error Pool.Timed_out -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected Timed_out");
+      let waited = Unix.gettimeofday () -. t0 in
+      check_bool "await returned at the deadline, not at job end" true
+        (waited < 0.4))
+
+let test_pool_timeout_queued () =
+  Pool.with_pool ~workers:1 (fun pool ->
+      let _blocker = Pool.submit pool (fun () -> Unix.sleepf 0.2) in
+      let p = Pool.submit pool ~timeout:0.03 (fun () -> 1) in
+      match Pool.await p with
+      | Error Pool.Cancelled -> ()
+      | Ok _ | Error (Pool.Timed_out | Pool.Failed _) ->
+        Alcotest.fail "expected Cancelled (deadline passed while queued)")
+
+let test_pool_shutdown_drains () =
+  let pool = Pool.create ~workers:2 () in
+  let promises = List.init 8 (fun i -> Pool.submit pool (fun () -> i)) in
+  Pool.shutdown pool;
+  (* graceful: every queued job ran before the workers exited *)
+  List.iteri
+    (fun i p -> check_bool "ran" true (Pool.await p = Ok i))
+    promises;
+  (match Pool.submit pool (fun () -> 0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "submit after shutdown must raise");
+  Pool.shutdown pool (* idempotent *)
+
+(* {1 Cache} *)
+
+let divider () = L.voltage_divider ()
+
+let test_cache_hit_miss () =
+  let cache = Cache.create () in
+  let m1 = Cache.compile cache (divider ()) in
+  let m2 = Cache.compile cache (divider ()) in
+  check_bool "same model shared" true (m1 == m2);
+  let s = Cache.stats cache in
+  check_int "misses" 1 s.Cache.misses;
+  check_int "hits" 1 s.Cache.hits;
+  check_int "size" 1 s.Cache.size
+
+let test_cache_config_sensitivity () =
+  let cache = Cache.create () in
+  let net = divider () in
+  let _ = Cache.compile cache net in
+  let config = { Model.default_config with Model.trusted = [ "vin" ] } in
+  let _ = Cache.compile cache ~config net in
+  let s = Cache.stats cache in
+  check_int "distinct configs miss separately" 2 s.Cache.misses;
+  check_int "no spurious hit" 0 s.Cache.hits
+
+let test_cache_fault_sensitivity () =
+  let net = divider () in
+  let faulty = F.inject net (F.short "r2" ~parameter:"R") in
+  check_bool "fault changes fingerprint" true
+    (Cache.fingerprint net <> Cache.fingerprint faulty);
+  check_string "fingerprint is stable" (Cache.fingerprint net)
+    (Cache.fingerprint (divider ()))
+
+let test_cache_eviction () =
+  let cache = Cache.create ~capacity:2 () in
+  let nets =
+    [ divider ();
+      L.diode_resistor ~powered:true ();
+      L.rc_lowpass () ]
+  in
+  List.iter (fun n -> ignore (Cache.compile cache n)) nets;
+  let s = Cache.stats cache in
+  check_int "bounded" 2 s.Cache.size;
+  check_int "evicted one" 1 s.Cache.evictions;
+  (* LRU: the first (least recently used) entry was the victim *)
+  ignore (Cache.compile cache (L.rc_lowpass ()));
+  let s = Cache.stats cache in
+  check_int "recent entry still resident" 1 s.Cache.hits;
+  ignore (Cache.compile cache (divider ()));
+  let s = Cache.stats cache in
+  check_int "oldest entry was evicted" 4 s.Cache.misses
+
+let test_cache_clear () =
+  let cache = Cache.create () in
+  ignore (Cache.compile cache (divider ()));
+  Cache.clear cache;
+  check_int "empty" 0 (Cache.stats cache).Cache.size;
+  ignore (Cache.compile cache (divider ()));
+  check_int "recompiled" 2 (Cache.stats cache).Cache.misses
+
+(* {1 Batch determinism} *)
+
+(* A cheap faulty-divider job: small circuit, real conflicts. *)
+let divider_job i =
+  let nominal = divider () in
+  let faulty = F.inject nominal (F.shifted "r2" ~parameter:"R" 6.8e3) in
+  let sol = Flames_sim.Mna.solve faulty in
+  let instrument = { Flames_sim.Measure.relative = 0.002; floor = 5e-4 } in
+  let obs =
+    Flames_sim.Measure.probe_all ~instrument sol [ Q.voltage "out" ]
+  in
+  Batch.job ~label:(Printf.sprintf "divider-%02d" i) nominal obs
+
+let render (r : Flames_core.Diagnose.result) =
+  Format.asprintf "%a" Flames_core.Report.pp_result r
+
+let test_batch_determinism_fig7 () =
+  (* the acceptance bar: the parallel five-defect fig-7 sweep is
+     byte-identical to the sequential Diagnose.run path *)
+  let jobs = Flames_experiments.Fig7.jobs () in
+  let sequential, _ = Batch.sequential jobs in
+  let outcomes, stats = Batch.run ~workers:4 jobs in
+  check_int "all ok" 5 stats.Stats.succeeded;
+  check_int "one topology, one compile" 1 stats.Stats.cache_misses;
+  check_int "remaining jobs hit the cache" 4 stats.Stats.cache_hits;
+  List.iter2
+    (fun seq outcome ->
+      match outcome with
+      | Ok par -> check_string "byte-identical report" (render seq) (render par)
+      | Error _ -> Alcotest.fail "parallel job failed")
+    sequential outcomes
+
+let test_batch_order () =
+  let jobs = List.init 12 divider_job in
+  let outcomes, _ = Batch.run ~workers:4 jobs in
+  check_int "all returned" 12 (List.length outcomes);
+  List.iter
+    (fun o -> check_bool "ok" true (Result.is_ok o))
+    outcomes
+
+let test_batch_stress_4_workers () =
+  (* 48 jobs through 4 domains on one shared cache: results must be
+     complete, in submission order, and identical to the sequential
+     reference *)
+  let jobs = List.init 48 divider_job in
+  let cache = Cache.create () in
+  let sequential, _ = Batch.sequential ~cache jobs in
+  let outcomes, stats = Batch.run ~workers:4 ~cache jobs in
+  check_int "all succeeded" 48 stats.Stats.succeeded;
+  check_int "none failed" 0 stats.Stats.failed;
+  check_bool "cache reused across batches" true
+    (stats.Stats.cache_hits = 48 && stats.Stats.cache_misses = 0);
+  List.iter2
+    (fun seq outcome ->
+      match outcome with
+      | Ok par -> check_string "identical" (render seq) (render par)
+      | Error _ -> Alcotest.fail "stress job failed")
+    sequential outcomes
+
+let test_batch_timeout () =
+  (* an absurdly short deadline fails the job without poisoning the pool *)
+  let jobs = Flames_experiments.Fig7.jobs () in
+  let outcomes, stats = Batch.run ~workers:2 ~timeout:1e-9 jobs in
+  check_int "nothing succeeded" 0 stats.Stats.succeeded;
+  check_int "all failed" 5 stats.Stats.failed;
+  List.iter
+    (fun o ->
+      match o with
+      | Error (Pool.Cancelled | Pool.Timed_out) -> ()
+      | Ok _ | Error (Pool.Failed _) ->
+        Alcotest.fail "expected a deadline failure")
+    outcomes
+
+let test_explosion_parallel_matches () =
+  let sizes = [ 2; 4 ] in
+  let seq = Flames_experiments.Explosion.run ~sizes () in
+  let par, stats = Flames_experiments.Explosion.run_parallel ~workers:2 ~sizes () in
+  check_bool "points identical" true (seq = par);
+  check_int "distinct topologies all miss" 2 stats.Stats.cache_misses
+
+let () =
+  Alcotest.run "flames_engine"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "submit/await" `Quick test_pool_submit_await;
+          Alcotest.test_case "order preserved" `Quick test_pool_order_preserved;
+          Alcotest.test_case "exception isolation" `Quick test_pool_exception;
+          Alcotest.test_case "cancel queued" `Quick test_pool_cancel_queued;
+          Alcotest.test_case "cancel finished" `Quick test_pool_cancel_finished;
+          Alcotest.test_case "timeout running" `Quick test_pool_timeout_running;
+          Alcotest.test_case "timeout queued" `Quick test_pool_timeout_queued;
+          Alcotest.test_case "graceful shutdown" `Quick
+            test_pool_shutdown_drains;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss counters" `Quick test_cache_hit_miss;
+          Alcotest.test_case "config in the key" `Quick
+            test_cache_config_sensitivity;
+          Alcotest.test_case "fault changes the key" `Quick
+            test_cache_fault_sensitivity;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "clear" `Quick test_cache_clear;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "fig7 determinism" `Slow
+            test_batch_determinism_fig7;
+          Alcotest.test_case "submission order" `Quick test_batch_order;
+          Alcotest.test_case "4-worker stress" `Slow
+            test_batch_stress_4_workers;
+          Alcotest.test_case "per-job timeout" `Quick test_batch_timeout;
+          Alcotest.test_case "scaling series parity" `Slow
+            test_explosion_parallel_matches;
+        ] );
+    ]
