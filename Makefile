@@ -2,7 +2,7 @@
 # stay green before every commit (tier-1 verify + engine tests + dune-file
 # formatting).
 
-.PHONY: all build test fmt check bench bench-engine clean
+.PHONY: all build test fmt check check-deep corpus bench bench-engine clean
 
 all: build
 
@@ -19,6 +19,16 @@ fmt:
 
 check: fmt build test
 	@echo "check: build, tests and formatting are green"
+
+# deep verification: differential oracles, random-circuit invariants and
+# the golden snapshot corpus (lib/check); ITERS scales every budget
+ITERS ?= 1000
+check-deep: build
+	dune exec bin/flames_cli.exe -- check --iters $(ITERS)
+
+# re-render the golden corpus after an intentional behaviour change
+corpus: build
+	dune exec bin/flames_cli.exe -- check --iters 1 --no-corpus --write-corpus
 
 # full harness: paper tables, bechamel timings, BENCH_engine.json
 bench: build

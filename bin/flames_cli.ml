@@ -406,6 +406,75 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the built-in circuits.")
     Term.(const run $ const ())
 
+let check_cmd =
+  let run iters seed corpus_dir write_corpus skip_corpus =
+    if iters < 1 then begin
+      Format.eprintf "check: --iters must be >= 1 (got %d)@." iters;
+      exit 1
+    end;
+    if write_corpus then begin
+      let written = Flames_check.Corpus.write ~dir:corpus_dir in
+      List.iter (Format.printf "wrote %s@.") written
+    end;
+    let sections =
+      Flames_check.Runner.run_all ?seed ~log:print_endline ~iters ()
+    in
+    let sweep_ok = Flames_check.Runner.ok sections in
+    if not sweep_ok then
+      Format.printf "@.%a" Flames_check.Runner.pp sections;
+    let corpus_ok =
+      if skip_corpus || write_corpus then true
+      else begin
+        let reports = Flames_check.Corpus.check ~dir:corpus_dir in
+        List.iter
+          (fun r ->
+            Format.printf "corpus %a@." Flames_check.Corpus.pp_report r)
+          reports;
+        Flames_check.Corpus.ok reports
+      end
+    in
+    if sweep_ok && corpus_ok then Format.printf "check: all sections ok@."
+    else begin
+      Format.eprintf "check: FAILED@.";
+      exit 1
+    end
+  in
+  let iters_arg =
+    let doc = "Random cases per oracle section (default 200)." in
+    Arg.(value & opt int 200 & info [ "iters" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Root seed of the sweep; reuse the seed printed by a failure to \
+       reproduce it exactly."
+    in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let corpus_arg =
+    let doc = "Directory of the golden snapshot corpus." in
+    Arg.(value & opt string "corpus" & info [ "corpus" ] ~docv:"DIR" ~doc)
+  in
+  let write_arg =
+    let doc =
+      "(Re)render the golden corpus into the corpus directory instead of \
+       diffing against it."
+    in
+    Arg.(value & flag & info [ "write-corpus" ] ~doc)
+  in
+  let skip_arg =
+    let doc = "Run only the randomised sweep, skip the corpus diff." in
+    Arg.(value & flag & info [ "no-corpus" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Deep verification sweep: differential oracles (hitting sets, \
+          fuzzy arithmetic, consistency, MNA, batch determinism), ATMS \
+          and diagnosis invariants on random circuits, and the golden \
+          snapshot corpus of the amplifier experiments.")
+    Term.(
+      const run $ iters_arg $ seed_arg $ corpus_arg $ write_arg $ skip_arg)
+
 let main =
   let info =
     Cmd.info "flames" ~version:"1.0.0"
@@ -414,7 +483,7 @@ let main =
   Cmd.group info
     [
       bias_cmd; diagnose_cmd; best_test_cmd; ac_cmd; dynamic_diagnose_cmd;
-      batch_cmd; show_cmd; list_cmd;
+      batch_cmd; show_cmd; list_cmd; check_cmd;
     ]
 
 let () = exit (Cmd.eval main)

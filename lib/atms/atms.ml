@@ -17,9 +17,13 @@ type t = {
   assumptions_by_name : (string, node) Hashtbl.t;
   nodes_by_datum : (string, node) Hashtbl.t;
   mutable all_nodes : node list;
+  mutable justs : just list;  (** every installed justification *)
   contra : node;
   db : Nogood.t;
+  mutable debug : bool;
 }
+
+exception Audit_failure of string list
 
 let fresh_node ?assumption_id datum =
   { datum; assumption_id; label = []; consumers = []; is_premise = false }
@@ -31,8 +35,10 @@ let create () =
     assumptions_by_name = Hashtbl.create 64;
     nodes_by_datum = Hashtbl.create 64;
     all_nodes = [];
+    justs = [];
     contra = fresh_node "\xe2\x8a\xa5";
     db = Nogood.create ();
+    debug = false;
   }
 
 let contradiction t = t.contra
@@ -151,11 +157,116 @@ let rec propagate t queue =
         List.iter (fun consumer -> Queue.add consumer queue) target.consumers);
     propagate t queue
 
+(* {1 Label audit}
+
+   Re-derives every node's label from the recorded justifications and
+   checks the ATMS label laws at quiescence.  Used by the verification
+   layer ([Flames_check.Invariant]) and, in debug mode, after every
+   [justify]/[premise] call. *)
+
+let label_of t n =
+  let entries = filter_consistent t n.label in
+  List.sort
+    (fun a b ->
+      let c = Float.compare b.degree a.degree in
+      if c <> 0 then c else Env.compare a.env b.env)
+    entries
+
+let audit_eps = 1e-9
+
+let fired_effective t n =
+  let from_justs =
+    List.concat_map
+      (fun j ->
+        match j.target with
+        | Consequent target when target == n ->
+          filter_consistent t (fire_environments j.jdegree j.antecedents)
+        | Consequent _ | Contradiction_target -> [])
+      t.justs
+  in
+  let seeds =
+    (if n.is_premise then [ { env = Env.empty; degree = 1. } ] else [])
+    @
+    match n.assumption_id with
+    | Some id -> [ { env = Env.singleton id; degree = 1. } ]
+    | None -> []
+  in
+  filter_consistent t seeds @ from_justs
+
+let subsumed_in entries e =
+  List.exists
+    (fun f -> Env.subset f.env e.env && f.degree +. audit_eps >= e.degree)
+    entries
+
+let audit t =
+  let out = ref [] in
+  let report fmt = Format.kasprintf (fun m -> out := m :: !out) fmt in
+  let pp_env ppf env = Env.pp ~names:(name t) ppf env in
+  let check_node n =
+    let entries = label_of t n in
+    (* raw label stays swept of hard nogoods *)
+    List.iter
+      (fun e ->
+        if Nogood.is_nogood t.db e.env then
+          report "%s: label retains hard nogood %a" n.datum pp_env e.env)
+      n.label;
+    List.iteri
+      (fun i e ->
+        if not (e.degree > 0. && e.degree <= 1.) then
+          report "%s: entry %a has degree %g outside (0, 1]" n.datum pp_env
+            e.env e.degree;
+        if
+          List.exists (fun a -> a < 0 || a >= t.next_id) (Env.to_list e.env)
+        then
+          report "%s: entry %a mentions an unknown assumption id" n.datum
+            pp_env e.env;
+        (* minimality: no other entry subsumes this one *)
+        List.iteri
+          (fun k f ->
+            if k <> i && Env.subset f.env e.env && f.degree >= e.degree then
+              report "%s: entry %a@%g subsumed by %a@%g (label not minimal)"
+                n.datum pp_env e.env e.degree pp_env f.env f.degree)
+          entries)
+      entries;
+    let fired = fired_effective t n in
+    (* soundness: every label entry is derivable from a justification or
+       a premise/assumption seed *)
+    List.iter
+      (fun e ->
+        if not (subsumed_in fired e) then
+          report "%s: entry %a@%g is not derivable (unsound)" n.datum pp_env
+            e.env e.degree)
+      entries;
+    (* completeness at quiescence: every derivable environment is covered
+       by the label *)
+    List.iter
+      (fun f ->
+        if not (subsumed_in entries f) then
+          report "%s: derivable %a@%g missing from the label (incomplete)"
+            n.datum pp_env f.env f.degree)
+      fired
+  in
+  List.iter check_node t.all_nodes;
+  if t.contra.label <> [] then
+    report "contradiction node carries a non-empty label";
+  List.rev !out
+
+let self_check t =
+  match audit t with [] -> () | vs -> raise (Audit_failure vs)
+
+let set_debug t flag =
+  t.debug <- flag;
+  if flag then self_check t
+
+let debug t = t.debug
+
 let install t j =
+  t.justs <- j :: t.justs;
   List.iter (fun a -> a.consumers <- j :: a.consumers) j.antecedents;
   let queue = Queue.create () in
   Queue.add j queue;
-  propagate t queue
+  propagate t queue;
+  if t.debug then self_check t
 
 let justify t ?(degree = 1.) ~antecedents consequent =
   let degree = Flames_fuzzy.Tnorm.clamp01 degree in
@@ -181,15 +292,10 @@ let premise t n =
     let queue = Queue.create () in
     List.iter (fun j -> Queue.add j queue) n.consumers;
     propagate t queue
-  end
+  end;
+  if t.debug then self_check t
 
-let label t n =
-  let entries = filter_consistent t n.label in
-  List.sort
-    (fun a b ->
-      let c = Float.compare b.degree a.degree in
-      if c <> 0 then c else Env.compare a.env b.env)
-    entries
+let label = label_of
 
 let holds_in t n env =
   List.fold_left

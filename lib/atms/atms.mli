@@ -84,3 +84,31 @@ val assumption_count : t -> int
 
 val pp_node : t -> Format.formatter -> node -> unit
 (** Prints the datum and its label. *)
+
+(** {1 Label audit}
+
+    The fuzzy-ATMS label laws (after Fringuelli et al.'s fuzzy
+    reason-maintenance algebra): every label entry must be {e sound}
+    (re-derivable from the installed justifications, or a
+    premise/assumption seed), {e minimal} (no entry subsumed by another
+    with an equal-or-higher degree), {e consistent} (no hard nogood
+    retained), with degrees in (0, 1] and only known assumption ids. *)
+
+exception Audit_failure of string list
+(** Raised by {!self_check} (and debug mode) with the violations found. *)
+
+val audit : t -> string list
+(** Re-derive every label from the recorded justifications and return
+    the list of law violations — empty on a healthy instance.  Only
+    meaningful at quiescence (outside a propagation), which is the only
+    time user code can call it. *)
+
+val self_check : t -> unit
+(** @raise Audit_failure when {!audit} reports violations. *)
+
+val set_debug : t -> bool -> unit
+(** Debug hook: when enabled, {!self_check} runs after every {!justify},
+    {!justify_disjunction} and {!premise}, so the first operation that
+    breaks a label law raises immediately with the violation. *)
+
+val debug : t -> bool

@@ -1,0 +1,72 @@
+module Fig7 = Flames_experiments.Fig7
+module Strategy_demo = Flames_experiments.Strategy_demo
+
+type status = Match | Drift of string | Missing
+type report = { file : string; status : status }
+
+let renderers =
+  [
+    ( "fig6-bias.txt",
+      fun ppf -> Fig7.print_bias ppf (Fig7.bias_point ()) );
+    ("fig7-table.txt", fun ppf -> Fig7.print ppf (Fig7.run ()));
+    ( "best-tests.txt",
+      fun ppf -> Strategy_demo.print ppf (Strategy_demo.run ()) );
+  ]
+
+let entries = List.map fst renderers
+
+let render f =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let write ~dir =
+  ensure_dir dir;
+  List.map
+    (fun (file, f) ->
+      let path = Filename.concat dir file in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (render f));
+      path)
+    renderers
+
+let first_diff rendered golden =
+  let lr = String.split_on_char '\n' rendered
+  and lg = String.split_on_char '\n' golden in
+  let rec walk i = function
+    | [], [] -> Printf.sprintf "line %d: (no difference found?)" i
+    | x :: _, [] -> Printf.sprintf "line %d: rendered has extra %S" i x
+    | [], y :: _ -> Printf.sprintf "line %d: golden has extra %S" i y
+    | x :: xs, y :: ys ->
+      if String.equal x y then walk (i + 1) (xs, ys)
+      else Printf.sprintf "line %d: rendered %S, golden %S" i x y
+  in
+  walk 1 (lr, lg)
+
+let check ~dir =
+  List.map
+    (fun (file, f) ->
+      let path = Filename.concat dir file in
+      if not (Sys.file_exists path) then { file; status = Missing }
+      else begin
+        let golden = In_channel.with_open_bin path In_channel.input_all in
+        let rendered = render f in
+        if String.equal rendered golden then { file; status = Match }
+        else { file; status = Drift (first_diff rendered golden) }
+      end)
+    renderers
+
+let ok reports =
+  List.for_all (fun r -> match r.status with Match -> true | _ -> false) reports
+
+let pp_report ppf r =
+  match r.status with
+  | Match -> Format.fprintf ppf "%s: match" r.file
+  | Missing ->
+    Format.fprintf ppf "%s: missing golden file (run with --write-corpus)"
+      r.file
+  | Drift diff -> Format.fprintf ppf "%s: DRIFT at %s" r.file diff

@@ -1,0 +1,26 @@
+(** Golden snapshot corpus for the paper's three-stage-amplifier
+    experiments.
+
+    Each entry renders one experiment deterministically — the fig-6 bias
+    point, the fig-7 defect table, the entropy-ordered test proposals of
+    section 8 — to a text file.  [check] re-renders and diffs against the
+    files on disk, so any behavioural drift in the diagnosis pipeline
+    shows up as a corpus failure with the first differing line. *)
+
+type status =
+  | Match
+  | Drift of string  (** first differing line, rendered vs golden *)
+  | Missing  (** no golden file on disk yet *)
+
+type report = { file : string; status : status }
+
+val entries : string list
+(** File names of the corpus, in rendering order. *)
+
+val write : dir:string -> string list
+(** Render every entry into [dir] (created if needed); returns the paths
+    written. *)
+
+val check : dir:string -> report list
+val ok : report list -> bool
+val pp_report : Format.formatter -> report -> unit

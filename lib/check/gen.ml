@@ -1,0 +1,536 @@
+module Interval = Flames_fuzzy.Interval
+module Env = Flames_atms.Env
+module Atms = Flames_atms.Atms
+module Component = Flames_circuit.Component
+module Netlist = Flames_circuit.Netlist
+module Fault = Flames_circuit.Fault
+module Q = Flames_circuit.Quantity
+
+(* {1 Combinator and runner} *)
+
+type 'a t = {
+  gen : Rng.t -> 'a;
+  shrink : 'a -> 'a list;
+  print : 'a -> string;
+}
+
+type 'a failure = {
+  seed : int;
+  case : int;
+  original : 'a;
+  shrunk : 'a;
+  shrink_steps : int;
+  message : string;
+}
+
+type 'a outcome = Pass of int | Fail of 'a failure
+
+let max_shrink_steps = 1_000
+
+let run ?(seed = 0) ~count g prop =
+  let eval x =
+    match prop x with
+    | Ok () -> None
+    | Error m -> Some m
+    | exception e -> Some (Printexc.to_string e)
+  in
+  let rec cases i =
+    if i >= count then Pass count
+    else
+      let rng = Rng.make (Rng.case_seed ~seed ~case:i) in
+      let x = g.gen rng in
+      match eval x with
+      | None -> cases (i + 1)
+      | Some message ->
+        let rec shrink_loop cur message steps =
+          if steps >= max_shrink_steps then (cur, message, steps)
+          else
+            match
+              List.find_map
+                (fun c -> Option.map (fun m -> (c, m)) (eval c))
+                (g.shrink cur)
+            with
+            | Some (c, m) -> shrink_loop c m (steps + 1)
+            | None -> (cur, message, steps)
+        in
+        let shrunk, message, shrink_steps = shrink_loop x message 0 in
+        Fail { seed; case = i; original = x; shrunk; shrink_steps; message }
+  in
+  cases 0
+
+let pp_failure g ppf f =
+  Format.fprintf ppf
+    "@[<v>counterexample (seed %d, case %d, %d shrink steps):@,\
+     %s@,%s@,replay: same seed reruns the identical case@]"
+    f.seed f.case f.shrink_steps (g.print f.shrunk) f.message
+
+(* {1 Fuzzy intervals} *)
+
+(* keep generated floats on a coarse lattice so printed counterexamples
+   are short and shrinking has natural "rounder" neighbours *)
+let quantize x = Float.round (x *. 16.) /. 16.
+
+let interval_of ~m1 ~w ~alpha ~beta =
+  Interval.make ~m1 ~m2:(m1 +. w) ~alpha ~beta
+
+let gen_interval rng =
+  let m1 = quantize (Rng.range rng (-50.) 50.) in
+  let w = if Rng.chance rng 0.25 then 0. else quantize (Rng.float rng 8.) in
+  let flank () =
+    if Rng.chance rng 0.3 then 0. else quantize (Rng.float rng 4.)
+  in
+  interval_of ~m1 ~w ~alpha:(flank ()) ~beta:(flank ())
+
+let shrink_interval (v : Interval.t) =
+  let m1 = v.Interval.m1
+  and w = v.Interval.m2 -. v.Interval.m1
+  and alpha = v.Interval.alpha
+  and beta = v.Interval.beta in
+  let candidates =
+    [
+      interval_of ~m1:0. ~w ~alpha ~beta;
+      interval_of ~m1 ~w:0. ~alpha ~beta;
+      interval_of ~m1 ~w ~alpha:0. ~beta;
+      interval_of ~m1 ~w ~alpha ~beta:0.;
+      interval_of ~m1:(Float.of_int (Float.to_int m1)) ~w ~alpha ~beta;
+      interval_of ~m1:(m1 /. 2.) ~w ~alpha ~beta;
+      interval_of ~m1 ~w:(quantize (w /. 2.)) ~alpha ~beta;
+      interval_of ~m1 ~w ~alpha:(quantize (alpha /. 2.)) ~beta;
+      interval_of ~m1 ~w ~alpha ~beta:(quantize (beta /. 2.));
+    ]
+  in
+  List.filter (fun c -> not (Interval.equal ~eps:0. c v)) candidates
+
+let interval =
+  { gen = gen_interval; shrink = shrink_interval; print = Interval.to_string }
+
+let gen_positive rng =
+  let m1 = 0.5 +. quantize (Rng.float rng 19.) in
+  let w = if Rng.chance rng 0.25 then 0. else quantize (Rng.float rng 5.) in
+  let alpha =
+    if Rng.chance rng 0.3 then 0.
+    else quantize (Rng.float rng (Float.max 0.0625 (m1 -. 0.25)))
+  in
+  let beta = if Rng.chance rng 0.3 then 0. else quantize (Rng.float rng 5.) in
+  interval_of ~m1 ~w ~alpha:(Float.min alpha (m1 -. 0.25)) ~beta
+
+let positive_interval =
+  {
+    gen = gen_positive;
+    shrink =
+      (fun v ->
+        List.filter
+          (fun (c : Interval.t) -> c.Interval.m1 -. c.Interval.alpha > 0.)
+          (shrink_interval v));
+    print = Interval.to_string;
+  }
+
+(* {1 Conflict sets} *)
+
+let gen_conflict_sets rng =
+  let n = 2 + Rng.int rng 11 in
+  let k = Rng.int rng 7 in
+  let conflict () =
+    if Rng.chance rng 0.03 then Env.empty
+    else
+      let size = 1 + Rng.int rng (Int.min n 4) in
+      let rec draw acc left =
+        if left = 0 then acc else draw (Env.add (Rng.int rng n) acc) (left - 1)
+      in
+      draw Env.empty size
+  in
+  let rec build acc i =
+    if i >= k then List.rev acc
+    else if acc <> [] && Rng.chance rng 0.2 then
+      (* deliberate duplicate of an earlier conflict *)
+      build (Rng.choose rng acc :: acc) (i + 1)
+    else build (conflict () :: acc) (i + 1)
+  in
+  build [] 0
+
+let shrink_conflict_sets conflicts =
+  let drop_nth n = List.filteri (fun i _ -> i <> n) conflicts in
+  let dropped = List.mapi (fun i _ -> drop_nth i) conflicts in
+  let thinned =
+    List.concat
+      (List.mapi
+         (fun i c ->
+           Env.fold
+             (fun a acc ->
+               List.mapi
+                 (fun j c' -> if i = j then Env.diff c' (Env.singleton a) else c')
+                 conflicts
+               :: acc)
+             c [])
+         conflicts)
+  in
+  dropped @ thinned
+
+let print_env env =
+  "{" ^ String.concat "," (List.map string_of_int (Env.to_list env)) ^ "}"
+
+let conflict_sets =
+  {
+    gen = gen_conflict_sets;
+    shrink = shrink_conflict_sets;
+    print =
+      (fun cs ->
+        if cs = [] then "(no conflicts)"
+        else String.concat " " (List.map print_env cs));
+  }
+
+(* {1 ATMS justification networks} *)
+
+type clause = { antecedents : int list; target : int option; degree : float }
+
+type atms_spec = {
+  n_assumptions : int;
+  n_nodes : int;
+  clauses : clause list;
+  premises : int list;
+}
+
+let gen_atms_spec rng =
+  let n_assumptions = 1 + Rng.int rng 5 in
+  let n_nodes = 1 + Rng.int rng 6 in
+  let n_clauses = 1 + Rng.int rng 9 in
+  let clause () =
+    let target = if Rng.chance rng 0.25 then None else Some (Rng.int rng n_nodes) in
+    let horizon =
+      (* antecedents must reference assumptions or strictly earlier nodes *)
+      match target with
+      | Some j -> n_assumptions + j
+      | None -> n_assumptions + n_nodes
+    in
+    let n_ante = 1 + Rng.int rng 3 in
+    let antecedents =
+      List.init n_ante (fun _ -> Rng.int rng (Int.max 1 horizon))
+      |> List.sort_uniq Int.compare
+    in
+    let degree = 0.25 +. (Float.of_int (Rng.int rng 76) /. 100.) in
+    { antecedents; target; degree }
+  in
+  let clauses = List.init n_clauses (fun _ -> clause ()) in
+  let premises = if Rng.chance rng 0.2 then [ Rng.int rng n_nodes ] else [] in
+  { n_assumptions; n_nodes; clauses; premises }
+
+let shrink_atms_spec spec =
+  let drop_clause =
+    List.mapi
+      (fun i _ ->
+        { spec with clauses = List.filteri (fun j _ -> j <> i) spec.clauses })
+      spec.clauses
+  in
+  let full_degree =
+    if List.exists (fun c -> c.degree < 1.) spec.clauses then
+      [
+        {
+          spec with
+          clauses = List.map (fun c -> { c with degree = 1. }) spec.clauses;
+        };
+      ]
+    else []
+  in
+  let no_premises =
+    if spec.premises <> [] then [ { spec with premises = [] } ] else []
+  in
+  drop_clause @ full_degree @ no_premises
+
+let print_atms_spec spec =
+  let clause c =
+    Printf.sprintf "[%s] ->%s @%.2f"
+      (String.concat ","
+         (List.map
+            (fun a ->
+              if a < spec.n_assumptions then Printf.sprintf "a%d" a
+              else Printf.sprintf "n%d" (a - spec.n_assumptions))
+            c.antecedents))
+      (match c.target with Some j -> Printf.sprintf " n%d" j | None -> " \xe2\x8a\xa5")
+      c.degree
+  in
+  Printf.sprintf "atms(%d assumptions, %d nodes): %s%s" spec.n_assumptions
+    spec.n_nodes
+    (String.concat "; " (List.map clause spec.clauses))
+    (match spec.premises with
+    | [] -> ""
+    | ps ->
+      "; premises: "
+      ^ String.concat "," (List.map (Printf.sprintf "n%d") ps))
+
+let build_atms spec =
+  let atms = Atms.create () in
+  let assumptions =
+    Array.init spec.n_assumptions (fun i ->
+        Atms.assumption atms (Printf.sprintf "a%d" i))
+  in
+  let nodes =
+    Array.init spec.n_nodes (fun i -> Atms.node atms (Printf.sprintf "n%d" i))
+  in
+  let resolve a =
+    if a < spec.n_assumptions then assumptions.(a)
+    else nodes.((a - spec.n_assumptions) mod spec.n_nodes)
+  in
+  List.iter
+    (fun c ->
+      let antecedents = List.map resolve c.antecedents in
+      let target =
+        match c.target with
+        | Some j -> nodes.(j mod spec.n_nodes)
+        | None -> Atms.contradiction atms
+      in
+      Atms.justify atms ~degree:c.degree ~antecedents target)
+    spec.clauses;
+  List.iter (fun j -> Atms.premise atms nodes.(j mod spec.n_nodes)) spec.premises;
+  atms
+
+let atms_spec =
+  { gen = gen_atms_spec; shrink = shrink_atms_spec; print = print_atms_spec }
+
+(* {1 Circuit scenarios} *)
+
+type rung = { series : float; shunt : float option }
+
+type ladder = {
+  source : float;
+  tolerance : float;
+  imprecision : float;
+  rungs : rung list;
+}
+
+type fault_spec = { rung : int; on_shunt : bool; mode : Fault.mode }
+type scenario = { ladder : ladder; fault : fault_spec option; probes : int list }
+
+let resistor_values =
+  [ 100.; 220.; 470.; 1000.; 2200.; 4700.; 10_000.; 22_000. ]
+
+let source_values = [ 1.5; 3.3; 5.; 9.; 12.; 15. ]
+let tolerance_values = [ 0.001; 0.005; 0.01; 0.02; 0.05 ]
+let imprecision_values = [ 0.; 0.002; 0.005; 0.01 ]
+let default_rung = { series = 1000.; shunt = Some 1000. }
+
+(* The last rung must end in a shunt, otherwise its node dangles; repair
+   rather than reject so every shrink candidate stays well-formed. *)
+let fix_ladder l =
+  let rungs = if l.rungs = [] then [ default_rung ] else l.rungs in
+  let rec fix_last = function
+    | [] -> []
+    | [ last ] ->
+      [ (match last.shunt with
+        | Some _ -> last
+        | None -> { last with shunt = Some last.series }) ]
+    | r :: rest -> r :: fix_last rest
+  in
+  { l with rungs = fix_last rungs }
+
+let gen_ladder rng =
+  let k = 1 + Rng.int rng 4 in
+  let rung () =
+    {
+      series = Rng.choose rng resistor_values;
+      shunt =
+        (if Rng.chance rng 0.7 then Some (Rng.choose rng resistor_values)
+         else None);
+    }
+  in
+  fix_ladder
+    {
+      source = Rng.choose rng source_values;
+      tolerance = Rng.choose rng tolerance_values;
+      imprecision = Rng.choose rng imprecision_values;
+      rungs = List.init k (fun _ -> rung ());
+    }
+
+let shrink_ladder l =
+  let simpler_rung i =
+    List.mapi
+      (fun j r ->
+        if i <> j then r
+        else if r.series <> 1000. then { r with series = 1000. }
+        else
+          match r.shunt with
+          | Some s when s <> 1000. -> { r with shunt = Some 1000. }
+          | Some _ | None -> r)
+      l.rungs
+  in
+  let drop_last =
+    match l.rungs with
+    | [] | [ _ ] -> []
+    | rungs -> [ { l with rungs = List.filteri (fun i _ -> i < List.length rungs - 1) rungs } ]
+  in
+  let drop_shunts =
+    if List.exists (fun r -> r.shunt <> None) l.rungs then
+      [ { l with rungs = List.map (fun r -> { r with shunt = None }) l.rungs } ]
+    else []
+  in
+  let simpler =
+    List.filteri (fun i _ -> i < List.length l.rungs) l.rungs
+    |> List.mapi (fun i _ -> { l with rungs = simpler_rung i })
+    |> List.filter (fun l' -> l'.rungs <> l.rungs)
+  in
+  let plain =
+    List.filter_map
+      (fun l' -> if l' = l then None else Some l')
+      [
+        { l with source = 5. };
+        { l with tolerance = 0.01 };
+        { l with imprecision = 0. };
+      ]
+  in
+  List.map fix_ladder (drop_last @ drop_shunts @ simpler @ plain)
+
+let print_rung r =
+  match r.shunt with
+  | Some s -> Printf.sprintf "%g|%g" r.series s
+  | None -> Printf.sprintf "%g|-" r.series
+
+let print_ladder l =
+  Printf.sprintf "ladder V=%g tol=%g imp=%g rungs=[%s]" l.source l.tolerance
+    l.imprecision
+    (String.concat "; " (List.map print_rung l.rungs))
+
+let ladder = { gen = gen_ladder; shrink = shrink_ladder; print = print_ladder }
+
+let nodes_of_ladder l = List.init (List.length l.rungs + 1) (Printf.sprintf "n%d")
+
+let netlist_of_ladder l =
+  let l = fix_ladder l in
+  let tol v = Interval.around v ~rel:l.tolerance in
+  let components =
+    Component.vsource "vs" ~volts:(tol l.source) ~p:"n0" ~n:"gnd"
+    :: List.concat
+         (List.mapi
+            (fun i r ->
+              let i = i + 1 in
+              let series =
+                Component.resistor
+                  (Printf.sprintf "r%d" i)
+                  ~ohms:(tol r.series)
+                  ~p:(Printf.sprintf "n%d" (i - 1))
+                  ~n:(Printf.sprintf "n%d" i)
+              in
+              match r.shunt with
+              | Some s ->
+                [
+                  series;
+                  Component.resistor
+                    (Printf.sprintf "s%d" i)
+                    ~ohms:(tol s)
+                    ~p:(Printf.sprintf "n%d" i)
+                    ~n:"gnd";
+                ]
+              | None -> [ series ])
+            l.rungs)
+  in
+  Netlist.make ~name:"gen-ladder" ~ground:"gnd" components
+
+(* clamp the spec's references into the (possibly shrunk) ladder *)
+let normalize s =
+  let l = fix_ladder s.ladder in
+  let k = List.length l.rungs in
+  let fault =
+    Option.map
+      (fun f ->
+        let rung = Int.min f.rung (k - 1) in
+        let has_shunt = (List.nth l.rungs rung).shunt <> None in
+        { f with rung; on_shunt = f.on_shunt && has_shunt })
+      s.fault
+  in
+  let probes =
+    List.sort_uniq Int.compare
+      (List.filter_map
+         (fun p -> if p >= 0 && p <= k then Some p else None)
+         s.probes)
+  in
+  let probes = if probes = [] then [ k ] else probes in
+  { ladder = l; fault; probes }
+
+let gen_scenario rng =
+  let l = gen_ladder rng in
+  let k = List.length l.rungs in
+  let fault =
+    if Rng.chance rng 0.65 then
+      let rung = Rng.int rng k in
+      let target = List.nth l.rungs rung in
+      let on_shunt = target.shunt <> None && Rng.bool rng in
+      let nominal =
+        if on_shunt then Option.get target.shunt else target.series
+      in
+      let mode =
+        match Rng.int rng 5 with
+        | 0 -> Fault.Short
+        | 1 -> Fault.Open
+        | 2 -> Fault.Low
+        | 3 -> Fault.High
+        | _ ->
+          Fault.Shifted
+            (Float.round (nominal *. (0.3 +. Rng.float rng 2.7)))
+      in
+      Some { rung; on_shunt; mode }
+    else None
+  in
+  let probes =
+    let all = List.init (k + 1) Fun.id in
+    List.filter (fun _ -> Rng.chance rng 0.5) all
+  in
+  normalize { ladder = l; fault; probes }
+
+let shrink_scenario s =
+  let without_fault =
+    match s.fault with Some _ -> [ { s with fault = None } ] | None -> []
+  in
+  let milder_fault =
+    match s.fault with
+    | Some ({ mode = Fault.Short | Fault.Open | Fault.Shifted _; _ } as f) ->
+      [ { s with fault = Some { f with mode = Fault.Low } } ]
+    | Some _ | None -> []
+  in
+  let fewer_probes =
+    if List.length s.probes > 1 then
+      List.mapi (fun i _ -> { s with probes = List.filteri (fun j _ -> j <> i) s.probes }) s.probes
+    else []
+  in
+  let smaller_ladder =
+    List.map (fun l -> { s with ladder = l }) (shrink_ladder s.ladder)
+  in
+  List.map normalize
+    (without_fault @ smaller_ladder @ fewer_probes @ milder_fault)
+
+let fault_component s f =
+  Printf.sprintf "%s%d" (if f.on_shunt then "s" else "r") (f.rung + 1)
+  |> fun name -> ignore s; name
+
+let print_scenario s =
+  let fault =
+    match s.fault with
+    | None -> "none"
+    | Some f ->
+      Format.asprintf "%s.R %a" (fault_component s f) Fault.pp_mode f.mode
+  in
+  Printf.sprintf "%s fault=%s probes=[%s]" (print_ladder s.ladder) fault
+    (String.concat ","
+       (List.map (Printf.sprintf "n%d") s.probes))
+
+let scenario_netlists s =
+  let s = normalize s in
+  let nominal = netlist_of_ladder s.ladder in
+  let faulty =
+    match s.fault with
+    | None -> nominal
+    | Some f ->
+      Fault.inject nominal
+        (Fault.make ~component:(fault_component s f) ~parameter:"R" f.mode)
+  in
+  (nominal, faulty)
+
+let scenario_observations s =
+  let s = normalize s in
+  let _, faulty = scenario_netlists s in
+  let sol = Flames_sim.Mna.solve faulty in
+  let instrument =
+    { Flames_sim.Measure.relative = s.ladder.imprecision; floor = 5e-4 }
+  in
+  Flames_sim.Measure.probe_all ~instrument sol
+    (List.map (fun i -> Q.voltage (Printf.sprintf "n%d" i)) s.probes)
+
+let scenario =
+  { gen = gen_scenario; shrink = shrink_scenario; print = print_scenario }

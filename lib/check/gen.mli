@@ -1,0 +1,129 @@
+(** Seeded random generation of well-formed verification scenarios, with
+    shrinking toward minimal failing cases.
+
+    Generators are deterministic functions of a {!Rng.t} stream; a run is
+    fully reproduced by its [(seed, case)] pair.  Each generated value is
+    a {e spec} (a plain description) from which the concrete artefact —
+    netlist, fault injection, measurement set — is rebuilt, so shrinking
+    operates on the spec and every shrink candidate is well-formed by
+    construction. *)
+
+module Interval = Flames_fuzzy.Interval
+module Env = Flames_atms.Env
+module Netlist = Flames_circuit.Netlist
+module Fault = Flames_circuit.Fault
+
+(** {1 Generator combinator} *)
+
+type 'a t = {
+  gen : Rng.t -> 'a;
+  shrink : 'a -> 'a list;  (** smaller candidates, most aggressive first *)
+  print : 'a -> string;
+}
+
+type 'a failure = {
+  seed : int;  (** seed of the whole run *)
+  case : int;  (** failing case number within the run *)
+  original : 'a;
+  shrunk : 'a;
+  shrink_steps : int;
+  message : string;  (** why the property failed on [shrunk] *)
+}
+
+type 'a outcome = Pass of int  (** cases run *) | Fail of 'a failure
+
+val run :
+  ?seed:int -> count:int -> 'a t -> ('a -> (unit, string) result) -> 'a outcome
+(** [run ~count gen prop] draws [count] cases and checks [prop] on each
+    (an exception counts as a failure).  On the first failure the case is
+    greedily shrunk while the property keeps failing, and the {!failure}
+    records both the original and the shrunk value.  Re-running with the
+    reported [seed] reproduces the identical failure; the failing case
+    alone replays via [Rng.case_seed]. *)
+
+val pp_failure : 'a t -> Format.formatter -> 'a failure -> unit
+(** Human-readable report: seed, case number, shrink count, the shrunk
+    counterexample (via the generator's printer) and the message. *)
+
+(** {1 Fuzzy intervals} *)
+
+val interval : Interval.t t
+(** General trapezoids, including crisp-edged (zero-flank), degenerate
+    point and zero-width-core shapes. *)
+
+val positive_interval : Interval.t t
+(** Trapezoids whose support stays strictly positive (divisor-safe). *)
+
+(** {1 ATMS conflict sets} *)
+
+val conflict_sets : Env.t list t
+(** Random conflict sets over up to 12 assumptions, deliberately
+    including duplicate conflicts, subset pairs and (rarely) the empty
+    conflict. *)
+
+(** {1 ATMS justification networks} *)
+
+type clause = {
+  antecedents : int list;
+      (** indices: [0 .. n_assumptions-1] name assumptions, larger values
+          name derived nodes (offset by [n_assumptions]), always earlier
+          than the clause's own target so the network is a DAG *)
+  target : int option;  (** derived-node index, [None] = contradiction *)
+  degree : float;
+}
+
+type atms_spec = {
+  n_assumptions : int;
+  n_nodes : int;
+  clauses : clause list;
+  premises : int list;  (** derived-node indices promoted to premises *)
+}
+
+val atms_spec : atms_spec t
+
+val build_atms : atms_spec -> Flames_atms.Atms.t
+(** Replay the spec into a live ATMS (assumptions, justifications and
+    premises installed in order). *)
+
+(** {1 Circuit scenarios} *)
+
+type rung = { series : float;  (** ohms *) shunt : float option }
+
+type ladder = {
+  source : float;  (** volts *)
+  tolerance : float;  (** relative component tolerance *)
+  imprecision : float;  (** relative instrument imprecision *)
+  rungs : rung list;  (** at least one; the last always has a shunt *)
+}
+
+type fault_spec = {
+  rung : int;
+  on_shunt : bool;
+  mode : Fault.mode;
+}
+
+type scenario = {
+  ladder : ladder;
+  fault : fault_spec option;
+  probes : int list;  (** indices of probed ladder nodes *)
+}
+
+val ladder : ladder t
+(** Random R/V ladder networks: a source driving a chain of series
+    resistors with shunt resistors to ground — always connected, grounded
+    and solvable. *)
+
+val scenario : scenario t
+(** A ladder plus an optional fault injection and a non-empty probe set. *)
+
+val netlist_of_ladder : ladder -> Netlist.t
+val nodes_of_ladder : ladder -> string list
+(** The probeable (non-ground) node names, source side first. *)
+
+val scenario_netlists : scenario -> Netlist.t * Netlist.t
+(** [(nominal, faulty)]; equal when the scenario has no fault. *)
+
+val scenario_observations :
+  scenario -> (Flames_circuit.Quantity.t * Interval.t) list
+(** Probe the faulty circuit's simulated operating point at the
+    scenario's probes with its instrument imprecision. *)

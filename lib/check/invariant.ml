@@ -1,0 +1,187 @@
+module Atms = Flames_atms.Atms
+module Env = Flames_atms.Env
+module Candidates = Flames_atms.Candidates
+module Consistency = Flames_fuzzy.Consistency
+module Diagnose = Flames_core.Diagnose
+module Propagate = Flames_core.Propagate
+module SS = Set.Make (String)
+
+let audit_atms t =
+  match Atms.audit t with
+  | [] -> Ok ()
+  | violations -> Error (String.concat "; " violations)
+
+let finite x = x -. x = 0.
+
+let collect checks =
+  match List.filter_map Fun.id checks with
+  | [] -> Ok ()
+  | problems -> Error (String.concat "; " problems)
+
+let check_symptom (s : Diagnose.symptom) =
+  let q = Flames_circuit.Quantity.to_string s.Diagnose.quantity in
+  let verdict_ok =
+    match s.Diagnose.verdict with
+    | None -> None
+    | Some v ->
+      if (not (finite v.Consistency.dc)) || v.Consistency.dc < 0.
+         || v.Consistency.dc > 1.
+      then Some (Printf.sprintf "%s: Dc %g outside [0, 1]" q v.Consistency.dc)
+      else None
+  in
+  let signed_ok =
+    match s.Diagnose.signed_dc with
+    | None -> None
+    | Some d ->
+      if (not (finite d)) || d < -1. || d > 1. then
+        Some (Printf.sprintf "%s: signed Dc %g outside [-1, 1]" q d)
+      else begin
+        match s.Diagnose.verdict with
+        | Some { Consistency.direction = Consistency.Low; _ } when d >= 0. ->
+          Some (Printf.sprintf "%s: Low deviation with signed Dc %g >= 0" q d)
+        | Some { Consistency.direction = Consistency.High; _ } when d <= 0. ->
+          Some (Printf.sprintf "%s: High deviation with signed Dc %g <= 0" q d)
+        | Some { Consistency.direction = Consistency.Within; _ } when d < 0. ->
+          Some (Printf.sprintf "%s: Within verdict with signed Dc %g < 0" q d)
+        | _ -> None
+      end
+  in
+  List.filter_map Fun.id [ verdict_ok; signed_ok ]
+
+let audit_result (r : Diagnose.result) =
+  let name = Propagate.names r.Diagnose.engine in
+  let conflict_names =
+    List.map
+      (fun (c : Candidates.conflict) ->
+        SS.of_list (List.map name (Env.to_list c.Candidates.env)))
+      r.Diagnose.conflicts
+  in
+  let suspicion_of component =
+    List.fold_left2
+      (fun acc (c : Candidates.conflict) names ->
+        if SS.mem component names then Float.max acc c.Candidates.degree
+        else acc)
+      0. r.Diagnose.conflicts conflict_names
+  in
+  let symptom_problems = List.concat_map check_symptom r.Diagnose.symptoms in
+  let conflict_problems =
+    List.filter_map
+      (fun (c : Candidates.conflict) ->
+        if (not (finite c.Candidates.degree)) || c.Candidates.degree <= 0.
+           || c.Candidates.degree > 1.
+        then
+          Some
+            (Printf.sprintf "conflict %s: degree %g outside (0, 1]"
+               c.Candidates.reason c.Candidates.degree)
+        else None)
+      r.Diagnose.conflicts
+  in
+  let rec sorted_desc = function
+    | (a : Diagnose.suspect) :: (b :: _ as rest) ->
+      if a.Diagnose.suspicion +. 1e-12 < b.Diagnose.suspicion then
+        Some
+          (Printf.sprintf "suspects out of order: %s@%g before %s@%g"
+             a.Diagnose.component a.Diagnose.suspicion b.Diagnose.component
+             b.Diagnose.suspicion)
+      else sorted_desc rest
+    | _ -> None
+  in
+  let suspect_problems =
+    Option.to_list (sorted_desc r.Diagnose.suspects)
+    @ List.filter_map
+        (fun (s : Diagnose.suspect) ->
+          let expected = suspicion_of s.Diagnose.component in
+          if Float.abs (expected -. s.Diagnose.suspicion) > 1e-9 then
+            Some
+              (Printf.sprintf
+                 "suspect %s: suspicion %g but max conflict degree %g"
+                 s.Diagnose.component s.Diagnose.suspicion expected)
+          else None)
+        r.Diagnose.suspects
+  in
+  let diag_sets =
+    List.map (fun (members, _) -> SS.of_list members) r.Diagnose.diagnoses
+  in
+  let show set = String.concat "," (SS.elements set) in
+  let diagnosis_problems =
+    List.concat
+      (List.map2
+         (fun (members, rank) set ->
+           let hits =
+             List.for_all
+               (fun c -> not (SS.disjoint set c))
+               conflict_names
+           in
+           let minimal =
+             not
+               (List.exists
+                  (fun other ->
+                    (not (SS.equal other set)) && SS.subset other set)
+                  diag_sets)
+           in
+           let expected_rank =
+             List.fold_left
+               (fun acc m -> Float.min acc (suspicion_of m))
+               Float.infinity members
+           in
+           List.filter_map Fun.id
+             [
+               (if hits then None
+                else
+                  Some
+                    (Printf.sprintf "diagnosis {%s} misses a conflict"
+                       (show set)));
+               (if minimal then None
+                else
+                  Some
+                    (Printf.sprintf "diagnosis {%s} is not minimal" (show set)));
+               (if members <> []
+                   && Float.abs (expected_rank -. rank) > 1e-9
+                then
+                  Some
+                    (Printf.sprintf
+                       "diagnosis {%s}: rank %g but min member suspicion %g"
+                       (show set) rank expected_rank)
+                else None);
+             ])
+         r.Diagnose.diagnoses diag_sets)
+  in
+  let rec diag_order = function
+    | (ma, ra) :: ((mb, rb) :: _ as rest) ->
+      if ra +. 1e-12 < rb then
+        Some
+          (Printf.sprintf "diagnoses out of order: rank %g before rank %g" ra
+             rb)
+      else if Float.abs (ra -. rb) <= 1e-12
+              && List.length ma > List.length mb then
+        Some
+          (Printf.sprintf
+             "diagnoses out of order: size %d before size %d at rank %g"
+             (List.length ma) (List.length mb) ra)
+      else diag_order rest
+    | _ -> None
+  in
+  let single_problems =
+    List.filter_map
+      (fun (component, degree) ->
+        if
+          not
+            (List.for_all (fun c -> SS.mem component c) conflict_names)
+        then
+          Some
+            (Printf.sprintf "single fault %s absent from some conflict"
+               component)
+        else if Float.abs (degree -. suspicion_of component) > 1e-9 then
+          Some
+            (Printf.sprintf "single fault %s: degree %g but suspicion %g"
+               component degree (suspicion_of component))
+        else None)
+      r.Diagnose.single_faults
+  in
+  collect
+    (List.map Option.some symptom_problems
+    @ List.map Option.some conflict_problems
+    @ List.map Option.some suspect_problems
+    @ List.map Option.some diagnosis_problems
+    @ [ diag_order r.Diagnose.diagnoses ]
+    @ List.map Option.some single_problems)

@@ -1,0 +1,25 @@
+(** Structural invariants of live ATMS instances and finished diagnoses.
+
+    Unlike the {!Oracle} diffs, these checks need no reference
+    implementation: they assert properties that must hold of any correct
+    output — label laws, value ranges, ranking monotonicity, the
+    hitting-set property of diagnoses. *)
+
+val audit_atms : Flames_atms.Atms.t -> (unit, string) result
+(** All of {!Flames_atms.Atms.audit}'s label laws (soundness,
+    minimality, consistency, completeness at quiescence), folded into a
+    single result. *)
+
+val audit_result : Flames_core.Diagnose.result -> (unit, string) result
+(** Every invariant a published diagnosis must satisfy:
+
+    - symptom verdicts have [Dc ∈ \[0, 1\]] and
+      [signed_dc ∈ \[-1, 1\]], never NaN, with the sign agreeing with
+      the deviation direction;
+    - conflict degrees lie in [(0, 1]];
+    - suspects are sorted by decreasing suspicion and each suspicion is
+      the max degree over the conflicts implicating the component;
+    - each diagnosis hits every conflict, is minimal among the reported
+      diagnoses, carries [rank = min (suspicion of members)], and the
+      list is sorted by decreasing rank then increasing cardinality;
+    - single faults are members of {e every} conflict. *)

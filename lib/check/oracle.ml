@@ -1,0 +1,471 @@
+module Interval = Flames_fuzzy.Interval
+module Arith = Flames_fuzzy.Arith
+module Piecewise = Flames_fuzzy.Piecewise
+module Consistency = Flames_fuzzy.Consistency
+module Env = Flames_atms.Env
+module Hitting = Flames_atms.Hitting
+module Component = Flames_circuit.Component
+module Netlist = Flames_circuit.Netlist
+module Mna = Flames_sim.Mna
+module Diagnose = Flames_core.Diagnose
+module Batch = Flames_engine.Batch
+module Cache = Flames_engine.Cache
+
+(* {1 Minimal hitting sets} *)
+
+let by_size a b =
+  let c = Int.compare (Env.cardinal a) (Env.cardinal b) in
+  if c <> 0 then c else Env.compare a b
+
+let brute_hitting conflicts =
+  let conflicts = List.sort_uniq Env.compare conflicts in
+  if conflicts = [] then [ Env.empty ]
+  else if List.exists Env.is_empty conflicts then []
+  else begin
+    let universe =
+      Env.to_list (List.fold_left Env.union Env.empty conflicts)
+    in
+    let arr = Array.of_list universe in
+    let n = Array.length arr in
+    if n > 20 then invalid_arg "brute_hitting: universe too large";
+    let hits env = List.for_all (fun c -> not (Env.disjoint env c)) conflicts in
+    let all = ref [] in
+    for mask = 0 to (1 lsl n) - 1 do
+      let env = ref Env.empty in
+      for b = 0 to n - 1 do
+        if mask land (1 lsl b) <> 0 then env := Env.add arr.(b) !env
+      done;
+      if hits !env then all := !env :: !all
+    done;
+    let hitting = !all in
+    List.filter
+      (fun e ->
+        not
+          (List.exists
+             (fun f -> (not (Env.equal f e)) && Env.subset f e)
+             hitting))
+      hitting
+    |> List.sort by_size
+  end
+
+let print_envs envs =
+  String.concat " "
+    (List.map
+       (fun e ->
+         "{"
+         ^ String.concat "," (List.map string_of_int (Env.to_list e))
+         ^ "}")
+       envs)
+
+let check_hitting conflicts =
+  let expected = brute_hitting conflicts in
+  let actual = Hitting.minimal_hitting_sets conflicts in
+  if List.length expected = List.length actual
+     && List.for_all2 Env.equal expected actual
+  then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "hitting-set divergence:\n  brute force: %s\n  Atms.Hitting: %s"
+         (print_envs expected) (print_envs actual))
+
+(* {1 Alpha-cut fuzzy arithmetic} *)
+
+let iadd (alo, ahi) (blo, bhi) = (alo +. blo, ahi +. bhi)
+let isub (alo, ahi) (blo, bhi) = (alo -. bhi, ahi -. blo)
+
+let imul (alo, ahi) (blo, bhi) =
+  let ps = [ alo *. blo; alo *. bhi; ahi *. blo; ahi *. bhi ] in
+  (List.fold_left Float.min Float.infinity ps,
+   List.fold_left Float.max Float.neg_infinity ps)
+
+let idiv a (blo, bhi) =
+  if blo <= 0. && bhi >= 0. then
+    raise (Arith.Undefined "naive_div: divisor support contains 0");
+  imul a (1. /. bhi, 1. /. blo)
+
+let of_cuts (c1lo, c1hi) (c0lo, c0hi) =
+  (* inclusion monotony of interval operations guarantees cut1 inside
+     cut0; normalized absorbs the float dust on the boundary *)
+  Interval.normalized ~m1:c1lo ~m2:c1hi ~alpha:(c1lo -. c0lo)
+    ~beta:(c0hi -. c1hi)
+
+let cutwise op a b =
+  of_cuts
+    (op (Interval.core a) (Interval.core b))
+    (op (Interval.support a) (Interval.support b))
+
+let naive_add = cutwise iadd
+let naive_sub = cutwise isub
+let naive_mul = cutwise imul
+let naive_div = cutwise idiv
+
+let check_arith (a, b) =
+  let diff name expected actual =
+    if Interval.equal_rel ~rel:1e-9 expected actual then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s divergence: alpha-cut oracle %s, Arith %s" name
+           (Interval.to_string expected)
+           (Interval.to_string actual))
+  in
+  let ( let* ) = Result.bind in
+  let* () = diff "add" (naive_add a b) (Arith.add a b) in
+  let* () = diff "sub" (naive_sub a b) (Arith.sub a b) in
+  let* () = diff "mul" (naive_mul a b) (Arith.mul a b) in
+  let* () =
+    let blo, bhi = Interval.support b in
+    if blo <= 0. && bhi >= 0. then Ok ()
+    else diff "div" (naive_div a b) (Arith.div a b)
+  in
+  let* () =
+    if Interval.membership (Arith.sub a a) 0. >= 1. -. 1e-9 then Ok ()
+    else Error "sub: a - a does not contain 0 with full membership"
+  in
+  if Interval.equal ~eps:1e-12 (Arith.add a b) (Arith.add b a) then Ok ()
+  else Error "add: not commutative"
+
+(* {1 Grid integration of membership functions} *)
+
+let default_samples = 20_000
+
+let grid_integral f lo hi samples =
+  if hi <= lo then 0.
+  else begin
+    let step = (hi -. lo) /. Float.of_int samples in
+    let acc = ref 0. in
+    for i = 0 to samples - 1 do
+      acc := !acc +. f (lo +. ((Float.of_int i +. 0.5) *. step))
+    done;
+    !acc *. step
+  end
+
+let grid_min_area ?(samples = default_samples) a b =
+  let alo, ahi = Interval.support a and blo, bhi = Interval.support b in
+  let lo = Float.max alo blo and hi = Float.min ahi bhi in
+  grid_integral
+    (fun x -> Float.min (Interval.membership a x) (Interval.membership b x))
+    lo hi samples
+
+let grid_max_area ?(samples = default_samples) a b =
+  let alo, ahi = Interval.support a and blo, bhi = Interval.support b in
+  let lo = Float.min alo blo and hi = Float.max ahi bhi in
+  grid_integral
+    (fun x -> Float.max (Interval.membership a x) (Interval.membership b x))
+    lo hi samples
+
+let grid_dc ~measured ~nominal =
+  if not (Interval.overlap measured nominal) then 0.
+  else
+    let am = Interval.area measured in
+    if am <= 1e-12 then
+      Interval.membership nominal (Interval.midpoint measured)
+    else Float.max 0. (Float.min 1. (grid_min_area measured nominal /. am))
+
+(* Midpoint-rule error is confined to the cells containing one of the
+   (at most ~8 + ~8) breakpoints or crossings, each bounded by the cell
+   area: tolerance scales with the step. *)
+let grid_tolerance lo hi =
+  (32. *. Float.max 0. (hi -. lo) /. Float.of_int default_samples) +. 1e-9
+
+let check_consistency (a, b) =
+  let ( let* ) = Result.bind in
+  let close name expected actual tol =
+    if Float.abs (expected -. actual) <= tol then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s divergence: grid oracle %.6g, exact %.6g (tol %.2g)"
+           name expected actual tol)
+  in
+  let alo, ahi = Interval.support a and blo, bhi = Interval.support b in
+  let itol = grid_tolerance (Float.max alo blo) (Float.min ahi bhi) in
+  let utol = grid_tolerance (Float.min alo blo) (Float.max ahi bhi) in
+  let* () = close "min_area" (grid_min_area a b) (Piecewise.min_area a b) itol in
+  let* () = close "max_area" (grid_max_area a b) (Piecewise.max_area a b) utol in
+  let check_dc m n =
+    let d = Consistency.dc ~measured:m ~nominal:n in
+    let* () =
+      if d <> d then Error "dc is NaN"
+      else if d < 0. || d > 1. then
+        Error (Printf.sprintf "dc %.6g outside [0, 1]" d)
+      else Ok ()
+    in
+    close "dc" (grid_dc ~measured:m ~nominal:n) d 0.005
+  in
+  let* () = check_dc a b in
+  check_dc b a
+
+(* {1 Dense nodal analysis} *)
+
+let gauss_jordan a b =
+  (* full-pivot Gauss–Jordan, written independently of Sim.Linalg *)
+  let n = Array.length b in
+  let perm = Array.init n Fun.id in
+  for k = 0 to n - 1 do
+    (* find the largest remaining pivot anywhere in the submatrix *)
+    let pr = ref k and pc = ref k and best = ref 0. in
+    for r = k to n - 1 do
+      for c = k to n - 1 do
+        let v = Float.abs a.(r).(c) in
+        if v > !best then begin
+          best := v;
+          pr := r;
+          pc := c
+        end
+      done
+    done;
+    if !best < 1e-12 then failwith "gauss_jordan: singular system";
+    let swap_rows i j =
+      if i <> j then begin
+        let t = a.(i) in
+        a.(i) <- a.(j);
+        a.(j) <- t;
+        let t = b.(i) in
+        b.(i) <- b.(j);
+        b.(j) <- t
+      end
+    in
+    let swap_cols i j =
+      if i <> j then begin
+        for r = 0 to n - 1 do
+          let t = a.(r).(i) in
+          a.(r).(i) <- a.(r).(j);
+          a.(r).(j) <- t
+        done;
+        let t = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- t
+      end
+    in
+    swap_rows k !pr;
+    swap_cols k !pc;
+    let piv = a.(k).(k) in
+    for c = k to n - 1 do
+      a.(k).(c) <- a.(k).(c) /. piv
+    done;
+    b.(k) <- b.(k) /. piv;
+    for r = 0 to n - 1 do
+      if r <> k && a.(r).(k) <> 0. then begin
+        let f = a.(r).(k) in
+        for c = k to n - 1 do
+          a.(r).(c) <- a.(r).(c) -. (f *. a.(k).(c))
+        done;
+        b.(r) <- b.(r) -. (f *. b.(k))
+      end
+    done
+  done;
+  let x = Array.make n 0. in
+  for i = 0 to n - 1 do
+    x.(perm.(i)) <- b.(i)
+  done;
+  x
+
+let dense_solve netlist =
+  let ground = netlist.Netlist.ground in
+  let nodes = List.filter (fun n -> n <> ground) (Netlist.nodes netlist) in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.add index n i) nodes;
+  let n_nodes = List.length nodes in
+  let sources =
+    List.filter
+      (fun (c : Component.t) ->
+        match c.kind with Component.Voltage_source _ -> true | _ -> false)
+      netlist.Netlist.components
+  in
+  let dim = n_nodes + List.length sources in
+  let a = Array.make_matrix dim dim 0. and b = Array.make dim 0. in
+  let idx node = if node = ground then None else Some (Hashtbl.find index node) in
+  let stamp r c v =
+    match (r, c) with
+    | Some r, Some c -> a.(r).(c) <- a.(r).(c) +. v
+    | None, _ | _, None -> ()
+  in
+  List.iter
+    (fun (c : Component.t) ->
+      match c.kind with
+      | Component.Resistor ohms ->
+        let g = 1. /. Interval.centroid ohms in
+        let p = idx (Component.node_of c "p")
+        and n = idx (Component.node_of c "n") in
+        stamp p p g;
+        stamp n n g;
+        stamp p n (-.g);
+        stamp n p (-.g)
+      | Component.Voltage_source _ -> ()
+      | Component.Capacitor _ | Component.Inductor _ | Component.Diode _
+      | Component.Gain_block _ | Component.Bjt _ ->
+        invalid_arg "dense_solve: only resistor/source netlists are supported")
+    netlist.Netlist.components;
+  List.iteri
+    (fun k (c : Component.t) ->
+      let volts =
+        match c.kind with
+        | Component.Voltage_source v -> Interval.centroid v
+        | _ -> assert false
+      in
+      let j = n_nodes + k in
+      let p = idx (Component.node_of c "p")
+      and n = idx (Component.node_of c "n") in
+      (match p with
+      | Some p ->
+        a.(p).(j) <- a.(p).(j) +. 1.;
+        a.(j).(p) <- a.(j).(p) +. 1.
+      | None -> ());
+      (match n with
+      | Some n ->
+        a.(n).(j) <- a.(n).(j) -. 1.;
+        a.(j).(n) <- a.(j).(n) -. 1.
+      | None -> ());
+      b.(j) <- volts)
+    sources;
+  let x = gauss_jordan a b in
+  List.map (fun n -> (n, x.(Hashtbl.find index n))) nodes
+
+let check_mna netlist =
+  let reference = dense_solve netlist in
+  let sol = Mna.solve netlist in
+  let rec diff = function
+    | [] -> Ok ()
+    | (node, expected) :: rest ->
+      let actual = Mna.voltage sol node in
+      let tol = 1e-6 *. Float.max 1. (Float.abs expected) in
+      if Float.abs (expected -. actual) <= tol then diff rest
+      else
+        Error
+          (Printf.sprintf
+             "MNA divergence at node %s: dense oracle %.9g, Sim.Mna %.9g"
+             node expected actual)
+  in
+  diff reference
+
+(* {1 Batch engine determinism} *)
+
+let result_fingerprint (r : Diagnose.result) =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  let fi (v : Interval.t) =
+    Format.fprintf ppf "[%h %h %h %h]" v.Interval.m1 v.Interval.m2
+      v.Interval.alpha v.Interval.beta
+  in
+  let fopt f = function
+    | None -> Format.fprintf ppf "-"
+    | Some x -> f x
+  in
+  Format.fprintf ppf "netlist %s@." r.Diagnose.netlist.Netlist.name;
+  List.iter
+    (fun (s : Diagnose.symptom) ->
+      Format.fprintf ppf "symptom %s measured="
+        (Flames_circuit.Quantity.to_string s.Diagnose.quantity);
+      fi s.Diagnose.measured;
+      Format.fprintf ppf " predicted=";
+      fopt fi s.Diagnose.predicted;
+      Format.fprintf ppf " verdict=";
+      fopt
+        (fun (v : Consistency.verdict) ->
+          let dir =
+            match v.Consistency.direction with
+            | Consistency.Within -> "within"
+            | Consistency.Low -> "low"
+            | Consistency.High -> "high"
+          in
+          Format.fprintf ppf "%h:%s" v.Consistency.dc dir)
+        s.Diagnose.verdict;
+      Format.fprintf ppf " signed=";
+      fopt (fun d -> Format.fprintf ppf "%h" d) s.Diagnose.signed_dc;
+      Format.fprintf ppf "@.")
+    r.Diagnose.symptoms;
+  List.iter
+    (fun (c : Flames_atms.Candidates.conflict) ->
+      Format.fprintf ppf "conflict {%s} degree=%h reason=%s@."
+        (String.concat ","
+           (List.map string_of_int (Env.to_list c.Flames_atms.Candidates.env)))
+        c.Flames_atms.Candidates.degree c.Flames_atms.Candidates.reason)
+    r.Diagnose.conflicts;
+  List.iter
+    (fun (s : Diagnose.suspect) ->
+      Format.fprintf ppf "suspect %s suspicion=%h explains=%b"
+        s.Diagnose.component s.Diagnose.suspicion s.Diagnose.explains;
+      List.iter
+        (fun (e : Diagnose.mode_estimate) ->
+          Format.fprintf ppf " %s nominal=%h estimated=" e.Diagnose.parameter
+            e.Diagnose.nominal;
+          fopt (fun v -> Format.fprintf ppf "%h" v) e.Diagnose.estimated;
+          Format.fprintf ppf " residual=";
+          fopt (fun v -> Format.fprintf ppf "%h" v) e.Diagnose.fit_residual;
+          List.iter
+            (fun (m, d) ->
+              Format.fprintf ppf " %a=%h" Flames_circuit.Fault.pp_mode m d)
+            e.Diagnose.modes)
+        s.Diagnose.estimates;
+      Format.fprintf ppf "@.")
+    r.Diagnose.suspects;
+  List.iter
+    (fun (members, rank) ->
+      Format.fprintf ppf "diagnosis {%s} rank=%h@."
+        (String.concat "," members)
+        rank)
+    r.Diagnose.diagnoses;
+  List.iter
+    (fun (c, d) -> Format.fprintf ppf "single-fault %s@%h@." c d)
+    r.Diagnose.single_faults;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let first_diff a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec walk i = function
+    | [], [] -> "(identical?)"
+    | x :: _, [] -> Printf.sprintf "line %d: extra %S" i x
+    | [], y :: _ -> Printf.sprintf "line %d: missing %S" i y
+    | x :: xs, y :: ys ->
+      if String.equal x y then walk (i + 1) (xs, ys)
+      else Printf.sprintf "line %d: %S vs %S" i x y
+  in
+  walk 1 (la, lb)
+
+let check_batch ?(workers = [ 1; 2; 4 ]) jobs =
+  let references, _ = Batch.sequential jobs in
+  let refs = List.map result_fingerprint references in
+  let compare_outcomes phase outcomes =
+    let rec walk jobs refs outcomes =
+      match (jobs, refs, outcomes) with
+      | [], [], [] -> Ok ()
+      | (j : Batch.job) :: js, fp :: fps, outcome :: os -> begin
+        match (outcome : Batch.outcome) with
+        | Error _ ->
+          Error
+            (Format.asprintf "%s: job %s failed in the pool: %a" phase
+               j.Batch.label Batch.pp_outcome outcome)
+        | Ok r ->
+          let fp' = result_fingerprint r in
+          if String.equal fp fp' then walk js fps os
+          else
+            Error
+              (Printf.sprintf
+                 "%s: job %s diverges from sequential run: %s" phase
+                 j.Batch.label (first_diff fp fp'))
+      end
+      | _ -> Error (phase ^ ": outcome count mismatch")
+    in
+    walk jobs refs outcomes
+  in
+  let ( let* ) = Result.bind in
+  let rec cold = function
+    | [] -> Ok ()
+    | w :: rest ->
+      let outcomes, _ = Batch.run ~workers:w jobs in
+      let* () = compare_outcomes (Printf.sprintf "cold %d-worker" w) outcomes in
+      cold rest
+  in
+  let* () = cold workers in
+  (* warm: a cache pre-filled by a sequential pass, shared by the pool *)
+  let cache = Cache.create () in
+  let _ = Batch.sequential ~cache jobs in
+  let rec warm = function
+    | [] -> Ok ()
+    | w :: rest ->
+      let outcomes, _ = Batch.run ~workers:w ~cache jobs in
+      let* () = compare_outcomes (Printf.sprintf "warm %d-worker" w) outcomes in
+      warm rest
+  in
+  warm workers

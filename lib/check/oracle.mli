@@ -1,0 +1,75 @@
+(** Independent reference implementations diffed against the production
+    paths.
+
+    Every oracle here is deliberately naive — brute-force enumeration,
+    grid integration, textbook elimination — so that it shares no code,
+    no algorithm and ideally no failure mode with the implementation it
+    checks.  A divergence is reported as [Error message]; the
+    verification runner shrinks the triggering input. *)
+
+module Interval = Flames_fuzzy.Interval
+module Env = Flames_atms.Env
+module Netlist = Flames_circuit.Netlist
+
+(** {1 Minimal hitting sets vs [Atms.Hitting]} *)
+
+val brute_hitting : Env.t list -> Env.t list
+(** Enumerate every subset of the mentioned assumptions, keep those that
+    hit all conflicts, filter non-minimal ones, and order as
+    [Hitting.minimal_hitting_sets] does. *)
+
+val check_hitting : Env.t list -> (unit, string) result
+
+(** {1 Fuzzy arithmetic vs [Arith]} *)
+
+val naive_add : Interval.t -> Interval.t -> Interval.t
+val naive_sub : Interval.t -> Interval.t -> Interval.t
+val naive_mul : Interval.t -> Interval.t -> Interval.t
+val naive_div : Interval.t -> Interval.t -> Interval.t
+(** Alpha-cut interval arithmetic: the result's core and support are
+    computed cut-by-cut from the operand endpoints, independently of the
+    LR-hull formulas in [Arith].
+    @raise Flames_fuzzy.Arith.Undefined like its counterpart. *)
+
+val check_arith : Interval.t * Interval.t -> (unit, string) result
+(** Diffs add, sub, mul (always) and div (when the divisor's support
+    excludes 0), plus the algebraic guards [a - a ∋ 0] and
+    [a + b = b + a]. *)
+
+(** {1 Membership integrals and Dc vs [Piecewise]/[Consistency]} *)
+
+val grid_min_area : ?samples:int -> Interval.t -> Interval.t -> float
+(** Midpoint-rule integration of [min (mu a) (mu b)] — O(samples), no
+    breakpoint analysis, immune to the jump-at-breakpoint subtleties the
+    exact implementation must handle. *)
+
+val grid_dc : measured:Interval.t -> nominal:Interval.t -> float
+
+val check_consistency : Interval.t * Interval.t -> (unit, string) result
+(** Diffs [Piecewise.min_area]/[max_area] and [Consistency.dc] against
+    the grid versions (within grid tolerance), and checks the Dc range
+    and NaN-freeness on both operand orders. *)
+
+(** {1 DC solve vs [Sim.Mna]} *)
+
+val dense_solve : Netlist.t -> (string * float) list
+(** Textbook dense nodal analysis of a resistor/voltage-source netlist
+    (the shape {!Gen.ladder} produces) with its own Gauss–Jordan
+    elimination: node voltages, ground at 0.
+    @raise Invalid_argument on unsupported component kinds. *)
+
+val check_mna : Netlist.t -> (unit, string) result
+
+(** {1 Batch engine vs sequential diagnosis} *)
+
+val result_fingerprint : Flames_core.Diagnose.result -> string
+(** Canonical rendering of every reported field of a diagnosis with
+    hex-exact floats: two results compare equal iff their diagnostic
+    content is bit-identical. *)
+
+val check_batch :
+  ?workers:int list -> Flames_engine.Batch.job list -> (unit, string) result
+(** Runs the jobs sequentially, then through the pool at each worker
+    count (default [[1; 2; 4]]) with a cold cache, and once more warm
+    (reusing a pre-filled cache); every outcome must succeed with a
+    fingerprint bit-identical to the sequential reference. *)

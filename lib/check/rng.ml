@@ -1,0 +1,43 @@
+(* Splitmix64 (Steele, Lea & Flood 2014): tiny, full-period, and entirely
+   specified by these few lines — the reproducibility contract of the
+   whole verification layer rests on this function never changing. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let make seed = { state = Int64.of_int seed }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let case_seed ~seed ~case =
+  let s = Int64.add (Int64.of_int seed) (Int64.mul golden (Int64.of_int (case + 1))) in
+  Int64.to_int (mix s)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let float t bound =
+  let mask = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float mask /. 9007199254740992. *. bound
+
+let range t lo hi = lo +. float t (hi -. lo)
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let chance t p = float t 1. < p
+
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | xs -> List.nth xs (int t (List.length xs))

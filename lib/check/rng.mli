@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random stream for the verification layer.
+
+    A self-contained splitmix64 generator: the stream depends only on the
+    integer seed, never on any global state, OCaml version or platform
+    word order, so every failure report's [(seed, case)] pair replays the
+    exact same scenario forever.  (The stdlib [Random] is avoided on
+    purpose: its algorithm is not part of its interface contract.) *)
+
+type t
+
+val make : int -> t
+(** Fresh stream from a seed. *)
+
+val case_seed : seed:int -> case:int -> int
+(** The derived seed of one numbered case of a run: mixing rather than
+    sequential draws, so any case replays without generating its
+    predecessors. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit draw. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly in [[0, bound)].
+    @raise Invalid_argument when [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly in [[0, bound)]. *)
+
+val range : t -> float -> float -> float
+(** Uniform draw in [[lo, hi)]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform pick. @raise Invalid_argument on an empty list. *)

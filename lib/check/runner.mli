@@ -1,0 +1,24 @@
+(** The deep verification sweep behind [flames_cli check] and
+    [make check-deep].
+
+    Each section draws seeded random cases from {!Gen} and checks one
+    production path against its {!Oracle} or {!Invariant}; the first
+    failure is shrunk and reported with its reproduction seed. *)
+
+type section = {
+  name : string;
+  cases : int;  (** cases passed before stopping *)
+  failure : string option;  (** shrunk counterexample report *)
+}
+
+val run_all :
+  ?seed:int -> ?log:(string -> unit) -> iters:int -> unit -> section list
+(** [run_all ~iters ()] runs every section.  [iters] scales every
+    budget: the cheap oracle diffs (hitting sets, arithmetic,
+    consistency, MNA, ATMS audits) run [iters] cases each, the full
+    diagnosis invariants run [iters/10], the batch-determinism section
+    [max 1 (iters/200)] rounds.  [log] receives one progress line per
+    section (default: none). *)
+
+val ok : section list -> bool
+val pp : Format.formatter -> section list -> unit

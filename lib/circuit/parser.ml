@@ -108,12 +108,13 @@ let component_of_card line card =
            ~input ~output)
     | "d", [ name; p; n ] ->
       let imax = value_attr "imax" in
+      if imax <= 0. then fail line "imax must be positive (got %g)" imax;
       Some
         (Component.diode name
            ~forward_drop:(toleranced line (value_attr "vf") tol)
            ~max_current:
-             (Interval.make ~m1:(-.Float.abs imax /. 100.) ~m2:imax ~alpha:0.
-                ~beta:(0.1 *. Float.abs imax))
+             (Interval.make ~m1:(-.imax /. 100.) ~m2:imax ~alpha:0.
+                ~beta:(0.1 *. imax))
            ~p ~n)
     | "q", [ name; b; c; e ] ->
       Some
@@ -150,6 +151,9 @@ let parse source =
       match component_of_card lineno text with
       | Some comp -> components := comp :: !components
       | None -> ()
+      (* values like "1e999" parse to a float but not to a valid fuzzy
+         interval; surface them as parse errors, not exceptions *)
+      | exception Interval.Invalid message -> fail lineno "%s" message
   in
   match
     String.split_on_char '\n' source

@@ -10,24 +10,37 @@ type coincidence =
 
 let area_epsilon = 1e-12
 
+(* Guard against float pathologies (0/0, inf/inf): any NaN ratio means a
+   degenerate overlap computation, and a degenerate overlap is no
+   overlap. *)
+let ratio01 num den =
+  let r = num /. den in
+  if r <> r then 0. else Float.max 0. (Float.min 1. r)
+
 let dc ~measured ~nominal =
-  let am = Interval.area measured in
-  if am <= area_epsilon then
-    (* limit case: a crisp point; Dc degenerates to the membership of the
-       point in the nominal distribution *)
-    Interval.membership nominal (Interval.midpoint measured)
+  if not (Interval.overlap measured nominal) then
+    (* disjoint supports: no consistency at all, whatever the shapes
+       (including two distinct degenerate points) *)
+    0.
   else
-    let inter = Piecewise.min_area measured nominal in
-    Float.max 0. (Float.min 1. (inter /. am))
+    let am = Interval.area measured in
+    if am <= area_epsilon then
+      (* limit case: a crisp point; Dc degenerates to the membership of the
+         point in the nominal distribution *)
+      Interval.membership nominal (Interval.midpoint measured)
+    else ratio01 (Piecewise.min_area measured nominal) am
 
 (* A deviation direction is only meaningful once there is a deviation:
    quasi-consistent pairs (Dc close to 1) are classified Within, the rest
-   by comparing centroids. *)
+   by comparing centroids.  A centroid tie carries no direction either
+   (e.g. a symmetric spread deviation), so it is also Within — this is
+   what keeps the direction stable under operand swap: Low and High
+   exchange exactly, Within is preserved. *)
 let direction_of ~measured ~nominal d =
   if d >= 0.995 then Within
   else
     let cm = Interval.centroid measured and cn = Interval.centroid nominal in
-    if cm < cn then Low else High
+    if cm < cn then Low else if cm > cn then High else Within
 
 let verdict ~measured ~nominal =
   let d = dc ~measured ~nominal in

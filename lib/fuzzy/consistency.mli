@@ -6,7 +6,11 @@
     "X ∈ Vn" is necessarily true), [Dc = 0] when the supports are
     disjoint, and [0 < Dc < 1] for a partial conflict. *)
 
-(** Side of the nominal value on which the measured value (mostly) lies. *)
+(** Side of the nominal value on which the measured value (mostly) lies.
+    The classification is antisymmetric under operand swap: if [measured]
+    deviates [Low] of [nominal] then [nominal] deviates [High] of
+    [measured], and [Within] (including the directionless centroid-tie
+    case, e.g. a pure spread deviation) is preserved. *)
 type direction =
   | Within  (** measured centroid inside the nominal core *)
   | Low  (** measured centroid below the nominal core *)
@@ -26,10 +30,11 @@ type coincidence =
   | Conflict  (** disjoint supports, Dc = 0 *)
 
 val dc : measured:Interval.t -> nominal:Interval.t -> float
-(** [dc ~measured ~nominal] is the degree of consistency.  When the
-    measured value has (near-)zero area — a crisp point — the limit
-    definition is used: the membership of the point's core midpoint in
-    the nominal value. *)
+(** [dc ~measured ~nominal] is the degree of consistency, always a number
+    in [0, 1] (never NaN).  When the measured value has (near-)zero
+    area — a crisp point — the limit definition is used: the membership
+    of the point's core midpoint in the nominal value.  Disjoint supports
+    give exactly 0, including between two degenerate points. *)
 
 val verdict : measured:Interval.t -> nominal:Interval.t -> verdict
 (** Dc together with the deviation direction. *)

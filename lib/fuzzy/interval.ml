@@ -2,16 +2,32 @@ type t = { m1 : float; m2 : float; alpha : float; beta : float }
 
 exception Invalid of string
 
-let is_nan (x : float) = x <> x
+let is_finite (x : float) = x -. x = 0.
 
 let make ~m1 ~m2 ~alpha ~beta =
-  if is_nan m1 || is_nan m2 || is_nan alpha || is_nan beta then
-    raise (Invalid "fuzzy interval field is NaN");
+  if not (is_finite m1 && is_finite m2 && is_finite alpha && is_finite beta)
+  then
+    raise
+      (Invalid
+         (Printf.sprintf "non-finite fuzzy interval field: [%g,%g,%g,%g]" m1
+            m2 alpha beta));
   if m1 > m2 then
     raise (Invalid (Printf.sprintf "core bounds inverted: m1=%g > m2=%g" m1 m2));
   if alpha < 0. || beta < 0. then
     raise (Invalid (Printf.sprintf "negative flank: alpha=%g beta=%g" alpha beta));
   { m1; m2; alpha; beta }
+
+(* Repair instead of reject: used by generators and by call sites whose
+   inputs are computed and may be degenerate by construction. *)
+let normalized ~m1 ~m2 ~alpha ~beta =
+  if not (is_finite m1 && is_finite m2 && is_finite alpha && is_finite beta)
+  then
+    raise
+      (Invalid
+         (Printf.sprintf "non-finite fuzzy interval field: [%g,%g,%g,%g]" m1
+            m2 alpha beta));
+  let m1, m2 = if m1 <= m2 then (m1, m2) else (m2, m1) in
+  { m1; m2; alpha = Float.max 0. alpha; beta = Float.max 0. beta }
 
 let crisp m = make ~m1:m ~m2:m ~alpha:0. ~beta:0.
 let crisp_interval a b = make ~m1:a ~m2:b ~alpha:0. ~beta:0.

@@ -17,15 +17,23 @@ type t = private {
 }
 
 exception Invalid of string
-(** Raised by constructors on malformed parameters (NaN, [m1 > m2],
-    negative flank width). *)
+(** Raised by constructors on malformed parameters (non-finite field,
+    [m1 > m2], negative flank width). *)
 
 (** {1 Constructors} *)
 
 val make : m1:float -> m2:float -> alpha:float -> beta:float -> t
 (** [make ~m1 ~m2 ~alpha ~beta] builds the fuzzy interval
     [[m1, m2, alpha, beta]].
-    @raise Invalid if [m1 > m2], a flank is negative, or any field is NaN. *)
+    @raise Invalid if [m1 > m2], a flank is negative, or any field is
+    NaN or infinite. *)
+
+val normalized : m1:float -> m2:float -> alpha:float -> beta:float -> t
+(** Like {!make} but repairs instead of rejecting: swapped core bounds
+    are reordered and negative flanks clamped to 0.  For call sites whose
+    parameters are computed and may be degenerate by construction
+    (e.g. random generation, learned bounds).
+    @raise Invalid on non-finite fields, which are never repairable. *)
 
 val crisp : float -> t
 (** [crisp m] is the crisp number [[m, m, 0, 0]]. *)

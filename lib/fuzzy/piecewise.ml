@@ -13,10 +13,19 @@ let merged_breakpoints a b =
 
 let segment_integral f g lo hi =
   (* Integral of [min (f x) (g x)] and [max (f x) (g x)] over [lo, hi],
-     where f and g are linear on [lo, hi]. *)
+     where f and g are linear on the OPEN interval (lo, hi).  Membership
+     functions with zero-width flanks jump at their breakpoints, so the
+     endpoint values cannot be read at lo/hi directly: two interior
+     samples determine the line and extrapolate to the one-sided limits
+     (a jump at an endpoint has measure zero and must not contribute). *)
   if hi <= lo then (0., 0.)
   else
-    let fl = f lo and fh = f hi and gl = g lo and gh = g hi in
+    let x1 = lo +. ((hi -. lo) /. 3.) and x2 = hi -. ((hi -. lo) /. 3.) in
+    let limits f =
+      let f1 = f x1 and f2 = f x2 in
+      ((2. *. f1) -. f2, (2. *. f2) -. f1)
+    in
+    let fl, fh = limits f and gl, gh = limits g in
     let trap y0 y1 = (y0 +. y1) /. 2. *. (hi -. lo) in
     let dl = fl -. gl and dh = fh -. gh in
     if dl *. dh >= 0. then

@@ -7,7 +7,11 @@ let default_instrument = { relative = 0.01; floor = 1e-3 }
 let exact_instrument = { relative = 0.; floor = 0. }
 
 let fuzzify inst reading =
-  let spread = Float.max (inst.relative *. Float.abs reading) inst.floor in
+  (* a malformed instrument (negative imprecision) degrades to an exact
+     one rather than constructing a negative-flank interval *)
+  let spread =
+    Float.max 0. (Float.max (inst.relative *. Float.abs reading) inst.floor)
+  in
   if spread = 0. then Interval.crisp reading
   else Interval.number reading ~spread
 

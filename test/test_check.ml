@@ -1,0 +1,203 @@
+(* Tests for the verification subsystem itself (lib/check): the
+   differential oracles against the production paths, the ATMS and
+   diagnosis invariant auditors, and the determinism/shrinking contract
+   of the generator layer. *)
+
+module Gen = Flames_check.Gen
+module Oracle = Flames_check.Oracle
+module Invariant = Flames_check.Invariant
+module Rng = Flames_check.Rng
+module Env = Flames_atms.Env
+module Atms = Flames_atms.Atms
+module I = Flames_fuzzy.Interval
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let e = Env.of_list
+
+let expect_pass name count g prop =
+  match Gen.run ~seed:0xC0FFEE ~count g prop with
+  | Gen.Pass n -> check_int name count n
+  | Gen.Fail f ->
+    Alcotest.failf "%s: %a" name (Gen.pp_failure g) f
+
+(* {1 Hitting-set oracle (satellite: >= 500 random cases)} *)
+
+let test_hitting_oracle_random () =
+  expect_pass "hitting oracle" 500 Gen.conflict_sets Oracle.check_hitting
+
+let test_hitting_directed_edges () =
+  let ok name conflicts =
+    match Oracle.check_hitting conflicts with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "%s: %s" name m
+  in
+  ok "no conflicts" [];
+  ok "empty conflict alone" [ Env.empty ];
+  ok "empty conflict among others" [ e [ 1; 2 ]; Env.empty; e [ 3 ] ];
+  ok "exact duplicates" [ e [ 1; 2 ]; e [ 1; 2 ]; e [ 1; 2 ] ];
+  ok "subset pair" [ e [ 1 ]; e [ 1; 2; 3 ] ];
+  ok "disjoint conflicts" [ e [ 1; 2 ]; e [ 3; 4 ]; e [ 5; 6 ] ];
+  ok "twelve assumptions, overlapping"
+    [
+      e [ 0; 1; 2; 3 ]; e [ 3; 4; 5; 6 ]; e [ 6; 7; 8; 9 ];
+      e [ 9; 10; 11 ]; e [ 0; 11 ]; e [ 2; 5; 8 ];
+    ];
+  (* brute-force ground truth on a case small enough to read off *)
+  Alcotest.(check int)
+    "brute count" 2
+    (List.length (Oracle.brute_hitting [ e [ 1; 2 ]; e [ 2; 3 ] ]));
+  check_bool "brute contains {2}" true
+    (List.exists (Env.equal (e [ 2 ])) (Oracle.brute_hitting [ e [ 1; 2 ]; e [ 2; 3 ] ]))
+
+(* {1 Arithmetic / consistency / MNA oracles} *)
+
+let interval_pairs =
+  {
+    Gen.gen =
+      (fun rng ->
+        let a = Gen.interval.Gen.gen rng in
+        let b = Gen.interval.Gen.gen rng in
+        (a, b));
+    shrink =
+      (fun (a, b) ->
+        List.map (fun a' -> (a', b)) (Gen.interval.Gen.shrink a)
+        @ List.map (fun b' -> (a, b')) (Gen.interval.Gen.shrink b));
+    print =
+      (fun (a, b) ->
+        Gen.interval.Gen.print a ^ "  |  " ^ Gen.interval.Gen.print b);
+  }
+
+let test_arith_oracle () =
+  expect_pass "alpha-cut arith oracle" 300 interval_pairs Oracle.check_arith
+
+let test_consistency_oracle () =
+  expect_pass "grid Dc oracle" 300 interval_pairs Oracle.check_consistency
+
+let test_mna_oracle () =
+  expect_pass "dense MNA oracle" 200 Gen.ladder (fun l ->
+      Oracle.check_mna (Gen.netlist_of_ladder l))
+
+(* {1 ATMS label audit} *)
+
+let test_atms_audit_random () =
+  expect_pass "ATMS label laws" 200 Gen.atms_spec (fun spec ->
+      Invariant.audit_atms (Gen.build_atms spec))
+
+let test_atms_audit_debug_hook () =
+  (* with the debug hook armed, every install self-checks *)
+  let t = Atms.create () in
+  Atms.set_debug t true;
+  check_bool "debug armed" true (Atms.debug t);
+  let a = Atms.assumption t "a" and b = Atms.assumption t "b" in
+  let n = Atms.node t "n" in
+  Atms.justify t ~degree:0.9 ~antecedents:[ a ] n;
+  Atms.justify t ~degree:0.4 ~antecedents:[ b ] n;
+  Atms.justify t ~degree:1.0 ~antecedents:[ n ] (Atms.contradiction t);
+  check_int "no violations" 0 (List.length (Atms.audit t))
+
+(* {1 Diagnosis invariants on random circuits} *)
+
+let test_diagnosis_invariants () =
+  expect_pass "diagnosis invariants" 25 Gen.scenario (fun sc ->
+      let nominal, _ = Gen.scenario_netlists sc in
+      Invariant.audit_result
+        (Flames_core.Diagnose.run nominal (Gen.scenario_observations sc)))
+
+(* {1 Batch determinism (satellite: 1/2/4 workers, cold and warm)} *)
+
+let test_batch_determinism () =
+  expect_pass "batch == sequential" 2
+    {
+      Gen.gen =
+        (fun rng -> List.init 3 (fun _ -> Gen.scenario.Gen.gen rng));
+      shrink = (fun _ -> []);
+      print =
+        (fun scs -> String.concat "\n--\n" (List.map Gen.scenario.Gen.print scs));
+    }
+    (fun scs ->
+      let jobs =
+        List.mapi
+          (fun i sc ->
+            let nominal, _ = Gen.scenario_netlists sc in
+            Flames_engine.Batch.job
+              ~label:(Printf.sprintf "job%d" i)
+              nominal
+              (Gen.scenario_observations sc))
+          scs
+      in
+      Oracle.check_batch ~workers:[ 1; 2; 4 ] jobs)
+
+(* {1 Generator layer: determinism, replay, shrinking} *)
+
+let test_gen_determinism () =
+  let draw seed =
+    let rng = Rng.make (Rng.case_seed ~seed ~case:7) in
+    Gen.scenario.Gen.print (Gen.scenario.Gen.gen rng)
+  in
+  check_string "same seed, same scenario" (draw 42) (draw 42);
+  check_bool "different seed, different scenario" true (draw 42 <> draw 43)
+
+let test_gen_shrinking () =
+  (* a property that rejects any conflict set with >= 2 conflicts must
+     shrink to exactly 2, and the failure must replay bit-identically *)
+  let prop cs =
+    if List.length cs >= 2 then Error "too many conflicts" else Ok ()
+  in
+  let run () =
+    match Gen.run ~seed:11 ~count:200 Gen.conflict_sets prop with
+    | Gen.Pass _ -> Alcotest.fail "property unexpectedly passed"
+    | Gen.Fail f -> f
+  in
+  let f = run () and f' = run () in
+  check_int "shrunk to the boundary" 2 (List.length f.Gen.shrunk);
+  check_int "replay: same case" f.Gen.case f'.Gen.case;
+  check_string "replay: same counterexample"
+    (Gen.conflict_sets.Gen.print f.Gen.shrunk)
+    (Gen.conflict_sets.Gen.print f'.Gen.shrunk);
+  check_bool "reports the message" true (f.Gen.message = "too many conflicts")
+
+let test_gen_well_formed () =
+  (* every generated and every shrunk scenario must build a valid netlist *)
+  expect_pass "netlists well-formed" 100 Gen.scenario (fun sc ->
+      let nominal, faulty = Gen.scenario_netlists sc in
+      let solvable n =
+        match Flames_sim.Mna.solve n with
+        | _ -> Ok ()
+        | exception ex -> Error (Printexc.to_string ex)
+      in
+      Result.bind (solvable nominal) (fun () -> solvable faulty))
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "hitting-oracle",
+        [
+          Alcotest.test_case "random-500" `Slow test_hitting_oracle_random;
+          Alcotest.test_case "directed-edges" `Quick test_hitting_directed_edges;
+        ] );
+      ( "fuzzy-oracles",
+        [
+          Alcotest.test_case "arith" `Slow test_arith_oracle;
+          Alcotest.test_case "consistency" `Slow test_consistency_oracle;
+        ] );
+      ("mna-oracle", [ Alcotest.test_case "dense-solve" `Slow test_mna_oracle ]);
+      ( "atms-audit",
+        [
+          Alcotest.test_case "random-networks" `Slow test_atms_audit_random;
+          Alcotest.test_case "debug-hook" `Quick test_atms_audit_debug_hook;
+        ] );
+      ( "diagnosis",
+        [ Alcotest.test_case "invariants" `Slow test_diagnosis_invariants ] );
+      ( "engine",
+        [ Alcotest.test_case "batch-determinism" `Slow test_batch_determinism ]
+      );
+      ( "generator",
+        [
+          Alcotest.test_case "determinism" `Quick test_gen_determinism;
+          Alcotest.test_case "shrinking" `Quick test_gen_shrinking;
+          Alcotest.test_case "well-formed" `Slow test_gen_well_formed;
+        ] );
+    ]

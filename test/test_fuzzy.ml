@@ -525,6 +525,76 @@ let properties =
         E.entropy_defuzzified (List.map I.crisp ps) >= -0.1);
   ]
 
+(* {1 Regressions: degenerate Dc operands and direction symmetry} *)
+
+let test_dc_degenerate_edges () =
+  let is_nan (x : float) = x <> x in
+  let point x = I.crisp x in
+  let wide = I.make ~m1:1. ~m2:3. ~alpha:1. ~beta:1. in
+  let cases =
+    [
+      ("point vs same point", point 2., point 2., 1.);
+      ("point vs other point", point 2., point 5., 0.);
+      ("point inside nominal", point 2., wide, 1.);
+      ("point outside nominal", point 9., wide, 0.);
+      ("wide vs point nominal", wide, point 2., 0.);
+      ("disjoint supports", I.make ~m1:0. ~m2:1. ~alpha:0.5 ~beta:0.5,
+       I.make ~m1:10. ~m2:11. ~alpha:0.5 ~beta:0.5, 0.);
+      ("disjoint degenerate pair", point 0., point 1., 0.);
+      ("zero-area crisp pair disjoint", I.crisp 1., I.crisp 2., 0.);
+    ]
+  in
+  List.iter
+    (fun (name, m, n, expected) ->
+      let d = C.dc ~measured:m ~nominal:n in
+      check_bool (name ^ " not NaN") false (is_nan d);
+      check_float name expected d)
+    cases
+
+let test_direction_swap_stable () =
+  let flip = function
+    | C.Low -> C.High
+    | C.High -> C.Low
+    | C.Within -> C.Within
+  in
+  let pairs =
+    [
+      (I.make ~m1:0. ~m2:1. ~alpha:0.5 ~beta:0.5,
+       I.make ~m1:2. ~m2:3. ~alpha:0.5 ~beta:0.5);
+      (I.make ~m1:0. ~m2:1. ~alpha:0.5 ~beta:0.5,
+       I.make ~m1:0.8 ~m2:2. ~alpha:0.5 ~beta:0.5);
+      (* pure spread deviation: same centroid, different widths *)
+      (I.number 0. ~spread:1., I.number 0. ~spread:4.);
+      (I.crisp 5., I.make ~m1:4. ~m2:6. ~alpha:1. ~beta:1.);
+    ]
+  in
+  List.iter
+    (fun (a, b) ->
+      let vab = C.verdict ~measured:a ~nominal:b
+      and vba = C.verdict ~measured:b ~nominal:a in
+      check_bool "direction flips under operand swap" true
+        (vba.C.direction = flip vab.C.direction);
+      (* and the signed display convention never disagrees in sign *)
+      let sab = C.signed_dc ~measured:a ~nominal:b
+      and sba = C.signed_dc ~measured:b ~nominal:a in
+      check_bool "signed dc signs are coherent" true
+        (Float.abs sab <= 1. && Float.abs sba <= 1.))
+    pairs
+
+let test_make_normalized () =
+  Alcotest.check interval "reorders swapped core"
+    (I.make ~m1:1. ~m2:2. ~alpha:0.5 ~beta:0.25)
+    (I.normalized ~m1:2. ~m2:1. ~alpha:0.5 ~beta:0.25);
+  Alcotest.check interval "clamps negative flanks"
+    (I.make ~m1:0. ~m2:1. ~alpha:0. ~beta:0.)
+    (I.normalized ~m1:0. ~m2:1. ~alpha:(-3.) ~beta:(-0.1));
+  (match I.normalized ~m1:Float.infinity ~m2:1. ~alpha:0. ~beta:0. with
+  | exception I.Invalid _ -> ()
+  | _ -> Alcotest.fail "normalized must reject non-finite fields");
+  match I.make ~m1:0. ~m2:Float.infinity ~alpha:0. ~beta:0. with
+  | exception I.Invalid _ -> ()
+  | _ -> Alcotest.fail "make must reject non-finite fields"
+
 let () =
   Alcotest.run "fuzzy"
     [
@@ -574,6 +644,12 @@ let () =
           Alcotest.test_case "signed dc" `Quick test_signed_dc;
           Alcotest.test_case "classify (fig4)" `Quick test_classify_cases;
           Alcotest.test_case "nogood degree" `Quick test_nogood_degree;
+          Alcotest.test_case "degenerate dc edges" `Quick
+            test_dc_degenerate_edges;
+          Alcotest.test_case "direction swap stability" `Quick
+            test_direction_swap_stable;
+          Alcotest.test_case "normalized constructor" `Quick
+            test_make_normalized;
         ] );
       ( "linguistic",
         [
