@@ -309,12 +309,10 @@ let emit_engine_json () =
         Engine.Stats.cache_hits = first.Engine.Stats.cache_hits;
         cache_misses = first.Engine.Stats.cache_misses }
     in
-    Printf.sprintf
-      "    { \"workers\": %d, \"cache\": %S, \"wall_s\": %.4f, \"cpu_s\": \
-       %.4f, \"jobs_per_s\": %.3f, \"cache_hits\": %d, \"cache_misses\": %d }"
-      workers label stats.Engine.Stats.wall_time stats.Engine.Stats.cpu_time
-      (Engine.Stats.throughput stats)
-      stats.Engine.Stats.cache_hits stats.Engine.Stats.cache_misses
+    (* one schema for engine stats everywhere: these rows and the CLI's
+       --stats-json both come from [Stats.to_json_fields] *)
+    Format.asprintf "    { \"cache\": %S, %a }" label
+      Engine.Stats.to_json_fields stats
   in
   let cells =
     List.concat_map

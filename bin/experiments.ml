@@ -45,11 +45,11 @@ let () =
     match List.assoc_opt name experiments with
     | Some f -> f ()
     | None ->
-      Format.eprintf "unknown experiment %S; available: %s@." name
+      Flames_obs.Log.err "unknown experiment %S; available: %s" name
         (String.concat ", " (List.map fst experiments));
       exit 1
   end
   | _ ->
-    Format.eprintf "usage: experiments [%s]@."
+    Flames_obs.Log.err "usage: experiments [%s]"
       (String.concat "|" (List.map fst experiments));
     exit 1

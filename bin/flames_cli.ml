@@ -59,6 +59,58 @@ let parse_fault spec =
     Error (Printf.sprintf "bad fault spec %S (want comp.param=mode)" spec)
 
 open Cmdliner
+module Obs_log = Flames_obs.Log
+
+(* --trace/--metrics/--quiet/-v are shared by every subcommand: the term
+   performs its side effects (log level, tracer arming, at_exit
+   exporters) during argument evaluation and yields (), which each
+   command's run function consumes first. *)
+let obs_term =
+  let trace_arg =
+    let doc =
+      "Record a span trace of the whole run and write it to $(docv) as \
+       Chrome trace_event JSON (open in Perfetto, ui.perfetto.dev, or \
+       about:tracing)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_arg =
+    let doc = "Print the metrics-registry summary on stderr at exit." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let quiet_arg =
+    let doc = "Only log errors." in
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
+  in
+  let verbose_arg =
+    let doc = "Increase log verbosity (repeatable: -v info, -vv debug)." in
+    Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
+  in
+  let setup trace metrics quiet verbose =
+    Obs_log.set_level
+      (if quiet then Obs_log.Error
+       else
+         match List.length verbose with
+         | 0 -> Obs_log.Warn
+         | 1 -> Obs_log.Info
+         | _ -> Obs_log.Debug);
+    (* at_exit so the dumps also cover runs that fail and [exit 1] *)
+    Option.iter
+      (fun path ->
+        Flames_obs.Trace.start ();
+        at_exit (fun () ->
+            Flames_obs.Trace.stop ();
+            Flames_obs.Export.write_chrome_trace path;
+            Obs_log.info "trace: %d events -> %s"
+              (Flames_obs.Trace.event_count ())
+              path))
+      trace;
+    if metrics then
+      at_exit (fun () ->
+          Flames_obs.Export.summary Format.err_formatter;
+          Format.pp_print_flush Format.err_formatter ())
+  in
+  Term.(const setup $ trace_arg $ metrics_arg $ quiet_arg $ verbose_arg)
 
 let circuit_arg =
   let doc =
@@ -90,7 +142,7 @@ let with_circuit name f =
   match load_circuit name with
   | Ok netlist -> f netlist
   | Error e ->
-    Format.eprintf "%s@." e;
+    Obs_log.err "%s" e;
     exit 1
 
 let inject_opt netlist = function
@@ -125,20 +177,20 @@ let observations netlist probes relative =
   Flames_sim.Measure.probe_all ~instrument sol (List.map Q.voltage nodes)
 
 let bias_cmd =
-  let run name =
+  let run () name =
     with_circuit name (fun netlist ->
         let sol = Flames_sim.Mna.solve netlist in
         Format.printf "%a" Flames_sim.Mna.pp sol)
   in
   Cmd.v (Cmd.info "bias" ~doc:"Print the DC operating point.")
-    Term.(const run $ circuit_arg)
+    Term.(const run $ obs_term $ circuit_arg)
 
 let diagnose_cmd =
-  let run name fault probes trusted relative =
+  let run () name fault probes trusted relative =
     with_circuit name (fun nominal ->
         match inject_opt nominal fault with
         | Error e ->
-          Format.eprintf "%s@." e;
+          Obs_log.err "%s" e;
           exit 1
         | Ok faulty ->
           let obs = observations faulty probes relative in
@@ -153,15 +205,15 @@ let diagnose_cmd =
     (Cmd.info "diagnose"
        ~doc:"Simulate the (faulty) circuit, probe it and run the diagnosis.")
     Term.(
-      const run $ circuit_arg $ fault_arg $ probes_arg $ trusted_arg
-      $ instrument_arg)
+      const run $ obs_term $ circuit_arg $ fault_arg $ probes_arg
+      $ trusted_arg $ instrument_arg)
 
 let best_test_cmd =
-  let run name fault probes trusted relative =
+  let run () name fault probes trusted relative =
     with_circuit name (fun nominal ->
         match inject_opt nominal fault with
         | Error e ->
-          Format.eprintf "%s@." e;
+          Obs_log.err "%s" e;
           exit 1
         | Ok faulty ->
           let obs = observations faulty probes relative in
@@ -189,17 +241,17 @@ let best_test_cmd =
     (Cmd.info "best-test"
        ~doc:"Rank the unprobed nodes by fuzzy expected entropy.")
     Term.(
-      const run $ circuit_arg $ fault_arg $ probes_arg $ trusted_arg
-      $ instrument_arg)
+      const run $ obs_term $ circuit_arg $ fault_arg $ probes_arg
+      $ trusted_arg $ instrument_arg)
 
 let show_cmd =
-  let run name =
+  let run () name =
     with_circuit name (fun netlist ->
         print_string (Flames_circuit.Parser.to_string netlist))
   in
   Cmd.v
     (Cmd.info "show" ~doc:"Print the circuit in the netlist text format.")
-    Term.(const run $ circuit_arg)
+    Term.(const run $ obs_term $ circuit_arg)
 
 let frequencies_arg =
   let doc = "Frequency in hertz (repeatable)." in
@@ -211,11 +263,11 @@ let node_arg =
   Arg.(value & opt (some string) None & info [ "node" ] ~docv:"NODE" ~doc)
 
 let ac_cmd =
-  let run name fault frequencies node =
+  let run () name fault frequencies node =
     with_circuit name (fun nominal ->
         match inject_opt nominal fault with
         | Error e ->
-          Format.eprintf "%s@." e;
+          Obs_log.err "%s" e;
           exit 1
         | Ok netlist ->
           List.iter
@@ -237,27 +289,29 @@ let ac_cmd =
                       (Flames_sim.Ac.gain_db r n))
                   nodes
               | exception Flames_sim.Ac.Unsupported m ->
-                Format.eprintf "AC analysis unsupported: %s@." m;
+                Obs_log.err "AC analysis unsupported: %s" m;
                 exit 1)
             frequencies)
   in
   Cmd.v
     (Cmd.info "ac" ~doc:"Print the small-signal frequency response.")
-    Term.(const run $ circuit_arg $ fault_arg $ frequencies_arg $ node_arg)
+    Term.(
+      const run $ obs_term $ circuit_arg $ fault_arg $ frequencies_arg
+      $ node_arg)
 
 let dynamic_diagnose_cmd =
-  let run name fault frequencies node relative trusted =
+  let run () name fault frequencies node relative trusted =
     with_circuit name (fun nominal ->
         match inject_opt nominal fault with
         | Error e ->
-          Format.eprintf "%s@." e;
+          Obs_log.err "%s" e;
           exit 1
         | Ok faulty ->
           let node =
             match node with
             | Some n -> n
             | None ->
-              Format.eprintf "dynamic-diagnose requires --node@.";
+              Obs_log.err "dynamic-diagnose requires --node";
               exit 1
           in
           let instrument = { Flames_sim.Measure.relative; floor = 5e-4 } in
@@ -278,8 +332,8 @@ let dynamic_diagnose_cmd =
        ~doc:
          "Measure output magnitudes of the (faulty) circuit at the given           frequencies and run the frequency-domain diagnosis.")
     Term.(
-      const run $ circuit_arg $ fault_arg $ frequencies_arg $ node_arg
-      $ instrument_arg $ trusted_arg)
+      const run $ obs_term $ circuit_arg $ fault_arg $ frequencies_arg
+      $ node_arg $ instrument_arg $ trusted_arg)
 
 (* batch scenario files: one job per line,
      <circuit> [comp.param=mode] [probe,probe,...]
@@ -354,10 +408,18 @@ let file_arg =
   in
   Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
 
+let stats_json_arg =
+  let doc =
+    "Also write the run statistics to $(docv) as JSON (same schema as the \
+     bench harness's BENCH_*.json rows)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
+
 let batch_cmd =
-  let run file workers timeout trusted relative =
+  let run () file workers timeout trusted relative stats_json =
     if workers < 1 then begin
-      Format.eprintf "batch: --workers must be >= 1 (got %d)@." workers;
+      Obs_log.err "batch: --workers must be >= 1 (got %d)" workers;
       exit 1
     end;
     let jobs =
@@ -366,7 +428,7 @@ let batch_cmd =
       | Some path -> begin
         match read_batch_file path with
         | Error e ->
-          Format.eprintf "%s: %s@." path e;
+          Obs_log.err "%s: %s" path e;
           exit 1
         | Ok lines ->
           let config = { Flames_core.Model.default_config with trusted } in
@@ -387,6 +449,14 @@ let batch_cmd =
           Flames_engine.Batch.pp_outcome outcome)
       jobs outcomes;
     Format.printf "%a@." Flames_engine.Stats.pp stats;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Flames_engine.Stats.to_json stats);
+        output_char oc '\n';
+        close_out oc;
+        Obs_log.info "stats: wrote %s" path)
+      stats_json;
     if List.exists Result.is_error outcomes then exit 1
   in
   Cmd.v
@@ -396,20 +466,40 @@ let batch_cmd =
           domain-pool batch engine, with model-compilation caching, and \
           print per-job summaries plus engine statistics.")
     Term.(
-      const run $ file_arg $ workers_arg $ timeout_arg $ trusted_arg
-      $ instrument_arg)
+      const run $ obs_term $ file_arg $ workers_arg $ timeout_arg
+      $ trusted_arg $ instrument_arg $ stats_json_arg)
 
 let list_cmd =
   let run () =
     List.iter (fun (name, _) -> print_endline name) circuits
   in
   Cmd.v (Cmd.info "list" ~doc:"List the built-in circuits.")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term)
+
+let obs_demo_cmd =
+  let run () workers =
+    let rows, stats = Flames_experiments.Fig7.run_parallel ~workers () in
+    Flames_experiments.Fig7.print Format.std_formatter rows;
+    Format.printf "%a@.@." Flames_engine.Stats.pp stats;
+    Flames_obs.Export.summary Format.std_formatter
+  in
+  let workers_arg =
+    let doc = "Worker domains for the demo sweep (default 2)." in
+    Arg.(value & opt int 2 & info [ "workers"; "j" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "obs-demo"
+       ~doc:
+         "Observability showcase: run the paper's fig-7 defect sweep on \
+          the batch engine and print the metrics-registry summary.  Add \
+          --trace FILE to capture a Chrome trace with one track per \
+          worker domain, and --metrics for the registry dump on stderr.")
+    Term.(const run $ obs_term $ workers_arg)
 
 let check_cmd =
-  let run iters seed corpus_dir write_corpus skip_corpus =
+  let run () iters seed corpus_dir write_corpus skip_corpus =
     if iters < 1 then begin
-      Format.eprintf "check: --iters must be >= 1 (got %d)@." iters;
+      Obs_log.err "check: --iters must be >= 1 (got %d)" iters;
       exit 1
     end;
     if write_corpus then begin
@@ -435,7 +525,7 @@ let check_cmd =
     in
     if sweep_ok && corpus_ok then Format.printf "check: all sections ok@."
     else begin
-      Format.eprintf "check: FAILED@.";
+      Obs_log.err "check: FAILED";
       exit 1
     end
   in
@@ -473,7 +563,8 @@ let check_cmd =
           and diagnosis invariants on random circuits, and the golden \
           snapshot corpus of the amplifier experiments.")
     Term.(
-      const run $ iters_arg $ seed_arg $ corpus_arg $ write_arg $ skip_arg)
+      const run $ obs_term $ iters_arg $ seed_arg $ corpus_arg $ write_arg
+      $ skip_arg)
 
 let main =
   let info =
@@ -483,7 +574,7 @@ let main =
   Cmd.group info
     [
       bias_cmd; diagnose_cmd; best_test_cmd; ac_cmd; dynamic_diagnose_cmd;
-      batch_cmd; show_cmd; list_cmd; check_cmd;
+      batch_cmd; show_cmd; list_cmd; check_cmd; obs_demo_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,3 +1,19 @@
+module Metrics = Flames_obs.Metrics
+
+let firings_total =
+  Metrics.counter "flames_atms_justification_firings_total"
+    ~help:"Justifications re-fired during incremental label propagation"
+
+let label_updates_total =
+  Metrics.counter "flames_atms_label_updates_total"
+    ~help:"Label entries inserted (new minimal environments or raised degrees)"
+
+(* Gauge of live label environments in the most recently active network:
+   the working-set size that makes label propagation blow up. *)
+let label_envs_gauge =
+  Metrics.gauge "flames_atms_label_envs"
+    ~help:"Label environments held by the most recently updated ATMS"
+
 type labelled = { env : Env.t; degree : float }
 
 type target = Consequent of node | Contradiction_target
@@ -21,6 +37,7 @@ type t = {
   contra : node;
   db : Nogood.t;
   mutable debug : bool;
+  mutable label_entries : int;  (** total label entries across nodes *)
 }
 
 exception Audit_failure of string list
@@ -39,6 +56,7 @@ let create () =
     contra = fresh_node "\xe2\x8a\xa5";
     db = Nogood.create ();
     debug = false;
+    label_entries = 0;
   }
 
 let contradiction t = t.contra
@@ -64,6 +82,13 @@ let insert_entry entries entry =
 let filter_consistent t entries =
   List.filter (fun e -> not (Nogood.is_nogood t.db e.env)) entries
 
+(* All label mutation funnels through here so the environment-count
+   gauge tracks insertions, subsumption removals and nogood sweeps. *)
+let set_label t n label' =
+  t.label_entries <- t.label_entries + List.length label' - List.length n.label;
+  n.label <- label';
+  Metrics.gauge_set label_envs_gauge (float_of_int t.label_entries)
+
 let assumption t nm =
   if Hashtbl.mem t.assumptions_by_name nm then
     invalid_arg (Printf.sprintf "Atms.assumption: duplicate name %S" nm);
@@ -71,7 +96,7 @@ let assumption t nm =
   t.next_id <- id + 1;
   Hashtbl.add t.names id nm;
   let n = fresh_node ~assumption_id:id ("ok:" ^ nm) in
-  n.label <- [ { env = Env.singleton id; degree = 1. } ];
+  set_label t n [ { env = Env.singleton id; degree = 1. } ];
   Hashtbl.add t.assumptions_by_name nm n;
   t.all_nodes <- n :: t.all_nodes;
   n
@@ -117,7 +142,7 @@ let fire_environments jd antecedents =
 
 let sweep_hard_nogoods t =
   List.iter
-    (fun n -> n.label <- filter_consistent t n.label)
+    (fun n -> set_label t n (filter_consistent t n.label))
     t.all_nodes
 
 (* Incremental propagation with a work queue of justifications whose
@@ -127,6 +152,7 @@ let rec propagate t queue =
   match Queue.take_opt queue with
   | None -> ()
   | Some j ->
+    Metrics.incr firings_total;
     let fired = fire_environments j.jdegree j.antecedents in
     let fired = filter_consistent t fired in
     (match j.target with
@@ -149,7 +175,10 @@ let rec propagate t queue =
         List.fold_left
           (fun changed e ->
             let label', inserted = insert_entry target.label e in
-            if inserted then target.label <- label';
+            if inserted then begin
+              set_label t target label';
+              Metrics.incr label_updates_total
+            end;
             changed || inserted)
           false fired
       in
@@ -288,7 +317,8 @@ let premise t n =
   n.is_premise <- true;
   let label', inserted = insert_entry n.label { env = Env.empty; degree = 1. } in
   if inserted then begin
-    n.label <- label';
+    set_label t n label';
+    Metrics.incr label_updates_total;
     let queue = Queue.create () in
     List.iter (fun j -> Queue.add j queue) n.consumers;
     propagate t queue

@@ -1,3 +1,25 @@
+module Metrics = Flames_obs.Metrics
+module Trace = Flames_obs.Trace
+
+(* Hitting-set construction is the candidate-generation blow-up point
+   (abduction is where the complexity lives), so its in/out/prune
+   volumes are first-class metrics. *)
+let conflicts_total =
+  Metrics.counter "flames_hitting_conflicts_total"
+    ~help:"Conflict sets fed to minimal hitting-set enumeration"
+
+let candidates_total =
+  Metrics.counter "flames_hitting_candidates_total"
+    ~help:"Minimal hitting sets (candidate diagnoses) produced"
+
+let prunes_total =
+  Metrics.counter "flames_hitting_subsumption_prunes_total"
+    ~help:"Partial hitting sets discarded as supersets of a completed one"
+
+let seconds =
+  Metrics.histogram "flames_hitting_seconds"
+    ~help:"Latency of one minimal hitting-set enumeration"
+
 let hits_all candidate conflicts =
   List.for_all (fun c -> not (Env.disjoint candidate c)) conflicts
 
@@ -7,7 +29,9 @@ let hits_all candidate conflicts =
    no kept set is a subset of it, and partial sets subsumed by a completed
    set are pruned. *)
 let minimal_hitting_sets ?(limit = 10_000) conflicts =
+  Trace.with_span ~record:seconds "hitting.minimal" @@ fun () ->
   let conflicts = List.sort_uniq Env.compare conflicts in
+  Metrics.incr ~by:(List.length conflicts) conflicts_total;
   if conflicts = [] then [ Env.empty ]
   else if List.exists Env.is_empty conflicts then []
   else begin
@@ -22,7 +46,8 @@ let minimal_hitting_sets ?(limit = 10_000) conflicts =
     let seen = Hashtbl.create 256 in
     while (not (Queue.is_empty queue)) && List.length !complete < limit do
       let env = Queue.pop queue in
-      if not (is_subsumed env) then
+      if is_subsumed env then Metrics.incr prunes_total
+      else
         match first_missed env conflicts with
         | None -> complete := env :: !complete
         | Some c ->
@@ -36,6 +61,7 @@ let minimal_hitting_sets ?(limit = 10_000) conflicts =
               end)
             c ()
     done;
+    Metrics.incr ~by:(List.length !complete) candidates_total;
     let by_size a b =
       let c = Int.compare (Env.cardinal a) (Env.cardinal b) in
       if c <> 0 then c else Env.compare a b

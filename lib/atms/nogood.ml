@@ -1,6 +1,12 @@
 type entry = { env : Env.t; degree : float; reason : string }
 type t = { mutable items : entry list }
 
+(* Every nogood database in the process feeds one counter: conflict
+   discovery is the quantity the complexity results say to watch. *)
+let nogoods_total =
+  Flames_obs.Metrics.counter "flames_atms_nogoods_total"
+    ~help:"Fuzzy nogoods recorded across every ATMS/propagation database"
+
 let create () = { items = [] }
 
 let record db ?(reason = "") env degree =
@@ -20,6 +26,7 @@ let record db ?(reason = "") env degree =
           (fun e -> not (Env.subset env e.env && degree >= e.degree))
           db.items;
       db.items <- { env; degree; reason } :: db.items;
+      Flames_obs.Metrics.incr nogoods_total;
       true
     end
 

@@ -6,6 +6,31 @@ module Quantity = Flames_circuit.Quantity
 module Netlist = Flames_circuit.Netlist
 module Component = Flames_circuit.Component
 module Fault = Flames_circuit.Fault
+module Metrics = Flames_obs.Metrics
+module Trace = Flames_obs.Trace
+
+(* Stage telemetry for the interactive loop (§6–§8): each stage gets a
+   trace span and an always-on latency histogram, so a trace shows where
+   one diagnosis spent its time and the registry shows where a whole
+   workload did. *)
+let runs_total =
+  Metrics.counter "flames_diagnose_runs_total" ~help:"Completed diagnosis runs"
+
+let model_seconds =
+  Metrics.histogram "flames_diagnose_model_seconds"
+    ~help:"Model acquisition (constraint compilation) latency"
+
+let simulate_seconds =
+  Metrics.histogram "flames_diagnose_simulate_seconds"
+    ~help:"Nominal-prediction simulation (sensitivity sweep) latency"
+
+let fit_seconds =
+  Metrics.histogram "flames_diagnose_fit_seconds"
+    ~help:"Fault-model fit sweep latency (all suspects of one run)"
+
+let rank_seconds =
+  Metrics.histogram "flames_diagnose_rank_seconds"
+    ~help:"Candidate ranking (hitting sets, diagnoses, single faults)"
 
 type observation = Quantity.t * Interval.t
 
@@ -258,15 +283,22 @@ let simulator_predictions netlist model ~floor ~threshold =
 let run ?config ?limits ?model ?(prediction_floor = 1e-3)
     ?(sensitivity_threshold = 0.02) ?(prediction_degree = 0.95)
     ?(simulate_predictions = true) netlist observations =
+  Trace.with_span
+    ~args:[ ("circuit", netlist.Netlist.name) ]
+    "diagnose.run"
+  @@ fun () ->
   let model =
     match model with
     | Some m -> m
-    | None -> Model.compile ?config netlist
+    | None ->
+      Trace.with_span ~record:model_seconds "diagnose.model" (fun () ->
+          Model.compile ?config netlist)
   in
   let predictions =
     if simulate_predictions then
-      simulator_predictions netlist model ~floor:prediction_floor
-        ~threshold:sensitivity_threshold
+      Trace.with_span ~record:simulate_seconds "diagnose.simulate" (fun () ->
+          simulator_predictions netlist model ~floor:prediction_floor
+            ~threshold:sensitivity_threshold)
     else []
   in
   let degree = prediction_degree in
@@ -315,6 +347,7 @@ let run ?config ?limits ?model ?(prediction_floor = 1e-3)
   let conflicts = Propagate.conflicts engine in
   let name_of id = Model.assumption_name model id in
   let suspects =
+    Trace.with_span ~record:fit_seconds "diagnose.fit" @@ fun () ->
     Candidates.suspicions conflicts
     |> List.filter_map (fun (id, suspicion) ->
            let component = name_of id in
@@ -335,15 +368,21 @@ let run ?config ?limits ?model ?(prediction_floor = 1e-3)
            else
              Some { component; suspicion; explains = false; estimates = [] })
   in
-  let diagnoses =
-    Candidates.diagnoses conflicts
-    |> List.map (fun (d : Candidates.diagnosis) ->
-           (List.map name_of (Env.to_list d.Candidates.members), d.Candidates.rank))
+  let diagnoses, single_faults =
+    Trace.with_span ~record:rank_seconds "diagnose.rank" @@ fun () ->
+    let diagnoses =
+      Candidates.diagnoses conflicts
+      |> List.map (fun (d : Candidates.diagnosis) ->
+             ( List.map name_of (Env.to_list d.Candidates.members),
+               d.Candidates.rank ))
+    in
+    let single_faults =
+      Candidates.single_faults conflicts
+      |> List.map (fun (id, degree) -> (name_of id, degree))
+    in
+    (diagnoses, single_faults)
   in
-  let single_faults =
-    Candidates.single_faults conflicts
-    |> List.map (fun (id, degree) -> (name_of id, degree))
-  in
+  Metrics.incr runs_total;
   { netlist; symptoms; conflicts; suspects; diagnoses; single_faults; engine }
 
 let healthy result = result.conflicts = []

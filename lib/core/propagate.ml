@@ -4,6 +4,20 @@ module Env = Flames_atms.Env
 module Nogood = Flames_atms.Nogood
 module Candidates = Flames_atms.Candidates
 module Quantity = Flames_circuit.Quantity
+module Metrics = Flames_obs.Metrics
+module Trace = Flames_obs.Trace
+
+let steps_total =
+  Metrics.counter "flames_propagate_steps_total"
+    ~help:"Quantities dequeued by the local constraint propagator"
+
+let conflicts_total =
+  Metrics.counter "flames_propagate_conflicts_total"
+    ~help:"Coincidence conflicts recorded during propagation"
+
+let run_seconds =
+  Metrics.histogram "flames_propagate_run_seconds"
+    ~help:"Latency of one propagation run to quiescence"
 
 type limits = {
   max_values_per_cell : int;
@@ -97,7 +111,8 @@ let record_conflict t q (a : Value.t) (b : Value.t) dc =
   if degree >= t.limits.min_conflict_degree then begin
     let env = Env.union a.Value.env b.Value.env in
     let reason = Format.asprintf "%a" Quantity.pp q in
-    ignore (Nogood.record t.db ~reason env degree)
+    if Nogood.record t.db ~reason env degree then
+      Metrics.incr conflicts_total
   end
 
 (* A resident value makes a newcomer redundant either by proper
@@ -253,8 +268,11 @@ let predict t ?degree q interval env =
   if add_value t q (Value.given ?degree interval env) then enqueue t q
 
 let run t =
+  Trace.with_span ~record:run_seconds "propagate.run" @@ fun () ->
   seed t;
+  let steps0 = t.steps in
   let exception Budget in
+  let finish () = Metrics.incr ~by:(t.steps - steps0) steps_total in
   try
     while not (Queue.is_empty t.queue) do
       let q = Queue.pop t.queue in
@@ -273,10 +291,12 @@ let run t =
                     (fire t c target))
               (Constr.vars c))
         constraints
-    done
+    done;
+    finish ()
   with Budget ->
-    Logs.warn (fun m ->
-        m "propagation stopped after %d steps (budget exhausted)" t.steps)
+    finish ();
+    Flames_obs.Log.warn "propagation stopped after %d steps (budget exhausted)"
+      t.steps
 
 let values t q = List.sort Value.strength !(cell t q)
 

@@ -20,76 +20,75 @@ let job ?label ?config ?limits netlist observations =
 
 type outcome = (Diagnose.result, Pool.error) result
 
-type timed = {
-  result : Diagnose.result;
-  compile_s : float;
-  diagnose_s : float;
-}
+module Metrics = Flames_obs.Metrics
+module Trace = Flames_obs.Trace
 
 let now () = Unix.gettimeofday ()
 
+(* The job body records everything Stats later reports — stage latency
+   histograms, completion and conflict counters — into the registry;
+   nothing is tallied on the side. *)
 let run_one cache j =
-  let t0 = now () in
-  let model = Cache.compile cache ?config:j.config j.netlist in
-  let t1 = now () in
+  let model =
+    Trace.with_span ~record:Telemetry.compile_seconds "batch.compile"
+      (fun () -> Cache.compile cache ?config:j.config j.netlist)
+  in
   let result =
-    Diagnose.run ?config:j.config ?limits:j.limits ~model j.netlist
-      j.observations
+    Trace.with_span ~record:Telemetry.diagnose_seconds "batch.diagnose"
+      (fun () ->
+        Diagnose.run ?config:j.config ?limits:j.limits ~model j.netlist
+          j.observations)
   in
-  let t2 = now () in
-  { result; compile_s = t1 -. t0; diagnose_s = t2 -. t1 }
+  Metrics.incr Telemetry.jobs_completed_total;
+  Metrics.incr ~by:(List.length result.Diagnose.conflicts)
+    Telemetry.conflicts_total;
+  result
 
-let summarize ~workers ~cache_before ~cache_after ~wall ~cpu outcomes timings =
-  let succeeded, failed, conflicts =
+(* Stats is a read-out of the metrics registry: the run's share of every
+   counter/histogram is the delta between the reading taken at submit
+   time and the one at the last await.  Only the job outcome split
+   (ok/failed) comes from the outcome list itself — a job that outlives
+   its deadline still executes and is charged to the registry, but this
+   batch reports it as failed. *)
+let summarize ~workers ~wall ~cpu ~before ~after outcomes =
+  let d = Telemetry.delta before after in
+  let succeeded, failed =
     List.fold_left
-      (fun (ok, ko, cf) outcome ->
-        match outcome with
-        | Ok (r : Diagnose.result) ->
-          (ok + 1, ko, cf + List.length r.Diagnose.conflicts)
-        | Error _ -> (ok, ko + 1, cf))
-      (0, 0, 0) outcomes
-  in
-  let compile_wall, diagnose_wall =
-    List.fold_left
-      (fun (c, d) t -> (c +. t.compile_s, d +. t.diagnose_s))
-      (0., 0.) timings
+      (fun (ok, ko) outcome ->
+        match outcome with Ok _ -> (ok + 1, ko) | Error _ -> (ok, ko + 1))
+      (0, 0) outcomes
   in
   {
     Stats.jobs = List.length outcomes;
     succeeded;
     failed;
     workers;
-    conflicts;
-    cache_hits = cache_after.Cache.hits - cache_before.Cache.hits;
-    cache_misses = cache_after.Cache.misses - cache_before.Cache.misses;
+    conflicts = d.Telemetry.conflicts;
+    cache_hits = d.Telemetry.cache_hits;
+    cache_misses = d.Telemetry.cache_misses;
     wall_time = wall;
     cpu_time = cpu;
-    compile_wall;
-    diagnose_wall;
+    compile_wall = d.Telemetry.compile_wall;
+    diagnose_wall = d.Telemetry.diagnose_wall;
   }
 
 let run_in ~pool ?cache ?timeout jobs =
   let cache = match cache with Some c -> c | None -> Cache.create () in
-  let cache_before = Cache.stats cache in
+  let before = Telemetry.read () in
   let wall0 = now () and cpu0 = Sys.time () in
   let promises =
-    List.map (fun j -> Pool.submit pool ?timeout (fun () -> run_one cache j)) jobs
+    List.map
+      (fun j ->
+        Pool.submit pool ~label:j.label ?timeout (fun () -> run_one cache j))
+      jobs
   in
   (* awaiting in submission order is what makes the batch deterministic:
      completion order depends on scheduling, the returned list does not *)
-  let resolved = List.map Pool.await promises in
+  let outcomes = (List.map Pool.await promises : outcome list) in
   let wall = now () -. wall0 and cpu = Sys.time () -. cpu0 in
-  let outcomes =
-    List.map
-      (function Ok t -> Ok t.result | Error e -> (Error e : outcome))
-      resolved
-  in
-  let timings =
-    List.filter_map (function Ok t -> Some t | Error _ -> None) resolved
-  in
   let stats =
-    summarize ~workers:(Pool.workers pool) ~cache_before
-      ~cache_after:(Cache.stats cache) ~wall ~cpu outcomes timings
+    summarize ~workers:(Pool.workers pool) ~wall ~cpu ~before
+      ~after:(Telemetry.read ()) outcomes
   in
   (outcomes, stats)
 
@@ -98,16 +97,13 @@ let run ?workers ?cache ?timeout jobs =
 
 let sequential ?cache jobs =
   let cache = match cache with Some c -> c | None -> Cache.create () in
-  let cache_before = Cache.stats cache in
+  let before = Telemetry.read () in
   let wall0 = now () and cpu0 = Sys.time () in
-  let timings = List.map (run_one cache) jobs in
+  let results = List.map (run_one cache) jobs in
   let wall = now () -. wall0 and cpu = Sys.time () -. cpu0 in
-  let results = List.map (fun t -> t.result) timings in
   let stats =
-    summarize ~workers:1 ~cache_before ~cache_after:(Cache.stats cache) ~wall
-      ~cpu
-      (List.map (fun t -> Ok t.result) timings)
-      timings
+    summarize ~workers:1 ~wall ~cpu ~before ~after:(Telemetry.read ())
+      (List.map (fun r -> Ok r) results)
   in
   (results, stats)
 

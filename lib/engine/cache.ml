@@ -5,14 +5,19 @@ module Interval = Flames_fuzzy.Interval
 
 type entry = { model : Model.t; mutable last_used : int }
 
+(* The per-instance counters are atomics, not plain fields: [stats]
+   reads them without taking the cache mutex, and future lock-narrowing
+   must not be able to lose increments under domain contention.  Each
+   bump also feeds the process-global registry counterparts
+   ([Telemetry.cache_*]), which is what traces and exporters read. *)
 type t = {
   mutex : Mutex.t;
   table : (string, entry) Hashtbl.t;
   capacity : int;
   mutable tick : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
 }
 
 type stats = {
@@ -30,9 +35,9 @@ let create ?(capacity = 64) () =
     table = Hashtbl.create (2 * capacity);
     capacity;
     tick = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
   }
 
 (* Floats are rendered in hex so the fingerprint is bit-exact: a 1e-9
@@ -96,7 +101,8 @@ let evict_lru cache =
     match victim with
     | Some (key, _) ->
       Hashtbl.remove cache.table key;
-      cache.evictions <- cache.evictions + 1
+      Atomic.incr cache.evictions;
+      Flames_obs.Metrics.incr Telemetry.cache_evictions_total
     | None -> ()
   done
 
@@ -108,12 +114,14 @@ let compile cache ?config netlist =
   match Hashtbl.find_opt cache.table key with
   | Some entry ->
     entry.last_used <- tick;
-    cache.hits <- cache.hits + 1;
+    Atomic.incr cache.hits;
+    Flames_obs.Metrics.incr Telemetry.cache_hits_total;
     let model = entry.model in
     Mutex.unlock cache.mutex;
     model
   | None ->
-    cache.misses <- cache.misses + 1;
+    Atomic.incr cache.misses;
+    Flames_obs.Metrics.incr Telemetry.cache_misses_total;
     (* compile outside the lock so distinct keys compile in parallel;
        a racing domain may compile the same key twice — both results
        are identical and the first insertion wins *)
@@ -130,22 +138,22 @@ let compile cache ?config netlist =
         evict_lru cache;
         model
     in
+    Flames_obs.Metrics.gauge_set Telemetry.cache_resident
+      (float_of_int (Hashtbl.length cache.table));
     Mutex.unlock cache.mutex;
     model
 
 let stats cache =
   Mutex.lock cache.mutex;
-  let s =
-    {
-      hits = cache.hits;
-      misses = cache.misses;
-      evictions = cache.evictions;
-      size = Hashtbl.length cache.table;
-      capacity = cache.capacity;
-    }
-  in
+  let size = Hashtbl.length cache.table in
   Mutex.unlock cache.mutex;
-  s
+  {
+    hits = Atomic.get cache.hits;
+    misses = Atomic.get cache.misses;
+    evictions = Atomic.get cache.evictions;
+    size;
+    capacity = cache.capacity;
+  }
 
 let clear cache =
   Mutex.lock cache.mutex;

@@ -1,3 +1,6 @@
+module Metrics = Flames_obs.Metrics
+module Trace = Flames_obs.Trace
+
 type error =
   | Cancelled
   | Timed_out
@@ -9,6 +12,8 @@ type 'a promise = {
   p_mutex : Mutex.t;
   p_cond : Condition.t;
   deadline : float option;  (* absolute, seconds since the epoch *)
+  submitted : float;  (* enqueue instant, for the queue-wait histogram *)
+  label : string option;  (* span label in traces *)
   mutable running : bool;
   mutable result : ('a, error) result option;
 }
@@ -52,7 +57,17 @@ let run_job (Job (promise, f)) =
   else begin
     promise.running <- true;
     Mutex.unlock promise.p_mutex;
-    let outcome = match f () with v -> Ok v | exception e -> Error (Failed e) in
+    Metrics.observe Telemetry.queue_wait_seconds (now () -. promise.submitted);
+    (* the span runs on the worker domain, so each worker is its own
+       track in the exported trace *)
+    let args =
+      match promise.label with None -> [] | Some l -> [ ("label", l) ]
+    in
+    let outcome =
+      match Trace.with_span ~args "pool.job" f with
+      | v -> Ok v
+      | exception e -> Error (Failed e)
+    in
     Mutex.lock promise.p_mutex;
     resolve promise (if expired promise then Error Timed_out else outcome);
     Mutex.unlock promise.p_mutex
@@ -108,13 +123,17 @@ let create ?workers ?(minor_heap_words = 4_194_304) () =
 
 let workers pool = pool.nworkers
 
-let submit pool ?timeout f =
-  let deadline = Option.map (fun t -> now () +. t) timeout in
+let submit pool ?label ?timeout f =
+  let submitted = now () in
+  let deadline = Option.map (fun t -> submitted +. t) timeout in
+  Metrics.incr Telemetry.jobs_total;
   let promise =
     {
       p_mutex = Mutex.create ();
       p_cond = Condition.create ();
       deadline;
+      submitted;
+      label;
       running = false;
       result = None;
     }

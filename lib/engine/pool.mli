@@ -33,13 +33,19 @@ val create : ?workers:int -> ?minor_heap_words:int -> unit -> t
 
 val workers : t -> int
 
-val submit : t -> ?timeout:float -> (unit -> 'a) -> 'a promise
+val submit : t -> ?label:string -> ?timeout:float -> (unit -> 'a) -> 'a promise
 (** [submit pool job] enqueues [job] and returns immediately.  With
     [?timeout] (seconds, from submission) the promise resolves to
     [Error Cancelled] if the deadline passes while the job is still
     queued, and to [Error Timed_out] if it passes while the job is
     running — a running job cannot be preempted safely in OCaml, so it
     runs to completion but its result is discarded.
+
+    Observability: submission bumps [flames_engine_jobs_total]; when a
+    worker picks the job up, its queue wait lands in the
+    [flames_engine_queue_wait_seconds] histogram and the job body runs
+    inside a ["pool.job"] trace span (tagged with [?label]) on the
+    worker's own trace track.
     @raise Invalid_argument after {!shutdown}. *)
 
 val cancel : _ promise -> bool

@@ -23,3 +23,11 @@ val throughput : t -> float
 (** Jobs completed per wall-clock second ([0.] on an empty batch). *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_json_fields : Format.formatter -> t -> unit
+(** The stats as a braceless JSON field list ([ "jobs": 5, ... ]) so a
+    caller can splice extra context fields into the same object — the
+    bench harness's BENCH_*.json rows use exactly this schema. *)
+
+val to_json : t -> string
+(** [to_json t] is the fields wrapped in an object: [{ "jobs": 5, ... }]. *)

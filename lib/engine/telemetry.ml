@@ -1,0 +1,78 @@
+(* Well-known engine metrics, shared by Pool, Cache, Batch and Stats.
+
+   These live in the process-global Flames_obs.Metrics registry; the
+   batch runner reads them by delta (before/after a run), which is what
+   makes Stats a read-out of the registry instead of a parallel
+   hand-rolled tally. *)
+
+module Metrics = Flames_obs.Metrics
+
+let jobs_total =
+  Metrics.counter "flames_engine_jobs_total" ~help:"Jobs submitted to a pool"
+
+let jobs_completed_total =
+  Metrics.counter "flames_engine_jobs_completed_total"
+    ~help:"Jobs whose body ran to completion on a worker"
+
+let conflicts_total =
+  Metrics.counter "flames_engine_conflicts_total"
+    ~help:"Weighted conflicts produced by completed diagnosis jobs"
+
+let cache_hits_total =
+  Metrics.counter "flames_engine_cache_hits_total"
+    ~help:"Model-cache hits (all caches in the process)"
+
+let cache_misses_total =
+  Metrics.counter "flames_engine_cache_misses_total"
+    ~help:"Model-cache misses (compilations paid)"
+
+let cache_evictions_total =
+  Metrics.counter "flames_engine_cache_evictions_total"
+    ~help:"Models evicted by the LRU bound"
+
+let cache_resident =
+  Metrics.gauge "flames_engine_cache_resident"
+    ~help:"Models resident in the most recently used cache"
+
+let queue_wait_seconds =
+  Metrics.histogram "flames_engine_queue_wait_seconds"
+    ~help:"Time a job spent queued before a worker picked it up"
+
+let compile_seconds =
+  Metrics.histogram "flames_engine_compile_seconds"
+    ~help:"Per-job model acquisition (cache lookup or compile) latency"
+
+let diagnose_seconds =
+  Metrics.histogram "flames_engine_diagnose_seconds"
+    ~help:"Per-job diagnosis latency"
+
+(* A consistent registry reading of everything Batch folds into Stats;
+   subtracting two readings gives one run's contribution. *)
+type reading = {
+  completed : int;
+  conflicts : int;
+  cache_hits : int;
+  cache_misses : int;
+  compile_wall : float;
+  diagnose_wall : float;
+}
+
+let read () =
+  {
+    completed = Metrics.counter_value jobs_completed_total;
+    conflicts = Metrics.counter_value conflicts_total;
+    cache_hits = Metrics.counter_value cache_hits_total;
+    cache_misses = Metrics.counter_value cache_misses_total;
+    compile_wall = Metrics.histogram_sum compile_seconds;
+    diagnose_wall = Metrics.histogram_sum diagnose_seconds;
+  }
+
+let delta a b =
+  {
+    completed = b.completed - a.completed;
+    conflicts = b.conflicts - a.conflicts;
+    cache_hits = b.cache_hits - a.cache_hits;
+    cache_misses = b.cache_misses - a.cache_misses;
+    compile_wall = b.compile_wall -. a.compile_wall;
+    diagnose_wall = b.diagnose_wall -. a.diagnose_wall;
+  }

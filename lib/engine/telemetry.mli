@@ -1,0 +1,34 @@
+(** Well-known engine metrics in the {!Flames_obs.Metrics} registry.
+
+    {!Pool} observes queue waits, {!Cache} counts hits/misses/evictions,
+    {!Batch} observes per-job stage latencies — and then summarises a
+    run by subtracting two registry {!reading}s, so {!Stats} is a
+    read-out of the registry rather than a separate tally. *)
+
+val jobs_total : Flames_obs.Metrics.counter
+val jobs_completed_total : Flames_obs.Metrics.counter
+val conflicts_total : Flames_obs.Metrics.counter
+val cache_hits_total : Flames_obs.Metrics.counter
+val cache_misses_total : Flames_obs.Metrics.counter
+val cache_evictions_total : Flames_obs.Metrics.counter
+val cache_resident : Flames_obs.Metrics.gauge
+val queue_wait_seconds : Flames_obs.Metrics.histogram
+val compile_seconds : Flames_obs.Metrics.histogram
+val diagnose_seconds : Flames_obs.Metrics.histogram
+
+type reading = {
+  completed : int;
+  conflicts : int;
+  cache_hits : int;
+  cache_misses : int;
+  compile_wall : float;
+  diagnose_wall : float;
+}
+
+val read : unit -> reading
+(** Current registry values of the batch-relevant metrics.  Process
+    global: deltas attribute activity to a run only while runs do not
+    overlap (concurrent batches share one registry). *)
+
+val delta : reading -> reading -> reading
+(** [delta before after], fieldwise. *)

@@ -1,0 +1,140 @@
+(* Exporters over the trace buffers and the metrics registry:
+   Chrome trace_event JSON (Perfetto / about:tracing), Prometheus text
+   exposition, and a human-readable summary.  JSON is emitted by hand —
+   the observability layer stays dependency-free. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let pp_args ppf args =
+  Format.pp_print_string ppf "{";
+  List.iteri
+    (fun i (k, v) ->
+      Format.fprintf ppf "%s\"%s\": \"%s\""
+        (if i = 0 then "" else ", ")
+        (json_escape k) (json_escape v))
+    args;
+  Format.pp_print_string ppf "}"
+
+(* Timestamps are emitted in microseconds relative to the earliest
+   event, which keeps them readable and well inside double precision. *)
+let chrome_trace ppf =
+  let tracks = Trace.tracks () in
+  let t0 =
+    List.fold_left
+      (fun acc (_, events) ->
+        List.fold_left (fun acc (e : Trace.event) -> Float.min acc e.ts) acc events)
+      infinity tracks
+  in
+  let t0 = if t0 = infinity then 0. else t0 in
+  Format.fprintf ppf "{@\n  \"displayTimeUnit\": \"ms\",@\n  \"traceEvents\": [";
+  let first = ref true in
+  let emit_sep () =
+    if !first then first := false else Format.pp_print_string ppf ",";
+    Format.fprintf ppf "@\n    "
+  in
+  List.iter
+    (fun (tid, events) ->
+      emit_sep ();
+      Format.fprintf ppf
+        "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": %d, \
+         \"args\": {\"name\": \"domain %d\"}}"
+        tid tid;
+      List.iter
+        (fun (e : Trace.event) ->
+          emit_sep ();
+          let ph, extra =
+            match e.phase with
+            | Trace.Begin -> ("B", "")
+            | Trace.End -> ("E", "")
+            | Trace.Instant -> ("i", ", \"s\": \"t\"")
+          in
+          Format.fprintf ppf
+            "{\"name\": \"%s\", \"ph\": \"%s\", \"pid\": 1, \"tid\": %d, \
+             \"ts\": %.3f%s"
+            (json_escape e.name) ph e.tid
+            ((e.ts -. t0) *. 1e6)
+            extra;
+          if e.args <> [] then Format.fprintf ppf ", \"args\": %a" pp_args e.args;
+          Format.pp_print_string ppf "}")
+        events)
+    tracks;
+  Format.fprintf ppf "@\n  ]@\n}@\n"
+
+let write_chrome_trace path =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  chrome_trace ppf;
+  Format.pp_print_flush ppf ();
+  close_out oc
+
+(* Prometheus text exposition, format version 0.0.4. *)
+let pp_float ppf v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Format.fprintf ppf "%.0f" v
+  else Format.fprintf ppf "%g" v
+
+let prometheus ppf =
+  List.iter
+    (fun (s : Metrics.sample) ->
+      if s.Metrics.help <> "" then
+        Format.fprintf ppf "# HELP %s %s@\n" s.Metrics.name s.Metrics.help;
+      match s.Metrics.value with
+      | Metrics.Counter v ->
+        Format.fprintf ppf "# TYPE %s counter@\n%s %d@\n" s.Metrics.name
+          s.Metrics.name v
+      | Metrics.Gauge v ->
+        Format.fprintf ppf "# TYPE %s gauge@\n%s %a@\n" s.Metrics.name
+          s.Metrics.name pp_float v
+      | Metrics.Histogram { buckets; count; sum } ->
+        Format.fprintf ppf "# TYPE %s histogram@\n" s.Metrics.name;
+        let cumulative = ref 0 in
+        List.iter
+          (fun (bound, n) ->
+            cumulative := !cumulative + n;
+            if bound = infinity then
+              Format.fprintf ppf "%s_bucket{le=\"+Inf\"} %d@\n" s.Metrics.name
+                !cumulative
+            else
+              Format.fprintf ppf "%s_bucket{le=\"%g\"} %d@\n" s.Metrics.name
+                bound !cumulative)
+          buckets;
+        Format.fprintf ppf "%s_sum %g@\n%s_count %d@\n" s.Metrics.name sum
+          s.Metrics.name count)
+    (Metrics.snapshot ())
+
+let summary ppf =
+  let samples = Metrics.snapshot () in
+  Format.fprintf ppf "@[<v>metrics (%d registered):@," (List.length samples);
+  List.iter
+    (fun (s : Metrics.sample) ->
+      match s.Metrics.value with
+      | Metrics.Counter v -> Format.fprintf ppf "  %-44s %d@," s.Metrics.name v
+      | Metrics.Gauge v ->
+        Format.fprintf ppf "  %-44s %a@," s.Metrics.name pp_float v
+      | Metrics.Histogram { count; sum; _ } ->
+        Format.fprintf ppf "  %-44s count %d, sum %.6f s%s@," s.Metrics.name
+          count sum
+          (if count = 0 then ""
+           else Printf.sprintf ", mean %.2e s" (sum /. float_of_int count)))
+    samples;
+  let tracks = Trace.tracks () in
+  Format.fprintf ppf "trace: %d event%s across %d track%s (%s)@]@."
+    (Trace.event_count ())
+    (if Trace.event_count () = 1 then "" else "s")
+    (List.length tracks)
+    (if List.length tracks = 1 then "" else "s")
+    (if Trace.enabled () then "enabled" else "disabled")

@@ -1,0 +1,24 @@
+(** Exporters for {!Trace} recordings and the {!Metrics} registry. *)
+
+val chrome_trace : Format.formatter -> unit
+(** Emit every recorded trace event as Chrome [trace_event] JSON
+    ([{"traceEvents": [...]}]) — one track per domain, named via
+    [thread_name] metadata events, timestamps in microseconds relative
+    to the earliest event.  Load the output in Perfetto
+    ({{:https://ui.perfetto.dev}ui.perfetto.dev}) or
+    [chrome://tracing]. *)
+
+val write_chrome_trace : string -> unit
+(** {!chrome_trace} into a file. *)
+
+val prometheus : Format.formatter -> unit
+(** Prometheus text exposition (format 0.0.4) of the whole registry:
+    [# HELP]/[# TYPE] comments, cumulative [_bucket{le="..."}] series
+    plus [_sum]/[_count] for histograms. *)
+
+val summary : Format.formatter -> unit
+(** Human-readable one-line-per-metric dump plus a trace-buffer
+    status line. *)
+
+val json_escape : string -> string
+(** JSON string-body escaping (quotes, backslashes, control chars). *)

@@ -1,0 +1,51 @@
+(* Level-filtered, timestamped logging to stderr (or any formatter).
+
+   The level lives in an atomic so workers can log without a lock on
+   the filter check; emission itself takes a mutex so lines from
+   concurrent domains never interleave mid-line. *)
+
+type level = Error | Warn | Info | Debug
+
+let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+let tag = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let threshold = Atomic.make (severity Warn)
+
+let set_level l = Atomic.set threshold (severity l)
+
+let level () =
+  match Atomic.get threshold with
+  | 0 -> Error
+  | 1 -> Warn
+  | 2 -> Info
+  | _ -> Debug
+
+let out = ref Format.err_formatter
+let set_formatter ppf = out := ppf
+let mutex = Mutex.create ()
+
+let log lvl fmt =
+  if severity lvl <= Atomic.get threshold then begin
+    Mutex.lock mutex;
+    let ppf = !out in
+    let t = Unix.gettimeofday () in
+    let tm = Unix.localtime t in
+    let ms = int_of_float (Float.rem t 1. *. 1000.) in
+    Format.fprintf ppf "%02d:%02d:%02d.%03d %-5s " tm.Unix.tm_hour
+      tm.Unix.tm_min tm.Unix.tm_sec ms (tag lvl);
+    Format.kfprintf
+      (fun ppf ->
+        Format.fprintf ppf "@.";
+        Mutex.unlock mutex)
+      ppf fmt
+  end
+  else Format.ikfprintf (fun _ -> ()) Format.err_formatter fmt
+
+let err fmt = log Error fmt
+let warn fmt = log Warn fmt
+let info fmt = log Info fmt
+let debug fmt = log Debug fmt

@@ -1,0 +1,18 @@
+(** Minimal leveled logger: timestamped, level-tagged lines on stderr.
+
+    The default level is {!Warn}; the CLI's [--quiet] maps to {!Error}
+    and [-v]/[-vv] to {!Info}/{!Debug}.  Filtering is one atomic load;
+    emission is serialised across domains so lines never interleave. *)
+
+type level = Error | Warn | Info | Debug
+
+val set_level : level -> unit
+val level : unit -> level
+
+val set_formatter : Format.formatter -> unit
+(** Redirect output (default [Format.err_formatter]); used by tests. *)
+
+val err : ('a, Format.formatter, unit, unit) format4 -> 'a
+val warn : ('a, Format.formatter, unit, unit) format4 -> 'a
+val info : ('a, Format.formatter, unit, unit) format4 -> 'a
+val debug : ('a, Format.formatter, unit, unit) format4 -> 'a

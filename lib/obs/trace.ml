@@ -1,0 +1,116 @@
+(* Span tracer on per-domain buffers.
+
+   Each domain appends events to its own growable array (reached through
+   domain-local storage), so recording takes no lock and never contends;
+   the only synchronised structure is the registry of buffers, touched
+   once per domain.  Tracing is off by default: a disabled [with_span]
+   is one atomic load plus a tail call.  Collection ([events]/[tracks])
+   is meant for quiescence — after the traced work has completed — since
+   it reads other domains' buffers unsynchronised. *)
+
+type phase = Begin | End | Instant
+
+type event = {
+  name : string;
+  phase : phase;
+  ts : float;  (* Unix.gettimeofday seconds *)
+  tid : int;  (* emitting domain's id *)
+  args : (string * string) list;
+}
+
+type buf = { b_tid : int; mutable items : event array; mutable len : int }
+
+let placeholder = { name = ""; phase = Instant; ts = 0.; tid = 0; args = [] }
+
+let registry : buf list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let buf_key =
+  Domain.DLS.new_key (fun () ->
+      let b = { b_tid = (Domain.self () :> int); items = [||]; len = 0 } in
+      Mutex.lock registry_mutex;
+      registry := b :: !registry;
+      Mutex.unlock registry_mutex;
+      b)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let start () = Atomic.set enabled_flag true
+let stop () = Atomic.set enabled_flag false
+
+let reset () =
+  Mutex.lock registry_mutex;
+  List.iter
+    (fun b ->
+      b.items <- [||];
+      b.len <- 0)
+    !registry;
+  Mutex.unlock registry_mutex
+
+let now () = Unix.gettimeofday ()
+
+let push b e =
+  if b.len = Array.length b.items then begin
+    let grown = Array.make (Int.max 256 (2 * b.len)) placeholder in
+    Array.blit b.items 0 grown 0 b.len;
+    b.items <- grown
+  end;
+  b.items.(b.len) <- e;
+  b.len <- b.len + 1
+
+let emit phase ~args name =
+  let b = Domain.DLS.get buf_key in
+  push b { name; phase; ts = now (); tid = b.b_tid; args }
+
+let instant ?(args = []) name = if enabled () then emit Instant ~args name
+
+let with_span ?(args = []) ?record name f =
+  let tracing = enabled () in
+  match record with
+  | None when not tracing -> f ()
+  | _ ->
+    let t0 = now () in
+    if tracing then begin
+      let b = Domain.DLS.get buf_key in
+      push b { name; phase = Begin; ts = t0; tid = b.b_tid; args }
+    end;
+    let finish () =
+      let t1 = now () in
+      (match record with
+      | Some h -> Metrics.observe h (t1 -. t0)
+      | None -> ());
+      (* close the span even if tracing was switched off mid-flight, so
+         every Begin has its End *)
+      if tracing then begin
+        let b = Domain.DLS.get buf_key in
+        push b { name; phase = End; ts = t1; tid = b.b_tid; args = [] }
+      end
+    in
+    (match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e)
+
+let tracks () =
+  Mutex.lock registry_mutex;
+  let bufs = !registry in
+  Mutex.unlock registry_mutex;
+  bufs
+  |> List.filter_map (fun b ->
+         if b.len = 0 then None
+         else Some (b.b_tid, Array.to_list (Array.sub b.items 0 b.len)))
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let events () =
+  tracks ()
+  |> List.concat_map snd
+  |> List.stable_sort (fun a b -> Float.compare a.ts b.ts)
+
+let event_count () =
+  Mutex.lock registry_mutex;
+  let n = List.fold_left (fun acc b -> acc + b.len) 0 !registry in
+  Mutex.unlock registry_mutex;
+  n

@@ -1,0 +1,58 @@
+(** Structured span tracer with per-domain lock-free buffers.
+
+    Call {!with_span} around each pipeline stage; when tracing is
+    enabled ({!start}) the span records a begin/end event pair carrying
+    wall-clock timestamps into the calling domain's private buffer, so
+    parallel {!Flames_engine.Pool} workers trace without synchronising.
+    When disabled (the default) a span is one atomic load and a tail
+    call — cheap enough to leave in hot paths such as
+    {!Flames_sim.Mna.solve}.
+
+    Export the recording with {!Export.chrome_trace} (Chrome
+    [trace_event] JSON, one track per domain — open in Perfetto or
+    [about:tracing]). *)
+
+type phase = Begin | End | Instant
+
+type event = {
+  name : string;
+  phase : phase;
+  ts : float;  (** seconds, [Unix.gettimeofday] *)
+  tid : int;  (** id of the emitting domain *)
+  args : (string * string) list;
+}
+
+val enabled : unit -> bool
+val start : unit -> unit
+val stop : unit -> unit
+
+val reset : unit -> unit
+(** Drop every recorded event (buffers of finished domains included).
+    Call at quiescence. *)
+
+val with_span :
+  ?args:(string * string) list ->
+  ?record:Metrics.histogram ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [with_span name f] runs [f] inside a span.  The enabled flag is
+    sampled once on entry, so the end event is emitted even if tracing
+    stops mid-span, and a span raising an exception is still closed.
+    [?record] additionally feeds the span's duration (seconds) to a
+    histogram, whether or not tracing is enabled — use it to give a
+    stage both a trace span and an always-on latency metric in one
+    call. *)
+
+val instant : ?args:(string * string) list -> string -> unit
+(** Point event (Chrome phase [i]); dropped when tracing is disabled. *)
+
+val tracks : unit -> (int * event list) list
+(** Non-empty per-domain buffers, sorted by domain id; each track's
+    events are in emission order (hence timestamp-monotone).  Read this
+    at quiescence: concurrent emitters are not synchronised against. *)
+
+val events : unit -> event list
+(** All events merged across tracks, stably sorted by timestamp. *)
+
+val event_count : unit -> int

@@ -230,7 +230,21 @@ let check_and_update netlist state x v branch =
   in
   (!ok, { bjt; diode })
 
+(* The solver is the inner loop of the fault-model fit sweep, so it
+   carries an always-on solve counter and latency histogram plus a trace
+   span; with tracing disabled the overhead is two clock reads against a
+   full matrix factorisation. *)
+let solves_total =
+  Flames_obs.Metrics.counter "flames_mna_solves_total"
+    ~help:"DC operating-point solves (piecewise-linear MNA)"
+
+let solve_seconds =
+  Flames_obs.Metrics.histogram "flames_mna_solve_seconds"
+    ~help:"Latency of one DC operating-point solve"
+
 let solve netlist =
+  Flames_obs.Metrics.incr solves_total;
+  Flames_obs.Trace.with_span ~record:solve_seconds "mna.solve" @@ fun () ->
   let rec iterate state seen count =
     if count > 64 then
       raise (No_convergence "device-region iteration did not settle");

@@ -1,0 +1,521 @@
+(* flames_obs: metrics registry semantics, span tracer invariants, the
+   Chrome trace_event and Prometheus exporters, and the leveled logger.
+
+   The exporter tests parse the emitted JSON with a minimal in-test
+   parser (the repo deliberately has no JSON dependency) and check the
+   schema invariants Perfetto relies on: every B event has a matching E
+   on the same track, and timestamps are monotone per track. *)
+
+module Metrics = Flames_obs.Metrics
+module Trace = Flames_obs.Trace
+module Log = Flames_obs.Log
+module Export = Flames_obs.Export
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* {1 A minimal JSON parser, for validating exporter output} *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if peek () = Some c then advance ()
+      else fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let string_body () =
+      let b = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= n then fail "unterminated string";
+        match s.[!pos] with
+        | '"' ->
+          advance ();
+          Buffer.contents b
+        | '\\' ->
+          advance ();
+          if !pos >= n then fail "bad escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+            if !pos + 4 >= n then fail "bad unicode escape";
+            let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+            pos := !pos + 4;
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else Buffer.add_string b (Printf.sprintf "<u+%04x>" code)
+          | c -> fail (Printf.sprintf "bad escape \\%c" c));
+          advance ();
+          loop ()
+        | c ->
+          Buffer.add_char b c;
+          advance ();
+          loop ()
+      in
+      loop ()
+    in
+    let number () =
+      let start = !pos in
+      let is_num = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num s.[!pos] do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let rec fields acc =
+            skip_ws ();
+            expect '"';
+            let k = string_body () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              fields ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or } in object"
+          in
+          fields []
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else
+          let rec items acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              items (v :: acc)
+            | Some ']' ->
+              advance ();
+              Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ] in array"
+          in
+          items []
+      | Some '"' ->
+        advance ();
+        Str (string_body ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> number ()
+      | None -> fail "unexpected end of input"
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let mem k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+  let str = function Str s -> s | _ -> invalid_arg "Json.str"
+  let num = function Num f -> f | _ -> invalid_arg "Json.num"
+end
+
+(* {1 Metrics} *)
+
+let test_counter () =
+  Metrics.reset ();
+  let c = Metrics.counter "obs_test_counter" in
+  Metrics.incr c;
+  Metrics.incr ~by:41 c;
+  Alcotest.(check int) "incr and by" 42 (Metrics.counter_value c);
+  let again = Metrics.counter "obs_test_counter" in
+  Metrics.incr again;
+  Alcotest.(check int) "find-or-create shares state" 43
+    (Metrics.counter_value c)
+
+let test_counter_domains () =
+  Metrics.reset ();
+  let c = Metrics.counter "obs_test_counter_mt" in
+  let worker () =
+    for _ = 1 to 10_000 do
+      Metrics.incr c
+    done
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no lost increments across domains" 50_000
+    (Metrics.counter_value c)
+
+let test_gauge () =
+  Metrics.reset ();
+  let g = Metrics.gauge "obs_test_gauge" in
+  Metrics.gauge_set g 3.5;
+  Metrics.gauge_add g 1.25;
+  Alcotest.(check (float 1e-9)) "set then add" 4.75 (Metrics.gauge_value g)
+
+let test_kind_mismatch () =
+  let _c = Metrics.counter "obs_test_kind" in
+  Alcotest.check_raises "same name, different kind"
+    (Invalid_argument
+       "Metrics: \"obs_test_kind\" already registered as a counter")
+    (fun () -> ignore (Metrics.gauge "obs_test_kind"))
+
+let test_histogram_buckets () =
+  Metrics.reset ();
+  let h = Metrics.histogram ~buckets:[ 1.; 2.; 5. ] "obs_test_hist" in
+  (* le semantics: a value equal to a bound belongs to that bound's
+     bucket, anything above every bound goes to the +inf overflow *)
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 5.0; 5.1; 100. ];
+  Alcotest.(check (list (pair (float 0.) int)))
+    "bucket boundaries (le)"
+    [ (1., 2); (2., 2); (5., 1); (infinity, 2) ]
+    (Metrics.histogram_buckets h);
+  Alcotest.(check int) "count" 7 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 115.1 (Metrics.histogram_sum h)
+
+let test_histogram_time () =
+  Metrics.reset ();
+  let h = Metrics.histogram "obs_test_time" in
+  let v = Metrics.time h (fun () -> 7) in
+  Alcotest.(check int) "time passes the result through" 7 v;
+  Alcotest.(check int) "one observation" 1 (Metrics.histogram_count h);
+  Alcotest.check_raises "time re-raises" Exit (fun () ->
+      Metrics.time h (fun () -> raise Exit));
+  Alcotest.(check int) "exception still observed" 2
+    (Metrics.histogram_count h)
+
+let test_snapshot () =
+  Metrics.reset ();
+  let c = Metrics.counter "obs_test_snap_c" in
+  let g = Metrics.gauge "obs_test_snap_g" in
+  Metrics.incr ~by:3 c;
+  Metrics.gauge_set g 1.5;
+  let samples = Metrics.snapshot () in
+  let names = List.map (fun s -> s.Metrics.name) samples in
+  Alcotest.(check bool) "sorted by name" true
+    (names = List.sort compare names);
+  let find n =
+    (List.find (fun s -> s.Metrics.name = n) samples).Metrics.value
+  in
+  (match find "obs_test_snap_c" with
+  | Metrics.Counter 3 -> ()
+  | _ -> Alcotest.fail "counter sample");
+  match find "obs_test_snap_g" with
+  | Metrics.Gauge v -> Alcotest.(check (float 1e-9)) "gauge sample" 1.5 v
+  | _ -> Alcotest.fail "gauge sample"
+
+(* {1 Trace} *)
+
+let test_disabled_noop () =
+  Trace.reset ();
+  Alcotest.(check bool) "disabled by default" false (Trace.enabled ());
+  let v = Trace.with_span "quiet" (fun () -> 42) in
+  Alcotest.(check int) "value passes through" 42 v;
+  Trace.instant "dropped";
+  Alcotest.(check int) "nothing recorded" 0 (Trace.event_count ());
+  Alcotest.check_raises "exception transparent" Exit (fun () ->
+      Trace.with_span "quiet" (fun () -> raise Exit));
+  Alcotest.(check int) "still nothing recorded" 0 (Trace.event_count ())
+
+let test_span_nesting () =
+  Trace.reset ();
+  Trace.start ();
+  let v =
+    Trace.with_span "outer" (fun () ->
+        Trace.with_span ~args:[ ("k", "v") ] "inner" (fun () -> 1) + 1)
+  in
+  (try Trace.with_span "raises" (fun () -> raise Exit)
+   with Exit -> ());
+  Trace.stop ();
+  Alcotest.(check int) "result" 2 v;
+  match Trace.tracks () with
+  | [ (_tid, events) ] ->
+    let shape =
+      List.map
+        (fun (e : Trace.event) ->
+          ( e.Trace.name,
+            match e.Trace.phase with
+            | Trace.Begin -> "B"
+            | Trace.End -> "E"
+            | Trace.Instant -> "i" ))
+        events
+    in
+    Alcotest.(check (list (pair string string)))
+      "LIFO begin/end pairs, span closed on exception"
+      [
+        ("outer", "B"); ("inner", "B"); ("inner", "E"); ("outer", "E");
+        ("raises", "B"); ("raises", "E");
+      ]
+      shape;
+    let ts = List.map (fun (e : Trace.event) -> e.Trace.ts) events in
+    Alcotest.(check bool) "timestamps monotone" true
+      (ts = List.sort compare ts)
+  | tracks ->
+    Alcotest.failf "expected one track, got %d" (List.length tracks)
+
+let test_multi_domain_merge () =
+  Trace.reset ();
+  Trace.start ();
+  Trace.with_span "main-span" (fun () -> ());
+  let worker name () = Trace.with_span name (fun () -> Unix.sleepf 0.002) in
+  let d1 = Domain.spawn (worker "worker-a") in
+  let d2 = Domain.spawn (worker "worker-b") in
+  Domain.join d1;
+  Domain.join d2;
+  Trace.stop ();
+  let tracks = Trace.tracks () in
+  Alcotest.(check bool) "one track per domain" true (List.length tracks >= 3);
+  let tids = List.map fst tracks in
+  Alcotest.(check bool) "tracks sorted by domain id" true
+    (tids = List.sort compare tids);
+  Alcotest.(check int) "six events total" 6 (Trace.event_count ());
+  let merged = Trace.events () in
+  let ts = List.map (fun (e : Trace.event) -> e.Trace.ts) merged in
+  Alcotest.(check bool) "merge sorted by timestamp" true
+    (ts = List.sort compare ts);
+  Alcotest.(check bool) "merge deterministic" true (merged = Trace.events ())
+
+(* {1 Exporters} *)
+
+(* Replays a recording like the one above and checks what Perfetto
+   needs: parseable JSON, a traceEvents array, thread_name metadata,
+   and per-track well-formedness (B/E properly nested and matched by
+   name, timestamps monotone). *)
+let test_chrome_trace_schema () =
+  Trace.reset ();
+  Trace.start ();
+  Trace.with_span "stage.one" (fun () ->
+      Trace.with_span "stage.two" (fun () -> Trace.instant "tick"));
+  let d = Domain.spawn (fun () -> Trace.with_span "stage.par" ignore) in
+  Domain.join d;
+  Trace.stop ();
+  let text = Format.asprintf "%t" Export.chrome_trace in
+  let json = Json.parse text in
+  let events =
+    match Json.mem "traceEvents" json with
+    | Some (Json.Arr events) -> events
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  Alcotest.(check bool) "non-empty" true (events <> []);
+  let field name e =
+    match Json.mem name e with
+    | Some v -> v
+    | None -> Alcotest.failf "event without %S" name
+  in
+  let metadata, spans =
+    List.partition (fun e -> Json.str (field "ph" e) = "M") events
+  in
+  Alcotest.(check bool) "thread_name metadata per track" true
+    (metadata <> []
+    && List.for_all
+         (fun e -> Json.str (field "name" e) = "thread_name")
+         metadata);
+  (* per-track stack discipline and monotone clocks *)
+  let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 4 in
+  let last_ts : (int, float ref) Hashtbl.t = Hashtbl.create 4 in
+  let stack_of tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add stacks tid s;
+      s
+  in
+  List.iter
+    (fun e ->
+      let tid = int_of_float (Json.num (field "tid" e)) in
+      let ts = Json.num (field "ts" e) in
+      let last =
+        match Hashtbl.find_opt last_ts tid with
+        | Some r -> r
+        | None ->
+          let r = ref neg_infinity in
+          Hashtbl.add last_ts tid r;
+          r
+      in
+      Alcotest.(check bool) "track timestamps monotone" true (ts >= !last);
+      last := ts;
+      let stack = stack_of tid in
+      let name = Json.str (field "name" e) in
+      match Json.str (field "ph" e) with
+      | "B" -> stack := name :: !stack
+      | "E" -> begin
+        match !stack with
+        | top :: rest ->
+          Alcotest.(check string) "E matches innermost B" top name;
+          stack := rest
+        | [] -> Alcotest.fail "E without B"
+      end
+      | "i" -> ()
+      | ph -> Alcotest.failf "unexpected phase %S" ph)
+    spans;
+  Hashtbl.iter
+    (fun tid stack ->
+      if !stack <> [] then Alcotest.failf "unclosed span on track %d" tid)
+    stacks
+
+let test_prometheus_export () =
+  Metrics.reset ();
+  Trace.reset ();
+  let c = Metrics.counter ~help:"test counter" "obs_test_prom_total" in
+  let h = Metrics.histogram ~buckets:[ 0.1; 1. ] "obs_test_prom_seconds" in
+  Metrics.incr ~by:2 c;
+  Metrics.observe h 0.05;
+  Metrics.observe h 10.;
+  let text = Format.asprintf "%t" Export.prometheus in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains text needle))
+    [
+      "# HELP obs_test_prom_total test counter";
+      "# TYPE obs_test_prom_total counter";
+      "obs_test_prom_total 2";
+      "# TYPE obs_test_prom_seconds histogram";
+      "obs_test_prom_seconds_bucket{le=\"0.1\"} 1";
+      (* cumulative: the +Inf bucket counts every observation *)
+      "obs_test_prom_seconds_bucket{le=\"+Inf\"} 2";
+      "obs_test_prom_seconds_count 2";
+    ]
+
+(* {1 Log} *)
+
+let test_log_levels () =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Log.set_formatter ppf;
+  Log.set_level Log.Info;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_formatter Format.err_formatter;
+      Log.set_level Log.Warn)
+    (fun () ->
+      Log.err "boom %d" 1;
+      Log.info "visible %s" "line";
+      Log.debug "invisible";
+      Format.pp_print_flush ppf ();
+      let out = Buffer.contents buf in
+      Alcotest.(check bool) "error logged" true (contains out "boom 1");
+      Alcotest.(check bool) "info logged at level info" true
+        (contains out "visible line");
+      Alcotest.(check bool) "level tag present" true (contains out "info");
+      Alcotest.(check bool) "debug filtered" false (contains out "invisible"))
+
+(* {1 Engine stats JSON} *)
+
+let test_stats_json () =
+  let stats =
+    {
+      Flames_engine.Stats.jobs = 5;
+      succeeded = 4;
+      failed = 1;
+      workers = 2;
+      conflicts = 7;
+      cache_hits = 4;
+      cache_misses = 1;
+      wall_time = 0.5;
+      cpu_time = 0.75;
+      compile_wall = 0.125;
+      diagnose_wall = 0.25;
+    }
+  in
+  let json = Json.parse (Flames_engine.Stats.to_json stats) in
+  let num k =
+    match Json.mem k json with
+    | Some (Json.Num f) -> f
+    | _ -> Alcotest.failf "missing field %S" k
+  in
+  Alcotest.(check (float 1e-9)) "jobs" 5. (num "jobs");
+  Alcotest.(check (float 1e-9)) "succeeded" 4. (num "succeeded");
+  Alcotest.(check (float 1e-9)) "failed" 1. (num "failed");
+  Alcotest.(check (float 1e-9)) "workers" 2. (num "workers");
+  Alcotest.(check (float 1e-9)) "conflicts" 7. (num "conflicts");
+  Alcotest.(check (float 1e-9)) "cache_hits" 4. (num "cache_hits");
+  Alcotest.(check (float 1e-9)) "wall_s" 0.5 (num "wall_s");
+  Alcotest.(check (float 1e-9)) "jobs_per_s" 10. (num "jobs_per_s");
+  Alcotest.(check (float 1e-9)) "compile_s" 0.125 (num "compile_s");
+  Alcotest.(check (float 1e-9)) "diagnose_s" 0.25 (num "diagnose_s")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "counter-domains" `Quick test_counter_domains;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "kind-mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "histogram-buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram-time" `Quick test_histogram_time;
+          Alcotest.test_case "snapshot" `Quick test_snapshot;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled-noop" `Quick test_disabled_noop;
+          Alcotest.test_case "span-nesting" `Quick test_span_nesting;
+          Alcotest.test_case "multi-domain-merge" `Quick
+            test_multi_domain_merge;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome-trace-schema" `Quick
+            test_chrome_trace_schema;
+          Alcotest.test_case "prometheus" `Quick test_prometheus_export;
+        ] );
+      ("log", [ Alcotest.test_case "levels" `Quick test_log_levels ]);
+      ( "stats-json",
+        [ Alcotest.test_case "schema" `Quick test_stats_json ] );
+    ]
