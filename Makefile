@@ -2,7 +2,7 @@
 # stay green before every commit (tier-1 verify + engine tests + dune-file
 # formatting).
 
-.PHONY: all build test fmt check check-deep corpus bench bench-engine trace clean
+.PHONY: all build test fmt check check-deep corpus bench bench-engine bench-atms trace clean
 
 all: build
 
@@ -37,6 +37,11 @@ bench: build
 # just the engine throughput series (writes BENCH_engine.json)
 bench-engine: build
 	dune exec bench/main.exe -- --engine-json-only
+
+# naive vs interned-bitset ATMS series (writes BENCH_atms.json);
+# add --atms-smoke for the reduced CI variant
+bench-atms: build
+	dune exec bench/main.exe -- --atms-json-only
 
 # traced fig-7 sweep: writes trace.json (open in ui.perfetto.dev) and
 # dumps the metrics registry on stderr

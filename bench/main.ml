@@ -342,15 +342,18 @@ let emit_engine_json () =
   Format.fprintf ppf "wrote %s@." engine_json_path
 
 let () =
-  let engine_json_only =
-    Array.exists (fun a -> a = "--engine-json-only") Sys.argv
-  in
+  let flag f = Array.exists (fun a -> a = f) Sys.argv in
+  let engine_json_only = flag "--engine-json-only" in
+  let atms_json_only = flag "--atms-json-only" in
+  let smoke = flag "--atms-smoke" in
   if engine_json_only then emit_engine_json ()
+  else if atms_json_only then Atms_series.emit ~smoke ppf
   else begin
     regenerate_tables ();
     Format.fprintf ppf "================ timing benches ================@.";
     Format.pp_print_flush ppf ();
     let results = run_benchmarks () in
     report results;
-    emit_engine_json ()
+    emit_engine_json ();
+    Atms_series.emit ~smoke ppf
   end

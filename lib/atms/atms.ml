@@ -22,7 +22,7 @@ and just = { jdegree : float; antecedents : node list; target : target }
 and node = {
   datum : string;
   assumption_id : int option;
-  mutable label : labelled list;
+  label : unit Envindex.t;
   mutable consumers : just list;
   mutable is_premise : bool;
 }
@@ -43,7 +43,13 @@ type t = {
 exception Audit_failure of string list
 
 let fresh_node ?assumption_id datum =
-  { datum; assumption_id; label = []; consumers = []; is_premise = false }
+  {
+    datum;
+    assumption_id;
+    label = Envindex.create ();
+    consumers = [];
+    is_premise = false;
+  }
 
 let create () =
   {
@@ -71,23 +77,27 @@ let name t id =
   | None -> Printf.sprintf "A%d" id
 
 (* An entry subsumes another when its environment is included and its
-   degree at least as high. *)
-let subsumes a b = Env.subset a.env b.env && a.degree >= b.degree
+   degree at least as high — exactly Envindex's degree-dominance order,
+   so label insertion is one indexed dominance check plus one indexed
+   sweep of the entries the newcomer dominates. *)
+let insert_label t n env degree =
+  if Envindex.is_dominated n.label env degree then false
+  else begin
+    let removed = Envindex.remove_dominated n.label env degree in
+    Envindex.add n.label env degree ();
+    t.label_entries <- t.label_entries + 1 - removed;
+    Metrics.gauge_set label_envs_gauge (float_of_int t.label_entries);
+    true
+  end
 
-let insert_entry entries entry =
-  if List.exists (fun e -> subsumes e entry) entries then (entries, false)
-  else
-    (entry :: List.filter (fun e -> not (subsumes entry e)) entries, true)
+let label_entries n =
+  Envindex.fold
+    (fun (it : _ Envindex.item) acc ->
+      { env = it.Envindex.env; degree = it.Envindex.degree } :: acc)
+    n.label []
 
 let filter_consistent t entries =
   List.filter (fun e -> not (Nogood.is_nogood t.db e.env)) entries
-
-(* All label mutation funnels through here so the environment-count
-   gauge tracks insertions, subsumption removals and nogood sweeps. *)
-let set_label t n label' =
-  t.label_entries <- t.label_entries + List.length label' - List.length n.label;
-  n.label <- label';
-  Metrics.gauge_set label_envs_gauge (float_of_int t.label_entries)
 
 let assumption t nm =
   if Hashtbl.mem t.assumptions_by_name nm then
@@ -96,7 +106,7 @@ let assumption t nm =
   t.next_id <- id + 1;
   Hashtbl.add t.names id nm;
   let n = fresh_node ~assumption_id:id ("ok:" ^ nm) in
-  set_label t n [ { env = Env.singleton id; degree = 1. } ];
+  ignore (insert_label t n (Env.singleton id) 1.);
   Hashtbl.add t.assumptions_by_name nm n;
   t.all_nodes <- n :: t.all_nodes;
   n
@@ -128,6 +138,7 @@ let fire_environments jd antecedents =
   let seed = [ { env = Env.empty; degree = jd } ] in
   List.fold_left
     (fun acc n ->
+      let entries = label_entries n in
       List.concat_map
         (fun partial ->
           List.map
@@ -136,14 +147,20 @@ let fire_environments jd antecedents =
                 env = Env.union partial.env entry.env;
                 degree = Float.min partial.degree entry.degree;
               })
-            n.label)
+            entries)
         acc)
     seed antecedents
 
 let sweep_hard_nogoods t =
   List.iter
-    (fun n -> set_label t n (filter_consistent t n.label))
-    t.all_nodes
+    (fun n ->
+      let removed =
+        Envindex.filter n.label (fun it ->
+            not (Nogood.is_nogood t.db it.Envindex.env))
+      in
+      t.label_entries <- t.label_entries - removed)
+    t.all_nodes;
+  Metrics.gauge_set label_envs_gauge (float_of_int t.label_entries)
 
 (* Incremental propagation with a work queue of justifications whose
    antecedent labels changed.  Termination: label entries only improve
@@ -174,11 +191,8 @@ let rec propagate t queue =
       let changed =
         List.fold_left
           (fun changed e ->
-            let label', inserted = insert_entry target.label e in
-            if inserted then begin
-              set_label t target label';
-              Metrics.incr label_updates_total
-            end;
+            let inserted = insert_label t target e.env e.degree in
+            if inserted then Metrics.incr label_updates_total;
             changed || inserted)
           false fired
       in
@@ -194,7 +208,7 @@ let rec propagate t queue =
    [justify]/[premise] call. *)
 
 let label_of t n =
-  let entries = filter_consistent t n.label in
+  let entries = filter_consistent t (label_entries n) in
   List.sort
     (fun a b ->
       let c = Float.compare b.degree a.degree in
@@ -238,7 +252,7 @@ let audit t =
       (fun e ->
         if Nogood.is_nogood t.db e.env then
           report "%s: label retains hard nogood %a" n.datum pp_env e.env)
-      n.label;
+      (label_entries n);
     List.iteri
       (fun i e ->
         if not (e.degree > 0. && e.degree <= 1.) then
@@ -276,7 +290,7 @@ let audit t =
       fired
   in
   List.iter check_node t.all_nodes;
-  if t.contra.label <> [] then
+  if not (Envindex.is_empty t.contra.label) then
     report "contradiction node carries a non-empty label";
   List.rev !out
 
@@ -315,9 +329,8 @@ let justify_disjunction t ?(degree = 1.) ~antecedents disjuncts =
 
 let premise t n =
   n.is_premise <- true;
-  let label', inserted = insert_entry n.label { env = Env.empty; degree = 1. } in
+  let inserted = insert_label t n Env.empty 1. in
   if inserted then begin
-    set_label t n label';
     Metrics.incr label_updates_total;
     let queue = Queue.create () in
     List.iter (fun j -> Queue.add j queue) n.consumers;

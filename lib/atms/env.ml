@@ -1,25 +1,261 @@
-module S = Set.Make (Int)
+(* Immutable, hash-consed bitset environments.
 
-type t = S.t
+   Assumption ids index bits in an array of 63-bit words (LSB first, no
+   trailing zero words, so the representation of a set is unique).  Every
+   environment is interned in a per-domain weak set: structurally equal
+   environments created in the same domain are physically equal, [equal]
+   short-circuits on [==] (with a structural fallback so values that
+   crossed a domain boundary still compare correctly), and [cardinal],
+   [hash] and [signature] are O(1) cached fields.  [subset], [union],
+   [inter], [diff] and [disjoint] are branch-free word loops.
 
-let empty = S.empty
-let singleton = S.singleton
-let of_list = S.of_list
-let to_list = S.elements
-let union = S.union
-let inter = S.inter
-let diff = S.diff
-let mem = S.mem
-let add = S.add
-let subset = S.subset
-let disjoint = S.disjoint
-let cardinal = S.cardinal
-let is_empty = S.is_empty
-let compare = S.compare
-let equal = S.equal
-let fold = S.fold
-let exists = S.exists
-let choose = S.min_elt_opt
+   The 63-bit signature is the OR of all words — equivalently a Bloom
+   word with hash [id mod 63] — so [a ⊆ b] implies
+   [signature a land lnot (signature b) = 0], the quick reject used by
+   {!Envindex} to skip whole buckets. *)
+
+let word_bits = 63
+
+type t = {
+  words : int array;
+  card : int;
+  hcode : int;
+  sign : int;
+}
+
+let interned_total =
+  Flames_obs.Metrics.counter "flames_atms_envs_interned"
+    ~help:"Distinct environments hash-consed into a domain's intern table"
+
+(* {1 Word helpers} *)
+
+let pop8 =
+  Array.init 256 (fun i ->
+      let rec count x = if x = 0 then 0 else (x land 1) + count (x lsr 1) in
+      count i)
+
+(* [lsr] is a logical shift, so this is sound on the (possibly negative)
+   top word of a 63-bit int. *)
+let popcount x =
+  pop8.(x land 0xff)
+  + pop8.((x lsr 8) land 0xff)
+  + pop8.((x lsr 16) land 0xff)
+  + pop8.((x lsr 24) land 0xff)
+  + pop8.((x lsr 32) land 0xff)
+  + pop8.((x lsr 40) land 0xff)
+  + pop8.((x lsr 48) land 0xff)
+  + pop8.((x lsr 56) land 0xff)
+
+(* index of the lowest set bit of [x] (a single-bit value) *)
+let bit_index low = popcount (low - 1)
+
+let hash_words words =
+  let h = ref 0x3ade68b1 in
+  Array.iter
+    (fun w ->
+      (* mix both halves of the word into the running hash *)
+      h := (!h * 0x01000193) lxor (w land 0x3fffffff);
+      h := (!h * 0x01000193) lxor (w lsr 30))
+    words;
+  !h land max_int
+
+(* {1 Interning} *)
+
+module H = struct
+  type nonrec t = t
+
+  let equal a b = a.hcode = b.hcode && a.words = b.words
+  let hash a = a.hcode
+end
+
+module W = Weak.Make (H)
+
+(* One intern table per domain: no lock on the hot path, and the weak set
+   lets dead environments be collected.  Environments that migrate across
+   domains stay correct through the structural fallback in [equal]. *)
+let table_key = Domain.DLS.new_key (fun () -> W.create 4096)
+
+let empty = { words = [||]; card = 0; hcode = hash_words [||]; sign = 0 }
+
+(* Takes ownership of [words] (callers never retain the array). *)
+let intern words =
+  let n = ref (Array.length words) in
+  while !n > 0 && words.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = 0 then empty
+  else begin
+    let words = if !n = Array.length words then words else Array.sub words 0 !n in
+    let card = Array.fold_left (fun acc w -> acc + popcount w) 0 words in
+    let sign = Array.fold_left ( lor ) 0 words in
+    let candidate = { words; card; hcode = hash_words words; sign } in
+    let interned = W.merge (Domain.DLS.get table_key) candidate in
+    if interned == candidate then Flames_obs.Metrics.incr interned_total;
+    interned
+  end
+
+(* {1 Queries} *)
+
+let is_empty t = t.card = 0
+let cardinal t = t.card
+let hash t = t.hcode
+let signature t = t.sign
+let subset_word sa sb = sa land lnot sb = 0
+let equal a b = a == b || (a.hcode = b.hcode && a.words = b.words)
+
+let check_id fn i =
+  if i < 0 then invalid_arg (Printf.sprintf "Env.%s: negative id %d" fn i)
+
+let mem i t =
+  i >= 0
+  &&
+  let w = i / word_bits in
+  w < Array.length t.words && t.words.(w) land (1 lsl (i mod word_bits)) <> 0
+
+let singleton i =
+  check_id "singleton" i;
+  let w = i / word_bits in
+  let words = Array.make (w + 1) 0 in
+  words.(w) <- 1 lsl (i mod word_bits);
+  intern words
+
+let add i t =
+  check_id "add" i;
+  if mem i t then t
+  else begin
+    let w = i / word_bits in
+    let len = Int.max (w + 1) (Array.length t.words) in
+    let words = Array.make len 0 in
+    Array.blit t.words 0 words 0 (Array.length t.words);
+    words.(w) <- words.(w) lor (1 lsl (i mod word_bits));
+    intern words
+  end
+
+let subset a b =
+  a == b
+  || a.card = 0
+  || (a.card <= b.card
+     && subset_word a.sign b.sign
+     && Array.length a.words <= Array.length b.words
+     &&
+     let ok = ref true in
+     for i = 0 to Array.length a.words - 1 do
+       ok := !ok && a.words.(i) land lnot b.words.(i) = 0
+     done;
+     !ok)
+
+let disjoint a b =
+  a.sign land b.sign = 0
+  ||
+  let n = Int.min (Array.length a.words) (Array.length b.words) in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    ok := !ok && a.words.(i) land b.words.(i) = 0
+  done;
+  !ok
+
+let union a b =
+  if a == b || b.card = 0 then a
+  else if a.card = 0 then b
+  else if subset b a then a
+  else if subset a b then b
+  else begin
+    let la = Array.length a.words and lb = Array.length b.words in
+    let n = Int.max la lb in
+    let words =
+      Array.init n (fun i ->
+          (if i < la then a.words.(i) else 0)
+          lor if i < lb then b.words.(i) else 0)
+    in
+    intern words
+  end
+
+let inter a b =
+  if a == b then a
+  else if a.card = 0 || b.card = 0 then empty
+  else begin
+    let n = Int.min (Array.length a.words) (Array.length b.words) in
+    let words = Array.init n (fun i -> a.words.(i) land b.words.(i)) in
+    intern words
+  end
+
+let diff a b =
+  if a == b then empty
+  else if a.card = 0 || b.card = 0 then a
+  else begin
+    let lb = Array.length b.words in
+    let words =
+      Array.init (Array.length a.words) (fun i ->
+          a.words.(i) land lnot (if i < lb then b.words.(i) else 0))
+    in
+    intern words
+  end
+
+(* Total order matching [Set.Make(Int).compare]: lexicographic comparison
+   of the sorted element sequences.  Let [m] be the smallest element of
+   the symmetric difference, say [m ∈ a]: up to [m] both sets agree, [a]'s
+   next element is [m] while [b]'s (if any) is larger — so [a < b] exactly
+   when [b] still has an element above [m], else [b] is a proper prefix
+   of [a] and [b < a]. *)
+let compare a b =
+  if a == b then 0
+  else begin
+    let la = Array.length a.words and lb = Array.length b.words in
+    let n = Int.min la lb in
+    let rec walk i =
+      if i = n then
+        (* one is a strict low-words prefix of the other *)
+        if la = lb then 0 else if la < lb then -1 else 1
+      else if a.words.(i) = b.words.(i) then walk (i + 1)
+      else begin
+        let x = a.words.(i) lxor b.words.(i) in
+        let low = x land -x in
+        let above = lnot (low lor (low - 1)) in
+        if a.words.(i) land low <> 0 then
+          if b.words.(i) land above <> 0 || i + 1 < lb then -1 else 1
+        else if a.words.(i) land above <> 0 || i + 1 < la then 1
+        else -1
+      end
+    in
+    walk 0
+  end
+
+(* {1 Iteration (increasing id order)} *)
+
+let fold f t acc =
+  let acc = ref acc in
+  for w = 0 to Array.length t.words - 1 do
+    let x = ref t.words.(w) in
+    let base = w * word_bits in
+    while !x <> 0 do
+      let low = !x land - !x in
+      acc := f (base + bit_index low) !acc;
+      x := !x lxor low
+    done
+  done;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let exists p t =
+  let exception Found in
+  try
+    ignore (fold (fun i () -> if p i then raise Found) t ());
+    false
+  with Found -> true
+
+let choose t =
+  if t.card = 0 then None
+  else begin
+    let w = ref 0 in
+    while t.words.(!w) = 0 do
+      incr w
+    done;
+    let x = t.words.(!w) in
+    Some ((!w * word_bits) + bit_index (x land -x))
+  end
+
+let of_list l = List.fold_left (fun env i -> add i env) empty l
 
 let pp ~names ppf env =
   Format.fprintf ppf "{%a}"

@@ -3,7 +3,16 @@
     An environment is a finite set of assumption identifiers; a value (or a
     node) holds in an environment when it is derivable from exactly those
     assumptions plus the premises.  Assumption identifiers are small
-    integers allocated by {!Atms}; names are kept in the ATMS table. *)
+    non-negative integers allocated by {!Atms}; names are kept in the ATMS
+    table.
+
+    Environments are immutable hash-consed bitsets: ids index bits in an
+    array of 63-bit words, and every value is interned in a per-domain
+    weak table.  {!equal} short-circuits on physical equality (with a
+    structural fallback for values that crossed a domain boundary),
+    {!cardinal} and {!hash} are O(1) cached fields, and the set
+    operations are word loops.  Constructors raise [Invalid_argument]
+    on negative ids. *)
 
 type t
 
@@ -30,6 +39,21 @@ val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val exists : (int -> bool) -> t -> bool
 val choose : t -> int option
 (** Smallest element, if any. *)
+
+val hash : t -> int
+(** O(1): cached at interning time.  Equal environments hash equally in
+    every domain. *)
+
+val signature : t -> int
+(** 63-bit Bloom word of the membership (bit [id mod 63] per element):
+    [subset a b] implies [subset_word (signature a) (signature b)], so a
+    failed {!subset_word} test refutes subsumption without touching the
+    words.  O(1): cached at interning time. *)
+
+val subset_word : int -> int -> bool
+(** [subset_word sa sb] over two {!signature} words: [false] proves the
+    first environment is not a subset of the second; [true] is only a
+    maybe. *)
 
 val pp : names:(int -> string) -> Format.formatter -> t -> unit
 (** Prints as [{a, b, c}] using the naming function. *)

@@ -1,0 +1,213 @@
+(* Indexed subsumption store over weighted environments.
+
+   Items are bucketed by environment cardinality; every bucket keeps the
+   OR of its members' {!Env.signature} Bloom words.  Subsumption queries
+   then restrict themselves to the cardinality range that can possibly
+   contain an answer and refute whole buckets (or single items) with one
+   word test before paying for a real [Env.subset]:
+
+   - a subset of [env] lives in a bucket of cardinality <= |env| whose
+     members share at least one signature bit with [env] (for nonempty
+     members);
+   - a superset of [env] lives in a bucket of cardinality >= |env| whose
+     signature union covers [env]'s signature.
+
+   Degree handling follows the fuzzy dominance order used by labels and
+   nogoods alike: [(e, d)] dominates [(e', d')] when [Env.subset e e'] and
+   [d >= d'].  Stores parameterised by a ['a] payload carry whatever the
+   call site needs alongside (a nogood reason, unit for labels). *)
+
+let bucket_skips_total =
+  Flames_obs.Metrics.counter "flames_atms_envindex_bucket_skips_total"
+    ~help:"Whole index buckets skipped by the signature word during subsumption queries"
+
+type 'a item = { env : Env.t; degree : float; data : 'a; seq : int }
+
+type 'a bucket = {
+  mutable sig_union : int;  (** OR of member signatures (may be stale-high) *)
+  mutable items : 'a item list;  (** newest first *)
+  mutable n : int;
+}
+
+type 'a t = {
+  mutable buckets : 'a bucket option array;  (** indexed by cardinality *)
+  mutable size : int;
+  mutable max_card : int;  (** highest cardinality ever inserted; -1 when none *)
+  mutable next_seq : int;
+}
+
+let create () = { buckets = Array.make 8 None; size = 0; max_card = -1; next_seq = 0 }
+
+let size t = t.size
+let is_empty t = t.size = 0
+
+let bucket_for t card =
+  if card >= Array.length t.buckets then begin
+    let grown = Array.make (Int.max (card + 1) (2 * Array.length t.buckets)) None in
+    Array.blit t.buckets 0 grown 0 (Array.length t.buckets);
+    t.buckets <- grown
+  end;
+  match t.buckets.(card) with
+  | Some b -> b
+  | None ->
+    let b = { sig_union = 0; items = []; n = 0 } in
+    t.buckets.(card) <- Some b;
+    b
+
+let add t env degree data =
+  let card = Env.cardinal env in
+  let b = bucket_for t card in
+  b.items <- { env; degree; data; seq = t.next_seq } :: b.items;
+  b.n <- b.n + 1;
+  b.sig_union <- b.sig_union lor Env.signature env;
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  if card > t.max_card then t.max_card <- card
+
+(* [true] when some stored (e, d) has [e ⊆ env] and [d >= degree]. *)
+let is_dominated t env degree =
+  let card = Env.cardinal env and s = Env.signature env in
+  let hi = Int.min card t.max_card in
+  let rec scan k =
+    k <= hi
+    &&
+    match t.buckets.(k) with
+    | None -> scan (k + 1)
+    | Some b ->
+      if b.n = 0 then scan (k + 1)
+      else if k > 0 && b.sig_union land s = 0 then begin
+        (* no member shares a signature bit with env: none can be a
+           nonempty subset of it *)
+        Flames_obs.Metrics.incr bucket_skips_total;
+        scan (k + 1)
+      end
+      else
+        List.exists
+          (fun it ->
+            it.degree >= degree
+            && Env.subset_word (Env.signature it.env) s
+            && Env.subset it.env env)
+          b.items
+        || scan (k + 1)
+  in
+  scan 0
+
+(* Highest degree of any stored subset of [env]; stops early once
+   [stop_at] is reached (degrees are clamped to [0, 1] by the callers, so
+   [~stop_at:1.] exits on the first hard entry). *)
+let max_subset_degree ?(stop_at = infinity) t env =
+  let card = Env.cardinal env and s = Env.signature env in
+  let hi = Int.min card t.max_card in
+  let best = ref 0. in
+  (try
+     for k = 0 to hi do
+       match t.buckets.(k) with
+       | None -> ()
+       | Some b ->
+         if b.n = 0 then ()
+         else if k > 0 && b.sig_union land s = 0 then
+           Flames_obs.Metrics.incr bucket_skips_total
+         else
+           List.iter
+             (fun it ->
+               if
+                 it.degree > !best
+                 && Env.subset_word (Env.signature it.env) s
+                 && Env.subset it.env env
+               then begin
+                 best := it.degree;
+                 if !best >= stop_at then raise Exit
+               end)
+             b.items
+     done
+   with Exit -> ());
+  !best
+
+let refresh_bucket b items n =
+  b.items <- items;
+  b.n <- n;
+  b.sig_union <-
+    List.fold_left (fun acc it -> acc lor Env.signature it.env) 0 items
+
+(* Remove every stored (e, d) dominated by [(env, degree)], i.e. with
+   [env ⊆ e] and [degree >= d].  Returns how many were removed. *)
+let remove_dominated t env degree =
+  let card = Env.cardinal env and s = Env.signature env in
+  let removed = ref 0 in
+  for k = card to t.max_card do
+    match t.buckets.(k) with
+    | None -> ()
+    | Some b ->
+      if b.n = 0 then ()
+      else if not (Env.subset_word s b.sig_union) then
+        (* env's signature is not covered: no member is a superset *)
+        Flames_obs.Metrics.incr bucket_skips_total
+      else begin
+        let kept = ref [] and n = ref 0 and dropped = ref 0 in
+        List.iter
+          (fun it ->
+            if
+              degree >= it.degree
+              && Env.subset_word s (Env.signature it.env)
+              && Env.subset env it.env
+            then incr dropped
+            else begin
+              kept := it :: !kept;
+              incr n
+            end)
+          b.items;
+        if !dropped > 0 then begin
+          refresh_bucket b (List.rev !kept) !n;
+          removed := !removed + !dropped
+        end
+      end
+  done;
+  t.size <- t.size - !removed;
+  !removed
+
+let iter f t =
+  Array.iter
+    (function
+      | None -> ()
+      | Some b -> List.iter (fun it -> f it) b.items)
+    t.buckets
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun it -> acc := f it !acc) t;
+  !acc
+
+let to_list t = fold (fun it acc -> it :: acc) t []
+
+(* Keep only items satisfying the predicate; returns how many were
+   dropped. *)
+let filter t pred =
+  let removed = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some b ->
+        if b.n > 0 then begin
+          let kept = ref [] and n = ref 0 in
+          List.iter
+            (fun it ->
+              if pred it then begin
+                kept := it :: !kept;
+                incr n
+              end
+              else incr removed)
+            b.items;
+          if !n < b.n then refresh_bucket b (List.rev !kept) !n
+        end)
+    t.buckets;
+  t.size <- t.size - !removed;
+  !removed
+
+let clear t =
+  Array.iteri
+    (fun i -> function
+      | None -> ()
+      | Some _ -> t.buckets.(i) <- None)
+    t.buckets;
+  t.size <- 0;
+  t.max_card <- -1

@@ -1,0 +1,58 @@
+(** Indexed subsumption store over weighted environments.
+
+    The store holds [(env, degree, payload)] items and answers the two
+    subsumption queries that dominate the fuzzy-ATMS hot paths — "is this
+    (env, degree) dominated by a stored item?" and "which stored items
+    does it dominate?" — without scanning the whole population.  Items
+    are bucketed by {!Env.cardinal}; each bucket carries the OR of its
+    members' {!Env.signature} Bloom words, so queries restrict to the
+    feasible cardinality range and refute non-candidate buckets with one
+    word test.
+
+    Dominance is the fuzzy degree-dominance order used by ATMS labels and
+    weighted nogoods: [(e, d)] dominates [(e', d')] when [Env.subset e e']
+    and [d >= d'].  The degree comparison is what keeps the index correct
+    for fuzzy labels: a smaller environment only supersedes a larger one
+    when its degree is at least as high. *)
+
+type 'a item = { env : Env.t; degree : float; data : 'a; seq : int }
+(** [seq] is the store-local insertion number (monotonically increasing),
+    for callers that must reproduce insertion-order tie-breaking. *)
+
+type 'a t
+(** Mutable store with ['a] payloads. *)
+
+val create : unit -> 'a t
+val size : 'a t -> int
+(** O(1). *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> Env.t -> float -> 'a -> unit
+(** Unconditional insert (no dominance checks — callers combine
+    {!is_dominated} / {!remove_dominated} as their semantics require). *)
+
+val is_dominated : 'a t -> Env.t -> float -> bool
+(** [is_dominated t env degree] holds when some stored [(e, d)] has
+    [Env.subset e env] and [d >= degree]. *)
+
+val max_subset_degree : ?stop_at:float -> 'a t -> Env.t -> float
+(** Highest degree of any stored item whose environment is included in
+    the query (0 when none).  Scanning stops as soon as [stop_at] is
+    reached — pass [~stop_at:1.] when degrees are clamped to [0, 1]. *)
+
+val remove_dominated : 'a t -> Env.t -> float -> int
+(** [remove_dominated t env degree] deletes every stored [(e, d)] with
+    [Env.subset env e] and [degree >= d]; returns the number removed. *)
+
+val iter : ('a item -> unit) -> 'a t -> unit
+(** Ascending cardinality, newest-first within a bucket. *)
+
+val fold : ('a item -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+val to_list : 'a t -> 'a item list
+
+val filter : 'a t -> ('a item -> bool) -> int
+(** Keep only items satisfying the predicate; returns how many were
+    dropped. *)
+
+val clear : 'a t -> unit

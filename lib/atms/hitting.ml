@@ -20,48 +20,70 @@ let seconds =
   Metrics.histogram "flames_hitting_seconds"
     ~help:"Latency of one minimal hitting-set enumeration"
 
+module EnvTbl = Hashtbl.Make (struct
+  type t = Env.t
+
+  let equal = Env.equal
+  let hash = Env.hash
+end)
+
 let hits_all candidate conflicts =
   List.for_all (fun c -> not (Env.disjoint candidate c)) conflicts
+
+(* Small conflicts first: they force elements into every partial set
+   early, so completed sets appear sooner and the subsumption prune
+   fires on more of the frontier. *)
+let expansion_order conflicts =
+  List.stable_sort
+    (fun a b -> Int.compare (Env.cardinal a) (Env.cardinal b))
+    (List.sort_uniq Env.compare conflicts)
 
 (* Breadth-first expansion: maintain a frontier of partial hitting sets
    ordered by construction; extend each with the elements of the first
    conflict it does not hit.  Minimality: a completed set is kept only if
    no kept set is a subset of it, and partial sets subsumed by a completed
-   set are pruned. *)
-let minimal_hitting_sets ?(limit = 10_000) conflicts =
+   set are pruned — the completed sets live in an {!Envindex} so the
+   prune is a bucketed subset query, not a scan. *)
+let minimal_hitting_sets ?(limit = 10_000) ?(presort = true) conflicts =
   Trace.with_span ~record:seconds "hitting.minimal" @@ fun () ->
-  let conflicts = List.sort_uniq Env.compare conflicts in
+  let conflicts =
+    if presort then expansion_order conflicts
+    else List.sort_uniq Env.compare conflicts
+  in
   Metrics.incr ~by:(List.length conflicts) conflicts_total;
   if conflicts = [] then [ Env.empty ]
   else if List.exists Env.is_empty conflicts then []
   else begin
-    let complete = ref [] in
-    let is_subsumed env = List.exists (fun m -> Env.subset m env) !complete in
+    let complete = ref [] and n_complete = ref 0 in
+    let complete_idx : unit Envindex.t = Envindex.create () in
+    let is_subsumed env = Envindex.is_dominated complete_idx env 1. in
     let rec first_missed env = function
       | [] -> None
       | c :: rest -> if Env.disjoint env c then Some c else first_missed env rest
     in
     let queue = Queue.create () in
     Queue.add Env.empty queue;
-    let seen = Hashtbl.create 256 in
-    while (not (Queue.is_empty queue)) && List.length !complete < limit do
+    let seen = EnvTbl.create 256 in
+    while (not (Queue.is_empty queue)) && !n_complete < limit do
       let env = Queue.pop queue in
       if is_subsumed env then Metrics.incr prunes_total
       else
         match first_missed env conflicts with
-        | None -> complete := env :: !complete
+        | None ->
+          complete := env :: !complete;
+          incr n_complete;
+          Envindex.add complete_idx env 1. ()
         | Some c ->
           Env.fold
             (fun a () ->
               let env' = Env.add a env in
-              let key = Env.to_list env' in
-              if not (Hashtbl.mem seen key) then begin
-                Hashtbl.add seen key ();
+              if not (EnvTbl.mem seen env') then begin
+                EnvTbl.add seen env' ();
                 Queue.add env' queue
               end)
             c ()
     done;
-    Metrics.incr ~by:(List.length !complete) candidates_total;
+    Metrics.incr ~by:!n_complete candidates_total;
     let by_size a b =
       let c = Int.compare (Env.cardinal a) (Env.cardinal b) in
       if c <> 0 then c else Env.compare a b

@@ -6,7 +6,8 @@
     subset-minimality pruning, adequate for the conflict families produced
     by circuit diagnosis (tens of conflicts over tens of assumptions). *)
 
-val minimal_hitting_sets : ?limit:int -> Env.t list -> Env.t list
+val minimal_hitting_sets :
+  ?limit:int -> ?presort:bool -> Env.t list -> Env.t list
 (** [minimal_hitting_sets conflicts] enumerates all subset-minimal
     environments intersecting every conflict.
 
@@ -14,8 +15,17 @@ val minimal_hitting_sets : ?limit:int -> Env.t list -> Env.t list
     - A family containing the empty conflict has no hitting set: [[]].
     - [limit] caps the number of returned sets (default 10_000), a guard
       against pathological families.
+    - [presort] (default [true]) expands conflicts in ascending
+      cardinality order via {!expansion_order}, so small conflicts force
+      choices early and the completed-set subsumption prune discards more
+      of the frontier.  The result is the same either way; the flag
+      exists for benchmarks and the prune regression test.
 
     Results are sorted by cardinality then lexicographically. *)
+
+val expansion_order : Env.t list -> Env.t list
+(** Deduplicated conflicts in the order the expansion visits them:
+    ascending cardinality, ties in [Env.compare] order. *)
 
 val hits_all : Env.t -> Env.t list -> bool
 (** [hits_all candidate conflicts] checks the defining property. *)

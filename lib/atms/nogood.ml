@@ -1,5 +1,9 @@
 type entry = { env : Env.t; degree : float; reason : string }
-type t = { mutable items : entry list }
+
+type t = {
+  idx : string Envindex.t;  (** reasons ride along as payloads *)
+  mutable sorted : entry list option;  (** cached {!entries} view *)
+}
 
 (* Every nogood database in the process feeds one counter: conflict
    discovery is the quantity the complexity results say to watch. *)
@@ -7,44 +11,52 @@ let nogoods_total =
   Flames_obs.Metrics.counter "flames_atms_nogoods_total"
     ~help:"Fuzzy nogoods recorded across every ATMS/propagation database"
 
-let create () = { items = [] }
+let create () = { idx = Envindex.create (); sorted = None }
 
 let record db ?(reason = "") env degree =
   let degree = Flames_fuzzy.Tnorm.clamp01 degree in
   if degree <= 0. then false
-  else
-    let subsumed =
-      List.exists
-        (fun e -> Env.subset e.env env && e.degree >= degree)
-        db.items
-    in
-    if subsumed then false
-    else begin
-      (* drop entries that the new nogood strictly dominates *)
-      db.items <-
-        List.filter
-          (fun e -> not (Env.subset env e.env && degree >= e.degree))
-          db.items;
-      db.items <- { env; degree; reason } :: db.items;
-      Flames_obs.Metrics.incr nogoods_total;
-      true
-    end
+  else if Envindex.is_dominated db.idx env degree then false
+  else begin
+    (* drop entries that the new nogood dominates *)
+    ignore (Envindex.remove_dominated db.idx env degree);
+    Envindex.add db.idx env degree reason;
+    db.sorted <- None;
+    Flames_obs.Metrics.incr nogoods_total;
+    true
+  end
 
 let entries db =
-  List.sort
-    (fun a b ->
-      let c = Float.compare b.degree a.degree in
-      if c <> 0 then c else Int.compare (Env.cardinal a.env) (Env.cardinal b.env))
-    db.items
+  match db.sorted with
+  | Some cached -> cached
+  | None ->
+    let sorted =
+      Envindex.fold (fun it acc -> it :: acc) db.idx []
+      |> List.sort (fun (a : _ Envindex.item) (b : _ Envindex.item) ->
+             let c = Float.compare b.degree a.degree in
+             if c <> 0 then c
+             else
+               let c =
+                 Int.compare (Env.cardinal a.env) (Env.cardinal b.env)
+               in
+               (* newest-first on full ties, as the unsorted list had *)
+               if c <> 0 then c else Int.compare b.seq a.seq)
+      |> List.map (fun (it : _ Envindex.item) ->
+             { env = it.env; degree = it.degree; reason = it.data })
+    in
+    db.sorted <- Some sorted;
+    sorted
 
-let inconsistency db env =
-  List.fold_left
-    (fun acc e -> if Env.subset e.env env then Float.max acc e.degree else acc)
-    0. db.items
+(* Degrees are clamped to [0, 1] on entry, so the scan can stop at the
+   first hard (degree-1) subset. *)
+let inconsistency db env = Envindex.max_subset_degree ~stop_at:1. db.idx env
 
 let is_nogood db ?(threshold = 1.) env = inconsistency db env >= threshold
-let count db = List.length db.items
-let clear db = db.items <- []
+let count db = Envindex.size db.idx
+
+let clear db =
+  Envindex.clear db.idx;
+  db.sorted <- None
 
 let pp ~names ppf db =
   Format.pp_print_list

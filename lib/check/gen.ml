@@ -179,6 +179,96 @@ let conflict_sets =
         else String.concat " " (List.map print_env cs));
   }
 
+(* {1 Raw id lists (bitset Env oracle)} *)
+
+(* Ids deliberately straddle the 63-bit word boundaries (0, 62, 63, 64,
+   126, 127, ...) so the oracle exercises multi-word environments and the
+   word-edge masks. *)
+let env_id_bound = 140
+
+let gen_id_lists rng =
+  let k = Rng.int rng 8 in
+  let one () =
+    let size = Rng.int rng 7 in
+    List.init size (fun _ ->
+        if Rng.chance rng 0.3 then
+          (* cluster on word boundaries *)
+          Rng.choose rng [ 0; 1; 61; 62; 63; 64; 65; 125; 126; 127; 128 ]
+        else Rng.int rng env_id_bound)
+  in
+  List.init k (fun _ -> one ())
+
+let shrink_id_lists lists =
+  let dropped = List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) lists) lists in
+  let thinned =
+    List.concat
+      (List.mapi
+         (fun i l ->
+           List.mapi
+             (fun j _ ->
+               List.mapi
+                 (fun i' l' ->
+                   if i = i' then List.filteri (fun j' _ -> j' <> j) l' else l')
+                 lists)
+             l)
+         lists)
+  in
+  dropped @ thinned
+
+let print_id_lists lists =
+  String.concat " "
+    (List.map
+       (fun l -> "[" ^ String.concat "," (List.map string_of_int l) ^ "]")
+       lists)
+
+let id_lists =
+  { gen = gen_id_lists; shrink = shrink_id_lists; print = print_id_lists }
+
+(* (ids, degree) scripts for the Envindex dominance oracle; degrees on a
+   1/16 lattice so both implementations compare them exactly. *)
+let gen_weighted_envs rng =
+  let k = Rng.int rng 14 in
+  List.init k (fun _ ->
+      let size = Rng.int rng 5 in
+      let ids =
+        List.init size (fun _ ->
+            if Rng.chance rng 0.25 then
+              Rng.choose rng [ 0; 62; 63; 64; 126; 127 ]
+            else Rng.int rng 24)
+      in
+      let degree = Float.of_int (1 + Rng.int rng 16) /. 16. in
+      (ids, degree))
+
+let shrink_weighted_envs script =
+  let dropped =
+    List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) script) script
+  in
+  let weakened =
+    List.mapi
+      (fun i _ ->
+        List.mapi
+          (fun j (ids, d) -> if i = j then (ids, 1.) else (ids, d))
+          script)
+      script
+  in
+  dropped @ weakened
+
+let print_weighted_envs script =
+  String.concat " "
+    (List.map
+       (fun (ids, d) ->
+         Printf.sprintf "{%s}@%g"
+           (String.concat "," (List.map string_of_int ids))
+           d)
+       script)
+
+let weighted_envs =
+  {
+    gen = gen_weighted_envs;
+    shrink = shrink_weighted_envs;
+    print = print_weighted_envs;
+  }
+
 (* {1 ATMS justification networks} *)
 
 type clause = { antecedents : int list; target : int option; degree : float }

@@ -61,6 +61,18 @@ val conflict_sets : Env.t list t
     including duplicate conflicts, subset pairs and (rarely) the empty
     conflict. *)
 
+(** {1 Raw environment scripts (bitset oracle)} *)
+
+val id_lists : int list list t
+(** Lists of raw assumption ids (possibly with duplicates), biased toward
+    the 63-bit word boundaries (62, 63, 64, 126, 127...), for diffing the
+    bitset {!Flames_atms.Env} against a naive [Set.Make(Int)]. *)
+
+val weighted_envs : (int list * float) list t
+(** Insertion scripts of (ids, degree) pairs — degrees on a 1/16 lattice
+    for exact comparison — for diffing {!Flames_atms.Envindex} dominance
+    queries against a naive linear-scan reference. *)
+
 (** {1 ATMS justification networks} *)
 
 type clause = {

@@ -69,6 +69,219 @@ let check_hitting conflicts =
          "hitting-set divergence:\n  brute force: %s\n  Atms.Hitting: %s"
          (print_envs expected) (print_envs actual))
 
+(* {1 Bitset environments vs naive Set.Make(Int)} *)
+
+module IS = Set.Make (Int)
+
+let print_ids l = "{" ^ String.concat "," (List.map string_of_int l) ^ "}"
+
+(* Diff every Env operation against the int-set reference, pairwise over
+   the generated lists.  Also checks the interning contract (structural
+   round-trips are physically equal) and the signature Bloom property. *)
+let check_env lists =
+  let pairs =
+    List.map (fun ids -> (IS.of_list ids, Env.of_list ids, ids)) lists
+  in
+  let ( let* ) = Result.bind in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let check_one (s, e, ids) =
+    let* () =
+      if IS.elements s = Env.to_list e then Ok ()
+      else
+        fail "of_list/to_list %s: set %s, env %s" (print_ids ids)
+          (print_ids (IS.elements s))
+          (print_ids (Env.to_list e))
+    in
+    let* () =
+      if IS.cardinal s = Env.cardinal e then Ok ()
+      else
+        fail "cardinal %s: set %d, env %d" (print_ids ids) (IS.cardinal s)
+          (Env.cardinal e)
+    in
+    let* () =
+      if Env.of_list ids == e then Ok ()
+      else fail "interning: of_list %s not physically equal" (print_ids ids)
+    in
+    let* () =
+      let probe = [ 0; 62; 63; 64; 126; 127 ] @ ids in
+      if List.for_all (fun i -> IS.mem i s = Env.mem i e) probe then Ok ()
+      else fail "mem disagrees on %s" (print_ids ids)
+    in
+    let* () =
+      if IS.min_elt_opt s = Env.choose e then Ok ()
+      else fail "choose disagrees on %s" (print_ids ids)
+    in
+    match IS.max_elt_opt s with
+    | None -> Ok ()
+    | Some m ->
+      let s' = IS.add (m + 1) s and e' = Env.add (m + 1) e in
+      if IS.elements s' = Env.to_list e' then Ok ()
+      else fail "add %d to %s diverges" (m + 1) (print_ids ids)
+  in
+  let sign = Stdlib.compare in
+  let check_pair (sa, ea, ia) (sb, eb, ib) =
+    let binop name sref eref =
+      if IS.elements sref = Env.to_list eref then Ok ()
+      else
+        fail "%s %s %s: set %s, env %s" name (print_ids ia) (print_ids ib)
+          (print_ids (IS.elements sref))
+          (print_ids (Env.to_list eref))
+    in
+    let* () = binop "union" (IS.union sa sb) (Env.union ea eb) in
+    let* () = binop "inter" (IS.inter sa sb) (Env.inter ea eb) in
+    let* () = binop "diff" (IS.diff sa sb) (Env.diff ea eb) in
+    let* () =
+      if IS.subset sa sb = Env.subset ea eb then Ok ()
+      else fail "subset %s %s disagrees" (print_ids ia) (print_ids ib)
+    in
+    let* () =
+      if IS.disjoint sa sb = Env.disjoint ea eb then Ok ()
+      else fail "disjoint %s %s disagrees" (print_ids ia) (print_ids ib)
+    in
+    let* () =
+      if sign (IS.compare sa sb) 0 = sign (Env.compare ea eb) 0 then Ok ()
+      else
+        fail "compare %s %s: set %d, env %d" (print_ids ia) (print_ids ib)
+          (IS.compare sa sb) (Env.compare ea eb)
+    in
+    let* () =
+      if IS.equal sa sb = Env.equal ea eb then Ok ()
+      else fail "equal %s %s disagrees" (print_ids ia) (print_ids ib)
+    in
+    let* () =
+      if (not (Env.equal ea eb)) || Env.hash ea = Env.hash eb then Ok ()
+      else fail "equal envs with different hashes: %s %s" (print_ids ia) (print_ids ib)
+    in
+    let* () =
+      if
+        (not (Env.subset ea eb))
+        || Env.subset_word (Env.signature ea) (Env.signature eb)
+      then Ok ()
+      else fail "signature violates the Bloom property: %s %s" (print_ids ia) (print_ids ib)
+    in
+    (* interning again: the same union built twice is the same block *)
+    if Env.union ea eb == Env.union eb ea then Ok ()
+    else fail "union %s %s not interned" (print_ids ia) (print_ids ib)
+  in
+  let rec all_ones = function
+    | [] -> Ok ()
+    | x :: rest ->
+      let* () = check_one x in
+      all_ones rest
+  in
+  let* () = all_ones pairs in
+  let rec all_pairs = function
+    | [] -> Ok ()
+    | x :: rest ->
+      let rec against = function
+        | [] -> Ok ()
+        | y :: ys ->
+          let* () = check_pair x y in
+          against ys
+      in
+      let* () = against (x :: rest) in
+      all_pairs rest
+  in
+  all_pairs pairs
+
+(* {1 Envindex dominance vs naive linear scan} *)
+
+(* The naive reference replays the pre-index algorithm: an unsorted list
+   scanned linearly, dominance = subset with >= degree. *)
+module Naive_index = struct
+  type t = (IS.t * float) list ref
+
+  let create () : t = ref []
+
+  let is_dominated (t : t) env degree =
+    List.exists (fun (e, d) -> IS.subset e env && d >= degree) !t
+
+  let max_subset_degree (t : t) env =
+    List.fold_left
+      (fun acc (e, d) -> if IS.subset e env then Float.max acc d else acc)
+      0. !t
+
+  let insert (t : t) env degree =
+    if is_dominated t env degree then false
+    else begin
+      t := List.filter (fun (e, d) -> not (IS.subset env e && degree >= d)) !t;
+      t := (env, degree) :: !t;
+      true
+    end
+
+  let contents (t : t) =
+    List.sort Stdlib.compare
+      (List.map (fun (e, d) -> (IS.elements e, d)) !t)
+end
+
+let check_envindex script =
+  let naive = Naive_index.create () in
+  let idx : unit Flames_atms.Envindex.t = Flames_atms.Envindex.create () in
+  let indexed_insert env degree =
+    if Flames_atms.Envindex.is_dominated idx env degree then false
+    else begin
+      ignore (Flames_atms.Envindex.remove_dominated idx env degree);
+      Flames_atms.Envindex.add idx env degree ();
+      true
+    end
+  in
+  let ( let* ) = Result.bind in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let queries =
+    (* every script env plus the whole universe: subset queries from
+       below, above and sideways *)
+    let universe = List.concat_map fst script in
+    List.map fst script @ [ universe; [] ]
+  in
+  let rec replay = function
+    | [] -> Ok ()
+    | (ids, degree) :: rest ->
+      let s = IS.of_list ids and e = Env.of_list ids in
+      let rn = Naive_index.insert naive s degree in
+      let ri = indexed_insert e degree in
+      let* () =
+        if rn = ri then Ok ()
+        else
+          fail "insert %s@%g: naive %b, indexed %b" (print_ids ids) degree rn
+            ri
+      in
+      let* () =
+        if List.length !naive = Flames_atms.Envindex.size idx then Ok ()
+        else
+          fail "size after %s@%g: naive %d, indexed %d" (print_ids ids) degree
+            (List.length !naive)
+            (Flames_atms.Envindex.size idx)
+      in
+      let rec check_queries = function
+        | [] -> Ok ()
+        | q :: qs ->
+          let sq = IS.of_list q and eq = Env.of_list q in
+          let dn = Naive_index.max_subset_degree naive sq in
+          let di = Flames_atms.Envindex.max_subset_degree idx eq in
+          let* () =
+            if dn = di then Ok ()
+            else
+              fail "max_subset_degree %s: naive %g, indexed %g" (print_ids q)
+                dn di
+          in
+          let bn = Naive_index.is_dominated naive sq 0.5 in
+          let bi = Flames_atms.Envindex.is_dominated idx eq 0.5 in
+          if bn = bi then check_queries qs
+          else fail "is_dominated %s@0.5: naive %b, indexed %b" (print_ids q) bn bi
+      in
+      let* () = check_queries queries in
+      replay rest
+  in
+  let* () = replay script in
+  let ci =
+    Flames_atms.Envindex.fold
+      (fun it acc -> (Env.to_list it.Flames_atms.Envindex.env, it.Flames_atms.Envindex.degree) :: acc)
+      idx []
+    |> List.sort Stdlib.compare
+  in
+  if Naive_index.contents naive = ci then Ok ()
+  else Error "final contents diverge between naive and indexed stores"
+
 (* {1 Alpha-cut fuzzy arithmetic} *)
 
 let iadd (alo, ahi) (blo, bhi) = (alo +. blo, ahi +. bhi)

@@ -20,6 +20,24 @@ val brute_hitting : Env.t list -> Env.t list
 
 val check_hitting : Env.t list -> (unit, string) result
 
+(** {1 Bitset environments vs [Set.Make(Int)]} *)
+
+val check_env : int list list -> (unit, string) result
+(** Builds each id list both as a naive int set and as a bitset {!Env}
+    and diffs every operation pairwise — to_list, cardinal, mem, choose,
+    add, union, inter, diff, subset, disjoint, compare sign, equal — plus
+    the interning contract (structural round-trips are physically equal,
+    equal envs hash equally) and the signature Bloom property
+    ([subset] implies [subset_word] of the signatures). *)
+
+val check_envindex : (int list * float) list -> (unit, string) result
+(** Replays the insertion script through {!Flames_atms.Envindex} (with
+    the dominance-insert pattern the ATMS call sites use) and through a
+    naive linear-scan reference; after every insert the acceptance
+    verdict, store size, [max_subset_degree] and [is_dominated] answers
+    on all script environments must agree, and the final contents must be
+    identical. *)
+
 (** {1 Fuzzy arithmetic vs [Arith]} *)
 
 val naive_add : Interval.t -> Interval.t -> Interval.t

@@ -83,6 +83,8 @@ let run_all ?(seed = 0x464c4d45) ?(log = fun _ -> ()) ~iters () =
     (Int.max 1 (iters / 200))
     (triple Gen.scenario)
     (fun scs -> Oracle.check_batch (jobs_of_scenarios scs));
+  section 7 "env-bitset" iters Gen.id_lists Oracle.check_env;
+  section 8 "env-index" iters Gen.weighted_envs Oracle.check_envindex;
   List.rev !sections
 
 let ok sections = List.for_all (fun s -> s.failure = None) sections

@@ -2,10 +2,12 @@
    propagation, minimal hitting sets and candidate ranking. *)
 
 module Env = Flames_atms.Env
+module Envindex = Flames_atms.Envindex
 module Nogood = Flames_atms.Nogood
 module Hitting = Flames_atms.Hitting
 module Atms = Flames_atms.Atms
 module Candidates = Flames_atms.Candidates
+module Metrics = Flames_obs.Metrics
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -33,6 +35,89 @@ let test_env_basics () =
 
 let test_env_dedup () =
   check_int "duplicates collapse" 2 (Env.cardinal (e [ 1; 1; 2 ]))
+
+(* ids straddling the 63-bit word boundaries: bit 62 is the top bit of
+   word 0 (the sign bit of an OCaml int), 63 the bottom of word 1, 127
+   the top half of word 2's edge *)
+let boundary_ids = [ 62; 63; 64; 126; 127 ]
+
+let test_env_word_boundaries () =
+  List.iter
+    (fun i ->
+      let s = Env.singleton i in
+      check_int (Printf.sprintf "singleton %d cardinal" i) 1 (Env.cardinal s);
+      check_bool (Printf.sprintf "mem %d" i) true (Env.mem i s);
+      check_bool (Printf.sprintf "not mem %d" (i - 1)) false (Env.mem (i - 1) s);
+      check_bool (Printf.sprintf "not mem %d" (i + 1)) false (Env.mem (i + 1) s);
+      Alcotest.(check (list int))
+        (Printf.sprintf "to_list %d" i)
+        [ i ] (Env.to_list s);
+      Alcotest.(check (option int))
+        (Printf.sprintf "choose %d" i)
+        (Some i) (Env.choose s))
+    boundary_ids;
+  let all = e boundary_ids in
+  check_int "boundary set cardinal" 5 (Env.cardinal all);
+  Alcotest.(check (list int)) "boundary to_list sorted" boundary_ids (Env.to_list all);
+  Alcotest.check env_t "union across words" all
+    (Env.union (e [ 62; 63 ]) (e [ 64; 126; 127 ]));
+  Alcotest.check env_t "inter across words" (e [ 63; 127 ])
+    (Env.inter all (e [ 63; 127; 200 ]));
+  Alcotest.check env_t "diff across words" (e [ 62; 64; 126 ])
+    (Env.diff all (e [ 63; 127 ]));
+  check_bool "subset across words" true (Env.subset (e [ 62; 127 ]) all);
+  check_bool "not subset across words" false (Env.subset (e [ 62; 128 ]) all);
+  check_bool "disjoint across words" true
+    (Env.disjoint (e [ 62; 126 ]) (e [ 63; 127 ]));
+  check_bool "compare orders low word first" true (Env.compare (e [ 62 ]) (e [ 63 ]) < 0);
+  check_bool "prefix is smaller" true (Env.compare (e [ 62 ]) (e [ 62; 127 ]) < 0)
+
+let test_env_interning () =
+  (* structural round-trips through different construction paths must
+     yield the same physical block *)
+  check_bool "of_list twice" true (e [ 3; 70; 128 ] == e [ 3; 70; 128 ]);
+  check_bool "of_list order-insensitive" true (e [ 128; 3; 70 ] == e [ 3; 70; 128 ]);
+  check_bool "union round-trip" true
+    (Env.union (e [ 3; 70 ]) (e [ 128 ]) == e [ 3; 70; 128 ]);
+  check_bool "diff round-trip" true
+    (Env.diff (e [ 3; 70; 128 ]) (e [ 70 ]) == e [ 3; 128 ]);
+  check_bool "add round-trip" true (Env.add 70 (e [ 3; 128 ]) == e [ 3; 70; 128 ]);
+  check_bool "inter round-trip" true
+    (Env.inter (e [ 3; 70; 128 ]) (e [ 70; 200 ]) == e [ 70 ]);
+  check_bool "empty is unique" true (Env.diff (e [ 5 ]) (e [ 5 ]) == Env.empty);
+  check_int "hash stable" (Env.hash (e [ 3; 70; 128 ])) (Env.hash (e [ 128; 70; 3 ]));
+  (* signature Bloom property on a subset pair *)
+  check_bool "signature subset" true
+    (Env.subset_word (Env.signature (e [ 3; 70 ])) (Env.signature (e [ 3; 70; 128 ])))
+
+(* {1 Envindex} *)
+
+let test_envindex_dominance () =
+  let idx : unit Envindex.t = Envindex.create () in
+  Envindex.add idx (e [ 1; 2 ]) 0.5 ();
+  check_int "size" 1 (Envindex.size idx);
+  check_bool "superset dominated" true (Envindex.is_dominated idx (e [ 1; 2; 3 ]) 0.5);
+  check_bool "higher degree not dominated" false
+    (Envindex.is_dominated idx (e [ 1; 2; 3 ]) 0.8);
+  check_bool "disjoint not dominated" false (Envindex.is_dominated idx (e [ 4 ]) 0.1);
+  Alcotest.(check (float 1e-9)) "max subset degree" 0.5
+    (Envindex.max_subset_degree idx (e [ 1; 2; 9 ]));
+  Alcotest.(check (float 1e-9)) "no subset" 0.
+    (Envindex.max_subset_degree idx (e [ 1; 9 ]));
+  check_int "removes dominated superset" 1
+    (Envindex.remove_dominated idx (e [ 1 ]) 0.9);
+  check_int "empty after removal" 0 (Envindex.size idx)
+
+let test_envindex_filter_clear () =
+  let idx : int Envindex.t = Envindex.create () in
+  List.iteri (fun i ids -> Envindex.add idx (e ids) 1. i)
+    [ [ 1 ]; [ 1; 2 ]; [ 3; 64 ]; [ 127 ] ];
+  check_int "filter drops" 2
+    (Envindex.filter idx (fun it -> Env.cardinal it.Envindex.env = 1));
+  check_int "filter kept" 2 (Envindex.size idx);
+  Envindex.clear idx;
+  check_bool "cleared" true (Envindex.is_empty idx);
+  check_bool "nothing dominates" false (Envindex.is_dominated idx (e [ 1 ]) 0.)
 
 (* {1 Nogood} *)
 
@@ -137,6 +222,27 @@ let test_hitting_limit () =
 let test_hitting_duplicate_conflicts () =
   let sets = Hitting.minimal_hitting_sets [ e [ 1; 2 ]; e [ 1; 2 ] ] in
   check_int "duplicates collapse" 2 (List.length sets)
+
+let test_hitting_presort_prunes () =
+  (* Fixed family given largest-conflict-first: expanding the big
+     conflict first floods the frontier with partial sets that complete
+     candidates later subsume.  Presorting ascending by cardinality must
+     produce the same hitting sets with strictly fewer subsumption
+     prunes. *)
+  let family = [ e [ 0; 1; 2; 3; 4 ]; e [ 0; 5 ]; e [ 5 ] ] in
+  let prunes = Metrics.counter "flames_hitting_subsumption_prunes_total" in
+  let run presort =
+    let before = Metrics.counter_value prunes in
+    let sets = Hitting.minimal_hitting_sets ~presort family in
+    (sets, Metrics.counter_value prunes - before)
+  in
+  let unsorted, p_unsorted = run false in
+  let sorted, p_sorted = run true in
+  Alcotest.check envs "same hitting sets" unsorted sorted;
+  check_bool
+    (Printf.sprintf "prunes drop with presort (%d < %d)" p_sorted p_unsorted)
+    true
+    (p_sorted < p_unsorted)
 
 (* {1 Hitting-set properties} *)
 
@@ -369,6 +475,15 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_env_basics;
           Alcotest.test_case "dedup" `Quick test_env_dedup;
+          Alcotest.test_case "word boundaries" `Quick
+            test_env_word_boundaries;
+          Alcotest.test_case "interning" `Quick test_env_interning;
+        ] );
+      ( "envindex",
+        [
+          Alcotest.test_case "dominance" `Quick test_envindex_dominance;
+          Alcotest.test_case "filter and clear" `Quick
+            test_envindex_filter_clear;
         ] );
       ( "nogood",
         [
@@ -395,6 +510,8 @@ let () =
           Alcotest.test_case "limit" `Quick test_hitting_limit;
           Alcotest.test_case "duplicates" `Quick
             test_hitting_duplicate_conflicts;
+          Alcotest.test_case "presort prunes" `Quick
+            test_hitting_presort_prunes;
         ] );
       ( "hitting-properties",
         List.map (QCheck_alcotest.to_alcotest ~long:false) hitting_properties

@@ -52,6 +52,31 @@ let test_hitting_directed_edges () =
   check_bool "brute contains {2}" true
     (List.exists (Env.equal (e [ 2 ])) (Oracle.brute_hitting [ e [ 1; 2 ]; e [ 2; 3 ] ]))
 
+(* {1 Env bitset / Envindex oracles (satellite: >= 500 random cases)} *)
+
+let test_env_oracle_random () =
+  expect_pass "env bitset oracle" 500 Gen.id_lists Oracle.check_env
+
+let test_envindex_oracle_random () =
+  expect_pass "envindex oracle" 500 Gen.weighted_envs Oracle.check_envindex
+
+let test_env_oracle_directed () =
+  let ok name lists =
+    match Oracle.check_env lists with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "%s: %s" name m
+  in
+  ok "empty" [ [] ];
+  ok "word boundaries" [ [ 62 ]; [ 63 ]; [ 64 ]; [ 127 ]; [ 62; 63; 64; 127 ] ];
+  ok "spanning words" [ [ 0; 63; 126 ]; [ 1; 64; 127 ]; [ 0; 1; 62; 65 ] ];
+  ok "duplicates" [ [ 5; 5; 5 ]; [ 5 ] ];
+  match
+    Oracle.check_envindex
+      [ ([ 1; 2 ], 0.5); ([ 1 ], 1.); ([ 1; 2; 3 ], 0.25); ([ 2 ], 0.5) ]
+  with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "directed envindex: %s" m
+
 (* {1 Arithmetic / consistency / MNA oracles} *)
 
 let interval_pairs =
@@ -177,6 +202,13 @@ let () =
         [
           Alcotest.test_case "random-500" `Slow test_hitting_oracle_random;
           Alcotest.test_case "directed-edges" `Quick test_hitting_directed_edges;
+        ] );
+      ( "env-oracle",
+        [
+          Alcotest.test_case "bitset-random-500" `Slow test_env_oracle_random;
+          Alcotest.test_case "envindex-random-500" `Slow
+            test_envindex_oracle_random;
+          Alcotest.test_case "directed-edges" `Quick test_env_oracle_directed;
         ] );
       ( "fuzzy-oracles",
         [
