@@ -2,7 +2,7 @@
 # stay green before every commit (tier-1 verify + engine tests + dune-file
 # formatting).
 
-.PHONY: all build test fmt check check-deep corpus bench bench-engine bench-atms trace clean
+.PHONY: all build test fmt check check-deep chaos corpus bench bench-engine bench-atms trace clean
 
 all: build
 
@@ -25,6 +25,15 @@ check: fmt build test
 ITERS ?= 1000
 check-deep: build
 	dune exec bin/flames_cli.exe -- check --iters $(ITERS)
+
+# chaos harness: seeded batches of random diagnoses with injected
+# faults (exceptions, worker kills, singular systems, NaN, delays)
+# through the full resilience stack; a failing case prints the seed
+# that replays it (CHAOS_ITERS and CHAOS_SEED scale/pin the run)
+CHAOS_ITERS ?= 25
+CHAOS_SEED ?= 0
+chaos: build
+	dune exec bin/flames_cli.exe -- chaos --iters $(CHAOS_ITERS) --seed $(CHAOS_SEED)
 
 # re-render the golden corpus after an intentional behaviour change
 corpus: build

@@ -60,6 +60,31 @@ let parse_fault spec =
 
 open Cmdliner
 module Obs_log = Flames_obs.Log
+module Err = Flames_core.Err
+
+(* Exit discipline.  Malformed input — unknown circuit, unparsable
+   netlist or scenario file, bad fault spec — exits 2 with a one-line
+   message naming the file (and line, when there is one).  A run that
+   failed for computational reasons — singular system, tripped check —
+   exits 1, also on one line.  No exception may escape to a raw
+   backtrace: [protect] converts anything a library raises into its
+   structured {!Err.t} rendering. *)
+let die_input fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("flames: " ^ m);
+      exit 2)
+    fmt
+
+let die_run fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("flames: " ^ m);
+      exit 1)
+    fmt
+
+let protect f =
+  try f () with e -> die_run "%s" (Err.to_string (Err.of_exn e))
 
 (* --trace/--metrics/--quiet/-v are shared by every subcommand: the term
    performs its side effects (log level, tracer arming, at_exit
@@ -140,10 +165,8 @@ let instrument_arg =
 
 let with_circuit name f =
   match load_circuit name with
-  | Ok netlist -> f netlist
-  | Error e ->
-    Obs_log.err "%s" e;
-    exit 1
+  | Ok netlist -> protect (fun () -> f netlist)
+  | Error e -> die_input "%s" e
 
 let inject_opt netlist = function
   | None -> Ok netlist
@@ -189,9 +212,7 @@ let diagnose_cmd =
   let run () name fault probes trusted relative =
     with_circuit name (fun nominal ->
         match inject_opt nominal fault with
-        | Error e ->
-          Obs_log.err "%s" e;
-          exit 1
+        | Error e -> die_input "%s" e
         | Ok faulty ->
           let obs = observations faulty probes relative in
           let config =
@@ -212,9 +233,7 @@ let best_test_cmd =
   let run () name fault probes trusted relative =
     with_circuit name (fun nominal ->
         match inject_opt nominal fault with
-        | Error e ->
-          Obs_log.err "%s" e;
-          exit 1
+        | Error e -> die_input "%s" e
         | Ok faulty ->
           let obs = observations faulty probes relative in
           let config = { Flames_core.Model.default_config with trusted } in
@@ -266,9 +285,7 @@ let ac_cmd =
   let run () name fault frequencies node =
     with_circuit name (fun nominal ->
         match inject_opt nominal fault with
-        | Error e ->
-          Obs_log.err "%s" e;
-          exit 1
+        | Error e -> die_input "%s" e
         | Ok netlist ->
           List.iter
             (fun f ->
@@ -289,8 +306,7 @@ let ac_cmd =
                       (Flames_sim.Ac.gain_db r n))
                   nodes
               | exception Flames_sim.Ac.Unsupported m ->
-                Obs_log.err "AC analysis unsupported: %s" m;
-                exit 1)
+                die_run "AC analysis unsupported: %s" m)
             frequencies)
   in
   Cmd.v
@@ -303,16 +319,12 @@ let dynamic_diagnose_cmd =
   let run () name fault frequencies node relative trusted =
     with_circuit name (fun nominal ->
         match inject_opt nominal fault with
-        | Error e ->
-          Obs_log.err "%s" e;
-          exit 1
+        | Error e -> die_input "%s" e
         | Ok faulty ->
           let node =
             match node with
             | Some n -> n
-            | None ->
-              Obs_log.err "dynamic-diagnose requires --node";
-              exit 1
+            | None -> die_input "dynamic-diagnose requires --node"
           in
           let instrument = { Flames_sim.Measure.relative; floor = 5e-4 } in
           let observations =
@@ -418,18 +430,15 @@ let stats_json_arg =
 
 let batch_cmd =
   let run () file workers timeout trusted relative stats_json =
-    if workers < 1 then begin
-      Obs_log.err "batch: --workers must be >= 1 (got %d)" workers;
-      exit 1
-    end;
+    if workers < 1 then
+      die_input "batch: --workers must be >= 1 (got %d)" workers;
+    protect @@ fun () ->
     let jobs =
       match file with
       | None -> Flames_experiments.Fig7.jobs ()
       | Some path -> begin
         match read_batch_file path with
-        | Error e ->
-          Obs_log.err "%s: %s" path e;
-          exit 1
+        | Error e -> die_input "%s: %s" path e
         | Ok lines ->
           let config = { Flames_core.Model.default_config with trusted } in
           List.map
@@ -478,6 +487,7 @@ let list_cmd =
 
 let obs_demo_cmd =
   let run () workers =
+    protect @@ fun () ->
     let rows, stats = Flames_experiments.Fig7.run_parallel ~workers () in
     Flames_experiments.Fig7.print Format.std_formatter rows;
     Format.printf "%a@.@." Flames_engine.Stats.pp stats;
@@ -498,10 +508,9 @@ let obs_demo_cmd =
 
 let check_cmd =
   let run () iters seed corpus_dir write_corpus skip_corpus =
-    if iters < 1 then begin
-      Obs_log.err "check: --iters must be >= 1 (got %d)" iters;
-      exit 1
-    end;
+    if iters < 1 then
+      die_input "check: --iters must be >= 1 (got %d)" iters;
+    protect @@ fun () ->
     if write_corpus then begin
       let written = Flames_check.Corpus.write ~dir:corpus_dir in
       List.iter (Format.printf "wrote %s@.") written
@@ -524,10 +533,7 @@ let check_cmd =
       end
     in
     if sweep_ok && corpus_ok then Format.printf "check: all sections ok@."
-    else begin
-      Obs_log.err "check: FAILED";
-      exit 1
-    end
+    else die_run "check: FAILED"
   in
   let iters_arg =
     let doc = "Random cases per oracle section (default 200)." in
@@ -566,6 +572,62 @@ let check_cmd =
       const run $ obs_term $ iters_arg $ seed_arg $ corpus_arg $ write_arg
       $ skip_arg)
 
+let chaos_cmd =
+  let run () iters seed jobs workers =
+    if iters < 1 then die_input "chaos: --iters must be >= 1 (got %d)" iters;
+    if jobs < 1 then die_input "chaos: --jobs must be >= 1 (got %d)" jobs;
+    if workers < 1 then
+      die_input "chaos: --workers must be >= 1 (got %d)" workers;
+    protect @@ fun () ->
+    let config = { Flames_check.Chaos.default with jobs; workers } in
+    let failures = ref 0 in
+    for case = 0 to iters - 1 do
+      let case_seed = Flames_check.Rng.case_seed ~seed ~case in
+      match Flames_check.Chaos.run ~config:{ config with seed = case_seed } ()
+      with
+      | Ok report ->
+        if case = 0 then
+          Format.printf "%a@." Flames_check.Chaos.pp_report report
+      | Error m ->
+        incr failures;
+        (* the seed is the whole reproduction recipe: print it *)
+        Format.eprintf "chaos: case %d FAILED (replay with --seed %d): %s@."
+          case case_seed m
+    done;
+    if !failures = 0 then
+      Format.printf "chaos: %d cases ok (root seed %d)@." iters seed
+    else
+      die_run "chaos: %d/%d cases failed (root seed %d)" !failures iters seed
+  in
+  let iters_arg =
+    let doc = "Chaotic batches to run (default 10)." in
+    Arg.(value & opt int 10 & info [ "iters" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Root seed; reuse the seed printed by a failing case to replay it."
+    in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let jobs_arg =
+    let doc = "Jobs per chaotic batch (default 8)." in
+    Arg.(value & opt int 8 & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker domains per batch (default 3)." in
+    Arg.(value & opt int 3 & info [ "workers"; "j" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Chaos harness: run seeded batches of random diagnoses with \
+          injected faults (exceptions, worker kills, singular systems, \
+          NaN measurements, delays) through the full resilience stack — \
+          budgets, retry, circuit breaker, worker supervision — and \
+          check every resilience invariant.  Deterministic per seed.")
+    Term.(
+      const run $ obs_term $ iters_arg $ seed_arg $ jobs_arg $ workers_arg)
+
 let main =
   let info =
     Cmd.info "flames" ~version:"1.0.0"
@@ -574,7 +636,7 @@ let main =
   Cmd.group info
     [
       bias_cmd; diagnose_cmd; best_test_cmd; ac_cmd; dynamic_diagnose_cmd;
-      batch_cmd; show_cmd; list_cmd; check_cmd; obs_demo_cmd;
+      batch_cmd; show_cmd; list_cmd; check_cmd; chaos_cmd; obs_demo_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -38,7 +38,13 @@ type t = {
   db : Nogood.t;
   mutable debug : bool;
   mutable label_entries : int;  (** total label entries across nodes *)
+  mutable interrupt : (unit -> bool) option;
+  mutable truncated : bool;  (** a propagation stopped at a check-point *)
 }
+
+let label_interrupts_total =
+  Metrics.counter "flames_atms_label_interrupts_total"
+    ~help:"Label propagations stopped early by a budget interrupt"
 
 exception Audit_failure of string list
 
@@ -63,7 +69,12 @@ let create () =
     db = Nogood.create ();
     debug = false;
     label_entries = 0;
+    interrupt = None;
+    truncated = false;
   }
+
+let set_interrupt t f = t.interrupt <- f
+let truncated t = t.truncated
 
 let contradiction t = t.contra
 let nogood_db t = t.db
@@ -164,10 +175,18 @@ let sweep_hard_nogoods t =
 
 (* Incremental propagation with a work queue of justifications whose
    antecedent labels changed.  Termination: label entries only improve
-   (new minimal environments or higher degrees over a finite space). *)
+   (new minimal environments or higher degrees over a finite space).
+   The interrupt hook is polled once per firing: labels reached so far
+   stay sound (every entry was genuinely derived); stopping early only
+   costs completeness, recorded in [truncated]. *)
 let rec propagate t queue =
   match Queue.take_opt queue with
   | None -> ()
+  | Some _
+    when (match t.interrupt with Some f -> f () | None -> false) ->
+    t.truncated <- true;
+    Metrics.incr label_interrupts_total;
+    Queue.clear queue
   | Some j ->
     Metrics.incr firings_total;
     let fired = fire_environments j.jdegree j.antecedents in

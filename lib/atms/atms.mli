@@ -112,3 +112,15 @@ val set_debug : t -> bool -> unit
     breaks a label law raises immediately with the violation. *)
 
 val debug : t -> bool
+
+val set_interrupt : t -> (unit -> bool) option -> unit
+(** Cooperative budget check-point, polled once per justification firing
+    during label propagation (e.g. [Some (Budget.interrupt_of b)]).
+    When it answers [true] the running propagation stops: labels keep
+    every entry derived so far (sound) but may miss derivable entries
+    (incomplete), and {!truncated} latches.  A truncated network fails
+    the completeness half of {!audit} by design — clear the hook and
+    re-fire to restore quiescence before auditing. *)
+
+val truncated : t -> bool
+(** Some propagation since creation stopped at the interrupt. *)

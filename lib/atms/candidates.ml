@@ -28,9 +28,12 @@ let suspicions conflicts =
          let c = Float.compare db da in
          if c <> 0 then c else Int.compare a b)
 
-let diagnoses ?(threshold = 0.) ?limit conflicts =
+let diagnoses ?(threshold = 0.) ?limit ?interrupt conflicts =
   let active = List.filter (fun c -> c.degree >= threshold) conflicts in
-  let sets = Hitting.minimal_hitting_sets ?limit (List.map (fun c -> c.env) active) in
+  let sets =
+    Hitting.minimal_hitting_sets ?limit ?interrupt
+      (List.map (fun c -> c.env) active)
+  in
   let susp = suspicion conflicts in
   let rank members =
     match Env.to_list members with

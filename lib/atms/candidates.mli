@@ -29,9 +29,15 @@ val suspicion : conflict list -> int -> float
 val suspicions : conflict list -> (int * float) list
 (** All implicated assumptions with their suspicion, most suspect first. *)
 
-val diagnoses : ?threshold:float -> ?limit:int -> conflict list -> diagnosis list
+val diagnoses :
+  ?threshold:float -> ?limit:int -> ?interrupt:(unit -> bool) ->
+  conflict list -> diagnosis list
 (** Minimal diagnoses of the conflicts with degree [>= threshold]
-    (default [0.], i.e. all), ranked best first. *)
+    (default [0.], i.e. all), ranked best first.  [interrupt] is the
+    cooperative budget check-point of
+    {!Hitting.minimal_hitting_sets}: enumeration may stop early, and
+    the (sound, possibly incomplete) sets found so far are ranked and
+    returned. *)
 
 val single_faults : conflict list -> (int * float) list
 (** Assumptions that alone explain every conflict (members of all

@@ -38,21 +38,33 @@ let expansion_order conflicts =
     (fun a b -> Int.compare (Env.cardinal a) (Env.cardinal b))
     (List.sort_uniq Env.compare conflicts)
 
+let interrupts_total =
+  Metrics.counter "flames_hitting_interrupts_total"
+    ~help:"Hitting-set enumerations stopped early by a budget interrupt"
+
 (* Breadth-first expansion: maintain a frontier of partial hitting sets
    ordered by construction; extend each with the elements of the first
    conflict it does not hit.  Minimality: a completed set is kept only if
    no kept set is a subset of it, and partial sets subsumed by a completed
    set are pruned — the completed sets live in an {!Envindex} so the
-   prune is a bucketed subset query, not a scan. *)
-let minimal_hitting_sets ?(limit = 10_000) ?(presort = true) conflicts =
+   prune is a bucketed subset query, not a scan.
+
+   Soundness under truncation: expansion grows partial sets one element
+   per queue generation, so completed sets appear in non-decreasing
+   cardinality and a later set can never be a strict subset of an earlier
+   one.  Every prefix of the completed list is therefore a set of genuine
+   minimal hitting sets — stopping early (interrupt or limit) degrades
+   completeness, never soundness, which is what lets a budget-tripped
+   diagnosis keep its truncated candidate list. *)
+let enumerate ?(limit = 10_000) ?(presort = true) ?interrupt conflicts =
   Trace.with_span ~record:seconds "hitting.minimal" @@ fun () ->
   let conflicts =
     if presort then expansion_order conflicts
     else List.sort_uniq Env.compare conflicts
   in
   Metrics.incr ~by:(List.length conflicts) conflicts_total;
-  if conflicts = [] then [ Env.empty ]
-  else if List.exists Env.is_empty conflicts then []
+  if conflicts = [] then ([ Env.empty ], false)
+  else if List.exists Env.is_empty conflicts then ([], false)
   else begin
     let complete = ref [] and n_complete = ref 0 in
     let complete_idx : unit Envindex.t = Envindex.create () in
@@ -61,10 +73,24 @@ let minimal_hitting_sets ?(limit = 10_000) ?(presort = true) conflicts =
       | [] -> None
       | c :: rest -> if Env.disjoint env c then Some c else first_missed env rest
     in
+    (* the interrupt is honoured only once something is on the completed
+       list: a budget floor of one candidate, so the degraded diagnosis
+       is never empty when any conflict exists (the smallest hitting set
+       completes within the first few frontier generations) *)
+    let stopped = ref false in
+    let should_stop () =
+      match interrupt with
+      | Some f when !n_complete > 0 && f () -> true
+      | Some _ | None -> false
+    in
     let queue = Queue.create () in
     Queue.add Env.empty queue;
     let seen = EnvTbl.create 256 in
-    while (not (Queue.is_empty queue)) && !n_complete < limit do
+    while
+      (not (Queue.is_empty queue))
+      && !n_complete < limit
+      && not (!stopped || (should_stop () && (stopped := true; true)))
+    do
       let env = Queue.pop queue in
       if is_subsumed env then Metrics.incr prunes_total
       else
@@ -83,10 +109,15 @@ let minimal_hitting_sets ?(limit = 10_000) ?(presort = true) conflicts =
               end)
             c ()
     done;
+    let truncated = !stopped || not (Queue.is_empty queue) in
+    if !stopped then Metrics.incr interrupts_total;
     Metrics.incr ~by:!n_complete candidates_total;
     let by_size a b =
       let c = Int.compare (Env.cardinal a) (Env.cardinal b) in
       if c <> 0 then c else Env.compare a b
     in
-    List.sort by_size !complete
+    (List.sort by_size !complete, truncated)
   end
+
+let minimal_hitting_sets ?limit ?presort ?interrupt conflicts =
+  fst (enumerate ?limit ?presort ?interrupt conflicts)

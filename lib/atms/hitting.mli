@@ -7,7 +7,8 @@
     by circuit diagnosis (tens of conflicts over tens of assumptions). *)
 
 val minimal_hitting_sets :
-  ?limit:int -> ?presort:bool -> Env.t list -> Env.t list
+  ?limit:int -> ?presort:bool -> ?interrupt:(unit -> bool) -> Env.t list ->
+  Env.t list
 (** [minimal_hitting_sets conflicts] enumerates all subset-minimal
     environments intersecting every conflict.
 
@@ -20,8 +21,22 @@ val minimal_hitting_sets :
       choices early and the completed-set subsumption prune discards more
       of the frontier.  The result is the same either way; the flag
       exists for benchmarks and the prune regression test.
+    - [interrupt] is a cooperative budget check-point, polled once per
+      frontier pop: when it answers [true] the enumeration stops and the
+      sets completed so far are returned.  It is only honoured once at
+      least one set has completed, so a tripped budget still yields a
+      candidate whenever any hitting set exists.  Because expansion is
+      breadth-first, every returned set is a genuine minimal hitting set
+      even when enumeration stops early — truncation loses completeness,
+      never soundness.
 
     Results are sorted by cardinality then lexicographically. *)
+
+val enumerate :
+  ?limit:int -> ?presort:bool -> ?interrupt:(unit -> bool) -> Env.t list ->
+  Env.t list * bool
+(** As {!minimal_hitting_sets}, also reporting whether enumeration was
+    truncated (by [interrupt] or [limit]) before the frontier drained. *)
 
 val expansion_order : Env.t list -> Env.t list
 (** Deduplicated conflicts in the order the expansion visits them:

@@ -1,0 +1,246 @@
+module Interval = Flames_fuzzy.Interval
+module Budget = Flames_core.Budget
+module Err = Flames_core.Err
+module Diagnose = Flames_core.Diagnose
+module Pool = Flames_engine.Pool
+module Batch = Flames_engine.Batch
+module Breaker = Flames_engine.Breaker
+module Telemetry = Flames_engine.Telemetry
+module Stats = Flames_engine.Stats
+module Metrics = Flames_obs.Metrics
+
+type config = {
+  seed : int;
+  jobs : int;
+  workers : int;
+  p_raise : float;
+  p_kill : float;
+  p_singular : float;
+  p_nan : float;
+  p_delay : float;
+  budget_candidates : int option;
+  budget_wall : float option;
+  retries : int;
+}
+
+let default =
+  {
+    seed = 0;
+    jobs = 16;
+    workers = 3;
+    p_raise = 0.15;
+    p_kill = 0.1;
+    p_singular = 0.1;
+    p_nan = 0.1;
+    p_delay = 0.2;
+    budget_candidates = Some 1;
+    budget_wall = None;
+    retries = 3;
+  }
+
+type report = {
+  cases : int;
+  succeeded : int;
+  degraded : int;
+  failures : (string * int) list;
+  retried : int;
+  respawned : int;
+  requeued : int;
+  shed : int;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>chaos: %d jobs, %d ok (%d degraded), %d retried, %d respawned, \
+     %d requeued, %d shed@,errors:"
+    r.cases r.succeeded r.degraded r.retried r.respawned r.requeued r.shed;
+  if r.failures = [] then Format.fprintf ppf " none"
+  else
+    List.iter
+      (fun (label, n) -> Format.fprintf ppf "@,  %-12s %d" label n)
+      r.failures;
+  Format.fprintf ppf "@]"
+
+(* One fault decision per (run seed, job, attempt): pool-level requeues
+   of the same attempt replay the same faults (a killed worker's job
+   kills its replacement too, exercising the Crashed path), while a
+   batch-level retry draws fresh ones — exactly the distinction the
+   supervision model makes. *)
+let inject cfg ~job ~attempt =
+  let r =
+    Rng.make
+      (Rng.case_seed
+         ~seed:(Rng.case_seed ~seed:cfg.seed ~case:(1 + job))
+         ~case:attempt)
+  in
+  if Rng.chance r cfg.p_delay then Unix.sleepf (Rng.float r 0.004);
+  if Rng.chance r cfg.p_kill then raise Pool.Kill_worker;
+  if Rng.chance r cfg.p_raise then failwith "chaos: injected failure";
+  if Rng.chance r cfg.p_singular then
+    (* a genuinely singular system, through the production solver *)
+    ignore (Flames_sim.Linalg.solve [| [| 0. |] |] [| 1. |]);
+  if Rng.chance r cfg.p_nan then
+    (* a NaN measurement: rejected at the fuzzy-interval boundary *)
+    ignore (Interval.number Float.nan ~spread:0.1)
+
+let scenario_job cfg i =
+  let r = Rng.make (Rng.case_seed ~seed:cfg.seed ~case:(1000 + i)) in
+  let scenario = Gen.scenario.Gen.gen r in
+  let _, faulty = Gen.scenario_netlists scenario in
+  let observations = Gen.scenario_observations scenario in
+  ( scenario,
+    Batch.job
+      ~label:(Printf.sprintf "chaos-%d" i)
+      ~prelude:(fun attempt -> inject cfg ~job:i ~attempt)
+      faulty observations )
+
+let ( let* ) = Result.bind
+let fail fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let check_invariants cfg ~submitted ~(d : Telemetry.reading) scenarios
+    outcomes (stats : Stats.t) =
+  let cases = List.length outcomes in
+  (* 1. every promise resolved: one outcome per job, accounted once *)
+  let* () =
+    if cases <> cfg.jobs then fail "outcome count %d <> %d jobs" cases cfg.jobs
+    else Ok ()
+  in
+  let* () =
+    if stats.Stats.succeeded + stats.Stats.failed <> cfg.jobs then
+      fail "succeeded (%d) + failed (%d) <> jobs (%d)" stats.Stats.succeeded
+        stats.Stats.failed cfg.jobs
+    else Ok ()
+  in
+  (* 2. the metrics account for every retry: each of the [jobs] jobs is
+     submitted once up-front (the breaker starts closed, so nothing is
+     shed before its first attempt) and once more per retry; pool-level
+     requeues re-enter the queue without a new submission; retry-time
+     sheds resolve without submission. *)
+  let* () =
+    let expected = cfg.jobs + d.Telemetry.retried in
+    if submitted <> expected then
+      fail "%d submissions, expected %d (%d jobs + %d retries)" submitted
+        expected cfg.jobs d.Telemetry.retried
+    else Ok ()
+  in
+  (* 3. failures are only of injectable kinds *)
+  let* () =
+    List.fold_left
+      (fun acc outcome ->
+        let* () = acc in
+        match (outcome : Batch.outcome) with
+        | Ok _ -> Ok ()
+        | Error (Err.Worker_crashed _) when cfg.p_kill > 0. -> Ok ()
+        | Error (Err.Unexpected _) when cfg.p_raise > 0. -> Ok ()
+        | Error Err.Singular_system when cfg.p_singular > 0. -> Ok ()
+        | Error (Err.Invalid_interval _) when cfg.p_nan > 0. -> Ok ()
+        | Error (Err.Timed_out | Err.Cancelled) when cfg.budget_wall <> None
+          ->
+          Ok ()
+        | Error (Err.Breaker_open _) -> Ok ()
+        | Error e -> fail "unexpected error kind: %s" (Err.to_string e))
+      (Ok ()) outcomes
+  in
+  (* 4. degraded results are sound subsets of the full diagnosis.  Only
+     asserted under a candidate-only quota: a wall trip truncates
+     propagation, so the conflict set itself may differ and only
+     soundness-of-what-was-recorded holds (see DESIGN §9). *)
+  let* () =
+    if cfg.budget_wall <> None then Ok ()
+    else
+      List.fold_left
+        (fun acc (scenario, outcome) ->
+          let* () = acc in
+          match (outcome : Batch.outcome) with
+          | Ok r when r.Diagnose.degraded ->
+            let _, faulty = Gen.scenario_netlists scenario in
+            let observations = Gen.scenario_observations scenario in
+            let full = Diagnose.run faulty observations in
+            let mem diag = List.mem diag full.Diagnose.diagnoses in
+            if full.Diagnose.diagnoses <> [] && r.Diagnose.diagnoses = []
+            then fail "degraded run lost every candidate"
+            else if List.exists (fun x -> not (mem x)) r.Diagnose.diagnoses
+            then fail "degraded run invented a candidate"
+            else Ok ()
+          | Ok _ | Error _ -> Ok ())
+        (Ok ())
+        (List.combine scenarios outcomes)
+  in
+  (* 5. supervision bookkeeping: respawns happen only when kills are
+     injected, and every requeue implies a respawn *)
+  let* () =
+    if cfg.p_kill = 0. && d.Telemetry.respawned > 0 then
+      fail "workers respawned without injected kills"
+    else if d.Telemetry.requeued > d.Telemetry.respawned then
+      fail "%d requeues > %d respawns" d.Telemetry.requeued
+        d.Telemetry.respawned
+    else Ok ()
+  in
+  (* 6. retry accounting: the registry agrees with the stats read-out *)
+  let* () =
+    if stats.Stats.retried <> d.Telemetry.retried then
+      fail "stats.retried %d <> registry delta %d" stats.Stats.retried
+        d.Telemetry.retried
+    else if cfg.retries <= 1 && d.Telemetry.retried > 0 then
+      fail "retries happened with retries disabled"
+    else Ok ()
+  in
+  Ok ()
+
+let report_of cfg outcomes (d : Telemetry.reading) (stats : Stats.t) =
+  let failures = Hashtbl.create 8 in
+  let succeeded, degraded =
+    List.fold_left
+      (fun (ok, dg) (outcome : Batch.outcome) ->
+        match outcome with
+        | Ok r -> (ok + 1, if r.Diagnose.degraded then dg + 1 else dg)
+        | Error e ->
+          let l = Err.label e in
+          Hashtbl.replace failures l
+            (1 + Option.value ~default:0 (Hashtbl.find_opt failures l));
+          (ok, dg))
+      (0, 0) outcomes
+  in
+  {
+    cases = cfg.jobs;
+    succeeded;
+    degraded;
+    failures =
+      Hashtbl.fold (fun l n acc -> (l, n) :: acc) failures []
+      |> List.sort compare;
+    retried = d.Telemetry.retried;
+    respawned = d.Telemetry.respawned;
+    requeued = d.Telemetry.requeued;
+    shed = stats.Stats.shed;
+  }
+
+let run ?(config = default) () =
+  let cfg = config in
+  let scenarios, jobs = List.split (List.init cfg.jobs (scenario_job cfg)) in
+  let before = Telemetry.read () in
+  let submitted0 = Metrics.counter_value Telemetry.jobs_total in
+  let budget =
+    match (cfg.budget_candidates, cfg.budget_wall) with
+    | None, None -> None
+    | c, w -> Some (Budget.spec ?max_candidates:c ?wall:w ())
+  in
+  let retry =
+    if cfg.retries > 1 then
+      Some
+        (Batch.retry ~attempts:cfg.retries ~base_delay:0.002 ~max_delay:0.02
+           ~seed:cfg.seed ())
+    else None
+  in
+  let breaker = Breaker.create ~threshold:4 ~cooldown:0.05 () in
+  let outcomes, stats =
+    Batch.run ~workers:cfg.workers ?budget ?retry ~breaker jobs
+  in
+  let d = Telemetry.delta before (Telemetry.read ()) in
+  let submitted = Metrics.counter_value Telemetry.jobs_total - submitted0 in
+  let* () = check_invariants cfg ~submitted ~d scenarios outcomes stats in
+  Ok (report_of cfg outcomes d stats)
+
+let check ?(config = default) seed =
+  match run ~config:{ config with seed } () with
+  | Ok _ -> Ok ()
+  | Error m -> Error m

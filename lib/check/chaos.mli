@@ -1,0 +1,60 @@
+(** Seeded chaos harness for the resilience layer.
+
+    Builds a batch of random ladder diagnoses ({!Gen.scenario}) and
+    injects faults into the job bodies through the {!Flames_engine.Batch}
+    prelude hook — exceptions, worker kills ({!Flames_engine.Pool.Kill_worker}),
+    genuinely singular systems through the production solver, NaN
+    measurements, delays — then runs the batch with budgets, retry and a
+    circuit breaker, and asserts the resilience invariants:
+
+    - every job yields exactly one outcome (no hung await, promises all
+      resolve) and the succeeded/failed split accounts for all of them;
+    - the metrics registry accounts for every submission: one per job
+      plus one per retry (requeues and sheds submit nothing);
+    - every failure is a structured {!Flames_core.Err.t} of a kind that
+      was actually injectable under the configuration;
+    - degraded results are sound subsets of the corresponding full
+      (unbudgeted) diagnosis — candidates are truncated, never invented;
+    - supervision bookkeeping: respawns only with kills injected,
+      requeues never exceed respawns, stats agree with the registry.
+
+    Everything is a deterministic function of [config.seed]: a failure
+    replays forever from its seed (see [Rng.case_seed]). *)
+
+type config = {
+  seed : int;
+  jobs : int;
+  workers : int;
+  p_raise : float;  (** injected exception at job start *)
+  p_kill : float;  (** worker-domain kill at job start *)
+  p_singular : float;  (** forced singular solve *)
+  p_nan : float;  (** NaN measurement (Interval.Invalid) *)
+  p_delay : float;  (** small sleep, to shuffle scheduling *)
+  budget_candidates : int option;  (** per-attempt candidate quota *)
+  budget_wall : float option;  (** per-attempt wall budget (seconds) *)
+  retries : int;  (** max attempts per job ([<= 1] disables retry) *)
+}
+
+val default : config
+(** 16 jobs on 3 workers, every fault kind enabled, candidate quota 1,
+    3 attempts. *)
+
+type report = {
+  cases : int;
+  succeeded : int;
+  degraded : int;  (** successes flagged degraded *)
+  failures : (string * int) list;  (** error label → count, sorted *)
+  retried : int;
+  respawned : int;
+  requeued : int;
+  shed : int;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val run : ?config:config -> unit -> (report, string) result
+(** One chaos batch; [Error] describes the first violated invariant. *)
+
+val check : ?config:config -> int -> (unit, string) result
+(** [check seed] — {!run} with the seed substituted; the property-suite
+    entry point (one seeded case per call). *)

@@ -682,3 +682,42 @@ let check_batch ?(workers = [ 1; 2; 4 ]) jobs =
       warm rest
   in
   warm workers
+
+(* {1 Degraded-diagnosis soundness} *)
+
+let check_degraded (scenario : Gen.scenario) =
+  let nominal, _ = Gen.scenario_netlists scenario in
+  let observations = Gen.scenario_observations scenario in
+  let full = Diagnose.run nominal observations in
+  if full.Diagnose.degraded then Error "unbudgeted run reports degraded"
+  else
+    let n = List.length full.Diagnose.diagnoses in
+    if n = 0 then Ok () (* healthy run: nothing to truncate *)
+    else begin
+      let quota = Int.max 1 (n / 2) in
+      let budget =
+        Flames_core.Budget.start
+          (Flames_core.Budget.spec ~max_candidates:quota ())
+      in
+      let part = Diagnose.run ~budget nominal observations in
+      let got = List.length part.Diagnose.diagnoses in
+      (* A candidate-only quota leaves propagation untouched, so the
+         conflicts — and hence ranks — are those of the full run; the
+         truncated enumeration must return a non-empty sound subset. *)
+      if not part.Diagnose.degraded then
+        Error "budgeted run not flagged degraded"
+      else if not (List.mem Flames_core.Budget.Candidates part.Diagnose.trips)
+      then Error "candidate quota trip not recorded"
+      else if got = 0 then Error "degraded run returned no candidate"
+      else if got > quota then
+        Error (Printf.sprintf "quota %d exceeded: %d candidates" quota got)
+      else
+        let mem d = List.mem d full.Diagnose.diagnoses in
+        match List.find_opt (fun d -> not (mem d)) part.Diagnose.diagnoses with
+        | Some (names, rank) ->
+          Error
+            (Printf.sprintf
+               "unsound degraded candidate {%s}@%h not in the full ranking"
+               (String.concat "," names) rank)
+        | None -> Ok ()
+    end

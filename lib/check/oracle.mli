@@ -91,3 +91,14 @@ val check_batch :
     count (default [[1; 2; 4]]) with a cold cache, and once more warm
     (reusing a pre-filled cache); every outcome must succeed with a
     fingerprint bit-identical to the sequential reference. *)
+
+(** {1 Degraded diagnosis vs full diagnosis} *)
+
+val check_degraded : Gen.scenario -> (unit, string) result
+(** The graceful-degradation contract of {!Flames_core.Diagnose.run}:
+    re-diagnose the scenario under a candidate quota of half the full
+    candidate count and require the result to be flagged [degraded]
+    with the [Candidates] trip recorded, and its diagnoses to be a
+    non-empty subset (same member sets, same ranks) of the unbudgeted
+    run's — sound truncation, never invention.  Scenarios whose full
+    diagnosis is healthy (no candidates) pass trivially. *)

@@ -16,6 +16,10 @@ module Trace = Flames_obs.Trace
 let runs_total =
   Metrics.counter "flames_diagnose_runs_total" ~help:"Completed diagnosis runs"
 
+let degraded_total =
+  Metrics.counter "flames_diagnose_degraded_total"
+    ~help:"Diagnosis runs that returned degraded (budget-truncated) results"
+
 let model_seconds =
   Metrics.histogram "flames_diagnose_model_seconds"
     ~help:"Model acquisition (constraint compilation) latency"
@@ -67,6 +71,8 @@ type result = {
   diagnoses : (string list * float) list;
   single_faults : (string * float) list;
   engine : Propagate.t;
+  degraded : bool;
+  trips : Budget.trip list;
 }
 
 (* The verdict uses the same consistency measure as the engine: the
@@ -280,13 +286,14 @@ let simulator_predictions netlist model ~floor ~threshold =
               env ))
       reports
 
-let run ?config ?limits ?model ?(prediction_floor = 1e-3)
+let run ?config ?limits ?model ?budget ?(prediction_floor = 1e-3)
     ?(sensitivity_threshold = 0.02) ?(prediction_degree = 0.95)
     ?(simulate_predictions = true) netlist observations =
   Trace.with_span
     ~args:[ ("circuit", netlist.Netlist.name) ]
     "diagnose.run"
   @@ fun () ->
+  let budget = match budget with Some b -> b | None -> Budget.fresh () in
   let model =
     match model with
     | Some m -> m
@@ -303,14 +310,14 @@ let run ?config ?limits ?model ?(prediction_floor = 1e-3)
   in
   let degree = prediction_degree in
   (* prediction pass: nominals only *)
-  let prediction = Propagate.create ?limits model in
+  let prediction = Propagate.create ?limits ~budget model in
   List.iter
     (fun (q, v, env) -> Propagate.predict prediction ~degree q v env)
     predictions;
   Propagate.run prediction;
   (* full pass with observations *)
   let full_pass ~guard_evidence =
-    let engine = Propagate.create ?limits model in
+    let engine = Propagate.create ?limits ~budget model in
     Propagate.set_guard_evidence engine guard_evidence;
     List.iter
       (fun (q, v, env) -> Propagate.predict engine ~degree q v env)
@@ -354,7 +361,11 @@ let run ?config ?limits ?model ?(prediction_floor = 1e-3)
            if Netlist.mem netlist component then
              let comp = Netlist.find netlist component in
              let estimates =
-               mode_estimates netlist observations engine comp
+               (* fit sweeps are the most expensive stage (one MNA solve
+                  per candidate value): once the budget has tripped, skip
+                  further sweeps and degrade to bare suspicions *)
+               if Budget.tripped budget || not (Budget.ok budget) then []
+               else mode_estimates netlist observations engine comp
              in
              let explains =
                List.exists
@@ -370,11 +381,20 @@ let run ?config ?limits ?model ?(prediction_floor = 1e-3)
   in
   let diagnoses, single_faults =
     Trace.with_span ~record:rank_seconds "diagnose.rank" @@ fun () ->
+    let ranked =
+      Candidates.diagnoses
+        ?limit:(Budget.quota_candidates budget)
+        ~interrupt:(Budget.interrupt_of budget) conflicts
+    in
+    (* account every enumerated candidate, so a candidate quota both
+       trips (for later stages) and shows up in the result's trip list *)
+    ignore (Budget.charge_candidates budget (List.length ranked));
     let diagnoses =
-      Candidates.diagnoses conflicts
-      |> List.map (fun (d : Candidates.diagnosis) ->
-             ( List.map name_of (Env.to_list d.Candidates.members),
-               d.Candidates.rank ))
+      List.map
+        (fun (d : Candidates.diagnosis) ->
+          ( List.map name_of (Env.to_list d.Candidates.members),
+            d.Candidates.rank ))
+        ranked
     in
     let single_faults =
       Candidates.single_faults conflicts
@@ -382,8 +402,23 @@ let run ?config ?limits ?model ?(prediction_floor = 1e-3)
     in
     (diagnoses, single_faults)
   in
+  let degraded =
+    Budget.tripped budget
+    || Propagate.truncated prediction
+    || Propagate.truncated engine
+  in
   Metrics.incr runs_total;
-  { netlist; symptoms; conflicts; suspects; diagnoses; single_faults; engine }
+  if degraded then Metrics.incr degraded_total;
+  { netlist; symptoms; conflicts; suspects; diagnoses; single_faults; engine;
+    degraded; trips = Budget.trips budget }
+
+let run_r ?config ?limits ?model ?budget ?prediction_floor
+    ?sensitivity_threshold ?prediction_degree ?simulate_predictions netlist
+    observations =
+  Err.guard (fun () ->
+      run ?config ?limits ?model ?budget ?prediction_floor
+        ?sensitivity_threshold ?prediction_degree ?simulate_predictions
+        netlist observations)
 
 let healthy result = result.conflicts = []
 

@@ -64,12 +64,19 @@ type result = {
   single_faults : (string * float) list;
       (** components alone explaining every conflict *)
   engine : Propagate.t;  (** the underlying engine, for inspection *)
+  degraded : bool;
+      (** a budget check-point stopped some stage early: everything in
+          the result is sound, but propagation may have missed conflicts,
+          fit sweeps may have been skipped and the candidate list may be
+          a prefix of the full one *)
+  trips : Budget.trip list;  (** which quotas tripped, if any *)
 }
 
 val run :
   ?config:Model.config ->
   ?limits:Propagate.limits ->
   ?model:Model.t ->
+  ?budget:Budget.t ->
   ?prediction_floor:float ->
   ?sensitivity_threshold:float ->
   ?prediction_degree:float ->
@@ -78,6 +85,15 @@ val run :
   observation list ->
   result
 (** [run netlist observations] performs a full diagnosis.
+
+    [?budget] (default unlimited) is polled at cheap check-points in
+    propagation, fit sweeps and candidate enumeration.  A tripped budget
+    never turns the run into an error: the result comes back with
+    [degraded = true], the stages that were cut short simply contribute
+    less (see the {!result} field docs).  With a candidate-only quota
+    (no wall/step/env bound) the conflicts are those of the full run, so
+    the returned [diagnoses] are a non-empty sound subset of the
+    unbudgeted ranking — the property {!Flames_check.Oracle} checks.
 
     [?model] supplies a pre-compiled constraint model (it must be the
     compilation of exactly this [netlist] under exactly this [config] —
@@ -102,6 +118,22 @@ val run :
     operating region — capping their degree guarantees that the sound
     degree-1 conflicts found by local constraint propagation are never
     subsumed by an approximate prediction conflict. *)
+
+val run_r :
+  ?config:Model.config ->
+  ?limits:Propagate.limits ->
+  ?model:Model.t ->
+  ?budget:Budget.t ->
+  ?prediction_floor:float ->
+  ?sensitivity_threshold:float ->
+  ?prediction_degree:float ->
+  ?simulate_predictions:bool ->
+  Netlist.t ->
+  observation list ->
+  (result, Err.t) Stdlib.result
+(** {!run} with every library exception mapped to a structured
+    {!Err.t} — the boundary the engine and the CLI use, so exceptions
+    never escape a library call. *)
 
 val healthy : result -> bool
 (** No conflict was recorded at all. *)

@@ -1,0 +1,71 @@
+type t =
+  | Singular_system
+  | No_convergence of string
+  | Ill_formed of string
+  | Parse_error of { file : string option; line : int; message : string }
+  | Invalid_interval of string
+  | Budget_exceeded of Budget.trip list
+  | Worker_crashed of { attempts : int }
+  | Breaker_open of string
+  | Cancelled
+  | Timed_out
+  | Unexpected of string
+
+exception Error of t
+
+let of_exn = function
+  | Flames_sim.Linalg.Singular -> Singular_system
+  | Flames_sim.Mna.No_convergence m -> No_convergence m
+  | Flames_circuit.Netlist.Ill_formed m -> Ill_formed m
+  | Flames_fuzzy.Interval.Invalid m -> Invalid_interval m
+  | Error e -> e
+  | Failure m -> Unexpected m
+  | e -> Unexpected (Printexc.to_string e)
+
+let retryable = function
+  | Worker_crashed _ | Unexpected _ -> true
+  | Singular_system | No_convergence _ | Ill_formed _ | Parse_error _
+  | Invalid_interval _ | Budget_exceeded _ | Breaker_open _ | Cancelled
+  | Timed_out ->
+    false
+
+let to_string = function
+  | Singular_system -> "singular system matrix"
+  | No_convergence m -> Printf.sprintf "no convergence: %s" m
+  | Ill_formed m -> Printf.sprintf "ill-formed netlist: %s" m
+  | Parse_error { file; line; message } ->
+    let where =
+      match file with
+      | Some f -> Printf.sprintf "%s, line %d" f line
+      | None -> Printf.sprintf "line %d" line
+    in
+    Printf.sprintf "parse error (%s): %s" where message
+  | Invalid_interval m -> Printf.sprintf "invalid interval: %s" m
+  | Budget_exceeded trips ->
+    Printf.sprintf "budget exceeded (%s)"
+      (String.concat "," (List.map Budget.trip_label trips))
+  | Worker_crashed { attempts } ->
+    Printf.sprintf "worker crashed (%d attempt%s)" attempts
+      (if attempts = 1 then "" else "s")
+  | Breaker_open fp -> Printf.sprintf "circuit breaker open for %s" fp
+  | Cancelled -> "cancelled"
+  | Timed_out -> "timed out"
+  | Unexpected m -> Printf.sprintf "unexpected failure: %s" m
+
+(* A stable machine-readable tag, for metrics labels and test matching. *)
+let label = function
+  | Singular_system -> "singular"
+  | No_convergence _ -> "no-convergence"
+  | Ill_formed _ -> "ill-formed"
+  | Parse_error _ -> "parse"
+  | Invalid_interval _ -> "invalid-interval"
+  | Budget_exceeded _ -> "budget"
+  | Worker_crashed _ -> "crashed"
+  | Breaker_open _ -> "breaker-open"
+  | Cancelled -> "cancelled"
+  | Timed_out -> "timed-out"
+  | Unexpected _ -> "unexpected"
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let guard f = match f () with v -> Ok v | exception e -> Result.error (of_exn e)

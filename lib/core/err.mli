@@ -1,0 +1,49 @@
+(** Structured error taxonomy of the diagnosis pipeline.
+
+    Library boundaries ({!Diagnose.run_r}, [Flames_engine.Batch], the
+    CLI) carry failures as [('a, Err.t) result] instead of letting bare
+    exceptions escape: a caller can tell a singular circuit from a
+    malformed file from a crashed worker without string-matching
+    [Printexc] output, and the batch retry policy can decide what is
+    worth retrying. *)
+
+type t =
+  | Singular_system  (** MNA matrix numerically singular *)
+  | No_convergence of string  (** device-region iteration diverged *)
+  | Ill_formed of string  (** netlist fails structural validation *)
+  | Parse_error of { file : string option; line : int; message : string }
+  | Invalid_interval of string  (** non-finite / inverted fuzzy bounds *)
+  | Budget_exceeded of Budget.trip list
+      (** work budget exhausted before any salvageable partial result *)
+  | Worker_crashed of { attempts : int }
+      (** worker domain died running the job, [attempts] times *)
+  | Breaker_open of string
+      (** load shed: repeated failures on this fingerprint *)
+  | Cancelled  (** withdrawn before a worker picked it up *)
+  | Timed_out  (** hard deadline passed while running *)
+  | Unexpected of string  (** anything else, classified from the exn *)
+
+exception Error of t
+(** For call sites that must raise; {!of_exn} maps it back to [t]. *)
+
+val of_exn : exn -> t
+(** Classify an exception: the known pipeline exceptions
+    ([Linalg.Singular], [Mna.No_convergence], [Netlist.Ill_formed],
+    [Interval.Invalid], {!Error}) map to their constructor, anything
+    else to {!Unexpected}. *)
+
+val retryable : t -> bool
+(** Worth retrying: transient by nature ([Worker_crashed], [Unexpected]).
+    Deterministic input errors, budget trips and cancellations are not. *)
+
+val guard : (unit -> 'a) -> ('a, t) result
+(** Run the thunk, classifying any exception via {!of_exn}. *)
+
+val to_string : t -> string
+(** One line, no backtrace. *)
+
+val label : t -> string
+(** Stable short tag ("singular", "crashed", ...) for metrics and
+    tests. *)
+
+val pp : Format.formatter -> t -> unit

@@ -37,6 +37,7 @@ let default_limits =
 type t = {
   model : Model.t;
   limits : limits;
+  budget : Budget.t;
   cells : (Quantity.t, Value.t list ref) Hashtbl.t;
   by_var : (Quantity.t, Constr.t list) Hashtbl.t;
   db : Nogood.t;
@@ -44,6 +45,7 @@ type t = {
   queued : (Quantity.t, unit) Hashtbl.t;
   mutable steps : int;
   mutable seeded : bool;
+  mutable truncated : bool;  (** a run stopped at a budget check-point *)
   mutable guard_evidence : (Quantity.t * Interval.t) list;
 }
 
@@ -57,7 +59,7 @@ let cell t q =
     Hashtbl.add t.cells q r;
     r
 
-let create ?(limits = default_limits) model =
+let create ?(limits = default_limits) ?budget model =
   let by_var = Hashtbl.create 64 in
   List.iter
     (fun c ->
@@ -70,6 +72,7 @@ let create ?(limits = default_limits) model =
   {
     model;
     limits;
+    budget = (match budget with Some b -> b | None -> Budget.fresh ());
     cells = Hashtbl.create 64;
     by_var;
     db = Nogood.create ();
@@ -77,6 +80,7 @@ let create ?(limits = default_limits) model =
     queued = Hashtbl.create 64;
     steps = 0;
     seeded = false;
+    truncated = false;
     guard_evidence = [];
   }
 
@@ -148,7 +152,9 @@ let add_value t q (v : Value.t) =
     r := kept;
     (* the value may have been trimmed straight away; only requeue when it
        survived *)
-    List.exists (fun w -> w == v) kept
+    let survived = List.exists (fun w -> w == v) kept in
+    if survived then ignore (Budget.charge_envs t.budget 1);
+    survived
   end
 
 (* Possibility that the guards of [c] are satisfied, judged on the
@@ -272,6 +278,7 @@ let run t =
   seed t;
   let steps0 = t.steps in
   let exception Budget in
+  let exception Tripped in
   let finish () = Metrics.incr ~by:(t.steps - steps0) steps_total in
   try
     while not (Queue.is_empty t.queue) do
@@ -279,6 +286,10 @@ let run t =
       Hashtbl.remove t.queued q;
       t.steps <- t.steps + 1;
       if t.steps > t.limits.max_steps then raise Budget;
+      if
+        (not (Budget.charge_steps t.budget 1))
+        || Budget.tripped t.budget
+      then raise Tripped;
       let constraints = Option.value ~default:[] (Hashtbl.find_opt t.by_var q) in
       List.iter
         (fun c ->
@@ -293,10 +304,17 @@ let run t =
         constraints
     done;
     finish ()
-  with Budget ->
+  with
+  | Budget ->
     finish ();
+    t.truncated <- true;
     Flames_obs.Log.warn "propagation stopped after %d steps (budget exhausted)"
       t.steps
+  | Tripped ->
+    (* A cooperative budget stop is an expected degradation, not an
+       anomaly: stop quietly, the caller reads the trips off the budget. *)
+    finish ();
+    t.truncated <- true
 
 let values t q = List.sort Value.strength !(cell t q)
 
@@ -321,6 +339,8 @@ let conflicts t = Candidates.of_nogoods (Nogood.entries t.db)
 let nogood_db t = t.db
 let model t = t.model
 let steps_used t = t.steps
+let truncated t = t.truncated
+let budget t = t.budget
 
 let pp_cell t ppf q =
   Format.fprintf ppf "%a:@." Quantity.pp q;

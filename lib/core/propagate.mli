@@ -30,9 +30,12 @@ val default_limits : limits
 (** 12 values per cell, 256 combinations, 100_000 steps, 0.02 conflict
     floor. *)
 
-val create : ?limits:limits -> Model.t -> t
+val create : ?limits:limits -> ?budget:Budget.t -> Model.t -> t
 (** Fresh engine over the model; generative constraints (nominals,
-    bounds, ground) are seeded but nothing is propagated yet. *)
+    bounds, ground) are seeded but nothing is propagated yet.  [budget]
+    (default unlimited) is charged one step per work-queue pop and one
+    env per surviving cell insertion; when it trips, {!run} stops at the
+    next check-point and {!truncated} latches. *)
 
 val observe : t -> Quantity.t -> Interval.t -> unit
 (** Enter a measurement (environment-free, degree 1). *)
@@ -51,7 +54,9 @@ val set_guard_evidence : t -> (Quantity.t * Interval.t) list -> unit
 val run : t -> unit
 (** Propagate to quiescence.  Idempotent; can be interleaved with
     {!observe} to add measurements incrementally (the engine is
-    incremental like an ATMS). *)
+    incremental like an ATMS).  When the engine's budget trips the run
+    stops early but cleanly: every value and conflict recorded so far
+    stays valid, later derivations are simply missing ({!truncated}). *)
 
 val values : t -> Quantity.t -> Value.t list
 (** Resident values of the quantity, strongest first. *)
@@ -66,6 +71,14 @@ val conflicts : t -> Flames_atms.Candidates.conflict list
 val nogood_db : t -> Nogood.t
 val model : t -> Model.t
 val steps_used : t -> int
+
+val truncated : t -> bool
+(** Some {!run} stopped at a budget check-point (or the hard step
+    limit): results are sound but possibly incomplete. *)
+
+val budget : t -> Budget.t
+(** The engine's budget (a fresh unlimited one when none was given). *)
+
 val names : t -> int -> string
 (** Assumption pretty-naming. *)
 

@@ -1,0 +1,75 @@
+module Metrics = Flames_obs.Metrics
+
+type state = Closed | Open of float | Half_open
+(* [Open t]: tripped at instant [t]; re-probed after the cooldown. *)
+
+type entry = { mutable state : state; mutable failures : int }
+
+type t = {
+  mutex : Mutex.t;
+  threshold : int;
+  cooldown : float;
+  now : unit -> float;
+  entries : (string, entry) Hashtbl.t;
+}
+
+let create ?(threshold = 3) ?(cooldown = 5.) ?now () =
+  if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
+  if cooldown < 0. then invalid_arg "Breaker.create: cooldown must be >= 0";
+  let now = match now with Some f -> f | None -> Unix.gettimeofday in
+  { mutex = Mutex.create (); threshold; cooldown; now;
+    entries = Hashtbl.create 16 }
+
+let entry t key =
+  match Hashtbl.find_opt t.entries key with
+  | Some e -> e
+  | None ->
+    let e = { state = Closed; failures = 0 } in
+    Hashtbl.add t.entries key e;
+    e
+
+let locked t f =
+  Mutex.lock t.mutex;
+  let r = f () in
+  Mutex.unlock t.mutex;
+  r
+
+let decide t key =
+  locked t @@ fun () ->
+  let e = entry t key in
+  match e.state with
+  | Closed -> `Allow
+  | Half_open ->
+    (* one probe is already in flight; shed until it reports back *)
+    `Shed
+  | Open since ->
+    if t.now () -. since >= t.cooldown then begin
+      e.state <- Half_open;
+      `Allow
+    end
+    else `Shed
+
+let success t key =
+  locked t @@ fun () ->
+  let e = entry t key in
+  e.state <- Closed;
+  e.failures <- 0
+
+let failure t key =
+  locked t @@ fun () ->
+  let e = entry t key in
+  match e.state with
+  | Half_open ->
+    (* the probe failed: straight back to open, restart the cooldown *)
+    e.state <- Open (t.now ())
+  | Open _ -> ()
+  | Closed ->
+    e.failures <- e.failures + 1;
+    if e.failures >= t.threshold then e.state <- Open (t.now ())
+
+let state t key =
+  locked t @@ fun () ->
+  match (entry t key).state with
+  | Closed -> `Closed
+  | Open _ -> `Open
+  | Half_open -> `Half_open

@@ -1,0 +1,37 @@
+(** Per-fingerprint circuit breaker for load shedding.
+
+    A batch that keeps resubmitting a job class that always fails (a
+    pathological circuit crashing its worker, say) wastes worker time
+    that healthy jobs could use.  The breaker tracks failures per key —
+    {!Batch} keys by model fingerprint, so all jobs over the same
+    circuit share a circuit state — and after [threshold] consecutive
+    failures {e opens}: further jobs with that key are shed up-front
+    ([Error (Breaker_open _)]) instead of submitted.  After [cooldown]
+    seconds one probe job is let through (half-open); its success closes
+    the breaker again, its failure re-opens it for another cooldown.
+
+    Thread-safe; time is injectable for tests. *)
+
+type t
+
+val create : ?threshold:int -> ?cooldown:float -> ?now:(unit -> float) ->
+  unit -> t
+(** [threshold] consecutive failures open a key (default 3); an open key
+    sheds for [cooldown] seconds (default 5) before allowing a probe.
+    [now] defaults to the wall clock.
+    @raise Invalid_argument on a non-positive threshold or negative
+    cooldown. *)
+
+val decide : t -> string -> [ `Allow | `Shed ]
+(** Gate one job.  [`Allow] on a closed key, or on an open key whose
+    cooldown elapsed (the key moves to half-open and this caller is the
+    probe — it must report back via {!success} or {!failure}). *)
+
+val success : t -> string -> unit
+(** The job succeeded: close the key and reset its failure count. *)
+
+val failure : t -> string -> unit
+(** The job failed: count it (closed), or re-open the key (half-open
+    probe failure). *)
+
+val state : t -> string -> [ `Closed | `Open | `Half_open ]

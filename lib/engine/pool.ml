@@ -1,10 +1,14 @@
 module Metrics = Flames_obs.Metrics
 module Trace = Flames_obs.Trace
+module Budget = Flames_core.Budget
 
 type error =
   | Cancelled
   | Timed_out
   | Failed of exn
+  | Crashed of { attempts : int }
+
+exception Kill_worker
 
 (* Each promise carries its own mutex/condition so resolution only wakes
    its awaiters, and so a promise can be awaited after the pool is gone. *)
@@ -12,13 +16,17 @@ type 'a promise = {
   p_mutex : Mutex.t;
   p_cond : Condition.t;
   deadline : float option;  (* absolute, seconds since the epoch *)
+  grace : float;  (* extra wait after the deadline for a budgeted job *)
+  budget : Budget.t option;  (* cancelled at the deadline: cooperative stop *)
   submitted : float;  (* enqueue instant, for the queue-wait histogram *)
   label : string option;  (* span label in traces *)
   mutable running : bool;
   mutable result : ('a, error) result option;
 }
 
-type packed = Job : 'a promise * (unit -> 'a) -> packed
+(* The int counts runs already started: a job requeued after a worker
+   crash carries its attempt history with it. *)
+type packed = Job : 'a promise * (unit -> 'a) * int -> packed
 
 type t = {
   mutex : Mutex.t;
@@ -27,6 +35,8 @@ type t = {
   mutable stop : bool;
   mutable domains : unit Domain.t list;
   nworkers : int;
+  crash_retries : int;
+  minor_heap_words : int;
 }
 
 let now () = Unix.gettimeofday ()
@@ -45,7 +55,12 @@ let resolve promise result =
     Condition.broadcast promise.p_cond
   end
 
-let run_job (Job (promise, f)) =
+let resolve_locked promise result =
+  Mutex.lock promise.p_mutex;
+  resolve promise result;
+  Mutex.unlock promise.p_mutex
+
+let run_job (Job (promise, f, _)) =
   Mutex.lock promise.p_mutex;
   if promise.result <> None then
     (* cancelled or expired while queued *)
@@ -66,14 +81,25 @@ let run_job (Job (promise, f)) =
     let outcome =
       match Trace.with_span ~args "pool.job" f with
       | v -> Ok v
+      | exception Kill_worker ->
+        (* chaos switch: the job wants the whole worker domain dead.
+           Leave the promise unresolved — the supervision wrapper will
+           requeue or settle it. *)
+        raise Kill_worker
       | exception e -> Error (Failed e)
     in
     Mutex.lock promise.p_mutex;
-    resolve promise (if expired promise then Error Timed_out else outcome);
+    (* A budgeted job that overran its deadline was asked to stop
+       cooperatively; whatever it returned within the grace window is a
+       degraded-but-valid result and is kept.  Without a budget the old
+       hard-deadline contract holds: late results are discarded. *)
+    let keep_late = promise.budget <> None in
+    resolve promise
+      (if expired promise && not keep_late then Error Timed_out else outcome);
     Mutex.unlock promise.p_mutex
   end
 
-let worker ~minor_heap_words pool () =
+let worker ~minor_heap_words pool slot () =
   (* Diagnosis jobs allocate heavily; OCaml 5 minor collections are
      stop-the-world across every domain, so a small minor heap makes the
      workers spend their time synchronising instead of diagnosing
@@ -90,7 +116,9 @@ let worker ~minor_heap_words pool () =
     match Queue.take_opt pool.queue with
     | Some job ->
       Mutex.unlock pool.mutex;
+      slot := Some job;
       run_job job;
+      slot := None;
       loop ()
     | None ->
       (* stop requested and the queue is drained *)
@@ -98,7 +126,37 @@ let worker ~minor_heap_words pool () =
   in
   loop ()
 
-let create ?workers ?(minor_heap_words = 4_194_304) () =
+(* Supervision by self-replacement: each worker runs under a wrapper
+   that catches a death mid-job (anything escaping [run_job], in
+   practice [Kill_worker] or a runtime fatal like [Stack_overflow]),
+   settles or requeues the in-flight job, and spawns a replacement
+   domain unless the pool is stopping.  The dead domain stays in
+   [pool.domains] so [shutdown] joins it (its wrapper returns normally,
+   so the join is clean). *)
+let rec spawn_worker pool =
+  let slot = ref None in
+  Domain.spawn (fun () ->
+      try worker ~minor_heap_words:pool.minor_heap_words pool slot ()
+      with _ ->
+        Metrics.incr Telemetry.respawns_total;
+        (match !slot with
+        | None -> ()
+        | Some (Job (p, f, started)) ->
+          let attempts = started + 1 in
+          if attempts > pool.crash_retries then
+            resolve_locked p (Error (Crashed { attempts }))
+          else begin
+            Metrics.incr Telemetry.requeues_total;
+            Mutex.lock pool.mutex;
+            Queue.add (Job (p, f, attempts)) pool.queue;
+            Condition.signal pool.cond;
+            Mutex.unlock pool.mutex
+          end);
+        Mutex.lock pool.mutex;
+        if not pool.stop then pool.domains <- spawn_worker pool :: pool.domains;
+        Mutex.unlock pool.mutex)
+
+let create ?workers ?(minor_heap_words = 4_194_304) ?(crash_retries = 1) () =
   let nworkers =
     match workers with
     | Some n ->
@@ -106,6 +164,8 @@ let create ?workers ?(minor_heap_words = 4_194_304) () =
       n
     | None -> Int.max 1 (Domain.recommended_domain_count () - 1)
   in
+  if crash_retries < 0 then
+    invalid_arg "Pool.create: crash_retries must be >= 0";
   let pool =
     {
       mutex = Mutex.create ();
@@ -114,24 +174,31 @@ let create ?workers ?(minor_heap_words = 4_194_304) () =
       stop = false;
       domains = [];
       nworkers;
+      crash_retries;
+      minor_heap_words;
     }
   in
-  pool.domains <-
-    List.init nworkers (fun _ ->
-        Domain.spawn (worker ~minor_heap_words pool));
+  pool.domains <- List.init nworkers (fun _ -> spawn_worker pool);
   pool
 
 let workers pool = pool.nworkers
 
-let submit pool ?label ?timeout f =
+let submit pool ?label ?timeout ?budget f =
   let submitted = now () in
   let deadline = Option.map (fun t -> submitted +. t) timeout in
   Metrics.incr Telemetry.jobs_total;
+  let grace =
+    match (budget, timeout) with
+    | Some _, Some t -> Float.max 0.05 (0.5 *. t)
+    | _ -> 0.
+  in
   let promise =
     {
       p_mutex = Mutex.create ();
       p_cond = Condition.create ();
       deadline;
+      grace;
+      budget;
       submitted;
       label;
       running = false;
@@ -143,7 +210,7 @@ let submit pool ?label ?timeout f =
     Mutex.unlock pool.mutex;
     invalid_arg "Pool.submit: pool is shut down"
   end;
-  Queue.add (Job (promise, f)) pool.queue;
+  Queue.add (Job (promise, f, 0)) pool.queue;
   Condition.signal pool.cond;
   Mutex.unlock pool.mutex;
   promise
@@ -170,9 +237,25 @@ let await promise =
       | Some d ->
         let t = now () in
         if t >= d then begin
-          let r = if promise.running then Error Timed_out else Error Cancelled in
-          resolve promise r;
-          r
+          (* tell a budgeted job to stop at its next check-point *)
+          (match promise.budget with
+          | Some b -> Budget.cancel b
+          | None -> ());
+          if promise.running && t < d +. promise.grace then begin
+            (* cancellation is cooperative: give the running job its
+               grace window to wind down and return a partial result *)
+            Mutex.unlock promise.p_mutex;
+            Unix.sleepf (Float.min 0.002 (d +. promise.grace -. t));
+            Mutex.lock promise.p_mutex;
+            loop ()
+          end
+          else begin
+            let r =
+              if promise.running then Error Timed_out else Error Cancelled
+            in
+            resolve promise r;
+            r
+          end
         end
         else begin
           Mutex.unlock promise.p_mutex;
@@ -193,17 +276,60 @@ let peek promise =
   Mutex.unlock promise.p_mutex;
   r
 
+(* Joining must loop: a worker that died mid-shutdown may have added a
+   replacement to [pool.domains] after the first batch was taken, and
+   each join guarantees the joined domain's wrapper (including any such
+   add) has completed, so a final empty check is authoritative. *)
+let join_all pool =
+  let rec take () =
+    match pool.domains with
+    | [] -> ()
+    | ds ->
+      pool.domains <- [];
+      Mutex.unlock pool.mutex;
+      List.iter Domain.join ds;
+      Mutex.lock pool.mutex;
+      take ()
+  in
+  take ()
+
+(* After every domain is gone, anything still queued can never run
+   (e.g. every worker crashed past its retry allowance): resolving the
+   leftovers keeps the no-hung-await guarantee. *)
+let sweep_queue pool =
+  let leftovers = Queue.fold (fun acc j -> j :: acc) [] pool.queue in
+  Queue.clear pool.queue;
+  leftovers
+
 let shutdown pool =
   Mutex.lock pool.mutex;
   pool.stop <- true;
   Condition.broadcast pool.cond;
-  let domains = pool.domains in
-  pool.domains <- [];
+  join_all pool;
+  let leftovers = sweep_queue pool in
   Mutex.unlock pool.mutex;
-  List.iter Domain.join domains
+  List.iter (fun (Job (p, _, _)) -> resolve_locked p (Error Cancelled)) leftovers
 
-let with_pool ?workers ?minor_heap_words f =
-  let pool = create ?workers ?minor_heap_words () in
+let shutdown_now pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  (* withdraw queued work first so idle workers exit without draining *)
+  let leftovers = sweep_queue pool in
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.mutex;
+  List.iter
+    (fun (Job (p, _, _)) -> resolve_locked p (Error Cancelled))
+    leftovers;
+  Mutex.lock pool.mutex;
+  join_all pool;
+  let stragglers = sweep_queue pool in
+  Mutex.unlock pool.mutex;
+  List.iter
+    (fun (Job (p, _, _)) -> resolve_locked p (Error Cancelled))
+    stragglers
+
+let with_pool ?workers ?minor_heap_words ?crash_retries f =
+  let pool = create ?workers ?minor_heap_words ?crash_retries () in
   match f pool with
   | v ->
     shutdown pool;

@@ -1,4 +1,4 @@
-(** Fixed-size worker pool on OCaml 5 domains.
+(** Fixed-size worker pool on OCaml 5 domains, with supervision.
 
     Jobs are closures submitted to a shared FIFO queue; a fixed set of
     worker domains drains it.  Submission returns a typed promise that
@@ -6,7 +6,13 @@
     The pool is the concurrency substrate of {!Batch}: diagnosis jobs
     are pure (each builds its own propagation engine over an immutable
     compiled model), so workers never share mutable state beyond the
-    queue itself. *)
+    queue itself.
+
+    Workers are supervised: a worker domain that dies mid-job (see
+    {!Kill_worker}) is replaced, and its in-flight job is requeued with
+    an attempt counter or — past the pool's retry allowance — resolved
+    to [Error (Crashed _)].  Every submitted promise therefore resolves
+    eventually, whatever happens to the workers. *)
 
 type t
 (** A running pool.  Workers block on a condition variable when idle. *)
@@ -15,14 +21,28 @@ type error =
   | Cancelled  (** cancelled (or timed out) before a worker picked it up *)
   | Timed_out  (** still running at its deadline: the result is discarded *)
   | Failed of exn  (** the job raised *)
+  | Crashed of { attempts : int }
+      (** the worker domain died while running the job, [attempts] times
+          in total (the job was requeued in between, up to the pool's
+          [crash_retries]) *)
+
+exception Kill_worker
+(** A job body raising this kills its whole worker domain instead of
+    failing the job — the supervision test hook (used by
+    {!Flames_check.Chaos}).  The pool requeues or settles the job and
+    spawns a replacement worker. *)
 
 type 'a promise
 (** The future result of a submitted job. *)
 
-val create : ?workers:int -> ?minor_heap_words:int -> unit -> t
+val create :
+  ?workers:int -> ?minor_heap_words:int -> ?crash_retries:int -> unit -> t
 (** [create ~workers ()] spawns [workers] domains (default: the
     recommended domain count minus one, at least 1).  Workers live until
     {!shutdown}.
+
+    [crash_retries] (default 1) is how many times a job whose worker
+    died is requeued before resolving to [Error (Crashed _)].
 
     Each worker grows its own minor heap to [minor_heap_words] (default
     4 M words, ≈32 MB; [0] leaves the runtime default).  Minor
@@ -33,7 +53,13 @@ val create : ?workers:int -> ?minor_heap_words:int -> unit -> t
 
 val workers : t -> int
 
-val submit : t -> ?label:string -> ?timeout:float -> (unit -> 'a) -> 'a promise
+val submit :
+  t ->
+  ?label:string ->
+  ?timeout:float ->
+  ?budget:Flames_core.Budget.t ->
+  (unit -> 'a) ->
+  'a promise
 (** [submit pool job] enqueues [job] and returns immediately.  With
     [?timeout] (seconds, from submission) the promise resolves to
     [Error Cancelled] if the deadline passes while the job is still
@@ -41,11 +67,20 @@ val submit : t -> ?label:string -> ?timeout:float -> (unit -> 'a) -> 'a promise
     running — a running job cannot be preempted safely in OCaml, so it
     runs to completion but its result is discarded.
 
+    [?budget] makes the deadline {e cooperative}: when it passes while
+    the job runs, the pool calls {!Flames_core.Budget.cancel} on the
+    budget (the job is expected to poll it at check-points) and waits a
+    grace window ([max 0.05 (timeout/2)] seconds) for the job to wind
+    down; a result produced within the window — typically a degraded
+    diagnosis — is kept instead of being discarded.
+
     Observability: submission bumps [flames_engine_jobs_total]; when a
     worker picks the job up, its queue wait lands in the
     [flames_engine_queue_wait_seconds] histogram and the job body runs
     inside a ["pool.job"] trace span (tagged with [?label]) on the
-    worker's own trace track.
+    worker's own trace track.  Worker deaths bump
+    [flames_engine_respawns_total] and requeues
+    [flames_engine_requeues_total].
     @raise Invalid_argument after {!shutdown}. *)
 
 val cancel : _ promise -> bool
@@ -62,8 +97,19 @@ val peek : 'a promise -> ('a, error) result option
 
 val shutdown : t -> unit
 (** Graceful shutdown: stop accepting new jobs, let queued and running
-    jobs finish, then join every worker domain.  Idempotent. *)
+    jobs finish, then join every worker domain (including replacements
+    spawned by supervision).  Any job still queued once all workers are
+    gone — possible only when every worker crashed — is resolved to
+    [Error Cancelled], so no awaiter hangs.  Idempotent. *)
 
-val with_pool : ?workers:int -> ?minor_heap_words:int -> (t -> 'a) -> 'a
+val shutdown_now : t -> unit
+(** Hard shutdown: queued jobs are withdrawn and resolved to
+    [Error Cancelled] instead of being drained; jobs already running
+    still finish (OCaml cannot preempt them).  Idempotent, and safe to
+    combine with {!shutdown} in either order. *)
+
+val with_pool :
+  ?workers:int -> ?minor_heap_words:int -> ?crash_retries:int ->
+  (t -> 'a) -> 'a
 (** [with_pool f] runs [f] over a fresh pool and guarantees shutdown,
     also on exceptions. *)

@@ -8,6 +8,9 @@ type t = {
   conflicts : int;  (** total weighted conflicts across successful jobs *)
   cache_hits : int;  (** model-cache hits attributable to this batch *)
   cache_misses : int;
+  retried : int;  (** re-submissions after retryable failures *)
+  shed : int;  (** jobs refused by an open circuit breaker *)
+  degraded : int;  (** diagnosis runs that returned budget-degraded *)
   wall_time : float;  (** batch wall-clock seconds, submit to last await *)
   cpu_time : float;
       (** process CPU seconds consumed by the batch (all domains) *)

@@ -34,6 +34,28 @@ let cache_resident =
   Metrics.gauge "flames_engine_cache_resident"
     ~help:"Models resident in the most recently used cache"
 
+let retries_total =
+  Metrics.counter "flames_engine_retries_total"
+    ~help:"Batch-level re-submissions after a retryable job error"
+
+let respawns_total =
+  Metrics.counter "flames_engine_respawns_total"
+    ~help:"Worker domains replaced after dying mid-job"
+
+let requeues_total =
+  Metrics.counter "flames_engine_requeues_total"
+    ~help:"In-flight jobs requeued because their worker died"
+
+let shed_total =
+  Metrics.counter "flames_engine_shed_total"
+    ~help:"Jobs shed by an open circuit breaker"
+
+(* Registered by name: creation is idempotent, so this is the same
+   counter Flames_core.Diagnose bumps, whichever module loads first. *)
+let degraded_total =
+  Metrics.counter "flames_diagnose_degraded_total"
+    ~help:"Diagnosis runs that returned degraded (budget-truncated) results"
+
 let queue_wait_seconds =
   Metrics.histogram "flames_engine_queue_wait_seconds"
     ~help:"Time a job spent queued before a worker picked it up"
@@ -53,6 +75,11 @@ type reading = {
   conflicts : int;
   cache_hits : int;
   cache_misses : int;
+  retried : int;
+  respawned : int;
+  requeued : int;
+  shed : int;
+  degraded : int;
   compile_wall : float;
   diagnose_wall : float;
 }
@@ -63,6 +90,11 @@ let read () =
     conflicts = Metrics.counter_value conflicts_total;
     cache_hits = Metrics.counter_value cache_hits_total;
     cache_misses = Metrics.counter_value cache_misses_total;
+    retried = Metrics.counter_value retries_total;
+    respawned = Metrics.counter_value respawns_total;
+    requeued = Metrics.counter_value requeues_total;
+    shed = Metrics.counter_value shed_total;
+    degraded = Metrics.counter_value degraded_total;
     compile_wall = Metrics.histogram_sum compile_seconds;
     diagnose_wall = Metrics.histogram_sum diagnose_seconds;
   }
@@ -73,6 +105,11 @@ let delta a b =
     conflicts = b.conflicts - a.conflicts;
     cache_hits = b.cache_hits - a.cache_hits;
     cache_misses = b.cache_misses - a.cache_misses;
+    retried = b.retried - a.retried;
+    respawned = b.respawned - a.respawned;
+    requeued = b.requeued - a.requeued;
+    shed = b.shed - a.shed;
+    degraded = b.degraded - a.degraded;
     compile_wall = b.compile_wall -. a.compile_wall;
     diagnose_wall = b.diagnose_wall -. a.diagnose_wall;
   }

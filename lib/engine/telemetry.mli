@@ -12,6 +12,15 @@ val cache_hits_total : Flames_obs.Metrics.counter
 val cache_misses_total : Flames_obs.Metrics.counter
 val cache_evictions_total : Flames_obs.Metrics.counter
 val cache_resident : Flames_obs.Metrics.gauge
+val retries_total : Flames_obs.Metrics.counter
+val respawns_total : Flames_obs.Metrics.counter
+val requeues_total : Flames_obs.Metrics.counter
+val shed_total : Flames_obs.Metrics.counter
+
+val degraded_total : Flames_obs.Metrics.counter
+(** The core registry's [flames_diagnose_degraded_total], shared by
+    name so batch summaries can report degraded runs. *)
+
 val queue_wait_seconds : Flames_obs.Metrics.histogram
 val compile_seconds : Flames_obs.Metrics.histogram
 val diagnose_seconds : Flames_obs.Metrics.histogram
@@ -21,6 +30,11 @@ type reading = {
   conflicts : int;
   cache_hits : int;
   cache_misses : int;
+  retried : int;
+  respawned : int;
+  requeued : int;
+  shed : int;
+  degraded : int;
   compile_wall : float;
   diagnose_wall : float;
 }

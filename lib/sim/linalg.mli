@@ -3,10 +3,21 @@
 exception Singular
 (** Raised when the system matrix is (numerically) singular. *)
 
+val solve_opt :
+  float array array -> float array -> (float array, [ `Singular ]) result
+(** [solve_opt a b] solves [a x = b] by Gaussian elimination with
+    partial pivoting; [Error `Singular] when no acceptable pivot can be
+    found.  The pivot threshold is {e scale-relative}:
+    [1e-12 * max 1 ‖a‖∞], so well-conditioned systems are accepted (and
+    degenerate ones rejected) regardless of the conductance scale of the
+    circuit.  [a] and [b] are not modified.
+    @raise Invalid_argument on dimension mismatch. *)
+
 val solve : float array array -> float array -> float array
-(** [solve a b] solves [a x = b] by Gaussian elimination with partial
-    pivoting.  [a] and [b] are not modified.
-    @raise Singular when no pivot above [1e-12] can be found.
+(** {!solve_opt}, raising instead of returning [Error].  The exception
+    is for use inside [lib/sim]; library boundaries convert it (see
+    [Flames_core.Err.of_exn]).
+    @raise Singular when no acceptable pivot can be found.
     @raise Invalid_argument on dimension mismatch. *)
 
 val residual_norm : float array array -> float array -> float array -> float

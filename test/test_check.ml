@@ -195,6 +195,115 @@ let test_gen_well_formed () =
       in
       Result.bind (solvable nominal) (fun () -> solvable faulty))
 
+(* {1 Resilience: chaos harness, degraded oracle, budget check-points} *)
+
+module Chaos = Flames_check.Chaos
+module Budget = Flames_core.Budget
+module Hitting = Flames_atms.Hitting
+module Diagnose = Flames_core.Diagnose
+module Propagate = Flames_core.Propagate
+module Model = Flames_core.Model
+
+(* Satellite: >= 300 seeded chaos cases.  Each case is a complete
+   chaotic batch — pool supervision, retry with backoff, circuit
+   breaker, candidate budget — over a small job count, with every
+   invariant of [Chaos.check] asserted.  A failure message carries the
+   seed, which replays the case deterministically. *)
+let test_chaos_property () =
+  let config =
+    { Chaos.default with jobs = 3; workers = 2; retries = 2; p_delay = 0.05 }
+  in
+  for case = 0 to 299 do
+    let seed = Rng.case_seed ~seed:0x5EED5 ~case in
+    match Chaos.check ~config seed with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "chaos case %d (seed %d): %s" case seed m
+  done
+
+let test_chaos_default () =
+  match Chaos.run () with
+  | Error m -> Alcotest.failf "default chaos run: %s" m
+  | Ok r ->
+    check_int "cases" Chaos.default.Chaos.jobs r.Chaos.cases;
+    (* exercise the report printer *)
+    check_bool "report renders" true
+      (String.length (Format.asprintf "%a" Chaos.pp_report r) > 0)
+
+let test_chaos_wall_budget () =
+  (* a wall budget instead of a candidate quota: Timed_out/Cancelled
+     become admissible outcomes and the subset oracle is (correctly)
+     skipped — see invariant 4 *)
+  let config =
+    {
+      Chaos.default with
+      jobs = 6;
+      budget_candidates = None;
+      budget_wall = Some 0.01;
+      retries = 1;
+    }
+  in
+  match Chaos.run ~config () with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "wall-budget chaos: %s" m
+
+let test_degraded_oracle () =
+  expect_pass "degraded oracle" 60 Gen.scenario Oracle.check_degraded
+
+let test_budget_charges () =
+  let b = Budget.start (Budget.spec ~max_steps:3 ()) in
+  check_bool "ok before" true (Budget.ok b);
+  check_bool "charge within quota" true (Budget.charge_steps b 2);
+  check_bool "charge trips" false (Budget.charge_steps b 2);
+  check_bool "tripped" true (Budget.tripped b);
+  check_bool "trip recorded" true (List.mem Budget.Steps (Budget.trips b));
+  check_bool "interrupt fires" true (Budget.interrupt_of b ());
+  let c = Budget.fresh () in
+  check_bool "fresh is unlimited" true (Budget.charge_steps c 1_000_000);
+  Budget.cancel c;
+  check_bool "cancelled not ok" false (Budget.ok c);
+  check_bool "cancel trip" true (List.mem Budget.Cancel (Budget.trips c))
+
+let test_hitting_interrupt_floor () =
+  let conflicts = [ e [ 1; 2 ]; e [ 2; 3 ]; e [ 4 ] ] in
+  let full = Hitting.minimal_hitting_sets conflicts in
+  (* an interrupt that is already tripped when enumeration starts: the
+     >= 1 candidate floor must still yield a genuine minimal hitting
+     set, and the truncation must be reported *)
+  let sets, truncated =
+    Hitting.enumerate ~interrupt:(fun () -> true) conflicts
+  in
+  check_bool "truncated" true truncated;
+  check_bool "candidate floor" true (List.length sets >= 1);
+  List.iter
+    (fun s ->
+      check_bool "sound: member of full enumeration" true
+        (List.exists (Env.equal s) full);
+      check_bool "hits every conflict" true (Hitting.hits_all s conflicts))
+    sets;
+  (* the floor does not invent candidates when none exist *)
+  let sets, _ = Hitting.enumerate ~interrupt:(fun () -> true) [ Env.empty ] in
+  check_int "no hitting set" 0 (List.length sets)
+
+let test_propagate_step_budget () =
+  let r = Rng.make (Rng.case_seed ~seed:0xB4D6E7 ~case:0) in
+  let scenario = Gen.scenario.Gen.gen r in
+  let _, faulty = Gen.scenario_netlists scenario in
+  let obs = Gen.scenario_observations scenario in
+  let model = Model.compile faulty in
+  let budget = Budget.start (Budget.spec ~max_steps:1 ()) in
+  let p = Propagate.create ~budget model in
+  List.iter (fun (q, v) -> Propagate.observe p q v) obs;
+  Propagate.run p;
+  check_bool "truncated after one step" true (Propagate.truncated p);
+  check_bool "steps trip recorded" true
+    (List.mem Budget.Steps (Budget.trips budget));
+  (* the same quota through the diagnosis front door: flagged degraded *)
+  let budget = Budget.start (Budget.spec ~max_steps:1 ()) in
+  let res = Diagnose.run ~budget faulty obs in
+  check_bool "diagnosis degraded" true res.Diagnose.degraded;
+  check_bool "diagnosis trips" true
+    (List.mem Budget.Steps res.Diagnose.trips)
+
 let () =
   Alcotest.run "check"
     [
@@ -231,5 +340,17 @@ let () =
           Alcotest.test_case "determinism" `Quick test_gen_determinism;
           Alcotest.test_case "shrinking" `Quick test_gen_shrinking;
           Alcotest.test_case "well-formed" `Slow test_gen_well_formed;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "chaos-property-300" `Slow test_chaos_property;
+          Alcotest.test_case "chaos-default" `Slow test_chaos_default;
+          Alcotest.test_case "chaos-wall-budget" `Slow test_chaos_wall_budget;
+          Alcotest.test_case "degraded-oracle" `Slow test_degraded_oracle;
+          Alcotest.test_case "budget-charges" `Quick test_budget_charges;
+          Alcotest.test_case "hitting-interrupt-floor" `Quick
+            test_hitting_interrupt_floor;
+          Alcotest.test_case "propagate-step-budget" `Quick
+            test_propagate_step_budget;
         ] );
     ]

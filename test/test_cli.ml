@@ -1,0 +1,130 @@
+(* End-to-end tests of the CLI failure discipline, through the real
+   binary: malformed input exits 2 with a one-line message naming the
+   file (and line), computational failures exit 1 with the structured
+   error rendering, successes exit 0 — and no raw OCaml backtrace ever
+   reaches the user. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Under `dune runtest` the working directory is _build/default/test
+   (the executable and the bad_inputs fixtures are declared as deps in
+   test/dune); under `dune exec test/test_cli.exe` it is the project
+   root.  Probe for both layouts. *)
+let cli =
+  let candidates =
+    [
+      Filename.concat ".." (Filename.concat "bin" "flames_cli.exe");
+      "_build/default/bin/flames_cli.exe";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> failwith "flames_cli.exe not found (build bin/ first)"
+
+let fixture name =
+  let local = Filename.concat "bad_inputs" name in
+  if Sys.file_exists local then local
+  else Filename.concat "test" local
+
+let run args =
+  let out = Filename.temp_file "flames_cli" ".out" in
+  let err = Filename.temp_file "flames_cli" ".err" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s %s >%s 2>%s" cli args (Filename.quote out)
+         (Filename.quote err))
+  in
+  let slurp path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Sys.remove path;
+    s
+  in
+  (code, slurp out, slurp err)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let one_line s =
+  String.length s > 0
+  && s.[String.length s - 1] = '\n'
+  && not (String.contains (String.sub s 0 (String.length s - 1)) '\n')
+
+let expect_failure name args ~code:expected ~mentions =
+  let code, _out, err = run args in
+  check_int (name ^ ": exit code") expected code;
+  check_bool (name ^ ": one-line stderr") true (one_line err);
+  List.iter
+    (fun m ->
+      if not (contains err m) then
+        Alcotest.failf "%s: stderr %S does not mention %S" name err m)
+    mentions;
+  check_bool
+    (name ^ ": no backtrace")
+    false
+    (contains err "Raised at" || contains err "Fatal error")
+
+let test_parse_errors () =
+  let card = fixture "bad_card.net" in
+  expect_failure "bad card" ("show " ^ card) ~code:2
+    ~mentions:[ card; "line 4" ];
+  let value = fixture "bad_value.net" in
+  expect_failure "bad value" ("show " ^ value) ~code:2
+    ~mentions:[ value; "line 4"; "10kohms" ];
+  let batch = fixture "bad_batch.txt" in
+  expect_failure "bad batch line" ("batch " ^ batch) ~code:2
+    ~mentions:[ batch; "line 3"; "no-such-circuit" ]
+
+let test_bad_arguments () =
+  expect_failure "unknown circuit" "show no-such-circuit" ~code:2
+    ~mentions:[ "unknown circuit" ];
+  expect_failure "bad fault spec" "diagnose divider --fault bogus" ~code:2
+    ~mentions:[ "bad fault spec" ];
+  expect_failure "unknown component" "diagnose divider --fault r9.R=short"
+    ~code:2
+    ~mentions:[ "no such component" ];
+  expect_failure "bad workers" "batch --workers 0" ~code:2
+    ~mentions:[ "--workers" ]
+
+let test_run_failures () =
+  (* parses fine but has no DC solution: a computational failure, so
+     exit 1 with the structured error, not 2 and not a backtrace *)
+  let net = fixture "singular.net" in
+  expect_failure "singular bias" ("bias " ^ net) ~code:1
+    ~mentions:[ "singular" ];
+  expect_failure "singular diagnose" ("diagnose " ^ net) ~code:1
+    ~mentions:[ "singular" ]
+
+let test_successes () =
+  let code, out, _ = run "show divider" in
+  check_int "show exits 0" 0 code;
+  check_bool "show prints the netlist" true (contains out ".circuit");
+  let code, out, _ = run "list" in
+  check_int "list exits 0" 0 code;
+  check_bool "list names divider" true (contains out "divider")
+
+let test_chaos_subcommand () =
+  let code, out, _ =
+    run "chaos --iters 1 --jobs 2 --workers 2 --seed 7"
+  in
+  check_int "chaos exits 0" 0 code;
+  check_bool "chaos reports the root seed" true (contains out "seed 7")
+
+let () =
+  Alcotest.run "flames_cli"
+    [
+      ( "exit-codes",
+        [
+          Alcotest.test_case "parse errors name file and line" `Quick
+            test_parse_errors;
+          Alcotest.test_case "bad arguments exit 2" `Quick test_bad_arguments;
+          Alcotest.test_case "run failures exit 1" `Quick test_run_failures;
+          Alcotest.test_case "successes exit 0" `Quick test_successes;
+          Alcotest.test_case "chaos subcommand" `Slow test_chaos_subcommand;
+        ] );
+    ]

@@ -9,6 +9,7 @@ module L = Flames_circuit.Library
 module Pool = Flames_engine.Pool
 module Cache = Flames_engine.Cache
 module Batch = Flames_engine.Batch
+module Breaker = Flames_engine.Breaker
 module Stats = Flames_engine.Stats
 module Model = Flames_core.Model
 
@@ -87,7 +88,7 @@ let test_pool_timeout_queued () =
       let p = Pool.submit pool ~timeout:0.03 (fun () -> 1) in
       match Pool.await p with
       | Error Pool.Cancelled -> ()
-      | Ok _ | Error (Pool.Timed_out | Pool.Failed _) ->
+      | Ok _ | Error (Pool.Timed_out | Pool.Failed _ | Pool.Crashed _) ->
         Alcotest.fail "expected Cancelled (deadline passed while queued)")
 
 let test_pool_shutdown_drains () =
@@ -102,6 +103,49 @@ let test_pool_shutdown_drains () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "submit after shutdown must raise");
   Pool.shutdown pool (* idempotent *)
+
+(* {1 Pool supervision} *)
+
+let test_pool_kill_crashed () =
+  Pool.with_pool ~workers:2 ~crash_retries:0 (fun pool ->
+      let p = Pool.submit pool (fun () -> raise Pool.Kill_worker) in
+      (match Pool.await p with
+      | Error (Pool.Crashed { attempts = 1 }) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected Crashed with 0 retries");
+      (* the dead worker was replaced: the pool still serves jobs *)
+      match Pool.await (Pool.submit pool (fun () -> 7)) with
+      | Ok v -> check_int "respawned worker answers" 7 v
+      | Error _ -> Alcotest.fail "pool dead after a worker kill")
+
+let test_pool_kill_requeued () =
+  Pool.with_pool ~workers:1 ~crash_retries:2 (fun pool ->
+      let runs = Atomic.make 0 in
+      let p =
+        Pool.submit pool (fun () ->
+            if Atomic.fetch_and_add runs 1 = 0 then raise Pool.Kill_worker;
+            42)
+      in
+      (match Pool.await p with
+      | Ok v -> check_int "requeued run succeeded" 42 v
+      | Error _ -> Alcotest.fail "expected success on the second attempt");
+      check_int "ran twice" 2 (Atomic.get runs))
+
+let test_pool_shutdown_now_cancels () =
+  let pool = Pool.create ~workers:1 () in
+  let blocker = Pool.submit pool (fun () -> Unix.sleepf 0.2; 1) in
+  Unix.sleepf 0.02 (* let the worker pick up the blocker *);
+  let queued = List.init 4 (fun i -> Pool.submit pool (fun () -> i)) in
+  Pool.shutdown_now pool;
+  (* the running job completes (cancellation is cooperative), but the
+     jobs still queued must resolve — to Cancelled, not hang *)
+  check_bool "running job finished" true (Pool.await blocker = Ok 1);
+  List.iter
+    (fun p ->
+      match Pool.await p with
+      | Error Pool.Cancelled -> ()
+      | Ok _ | Error _ -> Alcotest.fail "queued job must resolve Cancelled")
+    queued;
+  Pool.shutdown_now pool (* idempotent *)
 
 (* {1 Cache} *)
 
@@ -165,7 +209,7 @@ let test_cache_clear () =
 (* {1 Batch determinism} *)
 
 (* A cheap faulty-divider job: small circuit, real conflicts. *)
-let divider_job i =
+let divider_job ?prelude i =
   let nominal = divider () in
   let faulty = F.inject nominal (F.shifted "r2" ~parameter:"R" 6.8e3) in
   let sol = Flames_sim.Mna.solve faulty in
@@ -173,7 +217,7 @@ let divider_job i =
   let obs =
     Flames_sim.Measure.probe_all ~instrument sol [ Q.voltage "out" ]
   in
-  Batch.job ~label:(Printf.sprintf "divider-%02d" i) nominal obs
+  Batch.job ?prelude ~label:(Printf.sprintf "divider-%02d" i) nominal obs
 
 let render (r : Flames_core.Diagnose.result) =
   Format.asprintf "%a" Flames_core.Report.pp_result r
@@ -230,10 +274,75 @@ let test_batch_timeout () =
   List.iter
     (fun o ->
       match o with
-      | Error (Pool.Cancelled | Pool.Timed_out) -> ()
-      | Ok _ | Error (Pool.Failed _) ->
-        Alcotest.fail "expected a deadline failure")
+      | Error (Batch.Err.Cancelled | Batch.Err.Timed_out) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected a deadline failure")
     outcomes
+
+(* {1 Retry and load shedding} *)
+
+let test_batch_retry_flaky () =
+  let attempts = Atomic.make 0 in
+  let job =
+    divider_job 0 ~prelude:(fun _attempt ->
+        if Atomic.fetch_and_add attempts 1 < 2 then failwith "transient")
+  in
+  let retry = Batch.retry ~attempts:3 ~base_delay:0.001 ~max_delay:0.005 () in
+  let outcomes, stats = Batch.run ~workers:2 ~retry [ job ] in
+  (match outcomes with
+  | [ Ok _ ] -> ()
+  | [ Error e ] ->
+    Alcotest.failf "flaky job failed: %s" (Batch.Err.to_string e)
+  | _ -> Alcotest.fail "one outcome expected");
+  check_int "two retries recorded" 2 stats.Stats.retried;
+  check_int "three attempts ran" 3 (Atomic.get attempts)
+
+let test_batch_retry_exhausted () =
+  let job = divider_job 0 ~prelude:(fun _ -> failwith "permanent") in
+  let retry = Batch.retry ~attempts:2 ~base_delay:0.001 () in
+  let outcomes, stats = Batch.run ~workers:1 ~retry [ job ] in
+  (match outcomes with
+  | [ Error (Batch.Err.Unexpected _) ] -> ()
+  | [ Error e ] ->
+    Alcotest.failf "expected Unexpected, got %s" (Batch.Err.to_string e)
+  | _ -> Alcotest.fail "expected the final attempt's error");
+  check_int "one retry before giving up" 1 stats.Stats.retried
+
+let test_batch_breaker_sheds_retry () =
+  (* threshold 1: the first failure opens the circuit, so the retry is
+     shed instead of submitted — and shedding is not a retry *)
+  let job = divider_job 0 ~prelude:(fun _ -> failwith "permanent") in
+  let retry = Batch.retry ~attempts:3 ~base_delay:0.001 () in
+  let breaker = Breaker.create ~threshold:1 ~cooldown:60. () in
+  let outcomes, stats = Batch.run ~workers:1 ~retry ~breaker [ job ] in
+  (match outcomes with
+  | [ Error (Batch.Err.Breaker_open _) ] -> ()
+  | [ Error e ] ->
+    Alcotest.failf "expected Breaker_open, got %s" (Batch.Err.to_string e)
+  | _ -> Alcotest.fail "one outcome expected");
+  check_int "shed recorded" 1 stats.Stats.shed;
+  check_int "no retry submitted" 0 stats.Stats.retried
+
+let test_breaker_lifecycle () =
+  let now = ref 0. in
+  let b = Breaker.create ~threshold:2 ~cooldown:1.0 ~now:(fun () -> !now) () in
+  check_bool "closed allows" true (Breaker.decide b "k" = `Allow);
+  Breaker.failure b "k";
+  check_bool "below threshold still allows" true (Breaker.decide b "k" = `Allow);
+  Breaker.failure b "k";
+  check_bool "open sheds" true (Breaker.decide b "k" = `Shed);
+  check_bool "open state" true (Breaker.state b "k" = `Open);
+  check_bool "other keys unaffected" true (Breaker.decide b "other" = `Allow);
+  now := 1.5;
+  check_bool "cooldown elapsed: probe allowed" true
+    (Breaker.decide b "k" = `Allow);
+  check_bool "half-open sheds non-probes" true (Breaker.decide b "k" = `Shed);
+  Breaker.failure b "k";
+  check_bool "probe failure re-opens" true (Breaker.state b "k" = `Open);
+  now := 3.0;
+  check_bool "second probe allowed" true (Breaker.decide b "k" = `Allow);
+  Breaker.success b "k";
+  check_bool "probe success closes" true (Breaker.state b "k" = `Closed);
+  check_bool "closed again allows" true (Breaker.decide b "k" = `Allow)
 
 let test_explosion_parallel_matches () =
   let sizes = [ 2; 4 ] in
@@ -256,6 +365,12 @@ let () =
           Alcotest.test_case "timeout queued" `Quick test_pool_timeout_queued;
           Alcotest.test_case "graceful shutdown" `Quick
             test_pool_shutdown_drains;
+          Alcotest.test_case "kill: crashed after retries" `Quick
+            test_pool_kill_crashed;
+          Alcotest.test_case "kill: requeue succeeds" `Quick
+            test_pool_kill_requeued;
+          Alcotest.test_case "shutdown_now cancels queued" `Quick
+            test_pool_shutdown_now_cancels;
         ] );
       ( "cache",
         [
@@ -277,5 +392,16 @@ let () =
           Alcotest.test_case "per-job timeout" `Quick test_batch_timeout;
           Alcotest.test_case "scaling series parity" `Slow
             test_explosion_parallel_matches;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "retry: flaky job recovers" `Quick
+            test_batch_retry_flaky;
+          Alcotest.test_case "retry: exhausted" `Quick
+            test_batch_retry_exhausted;
+          Alcotest.test_case "breaker sheds the retry" `Quick
+            test_batch_breaker_sheds_retry;
+          Alcotest.test_case "breaker lifecycle" `Quick
+            test_breaker_lifecycle;
         ] );
     ]

@@ -468,6 +468,9 @@ let test_stats_json () =
       cache_misses = 1;
       wall_time = 0.5;
       cpu_time = 0.75;
+      retried = 0;
+      shed = 0;
+      degraded = 0;
       compile_wall = 0.125;
       diagnose_wall = 0.25;
     }
