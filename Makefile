@@ -2,7 +2,7 @@
 # stay green before every commit (tier-1 verify + engine tests + dune-file
 # formatting).
 
-.PHONY: all build test fmt check check-deep chaos corpus bench bench-engine bench-atms trace clean
+.PHONY: all build test fmt check check-deep chaos corpus bench bench-engine bench-atms bench-serve serve trace clean
 
 all: build
 
@@ -51,6 +51,21 @@ bench-engine: build
 # add --atms-smoke for the reduced CI variant
 bench-atms: build
 	dune exec bench/main.exe -- --atms-json-only
+
+# run the diagnosis service on the default port (SERVE_ARGS appends
+# e.g. --port 9000 --quota-rate 5)
+serve: build
+	dune exec bin/flames_cli.exe -- serve $(SERVE_ARGS)
+
+# saturation sweep against an in-process server on an ephemeral port:
+# seeded clients, exact latency percentiles, writes BENCH_serve.json
+SERVE_SEED ?= 42
+SERVE_DURATION ?= 5
+SERVE_LEVELS ?= 1,2,4,8,16
+bench-serve: build
+	dune exec bin/flames_load.exe -- --spawn --workers 1 --max-inflight 4 \
+	  --seed $(SERVE_SEED) --duration $(SERVE_DURATION) \
+	  --levels $(SERVE_LEVELS) --json BENCH_serve.json
 
 # traced fig-7 sweep: writes trace.json (open in ui.perfetto.dev) and
 # dumps the metrics registry on stderr

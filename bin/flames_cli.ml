@@ -6,16 +6,9 @@ module Q = Flames_circuit.Quantity
 module Fault = Flames_circuit.Fault
 module Library = Flames_circuit.Library
 
-let circuits =
-  [
-    ("divider", fun () -> Library.voltage_divider ());
-    ("diode", fun () -> Library.diode_resistor ~powered:true ());
-    ("amplifier", fun () -> Library.three_stage_amplifier ());
-    ("chain", fun () -> Library.amplifier_chain ());
-    ("rc-lowpass", fun () -> Library.rc_lowpass ());
-    ("rlc-bandpass", fun () -> Library.rlc_bandpass ());
-    ("sallen-key", fun () -> Library.sallen_key_lowpass ());
-  ]
+(* The built-in circuit catalog lives in the library so the diagnosis
+   service serves exactly the same names. *)
+let circuits = Library.builtins
 
 let load_circuit name =
   match List.assoc_opt name circuits with
@@ -33,30 +26,7 @@ let load_circuit name =
            "unknown circuit %S (available: %s, or a netlist file path)" name
            (String.concat ", " (List.map fst circuits)))
 
-let parse_fault spec =
-  (* comp.param=short|open|low|high|<float> *)
-  match String.split_on_char '=' spec with
-  | [ target; mode ] -> begin
-    match String.split_on_char '.' target with
-    | [ component; parameter ] ->
-      let mode =
-        match mode with
-        | "short" -> Ok Fault.Short
-        | "open" -> Ok Fault.Open
-        | "low" -> Ok Fault.Low
-        | "high" -> Ok Fault.High
-        | v -> begin
-          match float_of_string_opt v with
-          | Some f -> Ok (Fault.Shifted f)
-          | None -> Error (Printf.sprintf "bad fault mode %S" v)
-        end
-      in
-      Result.map (fun m -> Fault.make ~component ~parameter m) mode
-    | [ _ ] | [] | _ :: _ ->
-      Error (Printf.sprintf "bad fault target %S (want comp.param)" target)
-  end
-  | [ _ ] | [] | _ :: _ ->
-    Error (Printf.sprintf "bad fault spec %S (want comp.param=mode)" spec)
+let parse_fault = Fault.of_spec
 
 open Cmdliner
 module Obs_log = Flames_obs.Log
@@ -628,15 +598,114 @@ let chaos_cmd =
     Term.(
       const run $ obs_term $ iters_arg $ seed_arg $ jobs_arg $ workers_arg)
 
+let serve_cmd =
+  let module Server = Flames_serve.Server in
+  let run () host port workers max_inflight quota_rate quota_burst max_body
+      default_wall max_wall =
+    if workers < 1 then
+      die_input "serve: --workers must be >= 1 (got %d)" workers;
+    if max_inflight < 1 then
+      die_input "serve: --max-inflight must be >= 1 (got %d)" max_inflight;
+    if max_body < 1 then
+      die_input "serve: --max-body must be >= 1 (got %d)" max_body;
+    protect @@ fun () ->
+    let config =
+      {
+        Server.default_config with
+        host;
+        port;
+        workers;
+        max_inflight;
+        quota_rate;
+        quota_burst;
+        max_body;
+        default_wall;
+        max_wall;
+      }
+    in
+    Server.run ~config ()
+  in
+  let d = Server.default_config in
+  let host_arg =
+    let doc = "Address to bind." in
+    Arg.(value & opt string d.Server.host & info [ "host" ] ~docv:"ADDR" ~doc)
+  in
+  let port_arg =
+    let doc = "Port to bind (0 = ephemeral)." in
+    Arg.(value & opt int d.Server.port & info [ "port"; "p" ] ~docv:"PORT" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker domains running diagnoses." in
+    Arg.(
+      value & opt int d.Server.workers & info [ "workers"; "j" ] ~docv:"N" ~doc)
+  in
+  let inflight_arg =
+    let doc =
+      "Admission bound: requests admitted but unanswered before new ones \
+       are shed with 429."
+    in
+    Arg.(
+      value
+      & opt int d.Server.max_inflight
+      & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let quota_rate_arg =
+    let doc =
+      "Per-client diagnosis quota in requests/second (X-Flames-Client \
+       header; 0 disables quotas)."
+    in
+    Arg.(
+      value
+      & opt float d.Server.quota_rate
+      & info [ "quota-rate" ] ~docv:"RPS" ~doc)
+  in
+  let quota_burst_arg =
+    let doc = "Per-client quota burst (token-bucket size)." in
+    Arg.(
+      value
+      & opt float d.Server.quota_burst
+      & info [ "quota-burst" ] ~docv:"N" ~doc)
+  in
+  let max_body_arg =
+    let doc = "Request-body size limit in bytes (413 beyond)." in
+    Arg.(
+      value & opt int d.Server.max_body & info [ "max-body" ] ~docv:"BYTES" ~doc)
+  in
+  let default_wall_arg =
+    let doc = "Default per-request diagnosis budget in seconds." in
+    Arg.(
+      value
+      & opt float d.Server.default_wall
+      & info [ "default-wall" ] ~docv:"S" ~doc)
+  in
+  let max_wall_arg =
+    let doc = "Cap on the client-requested budget_ms, in seconds." in
+    Arg.(
+      value & opt float d.Server.max_wall & info [ "max-wall" ] ~docv:"S" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the diagnosis service: POST /diagnose with a JSON request \
+          (or a batch scenario line) against the built-in circuits or an \
+          inline netlist, GET /metrics for Prometheus exposition, \
+          /healthz, /readyz and /version.  Overload is shed with 429 and \
+          Retry-After; SIGTERM drains gracefully.")
+    Term.(
+      const run $ obs_term $ host_arg $ port_arg $ workers_arg $ inflight_arg
+      $ quota_rate_arg $ quota_burst_arg $ max_body_arg $ default_wall_arg
+      $ max_wall_arg)
+
 let main =
   let info =
-    Cmd.info "flames" ~version:"1.0.0"
+    Cmd.info "flames" ~version:Flames_serve.Version.current
       ~doc:"Fuzzy-logic ATMS and model-based diagnosis of analog circuits."
   in
   Cmd.group info
     [
       bias_cmd; diagnose_cmd; best_test_cmd; ac_cmd; dynamic_diagnose_cmd;
-      batch_cmd; show_cmd; list_cmd; check_cmd; chaos_cmd; obs_demo_cmd;
+      batch_cmd; show_cmd; list_cmd; serve_cmd; check_cmd; chaos_cmd;
+      obs_demo_cmd;
     ]
 
 let () = exit (Cmd.eval main)

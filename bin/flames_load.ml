@@ -1,0 +1,166 @@
+(* Load generator for the diagnosis service: seeded concurrent clients,
+   a saturation sweep over client counts, exact latency percentiles and
+   a BENCH_serve.json report.  --spawn runs the server in-process on an
+   ephemeral port, so CI needs no background process or port pick. *)
+
+module Server = Flames_serve.Server
+module Loadgen = Flames_serve.Loadgen
+
+open Cmdliner
+
+let die fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("flames_load: " ^ m);
+      exit 2)
+    fmt
+
+let levels_conv =
+  let parse s =
+    let parts =
+      String.split_on_char ',' s |> List.map String.trim
+      |> List.filter (fun p -> p <> "")
+    in
+    let numeric = List.map int_of_string_opt parts in
+    if parts = [] || List.exists Option.is_none numeric then
+      Error (`Msg (Printf.sprintf "bad client levels %S (want e.g. 1,2,4)" s))
+    else begin
+      let levels = List.filter_map Fun.id numeric in
+      if List.exists (fun n -> n < 1) levels then
+        Error (`Msg "client levels must be >= 1")
+      else Ok levels
+    end
+  in
+  let print ppf levels =
+    Format.fprintf ppf "%s"
+      (String.concat "," (List.map string_of_int levels))
+  in
+  Arg.conv (parse, print)
+
+let print_level (s : Loadgen.level_stats) =
+  Printf.eprintf
+    "clients %3d: %5d req %7.1f req/s  ok %5d shed %4d err %d proto %d  p50 \
+     %.1f ms p95 %.1f ms p99 %.1f ms\n\
+     %!"
+    s.Loadgen.clients s.Loadgen.requests s.Loadgen.throughput_rps s.Loadgen.ok
+    s.Loadgen.shed s.Loadgen.errors s.Loadgen.protocol_errors s.Loadgen.p50_ms
+    s.Loadgen.p95_ms s.Loadgen.p99_ms
+
+let run host port levels duration seed json_path spawn workers max_inflight
+    quota_rate quota_burst =
+  if duration <= 0. then die "--duration must be > 0 (got %g)" duration;
+  if spawn && port <> 0 then
+    die "--spawn picks an ephemeral port; drop --port %d" port;
+  if (not spawn) && port = 0 then die "--port is required without --spawn";
+  let server =
+    if spawn then begin
+      let config =
+        {
+          Server.default_config with
+          host;
+          port = 0;
+          workers;
+          max_inflight;
+          quota_rate;
+          quota_burst;
+        }
+      in
+      Some (Server.start ~config ())
+    end
+    else None
+  in
+  let port = match server with Some s -> Server.port s | None -> port in
+  Printf.eprintf "flames_load: %s:%d seed %d, %g s per level, levels %s%s\n%!"
+    host port seed duration
+    (String.concat "," (List.map string_of_int levels))
+    (if spawn then
+       Printf.sprintf " (spawned server: %d workers, max-inflight %d)" workers
+         max_inflight
+     else "");
+  let report =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Server.stop server)
+      (fun () ->
+        Loadgen.sweep ~progress:print_level ~host ~port ~seed ~duration levels)
+  in
+  Option.iter
+    (fun path ->
+      Loadgen.write_json path report;
+      Printf.eprintf "flames_load: wrote %s\n%!" path)
+    json_path;
+  let protocol_errors =
+    List.fold_left
+      (fun acc (s : Loadgen.level_stats) -> acc + s.Loadgen.protocol_errors)
+      0 report.Loadgen.levels
+  in
+  if protocol_errors > 0 then begin
+    Printf.eprintf "flames_load: %d protocol errors\n%!" protocol_errors;
+    exit 1
+  end
+
+let main =
+  let host_arg =
+    let doc = "Server address." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+  in
+  let port_arg =
+    let doc = "Server port (required unless --spawn)." in
+    Arg.(value & opt int 0 & info [ "port"; "p" ] ~docv:"PORT" ~doc)
+  in
+  let levels_arg =
+    let doc = "Comma-separated client counts for the saturation sweep." in
+    Arg.(
+      value
+      & opt levels_conv [ 1; 2; 4; 8 ]
+      & info [ "levels" ] ~docv:"N,N,..." ~doc)
+  in
+  let duration_arg =
+    let doc = "Seconds to run each level." in
+    Arg.(value & opt float 5. & info [ "duration"; "d" ] ~docv:"S" ~doc)
+  in
+  let seed_arg =
+    let doc = "Root seed of the request streams (deterministic per seed)." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the BENCH_serve.json report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let spawn_arg =
+    let doc =
+      "Start the server in-process on an ephemeral port and tear it down \
+       after the sweep."
+    in
+    Arg.(value & flag & info [ "spawn" ] ~doc)
+  in
+  let workers_arg =
+    let doc = "Workers of the spawned server (with --spawn)." in
+    Arg.(value & opt int 1 & info [ "workers"; "j" ] ~docv:"N" ~doc)
+  in
+  let inflight_arg =
+    let doc = "Admission bound of the spawned server (with --spawn)." in
+    Arg.(value & opt int 4 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let quota_rate_arg =
+    let doc = "Per-client quota of the spawned server (with --spawn)." in
+    Arg.(value & opt float 0. & info [ "quota-rate" ] ~docv:"RPS" ~doc)
+  in
+  let quota_burst_arg =
+    let doc = "Quota burst of the spawned server (with --spawn)." in
+    Arg.(value & opt float 10. & info [ "quota-burst" ] ~docv:"N" ~doc)
+  in
+  let info =
+    Cmd.info "flames_load" ~version:Flames_serve.Version.current
+      ~doc:
+        "Drive a flames diagnosis service with seeded synthetic clients \
+         and report throughput, exact latency percentiles and shed counts \
+         per client-count level.  Exits 1 when any protocol error \
+         occurred (429 sheds are expected past saturation, not errors)."
+  in
+  Cmd.v info
+    Term.(
+      const run $ host_arg $ port_arg $ levels_arg $ duration_arg $ seed_arg
+      $ json_arg $ spawn_arg $ workers_arg $ inflight_arg $ quota_rate_arg
+      $ quota_burst_arg)
+
+let () = exit (Cmd.eval main)

@@ -104,3 +104,29 @@ let pp_mode ppf = function
 
 let pp ppf f =
   Format.fprintf ppf "%s.%s %a" f.component f.parameter pp_mode f.mode
+
+(* comp.param=short|open|low|high|<float> — the spec syntax of the CLI's
+   --fault option, batch scenario files and the service's "fault" field. *)
+let of_spec spec =
+  match String.split_on_char '=' spec with
+  | [ target; mode ] -> begin
+    match String.split_on_char '.' target with
+    | [ component; parameter ] ->
+      let mode =
+        match mode with
+        | "short" -> Ok Short
+        | "open" -> Ok Open
+        | "low" -> Ok Low
+        | "high" -> Ok High
+        | v -> begin
+          match float_of_string_opt v with
+          | Some f -> Ok (Shifted f)
+          | None -> Error (Printf.sprintf "bad fault mode %S" v)
+        end
+      in
+      Result.map (fun mode -> { component; parameter; mode }) mode
+    | [ _ ] | [] | _ :: _ ->
+      Error (Printf.sprintf "bad fault target %S (want comp.param)" target)
+  end
+  | [ _ ] | [] | _ :: _ ->
+    Error (Printf.sprintf "bad fault spec %S (want comp.param=mode)" spec)

@@ -57,3 +57,9 @@ val open_node : Netlist.t -> string -> Netlist.t
 
 val pp : Format.formatter -> t -> unit
 val pp_mode : Format.formatter -> mode -> unit
+
+val of_spec : string -> (t, string) result
+(** Parse a [comp.param=mode] fault spec (mode: [short], [open], [low],
+    [high] or a numeric value for a soft {!Shifted} fault) — the syntax
+    shared by the CLI's [--fault], batch scenario files and the
+    diagnosis service. *)

@@ -133,3 +133,16 @@ let probe_points netlist =
   |> List.filter (fun n ->
          n <> netlist.Netlist.ground && not (String.contains n '^'))
   |> List.map Quantity.voltage
+
+(* The named circuits the CLI and the diagnosis service accept by name;
+   one list so both front ends (and their docs) stay in sync. *)
+let builtins =
+  [
+    ("divider", fun () -> voltage_divider ());
+    ("diode", fun () -> diode_resistor ~powered:true ());
+    ("amplifier", fun () -> three_stage_amplifier ());
+    ("chain", fun () -> amplifier_chain ());
+    ("rc-lowpass", fun () -> rc_lowpass ());
+    ("rlc-bandpass", fun () -> rlc_bandpass ());
+    ("sallen-key", fun () -> sallen_key_lowpass ());
+  ]

@@ -57,3 +57,6 @@ val sallen_key_lowpass : ?tolerance:float -> unit -> Netlist.t
 val probe_points : Netlist.t -> Quantity.t list
 (** The measurable node voltages of a circuit (every non-ground,
     non-internal node). *)
+
+val builtins : (string * (unit -> Netlist.t)) list
+(** The built-in circuits by CLI/service name, in presentation order. *)

@@ -37,6 +37,7 @@ type t = {
   nworkers : int;
   crash_retries : int;
   minor_heap_words : int;
+  inflight : int Atomic.t;  (* jobs taken off the queue, not yet settled *)
 }
 
 let now () = Unix.gettimeofday ()
@@ -116,8 +117,12 @@ let worker ~minor_heap_words pool slot () =
     match Queue.take_opt pool.queue with
     | Some job ->
       Mutex.unlock pool.mutex;
+      (* the in-flight window matches the slot window exactly, so the
+         crash path (which sees a non-empty slot) can undo the count *)
       slot := Some job;
+      Atomic.incr pool.inflight;
       run_job job;
+      Atomic.decr pool.inflight;
       slot := None;
       loop ()
     | None ->
@@ -142,6 +147,7 @@ let rec spawn_worker pool =
         (match !slot with
         | None -> ()
         | Some (Job (p, f, started)) ->
+          Atomic.decr pool.inflight;
           let attempts = started + 1 in
           if attempts > pool.crash_retries then
             resolve_locked p (Error (Crashed { attempts }))
@@ -176,12 +182,21 @@ let create ?workers ?(minor_heap_words = 4_194_304) ?(crash_retries = 1) () =
       nworkers;
       crash_retries;
       minor_heap_words;
+      inflight = Atomic.make 0;
     }
   in
   pool.domains <- List.init nworkers (fun _ -> spawn_worker pool);
   pool
 
 let workers pool = pool.nworkers
+
+let queue_depth pool =
+  Mutex.lock pool.mutex;
+  let n = Queue.length pool.queue in
+  Mutex.unlock pool.mutex;
+  n
+
+let in_flight pool = Atomic.get pool.inflight
 
 let submit pool ?label ?timeout ?budget f =
   let submitted = now () in

@@ -53,6 +53,18 @@ val create :
 
 val workers : t -> int
 
+val queue_depth : t -> int
+(** Jobs enqueued but not yet picked up by a worker.  A point-in-time
+    reading (the queue keeps moving); the admission control and
+    [/readyz] probes of [Flames_serve] are its consumers. *)
+
+val in_flight : t -> int
+(** Jobs currently executing on (or being settled by) a worker: taken
+    off the queue and not yet resolved.  Bounded by {!workers}; a worker
+    crash un-counts its job before it is requeued or settled, so
+    [queue_depth + in_flight] is a consistent "work outstanding"
+    estimate across submit, completion and crash-respawn. *)
+
 val submit :
   t ->
   ?label:string ->

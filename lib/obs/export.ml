@@ -138,3 +138,5 @@ let summary ppf =
     (List.length tracks)
     (if List.length tracks = 1 then "" else "s")
     (if Trace.enabled () then "enabled" else "disabled")
+
+let prometheus_string () = Format.asprintf "%t" prometheus

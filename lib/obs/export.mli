@@ -16,6 +16,10 @@ val prometheus : Format.formatter -> unit
     [# HELP]/[# TYPE] comments, cumulative [_bucket{le="..."}] series
     plus [_sum]/[_count] for histograms. *)
 
+val prometheus_string : unit -> string
+(** {!prometheus} as a string — the body of the diagnosis service's
+    [GET /metrics]. *)
+
 val summary : Format.formatter -> unit
 (** Human-readable one-line-per-metric dump plus a trace-buffer
     status line. *)

@@ -1,0 +1,93 @@
+module Metrics = Flames_obs.Metrics
+
+type reason = Saturated | Throttled
+type decision = Admitted | Shed of { reason : reason; retry_after : float }
+
+type bucket = { mutable tokens : float; mutable refilled : float }
+
+type t = {
+  mutex : Mutex.t;
+  now : unit -> float;
+  max_inflight : int;
+  quota_rate : float;
+  quota_burst : float;
+  mutable inflight : int;
+  buckets : (string, bucket) Hashtbl.t;
+}
+
+let create ?now ?(max_inflight = 64) ?(quota_rate = 0.) ?(quota_burst = 10.)
+    () =
+  if max_inflight < 1 then
+    invalid_arg "Admission.create: max_inflight must be >= 1";
+  if quota_rate < 0. || quota_burst < 0. then
+    invalid_arg "Admission.create: quota rate/burst must be >= 0";
+  let now = match now with Some f -> f | None -> Unix.gettimeofday in
+  {
+    mutex = Mutex.create ();
+    now;
+    max_inflight;
+    quota_rate;
+    quota_burst;
+    inflight = 0;
+    buckets = Hashtbl.create 16;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Lazy refill: tokens accrue since the bucket was last touched, capped
+   at the burst size. *)
+let take_token t client =
+  if t.quota_rate <= 0. then `Token
+  else begin
+    let now = t.now () in
+    let b =
+      match Hashtbl.find_opt t.buckets client with
+      | Some b ->
+        b.tokens <-
+          Float.min t.quota_burst
+            (b.tokens +. ((now -. b.refilled) *. t.quota_rate));
+        b.refilled <- now;
+        b
+      | None ->
+        let b = { tokens = t.quota_burst; refilled = now } in
+        Hashtbl.add t.buckets client b;
+        b
+    in
+    if b.tokens >= 1. then begin
+      b.tokens <- b.tokens -. 1.;
+      `Token
+    end
+    else `Dry ((1. -. b.tokens) /. t.quota_rate)
+  end
+
+let admit t ~client =
+  locked t @@ fun () ->
+  match take_token t client with
+  | `Dry wait ->
+    Metrics.incr Telemetry.throttled_total;
+    Shed { reason = Throttled; retry_after = wait }
+  | `Token ->
+    if t.inflight >= t.max_inflight then begin
+      Metrics.incr Telemetry.shed_total;
+      (* the queue drains at the service rate; one second is an honest
+         "come back after roughly a queue's worth of work" default *)
+      Shed { reason = Saturated; retry_after = 1. }
+    end
+    else begin
+      t.inflight <- t.inflight + 1;
+      Metrics.gauge_set Telemetry.inflight_jobs (float_of_int t.inflight);
+      Admitted
+    end
+
+let release t =
+  locked t @@ fun () ->
+  t.inflight <- Int.max 0 (t.inflight - 1);
+  Metrics.gauge_set Telemetry.inflight_jobs (float_of_int t.inflight)
+
+let in_flight t = locked t @@ fun () -> t.inflight
+let max_inflight t = t.max_inflight
+
+let retry_after_header seconds =
+  ("Retry-After", string_of_int (Int.max 1 (int_of_float (Float.ceil seconds))))

@@ -1,0 +1,52 @@
+(** Admission control for the diagnosis service.
+
+    Two independent gates in front of {!Flames_engine.Pool}:
+
+    - a {e bounded admission queue}: at most [max_inflight] diagnosis
+      requests admitted but not yet answered (queued in the pool or
+      running on a worker).  Past the bound the request is shed with a
+      429 instead of growing an unbounded queue;
+    - {e per-client token buckets} keyed by the client id header:
+      [quota_burst] tokens, refilled at [quota_rate] tokens/second.
+      A rate [<= 0] disables the quota gate entirely.
+
+    Decisions bump the [flames_serve_shed_total] /
+    [flames_serve_throttled_total] counters and the in-flight gauge; the
+    clock is injectable so the refill arithmetic is unit-testable. *)
+
+type reason =
+  | Saturated  (** admission queue full — global overload *)
+  | Throttled  (** this client exhausted its token bucket *)
+
+type decision =
+  | Admitted  (** caller must pair with {!release} *)
+  | Shed of { reason : reason; retry_after : float  (** seconds, >= 0 *) }
+
+type t
+
+val create :
+  ?now:(unit -> float) ->
+  ?max_inflight:int ->
+  ?quota_rate:float ->
+  ?quota_burst:float ->
+  unit ->
+  t
+(** Defaults: [max_inflight = 64], quotas disabled ([quota_rate = 0.]),
+    [quota_burst = 10.].
+    @raise Invalid_argument on [max_inflight < 1] or negative rates. *)
+
+val admit : t -> client:string -> decision
+(** Quota is checked first (a throttled client never consumes queue
+    capacity), then the queue bound.  An [Admitted] decision has already
+    taken the slot and the token. *)
+
+val release : t -> unit
+(** Return an admitted request's slot (call exactly once per
+    [Admitted], whatever the outcome of the job). *)
+
+val in_flight : t -> int
+val max_inflight : t -> int
+
+val retry_after_header : float -> string * string
+(** The [Retry-After] header for a shed decision, rounded up to a whole
+    second (the header's granularity), at least 1. *)

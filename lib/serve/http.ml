@@ -1,0 +1,219 @@
+type request = {
+  meth : string;
+  path : string;
+  query : string;
+  version : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+type error = Eof | Malformed of string | Too_large of int
+
+let max_line = 8192
+let max_headers = 100
+let default_max_body = 1 lsl 20
+
+type conn = {
+  c_fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable pos : int;
+  mutable len : int;
+}
+
+let conn fd = { c_fd = fd; buf = Bytes.create 8192; pos = 0; len = 0 }
+let fd c = c.c_fd
+
+(* [false] = end of stream.  A read interrupted by a signal retries. *)
+let refill c =
+  if c.pos < c.len then true
+  else begin
+    let rec read () =
+      match Unix.read c.c_fd c.buf 0 (Bytes.length c.buf) with
+      | n -> n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read ()
+    in
+    let n = read () in
+    c.pos <- 0;
+    c.len <- n;
+    n > 0
+  end
+
+(* One CRLF-terminated line, CRLF stripped (a lone LF is tolerated).
+   [at_start] distinguishes a clean close between messages (Eof) from a
+   truncated message (Malformed). *)
+let read_line ~at_start c =
+  let b = Buffer.create 64 in
+  let rec loop () =
+    if Buffer.length b > max_line then Error (Too_large (Buffer.length b))
+    else if not (refill c) then
+      if at_start && Buffer.length b = 0 then Error Eof
+      else Error (Malformed "connection closed mid-line")
+    else begin
+      let ch = Bytes.get c.buf c.pos in
+      c.pos <- c.pos + 1;
+      if ch = '\n' then begin
+        let s = Buffer.contents b in
+        let l = String.length s in
+        Ok (if l > 0 && s.[l - 1] = '\r' then String.sub s 0 (l - 1) else s)
+      end
+      else begin
+        Buffer.add_char b ch;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let read_exact c n =
+  let out = Bytes.create n in
+  let rec loop filled =
+    if filled = n then Ok (Bytes.unsafe_to_string out)
+    else if not (refill c) then Error (Malformed "connection closed mid-body")
+    else begin
+      let take = Int.min (n - filled) (c.len - c.pos) in
+      Bytes.blit c.buf c.pos out filled take;
+      c.pos <- c.pos + take;
+      loop (filled + take)
+    end
+  in
+  loop 0
+
+let header headers name =
+  List.assoc_opt (String.lowercase_ascii name) headers
+
+let trim = String.trim
+
+let read_headers c =
+  let rec loop n acc =
+    if n > max_headers then Error (Malformed "too many headers")
+    else
+      match read_line ~at_start:false c with
+      | Error e -> Error e
+      | Ok "" -> Ok (List.rev acc)
+      | Ok line -> begin
+        match String.index_opt line ':' with
+        | None | Some 0 -> Error (Malformed "malformed header line")
+        | Some i ->
+          let name = String.lowercase_ascii (String.sub line 0 i) in
+          let value =
+            trim (String.sub line (i + 1) (String.length line - i - 1))
+          in
+          loop (n + 1) ((name, value) :: acc)
+      end
+  in
+  loop 0 []
+
+let read_body ?(max_body = default_max_body) c headers =
+  match header headers "content-length" with
+  | None -> Ok ""
+  | Some v -> begin
+    match int_of_string_opt (trim v) with
+    | None -> Error (Malformed "unparsable Content-Length")
+    | Some n when n < 0 -> Error (Malformed "negative Content-Length")
+    | Some n when n > max_body -> Error (Too_large n)
+    | Some n -> read_exact c n
+  end
+
+let ( let* ) = Result.bind
+
+let read_request ?max_body c =
+  let* line = read_line ~at_start:true c in
+  let* meth, target, version =
+    match String.split_on_char ' ' line with
+    | [ meth; target; version ]
+      when meth <> "" && target <> ""
+           && (version = "HTTP/1.1" || version = "HTTP/1.0") ->
+      Ok (meth, target, version)
+    | _ -> Error (Malformed (Printf.sprintf "malformed request line %S" line))
+  in
+  let path, query =
+    match String.index_opt target '?' with
+    | None -> (target, "")
+    | Some i ->
+      ( String.sub target 0 i,
+        String.sub target (i + 1) (String.length target - i - 1) )
+  in
+  let* headers = read_headers c in
+  let* body = read_body ?max_body c headers in
+  Ok { meth; path; query; version; headers; body }
+
+let read_response ?max_body c =
+  let* line = read_line ~at_start:true c in
+  let* status, reason =
+    match String.split_on_char ' ' line with
+    | version :: code :: rest
+      when String.length version >= 5 && String.sub version 0 5 = "HTTP/" -> begin
+      match int_of_string_opt code with
+      | Some status -> Ok (status, String.concat " " rest)
+      | None -> Error (Malformed (Printf.sprintf "malformed status line %S" line))
+    end
+    | _ -> Error (Malformed (Printf.sprintf "malformed status line %S" line))
+  in
+  let* resp_headers = read_headers c in
+  let* resp_body = read_body ?max_body c resp_headers in
+  Ok { status; reason; resp_headers; resp_body }
+
+let keep_alive r =
+  match (r.version, Option.map String.lowercase_ascii (header r.headers "connection")) with
+  | _, Some "close" -> false
+  | "HTTP/1.0", other -> other = Some "keep-alive"
+  | _, _ -> true
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 413 -> "Payload Too Large"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
+  | _ -> "Unknown"
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let rec loop off =
+    if off < Bytes.length b then
+      let n = Unix.write fd b off (Bytes.length b - off) in
+      loop (off + n)
+  in
+  loop 0
+
+let assemble ~first_line ~headers ~content_type body =
+  let b = Buffer.create (256 + String.length body) in
+  Buffer.add_string b first_line;
+  Buffer.add_string b "\r\n";
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b k;
+      Buffer.add_string b ": ";
+      Buffer.add_string b v;
+      Buffer.add_string b "\r\n")
+    (("Content-Type", content_type)
+    :: ("Content-Length", string_of_int (String.length body))
+    :: headers);
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b body;
+  Buffer.contents b
+
+let write_response fd ?(headers = []) ?(content_type = "application/json")
+    ~status body =
+  let first_line =
+    Printf.sprintf "HTTP/1.1 %d %s" status (reason_phrase status)
+  in
+  (* a peer that hung up mustn't kill the handler thread *)
+  try write_all fd (assemble ~first_line ~headers ~content_type body)
+  with Unix.Unix_error _ -> ()
+
+let write_request fd ?(headers = []) ?(content_type = "application/json")
+    ~meth ~path body =
+  let first_line = Printf.sprintf "%s %s HTTP/1.1" meth path in
+  write_all fd (assemble ~first_line ~headers ~content_type body)

@@ -1,0 +1,220 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let parse (s : string) : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let string_body () =
+    let b = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+        advance ();
+        Buffer.contents b
+      | '\\' ->
+        advance ();
+        if !pos >= n then fail "bad escape";
+        (match s.[!pos] with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          if !pos + 4 >= n then fail "bad unicode escape";
+          let code =
+            match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+            | Some c -> c
+            | None -> fail "bad unicode escape"
+          in
+          pos := !pos + 4;
+          if code < 0x80 then Buffer.add_char b (Char.chr code)
+          else Buffer.add_string b (Printf.sprintf "<u+%04x>" code)
+        | c -> fail (Printf.sprintf "bad escape \\%c" c));
+        advance ();
+        loop ()
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        loop ()
+    in
+    loop ()
+  in
+  let number () =
+    let start = !pos in
+    let is_num = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else
+        let rec fields acc =
+          skip_ws ();
+          expect '"';
+          let k = string_body () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected , or } in object"
+        in
+        fields []
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else
+        let rec items acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ] in array"
+        in
+        items []
+    | Some '"' ->
+      advance ();
+      Str (string_body ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let parse_result s =
+  match parse s with v -> Ok v | exception Parse_error m -> Error m
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let add_num b f =
+  if Float.is_nan f || Float.abs f = infinity then Buffer.add_string b "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" f)
+  else Buffer.add_string b (Printf.sprintf "%.12g" f)
+
+let to_string v =
+  let b = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Num f -> add_num b f
+    | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | Arr items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          go v)
+        items;
+      Buffer.add_char b ']'
+    | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          go v)
+        fields;
+      Buffer.add_char b '}'
+  in
+  go v;
+  Buffer.contents b
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let mem k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let str = function Str s -> s | _ -> invalid_arg "Json.str"
+let num = function Num f -> f | _ -> invalid_arg "Json.num"
+let str_opt = function Str s -> Some s | _ -> None
+let num_opt = function Num f -> Some f | _ -> None
+let list_opt = function Arr l -> Some l | _ -> None

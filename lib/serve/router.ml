@@ -1,0 +1,422 @@
+module Pool = Flames_engine.Pool
+module Cache = Flames_engine.Cache
+module Budget = Flames_core.Budget
+module Model = Flames_core.Model
+module Diagnose = Flames_core.Diagnose
+module Err = Flames_core.Err
+module Interval = Flames_fuzzy.Interval
+module Netlist = Flames_circuit.Netlist
+module Library = Flames_circuit.Library
+module Parser = Flames_circuit.Parser
+module Fault = Flames_circuit.Fault
+module Q = Flames_circuit.Quantity
+module Metrics = Flames_obs.Metrics
+
+type deps = {
+  pool : Pool.t;
+  cache : Cache.t;
+  admission : Admission.t;
+  draining : unit -> bool;
+  default_wall : float;
+  max_wall : float;
+}
+
+type reply = {
+  status : int;
+  headers : (string * string) list;
+  content_type : string;
+  body : string;
+}
+
+let json_reply ?(headers = []) status j =
+  {
+    status;
+    headers;
+    content_type = "application/json";
+    body = Json.to_string j ^ "\n";
+  }
+
+(* One line, echoing the CLI's one-line stderr discipline. *)
+let json_error ?headers status message =
+  json_reply ?headers status (Json.Obj [ ("error", Json.Str message) ])
+
+let text_reply status body =
+  { status; headers = []; content_type = "text/plain; charset=utf-8"; body }
+
+(* {1 Diagnose request parsing} *)
+
+type spec = {
+  label : string;
+  nominal : Netlist.t;
+  faulty : Netlist.t;
+  probes : string list;
+  observations : (Q.t * Interval.t) list option;
+  trusted : string list;
+  imprecision : float;
+  wall_ms : float option;
+}
+
+let bad fmt = Printf.ksprintf (fun m -> Error m) fmt
+let ( let* ) = Result.bind
+
+let resolve_circuit ~circuit ~netlist =
+  match (circuit, netlist) with
+  | Some name, _ -> begin
+    match List.assoc_opt name Library.builtins with
+    | Some f -> Ok (name, f ())
+    | None ->
+      bad "unknown circuit %S (available: %s)" name
+        (String.concat ", " (List.map fst Library.builtins))
+  end
+  | None, Some text -> begin
+    match Parser.parse text with
+    | Ok n -> Ok (n.Netlist.name, n)
+    | Error e -> bad "netlist: %s" (Format.asprintf "%a" Parser.pp_error e)
+  end
+  | None, None -> bad "request needs a \"circuit\" name or \"netlist\" text"
+
+let inject_fault nominal = function
+  | None -> Ok nominal
+  | Some spec ->
+    let* fault = Fault.of_spec spec in
+    (match Fault.inject nominal fault with
+    | faulty -> Ok faulty
+    | exception Not_found -> bad "no such component/parameter in %S" spec)
+
+let check_probes netlist probes =
+  let nodes = Netlist.nodes netlist in
+  match List.find_opt (fun p -> not (List.mem p nodes)) probes with
+  | Some p -> bad "unknown probe node %S" p
+  | None -> Ok probes
+
+let interval_of_json j =
+  let field k = Option.bind (Json.mem k j) Json.num_opt in
+  match (field "value", field "m1", field "m2") with
+  | Some v, _, _ -> begin
+    match field "spread" with
+    | Some s when s > 0. -> Ok (Interval.number v ~spread:s)
+    | _ -> Ok (Interval.crisp v)
+  end
+  | None, Some m1, Some m2 ->
+    let alpha = Option.value ~default:0. (field "alpha") in
+    let beta = Option.value ~default:0. (field "beta") in
+    (match Interval.make ~m1 ~m2 ~alpha ~beta with
+    | v -> Ok v
+    | exception Interval.Invalid m -> bad "bad observation interval: %s" m)
+  | None, _, _ -> bad "observation needs \"value\" or \"m1\"/\"m2\""
+
+let observations_of_json netlist = function
+  | None -> Ok None
+  | Some (Json.Arr items) ->
+    let nodes = Netlist.nodes netlist in
+    let rec loop acc = function
+      | [] -> Ok (Some (List.rev acc))
+      | item :: rest -> begin
+        match Option.bind (Json.mem "node" item) Json.str_opt with
+        | None -> bad "observation needs a \"node\""
+        | Some node when not (List.mem node nodes) ->
+          bad "unknown observation node %S" node
+        | Some node ->
+          let* v = interval_of_json item in
+          loop ((Q.voltage node, v) :: acc) rest
+      end
+    in
+    loop [] items
+  | Some _ -> bad "\"observations\" must be an array"
+
+let str_list_field j key =
+  match Json.mem key j with
+  | None -> Ok []
+  | Some (Json.Arr items) ->
+    let rec loop acc = function
+      | [] -> Ok (List.rev acc)
+      | Json.Str s :: rest -> loop (s :: acc) rest
+      | _ -> bad "%S must be an array of strings" key
+    in
+    loop [] items
+  | Some _ -> bad "%S must be an array of strings" key
+
+let spec_of_json j =
+  let str_field k = Option.bind (Json.mem k j) Json.str_opt in
+  let num_field k = Option.bind (Json.mem k j) Json.num_opt in
+  let* label, nominal =
+    resolve_circuit ~circuit:(str_field "circuit") ~netlist:(str_field "netlist")
+  in
+  let* faulty = inject_fault nominal (str_field "fault") in
+  let* probes = str_list_field j "probes" in
+  let* probes = check_probes nominal probes in
+  let* trusted = str_list_field j "trusted" in
+  let* observations = observations_of_json nominal (Json.mem "observations" j) in
+  Ok
+    {
+      label;
+      nominal;
+      faulty;
+      probes;
+      observations;
+      trusted;
+      imprecision = Option.value ~default:0.002 (num_field "imprecision");
+      wall_ms = num_field "budget_ms";
+    }
+
+(* Plain-text body: one batch scenario line,
+   <builtin-circuit> [comp.param=mode] [probe,probe,...] *)
+let spec_of_text line =
+  match
+    String.split_on_char ' ' (String.trim line)
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun f -> f <> "")
+  with
+  | [] -> bad "empty scenario line"
+  | circuit :: fields ->
+    let* label, nominal = resolve_circuit ~circuit:(Some circuit) ~netlist:None in
+    let faults, probes = List.partition (fun f -> String.contains f '=') fields in
+    let* faulty =
+      inject_fault nominal (match faults with [] -> None | s :: _ -> Some s)
+    in
+    let probes =
+      List.concat_map (String.split_on_char ',') probes
+      |> List.filter (fun p -> p <> "")
+    in
+    let* probes = check_probes nominal probes in
+    Ok
+      {
+        label;
+        nominal;
+        faulty;
+        probes;
+        observations = None;
+        trusted = [];
+        imprecision = 0.002;
+        wall_ms = None;
+      }
+
+let spec_of_request (r : Http.request) =
+  (* A JSON spec always opens with '{' and a scenario line never does, so
+     sniff the body first; the content-type only decides the ambiguous
+     (empty-body) cases and lets curl's default form encoding through. *)
+  let is_json =
+    let b = String.trim r.Http.body in
+    (String.length b > 0 && b.[0] = '{')
+    ||
+    match Http.header r.Http.headers "content-type" with
+    | Some ct ->
+      let ct = String.lowercase_ascii ct in
+      let rec contains i =
+        i + 4 <= String.length ct && (String.sub ct i 4 = "json" || contains (i + 1))
+      in
+      contains 0
+    | None -> false
+  in
+  if is_json then
+    let* j = Json.parse_result r.Http.body in
+    spec_of_json j
+  else spec_of_text r.Http.body
+
+(* {1 Diagnose response rendering} *)
+
+let interval_json (v : Interval.t) =
+  Json.Obj
+    [
+      ("m1", Json.Num v.Interval.m1);
+      ("m2", Json.Num v.Interval.m2);
+      ("alpha", Json.Num v.Interval.alpha);
+      ("beta", Json.Num v.Interval.beta);
+    ]
+
+let result_json ~label ~elapsed (r : Diagnose.result) =
+  let opt_num = function Some f -> Json.Num f | None -> Json.Null in
+  Json.Obj
+    [
+      ("circuit", Json.Str label);
+      ("healthy", Json.Bool (Diagnose.healthy r));
+      ("degraded", Json.Bool r.Diagnose.degraded);
+      ( "trips",
+        Json.Arr
+          (List.map (fun t -> Json.Str (Budget.trip_label t)) r.Diagnose.trips) );
+      ("elapsed_ms", Json.Num (elapsed *. 1e3));
+      ( "symptoms",
+        Json.Arr
+          (List.map
+             (fun (s : Diagnose.symptom) ->
+               Json.Obj
+                 [
+                   ("quantity", Json.Str (Q.to_string s.Diagnose.quantity));
+                   ("dc", opt_num s.Diagnose.signed_dc);
+                   ("measured", interval_json s.Diagnose.measured);
+                 ])
+             r.Diagnose.symptoms) );
+      ( "suspects",
+        Json.Arr
+          (List.map
+             (fun (s : Diagnose.suspect) ->
+               Json.Obj
+                 [
+                   ("component", Json.Str s.Diagnose.component);
+                   ("suspicion", Json.Num s.Diagnose.suspicion);
+                   ("explains", Json.Bool s.Diagnose.explains);
+                 ])
+             r.Diagnose.suspects) );
+      ( "diagnoses",
+        Json.Arr
+          (List.map
+             (fun (components, rank) ->
+               Json.Obj
+                 [
+                   ( "components",
+                     Json.Arr (List.map (fun c -> Json.Str c) components) );
+                   ("rank", Json.Num rank);
+                 ])
+             r.Diagnose.diagnoses) );
+      ( "single_faults",
+        Json.Arr
+          (List.map
+             (fun (c, rank) ->
+               Json.Obj [ ("component", Json.Str c); ("rank", Json.Num rank) ])
+             r.Diagnose.single_faults) );
+      ("summary", Json.Str (Flames_core.Report.summary r));
+    ]
+
+(* {1 Handlers} *)
+
+let shed_reply reason retry_after =
+  let label =
+    match reason with
+    | Admission.Saturated -> "admission queue full"
+    | Admission.Throttled -> "client quota exhausted"
+  in
+  json_error
+    ~headers:[ Admission.retry_after_header retry_after ]
+    429
+    (Printf.sprintf "shed: %s, retry later" label)
+
+let diagnose deps (r : Http.request) =
+  match spec_of_request r with
+  | Error m -> json_error 400 m
+  | Ok spec -> begin
+    let client =
+      Option.value ~default:"anonymous"
+        (Http.header r.Http.headers "x-flames-client")
+    in
+    match Admission.admit deps.admission ~client with
+    | Shed { reason; retry_after } -> shed_reply reason retry_after
+    | Admitted ->
+      Fun.protect
+        ~finally:(fun () -> Admission.release deps.admission)
+        (fun () ->
+          Metrics.time Telemetry.request_seconds @@ fun () ->
+          let t0 = Unix.gettimeofday () in
+          let wall =
+            Float.min deps.max_wall
+              (match spec.wall_ms with
+              | Some ms when ms > 0. -> ms /. 1e3
+              | _ -> deps.default_wall)
+          in
+          let budget = Budget.start (Budget.spec ~wall ()) in
+          let config =
+            { Model.default_config with trusted = spec.trusted }
+          in
+          let promise =
+            Pool.submit deps.pool ~label:spec.label ~timeout:wall ~budget
+              (fun () ->
+                let model = Cache.compile deps.cache ~config spec.nominal in
+                let observations =
+                  match spec.observations with
+                  | Some obs -> obs
+                  | None ->
+                    let sol = Flames_sim.Mna.solve spec.faulty in
+                    let instrument =
+                      {
+                        Flames_sim.Measure.relative = spec.imprecision;
+                        floor = 5e-4;
+                      }
+                    in
+                    let quantities =
+                      match spec.probes with
+                      | [] ->
+                        List.filter
+                          (function Q.Node_voltage _ -> true | _ -> false)
+                          (Library.probe_points spec.nominal)
+                      | ps -> List.map Q.voltage ps
+                    in
+                    Flames_sim.Measure.probe_all ~instrument sol quantities
+                in
+                Diagnose.run ~config ~model ~budget spec.nominal observations)
+          in
+          match Pool.await promise with
+          | Ok result ->
+            json_reply 200
+              (result_json ~label:spec.label
+                 ~elapsed:(Unix.gettimeofday () -. t0)
+                 result)
+          | Error (Pool.Failed e) ->
+            json_error 500 (Err.to_string (Err.of_exn e))
+          | Error (Pool.Crashed { attempts }) ->
+            json_error 500
+              (Err.to_string (Err.Worker_crashed { attempts }))
+          | Error Pool.Timed_out ->
+            json_error 504
+              (Printf.sprintf "diagnosis exceeded its %.0f ms budget"
+                 (wall *. 1e3))
+          | Error Pool.Cancelled ->
+            json_error 503 "overloaded: job expired before a worker was free")
+  end
+
+let readyz deps =
+  let admitted = Admission.in_flight deps.admission in
+  let draining = deps.draining () in
+  let ready = (not draining) && admitted < Admission.max_inflight deps.admission in
+  json_reply
+    (if ready then 200 else 503)
+    (Json.Obj
+       [
+         ("ready", Json.Bool ready);
+         ("draining", Json.Bool draining);
+         ("admitted", Json.Num (float_of_int admitted));
+         ( "max_inflight",
+           Json.Num (float_of_int (Admission.max_inflight deps.admission)) );
+         ("queue_depth", Json.Num (float_of_int (Pool.queue_depth deps.pool)));
+         ("in_flight", Json.Num (float_of_int (Pool.in_flight deps.pool)));
+         ("workers", Json.Num (float_of_int (Pool.workers deps.pool)));
+       ])
+
+let version_reply () =
+  json_reply 200
+    (Json.Obj
+       [
+         ("service", Json.Str "flames_serve");
+         ("version", Json.Str Version.current);
+       ])
+
+let handle deps (r : Http.request) =
+  let guarded f =
+    match f () with
+    | reply -> reply
+    | exception e -> json_error 500 (Err.to_string (Err.of_exn e))
+  in
+  let require meth f =
+    if r.Http.meth = meth then guarded f
+    else
+      json_error
+        ~headers:[ ("Allow", meth) ]
+        405
+        (Printf.sprintf "%s does not allow %s" r.Http.path r.Http.meth)
+  in
+  match r.Http.path with
+  | "/diagnose" ->
+    require "POST" (fun () ->
+        if deps.draining () then
+          json_error 503 "draining: not accepting new diagnoses"
+        else diagnose deps r)
+  | "/metrics" ->
+    require "GET" (fun () ->
+        {
+          status = 200;
+          headers = [];
+          content_type = "text/plain; version=0.0.4";
+          body = Flames_obs.Export.prometheus_string ();
+        })
+  | "/healthz" -> require "GET" (fun () -> text_reply 200 "ok\n")
+  | "/readyz" -> require "GET" (fun () -> readyz deps)
+  | "/version" -> require "GET" (fun () -> version_reply ())
+  | path -> json_error 404 (Printf.sprintf "no such route %s" path)

@@ -1,0 +1,57 @@
+(** Request routing and the diagnosis request/response protocol.
+
+    Pure request → reply mapping given the service dependencies; the
+    socket handling lives in {!Server}, so every route (including
+    admission shedding and the error discipline) is unit-testable
+    without a listening socket.
+
+    Routes:
+    - [POST /diagnose] — body is either a JSON object (see below) or a
+      plain-text batch scenario line
+      ([circuit \[comp.param=mode\] \[probe,probe\]]).  Admission-gated:
+      429 with [Retry-After] when the bounded queue is full or the
+      client's token bucket is dry (client id = [X-Flames-Client]
+      header, default ["anonymous"]).
+    - [GET /metrics] — Prometheus text exposition of the registry.
+    - [GET /healthz] — liveness, always 200 while the process serves.
+    - [GET /readyz] — readiness: 503 while draining or saturated, with
+      pool [queue_depth]/[in_flight] introspection in the body.
+    - [GET /version] — the {!Version.current} constant.
+
+    JSON diagnose request fields: [circuit] (built-in name) {e or}
+    [netlist] (netlist source text); optional [fault]
+    ("comp.param=mode"), [probes] (node names), [observations]
+    ([{"node", "value", "spread"}] or trapezoid
+    [{"node", "m1", "m2", "alpha", "beta"}] — bypasses simulation),
+    [trusted] (component names), [imprecision] (relative), [budget_ms]
+    (capped by the server's [max_wall]).
+
+    Error discipline mirrors the CLI's exit codes: malformed input is
+    400 with a one-line [{"error": ...}] (the CLI's exit-2 class),
+    computational failure is 500 (exit-1 class), overload is 429/503,
+    and a budget-degraded diagnosis is still 200 with
+    [degraded: true]. *)
+
+type deps = {
+  pool : Flames_engine.Pool.t;
+  cache : Flames_engine.Cache.t;
+  admission : Admission.t;
+  draining : unit -> bool;
+  default_wall : float;  (** per-request budget when none is asked for *)
+  max_wall : float;  (** server-side cap on the requested budget *)
+}
+
+type reply = {
+  status : int;
+  headers : (string * string) list;
+  content_type : string;
+  body : string;
+}
+
+val handle : deps -> Http.request -> reply
+(** Total: every exception inside a handler becomes a structured 500;
+    nothing escapes to the connection loop. *)
+
+val json_error : ?headers:(string * string) list -> int -> string -> reply
+(** The one-line error reply shape, shared with {!Server}'s protocol
+    errors (400/413). *)

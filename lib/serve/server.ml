@@ -1,0 +1,217 @@
+module Pool = Flames_engine.Pool
+module Cache = Flames_engine.Cache
+module Metrics = Flames_obs.Metrics
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  max_inflight : int;
+  quota_rate : float;
+  quota_burst : float;
+  max_body : int;
+  default_wall : float;
+  max_wall : float;
+  backlog : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 8089;
+    workers = 2;
+    max_inflight = 16;
+    quota_rate = 0.;
+    quota_burst = 10.;
+    max_body = 1024 * 1024;
+    default_wall = 2.;
+    max_wall = 10.;
+    backlog = 64;
+  }
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  pool : Pool.t;
+  deps : Router.deps;
+  stop_flag : bool Atomic.t;
+  active : int Atomic.t;  (* open connections *)
+  mutable accept_thread : Thread.t option;
+  lifecycle : Mutex.t;  (* serialises stop against itself *)
+  mutable stopped : bool;
+}
+
+let port t = t.bound_port
+let draining t = Atomic.get t.stop_flag
+
+(* One connection: parse requests until the peer closes, the protocol
+   breaks, or the server drains.  Handler exceptions cannot reach here
+   (Router.handle is total); protocol errors answer 400/413 and close,
+   mirroring the CLI's one-line exit-2 discipline. *)
+let handle_connection server fd =
+  let conn = Http.conn fd in
+  let respond (r : Http.request) (reply : Router.reply) ~keep =
+    let conn_header = if keep then "keep-alive" else "close" in
+    Http.write_response fd
+      ~headers:(("Connection", conn_header) :: reply.Router.headers)
+      ~content_type:reply.Router.content_type ~status:reply.Router.status
+      reply.Router.body;
+    Metrics.incr
+      (if reply.Router.status < 300 then Telemetry.responses_2xx_total
+       else if reply.Router.status < 500 then Telemetry.responses_4xx_total
+       else Telemetry.responses_5xx_total);
+    ignore r
+  in
+  let rec loop () =
+    if Atomic.get server.stop_flag then ()
+    else
+      match Http.read_request ~max_body:server.config.max_body conn with
+      | Error Http.Eof -> ()
+      | Error (Http.Malformed m) ->
+        let reply = Router.json_error 400 ("malformed request: " ^ m) in
+        Http.write_response fd
+          ~headers:[ ("Connection", "close") ]
+          ~content_type:reply.Router.content_type ~status:reply.Router.status
+          reply.Router.body;
+        Metrics.incr Telemetry.responses_4xx_total
+      | Error (Http.Too_large n) ->
+        let reply =
+          Router.json_error 413
+            (Printf.sprintf "body of %d bytes exceeds the %d byte limit" n
+               server.config.max_body)
+        in
+        Http.write_response fd
+          ~headers:[ ("Connection", "close") ]
+          ~content_type:reply.Router.content_type ~status:reply.Router.status
+          reply.Router.body;
+        Metrics.incr Telemetry.responses_4xx_total
+      | Ok request ->
+        Metrics.incr Telemetry.requests_total;
+        let keep =
+          Http.keep_alive request && not (Atomic.get server.stop_flag)
+        in
+        respond request (Router.handle server.deps request) ~keep;
+        if keep then loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Atomic.decr server.active;
+      Metrics.gauge_add Telemetry.active_connections (-1.))
+    (fun () -> try loop () with Unix.Unix_error _ -> ())
+
+(* Accept loop on its own systhread.  select with a short timeout polls
+   the stop flag so a drain is noticed without a connection arriving;
+   accept failures while draining are the closed socket, anything else
+   is transient (EMFILE under load) and worth surviving. *)
+let accept_loop server =
+  let fd = server.listen_fd in
+  let rec loop () =
+    if Atomic.get server.stop_flag then ()
+    else begin
+      (match Unix.select [ fd ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> begin
+        match Unix.accept ~cloexec:true fd with
+        | client, _addr ->
+          Metrics.incr Telemetry.connections_total;
+          Atomic.incr server.active;
+          Metrics.gauge_add Telemetry.active_connections 1.;
+          ignore (Thread.create (handle_connection server) client)
+        | exception Unix.Unix_error _ -> ()
+      end
+      | exception Unix.Unix_error _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let start ?(config = default_config) () =
+  (* A peer closing mid-write must surface as EPIPE, not kill us. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let pool = Pool.create ~workers:(max 1 config.workers) () in
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     let addr =
+       Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port)
+     in
+     Unix.bind listen_fd addr;
+     Unix.listen listen_fd config.backlog
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     Pool.shutdown pool;
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let stop_flag = Atomic.make false in
+  let admission =
+    Admission.create ~max_inflight:config.max_inflight
+      ~quota_rate:config.quota_rate ~quota_burst:config.quota_burst ()
+  in
+  let deps =
+    {
+      Router.pool;
+      cache = Cache.create ();
+      admission;
+      draining = (fun () -> Atomic.get stop_flag);
+      default_wall = config.default_wall;
+      max_wall = config.max_wall;
+    }
+  in
+  let server =
+    {
+      config;
+      listen_fd;
+      bound_port;
+      pool;
+      deps;
+      stop_flag;
+      active = Atomic.make 0;
+      accept_thread = None;
+      lifecycle = Mutex.create ();
+      stopped = false;
+    }
+  in
+  server.accept_thread <- Some (Thread.create accept_loop server);
+  server
+
+let stop t =
+  Mutex.lock t.lifecycle;
+  let first = not t.stopped in
+  t.stopped <- true;
+  Mutex.unlock t.lifecycle;
+  if first then begin
+    Atomic.set t.stop_flag true;
+    Option.iter Thread.join t.accept_thread;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (* Keep-alive loops notice the flag after at most one request; block
+       until the last connection thread has closed its socket. *)
+    while Atomic.get t.active > 0 do
+      Thread.delay 0.01
+    done;
+    Pool.shutdown t.pool
+  end
+
+let run ?(config = default_config) () =
+  let t = start ~config () in
+  let interrupted = Atomic.make false in
+  let on_signal _ = Atomic.set interrupted true in
+  let previous =
+    List.map
+      (fun s -> (s, Sys.signal s (Sys.Signal_handle on_signal)))
+      [ Sys.sigterm; Sys.sigint ]
+  in
+  Printf.printf "flames_serve %s listening on %s:%d (%d workers)\n%!"
+    Version.current config.host (port t) (max 1 config.workers);
+  while not (Atomic.get interrupted) do
+    Thread.delay 0.1
+  done;
+  prerr_endline "flames_serve: draining";
+  stop t;
+  List.iter (fun (s, behaviour) -> Sys.set_signal s behaviour) previous

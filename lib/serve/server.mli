@@ -1,0 +1,53 @@
+(** The network-facing diagnosis service.
+
+    A {!start}ed server owns a listening TCP socket, a thread accepting
+    connections, one handler thread per connection (keep-alive), and the
+    {!Flames_engine.Pool} the diagnoses run on.  Request semantics live
+    in {!Router}; admission control in {!Admission}; this module is only
+    sockets, threads and lifecycle.
+
+    Shutdown is a {e graceful drain}: {!stop} closes the listening
+    socket (new connections are refused), lets in-flight requests and
+    open keep-alive connections finish — [/readyz] turns 503 and
+    [POST /diagnose] answers 503 immediately so load balancers and
+    clients move on — then shuts the pool down.  [SIGPIPE] is ignored
+    process-wide on {!start}: a client hanging up mid-response must not
+    kill the server. *)
+
+type config = {
+  host : string;  (** bind address, default loopback *)
+  port : int;  (** [0] = ephemeral, read back with {!port} *)
+  workers : int;  (** pool worker domains *)
+  max_inflight : int;  (** admission bound, see {!Admission} *)
+  quota_rate : float;  (** per-client tokens/second, [<= 0] = off *)
+  quota_burst : float;
+  max_body : int;  (** request body cap, bytes (413 beyond) *)
+  default_wall : float;  (** seconds of diagnosis budget per request *)
+  max_wall : float;  (** cap on client-requested [budget_ms] *)
+  backlog : int;  (** listen(2) backlog *)
+}
+
+val default_config : config
+(** [127.0.0.1:8089], 2 workers, [max_inflight = 16], quotas off,
+    1 MiB bodies, 2 s default / 10 s max wall, backlog 64. *)
+
+type t
+
+val start : ?config:config -> unit -> t
+(** Bind, listen and serve in background threads; returns once the
+    socket is accepting.  @raise Unix.Unix_error when the bind fails
+    (address in use, privileged port). *)
+
+val port : t -> int
+(** The bound port — the actual one when [config.port = 0]. *)
+
+val draining : t -> bool
+
+val stop : t -> unit
+(** Graceful drain as described above; blocks until every connection is
+    closed and the pool has shut down.  Idempotent. *)
+
+val run : ?config:config -> unit -> unit
+(** {!start}, then block until [SIGTERM]/[SIGINT], then {!stop} — the
+    [flames serve] subcommand.  Installs signal handlers; meant for a
+    main thread that owns the process. *)

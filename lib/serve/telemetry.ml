@@ -1,0 +1,49 @@
+(* Well-known service metrics, registered in the process-global
+   Flames_obs.Metrics registry so GET /metrics exports them next to the
+   engine counters (same idempotent-by-name discipline as
+   Flames_engine.Telemetry). *)
+
+module Metrics = Flames_obs.Metrics
+
+let requests_total =
+  Metrics.counter "flames_serve_requests_total"
+    ~help:"HTTP requests parsed off a connection"
+
+let responses_2xx_total =
+  Metrics.counter "flames_serve_responses_2xx_total"
+    ~help:"Responses sent with a 2xx status"
+
+let responses_4xx_total =
+  Metrics.counter "flames_serve_responses_4xx_total"
+    ~help:"Responses sent with a 4xx status (bad input, 404, shed)"
+
+let responses_5xx_total =
+  Metrics.counter "flames_serve_responses_5xx_total"
+    ~help:"Responses sent with a 5xx status (run failures, drain)"
+
+let shed_total =
+  Metrics.counter "flames_serve_shed_total"
+    ~help:"Diagnosis requests shed with 429: admission queue full"
+
+let throttled_total =
+  Metrics.counter "flames_serve_throttled_total"
+    ~help:"Diagnosis requests shed with 429: per-client quota exhausted"
+
+let connections_total =
+  Metrics.counter "flames_serve_connections_total"
+    ~help:"TCP connections accepted"
+
+let active_connections =
+  Metrics.gauge "flames_serve_active_connections"
+    ~help:"Connections currently open"
+
+let inflight_jobs =
+  Metrics.gauge "flames_serve_inflight_jobs"
+    ~help:"Admitted diagnosis requests not yet answered"
+
+(* Sub-millisecond to 10 s: a divider diagnosis is ~1 ms, a saturated
+   queue pushes the tail into seconds. *)
+let request_seconds =
+  Metrics.histogram "flames_serve_request_seconds"
+    ~buckets:[ 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.; 3.; 10. ]
+    ~help:"Wall-clock latency of POST /diagnose, admission to response"

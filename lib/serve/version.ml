@@ -1,0 +1,4 @@
+(* The single version constant: flames_cli --version, the Cmdliner
+   man-page header and the server's GET /version all read this. *)
+
+let current = "1.1.0"

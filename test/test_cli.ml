@@ -108,6 +108,17 @@ let test_successes () =
   check_int "list exits 0" 0 code;
   check_bool "list names divider" true (contains out "divider")
 
+let test_version () =
+  (* the one version constant: cmdliner's --version, the serve layer's
+     GET /version and this assertion must never drift apart *)
+  let code, out, _ = run "--version" in
+  check_int "--version exits 0" 0 code;
+  check_bool
+    (Printf.sprintf "--version prints %s (got %S)" Flames_serve.Version.current
+       out)
+    true
+    (contains out Flames_serve.Version.current)
+
 let test_chaos_subcommand () =
   let code, out, _ =
     run "chaos --iters 1 --jobs 2 --workers 2 --seed 7"
@@ -125,6 +136,8 @@ let () =
           Alcotest.test_case "bad arguments exit 2" `Quick test_bad_arguments;
           Alcotest.test_case "run failures exit 1" `Quick test_run_failures;
           Alcotest.test_case "successes exit 0" `Quick test_successes;
+          Alcotest.test_case "--version prints the version" `Quick
+            test_version;
           Alcotest.test_case "chaos subcommand" `Slow test_chaos_subcommand;
         ] );
     ]

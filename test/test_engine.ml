@@ -130,6 +130,66 @@ let test_pool_kill_requeued () =
       | Error _ -> Alcotest.fail "expected success on the second attempt");
       check_int "ran twice" 2 (Atomic.get runs))
 
+(* queue_depth/in_flight are updated a hair after the promise resolves
+   (the worker decrements once the job body returns), so consistency is
+   asserted by polling, not by a single read after await. *)
+let wait_for message pred =
+  let deadline = Unix.gettimeofday () +. 5. in
+  let rec poll () =
+    if pred () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" message
+    else begin
+      Unix.sleepf 0.002;
+      poll ()
+    end
+  in
+  poll ()
+
+let test_pool_introspection () =
+  Pool.with_pool ~workers:1 (fun pool ->
+      check_int "idle queue_depth" 0 (Pool.queue_depth pool);
+      check_int "idle in_flight" 0 (Pool.in_flight pool);
+      let gate = Atomic.make false in
+      let blocker =
+        Pool.submit pool (fun () ->
+            while not (Atomic.get gate) do
+              Unix.sleepf 0.002
+            done)
+      in
+      wait_for "the blocker to start" (fun () -> Pool.in_flight pool = 1);
+      let queued = List.init 3 (fun i -> Pool.submit pool (fun () -> i)) in
+      check_int "queued behind the blocker" 3 (Pool.queue_depth pool);
+      check_int "one running" 1 (Pool.in_flight pool);
+      Atomic.set gate true;
+      (match Pool.await blocker with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "blocker failed");
+      List.iteri
+        (fun i p ->
+          match Pool.await p with
+          | Ok v -> check_int "queued job result" i v
+          | Error _ -> Alcotest.fail "queued job failed")
+        queued;
+      wait_for "everything drained" (fun () ->
+          Pool.queue_depth pool = 0 && Pool.in_flight pool = 0))
+
+let test_pool_introspection_crash () =
+  Pool.with_pool ~workers:1 ~crash_retries:0 (fun pool ->
+      let p = Pool.submit pool (fun () -> raise Pool.Kill_worker) in
+      (match Pool.await p with
+      | Error (Pool.Crashed _) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected Crashed");
+      (* the supervision wrapper un-counts the dead worker's job *)
+      wait_for "in_flight back to 0 after the crash" (fun () ->
+          Pool.queue_depth pool = 0 && Pool.in_flight pool = 0);
+      match Pool.await (Pool.submit pool (fun () -> 7)) with
+      | Ok v ->
+        check_int "respawned worker answers" 7 v;
+        wait_for "counters settle on the respawned worker" (fun () ->
+            Pool.queue_depth pool = 0 && Pool.in_flight pool = 0)
+      | Error _ -> Alcotest.fail "pool dead after the crash")
+
 let test_pool_shutdown_now_cancels () =
   let pool = Pool.create ~workers:1 () in
   let blocker = Pool.submit pool (fun () -> Unix.sleepf 0.2; 1) in
@@ -367,6 +427,10 @@ let () =
             test_pool_shutdown_drains;
           Alcotest.test_case "kill: crashed after retries" `Quick
             test_pool_kill_crashed;
+          Alcotest.test_case "queue_depth/in_flight introspection" `Quick
+            test_pool_introspection;
+          Alcotest.test_case "introspection across a crash" `Quick
+            test_pool_introspection_crash;
           Alcotest.test_case "kill: requeue succeeds" `Quick
             test_pool_kill_requeued;
           Alcotest.test_case "shutdown_now cancels queued" `Quick

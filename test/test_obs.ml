@@ -1,10 +1,10 @@
 (* flames_obs: metrics registry semantics, span tracer invariants, the
    Chrome trace_event and Prometheus exporters, and the leveled logger.
 
-   The exporter tests parse the emitted JSON with a minimal in-test
-   parser (the repo deliberately has no JSON dependency) and check the
-   schema invariants Perfetto relies on: every B event has a matching E
-   on the same track, and timestamps are monotone per track. *)
+   The exporter tests parse the emitted JSON with Flames_serve.Json
+   (the repo deliberately has no JSON dependency) and check the schema
+   invariants Perfetto relies on: every B event has a matching E on the
+   same track, and timestamps are monotone per track. *)
 
 module Metrics = Flames_obs.Metrics
 module Trace = Flames_obs.Trace
@@ -16,162 +16,10 @@ let contains s sub =
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
   m = 0 || go 0
 
-(* {1 A minimal JSON parser, for validating exporter output} *)
+(* The exporter assertions parse JSON with the service's own parser —
+   promoted from the in-test module this file used to carry. *)
 
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | Arr of t list
-    | Obj of (string * t) list
-
-  exception Parse_error of string
-
-  let parse (s : string) : t =
-    let n = String.length s in
-    let pos = ref 0 in
-    let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let advance () = incr pos in
-    let rec skip_ws () =
-      match peek () with
-      | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-      | _ -> ()
-    in
-    let expect c =
-      if peek () = Some c then advance ()
-      else fail (Printf.sprintf "expected %c" c)
-    in
-    let literal word v =
-      let l = String.length word in
-      if !pos + l <= n && String.sub s !pos l = word then begin
-        pos := !pos + l;
-        v
-      end
-      else fail ("expected " ^ word)
-    in
-    let string_body () =
-      let b = Buffer.create 16 in
-      let rec loop () =
-        if !pos >= n then fail "unterminated string";
-        match s.[!pos] with
-        | '"' ->
-          advance ();
-          Buffer.contents b
-        | '\\' ->
-          advance ();
-          if !pos >= n then fail "bad escape";
-          (match s.[!pos] with
-          | '"' -> Buffer.add_char b '"'
-          | '\\' -> Buffer.add_char b '\\'
-          | '/' -> Buffer.add_char b '/'
-          | 'n' -> Buffer.add_char b '\n'
-          | 't' -> Buffer.add_char b '\t'
-          | 'r' -> Buffer.add_char b '\r'
-          | 'b' -> Buffer.add_char b '\b'
-          | 'f' -> Buffer.add_char b '\012'
-          | 'u' ->
-            if !pos + 4 >= n then fail "bad unicode escape";
-            let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
-            pos := !pos + 4;
-            if code < 0x80 then Buffer.add_char b (Char.chr code)
-            else Buffer.add_string b (Printf.sprintf "<u+%04x>" code)
-          | c -> fail (Printf.sprintf "bad escape \\%c" c));
-          advance ();
-          loop ()
-        | c ->
-          Buffer.add_char b c;
-          advance ();
-          loop ()
-      in
-      loop ()
-    in
-    let number () =
-      let start = !pos in
-      let is_num = function
-        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-        | _ -> false
-      in
-      while !pos < n && is_num s.[!pos] do
-        advance ()
-      done;
-      match float_of_string_opt (String.sub s start (!pos - start)) with
-      | Some f -> Num f
-      | None -> fail "bad number"
-    in
-    let rec value () =
-      skip_ws ();
-      match peek () with
-      | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          Obj []
-        end
-        else
-          let rec fields acc =
-            skip_ws ();
-            expect '"';
-            let k = string_body () in
-            skip_ws ();
-            expect ':';
-            let v = value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              advance ();
-              fields ((k, v) :: acc)
-            | Some '}' ->
-              advance ();
-              Obj (List.rev ((k, v) :: acc))
-            | _ -> fail "expected , or } in object"
-          in
-          fields []
-      | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          Arr []
-        end
-        else
-          let rec items acc =
-            let v = value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              advance ();
-              items (v :: acc)
-            | Some ']' ->
-              advance ();
-              Arr (List.rev (v :: acc))
-            | _ -> fail "expected , or ] in array"
-          in
-          items []
-      | Some '"' ->
-        advance ();
-        Str (string_body ())
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some 'n' -> literal "null" Null
-      | Some _ -> number ()
-      | None -> fail "unexpected end of input"
-    in
-    let v = value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing garbage";
-    v
-
-  let mem k = function Obj fields -> List.assoc_opt k fields | _ -> None
-
-  let str = function Str s -> s | _ -> invalid_arg "Json.str"
-  let num = function Num f -> f | _ -> invalid_arg "Json.num"
-end
+module Json = Flames_serve.Json
 
 (* {1 Metrics} *)
 

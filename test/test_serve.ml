@@ -1,0 +1,405 @@
+(* flames_serve: the JSON module, the HTTP parser over pipes, admission
+   control with an injected clock, and a loopback end-to-end exercise of
+   the whole service — diagnose, metrics scrape, protocol errors,
+   quotas, graceful drain. *)
+
+module Json = Flames_serve.Json
+module Http = Flames_serve.Http
+module Admission = Flames_serve.Admission
+module Server = Flames_serve.Server
+module Version = Flames_serve.Version
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* {1 Json} *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("nil", Json.Null);
+        ("yes", Json.Bool true);
+        ("n", Json.Num 42.);
+        ("x", Json.Num 0.125);
+        ("s", Json.Str "quote \" backslash \\ newline \n tab \t");
+        ("a", Json.Arr [ Json.Num 1.; Json.Str "two"; Json.Bool false ]);
+        ("o", Json.Obj [ ("k", Json.Str "v") ]);
+      ]
+  in
+  let text = Json.to_string v in
+  check_bool "roundtrip" true (Json.parse text = v);
+  check_string "integral numbers print bare" "42" (Json.to_string (Json.Num 42.));
+  check_string "non-finite prints null" "null" (Json.to_string (Json.Num Float.nan))
+
+let test_json_errors () =
+  let bad s =
+    match Json.parse_result s with
+    | Ok _ -> Alcotest.failf "parsed %S" s
+    | Error m -> check_bool "error mentions a position" true (contains m "at ")
+  in
+  bad "{";
+  bad "[1,]";
+  bad "tru";
+  bad "\"unterminated";
+  bad "1 2";
+  bad ""
+
+let test_json_accessors () =
+  let j = Json.parse {|{"a": 1.5, "s": "x", "l": [1]}|} in
+  check_bool "mem hit" true (Json.mem "a" j = Some (Json.Num 1.5));
+  check_bool "mem miss" true (Json.mem "zz" j = None);
+  check_string "str" "x" (Json.str (Json.Str "x"));
+  check_bool "num" true (Json.num (Json.Num 1.5) = 1.5);
+  check_bool "str_opt on num" true (Json.str_opt (Json.Num 1.) = None);
+  check_bool "num_opt" true (Json.num_opt (Json.Num 2.) = Some 2.);
+  check_bool "list_opt" true (Json.list_opt (Json.Arr []) = Some []);
+  (match Json.str (Json.Num 1.) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "str on a number must raise")
+
+(* {1 Http over a pipe} *)
+
+let with_bytes bytes f =
+  let r, w = Unix.pipe ~cloexec:true () in
+  let n = String.length bytes in
+  let written = Unix.write_substring w bytes 0 n in
+  check_int "test bytes fit the pipe buffer" n written;
+  Unix.close w;
+  Fun.protect ~finally:(fun () -> Unix.close r) (fun () -> f (Http.conn r))
+
+let test_http_requests () =
+  (* two pipelined keep-alive requests, then a clean EOF *)
+  let bytes =
+    "POST /diagnose?x=1 HTTP/1.1\r\nHost: t\r\nX-Flames-Client: c7\r\n\
+     Content-Length: 4\r\n\r\nbodyGET /healthz HTTP/1.0\r\n\r\n"
+  in
+  with_bytes bytes (fun conn ->
+      (match Http.read_request conn with
+      | Ok r ->
+        check_string "meth" "POST" r.Http.meth;
+        check_string "path" "/diagnose" r.Http.path;
+        check_string "query" "x=1" r.Http.query;
+        check_string "body" "body" r.Http.body;
+        check_bool "header lookup is case-insensitive" true
+          (Http.header r.Http.headers "x-flames-CLIENT" = Some "c7");
+        check_bool "1.1 keeps alive" true (Http.keep_alive r)
+      | Error _ -> Alcotest.fail "first request must parse");
+      (match Http.read_request conn with
+      | Ok r ->
+        check_string "second meth" "GET" r.Http.meth;
+        check_string "second body" "" r.Http.body;
+        check_bool "1.0 closes by default" false (Http.keep_alive r)
+      | Error _ -> Alcotest.fail "second request must parse");
+      match Http.read_request conn with
+      | Error Http.Eof -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected a clean EOF")
+
+let test_http_malformed () =
+  with_bytes "NOT-AN-HTTP-REQUEST\r\n\r\n" (fun conn ->
+      match Http.read_request conn with
+      | Error (Http.Malformed _) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected Malformed");
+  with_bytes "GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n" (fun conn ->
+      match Http.read_request conn with
+      | Error (Http.Malformed _) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected Malformed header")
+
+let test_http_too_large () =
+  (* rejected from Content-Length alone: the body bytes are not there *)
+  with_bytes "POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n" (fun conn ->
+      match Http.read_request ~max_body:64 conn with
+      | Error (Http.Too_large n) -> check_int "declared size" 999 n
+      | Ok _ | Error _ -> Alcotest.fail "expected Too_large")
+
+let test_http_response_roundtrip () =
+  let r, w = Unix.pipe ~cloexec:true () in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close r;
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () ->
+      Http.write_response w
+        ~headers:[ ("Retry-After", "1") ]
+        ~status:429 {|{"error":"shed"}|};
+      Unix.close w;
+      match Http.read_response (Http.conn r) with
+      | Ok resp ->
+        check_int "status" 429 resp.Http.status;
+        check_string "reason" "Too Many Requests" resp.Http.reason;
+        check_bool "header" true
+          (Http.header resp.Http.resp_headers "retry-after" = Some "1");
+        check_string "body" {|{"error":"shed"}|} resp.Http.resp_body
+      | Error _ -> Alcotest.fail "response must parse")
+
+(* {1 Admission} *)
+
+let test_admission_saturation () =
+  let a = Admission.create ~max_inflight:2 () in
+  check_bool "first admitted" true (Admission.admit a ~client:"a" = Admission.Admitted);
+  check_bool "second admitted" true (Admission.admit a ~client:"b" = Admission.Admitted);
+  (match Admission.admit a ~client:"c" with
+  | Admission.Shed { reason = Admission.Saturated; retry_after } ->
+    check_bool "retry_after positive" true (retry_after > 0.)
+  | Admission.Admitted | Admission.Shed _ -> Alcotest.fail "expected Saturated");
+  check_int "in_flight" 2 (Admission.in_flight a);
+  Admission.release a;
+  check_bool "slot freed" true (Admission.admit a ~client:"c" = Admission.Admitted)
+
+let test_admission_quota () =
+  let now = ref 0. in
+  let a =
+    Admission.create ~now:(fun () -> !now) ~max_inflight:100 ~quota_rate:1.
+      ~quota_burst:2. ()
+  in
+  (* burst of 2, then dry; other clients have their own buckets *)
+  check_bool "burst 1" true (Admission.admit a ~client:"x" = Admission.Admitted);
+  check_bool "burst 2" true (Admission.admit a ~client:"x" = Admission.Admitted);
+  (match Admission.admit a ~client:"x" with
+  | Admission.Shed { reason = Admission.Throttled; retry_after } ->
+    check_bool "refill eta about 1s" true
+      (retry_after > 0.9 && retry_after <= 1.0)
+  | Admission.Admitted | Admission.Shed _ -> Alcotest.fail "expected Throttled");
+  check_bool "other client unaffected" true
+    (Admission.admit a ~client:"y" = Admission.Admitted);
+  (* one token back after one second on the fake clock *)
+  now := 1.0;
+  check_bool "refilled" true (Admission.admit a ~client:"x" = Admission.Admitted);
+  check_bool "only one token refilled" true
+    (match Admission.admit a ~client:"x" with
+    | Admission.Shed { reason = Admission.Throttled; _ } -> true
+    | Admission.Admitted | Admission.Shed _ -> false)
+
+let test_retry_after_header () =
+  check_bool "rounded up" true
+    (Admission.retry_after_header 3.2 = ("Retry-After", "4"));
+  check_bool "at least one second" true
+    (Admission.retry_after_header 0.05 = ("Retry-After", "1"))
+
+(* {1 Loopback end-to-end} *)
+
+let request ~port ?(meth = "GET") ?(headers = []) ?content_type ?(body = "")
+    path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Http.write_request fd ~headers ?content_type ~meth ~path body;
+      match Http.read_response (Http.conn fd) with
+      | Ok r -> r
+      | Error _ -> Alcotest.fail "no parsable response")
+
+let with_server ?config f =
+  let server = Server.start ?config () in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
+
+let body_json (r : Http.response) =
+  match Json.parse_result r.Http.resp_body with
+  | Ok j -> j
+  | Error m -> Alcotest.failf "response body is not JSON (%s): %s" m r.Http.resp_body
+
+let one_line s =
+  String.length s > 0
+  && s.[String.length s - 1] = '\n'
+  && not (String.contains (String.sub s 0 (String.length s - 1)) '\n')
+
+let ephemeral = { Server.default_config with port = 0; workers = 1 }
+
+let test_e2e_probes () =
+  with_server ~config:ephemeral (fun server ->
+      let port = Server.port server in
+      let health = request ~port "/healthz" in
+      check_int "healthz" 200 health.Http.status;
+      check_string "healthz body" "ok\n" health.Http.resp_body;
+      let version = request ~port "/version" in
+      check_int "version status" 200 version.Http.status;
+      check_bool "version body" true
+        (contains version.Http.resp_body Version.current);
+      let ready = request ~port "/readyz" in
+      check_int "readyz" 200 ready.Http.status;
+      let j = body_json ready in
+      check_bool "ready" true (Json.mem "ready" j = Some (Json.Bool true));
+      check_bool "pool introspection exposed" true
+        (Json.mem "queue_depth" j <> None && Json.mem "in_flight" j <> None);
+      let missing = request ~port "/no-such" in
+      check_int "404" 404 missing.Http.status;
+      let wrong = request ~port ~meth:"POST" "/healthz" in
+      check_int "405" 405 wrong.Http.status;
+      check_bool "Allow header" true
+        (Http.header wrong.Http.resp_headers "allow" = Some "GET"))
+
+let test_e2e_diagnose () =
+  with_server ~config:ephemeral (fun server ->
+      let port = Server.port server in
+      let resp =
+        request ~port ~meth:"POST" "/diagnose"
+          ~body:{|{"circuit": "divider", "fault": "r2.R=short"}|}
+      in
+      check_int "diagnose status" 200 resp.Http.status;
+      let j = body_json resp in
+      check_bool "not healthy" true
+        (Json.mem "healthy" j = Some (Json.Bool false));
+      check_bool "r2 suspected" true (contains resp.Http.resp_body "r2");
+      check_bool "latency reported" true
+        (match Option.bind (Json.mem "elapsed_ms" j) Json.num_opt with
+        | Some ms -> ms >= 0.
+        | None -> false);
+      (* same scenario as a plain-text batch line *)
+      let text =
+        request ~port ~meth:"POST" "/diagnose" ~content_type:"text/plain"
+          ~body:"divider r2.R=short"
+      in
+      check_int "text-line status" 200 text.Http.status;
+      check_bool "text-line diagnoses r2" true (contains text.Http.resp_body "r2");
+      (* `curl -d` sends a form content-type: a '{'-opening body must
+         still be read as JSON, so the README example works verbatim *)
+      let curlish =
+        request ~port ~meth:"POST" "/diagnose"
+          ~content_type:"application/x-www-form-urlencoded"
+          ~body:{|{"circuit": "divider", "fault": "r2.R=short"}|}
+      in
+      check_int "form-encoded JSON status" 200 curlish.Http.status;
+      check_bool "form-encoded JSON diagnoses r2" true
+        (contains curlish.Http.resp_body "r2");
+      (* client-supplied observations bypass the simulator: a divider
+         with mid at 2 V instead of the nominal 5 V is conflicted *)
+      let netlist =
+        ".circuit t\n.ground gnd\nV vs in gnd 10\nR r1 in mid 10k\nR r2 mid \
+         gnd 10k\n"
+      in
+      let obs_body =
+        Json.to_string
+          (Json.Obj
+             [
+               ("netlist", Json.Str netlist);
+               ( "observations",
+                 Json.Arr
+                   [
+                     Json.Obj
+                       [
+                         ("node", Json.Str "mid");
+                         ("value", Json.Num 2.);
+                         ("spread", Json.Num 0.05);
+                       ];
+                   ] );
+             ])
+      in
+      let obs = request ~port ~meth:"POST" "/diagnose" ~body:obs_body in
+      check_int "netlist+observations status" 200 obs.Http.status;
+      check_bool "observation conflicts" true
+        (Json.mem "healthy" (body_json obs) = Some (Json.Bool false));
+      (* the scrape sees the requests that just ran *)
+      let metrics = request ~port "/metrics" in
+      check_int "metrics status" 200 metrics.Http.status;
+      check_bool "serve counters exported" true
+        (contains metrics.Http.resp_body "flames_serve_requests_total"))
+
+let test_e2e_input_errors () =
+  with_server ~config:ephemeral (fun server ->
+      let port = Server.port server in
+      let expect_400 name body mentions =
+        let r = request ~port ~meth:"POST" "/diagnose" ~body in
+        check_int (name ^ " status") 400 r.Http.status;
+        check_bool (name ^ " one-line error") true (one_line r.Http.resp_body);
+        check_bool
+          (Printf.sprintf "%s mentions %S (got %S)" name mentions
+             r.Http.resp_body)
+          true
+          (contains r.Http.resp_body mentions)
+      in
+      expect_400 "bad json" {|{"circuit": }|} "error";
+      expect_400 "unknown circuit" {|{"circuit": "nope"}|} "unknown circuit";
+      expect_400 "bad fault" {|{"circuit": "divider", "fault": "bogus"}|}
+        "bad fault spec";
+      expect_400 "unknown component"
+        {|{"circuit": "divider", "fault": "r9.R=short"}|} "no such component";
+      expect_400 "unknown probe" {|{"circuit": "divider", "probes": ["zz"]}|}
+        "unknown probe";
+      expect_400 "neither circuit nor netlist" {|{}|} "needs";
+      expect_400 "bad netlist" {|{"netlist": "R broken\n"}|} "netlist")
+
+let test_e2e_limits () =
+  let config =
+    {
+      ephemeral with
+      max_body = 128;
+      quota_rate = 0.2;
+      quota_burst = 1.;
+    }
+  in
+  with_server ~config (fun server ->
+      let port = Server.port server in
+      let big = String.make 512 'x' in
+      let r = request ~port ~meth:"POST" "/diagnose" ~body:big in
+      check_int "oversized body" 413 r.Http.status;
+      check_bool "413 is one line" true (one_line r.Http.resp_body);
+      (* burst of 1: the second request inside the refill window is
+         throttled with a Retry-After *)
+      let ok =
+        request ~port ~meth:"POST" "/diagnose" ~body:{|{"circuit":"divider"}|}
+      in
+      check_int "first request admitted" 200 ok.Http.status;
+      let shed =
+        request ~port ~meth:"POST" "/diagnose" ~body:{|{"circuit":"divider"}|}
+      in
+      check_int "second request throttled" 429 shed.Http.status;
+      check_bool "Retry-After present" true
+        (Http.header shed.Http.resp_headers "retry-after" <> None))
+
+let test_e2e_drain () =
+  let server = Server.start ~config:ephemeral () in
+  let port = Server.port server in
+  check_int "alive before the drain" 200 (request ~port "/healthz").Http.status;
+  check_bool "not draining" false (Server.draining server);
+  Server.stop server;
+  check_bool "draining after stop" true (Server.draining server);
+  (match request ~port "/healthz" with
+  | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ECONNRESET), _, _) ->
+    ()
+  | exception _ -> ()
+  | _ -> Alcotest.fail "the drained server must refuse connections");
+  Server.stop server (* idempotent *)
+
+let () =
+  Alcotest.run "flames_serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "http",
+        [
+          Alcotest.test_case "pipelined requests" `Quick test_http_requests;
+          Alcotest.test_case "malformed input" `Quick test_http_malformed;
+          Alcotest.test_case "body size limit" `Quick test_http_too_large;
+          Alcotest.test_case "response roundtrip" `Quick
+            test_http_response_roundtrip;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "bounded queue sheds" `Quick
+            test_admission_saturation;
+          Alcotest.test_case "token buckets per client" `Quick
+            test_admission_quota;
+          Alcotest.test_case "Retry-After rounding" `Quick
+            test_retry_after_header;
+        ] );
+      ( "e2e",
+        [
+          Alcotest.test_case "probes and routing" `Quick test_e2e_probes;
+          Alcotest.test_case "diagnose over loopback" `Quick test_e2e_diagnose;
+          Alcotest.test_case "input error discipline" `Quick
+            test_e2e_input_errors;
+          Alcotest.test_case "size limit and quotas" `Quick test_e2e_limits;
+          Alcotest.test_case "graceful drain" `Quick test_e2e_drain;
+        ] );
+    ]
