@@ -2,7 +2,7 @@
 # stay green before every commit (tier-1 verify + engine tests + dune-file
 # formatting).
 
-.PHONY: all build test fmt check check-deep chaos corpus bench bench-engine bench-atms bench-serve serve trace clean
+.PHONY: all build test fmt check check-deep chaos corpus bench bench-engine bench-atms bench-session bench-serve serve trace clean
 
 all: build
 
@@ -51,6 +51,11 @@ bench-engine: build
 # add --atms-smoke for the reduced CI variant
 bench-atms: build
 	dune exec bench/main.exe -- --atms-json-only
+
+# incremental troubleshooting sessions vs per-step cold rebuilds over
+# the corpus scenarios (writes BENCH_session.json)
+bench-session: build
+	dune exec bench/main.exe -- --session-json-only
 
 # run the diagnosis service on the default port (SERVE_ARGS appends
 # e.g. --port 9000 --quota-rate 5)

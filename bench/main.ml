@@ -345,9 +345,11 @@ let () =
   let flag f = Array.exists (fun a -> a = f) Sys.argv in
   let engine_json_only = flag "--engine-json-only" in
   let atms_json_only = flag "--atms-json-only" in
+  let session_json_only = flag "--session-json-only" in
   let smoke = flag "--atms-smoke" in
   if engine_json_only then emit_engine_json ()
   else if atms_json_only then Atms_series.emit ~smoke ppf
+  else if session_json_only then Session_series.emit ppf
   else begin
     regenerate_tables ();
     Format.fprintf ppf "================ timing benches ================@.";
@@ -355,5 +357,6 @@ let () =
     let results = run_benchmarks () in
     report results;
     emit_engine_json ();
-    Atms_series.emit ~smoke ppf
+    Atms_series.emit ~smoke ppf;
+    Session_series.emit ppf
   end

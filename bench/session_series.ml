@@ -1,0 +1,186 @@
+(* BENCH_session.json — incremental sessions vs cold rebuilds.
+
+   The paper's section-8 troubleshooting loop alternates measurement and
+   diagnosis on one circuit.  A stateless implementation pays the whole
+   pipeline every round: model compilation, the sensitivity-analysis
+   simulator sweeps, the prediction pass, then propagation and analysis
+   over all measurements so far.  A {!Flames_session.Session} keeps the
+   first three alive and only redoes the per-measurement-set work — with
+   bit-identical results (the session-equivalence oracle).
+
+   This series replays the corpus troubleshooting scenarios step by
+   step, timing each measure→diagnose round both ways, and reports the
+   per-scenario and overall cold/session wall ratios.  Wall clocks are
+   host-dependent; the ratio is the claim. *)
+
+module I = Flames_fuzzy.Interval
+module Q = Flames_circuit.Quantity
+module F = Flames_circuit.Fault
+module L = Flames_circuit.Library
+module Session = Flames_session.Session
+module Diagnose = Flames_core.Diagnose
+
+type scenario = {
+  name : string;
+  circuit : unit -> Flames_circuit.Netlist.t;
+  fault : string;  (** comp.param=mode, ground truth *)
+  probes : string list;  (** measured in order, one diagnose per step *)
+}
+
+(* The corpus/sessions transcripts, as data: the fig-6/7 amplifier hunt
+   and the fig-5/7 diode example, plus the divider smoke case. *)
+let scenarios =
+  [
+    {
+      name = "fig6-amplifier-r2-short";
+      circuit = (fun () -> L.three_stage_amplifier ());
+      fault = "r2.R=short";
+      probes = [ "vs"; "n2"; "v1"; "n1"; "e1" ];
+    };
+    {
+      name = "fig7-diode-vf-high";
+      circuit = (fun () -> L.diode_resistor ~powered:true ());
+      fault = "d1.Vf=high";
+      probes = [ "n1"; "n2" ];
+    };
+    {
+      name = "divider-r2-short";
+      circuit = (fun () -> L.voltage_divider ());
+      fault = "r2.R=short";
+      probes = [ "mid"; "in" ];
+    };
+  ]
+
+let instrument = { Flames_sim.Measure.relative = 0.002; floor = 5e-4 }
+
+let observations_of s =
+  let nominal = s.circuit () in
+  let fault =
+    match F.of_spec s.fault with
+    | Ok f -> f
+    | Error m -> failwith (s.name ^ ": " ^ m)
+  in
+  let sol = Flames_sim.Mna.solve (F.inject nominal fault) in
+  ( nominal,
+    Flames_sim.Measure.probe_all ~instrument sol
+      (List.map Q.voltage s.probes) )
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Per-step wall of the stateless loop: every round re-runs the whole
+   [Diagnose.run] over the measurements so far (compile + sweeps +
+   prediction + propagation + analysis). *)
+let cold_steps nominal observations =
+  List.mapi
+    (fun k _ ->
+      let upto = List.filteri (fun i _ -> i <= k) observations in
+      let _, dt = time (fun () -> ignore (Diagnose.run nominal upto)) in
+      dt)
+    observations
+
+(* Per-step wall of the session loop: one [add_measurement] plus the
+   (lazily rebuilt) [diagnoses]; setup (create = compile + sweeps +
+   prediction + empty rebuild) is reported separately. *)
+let session_steps nominal observations =
+  let session, setup = time (fun () -> Session.create nominal) in
+  let steps =
+    List.map
+      (fun (q, v) ->
+        let _, dt =
+          time (fun () ->
+              ignore (Session.add_measurement session q v);
+              ignore (Session.diagnoses session))
+        in
+        dt)
+      observations
+  in
+  (setup, steps)
+
+(* Best of [reps]: these are millisecond-scale loops, scheduler noise
+   would otherwise dominate the ratio. *)
+let best_of reps f =
+  let rec go best n =
+    if n = 0 then best
+    else
+      let r = f () in
+      let smaller a b = if List.fold_left ( +. ) 0. a <= List.fold_left ( +. ) 0. b then a else b in
+      go (smaller best r) (n - 1)
+  in
+  let first = f () in
+  go first (reps - 1)
+
+let ms dt = dt *. 1e3
+
+let json_floats l =
+  "[" ^ String.concat ", " (List.map (Printf.sprintf "%.3f") l) ^ "]"
+
+type row = {
+  scenario : string;
+  steps : int;
+  cold_ms : float list;
+  session_setup_ms : float;
+  session_ms : float list;
+}
+
+let total = List.fold_left ( +. ) 0.
+
+let row_json r =
+  let cold_total = total r.cold_ms in
+  let session_total = total r.session_ms in
+  Printf.sprintf
+    "    { \"scenario\": %S, \"steps\": %d, \"cold_ms\": %s, \
+     \"session_setup_ms\": %.3f, \"session_ms\": %s, \"cold_total_ms\": \
+     %.3f, \"session_total_ms\": %.3f, \"speedup\": %.2f }"
+    r.scenario r.steps
+    (json_floats (List.map ms r.cold_ms))
+    (ms r.session_setup_ms)
+    (json_floats (List.map ms r.session_ms))
+    (ms cold_total) (ms session_total)
+    (cold_total /. Float.max 1e-9 session_total)
+
+let measure_scenario s =
+  let nominal, observations = observations_of s in
+  let cold_ms = best_of 3 (fun () -> cold_steps nominal observations) in
+  let setup = ref 0. in
+  let session_ms =
+    best_of 3 (fun () ->
+        let su, steps = session_steps nominal observations in
+        setup := su;
+        steps)
+  in
+  {
+    scenario = s.name;
+    steps = List.length observations;
+    cold_ms;
+    session_setup_ms = !setup;
+    session_ms;
+  }
+
+let path = "BENCH_session.json"
+
+let emit ppf =
+  let rows = List.map measure_scenario scenarios in
+  let cold_total = total (List.concat_map (fun r -> r.cold_ms) rows) in
+  let session_total = total (List.concat_map (fun r -> r.session_ms) rows) in
+  let speedup = cold_total /. Float.max 1e-9 session_total in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"series\": \"session-incremental-vs-cold\",\n\
+    \  \"cores\": %d,\n\
+    \  \"scenarios\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"cold_total_ms\": %.3f,\n\
+    \  \"session_total_ms\": %.3f,\n\
+    \  \"speedup\": %.2f\n\
+     }\n"
+    (Domain.recommended_domain_count ())
+    (String.concat ",\n" (List.map row_json rows))
+    (ms cold_total) (ms session_total) speedup;
+  close_out oc;
+  Format.fprintf ppf "wrote %s (per-step session vs cold rebuild: %.1fx)@."
+    path speedup

@@ -601,13 +601,17 @@ let chaos_cmd =
 let serve_cmd =
   let module Server = Flames_serve.Server in
   let run () host port workers max_inflight quota_rate quota_burst max_body
-      default_wall max_wall =
+      default_wall max_wall session_cap session_ttl =
     if workers < 1 then
       die_input "serve: --workers must be >= 1 (got %d)" workers;
     if max_inflight < 1 then
       die_input "serve: --max-inflight must be >= 1 (got %d)" max_inflight;
     if max_body < 1 then
       die_input "serve: --max-body must be >= 1 (got %d)" max_body;
+    if session_cap < 1 then
+      die_input "serve: --session-cap must be >= 1 (got %d)" session_cap;
+    if session_ttl <= 0. then
+      die_input "serve: --session-ttl must be > 0 (got %g)" session_ttl;
     protect @@ fun () ->
     let config =
       {
@@ -621,6 +625,8 @@ let serve_cmd =
         max_body;
         default_wall;
         max_wall;
+        session_cap;
+        session_ttl;
       }
     in
     Server.run ~config ()
@@ -683,18 +689,96 @@ let serve_cmd =
     Arg.(
       value & opt float d.Server.max_wall & info [ "max-wall" ] ~docv:"S" ~doc)
   in
+  let session_cap_arg =
+    let doc =
+      "Live troubleshooting sessions held at once (POST /session/create \
+       answers 429 beyond)."
+    in
+    Arg.(
+      value
+      & opt int d.Server.session_cap
+      & info [ "session-cap" ] ~docv:"N" ~doc)
+  in
+  let session_ttl_arg =
+    let doc = "Idle troubleshooting-session expiry, in seconds." in
+    Arg.(
+      value
+      & opt float d.Server.session_ttl
+      & info [ "session-ttl" ] ~docv:"S" ~doc)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the diagnosis service: POST /diagnose with a JSON request \
           (or a batch scenario line) against the built-in circuits or an \
-          inline netlist, GET /metrics for Prometheus exposition, \
+          inline netlist, POST /session/* for persistent interactive \
+          troubleshooting sessions (create/measure/retract/refine/\
+          diagnoses/next, bounded by --session-cap with an idle \
+          --session-ttl), GET /metrics for Prometheus exposition, \
           /healthz, /readyz and /version.  Overload is shed with 429 and \
           Retry-After; SIGTERM drains gracefully.")
     Term.(
       const run $ obs_term $ host_arg $ port_arg $ workers_arg $ inflight_arg
       $ quota_rate_arg $ quota_burst_arg $ max_body_arg $ default_wall_arg
-      $ max_wall_arg)
+      $ max_wall_arg $ session_cap_arg $ session_ttl_arg)
+
+let troubleshoot_cmd =
+  let module Script = Flames_session.Script in
+  let run () file no_echo max_candidates =
+    protect @@ fun () ->
+    let text =
+      match file with
+      | None | Some "-" -> In_channel.input_all In_channel.stdin
+      | Some path ->
+        if Sys.file_exists path then
+          In_channel.with_open_bin path In_channel.input_all
+        else die_input "troubleshoot: no such script %S" path
+    in
+    match Script.parse text with
+    | Error e -> die_input "troubleshoot: %s" e
+    | Ok commands -> (
+      let session_of netlist =
+        match max_candidates with
+        | None -> Flames_session.Session.create netlist
+        | Some n ->
+          Flames_session.Session.create
+            ~budget_spec:(Flames_core.Budget.spec ~max_candidates:n ())
+            netlist
+      in
+      match Script.run ~echo:(not no_echo) ~session_of commands with
+      | Ok _ -> ()
+      | Error e -> die_run "troubleshoot: %s" e)
+  in
+  let file_arg =
+    let doc =
+      "Troubleshooting script to replay ('-' or absent reads stdin).  One \
+       command per line: circuit, fault, imprecision, probe, measure, \
+       retract, refine, diagnoses, next, status, quit; '#' comments."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SCRIPT" ~doc)
+  in
+  let no_echo_arg =
+    let doc = "Do not echo each command as '> cmd' before its output." in
+    Arg.(value & flag & info [ "no-echo" ] ~doc)
+  in
+  let max_candidates_arg =
+    let doc = "Per-diagnosis candidate budget (degrades, never fails)." in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-candidates" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "troubleshoot"
+       ~doc:
+         "Interactive troubleshooting session (paper section 8): keep one \
+          circuit's compiled model and ATMS state alive while measurements \
+          arrive, retract or refine them, and ask for the ranked diagnosis \
+          and the fuzzy-entropy best next test after any step.  Reads a \
+          script from a file or stdin, so it pipes: echo 'circuit \
+          amplifier' | flames troubleshoot.")
+    Term.(
+      const run $ obs_term $ file_arg $ no_echo_arg $ max_candidates_arg)
 
 let main =
   let info =
@@ -705,7 +789,7 @@ let main =
     [
       bias_cmd; diagnose_cmd; best_test_cmd; ac_cmd; dynamic_diagnose_cmd;
       batch_cmd; show_cmd; list_cmd; serve_cmd; check_cmd; chaos_cmd;
-      obs_demo_cmd;
+      obs_demo_cmd; troubleshoot_cmd;
     ]
 
 let () = exit (Cmd.eval main)

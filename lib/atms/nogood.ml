@@ -39,8 +39,11 @@ let entries db =
                let c =
                  Int.compare (Env.cardinal a.env) (Env.cardinal b.env)
                in
-               (* newest-first on full ties, as the unsorted list had *)
-               if c <> 0 then c else Int.compare b.seq a.seq)
+               (* canonical tiebreak: the view must not depend on the
+                  order conflicts were discovered in, so that a database
+                  grown incrementally (measurements added one at a time)
+                  reads identically to one grown in a single batch *)
+               if c <> 0 then c else Env.compare a.env b.env)
       |> List.map (fun (it : _ Envindex.item) ->
              { env = it.env; degree = it.degree; reason = it.data })
     in

@@ -24,8 +24,10 @@ val record : t -> ?reason:string -> Env.t -> float -> bool
     subsumes everything. *)
 
 val entries : t -> entry list
-(** Current minimal entries, sorted by decreasing degree then by
-    environment cardinality. *)
+(** Current minimal entries, sorted by decreasing degree, then by
+    environment cardinality, then canonically by environment — the view
+    is a pure function of the recorded set, independent of discovery
+    order (so incremental and batch propagation read identically). *)
 
 val inconsistency : t -> Env.t -> float
 (** [inconsistency db env] is the highest degree of any recorded nogood

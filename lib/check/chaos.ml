@@ -244,3 +244,129 @@ let check ?(config = default) seed =
   match run ~config:{ config with seed } () with
   | Ok _ -> Ok ()
   | Error m -> Error m
+
+(* {1 Mid-session fault injection} *)
+
+module Session = Flames_session.Session
+
+let check_session ?(config = default) seed =
+  let cfg = { config with seed } in
+  let rng = Rng.make (Rng.case_seed ~seed:cfg.seed ~case:7001) in
+  let script = Gen.session_script.Gen.gen rng in
+  let pool = Gen.session_pool script.Gen.base in
+  if pool = [] then Ok ()
+  else begin
+    let nominal, _ = Gen.scenario_netlists script.Gen.base in
+    let model = Flames_core.Model.compile nominal in
+    (* the fault point draws from its own deterministic stream; [armed]
+       lets the final equivalence pass run fault-free *)
+    let frng = Rng.make (Rng.case_seed ~seed:cfg.seed ~case:7002) in
+    let armed = ref true in
+    let injected = ref 0 in
+    let fault_point _stage =
+      if !armed && Rng.chance frng 0.35 then begin
+        incr injected;
+        failwith "chaos: injected mid-session fault"
+      end
+    in
+    let session = Session.create ~model ~fault_point nominal in
+    let survivors () =
+      List.map
+        (fun (m : Session.measurement) ->
+          (m.Session.quantity, m.Session.interval))
+        (Session.measurements session)
+    in
+    (* replay the script; every op either succeeds (mirrored) or faults
+       without half-applying — the measurement list must be untouched *)
+    let apply op =
+      let before = Session.measurements session in
+      match
+        (match op with
+        | Gen.S_add i ->
+          let q, v = List.nth pool (i mod List.length pool) in
+          ignore (Session.add_measurement session q v)
+        | Gen.S_retract n -> begin
+          match Session.measurements session with
+          | [] -> ()
+          | ms ->
+            let m = List.nth ms (n mod List.length ms) in
+            ignore (Session.retract session ~id:m.Session.id)
+        end
+        | Gen.S_refine n -> begin
+          match Session.measurements session with
+          | [] -> ()
+          | ms ->
+            let m = List.nth ms (n mod List.length ms) in
+            ignore (Session.refine session ~id:m.Session.id m.Session.interval)
+        end)
+      with
+      | () -> Ok ()
+      | exception Failure _ ->
+        if Session.measurements session = before then Ok ()
+        else fail "faulted op half-applied: measurement list changed"
+    in
+    let* () =
+      List.fold_left
+        (fun acc op -> let* () = acc in apply op)
+        (Ok ()) script.Gen.ops
+    in
+    (* a faulted diagnose must leave the session reusable too *)
+    let* () =
+      match Session.diagnoses session with
+      | _ -> Ok ()
+      | exception Failure _ -> Ok ()
+    in
+    armed := false;
+    (* 1. after any number of mid-session faults, the session still
+       answers, and identically to a from-scratch run over its
+       surviving measurements *)
+    let full = Session.diagnoses session in
+    let reference = Diagnose.run ~model nominal (survivors ()) in
+    let* () =
+      if
+        String.equal
+          (Oracle.result_fingerprint full)
+          (Oracle.result_fingerprint reference)
+      then Ok ()
+      else
+        fail "post-fault session diverges from scratch run (%d faults)"
+          !injected
+    in
+    (* 2. a budget trip mid-session degrades one answer soundly and is
+       not cached: the session keeps answering afterwards *)
+    match cfg.budget_candidates with
+    | None -> Ok ()
+    | Some quota ->
+      let budgeted =
+        Session.create ~model
+          ~budget_spec:(Budget.spec ~max_candidates:quota ())
+          nominal
+      in
+      List.iter
+        (fun (q, v) -> ignore (Session.add_measurement budgeted q v))
+        (survivors ());
+      let part = Session.diagnoses budgeted in
+      let mem d = List.mem d full.Diagnose.diagnoses in
+      let* () =
+        if full.Diagnose.diagnoses <> [] && part.Diagnose.diagnoses = [] then
+          fail "budget-tripped session lost every candidate"
+        else if List.exists (fun d -> not (mem d)) part.Diagnose.diagnoses
+        then fail "budget-tripped session invented a candidate"
+        else Ok ()
+      in
+      (* deterministic on re-query, and still accepting measurements *)
+      let again = Session.diagnoses budgeted in
+      let* () =
+        if
+          String.equal (Oracle.result_fingerprint part) (Oracle.result_fingerprint again)
+        then Ok ()
+        else fail "budget-tripped session not deterministic on re-query"
+      in
+      let q0, v0 = List.hd pool in
+      ignore (Session.add_measurement budgeted q0 v0);
+      match Session.diagnoses budgeted with
+      | _ -> Ok ()
+      | exception e ->
+        fail "budget-tripped session unusable after another add: %s"
+          (Printexc.to_string e)
+  end

@@ -58,3 +58,19 @@ val run : ?config:config -> unit -> (report, string) result
 val check : ?config:config -> int -> (unit, string) result
 (** [check seed] — {!run} with the seed substituted; the property-suite
     entry point (one seeded case per call). *)
+
+val check_session : ?config:config -> int -> (unit, string) result
+(** Mid-session fault injection: replays a random {!Gen.session_script}
+    through a live {!Flames_session.Session} whose [fault_point] raises
+    between steps with probability 0.35.  Asserts that
+
+    - a faulted mutation is transactional — the measurement list is
+      untouched, nothing half-applies;
+    - after any number of mid-session faults the session still answers,
+      bit-identically to a from-scratch diagnosis of its surviving
+      measurements;
+    - under [config.budget_candidates], a budget-tripped {e session}
+      diagnosis is a sound subset of the full ranking (candidates
+      truncated, never invented), deterministic on re-query (degraded
+      results are not cached), and the session keeps accepting
+      measurements afterwards. *)

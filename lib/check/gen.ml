@@ -624,3 +624,76 @@ let scenario_observations s =
 
 let scenario =
   { gen = gen_scenario; shrink = shrink_scenario; print = print_scenario }
+
+(* {1 Session scripts} *)
+
+(* All probeable nodes of the (faulty) scenario, measured with its
+   instrument: the pool session ops draw from.  Unlike
+   [scenario_observations] this ignores the scenario's probe subset —
+   the script decides what gets measured, and when. *)
+let session_pool s =
+  let s = normalize s in
+  let _, faulty = scenario_netlists s in
+  let sol = Flames_sim.Mna.solve faulty in
+  let instrument =
+    { Flames_sim.Measure.relative = s.ladder.imprecision; floor = 5e-4 }
+  in
+  Flames_sim.Measure.probe_all ~instrument sol
+    (List.map Q.voltage (nodes_of_ladder s.ladder))
+
+type session_op = S_add of int | S_retract of int | S_refine of int
+type session_script = { base : scenario; ops : session_op list }
+
+(* Ops carry raw indices that the interpreter reduces modulo the live
+   state (pool size / measurement count), so any op list is well-formed
+   on any scenario and shrinking never has to repair references. *)
+let gen_session_script rng =
+  let base = gen_scenario rng in
+  let nodes = List.length base.ladder.rungs + 1 in
+  let n_ops = 1 + Rng.int rng 7 in
+  let op () =
+    let p = Rng.float rng 1. in
+    if p < 0.6 then S_add (Rng.int rng nodes)
+    else if p < 0.8 then S_retract (Rng.int rng 8)
+    else S_refine (Rng.int rng 8)
+  in
+  { base; ops = List.init n_ops (fun _ -> op ()) }
+
+let shrink_session_script s =
+  let fewer_ops =
+    if List.length s.ops > 1 then
+      List.mapi
+        (fun i _ -> { s with ops = List.filteri (fun j _ -> j <> i) s.ops })
+        s.ops
+    else []
+  in
+  let adds_only =
+    if List.exists (function S_add _ -> false | _ -> true) s.ops then
+      [
+        {
+          s with
+          ops = List.filter (function S_add _ -> true | _ -> false) s.ops;
+        };
+      ]
+    else []
+  in
+  let smaller_base =
+    List.map (fun base -> { s with base }) (shrink_scenario s.base)
+  in
+  fewer_ops @ adds_only @ smaller_base
+
+let print_session_op = function
+  | S_add i -> Printf.sprintf "add#%d" i
+  | S_retract i -> Printf.sprintf "retract#%d" i
+  | S_refine i -> Printf.sprintf "refine#%d" i
+
+let print_session_script s =
+  Printf.sprintf "%s ops=[%s]" (print_scenario s.base)
+    (String.concat "; " (List.map print_session_op s.ops))
+
+let session_script =
+  {
+    gen = gen_session_script;
+    shrink = shrink_session_script;
+    print = print_session_script;
+  }

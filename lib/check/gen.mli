@@ -139,3 +139,31 @@ val scenario_observations :
   scenario -> (Flames_circuit.Quantity.t * Interval.t) list
 (** Probe the faulty circuit's simulated operating point at the
     scenario's probes with its instrument imprecision. *)
+
+(** {1 Incremental session scripts} *)
+
+type session_op =
+  | S_add of int  (** measure the ladder node with this index *)
+  | S_retract of int  (** retract the n-th surviving measurement *)
+  | S_refine of int  (** halve the flanks of the n-th measurement *)
+
+type session_script = {
+  base : scenario;  (** the circuit, fault and instrument *)
+  ops : session_op list;
+}
+
+val session_pool :
+  scenario -> (Flames_circuit.Quantity.t * Interval.t) list
+(** Every probeable node of the scenario's faulty circuit measured with
+    its instrument — the pool session [S_add] ops draw from (indices
+    reduced modulo its length), independent of the scenario's probe
+    subset. *)
+
+val session_script : session_script t
+(** A scenario plus a random measurement/retraction/refinement sequence.
+    Op indices are reduced modulo the live state by the interpreter
+    ({!Oracle.check_session}), so every op list is well-formed on every
+    (shrunk) scenario; retract/refine ops on an empty session are
+    no-ops. *)
+
+val print_session_op : session_op -> string

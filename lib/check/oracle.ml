@@ -587,12 +587,16 @@ let result_fingerprint (r : Diagnose.result) =
       fopt (fun d -> Format.fprintf ppf "%h" d) s.Diagnose.signed_dc;
       Format.fprintf ppf "@.")
     r.Diagnose.symptoms;
+  (* The reason string is provenance (the cell where the conflict was
+     first seen), which legitimately depends on propagation order —
+     incremental and batch runs may discover the same nogood at
+     different sites — so it is not diagnostic content. *)
   List.iter
     (fun (c : Flames_atms.Candidates.conflict) ->
-      Format.fprintf ppf "conflict {%s} degree=%h reason=%s@."
+      Format.fprintf ppf "conflict {%s} degree=%h@."
         (String.concat ","
            (List.map string_of_int (Env.to_list c.Flames_atms.Candidates.env)))
-        c.Flames_atms.Candidates.degree c.Flames_atms.Candidates.reason)
+        c.Flames_atms.Candidates.degree)
     r.Diagnose.conflicts;
   List.iter
     (fun (s : Diagnose.suspect) ->
@@ -721,3 +725,78 @@ let check_degraded (scenario : Gen.scenario) =
                (String.concat "," names) rank)
         | None -> Ok ()
     end
+
+(* {1 Incremental sessions vs from-scratch diagnosis} *)
+
+module Session = Flames_session.Session
+
+let check_session (script : Gen.session_script) =
+  let nominal, _ = Gen.scenario_netlists script.Gen.base in
+  let pool = Gen.session_pool script.Gen.base in
+  if pool = [] then Ok ()
+  else begin
+    let model = Flames_core.Model.compile nominal in
+    let session = Session.create ~model nominal in
+    (* the naive reference: a plain measurement list, re-diagnosed from
+       scratch after every step *)
+    let mirror = ref [] in
+    let narrow (v : Interval.t) =
+      Interval.make ~m1:v.Interval.m1 ~m2:v.Interval.m2
+        ~alpha:(v.Interval.alpha /. 2.) ~beta:(v.Interval.beta /. 2.)
+    in
+    let apply op =
+      match op with
+      | Gen.S_add i ->
+        let q, v = List.nth pool (i mod List.length pool) in
+        let m = Session.add_measurement session q v in
+        mirror := !mirror @ [ (m.Session.id, q, v) ];
+        Ok ()
+      | Gen.S_retract n -> begin
+        match !mirror with
+        | [] -> Ok () (* nothing to retract: no-op by construction *)
+        | ms ->
+          let id, _, _ = List.nth ms (n mod List.length ms) in
+          if Session.retract session ~id then begin
+            mirror := List.filter (fun (id', _, _) -> id' <> id) ms;
+            Ok ()
+          end
+          else Error (Printf.sprintf "retract of live id %d refused" id)
+      end
+      | Gen.S_refine n -> begin
+        match !mirror with
+        | [] -> Ok ()
+        | ms -> (
+          let id, _, v = List.nth ms (n mod List.length ms) in
+          let v' = narrow v in
+          match Session.refine session ~id v' with
+          | Some _ ->
+            mirror :=
+              List.map
+                (fun (id', q, w) -> if id' = id then (id', q, v') else (id', q, w))
+                ms;
+            Ok ()
+          | None -> Error (Printf.sprintf "refine of live id %d refused" id))
+      end
+    in
+    let ( let* ) = Result.bind in
+    let rec steps i = function
+      | [] -> Ok ()
+      | op :: rest ->
+        let* () = apply op in
+        let observations = List.map (fun (_, q, v) -> (q, v)) !mirror in
+        let expected =
+          result_fingerprint (Diagnose.run ~model nominal observations)
+        in
+        let got = result_fingerprint (Session.diagnoses session) in
+        let* () =
+          if String.equal expected got then Ok ()
+          else
+            Error
+              (Printf.sprintf
+                 "session diverges from scratch run at step %d (%s): %s" i
+                 (Gen.print_session_op op) (first_diff expected got))
+        in
+        steps (i + 1) rest
+    in
+    steps 0 script.Gen.ops
+  end

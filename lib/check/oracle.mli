@@ -83,7 +83,10 @@ val check_mna : Netlist.t -> (unit, string) result
 val result_fingerprint : Flames_core.Diagnose.result -> string
 (** Canonical rendering of every reported field of a diagnosis with
     hex-exact floats: two results compare equal iff their diagnostic
-    content is bit-identical. *)
+    content is bit-identical.  Conflict [reason] strings are excluded:
+    they record the {e discovery site} of a nogood, which legitimately
+    depends on propagation order (incremental vs batch), while the
+    nogood itself — environment and degree — does not. *)
 
 val check_batch :
   ?workers:int list -> Flames_engine.Batch.job list -> (unit, string) result
@@ -102,3 +105,15 @@ val check_degraded : Gen.scenario -> (unit, string) result
     non-empty subset (same member sets, same ranks) of the unbudgeted
     run's — sound truncation, never invention.  Scenarios whose full
     diagnosis is healthy (no candidates) pass trivially. *)
+
+(** {1 Incremental sessions vs from-scratch diagnosis} *)
+
+val check_session : Gen.session_script -> (unit, string) result
+(** The session equivalence contract: replay the script's measurement
+    adds, retractions and refinements through a live
+    {!Flames_session.Session} and, in parallel, through a plain
+    measurement list; after {e every} step the session's
+    {!Flames_session.Session.diagnoses} must be
+    {!result_fingerprint}-identical to a from-scratch
+    [Diagnose.run ~model] over the list.  Exercises the incremental
+    observe/run path on adds and the rebuild path on retract/refine. *)

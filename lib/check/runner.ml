@@ -85,6 +85,9 @@ let run_all ?(seed = 0x464c4d45) ?(log = fun _ -> ()) ~iters () =
     (fun scs -> Oracle.check_batch (jobs_of_scenarios scs));
   section 7 "env-bitset" iters Gen.id_lists Oracle.check_env;
   section 8 "env-index" iters Gen.weighted_envs Oracle.check_envindex;
+  section 9 "session-equivalence"
+    (Int.max 1 (iters / 4))
+    Gen.session_script Oracle.check_session;
   List.rev !sections
 
 let ok sections = List.for_all (fun s -> s.failure = None) sections

@@ -286,69 +286,52 @@ let simulator_predictions netlist model ~floor ~threshold =
               env ))
       reports
 
-let run ?config ?limits ?model ?budget ?(prediction_floor = 1e-3)
-    ?(sensitivity_threshold = 0.02) ?(prediction_degree = 0.95)
-    ?(simulate_predictions = true) netlist observations =
-  Trace.with_span
-    ~args:[ ("circuit", netlist.Netlist.name) ]
-    "diagnose.run"
-  @@ fun () ->
-  let budget = match budget with Some b -> b | None -> Budget.fresh () in
-  let model =
-    match model with
-    | Some m -> m
-    | None ->
-      Trace.with_span ~record:model_seconds "diagnose.model" (fun () ->
-          Model.compile ?config netlist)
-  in
-  let predictions =
-    if simulate_predictions then
-      Trace.with_span ~record:simulate_seconds "diagnose.simulate" (fun () ->
-          simulator_predictions netlist model ~floor:prediction_floor
-            ~threshold:sensitivity_threshold)
-    else []
-  in
-  let degree = prediction_degree in
-  (* prediction pass: nominals only *)
-  let prediction = Propagate.create ?limits ~budget model in
+(* The quantities whose observational evidence decides constraint guards
+   (e.g. a transistor's Vce): when any of them acquires evidence in the
+   first pass, a deterministic second pass is required (see {!analyze}). *)
+let guard_quantities model =
+  List.concat_map
+    (fun (c : Constr.t) -> List.map fst c.Constr.guards)
+    model.Model.constraints
+  |> List.sort_uniq Quantity.compare
+
+(* One full propagation pass: fresh engine, pinned guard evidence,
+   simulator predictions, then the observations, run to quiescence.
+   Shared by {!run} and the incremental {!Flames_session.Session}, whose
+   retraction path rebuilds exactly this engine. *)
+let full_pass ?limits ~budget ~degree ~model ~predictions ~observations
+    ~guard_evidence () =
+  let engine = Propagate.create ?limits ~budget model in
+  Propagate.set_guard_evidence engine guard_evidence;
   List.iter
-    (fun (q, v, env) -> Propagate.predict prediction ~degree q v env)
+    (fun (q, v, env) -> Propagate.predict engine ~degree q v env)
     predictions;
-  Propagate.run prediction;
-  (* full pass with observations *)
-  let full_pass ~guard_evidence =
-    let engine = Propagate.create ?limits ~budget model in
-    Propagate.set_guard_evidence engine guard_evidence;
-    List.iter
-      (fun (q, v, env) -> Propagate.predict engine ~degree q v env)
-      predictions;
-    List.iter (fun (q, v) -> Propagate.observe engine q v) observations;
-    Propagate.run engine;
-    engine
-  in
-  let first = full_pass ~guard_evidence:[] in
+  List.iter (fun (q, v) -> Propagate.observe engine q v) observations;
+  Propagate.run engine;
+  engine
+
+let analyze ?limits ?budget ~degree ~model ~predictions ~prediction ~first
+    netlist observations =
+  let budget = match budget with Some b -> b | None -> Budget.fresh () in
   (* Guards are evaluated when a constraint fires, but the observational
      evidence for a guard quantity (e.g. a transistor's Vce reconstructed
      from two probes) may only appear later in the same run — values
      derived before the evidence arrived would survive with a stale guard
      degree.  A second pass with the first pass's guard evidence injected
      up-front makes guard evaluation deterministic. *)
-  let guard_quantities =
-    List.concat_map
-      (fun (c : Constr.t) -> List.map fst c.Constr.guards)
-      model.Model.constraints
-    |> List.sort_uniq Quantity.compare
-  in
   let guard_evidence =
     List.filter_map
       (fun q ->
         match Propagate.best_value first ~observational:true q with
         | Some v -> Some (q, v.Value.interval)
         | None -> None)
-      guard_quantities
+      (guard_quantities model)
   in
   let engine =
-    if guard_evidence = [] then first else full_pass ~guard_evidence
+    if guard_evidence = [] then first
+    else
+      full_pass ?limits ~budget ~degree ~model ~predictions ~observations
+        ~guard_evidence ()
   in
   let symptoms = List.map (symptom_of prediction) observations in
   let conflicts = Propagate.conflicts engine in
@@ -411,6 +394,44 @@ let run ?config ?limits ?model ?budget ?(prediction_floor = 1e-3)
   if degraded then Metrics.incr degraded_total;
   { netlist; symptoms; conflicts; suspects; diagnoses; single_faults; engine;
     degraded; trips = Budget.trips budget }
+
+let run ?config ?limits ?model ?budget ?(prediction_floor = 1e-3)
+    ?(sensitivity_threshold = 0.02) ?(prediction_degree = 0.95)
+    ?(simulate_predictions = true) netlist observations =
+  Trace.with_span
+    ~args:[ ("circuit", netlist.Netlist.name) ]
+    "diagnose.run"
+  @@ fun () ->
+  let budget = match budget with Some b -> b | None -> Budget.fresh () in
+  let model =
+    match model with
+    | Some m -> m
+    | None ->
+      Trace.with_span ~record:model_seconds "diagnose.model" (fun () ->
+          Model.compile ?config netlist)
+  in
+  let predictions =
+    if simulate_predictions then
+      Trace.with_span ~record:simulate_seconds "diagnose.simulate" (fun () ->
+          simulator_predictions netlist model ~floor:prediction_floor
+            ~threshold:sensitivity_threshold)
+    else []
+  in
+  let degree = prediction_degree in
+  (* prediction pass: nominals only *)
+  let prediction = Propagate.create ?limits ~budget model in
+  List.iter
+    (fun (q, v, env) -> Propagate.predict prediction ~degree q v env)
+    predictions;
+  Propagate.run prediction;
+  (* full pass with observations, then the shared post-propagation
+     pipeline (guard second pass, symptoms, conflicts, fits, ranking) *)
+  let first =
+    full_pass ?limits ~budget ~degree ~model ~predictions ~observations
+      ~guard_evidence:[] ()
+  in
+  analyze ?limits ~budget ~degree ~model ~predictions ~prediction ~first
+    netlist observations
 
 let run_r ?config ?limits ?model ?budget ?prediction_floor
     ?sensitivity_threshold ?prediction_degree ?simulate_predictions netlist

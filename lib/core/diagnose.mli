@@ -140,3 +140,55 @@ val healthy : result -> bool
 
 val suspects_above : result -> float -> string list
 (** Components whose suspicion reaches the threshold, ranked. *)
+
+(** {1 Staged access}
+
+    {!run} in separable pieces, for callers that keep propagation state
+    alive between measurements ({!Flames_session.Session}).  Composing
+    [simulator_predictions] → [full_pass] → [analyze] with the same
+    inputs is bit-for-bit {!run}. *)
+
+val simulator_predictions :
+  Netlist.t ->
+  Model.t ->
+  floor:float ->
+  threshold:float ->
+  (Quantity.t * Interval.t * Flames_atms.Env.t) list
+(** Global nominal node-voltage predictions from the DC simulator with
+    their supporting assumption environments (finite-difference
+    sensitivity); [[]] for externally driven or unsolvable circuits. *)
+
+val guard_quantities : Model.t -> Quantity.t list
+(** The quantities appearing in constraint guards, sorted; evidence for
+    any of them triggers {!analyze}'s deterministic second pass. *)
+
+val full_pass :
+  ?limits:Propagate.limits ->
+  budget:Budget.t ->
+  degree:float ->
+  model:Model.t ->
+  predictions:(Quantity.t * Interval.t * Flames_atms.Env.t) list ->
+  observations:observation list ->
+  guard_evidence:(Quantity.t * Interval.t) list ->
+  unit ->
+  Propagate.t
+(** One full propagation pass: fresh engine over [model] with the guard
+    evidence pinned, [predictions] and then [observations] entered, run
+    to quiescence. *)
+
+val analyze :
+  ?limits:Propagate.limits ->
+  ?budget:Budget.t ->
+  degree:float ->
+  model:Model.t ->
+  predictions:(Quantity.t * Interval.t * Flames_atms.Env.t) list ->
+  prediction:Propagate.t ->
+  first:Propagate.t ->
+  Netlist.t ->
+  observation list ->
+  result
+(** The post-propagation pipeline shared by {!run} and the session:
+    guard evidence is read off [first] (triggering a second {!full_pass}
+    when present), symptoms are judged against the [prediction] engine,
+    conflicts collected, suspects fitted and candidates ranked under
+    [budget] (default unlimited). *)

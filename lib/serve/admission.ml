@@ -91,3 +91,113 @@ let max_inflight t = t.max_inflight
 
 let retry_after_header seconds =
   ("Retry-After", string_of_int (Int.max 1 (int_of_float (Float.ceil seconds))))
+
+(* {1 Session registry} *)
+
+module Sessions = struct
+  type 'a entry = {
+    value : 'a;
+    lock : Mutex.t;  (** serialises steps on one session *)
+    mutable deadline : float;  (** absolute expiry on the injected clock *)
+  }
+
+  type 'a t = {
+    mutex : Mutex.t;
+    now : unit -> float;
+    cap : int;
+    ttl : float;
+    mutable next_id : int;
+    table : (string, 'a entry) Hashtbl.t;
+  }
+
+  let create ?now ?(cap = 64) ?(ttl = 600.) () =
+    if cap < 1 then invalid_arg "Admission.Sessions.create: cap must be >= 1";
+    if ttl <= 0. then invalid_arg "Admission.Sessions.create: ttl must be > 0";
+    let now = match now with Some f -> f | None -> Unix.gettimeofday in
+    {
+      mutex = Mutex.create ();
+      now;
+      cap;
+      ttl;
+      next_id = 1;
+      table = Hashtbl.create 16;
+    }
+
+  let locked t f =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+  (* Callers hold [t.mutex]. *)
+  let sweep_locked t =
+    let now = t.now () in
+    let dead =
+      Hashtbl.fold
+        (fun id e acc -> if e.deadline <= now then id :: acc else acc)
+        t.table []
+    in
+    List.iter (Hashtbl.remove t.table) dead;
+    Metrics.gauge_set Telemetry.open_sessions
+      (float_of_int (Hashtbl.length t.table));
+    List.length dead
+
+  let sweep t = locked t @@ fun () -> sweep_locked t
+
+  let put t value =
+    locked t @@ fun () ->
+    ignore (sweep_locked t);
+    if Hashtbl.length t.table >= t.cap then begin
+      Metrics.incr Telemetry.sessions_shed_total;
+      Error `Capacity
+    end
+    else begin
+      let id = Printf.sprintf "s%d" t.next_id in
+      t.next_id <- t.next_id + 1;
+      Hashtbl.add t.table id
+        { value; lock = Mutex.create (); deadline = t.now () +. t.ttl };
+      Metrics.incr Telemetry.sessions_created_total;
+      Metrics.gauge_set Telemetry.open_sessions
+        (float_of_int (Hashtbl.length t.table));
+      Ok id
+    end
+
+  (* Expiry is checked lazily on access, so a TTL test with an injected
+     clock needs no background thread; a hit refreshes the deadline
+     (idle sessions expire, active ones live on). *)
+  let find_entry t id =
+    locked t @@ fun () ->
+    match Hashtbl.find_opt t.table id with
+    | None -> None
+    | Some e ->
+      if e.deadline <= t.now () then begin
+        Hashtbl.remove t.table id;
+        Metrics.gauge_set Telemetry.open_sessions
+          (float_of_int (Hashtbl.length t.table));
+        None
+      end
+      else begin
+        e.deadline <- t.now () +. t.ttl;
+        Some e
+      end
+
+  let with_session t id f =
+    match find_entry t id with
+    | None -> None
+    | Some e ->
+      Mutex.lock e.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock e.lock)
+        (fun () -> Some (f e.value))
+
+  let remove t id =
+    locked t @@ fun () ->
+    let existed = Hashtbl.mem t.table id in
+    Hashtbl.remove t.table id;
+    if existed then
+      Metrics.gauge_set Telemetry.open_sessions
+        (float_of_int (Hashtbl.length t.table));
+    existed
+
+  let count t = locked t @@ fun () -> Hashtbl.length t.table
+  let cap t = t.cap
+  let ttl t = t.ttl
+end

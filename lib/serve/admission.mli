@@ -50,3 +50,34 @@ val max_inflight : t -> int
 val retry_after_header : float -> string * string
 (** The [Retry-After] header for a shed decision, rounded up to a whole
     second (the header's granularity), at least 1. *)
+
+(** Registry of live troubleshooting sessions behind [POST /session/*].
+
+    Bounded ([cap], creations past it answered with 429 by the router)
+    and idle-expiring ([ttl] seconds, refreshed on every access, checked
+    lazily — no background thread, so an injected clock drives expiry in
+    tests).  Each entry carries its own mutex: steps on one session are
+    serialised, steps on different sessions run concurrently. *)
+module Sessions : sig
+  type 'a t
+
+  val create : ?now:(unit -> float) -> ?cap:int -> ?ttl:float -> unit -> 'a t
+  (** Defaults: [cap = 64] sessions, [ttl = 600.] seconds.
+      @raise Invalid_argument on [cap < 1] or [ttl <= 0]. *)
+
+  val put : 'a t -> 'a -> (string, [ `Capacity ]) result
+  (** Register a session (sweeping expired entries first) and return its
+      fresh id, or [Error `Capacity] when the registry is full. *)
+
+  val with_session : 'a t -> string -> ('a -> 'b) -> 'b option
+  (** Run [f] on the named session under its per-session mutex,
+      refreshing the TTL; [None] when the id is unknown or expired. *)
+
+  val remove : 'a t -> string -> bool
+  val sweep : 'a t -> int
+  (** Drop every expired entry now; the count removed. *)
+
+  val count : 'a t -> int
+  val cap : 'a t -> int
+  val ttl : 'a t -> float
+end

@@ -12,10 +12,13 @@ module Fault = Flames_circuit.Fault
 module Q = Flames_circuit.Quantity
 module Metrics = Flames_obs.Metrics
 
+module Session = Flames_session.Session
+
 type deps = {
   pool : Pool.t;
   cache : Cache.t;
   admission : Admission.t;
+  sessions : Session.t Admission.Sessions.t;
   draining : unit -> bool;
   default_wall : float;
   max_wall : float;
@@ -362,6 +365,149 @@ let diagnose deps (r : Http.request) =
             json_error 503 "overloaded: job expired before a worker was free")
   end
 
+(* {1 Interactive sessions: POST /session/*}
+
+   The session registry ([deps.sessions]) is the admission story here:
+   a bounded number of live sessions (429 past the cap) with an idle
+   TTL; the per-request inflight gate stays on /diagnose, since session
+   steps are serialised by the per-session mutex anyway. *)
+
+let measurement_json (m : Session.measurement) =
+  Json.Obj
+    [
+      ("id", Json.Num (float_of_int m.Session.id));
+      ("quantity", Json.Str (Q.to_string m.Session.quantity));
+      ("interval", interval_json m.Session.interval);
+    ]
+
+let evaluation_json (e : Flames_strategy.Best_test.evaluation) =
+  let module B = Flames_strategy.Best_test in
+  Json.Obj
+    [
+      ( "test",
+        Json.Obj
+          [
+            ("quantity", Json.Str (Q.to_string e.B.test.B.quantity));
+            ("cost", Json.Num e.B.test.B.cost);
+            ( "influencers",
+              Json.Arr (List.map (fun c -> Json.Str c) e.B.test.B.influencers)
+            );
+          ] );
+      ("score", Json.Num e.B.score);
+      ("deviant_likelihood", interval_json e.B.deviant_likelihood);
+      ("expected_entropy", interval_json e.B.expected_entropy);
+    ]
+
+let session_create deps (r : Http.request) =
+  let* j = Json.parse_result r.Http.body in
+  let str_field k = Option.bind (Json.mem k j) Json.str_opt in
+  let* label, nominal =
+    resolve_circuit ~circuit:(str_field "circuit") ~netlist:(str_field "netlist")
+  in
+  let* trusted = str_list_field j "trusted" in
+  let config = { Model.default_config with trusted } in
+  (* the model comes from the shared compilation cache, so re-creating a
+     session on a builtin costs no recompilation *)
+  let model = Cache.compile deps.cache ~config nominal in
+  let session = Session.create ~config ~model nominal in
+  Ok (label, session)
+
+let session_step deps id f =
+  match Admission.Sessions.with_session deps.sessions id f with
+  | None -> json_error 404 (Printf.sprintf "no such session %S" id)
+  | Some reply -> reply
+
+let measurement_of_json netlist j =
+  match Option.bind (Json.mem "node" j) Json.str_opt with
+  | None -> bad "measurement needs a \"node\""
+  | Some node when not (List.mem node (Netlist.nodes netlist)) ->
+    bad "unknown measurement node %S" node
+  | Some node ->
+    let* v = interval_of_json j in
+    Ok (Q.voltage node, v)
+
+let int_field j key =
+  match Option.bind (Json.mem key j) Json.num_opt with
+  | Some f when Float.is_integer f -> Ok (int_of_float f)
+  | Some _ | None -> bad "request needs an integral %S" key
+
+let session_routes deps (r : Http.request) segments =
+  let with_json f =
+    match Json.parse_result r.Http.body with
+    | Error m -> json_error 400 m
+    | Ok j -> (
+      match f j with Ok reply -> reply | Error m -> json_error 400 m)
+  in
+  match segments with
+  | [ "create" ] ->
+    if deps.draining () then json_error 503 "draining: not accepting sessions"
+    else begin
+      match session_create deps r with
+      | Error m -> json_error 400 m
+      | Ok (label, session) -> (
+        match Admission.Sessions.put deps.sessions session with
+        | Error `Capacity ->
+          json_error
+            ~headers:[ Admission.retry_after_header (Admission.Sessions.ttl deps.sessions) ]
+            429
+            (Printf.sprintf "session registry full (%d live), retry later"
+               (Admission.Sessions.cap deps.sessions))
+        | Ok id ->
+          json_reply 200
+            (Json.Obj
+               [
+                 ("session", Json.Str id);
+                 ("circuit", Json.Str label);
+                 ("ttl_s", Json.Num (Admission.Sessions.ttl deps.sessions));
+               ]))
+    end
+  | [ id; "measure" ] ->
+    session_step deps id (fun session ->
+        with_json (fun j ->
+            let* q, v = measurement_of_json (Session.netlist session) j in
+            let m = Session.add_measurement session q v in
+            Ok (json_reply 200 (measurement_json m))))
+  | [ id; "retract" ] ->
+    session_step deps id (fun session ->
+        with_json (fun j ->
+            let* mid = int_field j "id" in
+            if Session.retract session ~id:mid then
+              Ok
+                (json_reply 200
+                   (Json.Obj [ ("retracted", Json.Num (float_of_int mid)) ]))
+            else Ok (json_error 404 (Printf.sprintf "no measurement %d" mid))))
+  | [ id; "refine" ] ->
+    session_step deps id (fun session ->
+        with_json (fun j ->
+            let* mid = int_field j "id" in
+            let* v = interval_of_json j in
+            match Session.refine session ~id:mid v with
+            | Some m -> Ok (json_reply 200 (measurement_json m))
+            | None ->
+              Ok (json_error 404 (Printf.sprintf "no measurement %d" mid))))
+  | [ id; "diagnoses" ] ->
+    session_step deps id (fun session ->
+        let t0 = Unix.gettimeofday () in
+        let result = Session.diagnoses session in
+        json_reply 200
+          (result_json
+             ~label:(Session.netlist session).Netlist.name
+             ~elapsed:(Unix.gettimeofday () -. t0)
+             result))
+  | [ id; "next" ] ->
+    session_step deps id (fun session ->
+        match Session.next_test session with
+        | Some e -> json_reply 200 (evaluation_json e)
+        | None -> json_reply 200 (Json.Obj [ ("test", Json.Null) ]))
+  | [ id; "close" ] ->
+    if Admission.Sessions.remove deps.sessions id then
+      json_reply 200 (Json.Obj [ ("closed", Json.Str id) ])
+    else json_error 404 (Printf.sprintf "no such session %S" id)
+  | _ ->
+    json_error 404
+      "session routes: POST /session/create or \
+       /session/<id>/{measure,retract,refine,diagnoses,next,close}"
+
 let readyz deps =
   let admitted = Admission.in_flight deps.admission in
   let draining = deps.draining () in
@@ -416,6 +562,14 @@ let handle deps (r : Http.request) =
           content_type = "text/plain; version=0.0.4";
           body = Flames_obs.Export.prometheus_string ();
         })
+  | path when String.length path >= 9 && String.sub path 0 9 = "/session/" ->
+    require "POST" (fun () ->
+        let segments =
+          String.sub path 9 (String.length path - 9)
+          |> String.split_on_char '/'
+          |> List.filter (fun s -> s <> "")
+        in
+        session_routes deps r segments)
   | "/healthz" -> require "GET" (fun () -> text_reply 200 "ok\n")
   | "/readyz" -> require "GET" (fun () -> readyz deps)
   | "/version" -> require "GET" (fun () -> version_reply ())

@@ -12,6 +12,24 @@
       429 with [Retry-After] when the bounded queue is full or the
       client's token bucket is dry (client id = [X-Flames-Client]
       header, default ["anonymous"]).
+    - [POST /session/create] — open a persistent troubleshooting
+      session on a builtin circuit or inline netlist (body:
+      [{"circuit" | "netlist", "trusted"?}]); answers
+      [{"session": id, "circuit", "ttl_s"}], or 429 when the bounded
+      session registry ({!Admission.Sessions}) is at capacity.
+    - [POST /session/<id>/measure] — add a measurement
+      ([{"node", "value", "spread"}] or trapezoid fields); the model and
+      ATMS state persist between steps, so repeated measure/diagnose
+      round-trips never recompile or re-run the simulator sweeps.
+    - [POST /session/<id>/retract], [/refine] — drop or narrow a
+      measurement by its id.
+    - [POST /session/<id>/diagnoses] — the ranked diagnosis of the
+      surviving measurements (bit-identical to a from-scratch run).
+    - [POST /session/<id>/next] — the fuzzy-entropy best next test
+      point, or [{"test": null}].
+    - [POST /session/<id>/close] — drop the session early (idle
+      sessions expire after the registry TTL anyway).
+      Unknown or expired session ids answer 404.
     - [GET /metrics] — Prometheus text exposition of the registry.
     - [GET /healthz] — liveness, always 200 while the process serves.
     - [GET /readyz] — readiness: 503 while draining or saturated, with
@@ -36,6 +54,8 @@ type deps = {
   pool : Flames_engine.Pool.t;
   cache : Flames_engine.Cache.t;
   admission : Admission.t;
+  sessions : Flames_session.Session.t Admission.Sessions.t;
+      (** live troubleshooting sessions behind [POST /session/*] *)
   draining : unit -> bool;
   default_wall : float;  (** per-request budget when none is asked for *)
   max_wall : float;  (** server-side cap on the requested budget *)

@@ -13,6 +13,8 @@ type config = {
   default_wall : float;
   max_wall : float;
   backlog : int;
+  session_cap : int;
+  session_ttl : float;
 }
 
 let default_config =
@@ -27,6 +29,8 @@ let default_config =
     default_wall = 2.;
     max_wall = 10.;
     backlog = 64;
+    session_cap = 64;
+    session_ttl = 600.;
   }
 
 type t = {
@@ -154,11 +158,16 @@ let start ?(config = default_config) () =
     Admission.create ~max_inflight:config.max_inflight
       ~quota_rate:config.quota_rate ~quota_burst:config.quota_burst ()
   in
+  let sessions =
+    Admission.Sessions.create ~cap:config.session_cap ~ttl:config.session_ttl
+      ()
+  in
   let deps =
     {
       Router.pool;
       cache = Cache.create ();
       admission;
+      sessions;
       draining = (fun () -> Atomic.get stop_flag);
       default_wall = config.default_wall;
       max_wall = config.max_wall;

@@ -25,11 +25,14 @@ type config = {
   default_wall : float;  (** seconds of diagnosis budget per request *)
   max_wall : float;  (** cap on client-requested [budget_ms] *)
   backlog : int;  (** listen(2) backlog *)
+  session_cap : int;  (** live troubleshooting sessions, 429 beyond *)
+  session_ttl : float;  (** idle session expiry, seconds *)
 }
 
 val default_config : config
 (** [127.0.0.1:8089], 2 workers, [max_inflight = 16], quotas off,
-    1 MiB bodies, 2 s default / 10 s max wall, backlog 64. *)
+    1 MiB bodies, 2 s default / 10 s max wall, backlog 64, 64 sessions
+    with a 600 s idle TTL. *)
 
 type t
 

@@ -41,6 +41,18 @@ let inflight_jobs =
   Metrics.gauge "flames_serve_inflight_jobs"
     ~help:"Admitted diagnosis requests not yet answered"
 
+let sessions_created_total =
+  Metrics.counter "flames_serve_sessions_created_total"
+    ~help:"Troubleshooting sessions opened via POST /session/create"
+
+let sessions_shed_total =
+  Metrics.counter "flames_serve_sessions_shed_total"
+    ~help:"Session creations refused with 429: registry at capacity"
+
+let open_sessions =
+  Metrics.gauge "flames_serve_open_sessions"
+    ~help:"Troubleshooting sessions currently held (TTL not expired)"
+
 (* Sub-millisecond to 10 s: a divider diagnosis is ~1 ms, a saturated
    queue pushes the tail into seconds. *)
 let request_seconds =

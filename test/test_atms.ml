@@ -468,6 +468,230 @@ let test_single_faults_empty () =
   check_int "no conflicts, no single faults" 0
     (List.length (Candidates.single_faults []))
 
+(* {1 Monotonicity properties (satellite of the session PR)}
+
+   The session layer's correctness story leans on the ATMS being
+   monotone in its inputs: growing the justification network only grows
+   what is believed.  Seeded property family over [Gen.atms_spec]. *)
+
+module Gen = Flames_check.Gen
+module Rng = Flames_check.Rng
+
+(* Replay a spec like [Gen.build_atms], but keep the handles so the test
+   can keep justifying the same live instance afterwards. *)
+let build_spec (spec : Gen.atms_spec) =
+  let atms = Atms.create () in
+  let assumptions =
+    Array.init spec.Gen.n_assumptions (fun i ->
+        Atms.assumption atms (Printf.sprintf "a%d" i))
+  in
+  let nodes =
+    Array.init spec.Gen.n_nodes (fun i ->
+        Atms.node atms (Printf.sprintf "n%d" i))
+  in
+  let resolve a =
+    if a < spec.Gen.n_assumptions then assumptions.(a)
+    else nodes.((a - spec.Gen.n_assumptions) mod spec.Gen.n_nodes)
+  in
+  List.iter
+    (fun (c : Gen.clause) ->
+      let antecedents = List.map resolve c.Gen.antecedents in
+      let target =
+        match c.Gen.target with
+        | Some j -> nodes.(j mod spec.Gen.n_nodes)
+        | None -> Atms.contradiction atms
+      in
+      Atms.justify atms ~degree:c.Gen.degree ~antecedents target)
+    spec.Gen.clauses;
+  List.iter
+    (fun j -> Atms.premise atms nodes.(j mod spec.Gen.n_nodes))
+    spec.Gen.premises;
+  (atms, assumptions, nodes)
+
+let snapshot_labels atms nodes =
+  Array.to_list nodes
+  |> List.concat_map (fun n ->
+         List.map (fun (l : Atms.labelled) -> (n, l.env, l.degree))
+           (Atms.label atms n))
+
+(* One random extra clause respecting the DAG discipline of the spec. *)
+let extra_clause rng (spec : Gen.atms_spec) ~contradiction =
+  let target = if contradiction then None else Some (Rng.int rng spec.Gen.n_nodes) in
+  let horizon =
+    match target with
+    | Some j -> spec.Gen.n_assumptions + j
+    | None -> spec.Gen.n_assumptions + spec.Gen.n_nodes
+  in
+  let antecedents =
+    List.init
+      (1 + Rng.int rng 3)
+      (fun _ -> Rng.int rng (Int.max 1 horizon))
+    |> List.sort_uniq Int.compare
+  in
+  {
+    Gen.antecedents;
+    target;
+    degree = 0.25 +. (Float.of_int (Rng.int rng 76) /. 100.);
+  }
+
+(* Adding a justification to a contradiction-free network never shrinks
+   belief: every (node, env, degree) of the old state still holds with at
+   least its old degree afterwards, and no nogood appears. *)
+let test_atms_monotone_justify () =
+  for case = 0 to 79 do
+    let rng = Rng.make (Rng.case_seed ~seed:0xA7B51 ~case) in
+    let spec = Gen.atms_spec.Gen.gen rng in
+    let spec =
+      {
+        spec with
+        Gen.clauses =
+          List.filter (fun (c : Gen.clause) -> c.Gen.target <> None)
+            spec.Gen.clauses;
+      }
+    in
+    let atms, assumptions, nodes = build_spec spec in
+    let before = snapshot_labels atms nodes in
+    let c = extra_clause rng spec ~contradiction:false in
+    let resolve a =
+      if a < spec.Gen.n_assumptions then assumptions.(a)
+      else nodes.((a - spec.Gen.n_assumptions) mod spec.Gen.n_nodes)
+    in
+    let target =
+      match c.Gen.target with
+      | Some j -> nodes.(j mod spec.Gen.n_nodes)
+      | None -> assert false
+    in
+    Atms.justify atms ~degree:c.Gen.degree
+      ~antecedents:(List.map resolve c.Gen.antecedents)
+      target;
+    List.iter
+      (fun (n, env, d) ->
+        let now = Atms.holds_in atms n env in
+        if now < d -. 1e-12 then
+          Alcotest.failf
+            "case %d: %s lost belief in %s (%.3f -> %.3f) after a new \
+             justification"
+            case (Atms.datum n)
+            (Format.asprintf "%a" (Env.pp ~names:(Printf.sprintf "a%d")) env)
+            d now)
+      before;
+    check_int
+      (Printf.sprintf "case %d: still no nogoods" case)
+      0
+      (List.length (Atms.nogoods atms));
+    (match Atms.audit atms with
+    | [] -> ()
+    | vs -> Alcotest.failf "case %d: audit: %s" case (String.concat "; " vs))
+  done
+
+(* Adding an assumption alone is inert: every existing label entry and
+   nogood is untouched, and the newcomer believes only itself. *)
+let test_atms_monotone_assumption () =
+  for case = 0 to 79 do
+    let rng = Rng.make (Rng.case_seed ~seed:0xA7B52 ~case) in
+    let spec = Gen.atms_spec.Gen.gen rng in
+    let atms, _assumptions, nodes = build_spec spec in
+    let labels_before = snapshot_labels atms nodes in
+    let nogoods_before = Atms.nogoods atms in
+    let extra = Atms.assumption atms "extra" in
+    let labels_after = snapshot_labels atms nodes in
+    check_bool
+      (Printf.sprintf "case %d: labels untouched" case)
+      true
+      (List.length labels_before = List.length labels_after
+      && List.for_all2
+           (fun (n, e1, d1) (n', e2, d2) ->
+             n == n' && Env.equal e1 e2 && d1 = d2)
+           labels_before labels_after);
+    check_bool
+      (Printf.sprintf "case %d: nogoods untouched" case)
+      true
+      (List.length nogoods_before = List.length (Atms.nogoods atms)
+      && List.for_all2
+           (fun (a : Nogood.entry) (b : Nogood.entry) ->
+             Env.equal a.Nogood.env b.Nogood.env
+             && a.Nogood.degree = b.Nogood.degree)
+           nogoods_before (Atms.nogoods atms));
+    (match Atms.label atms extra with
+    | [ l ] ->
+      check_bool
+        (Printf.sprintf "case %d: self-belief" case)
+        true
+        (l.Atms.degree = 1. && Env.cardinal l.Atms.env = 1)
+    | _ -> Alcotest.failf "case %d: fresh assumption label not a singleton" case)
+  done
+
+(* Any clause addition — contradiction clauses included — only raises the
+   recorded inconsistency of any environment, never lowers it. *)
+let test_nogood_monotone () =
+  for case = 0 to 79 do
+    let rng = Rng.make (Rng.case_seed ~seed:0xA7B53 ~case) in
+    let spec = Gen.atms_spec.Gen.gen rng in
+    let atms, assumptions, nodes = build_spec spec in
+    let before = Nogood.entries (Atms.nogood_db atms) in
+    let c = extra_clause rng spec ~contradiction:(Rng.bool rng) in
+    let resolve a =
+      if a < spec.Gen.n_assumptions then assumptions.(a)
+      else nodes.((a - spec.Gen.n_assumptions) mod spec.Gen.n_nodes)
+    in
+    let target =
+      match c.Gen.target with
+      | Some j -> nodes.(j mod spec.Gen.n_nodes)
+      | None -> Atms.contradiction atms
+    in
+    Atms.justify atms ~degree:c.Gen.degree
+      ~antecedents:(List.map resolve c.Gen.antecedents)
+      target;
+    let db = Atms.nogood_db atms in
+    List.iter
+      (fun (e : Nogood.entry) ->
+        let now = Nogood.inconsistency db e.Nogood.env in
+        if now < e.Nogood.degree -. 1e-12 then
+          Alcotest.failf
+            "case %d: inconsistency of %s dropped %.3f -> %.3f"
+            case
+            (Format.asprintf "%a"
+               (Env.pp ~names:(Printf.sprintf "a%d"))
+               e.Nogood.env)
+            e.Nogood.degree now)
+      before
+  done
+
+(* Replay determinism — the round-trip the session's rebuild path relies
+   on: building the same spec twice yields bit-identical labels (same
+   order, same interned environments, same degrees) and the same
+   canonical nogood view. *)
+let test_atms_rebuild_roundtrip () =
+  for case = 0 to 79 do
+    let rng = Rng.make (Rng.case_seed ~seed:0xA7B54 ~case) in
+    let spec = Gen.atms_spec.Gen.gen rng in
+    let atms1, _, nodes1 = build_spec spec in
+    let atms2, _, nodes2 = build_spec spec in
+    let fingerprint atms nodes =
+      Format.asprintf "%a"
+        (fun ppf () ->
+          Array.iter
+            (fun n ->
+              List.iter
+                (fun (l : Atms.labelled) ->
+                  Format.fprintf ppf "%s %a %h@." (Atms.datum n)
+                    (Env.pp ~names:(Printf.sprintf "a%d"))
+                    l.Atms.env l.Atms.degree)
+                (Atms.label atms n))
+            nodes;
+          List.iter
+            (fun (e : Nogood.entry) ->
+              Format.fprintf ppf "nogood %a %h@."
+                (Env.pp ~names:(Printf.sprintf "a%d"))
+                e.Nogood.env e.Nogood.degree)
+            (Atms.nogoods atms))
+        ()
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "case %d: rebuild fingerprint" case)
+      (fingerprint atms1 nodes1) (fingerprint atms2 nodes2)
+  done
+
 let () =
   Alcotest.run "atms"
     [
@@ -543,6 +767,16 @@ let () =
             test_atms_incremental_label_update;
           Alcotest.test_case "env of non-assumption" `Quick
             test_atms_env_of_non_assumption;
+        ] );
+      ( "monotonicity",
+        [
+          Alcotest.test_case "justify grows belief" `Quick
+            test_atms_monotone_justify;
+          Alcotest.test_case "assumption is inert" `Quick
+            test_atms_monotone_assumption;
+          Alcotest.test_case "nogoods only rise" `Quick test_nogood_monotone;
+          Alcotest.test_case "rebuild round-trip" `Quick
+            test_atms_rebuild_roundtrip;
         ] );
       ( "candidates",
         [

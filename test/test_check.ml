@@ -246,6 +246,18 @@ let test_chaos_wall_budget () =
   | Ok _ -> ()
   | Error m -> Alcotest.failf "wall-budget chaos: %s" m
 
+(* Satellite: mid-session fault injection — each case replays a random
+   session script with a fault point that raises between steps, then
+   asserts the transactional/soundness invariants of
+   [Chaos.check_session]. *)
+let test_chaos_session () =
+  for case = 0 to 99 do
+    let seed = Rng.case_seed ~seed:0x5E551 ~case in
+    match Chaos.check_session seed with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "session chaos case %d (seed %d): %s" case seed m
+  done
+
 let test_degraded_oracle () =
   expect_pass "degraded oracle" 60 Gen.scenario Oracle.check_degraded
 
@@ -283,6 +295,72 @@ let test_hitting_interrupt_floor () =
   (* the floor does not invent candidates when none exist *)
   let sets, _ = Hitting.enumerate ~interrupt:(fun () -> true) [ Env.empty ] in
   check_int "no hitting set" 0 (List.length sets)
+
+(* {1 Incremental sessions (satellite: >= 300 differential cases)} *)
+
+module Session = Flames_session.Session
+
+(* Every case replays a random add/retract/refine script through a live
+   session and requires the diagnosis after each step to be
+   hex-fingerprint-identical to a from-scratch [Diagnose.run] over the
+   same measurement multiset — including scripts that retract down to an
+   empty session and re-measure. *)
+let test_session_oracle_random () =
+  expect_pass "session equivalence" 300 Gen.session_script
+    Oracle.check_session
+
+let test_session_oracle_retractions () =
+  (* biased variant: force retraction/refinement coverage by appending a
+     retract and a refine to every generated script *)
+  let biased =
+    {
+      Gen.session_script with
+      Gen.gen =
+        (fun rng ->
+          let s = Gen.session_script.Gen.gen rng in
+          {
+            s with
+            Gen.ops = s.Gen.ops @ [ Gen.S_retract 0; Gen.S_add 0; Gen.S_refine 1 ];
+          });
+    }
+  in
+  expect_pass "session retraction equivalence" 60 biased Oracle.check_session
+
+let test_session_retract_readd_roundtrip () =
+  (* retracting a measurement and re-adding the same interval must land
+     on a diagnosis fingerprint-identical to never having retracted *)
+  let r = Rng.make (Rng.case_seed ~seed:0x5E55 ~case:1) in
+  let sc = Gen.scenario.Gen.gen r in
+  let nominal, _ = Gen.scenario_netlists sc in
+  let obs = Gen.scenario_observations sc in
+  match obs with
+  | [] -> Alcotest.fail "scenario produced no observations"
+  | (q0, v0) :: rest ->
+    let straight = Session.create nominal in
+    List.iter
+      (fun (q, v) -> ignore (Session.add_measurement straight q v))
+      (obs : (_ * _) list);
+    let detour = Session.create nominal in
+    let m0 = Session.add_measurement detour q0 v0 in
+    List.iter (fun (q, v) -> ignore (Session.add_measurement detour q v)) rest;
+    check_bool "retract live id" true (Session.retract detour ~id:m0.Session.id);
+    ignore (Session.add_measurement detour q0 v0);
+    (* same multiset, different insertion order: compare against the
+       reference over each session's own list *)
+    let fingerprint s =
+      Oracle.result_fingerprint (Session.diagnoses s)
+    and reference s =
+      Oracle.result_fingerprint
+        (Diagnose.run ~model:(Session.model s) nominal
+           (List.map
+              (fun (m : Session.measurement) ->
+                (m.Session.quantity, m.Session.interval))
+              (Session.measurements s)))
+    in
+    check_string "straight session == scratch" (reference straight)
+      (fingerprint straight);
+    check_string "detour session == scratch" (reference detour)
+      (fingerprint detour)
 
 let test_propagate_step_budget () =
   let r = Rng.make (Rng.case_seed ~seed:0xB4D6E7 ~case:0) in
@@ -341,11 +419,20 @@ let () =
           Alcotest.test_case "shrinking" `Quick test_gen_shrinking;
           Alcotest.test_case "well-formed" `Slow test_gen_well_formed;
         ] );
+      ( "session-oracle",
+        [
+          Alcotest.test_case "random-300" `Slow test_session_oracle_random;
+          Alcotest.test_case "retraction-biased" `Slow
+            test_session_oracle_retractions;
+          Alcotest.test_case "retract-readd-roundtrip" `Quick
+            test_session_retract_readd_roundtrip;
+        ] );
       ( "resilience",
         [
           Alcotest.test_case "chaos-property-300" `Slow test_chaos_property;
           Alcotest.test_case "chaos-default" `Slow test_chaos_default;
           Alcotest.test_case "chaos-wall-budget" `Slow test_chaos_wall_budget;
+          Alcotest.test_case "chaos-session-100" `Slow test_chaos_session;
           Alcotest.test_case "degraded-oracle" `Slow test_degraded_oracle;
           Alcotest.test_case "budget-charges" `Quick test_budget_charges;
           Alcotest.test_case "hitting-interrupt-floor" `Quick

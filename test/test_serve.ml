@@ -353,6 +353,152 @@ let test_e2e_limits () =
       check_bool "Retry-After present" true
         (Http.header shed.Http.resp_headers "retry-after" <> None))
 
+(* {1 Session registry (injected clock)} *)
+
+let test_sessions_ttl () =
+  let now = ref 0. in
+  let reg = Admission.Sessions.create ~now:(fun () -> !now) ~cap:4 ~ttl:10. () in
+  let id =
+    match Admission.Sessions.put reg "payload" with
+    | Ok id -> id
+    | Error `Capacity -> Alcotest.fail "empty registry refused a session"
+  in
+  check_bool "live entry found" true
+    (Admission.Sessions.with_session reg id (fun v -> v) = Some "payload");
+  (* each access refreshes the deadline *)
+  now := 8.;
+  check_bool "touched before expiry" true
+    (Admission.Sessions.with_session reg id (fun v -> v) = Some "payload");
+  now := 16.;
+  check_bool "refresh kept it alive" true
+    (Admission.Sessions.with_session reg id (fun v -> v) = Some "payload");
+  (* idle past the TTL: lazily expired on the next access *)
+  now := 27.;
+  check_bool "expired after idle TTL" true
+    (Admission.Sessions.with_session reg id (fun v -> v) = None);
+  check_int "expired entry dropped" 0 (Admission.Sessions.count reg);
+  check_bool "remove on gone id" false (Admission.Sessions.remove reg id)
+
+let test_sessions_cap () =
+  let now = ref 0. in
+  let reg = Admission.Sessions.create ~now:(fun () -> !now) ~cap:2 ~ttl:5. () in
+  let put () = Admission.Sessions.put reg () in
+  check_bool "first fits" true (Result.is_ok (put ()));
+  let second = match put () with Ok id -> id | Error _ -> Alcotest.fail "cap 2" in
+  check_bool "at capacity" true (put () = Error `Capacity);
+  (* closing one frees a slot... *)
+  check_bool "close frees" true (Admission.Sessions.remove reg second);
+  check_bool "slot reusable" true (Result.is_ok (put ()));
+  (* ...and so does expiry: put sweeps the dead before deciding *)
+  now := 6.;
+  check_int "sweep drops both" 2 (Admission.Sessions.sweep reg);
+  check_bool "capacity back after expiry" true (Result.is_ok (put ()))
+
+(* {1 Session e2e over loopback} *)
+
+let post ~port ?headers path body =
+  request ~port ~meth:"POST" ?headers ~body path
+
+let json_num j key =
+  match Option.bind (Json.mem key j) Json.num_opt with
+  | Some n -> n
+  | None -> Alcotest.failf "response lacks numeric %S" key
+
+let test_e2e_session_loop () =
+  with_server ~config:ephemeral (fun server ->
+      let port = Server.port server in
+      (* open a session on the divider with a shorted lower leg *)
+      let created = post ~port "/session/create" {|{"circuit": "divider"}|} in
+      check_int "create status" 200 created.Http.status;
+      let sid =
+        match
+          Option.bind (Json.mem "session" (body_json created)) Json.str_opt
+        with
+        | Some id -> id
+        | None -> Alcotest.fail "create reply lacks a session id"
+      in
+      let step path body = post ~port (Printf.sprintf "/session/%s/%s" sid path) body in
+      (* healthy so far: no measurements *)
+      let d0 = step "diagnoses" "{}" in
+      check_int "empty diagnoses status" 200 d0.Http.status;
+      check_bool "healthy before measurements" true
+        (Json.mem "healthy" (body_json d0) = Some (Json.Bool true));
+      (* the shorted divider pulls mid to ~0 V *)
+      let m1 = step "measure" {|{"node": "mid", "value": 0.02, "spread": 0.05}|} in
+      check_int "measure status" 200 m1.Http.status;
+      let m1_id = json_num (body_json m1) "id" in
+      let m2 = step "measure" {|{"node": "in", "value": 10.0, "spread": 0.1}|} in
+      check_int "second measure status" 200 m2.Http.status;
+      let d1 = step "diagnoses" "{}" in
+      check_int "diagnoses status" 200 d1.Http.status;
+      check_bool "symptomatic" true
+        (Json.mem "healthy" (body_json d1) = Some (Json.Bool false));
+      check_bool "r2 among suspects" true (contains d1.Http.resp_body "r2");
+      (* the recommendation must not repeat a measured point *)
+      let next = step "next" "{}" in
+      check_int "next status" 200 next.Http.status;
+      check_bool "next does not re-probe mid" false
+        (contains next.Http.resp_body "V(mid)");
+      (* retract the symptom: back to healthy *)
+      let retract =
+        step "retract" (Printf.sprintf {|{"id": %d}|} (int_of_float m1_id))
+      in
+      check_int "retract status" 200 retract.Http.status;
+      let d2 = step "diagnoses" "{}" in
+      check_bool "healthy after retraction" true
+        (Json.mem "healthy" (body_json d2) = Some (Json.Bool true));
+      (* retracting it again is a 404 on the measurement *)
+      let gone =
+        step "retract" (Printf.sprintf {|{"id": %d}|} (int_of_float m1_id))
+      in
+      check_int "double retract" 404 gone.Http.status;
+      (* close, then every step 404s *)
+      check_int "close status" 200 (step "close" "{}").Http.status;
+      check_int "step after close" 404 (step "diagnoses" "{}").Http.status;
+      (* unknown ids and unknown verbs 404 *)
+      check_int "unknown session" 404
+        (post ~port "/session/zz/diagnoses" "{}").Http.status;
+      check_int "unknown verb" 404
+        (post ~port (Printf.sprintf "/session/%s/frob" sid) "{}").Http.status;
+      (* GET on a session route is a 405 *)
+      check_int "session requires POST" 405
+        (request ~port "/session/create").Http.status)
+
+let test_e2e_session_cap () =
+  let config = { ephemeral with session_cap = 2 } in
+  with_server ~config (fun server ->
+      let port = Server.port server in
+      let create () = post ~port "/session/create" {|{"circuit": "divider"}|} in
+      check_int "first session" 200 (create ()).Http.status;
+      check_int "second session" 200 (create ()).Http.status;
+      let shed = create () in
+      check_int "cap sheds with 429" 429 shed.Http.status;
+      check_bool "Retry-After present" true
+        (Http.header shed.Http.resp_headers "retry-after" <> None);
+      check_bool "error is one line" true (one_line shed.Http.resp_body))
+
+let test_e2e_session_errors () =
+  with_server ~config:ephemeral (fun server ->
+      let port = Server.port server in
+      let bad_create = post ~port "/session/create" {|{"circuit": "nope"}|} in
+      check_int "unknown circuit" 400 bad_create.Http.status;
+      let created = post ~port "/session/create" {|{"circuit": "divider"}|} in
+      let sid =
+        match
+          Option.bind (Json.mem "session" (body_json created)) Json.str_opt
+        with
+        | Some id -> id
+        | None -> Alcotest.fail "no session id"
+      in
+      let step path body = post ~port (Printf.sprintf "/session/%s/%s" sid path) body in
+      check_int "unknown node" 400
+        (step "measure" {|{"node": "zz", "value": 1}|}).Http.status;
+      check_int "no node field" 400
+        (step "measure" {|{"value": 1}|}).Http.status;
+      check_int "retract without id" 400 (step "retract" "{}").Http.status;
+      check_int "refine unknown measurement" 404
+        (step "refine" {|{"id": 9, "value": 1}|}).Http.status)
+
 let test_e2e_drain () =
   let server = Server.start ~config:ephemeral () in
   let port = Server.port server in
@@ -392,6 +538,9 @@ let () =
             test_admission_quota;
           Alcotest.test_case "Retry-After rounding" `Quick
             test_retry_after_header;
+          Alcotest.test_case "session TTL (fake clock)" `Quick
+            test_sessions_ttl;
+          Alcotest.test_case "session cap and sweep" `Quick test_sessions_cap;
         ] );
       ( "e2e",
         [
@@ -400,6 +549,12 @@ let () =
           Alcotest.test_case "input error discipline" `Quick
             test_e2e_input_errors;
           Alcotest.test_case "size limit and quotas" `Quick test_e2e_limits;
+          Alcotest.test_case "session troubleshooting loop" `Quick
+            test_e2e_session_loop;
+          Alcotest.test_case "session capacity sheds" `Quick
+            test_e2e_session_cap;
+          Alcotest.test_case "session input errors" `Quick
+            test_e2e_session_errors;
           Alcotest.test_case "graceful drain" `Quick test_e2e_drain;
         ] );
     ]
