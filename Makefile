@@ -2,7 +2,7 @@
 # stay green before every commit (tier-1 verify + engine tests + dune-file
 # formatting).
 
-.PHONY: all build test fmt check check-deep chaos corpus bench bench-engine bench-atms bench-session bench-serve serve trace clean
+.PHONY: all build test fmt check check-deep chaos corpus bench bench-engine bench-atms bench-session bench-serve bench-obs serve trace clean
 
 all: build
 
@@ -56,6 +56,12 @@ bench-atms: build
 # the corpus scenarios (writes BENCH_session.json)
 bench-session: build
 	dune exec bench/main.exe -- --session-json-only
+
+# observability overhead on the fig-7 diagnosis: wide events + digests
+# on vs off, paired runs, median ratio (writes BENCH_obs.json; the CI
+# claim is overhead_pct < 3)
+bench-obs: build
+	dune exec bench/main.exe -- --obs-json-only
 
 # run the diagnosis service on the default port (SERVE_ARGS appends
 # e.g. --port 9000 --quota-rate 5)

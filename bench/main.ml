@@ -346,10 +346,12 @@ let () =
   let engine_json_only = flag "--engine-json-only" in
   let atms_json_only = flag "--atms-json-only" in
   let session_json_only = flag "--session-json-only" in
+  let obs_json_only = flag "--obs-json-only" in
   let smoke = flag "--atms-smoke" in
   if engine_json_only then emit_engine_json ()
   else if atms_json_only then Atms_series.emit ~smoke ppf
   else if session_json_only then Session_series.emit ppf
+  else if obs_json_only then Obs_series.emit ppf
   else begin
     regenerate_tables ();
     Format.fprintf ppf "================ timing benches ================@.";
@@ -358,5 +360,6 @@ let () =
     report results;
     emit_engine_json ();
     Atms_series.emit ~smoke ppf;
-    Session_series.emit ppf
+    Session_series.emit ppf;
+    Obs_series.emit ppf
   end

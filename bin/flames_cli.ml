@@ -107,6 +107,26 @@ let obs_term =
   in
   Term.(const setup $ trace_arg $ metrics_arg $ quiet_arg $ verbose_arg)
 
+(* --wide-events is shared by the commands that emit per-request /
+   per-step wide events (serve, batch, troubleshoot): it installs a
+   JSON-lines sink for the run and closes it at exit. *)
+let wide_events_term =
+  let arg =
+    let doc =
+      "Append one JSON wide event per request / session step / batch job \
+       to $(docv) (one object per line; filter with 'flames tail')."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "wide-events" ] ~docv:"FILE" ~doc)
+  in
+  let setup = function
+    | None -> ()
+    | Some path ->
+      let close = Flames_obs.Events.file_sink path in
+      at_exit close
+  in
+  Term.(const setup $ arg)
+
 let circuit_arg =
   let doc =
     Printf.sprintf "Circuit to operate on: %s, or a path to a netlist file."
@@ -399,7 +419,7 @@ let stats_json_arg =
     value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
 
 let batch_cmd =
-  let run () file workers timeout trusted relative stats_json =
+  let run () () file workers timeout trusted relative stats_json =
     if workers < 1 then
       die_input "batch: --workers must be >= 1 (got %d)" workers;
     protect @@ fun () ->
@@ -445,8 +465,8 @@ let batch_cmd =
           domain-pool batch engine, with model-compilation caching, and \
           print per-job summaries plus engine statistics.")
     Term.(
-      const run $ obs_term $ file_arg $ workers_arg $ timeout_arg
-      $ trusted_arg $ instrument_arg $ stats_json_arg)
+      const run $ obs_term $ wide_events_term $ file_arg $ workers_arg
+      $ timeout_arg $ trusted_arg $ instrument_arg $ stats_json_arg)
 
 let list_cmd =
   let run () =
@@ -600,8 +620,8 @@ let chaos_cmd =
 
 let serve_cmd =
   let module Server = Flames_serve.Server in
-  let run () host port workers max_inflight quota_rate quota_burst max_body
-      default_wall max_wall session_cap session_ttl =
+  let run () () flight_dump host port workers max_inflight quota_rate
+      quota_burst max_body default_wall max_wall session_cap session_ttl =
     if workers < 1 then
       die_input "serve: --workers must be >= 1 (got %d)" workers;
     if max_inflight < 1 then
@@ -613,6 +633,7 @@ let serve_cmd =
     if session_ttl <= 0. then
       die_input "serve: --session-ttl must be > 0 (got %g)" session_ttl;
     protect @@ fun () ->
+    Flames_obs.Recorder.arm_crash_dump flight_dump;
     let config =
       {
         Server.default_config with
@@ -706,6 +727,16 @@ let serve_cmd =
       & opt float d.Server.session_ttl
       & info [ "session-ttl" ] ~docv:"S" ~doc)
   in
+  let flight_dump_arg =
+    let doc =
+      "Where to dump the flight recorder (last wide events + trace spans) \
+       on an uncaught exception."
+    in
+    Arg.(
+      value
+      & opt string "flames-flight.json"
+      & info [ "flight-dump" ] ~docv:"FILE" ~doc)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -718,13 +749,14 @@ let serve_cmd =
           /healthz, /readyz and /version.  Overload is shed with 429 and \
           Retry-After; SIGTERM drains gracefully.")
     Term.(
-      const run $ obs_term $ host_arg $ port_arg $ workers_arg $ inflight_arg
-      $ quota_rate_arg $ quota_burst_arg $ max_body_arg $ default_wall_arg
-      $ max_wall_arg $ session_cap_arg $ session_ttl_arg)
+      const run $ obs_term $ wide_events_term $ flight_dump_arg $ host_arg
+      $ port_arg $ workers_arg $ inflight_arg $ quota_rate_arg
+      $ quota_burst_arg $ max_body_arg $ default_wall_arg $ max_wall_arg
+      $ session_cap_arg $ session_ttl_arg)
 
 let troubleshoot_cmd =
   let module Script = Flames_session.Script in
-  let run () file no_echo max_candidates =
+  let run () () file no_echo max_candidates =
     protect @@ fun () ->
     let text =
       match file with
@@ -778,7 +810,126 @@ let troubleshoot_cmd =
           script from a file or stdin, so it pipes: echo 'circuit \
           amplifier' | flames troubleshoot.")
     Term.(
-      const run $ obs_term $ file_arg $ no_echo_arg $ max_candidates_arg)
+      const run $ obs_term $ wide_events_term $ file_arg $ no_echo_arg
+      $ max_candidates_arg)
+
+let tail_cmd =
+  let module Json = Flames_serve.Json in
+  (* One pretty line per wide event: timestamp, event name, the
+     correlation keys, then the remaining fields as k=v. *)
+  let render_num f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      string_of_int (int_of_float f)
+    else Printf.sprintf "%g" f
+  in
+  let render_value = function
+    | Json.Null -> "null"
+    | Json.Bool b -> string_of_bool b
+    | Json.Num f -> render_num f
+    | Json.Str s -> s
+    | (Json.Arr _ | Json.Obj _) as v -> Json.to_string v
+  in
+  let render_event fields =
+    let buf = Buffer.create 128 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    (match List.assoc_opt "ts" fields with
+    | Some (Json.Num ts) ->
+      let frac = ts -. Float.of_int (int_of_float ts) in
+      let tm = Unix.gmtime ts in
+      add "%02d:%02d:%02d.%03d " tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+        (int_of_float (frac *. 1e3))
+    | _ -> ());
+    (match List.assoc_opt "event" fields with
+    | Some (Json.Str name) -> add "%-16s" name
+    | _ -> add "%-16s" "?");
+    List.iter
+      (fun key ->
+        match List.assoc_opt key fields with
+        | Some v -> add " %s=%s" key (render_value v)
+        | None -> ())
+      [ "trace"; "session"; "route"; "status" ];
+    List.iter
+      (fun (key, v) ->
+        match key with
+        | "seq" | "ts" | "event" | "trace" | "session" | "route" | "status" ->
+          ()
+        | _ -> add " %s=%s" key (render_value v))
+      fields;
+    Buffer.contents buf
+  in
+  let matches filter key fields =
+    match filter with
+    | None -> true
+    | Some want -> (
+      match List.assoc_opt key fields with
+      | Some (Json.Str got) -> String.equal got want
+      | _ -> false)
+  in
+  let run file trace session last =
+    protect @@ fun () ->
+    let text =
+      match file with
+      | "-" -> In_channel.input_all In_channel.stdin
+      | path ->
+        if Sys.file_exists path then
+          In_channel.with_open_bin path In_channel.input_all
+        else die_input "tail: no such event log %S" path
+    in
+    let selected =
+      String.split_on_char '\n' text
+      |> List.filteri (fun i line ->
+             let line = String.trim line in
+             if line = "" then false
+             else
+               match Json.parse_result line with
+               | Ok (Json.Obj fields) ->
+                 matches trace "trace" fields
+                 && matches session "session" fields
+               | Ok _ | Error _ ->
+                 Printf.eprintf "tail: line %d: not a wide event, skipped\n"
+                   (i + 1);
+                 false)
+      |> List.filter_map (fun line ->
+             match Json.parse_result (String.trim line) with
+             | Ok (Json.Obj fields) -> Some fields
+             | _ -> None)
+    in
+    let selected =
+      match last with
+      | None -> selected
+      | Some n ->
+        let len = List.length selected in
+        if len <= n then selected
+        else List.filteri (fun i _ -> i >= len - n) selected
+    in
+    List.iter (fun fields -> print_endline (render_event fields)) selected
+  in
+  let file_arg =
+    let doc = "Wide-event log to read, as written by --wide-events \
+               ('-' reads stdin)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let trace_arg =
+    let doc = "Only events carrying this trace id." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"ID" ~doc)
+  in
+  let session_arg =
+    let doc = "Only events carrying this session id." in
+    Arg.(value & opt (some string) None & info [ "session" ] ~docv:"ID" ~doc)
+  in
+  let last_arg =
+    let doc = "Print only the last $(docv) matching events." in
+    Arg.(value & opt (some int) None & info [ "last" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "tail"
+       ~doc:
+         "Pretty-print a wide-event log (one JSON object per line, as \
+          written by the --wide-events flag of serve, batch and \
+          troubleshoot), optionally filtered to one trace or session id: \
+          the first stop when turning a slow or failed request's trace id \
+          into its per-stage timings and admission decisions.")
+    Term.(const run $ file_arg $ trace_arg $ session_arg $ last_arg)
 
 let main =
   let info =
@@ -789,7 +940,7 @@ let main =
     [
       bias_cmd; diagnose_cmd; best_test_cmd; ac_cmd; dynamic_diagnose_cmd;
       batch_cmd; show_cmd; list_cmd; serve_cmd; check_cmd; chaos_cmd;
-      obs_demo_cmd; troubleshoot_cmd;
+      obs_demo_cmd; troubleshoot_cmd; tail_cmd;
     ]
 
 let () = exit (Cmd.eval main)

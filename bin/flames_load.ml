@@ -47,8 +47,15 @@ let print_level (s : Loadgen.level_stats) =
     s.Loadgen.p95_ms s.Loadgen.p99_ms
 
 let run host port levels duration seed json_path spawn workers max_inflight
-    quota_rate quota_burst =
+    quota_rate quota_burst wide_events =
   if duration <= 0. then die "--duration must be > 0 (got %g)" duration;
+  if wide_events <> None && not spawn then
+    die "--wide-events records the spawned server's events; add --spawn";
+  Option.iter
+    (fun path ->
+      let close = Flames_obs.Events.file_sink path in
+      at_exit close)
+    wide_events;
   if spawn && port <> 0 then
     die "--spawn picks an ephemeral port; drop --port %d" port;
   if (not spawn) && port = 0 then die "--port is required without --spawn";
@@ -149,6 +156,14 @@ let main =
     let doc = "Quota burst of the spawned server (with --spawn)." in
     Arg.(value & opt float 10. & info [ "quota-burst" ] ~docv:"N" ~doc)
   in
+  let wide_events_arg =
+    let doc =
+      "Append the spawned server's wide events to $(docv) as JSON lines \
+       (with --spawn; filter with 'flames tail')."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "wide-events" ] ~docv:"FILE" ~doc)
+  in
   let info =
     Cmd.info "flames_load" ~version:Flames_serve.Version.current
       ~doc:
@@ -161,6 +176,6 @@ let main =
     Term.(
       const run $ host_arg $ port_arg $ levels_arg $ duration_arg $ seed_arg
       $ json_arg $ spawn_arg $ workers_arg $ inflight_arg $ quota_rate_arg
-      $ quota_burst_arg)
+      $ quota_burst_arg $ wide_events_arg)
 
 let () = exit (Cmd.eval main)

@@ -8,6 +8,7 @@ module Component = Flames_circuit.Component
 module Fault = Flames_circuit.Fault
 module Metrics = Flames_obs.Metrics
 module Trace = Flames_obs.Trace
+module Context = Flames_obs.Context
 
 (* Stage telemetry for the interactive loop (§6–§8): each stage gets a
    trace span and an always-on latency histogram, so a trace shows where
@@ -392,8 +393,21 @@ let analyze ?limits ?budget ~degree ~model ~predictions ~prediction ~first
   in
   Metrics.incr runs_total;
   if degraded then Metrics.incr degraded_total;
+  let trips = Budget.trips budget in
+  (* outcome annotations for the request's wide event (no-ops without
+     an active context): the per-stage timings arrive separately via
+     the recorded spans above *)
+  Context.annotate "degraded" (Context.Bool degraded);
+  Context.annotate "conflicts" (Context.Int (List.length conflicts));
+  Context.annotate "nogoods"
+    (Context.Int (Flames_atms.Nogood.count (Propagate.nogood_db engine)));
+  Context.annotate "propagate_steps" (Context.Int (Propagate.steps_used engine));
+  Context.annotate "budget_elapsed_s" (Context.Num (Budget.elapsed budget));
+  if trips <> [] then
+    Context.annotate "budget_trips"
+      (Context.Str (String.concat "," (List.map Budget.trip_label trips)));
   { netlist; symptoms; conflicts; suspects; diagnoses; single_faults; engine;
-    degraded; trips = Budget.trips budget }
+    degraded; trips }
 
 let run ?config ?limits ?model ?budget ?(prediction_floor = 1e-3)
     ?(sensitivity_threshold = 0.02) ?(prediction_degree = 0.95)

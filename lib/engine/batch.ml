@@ -39,8 +39,41 @@ let retry ?(attempts = 3) ?(base_delay = 0.05) ?(max_delay = 1.) ?(seed = 0)
 
 module Metrics = Flames_obs.Metrics
 module Trace = Flames_obs.Trace
+module Context = Flames_obs.Context
+module Events = Flames_obs.Events
+module Ids = Flames_obs.Ids
 
 let now () = Unix.gettimeofday ()
+
+(* One request context per job: the job's spans, stage timings and
+   cache hit/miss attach to a per-job trace id, and settling emits one
+   wide event per job.  Skipped entirely when events are disabled (the
+   obs-overhead benchmark's baseline). *)
+let job_context _j =
+  if Events.enabled () then
+    Some (Context.make ~trace_id:(Ids.trace_id ()) ~route:"batch" ())
+  else None
+
+let emit_job_event ctx j ~attempts outcome =
+  match ctx with
+  | None -> ()
+  | Some ctx ->
+    let status, extra =
+      match (outcome : outcome) with
+      | Ok r ->
+        ( "ok",
+          [
+            ("degraded", Events.Bool r.Diagnose.degraded);
+            ("conflicts", Events.Int (List.length r.Diagnose.conflicts));
+          ] )
+      | Error (Err.Breaker_open _) -> ("shed", [])
+      | Error e -> ("error", [ ("error", Events.Str (Err.to_string e)) ])
+    in
+    Events.emit ~ctx ~name:"batch.job"
+      (("label", Events.Str j.label)
+      :: ("status", Events.Str status)
+      :: ("attempts", Events.Int attempts)
+      :: extra)
 
 let err_of_pool = function
   | Pool.Cancelled -> Err.Cancelled
@@ -135,12 +168,15 @@ let run_in ~pool ?cache ?timeout ?budget ?retry:policy ?breaker jobs =
     (* jobs over the same circuit/config share one breaker circuit *)
     Cache.fingerprint ?config:j.config j.netlist
   in
-  let submit j ~attempt =
+  let submit j ~ctx ~attempt =
     (* every attempt gets a freshly armed budget: a retry should not
-       inherit the exhausted quotas of the attempt it replaces *)
+       inherit the exhausted quotas of the attempt it replaces.  The
+       job context is installed around the submission so the pool
+       captures it and restores it inside the worker domain. *)
     let budget = Option.map Budget.start budget in
-    Pool.submit pool ~label:j.label ?timeout ?budget (fun () ->
-        run_one cache ?budget ~attempt j)
+    Context.with_context_opt ctx (fun () ->
+        Pool.submit pool ~label:j.label ?timeout ?budget (fun () ->
+            run_one cache ?budget ~attempt j))
   in
   let gate j =
     match breaker with
@@ -150,16 +186,17 @@ let run_in ~pool ?cache ?timeout ?budget ?retry:policy ?breaker jobs =
   let pendings =
     List.map
       (fun j ->
+        let ctx = job_context j in
         match gate j with
-        | `Allow -> Flight (submit j ~attempt:1)
+        | `Allow -> (ctx, Flight (submit j ~ctx ~attempt:1))
         | `Shed ->
           Metrics.incr Telemetry.shed_total;
-          Shed (key j))
+          (ctx, Shed (key j)))
       jobs
   in
   (* awaiting in submission order is what makes the batch deterministic:
      completion order depends on scheduling, the returned list does not *)
-  let settle index j pending =
+  let settle index j (ctx, pending) =
     let k = key j in
     let report ok =
       match breaker with
@@ -170,7 +207,7 @@ let run_in ~pool ?cache ?timeout ?budget ?retry:policy ?breaker jobs =
       match Pool.await promise with
       | Ok r ->
         report true;
-        Ok r
+        (Ok r, attempt)
       | Error perr ->
         let e = err_of_pool perr in
         report false;
@@ -179,22 +216,26 @@ let run_in ~pool ?cache ?timeout ?budget ?retry:policy ?breaker jobs =
           | None -> false
           | Some p -> attempt < p.attempts && Err.retryable e
         in
-        if not want_retry then Error e
+        if not want_retry then (Error e, attempt)
         else begin
           match gate j with
           | `Shed ->
             Metrics.incr Telemetry.shed_total;
-            Error (Err.Breaker_open k)
+            (Error (Err.Breaker_open k), attempt)
           | `Allow ->
             let p = Option.get policy in
             Unix.sleepf (backoff p ~index ~attempt);
             Metrics.incr Telemetry.retries_total;
-            await_attempt (submit j ~attempt:(attempt + 1)) (attempt + 1)
+            await_attempt (submit j ~ctx ~attempt:(attempt + 1)) (attempt + 1)
         end
     in
-    match pending with
-    | Shed k -> (Error (Err.Breaker_open k) : outcome)
-    | Flight promise -> await_attempt promise 1
+    let outcome, attempts =
+      match pending with
+      | Shed k -> ((Error (Err.Breaker_open k) : outcome), 0)
+      | Flight promise -> await_attempt promise 1
+    in
+    emit_job_event ctx j ~attempts outcome;
+    outcome
   in
   let outcomes = List.mapi (fun i (j, p) -> settle i j p)
       (List.combine jobs pendings)
@@ -214,7 +255,15 @@ let sequential ?cache jobs =
   let cache = match cache with Some c -> c | None -> Cache.create () in
   let before = Telemetry.read () in
   let wall0 = now () and cpu0 = Sys.time () in
-  let results = List.map (fun j -> run_one cache j) jobs in
+  let results =
+    List.map
+      (fun j ->
+        let ctx = job_context j in
+        let r = Context.with_context_opt ctx (fun () -> run_one cache j) in
+        emit_job_event ctx j ~attempts:1 (Ok r);
+        r)
+      jobs
+  in
   let wall = now () -. wall0 and cpu = Sys.time () -. cpu0 in
   let stats =
     summarize ~workers:1 ~wall ~cpu ~before ~after:(Telemetry.read ())

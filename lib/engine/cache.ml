@@ -116,12 +116,14 @@ let compile cache ?config netlist =
     entry.last_used <- tick;
     Atomic.incr cache.hits;
     Flames_obs.Metrics.incr Telemetry.cache_hits_total;
+    Flames_obs.Context.annotate "cache" (Flames_obs.Context.Str "hit");
     let model = entry.model in
     Mutex.unlock cache.mutex;
     model
   | None ->
     Atomic.incr cache.misses;
     Flames_obs.Metrics.incr Telemetry.cache_misses_total;
+    Flames_obs.Context.annotate "cache" (Flames_obs.Context.Str "miss");
     (* compile outside the lock so distinct keys compile in parallel;
        a racing domain may compile the same key twice — both results
        are identical and the first insertion wins *)

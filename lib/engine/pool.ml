@@ -1,5 +1,6 @@
 module Metrics = Flames_obs.Metrics
 module Trace = Flames_obs.Trace
+module Context = Flames_obs.Context
 module Budget = Flames_core.Budget
 
 type error =
@@ -20,6 +21,9 @@ type 'a promise = {
   budget : Budget.t option;  (* cancelled at the deadline: cooperative stop *)
   submitted : float;  (* enqueue instant, for the queue-wait histogram *)
   label : string option;  (* span label in traces *)
+  ctx : Context.t option;  (* submitter's request context, restored in
+                              the worker so cross-domain work stays
+                              attributed to the request *)
   mutable running : bool;
   mutable result : ('a, error) result option;
 }
@@ -73,14 +77,23 @@ let run_job (Job (promise, f, _)) =
   else begin
     promise.running <- true;
     Mutex.unlock promise.p_mutex;
-    Metrics.observe Telemetry.queue_wait_seconds (now () -. promise.submitted);
+    let wait = now () -. promise.submitted in
+    Metrics.observe Telemetry.queue_wait_seconds wait;
+    (* queue wait is also attributed to the submitting request's wide
+       event, not just the global histogram *)
+    (match promise.ctx with
+    | Some c -> Context.annotate_ctx c "queue_wait_s" (Context.Num wait)
+    | None -> ());
     (* the span runs on the worker domain, so each worker is its own
        track in the exported trace *)
     let args =
       match promise.label with None -> [] | Some l -> [ ("label", l) ]
     in
     let outcome =
-      match Trace.with_span ~args "pool.job" f with
+      match
+        Context.with_context_opt promise.ctx (fun () ->
+            Trace.with_span ~args "pool.job" f)
+      with
       | v -> Ok v
       | exception Kill_worker ->
         (* chaos switch: the job wants the whole worker domain dead.
@@ -216,6 +229,7 @@ let submit pool ?label ?timeout ?budget f =
       budget;
       submitted;
       label;
+      ctx = Context.current ();
       running = false;
       result = None;
     }

@@ -1,0 +1,63 @@
+(** Request-scoped context: the identity (trace id, session id, client,
+    route) and accumulated annotations of the request the current
+    domain+thread is working for.
+
+    Installed with {!with_context} at the service edge, captured at
+    {!Flames_engine.Pool.submit} and re-installed inside the worker
+    domain, so engine-side spans, timings and log lines attach to the
+    right request even across domains.  Keyed by (domain id, thread id)
+    — not [Domain.DLS] — because the server runs concurrent connection
+    handlers as systhreads of one domain.
+
+    When no context is installed anywhere, {!current}, {!annotate} and
+    {!add_timing} cost one atomic load — cheap enough for hot paths. *)
+
+type value = Str of string | Num of float | Int of int | Bool of bool
+(** Field values of a wide event (see {!Events}). *)
+
+type t
+
+val make :
+  ?session_id:string ->
+  ?client:string ->
+  ?route:string ->
+  trace_id:string ->
+  unit ->
+  t
+
+val trace_id : t -> string
+val session_id : t -> string option
+val client : t -> string option
+val route : t -> string option
+
+val with_context : t -> (unit -> 'a) -> 'a
+(** Install [t] as the current context for the calling domain+thread,
+    run the function, restore the previous binding (contexts nest). *)
+
+val with_context_opt : t option -> (unit -> 'a) -> 'a
+(** [with_context] when [Some], plain call when [None] — the shape the
+    pool worker uses to restore a captured context. *)
+
+val current : unit -> t option
+(** The context of the calling domain+thread, if one is installed. *)
+
+val set_session : string -> unit
+(** Join a session id to the current context (no-op without one). *)
+
+val annotate : string -> value -> unit
+(** Attach a field to the current context's wide event (no-op without
+    a context).  The latest annotation of a key wins. *)
+
+val annotate_ctx : t -> string -> value -> unit
+(** [annotate] on an explicit context. *)
+
+val add_timing : string -> float -> unit
+(** Accumulate [dt] seconds under a stage name on the current context;
+    repeated stages sum.  Fed automatically by
+    {!Trace.with_span}[ ~record]. *)
+
+val fields : t -> (string * value) list
+(** Accumulated annotations, latest-wins deduplicated. *)
+
+val timings : t -> (string * float) list
+(** Accumulated per-stage seconds, sorted by stage name. *)

@@ -1,0 +1,169 @@
+(* Streaming quantile digests on fixed log-spaced buckets.
+
+   A digest is 64 atomic bucket counters spanning 10 µs .. 100 s with
+   nine buckets per decade (≈ 29 % resolution — plenty for p50/p95/p99
+   gauges), plus an exact count/sum and an optional SLO threshold whose
+   breaches are counted.  Observation is lock-free: one index
+   computation and three atomic bumps, so per-route digests sit on the
+   service's request path.  Quantiles are read by a cumulative scan at
+   export time and report the bucket's upper bound (conservative).
+
+   The registry metrics have no label dimension, so per-route series
+   live here: a [family] maps a low-cardinality label (the route) to a
+   digest and is rendered by {!Export.prometheus} as a Prometheus
+   summary with [route]/[quantile] labels. *)
+
+let lo = 1e-5 (* seconds: lower edge of bucket 1 *)
+let per_decade = 9.
+let nbuckets = 64 (* bucket 0 = underflow, bucket 63 = overflow *)
+
+let bucket_index v =
+  if v <= lo then 0
+  else
+    let i = 1 + int_of_float (Float.log10 (v /. lo) *. per_decade) in
+    if i >= nbuckets then nbuckets - 1 else i
+
+let bucket_bound i =
+  if i >= nbuckets - 1 then infinity
+  else lo *. Float.pow 10. (float_of_int i /. per_decade)
+
+type t = {
+  counts : int Atomic.t array;
+  count : int Atomic.t;
+  sum : float Atomic.t;
+  slo : float option;  (* seconds; observations above it are breaches *)
+  breaches : int Atomic.t;
+}
+
+let create ?slo () =
+  {
+    counts = Array.init nbuckets (fun _ -> Atomic.make 0);
+    count = Atomic.make 0;
+    sum = Atomic.make 0.;
+    slo;
+    breaches = Atomic.make 0;
+  }
+
+let atomic_add_float a dt =
+  let rec go () =
+    let old = Atomic.get a in
+    if not (Atomic.compare_and_set a old (old +. dt)) then go ()
+  in
+  go ()
+
+let observe t v =
+  Atomic.incr t.counts.(bucket_index v);
+  Atomic.incr t.count;
+  atomic_add_float t.sum v;
+  match t.slo with
+  | Some threshold when v > threshold -> Atomic.incr t.breaches
+  | _ -> ()
+
+let count t = Atomic.get t.count
+let sum t = Atomic.get t.sum
+let slo t = t.slo
+let breaches t = Atomic.get t.breaches
+
+let quantile t q =
+  let total = count t in
+  if total = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target =
+      Int.max 1 (int_of_float (Float.ceil (q *. float_of_int total)))
+    in
+    let rec scan i acc =
+      if i >= nbuckets then bucket_bound (nbuckets - 1)
+      else
+        let acc = acc + Atomic.get t.counts.(i) in
+        if acc >= target then bucket_bound i else scan (i + 1) acc
+    in
+    scan 0 0
+  end
+
+(* --- labelled families --- *)
+
+type family = {
+  f_name : string;
+  f_help : string;
+  f_slo : float option;
+  f_mutex : Mutex.t;
+  by_label : (string, t) Hashtbl.t;
+}
+
+let families : family list ref = ref []
+let families_mutex = Mutex.create ()
+
+let family ?slo ~help name =
+  Mutex.lock families_mutex;
+  let f =
+    match List.find_opt (fun f -> f.f_name = name) !families with
+    | Some f -> f
+    | None ->
+      let f =
+        {
+          f_name = name;
+          f_help = help;
+          f_slo = slo;
+          f_mutex = Mutex.create ();
+          by_label = Hashtbl.create 8;
+        }
+      in
+      families := f :: !families;
+      f
+  in
+  Mutex.unlock families_mutex;
+  f
+
+let digest f label =
+  Mutex.lock f.f_mutex;
+  let d =
+    match Hashtbl.find_opt f.by_label label with
+    | Some d -> d
+    | None ->
+      let d = create ?slo:f.f_slo () in
+      Hashtbl.add f.by_label label d;
+      d
+  in
+  Mutex.unlock f.f_mutex;
+  d
+
+let observe_in f label v = observe (digest f label) v
+
+type sample = {
+  name : string;
+  help : string;
+  has_slo : bool;
+  labelled : (string * t) list;  (* label-sorted *)
+}
+
+let snapshot () =
+  Mutex.lock families_mutex;
+  let fams = !families in
+  Mutex.unlock families_mutex;
+  fams
+  |> List.map (fun f ->
+         Mutex.lock f.f_mutex;
+         let labelled =
+           Hashtbl.fold (fun l d acc -> (l, d) :: acc) f.by_label []
+         in
+         Mutex.unlock f.f_mutex;
+         {
+           name = f.f_name;
+           help = f.f_help;
+           has_slo = f.f_slo <> None;
+           labelled =
+             List.sort (fun (a, _) (b, _) -> String.compare a b) labelled;
+         })
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let reset () =
+  Mutex.lock families_mutex;
+  let fams = !families in
+  Mutex.unlock families_mutex;
+  List.iter
+    (fun f ->
+      Mutex.lock f.f_mutex;
+      Hashtbl.reset f.by_label;
+      Mutex.unlock f.f_mutex)
+    fams

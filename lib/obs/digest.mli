@@ -1,0 +1,56 @@
+(** Streaming fixed-bucket quantile digests and per-route latency
+    families.
+
+    A digest holds 64 log-spaced atomic bucket counters (10 µs..100 s,
+    nine per decade) plus exact count/sum and an optional SLO threshold
+    whose breaches are counted; {!observe} is lock-free.  A {!family}
+    keys digests by a low-cardinality label (the route) and is rendered
+    by {!Export.prometheus} as a summary with [route]/[quantile] labels
+    plus a [_slo_breaches_total] counter series. *)
+
+type t
+
+val create : ?slo:float -> unit -> t
+(** [?slo] in seconds: observations above it count as breaches. *)
+
+val observe : t -> float -> unit
+val count : t -> int
+val sum : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t 0.99]: upper bound of the bucket holding the q-th
+    observation (conservative; 0 when empty). *)
+
+val slo : t -> float option
+val breaches : t -> int
+
+val bucket_index : float -> int
+(** Bucket of a value (exposed for tests). *)
+
+val bucket_bound : int -> float
+(** Upper bound of a bucket, [infinity] for the overflow bucket. *)
+
+type family
+
+val family : ?slo:float -> help:string -> string -> family
+(** Register (or fetch — idempotent by name) a labelled digest
+    family. *)
+
+val observe_in : family -> string -> float -> unit
+(** [observe_in fam label seconds] *)
+
+val digest : family -> string -> t
+(** The digest behind one label, creating it when new. *)
+
+type sample = {
+  name : string;
+  help : string;
+  has_slo : bool;
+  labelled : (string * t) list;
+}
+
+val snapshot : unit -> sample list
+(** Every registered family, name-sorted, labels sorted. *)
+
+val reset : unit -> unit
+(** Drop all labelled digests (tests); families stay registered. *)

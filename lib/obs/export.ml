@@ -87,11 +87,29 @@ let pp_float ppf v =
     Format.fprintf ppf "%.0f" v
   else Format.fprintf ppf "%g" v
 
+(* Format 0.0.4 escaping rules: HELP text escapes backslash and
+   line-feed; label values additionally escape the double quote. *)
+let escape_with quote s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '"' when quote -> Buffer.add_string b "\\\""
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let help_escape s = escape_with false s
+let label_escape s = escape_with true s
+
 let prometheus ppf =
   List.iter
     (fun (s : Metrics.sample) ->
       if s.Metrics.help <> "" then
-        Format.fprintf ppf "# HELP %s %s@\n" s.Metrics.name s.Metrics.help;
+        Format.fprintf ppf "# HELP %s %s@\n" s.Metrics.name
+          (help_escape s.Metrics.help);
       match s.Metrics.value with
       | Metrics.Counter v ->
         Format.fprintf ppf "# TYPE %s counter@\n%s %d@\n" s.Metrics.name
@@ -99,7 +117,7 @@ let prometheus ppf =
       | Metrics.Gauge v ->
         Format.fprintf ppf "# TYPE %s gauge@\n%s %a@\n" s.Metrics.name
           s.Metrics.name pp_float v
-      | Metrics.Histogram { buckets; count; sum } ->
+      | Metrics.Histogram { buckets; count = _; sum } ->
         Format.fprintf ppf "# TYPE %s histogram@\n" s.Metrics.name;
         let cumulative = ref 0 in
         List.iter
@@ -112,9 +130,46 @@ let prometheus ppf =
               Format.fprintf ppf "%s_bucket{le=\"%g\"} %d@\n" s.Metrics.name
                 bound !cumulative)
           buckets;
+        (* _count is the +Inf cumulative by construction, so the 0.0.4
+           invariant +Inf == _count holds even if a shard is bumped
+           between reading the buckets and the standalone counter *)
         Format.fprintf ppf "%s_sum %g@\n%s_count %d@\n" s.Metrics.name sum
-          s.Metrics.name count)
-    (Metrics.snapshot ())
+          s.Metrics.name !cumulative)
+    (Metrics.snapshot ());
+  (* per-route latency digests render as summaries (quantiles are
+     computed server-side), plus an SLO burn counter series *)
+  List.iter
+    (fun (d : Digest.sample) ->
+      if d.Digest.labelled <> [] then begin
+        if d.Digest.help <> "" then
+          Format.fprintf ppf "# HELP %s %s@\n" d.Digest.name
+            (help_escape d.Digest.help);
+        Format.fprintf ppf "# TYPE %s summary@\n" d.Digest.name;
+        List.iter
+          (fun (label, t) ->
+            List.iter
+              (fun q ->
+                Format.fprintf ppf "%s{route=\"%s\",quantile=\"%g\"} %g@\n"
+                  d.Digest.name (label_escape label) q (Digest.quantile t q))
+              [ 0.5; 0.95; 0.99 ];
+            Format.fprintf ppf "%s_sum{route=\"%s\"} %g@\n" d.Digest.name
+              (label_escape label) (Digest.sum t);
+            Format.fprintf ppf "%s_count{route=\"%s\"} %d@\n" d.Digest.name
+              (label_escape label) (Digest.count t))
+          d.Digest.labelled;
+        if d.Digest.has_slo then begin
+          Format.fprintf ppf "# HELP %s_slo_breaches_total %s@\n" d.Digest.name
+            "Observations above the route's latency SLO.";
+          Format.fprintf ppf "# TYPE %s_slo_breaches_total counter@\n"
+            d.Digest.name;
+          List.iter
+            (fun (label, t) ->
+              Format.fprintf ppf "%s_slo_breaches_total{route=\"%s\"} %d@\n"
+                d.Digest.name (label_escape label) (Digest.breaches t))
+            d.Digest.labelled
+        end
+      end)
+    (Digest.snapshot ())
 
 let summary ppf =
   let samples = Metrics.snapshot () in

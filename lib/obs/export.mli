@@ -14,7 +14,17 @@ val write_chrome_trace : string -> unit
 val prometheus : Format.formatter -> unit
 (** Prometheus text exposition (format 0.0.4) of the whole registry:
     [# HELP]/[# TYPE] comments, cumulative [_bucket{le="..."}] series
-    plus [_sum]/[_count] for histograms. *)
+    plus [_sum]/[_count] for histograms (the [+Inf] bucket and
+    [_count] are the same cumulative value by construction), followed
+    by the registered {!Digest} families as summaries with
+    [route]/[quantile] labels and [_slo_breaches_total] counters.
+    HELP text and label values are escaped per the format. *)
+
+val help_escape : string -> string
+(** Escape a HELP string: backslashes and line feeds. *)
+
+val label_escape : string -> string
+(** Escape a label value: backslashes, double quotes and line feeds. *)
 
 val prometheus_string : unit -> string
 (** {!prometheus} as a string — the body of the diagnosis service's

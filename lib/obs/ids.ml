@@ -1,0 +1,53 @@
+(* Correlation-id generation on a splitmix64 stream.
+
+   Trace and span ids come from one global splitmix64 state advanced by
+   compare-and-set, so ids are unique within a process without any lock
+   and without consulting the wall clock (the same generator discipline
+   as lib/check's rng and Batch's backoff jitter).  The stream is seeded
+   from the pid so two processes on one host diverge; tests pin it with
+   [seed] for reproducible ids. *)
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let state =
+  Atomic.make (Int64.mul (Int64.of_int (Unix.getpid () + 1)) gamma)
+
+let seed n = Atomic.set state (Int64.of_int n)
+
+(* splitmix64: fetch-and-add the odd gamma, then finalise with the
+   standard xor-shift/multiply mix — every 64-bit output is distinct
+   until the stream wraps. *)
+let next64 () =
+  let rec bump () =
+    let old = Atomic.get state in
+    let next = Int64.add old gamma in
+    if Atomic.compare_and_set state old next then next else bump ()
+  in
+  let z = bump () in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let trace_id () = Printf.sprintf "%016Lx" (next64 ())
+
+let span_id () =
+  Printf.sprintf "%08Lx" (Int64.logand (next64 ()) 0xFFFFFFFFL)
+
+(* Client-supplied ids (the X-Flames-Trace-Id request header) are kept
+   verbatim when they are short and unambiguous: 1-64 characters of
+   [A-Za-z0-9._-].  Anything else is replaced by a fresh id, so log
+   lines and label values never carry arbitrary bytes. *)
+let valid s =
+  let n = String.length s in
+  n >= 1 && n <= 64
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true
+         | _ -> false)
+       s

@@ -1,0 +1,22 @@
+(** Correlation-id generation (trace and span ids).
+
+    A process-global splitmix64 stream advanced by compare-and-set:
+    lock-free, wall-clock-free, unique per process until the 64-bit
+    stream wraps.  Seeded from the pid; {!seed} pins the stream for
+    deterministic tests. *)
+
+val trace_id : unit -> string
+(** Fresh 16-hex-digit trace id. *)
+
+val span_id : unit -> string
+(** Fresh 8-hex-digit span id. *)
+
+val seed : int -> unit
+(** Restart the id stream from a fixed state (tests). *)
+
+val valid : string -> bool
+(** Accept a client-supplied id: 1-64 chars of [A-Za-z0-9._-].
+    Invalid ids are replaced with a fresh {!trace_id} at the edge. *)
+
+val next64 : unit -> int64
+(** The raw generator (exposed for tests). *)

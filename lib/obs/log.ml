@@ -37,6 +37,11 @@ let log lvl fmt =
     let ms = int_of_float (Float.rem t 1. *. 1000.) in
     Format.fprintf ppf "%02d:%02d:%02d.%03d %-5s " tm.Unix.tm_hour
       tm.Unix.tm_min tm.Unix.tm_sec ms (tag lvl);
+    (* correlate stderr lines with wide events: prefix the trace id of
+       the request this domain+thread is working for, when there is one *)
+    (match Context.current () with
+    | Some c -> Format.fprintf ppf "[trace=%s] " (Context.trace_id c)
+    | None -> ());
     Format.kfprintf
       (fun ppf ->
         Format.fprintf ppf "@.";

@@ -1,0 +1,74 @@
+(* Flight recorder: a JSON dump of the recent past — the wide-event
+   ring plus the tail of the trace-span buffers — produced on demand
+   (GET /debug/flight) or on a crash.
+
+   The recorder owns no storage of its own: events live in {!Events}'s
+   ring and spans in {!Trace}'s per-domain buffers, so arming it costs
+   nothing on the request path.  The crash hook wraps
+   [Printexc.set_uncaught_exception_handler]: it writes the dump
+   best-effort, then reproduces the default handler's report so the
+   exception and backtrace still reach stderr. *)
+
+let span_limit = 256
+
+let phase_string = function
+  | Trace.Begin -> "B"
+  | Trace.End -> "E"
+  | Trace.Instant -> "i"
+
+let span_json (e : Trace.event) =
+  let b = Buffer.create 96 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"name\": \"%s\", \"ph\": \"%s\", \"ts\": %.6f, \"tid\": %d"
+       (Export.json_escape e.name) (phase_string e.phase) e.ts e.tid);
+  if e.args <> [] then begin
+    Buffer.add_string b ", \"args\": {";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ", ";
+        Buffer.add_string b
+          (Printf.sprintf "\"%s\": \"%s\"" (Export.json_escape k)
+             (Export.json_escape v)))
+      e.args;
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let last n l =
+  let len = List.length l in
+  if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+
+let dump () =
+  let events = Events.recent () in
+  let spans = last span_limit (Trace.events ()) in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"events\": [\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b "    ";
+      Buffer.add_string b (Events.to_json e))
+    events;
+  Buffer.add_string b "\n  ],\n  \"spans\": [\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b "    ";
+      Buffer.add_string b (span_json e))
+    spans;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+let write path =
+  let oc = open_out path in
+  output_string oc (dump ());
+  close_out oc
+
+let arm_crash_dump path =
+  Printexc.set_uncaught_exception_handler (fun exn bt ->
+      (try write path with _ -> ());
+      Printf.eprintf "Fatal error: exception %s\n%s%!"
+        (Printexc.to_string exn)
+        (Printexc.raw_backtrace_to_string bt);
+      Printf.eprintf "flight recorder dumped to %s\n%!" path)

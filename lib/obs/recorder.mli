@@ -1,0 +1,19 @@
+(** Flight recorder: dump the recent past — the {!Events} ring plus the
+    tail of the {!Trace} buffers — as one JSON object
+    ([{"events": [...], "spans": [...]}]).
+
+    Always on (it reads storage the other modules already keep), served
+    at [GET /debug/flight] by the diagnosis service, and written on an
+    uncaught exception once {!arm_crash_dump} is armed. *)
+
+val dump : unit -> string
+(** The JSON dump: wide events oldest-first, then the most recent
+    trace spans (bounded) merged across domains. *)
+
+val write : string -> unit
+(** {!dump} into a file. *)
+
+val arm_crash_dump : string -> unit
+(** Install an uncaught-exception handler that writes {!dump} to the
+    path best-effort, then reports the exception and backtrace to
+    stderr like the default handler. *)

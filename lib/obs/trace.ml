@@ -58,9 +58,17 @@ let push b e =
   b.items.(b.len) <- e;
   b.len <- b.len + 1
 
+(* Spans recorded while a request {!Context} is active carry its trace
+   id, so a Perfetto track can be filtered down to one request even
+   when pool workers interleave jobs. *)
+let with_trace_arg args =
+  match Context.current () with
+  | Some c -> ("trace", Context.trace_id c) :: args
+  | None -> args
+
 let emit phase ~args name =
   let b = Domain.DLS.get buf_key in
-  push b { name; phase; ts = now (); tid = b.b_tid; args }
+  push b { name; phase; ts = now (); tid = b.b_tid; args = with_trace_arg args }
 
 let instant ?(args = []) name = if enabled () then emit Instant ~args name
 
@@ -72,12 +80,23 @@ let with_span ?(args = []) ?record name f =
     let t0 = now () in
     if tracing then begin
       let b = Domain.DLS.get buf_key in
-      push b { name; phase = Begin; ts = t0; tid = b.b_tid; args }
+      push b
+        {
+          name;
+          phase = Begin;
+          ts = t0;
+          tid = b.b_tid;
+          args = with_trace_arg args;
+        }
     end;
     let finish () =
       let t1 = now () in
       (match record with
-      | Some h -> Metrics.observe h (t1 -. t0)
+      | Some h ->
+        Metrics.observe h (t1 -. t0);
+        (* the same duration joins the active request's wide event as a
+           per-stage timing (no-op without a context) *)
+        Context.add_timing name (t1 -. t0)
       | None -> ());
       (* close the span even if tracing was switched off mid-flight, so
          every Begin has its End *)

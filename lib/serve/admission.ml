@@ -1,4 +1,5 @@
 module Metrics = Flames_obs.Metrics
+module Events = Flames_obs.Events
 
 type reason = Saturated | Throttled
 type decision = Admitted | Shed of { reason : reason; retry_after : float }
@@ -114,6 +115,7 @@ module Sessions = struct
     if cap < 1 then invalid_arg "Admission.Sessions.create: cap must be >= 1";
     if ttl <= 0. then invalid_arg "Admission.Sessions.create: ttl must be > 0";
     let now = match now with Some f -> f | None -> Unix.gettimeofday in
+    Metrics.gauge_set Telemetry.session_capacity (float_of_int cap);
     {
       mutex = Mutex.create ();
       now;
@@ -128,6 +130,11 @@ module Sessions = struct
     Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
   (* Callers hold [t.mutex]. *)
+  let expired_event id =
+    Metrics.incr Telemetry.sessions_expired_total;
+    Events.emit ~name:"session.expired"
+      [ ("session", Events.Str id); ("reason", Events.Str "ttl") ]
+
   let sweep_locked t =
     let now = t.now () in
     let dead =
@@ -135,7 +142,11 @@ module Sessions = struct
         (fun id e acc -> if e.deadline <= now then id :: acc else acc)
         t.table []
     in
-    List.iter (Hashtbl.remove t.table) dead;
+    List.iter
+      (fun id ->
+        Hashtbl.remove t.table id;
+        expired_event id)
+      dead;
     Metrics.gauge_set Telemetry.open_sessions
       (float_of_int (Hashtbl.length t.table));
     List.length dead
@@ -147,6 +158,8 @@ module Sessions = struct
     ignore (sweep_locked t);
     if Hashtbl.length t.table >= t.cap then begin
       Metrics.incr Telemetry.sessions_shed_total;
+      Events.emit ~name:"session.shed"
+        [ ("reason", Events.Str "capacity"); ("cap", Events.Int t.cap) ];
       Error `Capacity
     end
     else begin
@@ -170,6 +183,7 @@ module Sessions = struct
     | Some e ->
       if e.deadline <= t.now () then begin
         Hashtbl.remove t.table id;
+        expired_event id;
         Metrics.gauge_set Telemetry.open_sessions
           (float_of_int (Hashtbl.length t.table));
         None

@@ -11,6 +11,11 @@ module Parser = Flames_circuit.Parser
 module Fault = Flames_circuit.Fault
 module Q = Flames_circuit.Quantity
 module Metrics = Flames_obs.Metrics
+module Context = Flames_obs.Context
+module Events = Flames_obs.Events
+module Ids = Flames_obs.Ids
+module Digest = Flames_obs.Digest
+module Recorder = Flames_obs.Recorder
 
 module Session = Flames_session.Session
 
@@ -288,6 +293,12 @@ let shed_reply reason retry_after =
     | Admission.Saturated -> "admission queue full"
     | Admission.Throttled -> "client quota exhausted"
   in
+  Context.annotate "shed"
+    (Context.Str
+       (match reason with
+       | Admission.Saturated -> "saturated"
+       | Admission.Throttled -> "throttled"));
+  Context.annotate "retry_after_s" (Context.Num retry_after);
   json_error
     ~headers:[ Admission.retry_after_header retry_after ]
     429
@@ -413,6 +424,10 @@ let session_create deps (r : Http.request) =
   Ok (label, session)
 
 let session_step deps id f =
+  (* the session id joins the step's wide event whether or not the
+     session still exists — an expired-session 404 is exactly the kind
+     of exchange worth correlating *)
+  Context.set_session id;
   match Admission.Sessions.with_session deps.sessions id f with
   | None -> json_error 404 (Printf.sprintf "no such session %S" id)
   | Some reply -> reply
@@ -453,6 +468,7 @@ let session_routes deps (r : Http.request) segments =
             (Printf.sprintf "session registry full (%d live), retry later"
                (Admission.Sessions.cap deps.sessions))
         | Ok id ->
+          Context.set_session id;
           json_reply 200
             (Json.Obj
                [
@@ -500,6 +516,7 @@ let session_routes deps (r : Http.request) segments =
         | Some e -> json_reply 200 (evaluation_json e)
         | None -> json_reply 200 (Json.Obj [ ("test", Json.Null) ]))
   | [ id; "close" ] ->
+    Context.set_session id;
     if Admission.Sessions.remove deps.sessions id then
       json_reply 200 (Json.Obj [ ("closed", Json.Str id) ])
     else json_error 404 (Printf.sprintf "no such session %S" id)
@@ -534,7 +551,31 @@ let version_reply () =
          ("version", Json.Str Version.current);
        ])
 
-let handle deps (r : Http.request) =
+let session_segments path =
+  String.sub path 9 (String.length path - 9)
+  |> String.split_on_char '/'
+  |> List.filter (fun s -> s <> "")
+
+let is_session_path path =
+  String.length path >= 9 && String.sub path 0 9 = "/session/"
+
+(* Low-cardinality route name for digests and events: session ids are
+   collapsed so /session/s1/measure and /session/s2/measure land in the
+   same latency series. *)
+let route_name path =
+  if is_session_path path then
+    match session_segments path with
+    | [ "create" ] -> "/session/create"
+    | [ _; op ] -> "/session/*/" ^ op
+    | _ -> "/session/*"
+  else
+    match path with
+    | "/diagnose" | "/metrics" | "/healthz" | "/readyz" | "/version"
+    | "/debug/flight" ->
+      path
+    | _ -> "other"
+
+let dispatch deps (r : Http.request) =
   let guarded f =
     match f () with
     | reply -> reply
@@ -562,15 +603,49 @@ let handle deps (r : Http.request) =
           content_type = "text/plain; version=0.0.4";
           body = Flames_obs.Export.prometheus_string ();
         })
-  | path when String.length path >= 9 && String.sub path 0 9 = "/session/" ->
-    require "POST" (fun () ->
-        let segments =
-          String.sub path 9 (String.length path - 9)
-          |> String.split_on_char '/'
-          |> List.filter (fun s -> s <> "")
-        in
-        session_routes deps r segments)
+  | "/debug/flight" ->
+    require "GET" (fun () ->
+        {
+          status = 200;
+          headers = [];
+          content_type = "application/json";
+          body = Recorder.dump ();
+        })
+  | path when is_session_path path ->
+    require "POST" (fun () -> session_routes deps r (session_segments path))
   | "/healthz" -> require "GET" (fun () -> text_reply 200 "ok\n")
   | "/readyz" -> require "GET" (fun () -> readyz deps)
   | "/version" -> require "GET" (fun () -> version_reply ())
   | path -> json_error 404 (Printf.sprintf "no such route %s" path)
+
+let trace_header = "X-Flames-Trace-Id"
+
+(* Every reply — including 429 sheds and handler 500s — carries the
+   request's trace id; a valid client-supplied X-Flames-Trace-Id is
+   kept, anything else gets a fresh one. *)
+let handle deps (r : Http.request) =
+  let trace_id =
+    match Http.header r.Http.headers "x-flames-trace-id" with
+    | Some id when Ids.valid id -> id
+    | _ -> Ids.trace_id ()
+  in
+  let client = Http.header r.Http.headers "x-flames-client" in
+  let route = route_name r.Http.path in
+  let ctx = Context.make ~trace_id ?client ~route () in
+  Context.with_context ctx (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let reply = dispatch deps r in
+      let dt = Unix.gettimeofday () -. t0 in
+      Digest.observe_in Telemetry.route_seconds route dt;
+      if Events.enabled () then begin
+        Metrics.incr Telemetry.events_total;
+        Events.emit ~ctx ~name:"http.request"
+          [
+            ("method", Events.Str r.Http.meth);
+            ("path", Events.Str r.Http.path);
+            ("status", Events.Int reply.status);
+            ("elapsed_ms", Events.Num (dt *. 1e3));
+            ("bytes_out", Events.Int (String.length reply.body));
+          ]
+      end;
+      { reply with headers = (trace_header, trace_id) :: reply.headers })

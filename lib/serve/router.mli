@@ -30,7 +30,12 @@
     - [POST /session/<id>/close] — drop the session early (idle
       sessions expire after the registry TTL anyway).
       Unknown or expired session ids answer 404.
-    - [GET /metrics] — Prometheus text exposition of the registry.
+    - [GET /metrics] — Prometheus text exposition of the registry,
+      including the per-route latency digests
+      ([flames_serve_route_seconds{route,quantile}]).
+    - [GET /debug/flight] — the flight recorder: the last N wide
+      events plus recent trace spans as one JSON object
+      ({!Flames_obs.Recorder}).
     - [GET /healthz] — liveness, always 200 while the process serves.
     - [GET /readyz] — readiness: 503 while draining or saturated, with
       pool [queue_depth]/[in_flight] introspection in the body.
@@ -70,7 +75,19 @@ type reply = {
 
 val handle : deps -> Http.request -> reply
 (** Total: every exception inside a handler becomes a structured 500;
-    nothing escapes to the connection loop. *)
+    nothing escapes to the connection loop.
+
+    Request-scoped observability: a valid [X-Flames-Trace-Id] request
+    header is adopted (otherwise a fresh id is generated), echoed on
+    every reply including 429 sheds, and joined — together with the
+    [X-Flames-Client] id, the normalised route and the session id —
+    to the one wide event emitted per request
+    ({!Flames_obs.Events}). *)
+
+val route_name : string -> string
+(** Low-cardinality route label for digests and events
+    ([/session/<id>/measure] → [/session/*/measure]; unknown paths →
+    [other]). *)
 
 val json_error : ?headers:(string * string) list -> int -> string -> reply
 (** The one-line error reply shape, shared with {!Server}'s protocol

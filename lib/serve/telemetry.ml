@@ -53,6 +53,31 @@ let open_sessions =
   Metrics.gauge "flames_serve_open_sessions"
     ~help:"Troubleshooting sessions currently held (TTL not expired)"
 
+let sessions_expired_total =
+  Metrics.counter "flames_serve_sessions_expired_total"
+    ~help:"Troubleshooting sessions dropped after their idle TTL expired"
+
+let session_capacity =
+  Metrics.gauge "flames_serve_session_capacity"
+    ~help:
+      "Configured cap of the session registry; occupancy = \
+       flames_serve_open_sessions / flames_serve_session_capacity"
+
+let events_total =
+  Metrics.counter "flames_serve_events_total"
+    ~help:"Wide events emitted for HTTP requests"
+
+(* Per-route latency digests: p50/p95/p99 are computed server-side from
+   fixed log-spaced buckets and exported as a summary; observations
+   above the SLO threshold burn the per-route
+   flames_serve_route_seconds_slo_breaches_total counter. *)
+let route_slo_seconds = 0.25
+
+let route_seconds =
+  Flames_obs.Digest.family ~slo:route_slo_seconds
+    ~help:"Request latency per route (server-side quantile digest)"
+    "flames_serve_route_seconds"
+
 (* Sub-millisecond to 10 s: a divider diagnosis is ~1 ms, a saturated
    queue pushes the tail into seconds. *)
 let request_seconds =

@@ -7,6 +7,9 @@ module Measure = Flames_sim.Measure
 module Report = Flames_core.Report
 module Diagnose = Flames_core.Diagnose
 module Best_test = Flames_strategy.Best_test
+module Context = Flames_obs.Context
+module Events = Flames_obs.Events
+module Ids = Flames_obs.Ids
 
 type command =
   | Circuit of string
@@ -297,11 +300,48 @@ let run ?(echo = false) ?(print = print_endline)
     | Status -> "status"
     | Quit -> "quit"
   in
+  (* One trace id covers the whole script; each step runs under a fresh
+     child context (same trace, same session id once a circuit opened
+     one), so its wide event carries per-step — not cumulative — stage
+     timings. *)
+  let trace_id = if Events.enabled () then Some (Ids.trace_id ()) else None in
+  let session_id = ref None in
+  let session_count = ref 0 in
+  let step_count = ref 0 in
+  let exec_step cmd =
+    match trace_id with
+    | None -> exec ~print ~session_of st cmd
+    | Some trace_id ->
+      let ctx =
+        Context.make ?session_id:!session_id ~route:"troubleshoot" ~trace_id ()
+      in
+      Context.with_context ctx (fun () ->
+          incr step_count;
+          let t0 = Unix.gettimeofday () in
+          let result = exec ~print ~session_of st cmd in
+          (match (cmd, result) with
+          | Circuit _, Ok () ->
+            incr session_count;
+            session_id := Some (Printf.sprintf "cli-s%d" !session_count);
+            Context.set_session (Option.get !session_id)
+          | _ -> ());
+          Events.emit ~ctx ~name:"session.step"
+            [
+              ("step", Events.Int !step_count);
+              ("cmd", Events.Str (render cmd));
+              ( "status",
+                Events.Str
+                  (match result with Ok () -> "ok" | Error _ -> "error") );
+              ( "elapsed_ms",
+                Events.Num ((Unix.gettimeofday () -. t0) *. 1e3) );
+            ];
+          result)
+  in
   let rec go = function
     | [] -> Ok st.session
     | (line, cmd) :: rest -> (
       if echo then print ("> " ^ render cmd);
-      match exec ~print ~session_of st cmd with
+      match exec_step cmd with
       | Ok () -> if cmd = Quit then Ok st.session else go rest
       | Error e -> Error (Printf.sprintf "line %d: %s" line e))
   in

@@ -475,7 +475,17 @@ let test_e2e_session_cap () =
       check_int "cap sheds with 429" 429 shed.Http.status;
       check_bool "Retry-After present" true
         (Http.header shed.Http.resp_headers "retry-after" <> None);
-      check_bool "error is one line" true (one_line shed.Http.resp_body))
+      check_bool "error is one line" true (one_line shed.Http.resp_body);
+      (* the trace id is echoed even on a shed *)
+      let traced_shed =
+        post ~port
+          ~headers:[ ("X-Flames-Trace-Id", "shed-trace-1") ]
+          "/session/create" {|{"circuit": "divider"}|}
+      in
+      check_int "still shedding" 429 traced_shed.Http.status;
+      check_bool "429 echoes the trace id" true
+        (Http.header traced_shed.Http.resp_headers "x-flames-trace-id"
+        = Some "shed-trace-1"))
 
 let test_e2e_session_errors () =
   with_server ~config:ephemeral (fun server ->
@@ -498,6 +508,168 @@ let test_e2e_session_errors () =
       check_int "retract without id" 400 (step "retract" "{}").Http.status;
       check_int "refine unknown measurement" 404
         (step "refine" {|{"id": 9, "value": 1}|}).Http.status)
+
+(* {1 Request-scoped observability over loopback} *)
+
+module Events = Flames_obs.Events
+module Recorder = Flames_obs.Recorder
+module Router = Flames_serve.Router
+
+(* Probe both `dune runtest` and `dune exec` working directories, like
+   test_cli.ml. *)
+let cli =
+  let candidates =
+    [
+      Filename.concat ".." (Filename.concat "bin" "flames_cli.exe");
+      "_build/default/bin/flames_cli.exe";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> failwith "flames_cli.exe not found (build bin/ first)"
+
+let slurp path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_route_name () =
+  check_string "session step collapses the id" "/session/*/measure"
+    (Router.route_name "/session/s12/measure");
+  check_string "create is its own route" "/session/create"
+    (Router.route_name "/session/create");
+  check_string "known path verbatim" "/diagnose" (Router.route_name "/diagnose");
+  check_string "unknown paths collapse" "other" (Router.route_name "/no-such")
+
+(* The acceptance loop of the issue: one client-chosen trace id on a
+   /session/* exchange is found again on the response header, the wide
+   event, the flight-recorder dump (in-process and over GET
+   /debug/flight) and a `flames tail` filter of the event log. *)
+let test_e2e_trace_id () =
+  Events.clear ();
+  let log = Filename.temp_file "flames_events" ".jsonl" in
+  let close = Events.file_sink log in
+  let trace = "e2e-cafe.0001" in
+  let sid = ref "" in
+  Fun.protect ~finally:(fun () -> Sys.remove log) @@ fun () ->
+  Fun.protect ~finally:close (fun () ->
+      with_server ~config:ephemeral (fun server ->
+          let port = Server.port server in
+          let traced = [ ("X-Flames-Trace-Id", trace) ] in
+          let created =
+            post ~port ~headers:traced "/session/create"
+              {|{"circuit": "divider"}|}
+          in
+          check_int "create status" 200 created.Http.status;
+          check_bool "client trace id echoed" true
+            (Http.header created.Http.resp_headers "x-flames-trace-id"
+            = Some trace);
+          (sid :=
+             match
+               Option.bind (Json.mem "session" (body_json created)) Json.str_opt
+             with
+             | Some id -> id
+             | None -> Alcotest.fail "no session id");
+          let m =
+            post ~port ~headers:traced
+              (Printf.sprintf "/session/%s/measure" !sid)
+              {|{"node": "mid", "value": 0.02, "spread": 0.05}|}
+          in
+          check_int "measure status" 200 m.Http.status;
+          check_bool "echoed on the step too" true
+            (Http.header m.Http.resp_headers "x-flames-trace-id" = Some trace);
+          (* no header: a fresh 16-hex id is generated and echoed *)
+          let bare =
+            post ~port
+              (Printf.sprintf "/session/%s/diagnoses" !sid)
+              "{}"
+          in
+          (match Http.header bare.Http.resp_headers "x-flames-trace-id" with
+          | Some id ->
+            check_bool "generated id shape" true
+              (String.length id = 16 && id <> trace)
+          | None -> Alcotest.fail "no generated trace id");
+          (* an invalid client id is replaced, not echoed *)
+          let bad =
+            request ~port
+              ~headers:[ ("X-Flames-Trace-Id", "not a valid id!") ]
+              "/version"
+          in
+          check_bool "invalid id replaced" true
+            (match Http.header bad.Http.resp_headers "x-flames-trace-id" with
+            | Some id -> id <> "not a valid id!"
+            | None -> false);
+          (* the wide events carry the trace and the session id *)
+          let evs = Events.recent () in
+          check_bool "wide event carries the trace id" true
+            (List.exists
+               (fun e ->
+                 e.Events.name = "http.request"
+                 && e.Events.trace_id = Some trace)
+               evs);
+          check_bool "session id joined to the step's event" true
+            (List.exists
+               (fun e ->
+                 e.Events.trace_id = Some trace
+                 && e.Events.session_id = Some !sid)
+               evs);
+          (* flight recorder: in-process dump and the debug route *)
+          check_bool "recorder dump finds the trace" true
+            (contains (Recorder.dump ()) trace);
+          let flight = request ~port "/debug/flight" in
+          check_int "flight status" 200 flight.Http.status;
+          let fj = body_json flight in
+          (match Json.mem "events" fj with
+          | Some (Json.Arr events) ->
+            check_bool "flight events non-empty" true (events <> []);
+            check_bool "flight event carries the trace" true
+              (List.exists
+                 (fun e -> Json.mem "trace" e = Some (Json.Str trace))
+                 events)
+          | _ -> Alcotest.fail "flight dump lacks an events array");
+          (match Json.mem "spans" fj with
+          | Some (Json.Arr _) -> ()
+          | _ -> Alcotest.fail "flight dump lacks a spans array")));
+  (* the log survives the server: filter it down to the trace *)
+  let out = Filename.temp_file "flames_tail" ".out" in
+  Fun.protect ~finally:(fun () -> Sys.remove out) @@ fun () ->
+  let code =
+    Sys.command
+      (Printf.sprintf "%s tail %s --trace %s >%s 2>/dev/null" cli
+         (Filename.quote log) trace (Filename.quote out))
+  in
+  check_int "tail exits 0" 0 code;
+  let text = slurp out in
+  check_bool "tail finds the traced requests" true (contains text trace);
+  check_bool "tail shows the session route" true (contains text "/session/");
+  let code =
+    Sys.command
+      (Printf.sprintf "%s tail %s --trace no-such-trace >%s 2>/dev/null" cli
+         (Filename.quote log) (Filename.quote out))
+  in
+  check_int "tail filter exits 0" 0 code;
+  check_string "foreign trace filters to nothing" "" (slurp out)
+
+let test_e2e_route_digests () =
+  with_server ~config:ephemeral (fun server ->
+      let port = Server.port server in
+      check_int "warm-up" 200 (request ~port "/healthz").Http.status;
+      let metrics = request ~port "/metrics" in
+      check_int "metrics status" 200 metrics.Http.status;
+      let body = metrics.Http.resp_body in
+      List.iter
+        (fun needle ->
+          check_bool ("metrics contains " ^ needle) true (contains body needle))
+        [
+          "# TYPE flames_serve_route_seconds summary";
+          "flames_serve_route_seconds{route=\"/healthz\",quantile=\"0.5\"}";
+          "flames_serve_route_seconds{route=\"/healthz\",quantile=\"0.99\"}";
+          "flames_serve_route_seconds_count{route=\"/healthz\"}";
+          "flames_serve_route_seconds_slo_breaches_total";
+          "flames_serve_session_capacity";
+        ])
 
 let test_e2e_drain () =
   let server = Server.start ~config:ephemeral () in
@@ -556,5 +728,12 @@ let () =
           Alcotest.test_case "session input errors" `Quick
             test_e2e_session_errors;
           Alcotest.test_case "graceful drain" `Quick test_e2e_drain;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "route names" `Quick test_route_name;
+          Alcotest.test_case "trace id end to end" `Quick test_e2e_trace_id;
+          Alcotest.test_case "route digests in /metrics" `Quick
+            test_e2e_route_digests;
         ] );
     ]
