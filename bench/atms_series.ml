@@ -104,9 +104,16 @@ let naive_hitting ?(limit = 10_000) conflicts =
 
 (* {1 Series} *)
 
-type row = { series : string; n : int; naive_ns : float; indexed_ns : float }
+(* A row is either a timed cell or an explicit skip: a series that
+   cannot run at some size (the exponential hitting enumeration past
+   ~20 assumptions) must say so in the artifact rather than silently
+   omit the cell — a missing row is indistinguishable from a forgotten
+   one, a [skipped] row is a documented decision. *)
+type timing = { naive_ns : float; indexed_ns : float }
+type cell = Timed of timing | Skipped of string  (* reason *)
+type row = { series : string; n : int; cell : cell }
 
-let speedup r = r.naive_ns /. Float.max r.indexed_ns 1.
+let speedup t = t.naive_ns /. Float.max t.indexed_ns 1.
 
 let time_ns ~reps f =
   let best = ref infinity in
@@ -158,8 +165,8 @@ let label_series ~reps n =
   {
     series = "label-update";
     n;
-    naive_ns = time_ns ~reps naive;
-    indexed_ns = time_ns ~reps indexed;
+    cell =
+      Timed { naive_ns = time_ns ~reps naive; indexed_ns = time_ns ~reps indexed };
   }
 
 (* nogood-churn: record a nogood stream, then answer inconsistency
@@ -198,12 +205,23 @@ let nogood_series ~reps n =
   {
     series = "nogood-churn";
     n;
-    naive_ns = time_ns ~reps naive;
-    indexed_ns = time_ns ~reps indexed;
+    cell =
+      Timed { naive_ns = time_ns ~reps naive; indexed_ns = time_ns ~reps indexed };
   }
 
 (* hitting-chain: overlapping triple conflicts over n assumptions — the
-   candidate-explosion shape (DESIGN.md experiment A2/explosion) *)
+   candidate-explosion shape (DESIGN.md experiment A2/explosion).  The
+   minimal-family enumeration is exponential in n on both sides; past
+   [hitting_max_n] assumptions BFS breadth dominates even the indexed
+   run, so larger sizes emit an explicit [Skipped] row. *)
+let hitting_max_n = 20
+
+let hitting_skip_reason n =
+  Printf.sprintf
+    "minimal hitting-set enumeration is exponential in n; n=%d exceeds the \
+     n<=%d bound where both sides complete under the candidate limit"
+    n hitting_max_n
+
 let hitting_series ~reps n =
   let chains = List.init (n - 2) (fun i -> [ i; i + 1; i + 2 ]) in
   let naive () =
@@ -222,15 +240,18 @@ let hitting_series ~reps n =
   {
     series = "hitting-chain";
     n;
-    naive_ns = time_ns ~reps naive;
-    indexed_ns = time_ns ~reps indexed;
+    cell =
+      Timed { naive_ns = time_ns ~reps naive; indexed_ns = time_ns ~reps indexed };
   }
 
 (* {1 JSON emission} *)
 
 let json_path = "BENCH_atms.json"
 let full_sizes = [ 8; 12; 16; 20; 24 ]
-let smoke_sizes = [ 8; 12 ]
+
+(* smoke includes one size past [hitting_max_n] so the skipped-row
+   emission path is exercised by CI, not only by the full run *)
+let smoke_sizes = [ 8; 12; 24 ]
 
 let emit ?(smoke = false) ppf =
   let sizes = if smoke then smoke_sizes else full_sizes in
@@ -238,18 +259,29 @@ let emit ?(smoke = false) ppf =
   let rows =
     List.concat_map
       (fun n ->
-        (* the minimal-family enumeration is exponential in n on both
-           sides; past ~20 assumptions BFS breadth dominates even the
-           indexed run, so the hitting series stops there *)
         [ label_series ~reps n; nogood_series ~reps n ]
-        @ (if n <= 20 then [ hitting_series ~reps n ] else []))
+        @ [
+            (if n <= hitting_max_n then hitting_series ~reps n
+             else
+               {
+                 series = "hitting-chain";
+                 n;
+                 cell = Skipped (hitting_skip_reason n);
+               });
+          ])
       sizes
   in
   let cell r =
-    Printf.sprintf
-      "    { \"series\": %S, \"n\": %d, \"naive_ns\": %.0f, \"indexed_ns\": \
-       %.0f, \"speedup\": %.2f }"
-      r.series r.n r.naive_ns r.indexed_ns (speedup r)
+    match r.cell with
+    | Timed t ->
+      Printf.sprintf
+        "    { \"series\": %S, \"n\": %d, \"naive_ns\": %.0f, \"indexed_ns\": \
+         %.0f, \"speedup\": %.2f }"
+        r.series r.n t.naive_ns t.indexed_ns (speedup t)
+    | Skipped reason ->
+      Printf.sprintf
+        "    { \"series\": %S, \"n\": %d, \"skipped\": true, \"reason\": %S }"
+        r.series r.n reason
   in
   let oc = open_out json_path in
   Printf.fprintf oc
@@ -270,6 +302,11 @@ let emit ?(smoke = false) ppf =
   Format.fprintf ppf "wrote %s@." json_path;
   List.iter
     (fun r ->
-      Format.fprintf ppf "  %-14s n=%-3d naive %10.0f ns  indexed %10.0f ns  %6.2fx@."
-        r.series r.n r.naive_ns r.indexed_ns (speedup r))
+      match r.cell with
+      | Timed t ->
+        Format.fprintf ppf
+          "  %-14s n=%-3d naive %10.0f ns  indexed %10.0f ns  %6.2fx@."
+          r.series r.n t.naive_ns t.indexed_ns (speedup t)
+      | Skipped _ ->
+        Format.fprintf ppf "  %-14s n=%-3d skipped@." r.series r.n)
     rows

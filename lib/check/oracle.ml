@@ -726,6 +726,56 @@ let check_degraded (scenario : Gen.scenario) =
         | None -> Ok ()
     end
 
+(* {1 Compiled schedule vs interpreter} *)
+
+let check_compiled (scenario : Gen.scenario) =
+  let nominal, _ = Gen.scenario_netlists scenario in
+  let observations = Gen.scenario_observations scenario in
+  let model = Flames_core.Model.compile nominal in
+  let schedule = Flames_core.Schedule.of_model model in
+  let compare_runs phase ~compiled ~interp =
+    if compiled.Diagnose.degraded <> interp.Diagnose.degraded then
+      Error
+        (Printf.sprintf "%s: degraded flag diverges (compiled %b, interp %b)"
+           phase compiled.Diagnose.degraded interp.Diagnose.degraded)
+    else if compiled.Diagnose.trips <> interp.Diagnose.trips then
+      Error (phase ^ ": budget trips diverge")
+    else
+      let fc = result_fingerprint compiled
+      and fi = result_fingerprint interp in
+      if String.equal fc fi then Ok ()
+      else
+        Error
+          (Printf.sprintf "%s: compiled run diverges from interpreter: %s"
+             phase (first_diff fi fc))
+  in
+  let ( let* ) = Result.bind in
+  let full_c = Diagnose.run ~model ~use_compiled:true nominal observations in
+  let full_i = Diagnose.run ~model ~use_compiled:false nominal observations in
+  let* () = compare_runs "full" ~compiled:full_c ~interp:full_i in
+  (* reusing one schedule across runs must not leak state between them *)
+  let again = Diagnose.run ~schedule nominal observations in
+  let* () = compare_runs "schedule-reuse" ~compiled:again ~interp:full_i in
+  (* budget-tripped (degraded) runs must degrade identically: same
+     trips, same truncated candidate list, bit for bit *)
+  let n = List.length full_c.Diagnose.diagnoses in
+  if n = 0 then Ok ()
+  else begin
+    let quota = Int.max 1 (n / 2) in
+    let budgeted use_compiled =
+      let budget =
+        Flames_core.Budget.start
+          (Flames_core.Budget.spec ~max_candidates:quota ())
+      in
+      Diagnose.run ~model ~budget ~use_compiled nominal observations
+    in
+    let part_c = budgeted true and part_i = budgeted false in
+    let* () = compare_runs "budgeted" ~compiled:part_c ~interp:part_i in
+    if not part_c.Diagnose.degraded then
+      Error "budgeted compiled run not flagged degraded"
+    else Ok ()
+  end
+
 (* {1 Incremental sessions vs from-scratch diagnosis} *)
 
 module Session = Flames_session.Session

@@ -106,6 +106,20 @@ val check_degraded : Gen.scenario -> (unit, string) result
     run's — sound truncation, never invention.  Scenarios whose full
     diagnosis is healthy (no candidates) pass trivially. *)
 
+(** {1 Compiled schedule vs interpreter} *)
+
+val check_compiled : Gen.scenario -> (unit, string) result
+(** The compiled-schedule transparency contract of
+    {!Flames_core.Diagnose.run}: diagnosing the scenario with the
+    compiled flat schedule ([~use_compiled:true], the default) must be
+    {!result_fingerprint}-identical — every symptom verdict, conflict
+    degree, fit estimate and ranking, hex-exact — to the interpreter
+    run ([~use_compiled:false]).  Checked three ways: the plain run, a
+    second run reusing one pre-compiled {!Flames_core.Schedule} (no
+    state may leak between runs), and a budget-tripped run under a
+    half-quota candidate budget whose degraded flag, recorded trips and
+    truncated ranking must also match the interpreter's bit for bit. *)
+
 (** {1 Incremental sessions vs from-scratch diagnosis} *)
 
 val check_session : Gen.session_script -> (unit, string) result

@@ -88,6 +88,9 @@ let run_all ?(seed = 0x464c4d45) ?(log = fun _ -> ()) ~iters () =
   section 9 "session-equivalence"
     (Int.max 1 (iters / 4))
     Gen.session_script Oracle.check_session;
+  section 10 "compiled-vs-interp"
+    (Int.max 1 (iters / 4))
+    Gen.scenario Oracle.check_compiled;
   List.rev !sections
 
 let ok sections = List.for_all (fun s -> s.failure = None) sections

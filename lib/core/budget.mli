@@ -77,6 +77,14 @@ val tripped : t -> bool
 val cancelled : t -> bool
 val elapsed : t -> float
 
+val is_unlimited : t -> bool
+(** No wall deadline, no quota of any kind, and not (yet) cancelled —
+    charges can never fail, so work skipped through a cache cannot
+    change what the budget would have accounted.  Gates the reuse of
+    budget-blind cached state (e.g. {!Diagnose}'s shared
+    nominal-prediction engine); cancellation arriving after the check
+    is best-effort, exactly as at any other check-point. *)
+
 val pp_trip : Format.formatter -> trip -> unit
 val pp_trips : Format.formatter -> trip list -> unit
 val trip_label : trip -> string

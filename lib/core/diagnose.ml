@@ -120,8 +120,8 @@ let symptom_of prediction_engine (q, measured) =
    paper's "component fault models can help the diagnosis process" —
    a candidate explains the symptoms only if some value of its parameter
    reproduces them. *)
-let observation_residual netlist observations =
-  match Flames_sim.Mna.solve netlist with
+let observation_residual ?sweep netlist observations =
+  match Flames_sim.Mna.solve ?sweep netlist with
   | exception (Flames_sim.Mna.No_convergence _ | Flames_sim.Linalg.Singular) ->
     None
   | sol ->
@@ -151,8 +151,10 @@ let observation_residual netlist observations =
    coarse grid and both refinement passes revisit candidate values (the
    1.0 factors re-solve the previous pass's best value, and refinement
    grids overlap), each costing a full MNA solve.  A per-sweep memo on
-   the exact candidate value removes those repeats. *)
-let fit_parameter netlist observations comp parameter =
+   the exact candidate value removes those repeats, and the shared
+   [?sweep] LU context answers the remaining distinct candidates from
+   the factors of the first system solved per device-region state. *)
+let fit_parameter ?sweep netlist observations comp parameter =
   let nominal = Interval.centroid (Component.nominal_parameter comp parameter) in
   if nominal = 0. then None
   else
@@ -167,7 +169,7 @@ let fit_parameter netlist observations comp parameter =
             Netlist.replace netlist
               (Component.with_parameter comp parameter (Interval.crisp v))
           in
-          let r = observation_residual net' observations in
+          let r = observation_residual ?sweep net' observations in
           Hashtbl.add solved key r;
           r
       in
@@ -201,7 +203,7 @@ let fit_parameter netlist observations comp parameter =
       in
       (match pass2 with Some (v, r) -> Some (v, r) | None -> pass1)
 
-let mode_estimates netlist observations engine comp =
+let mode_estimates ?sweep netlist observations engine comp =
   let name = comp.Component.name in
   let simulatable = netlist.Netlist.ports = [] in
   List.filter_map
@@ -210,7 +212,8 @@ let mode_estimates netlist observations engine comp =
         Interval.centroid (Component.nominal_parameter comp parameter)
       in
       let fitted =
-        if simulatable then fit_parameter netlist observations comp parameter
+        if simulatable then
+          fit_parameter ?sweep netlist observations comp parameter
         else None
       in
       match fitted with
@@ -254,38 +257,9 @@ let mode_estimates netlist observations engine comp =
    probe suspects only the upstream stage.  The prediction's fuzzy width
    is the voltage uncertainty the component tolerances induce. *)
 let simulator_predictions netlist model ~floor ~threshold =
-  if netlist.Flames_circuit.Netlist.ports <> [] then
-    (* an externally driven circuit cannot be simulated on its own *)
-    []
-  else
-  match Flames_sim.Sensitivity.analyze netlist with
-  | exception
-      ( Flames_sim.Mna.No_convergence _ | Flames_sim.Linalg.Singular
-      | Flames_circuit.Netlist.Ill_formed _ ) ->
-    []
-  | reports ->
-    List.filter_map
-      (fun (r : Flames_sim.Sensitivity.node_report) ->
-        let supporters = Flames_sim.Sensitivity.supporters ~threshold r in
-        if supporters = [] then
-          (* nothing influences the node: it is pinned by trusted
-             sources and the constraint model derives it exactly *)
-          None
-        else
-          let spread = Float.max r.Flames_sim.Sensitivity.total_spread floor in
-          let env =
-            supporters
-            |> List.filter_map (fun c ->
-                   match Model.assumption_id model c with
-                   | id -> Some id
-                   | exception Not_found -> None (* trusted component *))
-            |> Env.of_list
-          in
-          Some
-            ( Quantity.voltage r.Flames_sim.Sensitivity.node,
-              Interval.number r.Flames_sim.Sensitivity.nominal ~spread,
-              env ))
-      reports
+  Schedule.predictions_of_reports model
+    (Schedule.raw_reports netlist)
+    ~floor ~threshold
 
 (* The quantities whose observational evidence decides constraint guards
    (e.g. a transistor's Vce): when any of them acquires evidence in the
@@ -300,9 +274,9 @@ let guard_quantities model =
    simulator predictions, then the observations, run to quiescence.
    Shared by {!run} and the incremental {!Flames_session.Session}, whose
    retraction path rebuilds exactly this engine. *)
-let full_pass ?limits ~budget ~degree ~model ~predictions ~observations
-    ~guard_evidence () =
-  let engine = Propagate.create ?limits ~budget model in
+let full_pass ?limits ?schedule ~budget ~degree ~model ~predictions
+    ~observations ~guard_evidence () =
+  let engine = Propagate.create ?limits ~budget ?schedule model in
   Propagate.set_guard_evidence engine guard_evidence;
   List.iter
     (fun (q, v, env) -> Propagate.predict engine ~degree q v env)
@@ -311,8 +285,8 @@ let full_pass ?limits ~budget ~degree ~model ~predictions ~observations
   Propagate.run engine;
   engine
 
-let analyze ?limits ?budget ~degree ~model ~predictions ~prediction ~first
-    netlist observations =
+let analyze ?limits ?schedule ?budget ~degree ~model ~predictions ~prediction
+    ~first netlist observations =
   let budget = match budget with Some b -> b | None -> Budget.fresh () in
   (* Guards are evaluated when a constraint fires, but the observational
      evidence for a guard quantity (e.g. a transistor's Vce reconstructed
@@ -331,14 +305,19 @@ let analyze ?limits ?budget ~degree ~model ~predictions ~prediction ~first
   let engine =
     if guard_evidence = [] then first
     else
-      full_pass ?limits ~budget ~degree ~model ~predictions ~observations
-        ~guard_evidence ()
+      full_pass ?limits ?schedule ~budget ~degree ~model ~predictions
+        ~observations ~guard_evidence ()
   in
   let symptoms = List.map (symptom_of prediction) observations in
   let conflicts = Propagate.conflicts engine in
   let name_of id = Model.assumption_name model id in
   let suspects =
     Trace.with_span ~record:fit_seconds "diagnose.fit" @@ fun () ->
+    (* one LU context across every suspect's fit sweep: all candidate
+       systems of a run differ from its nominal circuit by one
+       parameter, so the first factorisation per device-region state
+       serves them all *)
+    let fsweep = Flames_sim.Mna.sweep ~rank1:true () in
     Candidates.suspicions conflicts
     |> List.filter_map (fun (id, suspicion) ->
            let component = name_of id in
@@ -349,7 +328,7 @@ let analyze ?limits ?budget ~degree ~model ~predictions ~prediction ~first
                   per candidate value): once the budget has tripped, skip
                   further sweeps and degrade to bare suspicions *)
                if Budget.tripped budget || not (Budget.ok budget) then []
-               else mode_estimates netlist observations engine comp
+               else mode_estimates ~sweep:fsweep netlist observations engine comp
              in
              let explains =
                List.exists
@@ -409,51 +388,141 @@ let analyze ?limits ?budget ~degree ~model ~predictions ~prediction ~first
   { netlist; symptoms; conflicts; suspects; diagnoses; single_faults; engine;
     degraded; trips }
 
-let run ?config ?limits ?model ?budget ?(prediction_floor = 1e-3)
-    ?(sensitivity_threshold = 0.02) ?(prediction_degree = 0.95)
-    ?(simulate_predictions = true) netlist observations =
+(* Nominal-prediction engines cached per schedule.  The prediction pass
+   is a pure function of (schedule, limits, degree, floor, threshold,
+   simulate flag): it sees no observations, so every request against the
+   same compiled model rebuilds the identical engine.  Reuse is gated to
+   unlimited budgets — the pass charges steps/envs as it runs, and
+   skipping it must not change what a bounded budget would have
+   accounted.  A cached engine is quiescent and only ever read
+   afterwards ([best_value] / [truncated], both mutation-free), so
+   sharing it across threads and domains is safe; the ephemeron key
+   lets a schedule evicted from [Engine.Cache] take its engines with
+   it. *)
+module PTbl = Ephemeron.K1.Make (struct
+  type t = Schedule.t
+
+  let equal = ( == )
+  let hash (s : Schedule.t) = s.Schedule.uid
+end)
+
+type pkey = {
+  plimits : Propagate.limits;
+  pdegree : float;
+  pfloor : float;
+  pthreshold : float;
+  psim : bool;
+}
+
+let pcache : (pkey * Propagate.t) list PTbl.t = PTbl.create 8
+let pcache_lock = Mutex.create ()
+
+let prediction_engine ?limits ~budget ~schedule ~model ~degree ~floor
+    ~threshold ~simulate predictions =
+  let fresh () =
+    let prediction = Propagate.create ?limits ~budget ?schedule model in
+    List.iter
+      (fun (q, v, env) -> Propagate.predict prediction ~degree q v env)
+      predictions;
+    Propagate.run prediction;
+    prediction
+  in
+  match schedule with
+  | Some s when Budget.is_unlimited budget ->
+    let key =
+      {
+        plimits = Option.value limits ~default:Propagate.default_limits;
+        pdegree = degree;
+        pfloor = floor;
+        pthreshold = threshold;
+        psim = simulate;
+      }
+    in
+    Mutex.lock pcache_lock;
+    let hit =
+      match PTbl.find_opt pcache s with
+      | Some entries -> List.assoc_opt key entries
+      | None -> None
+    in
+    Mutex.unlock pcache_lock;
+    (match hit with
+    | Some engine -> engine
+    | None ->
+      let engine = fresh () in
+      Mutex.lock pcache_lock;
+      let entries = Option.value (PTbl.find_opt pcache s) ~default:[] in
+      if not (List.mem_assoc key entries) then
+        (* a handful of (limits, degree, floor, threshold) tunings per
+           schedule in practice; keep the newest four *)
+        PTbl.replace pcache s
+          ((key, engine) :: List.filteri (fun i _ -> i < 3) entries);
+      Mutex.unlock pcache_lock;
+      engine)
+  | _ -> fresh ()
+
+let run ?config ?limits ?model ?schedule ?(use_compiled = true) ?budget
+    ?(prediction_floor = 1e-3) ?(sensitivity_threshold = 0.02)
+    ?(prediction_degree = 0.95) ?(simulate_predictions = true) netlist
+    observations =
   Trace.with_span
     ~args:[ ("circuit", netlist.Netlist.name) ]
     "diagnose.run"
   @@ fun () ->
   let budget = match budget with Some b -> b | None -> Budget.fresh () in
-  let model =
-    match model with
-    | Some m -> m
-    | None ->
-      Trace.with_span ~record:model_seconds "diagnose.model" (fun () ->
-          Model.compile ?config netlist)
+  (* Model acquisition.  The compiled schedule is the default execution
+     vehicle; [~use_compiled:false] forces the interpreter (the
+     differential-oracle baseline and the CLI's [--no-compiled]). *)
+  let model, schedule =
+    match schedule with
+    | Some s when use_compiled -> (Schedule.model s, Some s)
+    | _ ->
+      let m =
+        match model with
+        | Some m -> m
+        | None ->
+          Trace.with_span ~record:model_seconds "diagnose.model" (fun () ->
+              Model.compile ?config netlist)
+      in
+      if use_compiled then (m, Some (Schedule.of_model m)) else (m, None)
   in
   let predictions =
     if simulate_predictions then
       Trace.with_span ~record:simulate_seconds "diagnose.simulate" (fun () ->
-          simulator_predictions netlist model ~floor:prediction_floor
-            ~threshold:sensitivity_threshold)
+          match schedule with
+          | Some s ->
+            (* memoized on the schedule: the sensitivity sweep runs once
+               per compiled model, not once per request *)
+            Schedule.predictions s ~floor:prediction_floor
+              ~threshold:sensitivity_threshold
+          | None ->
+            simulator_predictions netlist model ~floor:prediction_floor
+              ~threshold:sensitivity_threshold)
     else []
   in
   let degree = prediction_degree in
-  (* prediction pass: nominals only *)
-  let prediction = Propagate.create ?limits ~budget model in
-  List.iter
-    (fun (q, v, env) -> Propagate.predict prediction ~degree q v env)
-    predictions;
-  Propagate.run prediction;
+  (* prediction pass: nominals only — shared across requests when the
+     budget is unlimited (see [prediction_engine]) *)
+  let prediction =
+    prediction_engine ?limits ~budget ~schedule ~model ~degree
+      ~floor:prediction_floor ~threshold:sensitivity_threshold
+      ~simulate:simulate_predictions predictions
+  in
   (* full pass with observations, then the shared post-propagation
      pipeline (guard second pass, symptoms, conflicts, fits, ranking) *)
   let first =
-    full_pass ?limits ~budget ~degree ~model ~predictions ~observations
-      ~guard_evidence:[] ()
+    full_pass ?limits ?schedule ~budget ~degree ~model ~predictions
+      ~observations ~guard_evidence:[] ()
   in
-  analyze ?limits ~budget ~degree ~model ~predictions ~prediction ~first
-    netlist observations
+  analyze ?limits ?schedule ~budget ~degree ~model ~predictions ~prediction
+    ~first netlist observations
 
-let run_r ?config ?limits ?model ?budget ?prediction_floor
-    ?sensitivity_threshold ?prediction_degree ?simulate_predictions netlist
-    observations =
+let run_r ?config ?limits ?model ?schedule ?use_compiled ?budget
+    ?prediction_floor ?sensitivity_threshold ?prediction_degree
+    ?simulate_predictions netlist observations =
   Err.guard (fun () ->
-      run ?config ?limits ?model ?budget ?prediction_floor
-        ?sensitivity_threshold ?prediction_degree ?simulate_predictions
-        netlist observations)
+      run ?config ?limits ?model ?schedule ?use_compiled ?budget
+        ?prediction_floor ?sensitivity_threshold ?prediction_degree
+        ?simulate_predictions netlist observations)
 
 let healthy result = result.conflicts = []
 

@@ -76,6 +76,8 @@ val run :
   ?config:Model.config ->
   ?limits:Propagate.limits ->
   ?model:Model.t ->
+  ?schedule:Schedule.t ->
+  ?use_compiled:bool ->
   ?budget:Budget.t ->
   ?prediction_floor:float ->
   ?sensitivity_threshold:float ->
@@ -85,6 +87,15 @@ val run :
   observation list ->
   result
 (** [run netlist observations] performs a full diagnosis.
+
+    By default the model is lowered to a compiled {!Schedule} and the
+    propagation engines run the compiled fast path; results are
+    byte-identical to the interpreter.  [?schedule] supplies a
+    pre-compiled schedule (e.g. from [Flames_engine.Cache]), skipping
+    both compilation and — thanks to the schedule's memo — the
+    per-request sensitivity sweep.  [~use_compiled:false] forces the
+    interpreter and ignores [?schedule] (the [--no-compiled]
+    differential baseline).
 
     [?budget] (default unlimited) is polled at cheap check-points in
     propagation, fit sweeps and candidate enumeration.  A tripped budget
@@ -123,6 +134,8 @@ val run_r :
   ?config:Model.config ->
   ?limits:Propagate.limits ->
   ?model:Model.t ->
+  ?schedule:Schedule.t ->
+  ?use_compiled:bool ->
   ?budget:Budget.t ->
   ?prediction_floor:float ->
   ?sensitivity_threshold:float ->
@@ -164,6 +177,7 @@ val guard_quantities : Model.t -> Quantity.t list
 
 val full_pass :
   ?limits:Propagate.limits ->
+  ?schedule:Schedule.t ->
   budget:Budget.t ->
   degree:float ->
   model:Model.t ->
@@ -178,6 +192,7 @@ val full_pass :
 
 val analyze :
   ?limits:Propagate.limits ->
+  ?schedule:Schedule.t ->
   ?budget:Budget.t ->
   degree:float ->
   model:Model.t ->

@@ -1,5 +1,7 @@
 module Interval = Flames_fuzzy.Interval
 module Consistency = Flames_fuzzy.Consistency
+module Kernel = Flames_fuzzy.Kernel
+module Arith = Flames_fuzzy.Arith
 module Env = Flames_atms.Env
 module Nogood = Flames_atms.Nogood
 module Candidates = Flames_atms.Candidates
@@ -17,7 +19,11 @@ let conflicts_total =
 
 let run_seconds =
   Metrics.histogram "flames_propagate_run_seconds"
-    ~help:"Latency of one propagation run to quiescence"
+    ~help:"Latency of one interpreted propagation run to quiescence"
+
+let schedule_run_seconds =
+  Metrics.histogram "flames_schedule_run_seconds"
+    ~help:"Latency of one compiled-schedule propagation run to quiescence"
 
 type limits = {
   max_values_per_cell : int;
@@ -34,6 +40,51 @@ let default_limits =
     min_conflict_degree = 0.02;
   }
 
+(* Consistency memo: the compiled engine's dominant win.  The degree
+   between two values depends only on their intervals and their
+   observational flags, and the fault sweep recomputes the same pairs
+   run after run.  Keys are 9 flat floats (an operation tag plus both
+   trapezoids); a scratch probe key is reused across lookups.  Two
+   levels: a published snapshot probed lock-free
+   ({!Schedule.memo_snapshot}), then a per-engine table of novel
+   entries, merged back on {!Schedule.memo_publish} so later engines
+   start from everything earlier ones computed. *)
+module FTbl = Schedule.FTbl
+
+(* Per-engine state of the compiled fast path.  Cells are the same
+   [Value.t list ref]s registered in the public hashtable, indexed by
+   the schedule's dense quantity ids, so every read API (values,
+   best_value, pp_cell) works unchanged on a compiled engine.
+   Quantities outside the model (ad-hoc observations) are interned
+   dynamically per engine; the shared schedule is never mutated. *)
+type cstate = {
+  sched : Schedule.t;
+  mutable carr : Value.t list ref array;  (** qid -> cell *)
+  mutable versions : int array;  (** qid -> cell mutation count *)
+  mutable dyn_names : string array;  (** reasons for dynamic qids *)
+  mutable nq : int;
+  dynq : (Quantity.t, int) Hashtbl.t;
+  gdeg : float array;  (** instr -> cached guard degree *)
+  gstamp : int array array;  (** instr -> guard versions; [||] = stale *)
+  pinned : Interval.t option array array;  (** instr -> pinned evidence *)
+  cqueue : int Queue.t;
+  mutable cqueued : bool array;
+  memo : float FTbl.t;  (** L1: entries this engine computed itself *)
+  l2 : Schedule.flat;
+      (** immutable shared snapshot taken at engine creation; probed
+          lock-free (see {!Schedule.memo_snapshot}) *)
+  probe : float array;
+  kscratch : float array;  (** {!Kernel} breakpoint scratch, 8 floats *)
+  fstamp : int array array;
+      (** fid -> versions of (srcs, target, nogood era) right after the
+          firing last ran clean; [[||]] = must run (see [exec_firing]) *)
+  fgdeg : float array;  (** fid -> guard degree the stamped firing used *)
+  mutable era : int;  (** nogood-db mutation count *)
+  mutable dirty : bool;
+      (** some insertion since the last reset evicted or filtered a
+          resident value — the running firing is not stampable *)
+}
+
 type t = {
   model : Model.t;
   limits : limits;
@@ -43,6 +94,7 @@ type t = {
   db : Nogood.t;
   queue : Quantity.t Queue.t;
   queued : (Quantity.t, unit) Hashtbl.t;
+  cstate : cstate option;
   mutable steps : int;
   mutable seeded : bool;
   mutable truncated : bool;  (** a run stopped at a budget check-point *)
@@ -59,30 +111,77 @@ let cell t q =
     Hashtbl.add t.cells q r;
     r
 
-let create ?(limits = default_limits) ?budget model =
+let create ?(limits = default_limits) ?budget ?schedule model =
   let by_var = Hashtbl.create 64 in
-  List.iter
-    (fun c ->
+  let cells = Hashtbl.create 64 in
+  let cstate =
+    match schedule with
+    | None ->
+      (* interpreter: discover the firing order per run *)
       List.iter
-        (fun q ->
-          let cur = Option.value ~default:[] (Hashtbl.find_opt by_var q) in
-          Hashtbl.replace by_var q (c :: cur))
-        (Constr.vars c))
-    model.Model.constraints;
+        (fun c ->
+          List.iter
+            (fun q ->
+              let cur =
+                Option.value ~default:[] (Hashtbl.find_opt by_var q)
+              in
+              Hashtbl.replace by_var q (c :: cur))
+            (Constr.vars c))
+        model.Model.constraints;
+      None
+    | Some (sched : Schedule.t) ->
+      let nq = Array.length sched.Schedule.qty in
+      let ni = Array.length sched.Schedule.instrs in
+      let carr =
+        Array.init nq (fun i ->
+            let r = ref [] in
+            Hashtbl.add cells sched.Schedule.qty.(i) r;
+            r)
+      in
+      Some
+        {
+          sched;
+          carr;
+          versions = Array.make nq 0;
+          dyn_names = [||];
+          nq;
+          dynq = Hashtbl.create 8;
+          gdeg = Array.make ni 1.;
+          gstamp = Array.make ni [||];
+          pinned =
+            Array.map
+              (fun (ins : Schedule.instr) ->
+                Array.make (Array.length ins.Schedule.guards) None)
+              sched.Schedule.instrs;
+          cqueue = Queue.create ();
+          cqueued = Array.make nq false;
+          memo = FTbl.create 1024;
+          l2 = Schedule.memo_snapshot sched;
+          probe = Array.make 9 0.;
+          kscratch = Array.make 8 0.;
+          fstamp = Array.make sched.Schedule.nfirings [||];
+          fgdeg = Array.make sched.Schedule.nfirings 1.;
+          era = 0;
+          dirty = false;
+        }
+  in
   {
     model;
     limits;
     budget = (match budget with Some b -> b | None -> Budget.fresh ());
-    cells = Hashtbl.create 64;
+    cells;
     by_var;
     db = Nogood.create ();
     queue = Queue.create ();
     queued = Hashtbl.create 64;
+    cstate;
     steps = 0;
     seeded = false;
     truncated = false;
     guard_evidence = [];
   }
+
+let compiled t = Option.is_some t.cstate
 
 let enqueue t q =
   if not (Hashtbl.mem t.queued q) then begin
@@ -156,12 +255,6 @@ let add_value t q (v : Value.t) =
     if survived then ignore (Budget.charge_envs t.budget 1);
     survived
   end
-
-(* Possibility that the guards of [c] are satisfied, judged on the
-   observational evidence available for each guard quantity; a guard
-   without evidence passes (the engine assumes the nominal operating
-   region a priori, as the paper does). *)
-let set_guard_evidence t evidence = t.guard_evidence <- evidence
 
 let guard_degree t (c : Constr.t) =
   List.fold_left
@@ -249,47 +342,538 @@ let fire t (c : Constr.t) target =
     !results
   end
 
-let seed t =
+(* ------------------------------------------------------------------ *)
+(* Compiled fast path.  Every function below is a bit-compatible
+   replica of its interpreter counterpart above, specialised to the
+   schedule's dense ids: same enumeration orders, same float-operation
+   orders, same budget charge points.  The speed comes from the memo
+   table, the allocation-light {!Kernel} integration, the precomputed
+   firing plan and reason strings, and array-indexed bookkeeping. *)
+
+let qname_of cs qid =
+  let stat = Array.length cs.sched.Schedule.qname in
+  if qid < stat then cs.sched.Schedule.qname.(qid)
+  else cs.dyn_names.(qid - stat)
+
+(* Intern a quantity outside the static schedule (ad-hoc observation
+   targets).  The cell ref is shared with the public hashtable so the
+   read APIs see it. *)
+let qid_of t cs q =
+  match Hashtbl.find_opt cs.sched.Schedule.qindex q with
+  | Some i -> i
+  | None -> begin
+    match Hashtbl.find_opt cs.dynq q with
+    | Some i -> i
+    | None ->
+      let i = cs.nq in
+      let cap = Array.length cs.carr in
+      if i >= cap then begin
+        let cap' = (2 * cap) + 8 in
+        let carr' = Array.make cap' (ref []) in
+        Array.blit cs.carr 0 carr' 0 cap;
+        for k = cap to cap' - 1 do
+          carr'.(k) <- ref []
+        done;
+        cs.carr <- carr';
+        let versions' = Array.make cap' 0 in
+        Array.blit cs.versions 0 versions' 0 cap;
+        cs.versions <- versions';
+        let queued' = Array.make cap' false in
+        Array.blit cs.cqueued 0 queued' 0 cap;
+        cs.cqueued <- queued'
+      end;
+      cs.carr.(i) <- cell t q;
+      let stat = Array.length cs.sched.Schedule.qname in
+      let dyn = Array.make (i - stat + 1) "" in
+      Array.blit cs.dyn_names 0 dyn 0 (Array.length cs.dyn_names);
+      dyn.(i - stat) <- Format.asprintf "%a" Quantity.pp q;
+      cs.dyn_names <- dyn;
+      Hashtbl.add cs.dynq q i;
+      cs.nq <- i + 1;
+      i
+  end
+
+let enqueue_c cs qid =
+  if not cs.cqueued.(qid) then begin
+    cs.cqueued.(qid) <- true;
+    Queue.add qid cs.cqueue
+  end
+
+(* O(1) classification of a trapezoid pair, shortcutting the piecewise
+   integration in the two overwhelmingly common cases.
+
+   - Cores overlap: [max (a.m1, b.m1)] is a merged breakpoint lying in
+     both closed cores, where [Interval.membership] is exactly [1.], so
+     [Piecewise.height_of_min] returns exactly [1.]; and [Consistency.dc]
+     is clamped to [0, 1], so [max dc height] is exactly [1.] without
+     computing dc.  No conflict can be recorded.
+   - Supports strictly disjoint: one membership is [0.] at every point,
+     so the height is exactly [0.]; and [Interval.overlap] is false, so
+     [Consistency.dc] is exactly [0.].
+
+   Everything in between (flank-only overlap) goes through the memoized
+   exact kernel. *)
+let pair_class (a : Interval.t) (b : Interval.t) =
+  if Float.max a.Interval.m1 b.Interval.m1
+     <= Float.min a.Interval.m2 b.Interval.m2
+  then 1
+  else if
+    Float.max
+      (a.Interval.m1 -. a.Interval.alpha)
+      (b.Interval.m1 -. b.Interval.alpha)
+    > Float.min
+        (a.Interval.m2 +. a.Interval.beta)
+        (b.Interval.m2 +. b.Interval.beta)
+  then -1
+  else 0
+
+let fill_probe cs tag (ai : Interval.t) (bi : Interval.t) =
+  let p = cs.probe in
+  p.(0) <- tag;
+  p.(1) <- ai.Interval.m1;
+  p.(2) <- ai.Interval.m2;
+  p.(3) <- ai.Interval.alpha;
+  p.(4) <- ai.Interval.beta;
+  p.(5) <- bi.Interval.m1;
+  p.(6) <- bi.Interval.m2;
+  p.(7) <- bi.Interval.alpha;
+  p.(8) <- bi.Interval.beta
+
+(* Memo keys are canonical so mirrored pairs share one entry: an
+   (observational, derived) pair is keyed tag 0 with the measured side
+   first regardless of argument order, and the symmetric height-only
+   computations (same-flag pairs and guard matching) are keyed tag 2
+   with the operands in lexicographic [Float.compare] order —
+   [Piecewise.height_of_min] is bit-symmetric, since swapping the
+   operands negates both sides of the crossing ratio and IEEE division
+   cancels the two sign flips exactly. *)
+let compute_obs_c cs (mi : Interval.t) (ni : Interval.t) =
+  fill_probe cs 0. mi ni;
+  match Schedule.flat_find cs.l2 cs.probe with
+  | dc -> dc
+  | exception Not_found -> (
+    match FTbl.find cs.memo cs.probe with
+    | dc -> dc
+    | exception Not_found ->
+      let dc = Kernel.consist ~scratch:cs.kscratch ~measured:mi ~nominal:ni in
+      FTbl.add cs.memo (Array.copy cs.probe) dc;
+      dc)
+
+let iv_leq (a : Interval.t) (b : Interval.t) =
+  let c = Float.compare a.Interval.m1 b.Interval.m1 in
+  if c <> 0 then c < 0
+  else
+    let c = Float.compare a.Interval.m2 b.Interval.m2 in
+    if c <> 0 then c < 0
+    else
+      let c = Float.compare a.Interval.alpha b.Interval.alpha in
+      if c <> 0 then c < 0
+      else Float.compare a.Interval.beta b.Interval.beta <= 0
+
+let compute_height_c cs (ai : Interval.t) (bi : Interval.t) =
+  let a, b = if iv_leq ai bi then (ai, bi) else (bi, ai) in
+  fill_probe cs 2. a b;
+  match Schedule.flat_find cs.l2 cs.probe with
+  | h -> h
+  | exception Not_found -> (
+    match FTbl.find cs.memo cs.probe with
+    | h -> h
+    | exception Not_found ->
+      let h = Kernel.height_of_min ~scratch:cs.kscratch a b in
+      FTbl.add cs.memo (Array.copy cs.probe) h;
+      h)
+
+(* Memoized consistency degree; replicates [consistency_between]. *)
+let consistency_c cs (a : Value.t) (b : Value.t) =
+  let ai = a.Value.interval and bi = b.Value.interval in
+  match pair_class ai bi with
+  | 1 -> 1.
+  | -1 -> 0.
+  | _ -> (
+    match (a.Value.observational, b.Value.observational) with
+    | true, false -> compute_obs_c cs ai bi
+    | false, true -> compute_obs_c cs bi ai
+    | true, true | false, false -> compute_height_c cs ai bi)
+
+(* Memoized possibility of matching against a (constant) guard set. *)
+let height_c cs (evidence : Interval.t) (set : Interval.t) =
+  match pair_class evidence set with
+  | 1 -> 1.
+  | -1 -> 0.
+  | _ -> compute_height_c cs evidence set
+
+let record_conflict_c t cs qid (a : Value.t) (b : Value.t) dc =
+  let degree =
+    Float.min (1. -. dc) (Float.min a.Value.degree b.Value.degree)
+  in
+  if degree >= t.limits.min_conflict_degree then begin
+    let env = Env.union a.Value.env b.Value.env in
+    let reason = qname_of cs qid in
+    if Nogood.record t.db ~reason env degree then begin
+      cs.era <- cs.era + 1;
+      Metrics.incr conflicts_total
+    end
+  end
+
+(* [redundant] with the conjuncts reordered cheapest-first (same truth
+   table): the observational flag and degree compare are two loads, the
+   interval containment four float compares, and the [History.subset]
+   string-set walk — the interpreter's hidden cost — runs only on pairs
+   that pass everything else. *)
+let redundant_c (w : Value.t) (v : Value.t) =
+  w.Value.observational = v.Value.observational
+  && w.Value.degree >= v.Value.degree
+  && ((Interval.contains v.Value.interval w.Value.interval
+      && Env.subset w.Value.env v.Value.env
+      && Value.History.subset w.Value.history v.Value.history)
+     || (Env.equal w.Value.env v.Value.env
+        && Interval.equal_rel w.Value.interval v.Value.interval))
+
+let add_value_c t cs qid (v : Value.t) =
+  let r = cs.carr.(qid) in
+  if List.exists (fun w -> redundant_c w v) !r then false
+  else if Nogood.is_nogood t.db v.Value.env then false
+  else begin
+    List.iter
+      (fun w ->
+        let dc = consistency_c cs v w in
+        if dc < 1. then record_conflict_c t cs qid v w dc)
+      !r;
+    (* One fused pass replacing the interpreter's filter + stable sort:
+       residents are kept sorted by [Value.strength] as an invariant, so
+       inserting [v] before the first resident it does not lose to is
+       exactly what the stable sort of [v :: filtered] produces.
+       Filtered-out residents flag the cell dirty: the running firing
+       lost an absorption witness and must not be stamped as a no-op. *)
+    let rec ins placed = function
+      | [] -> if placed then [] else [ v ]
+      | w :: rest ->
+        if redundant_c v w then begin
+          cs.dirty <- true;
+          ins placed rest
+        end
+        else if placed then w :: ins placed rest
+        else if Value.strength v w <= 0 then v :: w :: ins true rest
+        else w :: ins placed rest
+    in
+    let kept = ins false !r in
+    let rec take n = function
+      | [] -> []
+      | x :: rest ->
+        if n = 0 then begin
+          cs.dirty <- true;
+          []
+        end
+        else x :: take (n - 1) rest
+    in
+    let kept = take t.limits.max_values_per_cell kept in
+    r := kept;
+    cs.versions.(qid) <- cs.versions.(qid) + 1;
+    let survived = List.exists (fun w -> w == v) kept in
+    if survived then ignore (Budget.charge_envs t.budget 1);
+    survived
+  end
+
+(* Guard degree with a version-stamped cache: recomputed only when some
+   guard quantity's cell changed since the last evaluation (the
+   interpreter recomputes on every firing).  Over-invalidation is safe;
+   the stamp tracks exactly the cells the computation reads. *)
+let guard_degree_c cs i =
+  let ins = cs.sched.Schedule.instrs.(i) in
+  let guards = ins.Schedule.guards in
+  let ng = Array.length guards in
+  if ng = 0 then 1.
+  else begin
+    let stamp = cs.gstamp.(i) in
+    let fresh =
+      Array.length stamp = ng
+      &&
+      let ok = ref true in
+      Array.iteri
+        (fun gi (qid, _) -> if stamp.(gi) <> cs.versions.(qid) then ok := false)
+        guards;
+      !ok
+    in
+    if fresh then cs.gdeg.(i)
+    else begin
+      let acc = ref 1. in
+      let stamp = Array.make ng 0 in
+      Array.iteri
+        (fun gi (qid, set) ->
+          stamp.(gi) <- cs.versions.(qid);
+          let best_interval =
+            match cs.pinned.(i).(gi) with
+            | Some v -> Some v
+            | None -> begin
+              let evidence =
+                List.filter (fun v -> v.Value.observational) !(cs.carr.(qid))
+                |> List.sort Value.strength
+              in
+              match evidence with
+              | [] -> None
+              | best :: _ -> Some best.Value.interval
+            end
+          in
+          match best_interval with
+          | None -> ()
+          | Some interval -> acc := Float.min !acc (height_c cs interval set))
+        guards;
+      cs.gstamp.(i) <- stamp;
+      cs.gdeg.(i) <- !acc;
+      !acc
+    end
+  end
+
+(* Solve one instruction for the target at [tpos] given the chosen
+   source values; replicates [Constr.solve_for] including its float
+   gather order (terms added last-to-first onto crisp 0). *)
+let crisp0 = Interval.crisp 0.
+
+let solve_c (ins : Schedule.instr) tpos (chosen : Value.t array) =
+  match ins.Schedule.kernel with
+  | Schedule.Linear { coeffs; inv; crisp_k } ->
+    let n = Array.length coeffs in
+    let total = ref crisp0 in
+    for i = n - 1 downto 0 do
+      if i <> tpos then begin
+        let j = if i < tpos then i else i - 1 in
+        total :=
+          Arith.add !total (Arith.scale coeffs.(i) chosen.(j).Value.interval)
+      end
+    done;
+    Some (Arith.scale inv.(tpos) (Arith.sub crisp_k !total))
+  | Schedule.Product -> begin
+    let a = chosen.(0).Value.interval and b = chosen.(1).Value.interval in
+    if tpos = 0 then Some (Arith.mul a b)
+    else (try Some (Arith.div a b) with Arith.Undefined _ -> None)
+  end
+  | Schedule.Seed _ -> None
+
+let fire_c t cs (f : Schedule.firing) ~gdeg =
+  let ins = cs.sched.Schedule.instrs.(f.Schedule.instr) in
+  let name = ins.Schedule.name in
+  let nsrc = Array.length f.Schedule.srcs in
+  let cands =
+    Array.map
+      (fun qid ->
+        Array.of_list
+          (List.filter
+             (fun (v : Value.t) -> not (Value.History.mem name v.Value.history))
+             !(cs.carr.(qid))))
+      f.Schedule.srcs
+  in
+  let some_empty = ref false in
+  Array.iter (fun c -> if Array.length c = 0 then some_empty := true) cands;
+  if gdeg <= 0. || !some_empty then []
+  else begin
+    let budget = ref t.limits.max_combinations in
+    let results = ref [] in
+    let chosen = Array.make nsrc cands.(0).(0) in
+    (* descend first source outermost; leaves are processed while the
+       combination budget lasts, and results are prepended, exactly as
+       the interpreter's [combos] does *)
+    let rec combos si =
+      if si = nsrc then begin
+        if !budget > 0 then begin
+          decr budget;
+          match solve_c ins f.Schedule.tpos chosen with
+          | None -> ()
+          | Some interval ->
+            let env = ref ins.Schedule.assumptions
+            and degree = ref (Float.min ins.Schedule.degree gdeg)
+            and obs = ref false
+            and hist = ref Value.History.empty in
+            (* the interpreter folds its accumulator list, which holds
+               the choices in reverse source order *)
+            for j = nsrc - 1 downto 0 do
+              let v = chosen.(j) in
+              env := Env.union !env v.Value.env;
+              degree := Float.min !degree v.Value.degree;
+              obs := !obs || v.Value.observational;
+              hist := Value.History.union !hist v.Value.history
+            done;
+            if not (Nogood.is_nogood t.db !env) then
+              results :=
+                Value.derived name interval !env !degree ~observational:!obs
+                  ~history:!hist
+                :: !results
+        end
+      end
+      else
+        Array.iter
+          (fun v ->
+            if !budget > 0 then begin
+              chosen.(si) <- v;
+              combos (si + 1)
+            end)
+          cands.(si)
+    in
+    combos 0;
+    !results
+  end
+
+let seed_c t cs =
   if not t.seeded then begin
     t.seeded <- true;
-    List.iter
-      (fun (c : Constr.t) ->
-        match c.Constr.form with
-        | Constr.Nominal (q, set) ->
-          let v = Value.given set c.Constr.assumptions in
-          if add_value t q v then enqueue t q
-        | Constr.Bound (q, set) ->
-          let v = Value.bound set c.Constr.assumptions in
-          if add_value t q v then enqueue t q
-        | Constr.Linear _ | Constr.Product _ -> ())
-      t.model.Model.constraints
+    Array.iter
+      (fun i ->
+        let ins = cs.sched.Schedule.instrs.(i) in
+        match ins.Schedule.kernel with
+        | Schedule.Seed { nominal; off } ->
+          let set = Schedule.seed_interval cs.sched off in
+          let qid = ins.Schedule.vars.(0) in
+          let v =
+            if nominal then Value.given set ins.Schedule.assumptions
+            else Value.bound set ins.Schedule.assumptions
+          in
+          if add_value_c t cs qid v then enqueue_c cs qid
+        | Schedule.Linear _ | Schedule.Product -> ())
+      cs.sched.Schedule.seeds
   end
+
+(* ------------------------------------------------------------------ *)
+
+let seed t =
+  match t.cstate with
+  | Some cs -> seed_c t cs
+  | None ->
+    if not t.seeded then begin
+      t.seeded <- true;
+      List.iter
+        (fun (c : Constr.t) ->
+          match c.Constr.form with
+          | Constr.Nominal (q, set) ->
+            let v = Value.given set c.Constr.assumptions in
+            if add_value t q v then enqueue t q
+          | Constr.Bound (q, set) ->
+            let v = Value.bound set c.Constr.assumptions in
+            if add_value t q v then enqueue t q
+          | Constr.Linear _ | Constr.Product _ -> ())
+        t.model.Model.constraints
+    end
 
 let observe t q interval =
   seed t;
-  if add_value t q (Value.measured interval) then enqueue t q
+  match t.cstate with
+  | Some cs ->
+    let qid = qid_of t cs q in
+    if add_value_c t cs qid (Value.measured interval) then enqueue_c cs qid
+  | None -> if add_value t q (Value.measured interval) then enqueue t q
 
 let predict t ?degree q interval env =
   seed t;
-  if add_value t q (Value.given ?degree interval env) then enqueue t q
+  match t.cstate with
+  | Some cs ->
+    let qid = qid_of t cs q in
+    if add_value_c t cs qid (Value.given ?degree interval env) then
+      enqueue_c cs qid
+  | None ->
+    if add_value t q (Value.given ?degree interval env) then enqueue t q
 
-let run t =
-  Trace.with_span ~record:run_seconds "propagate.run" @@ fun () ->
+(* Possibility that the guards of [c] are satisfied, judged on the
+   observational evidence available for each guard quantity; a guard
+   without evidence passes (the engine assumes the nominal operating
+   region a priori, as the paper does).  Pinning evidence invalidates
+   the compiled guard cache. *)
+let set_guard_evidence t evidence =
+  t.guard_evidence <- evidence;
+  match t.cstate with
+  | None -> ()
+  | Some cs ->
+    Array.iteri
+      (fun i (ins : Schedule.instr) ->
+        let guards = ins.Schedule.guards in
+        if Array.length guards > 0 then begin
+          cs.pinned.(i) <-
+            Array.map
+              (fun (qid, _) ->
+                let q = cs.sched.Schedule.qty.(qid) in
+                List.find_map
+                  (fun (q', v) -> if Quantity.equal q q' then Some v else None)
+                  evidence)
+              guards;
+          cs.gstamp.(i) <- [||]
+        end)
+      cs.sched.Schedule.instrs
+
+exception Step_budget
+exception Budget_tripped
+
+(* Execute one planned firing, or skip it when it is provably a no-op.
+
+   A firing is a pure function of its source cells, the target's
+   residents, the instruction's guard degree and the nogood database.
+   If none of those changed since the firing last ran — versions of the
+   sources and target, the nogood era and the guard degree all match
+   the stamp recorded then — re-running it reproduces values that are
+   each absorbed without any state change: every result is either
+   resident (rejected by the redundancy scan before any conflict is
+   examined) or blocked by the monotonically grown nogood database.
+
+   The stamp is only recorded when that absorption argument is airtight:
+   no insertion during the firing truncated or filtered a resident away
+   (either can remove an absorption witness, [cs.dirty]), and the target
+   is not one of its own sources (the candidate snapshot would differ on
+   re-run).  The interpreter re-fires unconditionally and re-derives
+   the same values just to throw them away — this is where the compiled
+   engine stops paying for that. *)
+let exec_firing t cs (f : Schedule.firing) =
+  let gdeg = guard_degree_c cs f.Schedule.instr in
+  let fid = f.Schedule.fid in
+  let st = cs.fstamp.(fid) in
+  let nsrc = Array.length f.Schedule.srcs in
+  let unchanged =
+    Array.length st = nsrc + 2
+    && Int64.bits_of_float cs.fgdeg.(fid) = Int64.bits_of_float gdeg
+    &&
+    let ok = ref (st.(nsrc) = cs.versions.(f.Schedule.target)
+                  && st.(nsrc + 1) = cs.era) in
+    Array.iteri
+      (fun i s -> if st.(i) <> cs.versions.(s) then ok := false)
+      f.Schedule.srcs;
+    !ok
+  in
+  if not unchanged then begin
+    cs.dirty <- false;
+    List.iter
+      (fun v ->
+        if add_value_c t cs f.Schedule.target v then
+          enqueue_c cs f.Schedule.target)
+      (fire_c t cs f ~gdeg);
+    if
+      cs.dirty
+      || Array.exists (fun s -> s = f.Schedule.target) f.Schedule.srcs
+    then cs.fstamp.(fid) <- [||]
+    else begin
+      let st =
+        match cs.fstamp.(fid) with
+        | st when Array.length st = nsrc + 2 -> st
+        | _ ->
+          let st = Array.make (nsrc + 2) 0 in
+          cs.fstamp.(fid) <- st;
+          st
+      in
+      Array.iteri (fun i s -> st.(i) <- cs.versions.(s)) f.Schedule.srcs;
+      st.(nsrc) <- cs.versions.(f.Schedule.target);
+      st.(nsrc + 1) <- cs.era;
+      cs.fgdeg.(fid) <- gdeg
+    end
+  end
+
+let run_interpreted t =
   seed t;
   let steps0 = t.steps in
-  let exception Budget in
-  let exception Tripped in
   let finish () = Metrics.incr ~by:(t.steps - steps0) steps_total in
   try
     while not (Queue.is_empty t.queue) do
       let q = Queue.pop t.queue in
       Hashtbl.remove t.queued q;
       t.steps <- t.steps + 1;
-      if t.steps > t.limits.max_steps then raise Budget;
+      if t.steps > t.limits.max_steps then raise Step_budget;
       if
         (not (Budget.charge_steps t.budget 1))
         || Budget.tripped t.budget
-      then raise Tripped;
+      then raise Budget_tripped;
       let constraints = Option.value ~default:[] (Hashtbl.find_opt t.by_var q) in
       List.iter
         (fun c ->
@@ -305,18 +889,68 @@ let run t =
     done;
     finish ()
   with
-  | Budget ->
+  | Step_budget ->
     finish ();
     t.truncated <- true;
     Flames_obs.Log.warn "propagation stopped after %d steps (budget exhausted)"
       t.steps
-  | Tripped ->
+  | Budget_tripped ->
     (* A cooperative budget stop is an expected degradation, not an
        anomaly: stop quietly, the caller reads the trips off the budget. *)
     finish ();
     t.truncated <- true
 
-let values t q = List.sort Value.strength !(cell t q)
+let run_compiled t cs =
+  seed_c t cs;
+  let steps0 = t.steps in
+  let finish () =
+    Metrics.incr ~by:(t.steps - steps0) steps_total;
+    (* Seed the next engine's shared snapshot with what this run had to
+       compute itself; a handful of novelties is not worth a copy. *)
+    if FTbl.length cs.memo >= 512 then Schedule.memo_publish cs.sched cs.memo
+  in
+  let plan = cs.sched.Schedule.plan in
+  let nplan = Array.length plan in
+  try
+    while not (Queue.is_empty cs.cqueue) do
+      let qid = Queue.pop cs.cqueue in
+      cs.cqueued.(qid) <- false;
+      t.steps <- t.steps + 1;
+      if t.steps > t.limits.max_steps then raise Step_budget;
+      if
+        (not (Budget.charge_steps t.budget 1))
+        || Budget.tripped t.budget
+      then raise Budget_tripped;
+      if qid < nplan then Array.iter (exec_firing t cs) plan.(qid)
+    done;
+    finish ()
+  with
+  | Step_budget ->
+    finish ();
+    t.truncated <- true;
+    Flames_obs.Log.warn "propagation stopped after %d steps (budget exhausted)"
+      t.steps
+  | Budget_tripped ->
+    finish ();
+    t.truncated <- true
+
+let run t =
+  match t.cstate with
+  | Some cs ->
+    Trace.with_span ~record:schedule_run_seconds "schedule_run" @@ fun () ->
+    run_compiled t cs
+  | None ->
+    Trace.with_span ~record:run_seconds "propagate.run" @@ fun () ->
+    run_interpreted t
+
+(* A pure read: unlike [cell], a query for an unknown quantity must not
+   register an empty cell, so quiescent engines (e.g. the cached
+   nominal-prediction engine, shared across requests) can be read
+   concurrently. *)
+let values t q =
+  match Hashtbl.find_opt t.cells q with
+  | Some r -> List.sort Value.strength !r
+  | None -> []
 
 let best_value t ?observational q =
   let vs = values t q in

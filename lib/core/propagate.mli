@@ -30,12 +30,22 @@ val default_limits : limits
 (** 12 values per cell, 256 combinations, 100_000 steps, 0.02 conflict
     floor. *)
 
-val create : ?limits:limits -> ?budget:Budget.t -> Model.t -> t
+val create :
+  ?limits:limits -> ?budget:Budget.t -> ?schedule:Schedule.t -> Model.t -> t
 (** Fresh engine over the model; generative constraints (nominals,
     bounds, ground) are seeded but nothing is propagated yet.  [budget]
     (default unlimited) is charged one step per work-queue pop and one
     env per surviving cell insertion; when it trips, {!run} stops at the
-    next check-point and {!truncated} latches. *)
+    next check-point and {!truncated} latches.
+
+    With [schedule] (which must be compiled from the same model) the
+    engine runs the compiled fast path: preplanned firing order over
+    dense quantity ids, memoized consistency kernels, flat seed
+    buffers.  Results — values, conflicts, budgets charged — are
+    byte-identical to the interpreter; only the speed differs. *)
+
+val compiled : t -> bool
+(** Whether this engine runs the compiled fast path. *)
 
 val observe : t -> Quantity.t -> Interval.t -> unit
 (** Enter a measurement (environment-free, degree 1). *)

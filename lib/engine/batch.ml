@@ -109,17 +109,17 @@ let backoff r ~index ~attempt =
 (* The job body records everything Stats later reports — stage latency
    histograms, completion and conflict counters — into the registry;
    nothing is tallied on the side. *)
-let run_one cache ?budget ?(attempt = 1) j =
+let run_one cache ?budget ?(attempt = 1) ?(use_compiled = true) j =
   (match j.prelude with Some f -> f attempt | None -> ());
-  let model =
+  let schedule =
     Trace.with_span ~record:Telemetry.compile_seconds "batch.compile"
       (fun () -> Cache.compile cache ?config:j.config j.netlist)
   in
   let result =
     Trace.with_span ~record:Telemetry.diagnose_seconds "batch.diagnose"
       (fun () ->
-        Diagnose.run ?config:j.config ?limits:j.limits ?budget ~model
-          j.netlist j.observations)
+        Diagnose.run ?config:j.config ?limits:j.limits ?budget ~schedule
+          ~use_compiled j.netlist j.observations)
   in
   Metrics.incr Telemetry.jobs_completed_total;
   Metrics.incr ~by:(List.length result.Diagnose.conflicts)
@@ -160,7 +160,8 @@ let summarize ~workers ~wall ~cpu ~before ~after outcomes =
 (* A pending job is either in flight or was shed up-front. *)
 type pending = Flight of Diagnose.result Pool.promise | Shed of string
 
-let run_in ~pool ?cache ?timeout ?budget ?retry:policy ?breaker jobs =
+let run_in ~pool ?cache ?timeout ?budget ?retry:policy ?breaker
+    ?use_compiled jobs =
   let cache = match cache with Some c -> c | None -> Cache.create () in
   let before = Telemetry.read () in
   let wall0 = now () and cpu0 = Sys.time () in
@@ -176,7 +177,7 @@ let run_in ~pool ?cache ?timeout ?budget ?retry:policy ?breaker jobs =
     let budget = Option.map Budget.start budget in
     Context.with_context_opt ctx (fun () ->
         Pool.submit pool ~label:j.label ?timeout ?budget (fun () ->
-            run_one cache ?budget ~attempt j))
+            run_one cache ?budget ~attempt ?use_compiled j))
   in
   let gate j =
     match breaker with
@@ -247,9 +248,9 @@ let run_in ~pool ?cache ?timeout ?budget ?retry:policy ?breaker jobs =
   in
   (outcomes, stats)
 
-let run ?workers ?cache ?timeout ?budget ?retry ?breaker jobs =
+let run ?workers ?cache ?timeout ?budget ?retry ?breaker ?use_compiled jobs =
   Pool.with_pool ?workers (fun pool ->
-      run_in ~pool ?cache ?timeout ?budget ?retry ?breaker jobs)
+      run_in ~pool ?cache ?timeout ?budget ?retry ?breaker ?use_compiled jobs)
 
 let sequential ?cache jobs =
   let cache = match cache with Some c -> c | None -> Cache.create () in

@@ -1,8 +1,9 @@
 (** Deterministic batch diagnosis over a {!Pool} of workers.
 
     A batch is a list of independent [(netlist, observations)] jobs.
-    Each job compiles its model through the shared {!Cache} and runs the
-    standard sequential {!Flames_core.Diagnose.run} in a worker domain —
+    Each job obtains its compiled schedule through the shared {!Cache}
+    and runs the standard sequential {!Flames_core.Diagnose.run} in a
+    worker domain —
     the parallel path executes exactly the same computation as the
     sequential one, so results are identical and are returned in
     submission order regardless of completion order.
@@ -71,6 +72,7 @@ val run_in :
   ?budget:Budget.spec ->
   ?retry:retry ->
   ?breaker:Breaker.t ->
+  ?use_compiled:bool ->
   job list ->
   outcome list * Stats.t
 (** [run_in ~pool jobs] submits every job to the pool, awaits them in
@@ -96,7 +98,11 @@ val run_in :
     repeatedly: shed jobs resolve to [Error (Breaker_open _)] without
     touching the pool.  Since submission happens up-front, the breaker's
     effect within a single batch is limited to retries; its main use is
-    across successive batches sharing one breaker. *)
+    across successive batches sharing one breaker.
+
+    [?use_compiled] (default [true]) selects the compiled-schedule fast
+    path, exactly as in [Diagnose.run]; [false] forces the interpreter
+    (the CLI's [--no-compiled]).  Results are bit-identical. *)
 
 val run :
   ?workers:int ->
@@ -105,6 +111,7 @@ val run :
   ?budget:Budget.spec ->
   ?retry:retry ->
   ?breaker:Breaker.t ->
+  ?use_compiled:bool ->
   job list ->
   outcome list * Stats.t
 (** One-shot convenience: run over a fresh pool of [?workers] domains

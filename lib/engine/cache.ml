@@ -1,9 +1,10 @@
 module Model = Flames_core.Model
+module Schedule = Flames_core.Schedule
 module Netlist = Flames_circuit.Netlist
 module Component = Flames_circuit.Component
 module Interval = Flames_fuzzy.Interval
 
-type entry = { model : Model.t; mutable last_used : int }
+type entry = { schedule : Schedule.t; mutable last_used : int }
 
 (* The per-instance counters are atomics, not plain fields: [stats]
    reads them without taking the cache mutex, and future lock-narrowing
@@ -78,8 +79,18 @@ let add_component b (c : Component.t) =
   List.iter (fun (t, n) -> Printf.bprintf b ";%s=%s" t n) c.Component.nodes;
   Buffer.add_char b '|'
 
-let fingerprint ?(config = Model.default_config) netlist =
+(* Version tag of the cached value representation.  v1 entries held
+   compiled [Model.t]s; v2 holds [Schedule.t]s.  The tag leads the
+   fingerprint input, so a process that ever shares serialized keys
+   (or a future persistent cache) can never hand a schedule consumer a
+   stale model entry: the representations live under disjoint keys and
+   old-format entries simply age out through LRU eviction. *)
+let schema_version = 2
+
+let fingerprint ?schema ?(config = Model.default_config) netlist =
+  let schema = match schema with Some s -> s | None -> schema_version in
   let b = Buffer.create 512 in
+  Printf.bprintf b "schema:%d|" schema;
   Printf.bprintf b "net:%s;gnd:%s;ports:%s|" netlist.Netlist.name
     netlist.Netlist.ground
     (String.concat "," netlist.Netlist.ports);
@@ -117,9 +128,9 @@ let compile cache ?config netlist =
     Atomic.incr cache.hits;
     Flames_obs.Metrics.incr Telemetry.cache_hits_total;
     Flames_obs.Context.annotate "cache" (Flames_obs.Context.Str "hit");
-    let model = entry.model in
+    let schedule = entry.schedule in
     Mutex.unlock cache.mutex;
-    model
+    schedule
   | None ->
     Atomic.incr cache.misses;
     Flames_obs.Metrics.incr Telemetry.cache_misses_total;
@@ -128,22 +139,22 @@ let compile cache ?config netlist =
        a racing domain may compile the same key twice — both results
        are identical and the first insertion wins *)
     Mutex.unlock cache.mutex;
-    let model = Model.compile ?config netlist in
+    let schedule = Schedule.compile ?config netlist in
     Mutex.lock cache.mutex;
-    let model =
+    let schedule =
       match Hashtbl.find_opt cache.table key with
       | Some entry ->
         entry.last_used <- tick;
-        entry.model
+        entry.schedule
       | None ->
-        Hashtbl.replace cache.table key { model; last_used = tick };
+        Hashtbl.replace cache.table key { schedule; last_used = tick };
         evict_lru cache;
-        model
+        schedule
     in
     Flames_obs.Metrics.gauge_set Telemetry.cache_resident
       (float_of_int (Hashtbl.length cache.table));
     Mutex.unlock cache.mutex;
-    model
+    schedule
 
 let stats cache =
   Mutex.lock cache.mutex;

@@ -1,15 +1,19 @@
-(** Memoization of {!Flames_core.Model.compile} keyed by a structural
-    fingerprint of [(netlist, config)].
+(** Memoization of {!Flames_core.Schedule.compile} keyed by a
+    structural fingerprint of [(netlist, config)].
 
     Repeated diagnoses of the same topology — fault dictionaries,
     parameter sweeps, fig-7 reruns — recompile an identical constraint
     model every time; this cache makes the second and later compilations
-    free.  Compiled models are immutable, so a cached model is safely
-    shared by concurrent {!Pool} workers.  The cache itself is
-    thread-safe and evicts least-recently-used entries beyond its
-    capacity. *)
+    free.  The cached value is the {e compiled schedule} (the flat
+    preplanned form the fast propagation path executes), so every
+    consumer — [Diagnose.run], sessions, batches, the service — rides
+    the compiled path and shares the schedule's memoized sensitivity
+    report and consistency memo.  Schedules are safely shared by
+    concurrent {!Pool} workers.  The cache itself is thread-safe and
+    evicts least-recently-used entries beyond its capacity. *)
 
 module Model = Flames_core.Model
+module Schedule = Flames_core.Schedule
 module Netlist = Flames_circuit.Netlist
 
 type t
@@ -27,19 +31,29 @@ val create : ?capacity:int -> unit -> t
     (default 64).
     @raise Invalid_argument if [capacity < 1]. *)
 
-val fingerprint : ?config:Model.config -> Netlist.t -> string
-(** Structural fingerprint of the compilation input: an MD5 digest over
-    the netlist name, ground, ports, every component (name, kind,
-    hex-exact parameter fuzzy intervals, terminal wiring) in netlist
-    order, and every {!Model.config} field.  Two inputs with equal
-    fingerprints compile to structurally identical models; any fault
-    injection, tolerance change or config change yields a different
-    fingerprint. *)
+val schema_version : int
+(** Version tag of the cached value representation, mixed into every
+    fingerprint.  Bumped when the representation changes (v1: compiled
+    models, v2: compiled schedules), so entries written under an older
+    representation live under disjoint keys — they can never be
+    returned to a consumer expecting the new one, and age out via LRU
+    eviction. *)
 
-val compile : t -> ?config:Model.config -> Netlist.t -> Model.t
-(** [compile cache netlist] returns the cached model for the input's
-    fingerprint, compiling (and caching) it on a miss.  Drop-in
-    replacement for [Model.compile]. *)
+val fingerprint : ?schema:int -> ?config:Model.config -> Netlist.t -> string
+(** Structural fingerprint of the compilation input: an MD5 digest over
+    the {!schema_version} tag, the netlist name, ground, ports, every
+    component (name, kind, hex-exact parameter fuzzy intervals,
+    terminal wiring) in netlist order, and every {!Model.config} field.
+    Two inputs with equal fingerprints compile to structurally
+    identical schedules; any fault injection, tolerance change, config
+    change or representation change yields a different fingerprint.
+    [?schema] (default {!schema_version}) exists for tests probing the
+    mismatch path. *)
+
+val compile : t -> ?config:Model.config -> Netlist.t -> Schedule.t
+(** [compile cache netlist] returns the cached compiled schedule for
+    the input's fingerprint, compiling (and caching) it on a miss.
+    Drop-in replacement for [Schedule.compile]. *)
 
 val stats : t -> stats
 

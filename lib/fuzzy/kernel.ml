@@ -1,0 +1,137 @@
+(* Scalar kernels for the compiled propagation path.
+
+   Each function replicates its reference in {!Piecewise} /
+   {!Consistency} bit-for-bit: same breakpoint merge (Float.compare
+   order and dedup), same one-sided-limit extrapolation at segment
+   endpoints, same left-to-right float accumulation.  A compiled engine
+   and the interpreter must produce byte-identical degrees — the only
+   difference here is mechanical: a caller-provided scratch array of
+   the at most 8 trapezoid corners instead of sorted lists and
+   closures, and one breakpoint merge shared by the height scan and the
+   area integration. *)
+
+let mem = Interval.membership
+
+(* Merge the breakpoints of two trapezoids into [pts] (ascending,
+   deduplicated), returning the count.  Insertion sort with
+   Float.compare mirrors [List.sort_uniq Float.compare] over the 8
+   corners exactly: Float.compare is a total order (distinguishing -0.
+   from +0.), and [Interval.make] guarantees no NaN reaches us. *)
+let fill_breakpoints (pts : float array) (a : Interval.t) (b : Interval.t) =
+  let n = ref 0 in
+  let insert x =
+    let j = ref 0 in
+    while !j < !n && Float.compare x pts.(!j) > 0 do
+      incr j
+    done;
+    if !j < !n && Float.compare x pts.(!j) = 0 then ()
+    else begin
+      for k = !n downto !j + 1 do
+        pts.(k) <- pts.(k - 1)
+      done;
+      pts.(!j) <- x;
+      incr n
+    end
+  in
+  insert (a.Interval.m1 -. a.Interval.alpha);
+  insert a.Interval.m1;
+  insert a.Interval.m2;
+  insert (a.Interval.m2 +. a.Interval.beta);
+  insert (b.Interval.m1 -. b.Interval.alpha);
+  insert b.Interval.m1;
+  insert b.Interval.m2;
+  insert (b.Interval.m2 +. b.Interval.beta);
+  !n
+
+(* Height of the pointwise minimum over pre-filled breakpoints;
+   replicates [Piecewise.height_of_min] (breakpoints, then crossings,
+   folded through Float.max from 0. — order-insensitive, no NaN). *)
+let height_on (pts : float array) n (a : Interval.t) (b : Interval.t) =
+  let best = ref 0. in
+  for i = 0 to n - 1 do
+    let x = pts.(i) in
+    best := Float.max !best (Float.min (mem a x) (mem b x))
+  done;
+  for i = 0 to n - 2 do
+    let x0 = pts.(i) and x1 = pts.(i + 1) in
+    let dl = mem a x0 -. mem b x0 and dh = mem a x1 -. mem b x1 in
+    if dl *. dh < 0. then begin
+      let t = dl /. (dl -. dh) in
+      let x = x0 +. (t *. (x1 -. x0)) in
+      best := Float.max !best (Float.min (mem a x) (mem b x))
+    end
+  done;
+  !best
+
+(* Area of the pointwise minimum over pre-filled breakpoints;
+   replicates [Piecewise.min_area]'s left-to-right accumulation with
+   the same one-sided-limit extrapolation per segment. *)
+let min_area_on (pts : float array) n (a : Interval.t) (b : Interval.t) =
+  let acc = ref 0. in
+  for i = 0 to n - 2 do
+    let lo = pts.(i) and hi = pts.(i + 1) in
+    (* Piecewise.segment_integral, min component only *)
+    let mi =
+      if hi <= lo then 0.
+      else begin
+        let x1 = lo +. ((hi -. lo) /. 3.) and x2 = hi -. ((hi -. lo) /. 3.) in
+        let f1 = mem a x1 and f2 = mem a x2 in
+        let fl = (2. *. f1) -. f2 and fh = (2. *. f2) -. f1 in
+        let g1 = mem b x1 and g2 = mem b x2 in
+        let gl = (2. *. g1) -. g2 and gh = (2. *. g2) -. g1 in
+        let dl = fl -. gl and dh = fh -. gh in
+        if dl *. dh >= 0. then
+          (Float.min fl gl +. Float.min fh gh) /. 2. *. (hi -. lo)
+        else begin
+          let t = dl /. (dl -. dh) in
+          let xm = lo +. (t *. (hi -. lo)) in
+          let ym = fl +. ((fh -. fl) *. t) in
+          ((Float.min fl gl +. ym) /. 2. *. (xm -. lo))
+          +. ((ym +. Float.min fh gh) /. 2. *. (hi -. xm))
+        end
+      end
+    in
+    acc := !acc +. mi
+  done;
+  !acc
+
+let height_of_min ?scratch (a : Interval.t) (b : Interval.t) =
+  let pts = match scratch with Some p -> p | None -> Array.make 8 0. in
+  let n = fill_breakpoints pts a b in
+  height_on pts n a b
+
+let min_area ?scratch (a : Interval.t) (b : Interval.t) =
+  let pts = match scratch with Some p -> p | None -> Array.make 8 0. in
+  let n = fill_breakpoints pts a b in
+  min_area_on pts n a b
+
+let dc ?scratch ~measured ~nominal () =
+  if not (Interval.overlap measured nominal) then 0.
+  else
+    let am = Interval.area measured in
+    if am <= 1e-12 (* Consistency.area_epsilon *) then
+      Interval.membership nominal (Interval.midpoint measured)
+    else
+      let r = min_area ?scratch measured nominal /. am in
+      if r <> r then 0. else Float.max 0. (Float.min 1. r)
+
+(* The compiled engine's fused coincidence degree:
+   [max (Consistency.dc ~measured ~nominal) (height_of_min measured
+   nominal)] with one breakpoint merge for both parts.  [Consistency]
+   computes the two independently; every float operation inside each
+   part is identical, so the result is bit-identical. *)
+let consist ~(scratch : float array) ~measured ~nominal =
+  let n = fill_breakpoints scratch measured nominal in
+  let height = height_on scratch n measured nominal in
+  if height >= 1. then height
+  else
+    let d =
+      if not (Interval.overlap measured nominal) then 0.
+      else
+        let am = Interval.area measured in
+        if am <= 1e-12 then Interval.membership nominal (Interval.midpoint measured)
+        else
+          let r = min_area_on scratch n measured nominal /. am in
+          if r <> r then 0. else Float.max 0. (Float.min 1. r)
+    in
+    Float.max d height

@@ -1,0 +1,33 @@
+(** Allocation-light scalar kernels for the compiled propagation path.
+
+    Bit-identical replicas of the {!Piecewise} / {!Consistency}
+    operations the propagation inner loop spends its time in, written
+    over a scratch array of the (at most 8) merged trapezoid corners
+    instead of sorted lists and closures.  The compiled engine relies on
+    these being byte-for-byte equal to the interpreter's results — the
+    equivalence is enforced by property tests in [test_fuzzy]. *)
+
+val fill_breakpoints : float array -> Interval.t -> Interval.t -> int
+(** [fill_breakpoints pts a b] writes the merged breakpoints of [a] and
+    [b] into [pts] (which must have length >= 8) in ascending
+    [Float.compare] order with duplicates removed, and returns the
+    count.  Same sequence as {!Piecewise.breakpoints} merged via
+    [List.sort_uniq]. *)
+
+val height_of_min : ?scratch:float array -> Interval.t -> Interval.t -> float
+(** Bit-identical to {!Piecewise.height_of_min}.  [?scratch] (length >=
+    8) is clobbered when supplied; a fresh array is used otherwise. *)
+
+val min_area : ?scratch:float array -> Interval.t -> Interval.t -> float
+(** Bit-identical to {!Piecewise.min_area}; [?scratch] as above. *)
+
+val dc :
+  ?scratch:float array -> measured:Interval.t -> nominal:Interval.t -> unit -> float
+(** Bit-identical to {!Consistency.dc}; [?scratch] as above. *)
+
+val consist :
+  scratch:float array -> measured:Interval.t -> nominal:Interval.t -> float
+(** The engine's fused coincidence degree,
+    [Float.max (dc ~measured ~nominal) (height_of_min measured nominal)],
+    computed over a single breakpoint merge.  Bit-identical to computing
+    the two parts separately. *)

@@ -333,7 +333,7 @@ let diagnose deps (r : Http.request) =
           let promise =
             Pool.submit deps.pool ~label:spec.label ~timeout:wall ~budget
               (fun () ->
-                let model = Cache.compile deps.cache ~config spec.nominal in
+                let schedule = Cache.compile deps.cache ~config spec.nominal in
                 let observations =
                   match spec.observations with
                   | Some obs -> obs
@@ -355,7 +355,8 @@ let diagnose deps (r : Http.request) =
                     in
                     Flames_sim.Measure.probe_all ~instrument sol quantities
                 in
-                Diagnose.run ~config ~model ~budget spec.nominal observations)
+                Diagnose.run ~config ~schedule ~budget spec.nominal
+                  observations)
           in
           match Pool.await promise with
           | Ok result ->
@@ -417,10 +418,11 @@ let session_create deps (r : Http.request) =
   in
   let* trusted = str_list_field j "trusted" in
   let config = { Model.default_config with trusted } in
-  (* the model comes from the shared compilation cache, so re-creating a
-     session on a builtin costs no recompilation *)
-  let model = Cache.compile deps.cache ~config nominal in
-  let session = Session.create ~config ~model nominal in
+  (* the schedule comes from the shared compilation cache, so
+     re-creating a session on a builtin costs no recompilation and
+     shares the warm consistency memo *)
+  let schedule = Cache.compile deps.cache ~config nominal in
+  let session = Session.create ~config ~schedule nominal in
   Ok (label, session)
 
 let session_step deps id f =

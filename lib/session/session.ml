@@ -2,6 +2,7 @@ module Interval = Flames_fuzzy.Interval
 module Quantity = Flames_circuit.Quantity
 module Netlist = Flames_circuit.Netlist
 module Model = Flames_core.Model
+module Schedule = Flames_core.Schedule
 module Propagate = Flames_core.Propagate
 module Budget = Flames_core.Budget
 module Diagnose = Flames_core.Diagnose
@@ -13,6 +14,7 @@ type measurement = { id : int; quantity : Quantity.t; interval : Interval.t }
 type t = {
   netlist : Netlist.t;
   model : Model.t;
+  schedule : Schedule.t option;  (** [None] = interpreter session *)
   limits : Propagate.limits option;
   budget_spec : Budget.spec;
   degree : float;
@@ -46,9 +48,10 @@ let observations t =
 let rebuild t =
   Flames_obs.Metrics.incr session_rebuilds_total;
   let engine =
-    Diagnose.full_pass ?limits:t.limits ~budget:(Budget.fresh ())
-      ~degree:t.degree ~model:t.model ~predictions:t.predictions
-      ~observations:(observations t) ~guard_evidence:[] ()
+    Diagnose.full_pass ?limits:t.limits ?schedule:t.schedule
+      ~budget:(Budget.fresh ()) ~degree:t.degree ~model:t.model
+      ~predictions:t.predictions ~observations:(observations t)
+      ~guard_evidence:[] ()
   in
   t.live <- Some engine;
   engine
@@ -56,25 +59,43 @@ let rebuild t =
 let ensure_live t =
   match t.live with Some engine -> engine | None -> rebuild t
 
-let create ?config ?limits ?model ?(budget_spec = Budget.unlimited)
-    ?(prediction_floor = 1e-3) ?(sensitivity_threshold = 0.02)
-    ?(prediction_degree = 0.95) ?(simulate_predictions = true)
-    ?(fault_point = fun _ -> ()) netlist =
+let create ?config ?limits ?model ?schedule ?(use_compiled = true)
+    ?(budget_spec = Budget.unlimited) ?(prediction_floor = 1e-3)
+    ?(sensitivity_threshold = 0.02) ?(prediction_degree = 0.95)
+    ?(simulate_predictions = true) ?(fault_point = fun _ -> ()) netlist =
   Flames_obs.Trace.with_span
     ~args:[ ("circuit", netlist.Netlist.name) ]
     "session.create"
   @@ fun () ->
-  let model =
-    match model with Some m -> m | None -> Model.compile ?config netlist
+  (* Same resolution as [Diagnose.run]: the compiled schedule is the
+     default execution vehicle, [~use_compiled:false] forces the
+     interpreter — and produces bit-identical results (the equivalence
+     contract holds either way, against the matching [Diagnose.run]
+     mode). *)
+  let model, schedule =
+    match schedule with
+    | Some s when use_compiled -> (Schedule.model s, Some s)
+    | _ ->
+      let m =
+        match model with Some m -> m | None -> Model.compile ?config netlist
+      in
+      if use_compiled then (m, Some (Schedule.of_model m)) else (m, None)
   in
   let predictions =
     if simulate_predictions then
-      Diagnose.simulator_predictions netlist model ~floor:prediction_floor
-        ~threshold:sensitivity_threshold
+      match schedule with
+      | Some s ->
+        Schedule.predictions s ~floor:prediction_floor
+          ~threshold:sensitivity_threshold
+      | None ->
+        Diagnose.simulator_predictions netlist model ~floor:prediction_floor
+          ~threshold:sensitivity_threshold
     else []
   in
   let degree = prediction_degree in
-  let prediction = Propagate.create ?limits ~budget:(Budget.fresh ()) model in
+  let prediction =
+    Propagate.create ?limits ?schedule ~budget:(Budget.fresh ()) model
+  in
   List.iter
     (fun (q, v, env) -> Propagate.predict prediction ~degree q v env)
     predictions;
@@ -83,6 +104,7 @@ let create ?config ?limits ?model ?(budget_spec = Budget.unlimited)
     {
       netlist;
       model;
+      schedule;
       limits;
       budget_spec;
       degree;
@@ -197,4 +219,5 @@ let next_test ?points t =
 let measurements t = t.measurements
 let netlist t = t.netlist
 let model t = t.model
+let schedule t = t.schedule
 let steps t = t.steps

@@ -29,6 +29,7 @@ module Interval = Flames_fuzzy.Interval
 module Quantity = Flames_circuit.Quantity
 module Netlist = Flames_circuit.Netlist
 module Model = Flames_core.Model
+module Schedule = Flames_core.Schedule
 module Propagate = Flames_core.Propagate
 module Budget = Flames_core.Budget
 module Diagnose = Flames_core.Diagnose
@@ -47,6 +48,8 @@ val create :
   ?config:Model.config ->
   ?limits:Propagate.limits ->
   ?model:Model.t ->
+  ?schedule:Schedule.t ->
+  ?use_compiled:bool ->
   ?budget_spec:Budget.spec ->
   ?prediction_floor:float ->
   ?sensitivity_threshold:float ->
@@ -55,10 +58,14 @@ val create :
   ?fault_point:(string -> unit) ->
   Netlist.t ->
   t
-(** [create netlist] compiles the model (unless [?model] supplies the
-    compilation of exactly this netlist/config), derives the simulator
-    predictions once, and runs the prediction pass once; all three are
-    reused by every later step.
+(** [create netlist] compiles the model (unless [?model] or
+    [?schedule] supplies the compilation of exactly this
+    netlist/config), derives the simulator predictions once, and runs
+    the prediction pass once; all three are reused by every later step.
+
+    Sessions run the compiled schedule by default, exactly like
+    [Diagnose.run]; [~use_compiled:false] forces the interpreter and
+    ignores [?schedule].  Results are bit-identical either way.
 
     [?budget_spec] (default unlimited) is armed afresh for each
     {!diagnoses} call and meters only the analysis stages (guard second
@@ -115,6 +122,10 @@ val netlist : t -> Netlist.t
 val model : t -> Model.t
 (** The compiled model, for passing to a from-scratch run
     ([Diagnose.run ~model]) when checking equivalence. *)
+
+val schedule : t -> Schedule.t option
+(** The compiled schedule the session executes, [None] for an
+    interpreter session ([~use_compiled:false]). *)
 
 val steps : t -> int
 (** Mutations performed so far (adds + retracts + refines). *)

@@ -25,8 +25,27 @@ type solution = {
 exception No_convergence of string
 (** The piecewise-linear region iteration cycled (pathological circuit). *)
 
-val solve : Flames_circuit.Netlist.t -> solution
-(** @raise No_convergence, or {!Linalg.Singular} on a floating circuit. *)
+type sweep
+(** Factor-reuse context for solving many structurally identical
+    circuits (a parameter sweep).  Caches LU factors of the first
+    matrix seen per device-region assignment; later solves under the
+    same assignment re-solve against those factors — bit-identically
+    when only the right-hand side changed, via a residual-checked
+    rank-1 Sherman–Morrison refresh when a single parameter moved the
+    matrix, and by an ordinary full solve otherwise.  Single-domain,
+    like the budget it typically accompanies. *)
+
+val sweep : ?rank1:bool -> unit -> sweep
+(** A fresh, empty sweep context.  [rank1] (default [false]) enables
+    the approximate Sherman–Morrison path; leave it off when downstream
+    consumers threshold or compare the solved voltages, so that every
+    answered system is bit-identical to an unshared solve. *)
+
+val solve : ?sweep:sweep -> Flames_circuit.Netlist.t -> solution
+(** [solve netlist] finds the DC operating point.  With [?sweep], LU
+    factors are reused across calls sharing the context (see {!sweep});
+    without it, every call factorises from scratch, as before.
+    @raise No_convergence, or {!Linalg.Singular} on a floating circuit. *)
 
 val voltage : solution -> string -> float
 (** @raise Not_found for an unknown node (ground returns 0). *)

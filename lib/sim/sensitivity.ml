@@ -20,19 +20,19 @@ let relative_tolerance interval =
   let c = Interval.centroid interval in
   if c = 0. then 0. else (hi -. lo) /. 2. /. Float.abs c
 
-let solution_with netlist (c : C.t) param multiplier =
+let solution_with ?sweep netlist (c : C.t) param multiplier =
   let nominal = C.nominal_parameter c param in
   let center = Interval.centroid nominal in
   if center = 0. then None
   else
     let moved = Interval.crisp (center *. multiplier) in
     let netlist' = N.replace netlist (C.with_parameter c param moved) in
-    match Mna.solve netlist' with
+    match Mna.solve ?sweep netlist' with
     | sol -> Some sol
     | exception (Mna.No_convergence _ | Linalg.Singular) -> None
 
-let perturbed_solution netlist c param =
-  solution_with netlist c param (1. +. probe_step)
+let perturbed_solution ?sweep netlist c param =
+  solution_with ?sweep netlist c param (1. +. probe_step)
 
 (* Hard-fault worlds: whether a component can explain a deviation on a
    node at all is judged at the extremes, not only by the linearised 1 %
@@ -46,11 +46,16 @@ let extreme_multipliers = function
   | "beta" | "beta+1" | "gain" -> [ 1e-6; 10. ]
   | _ -> []
 
-let extreme_solutions netlist c param =
-  List.filter_map (solution_with netlist c param) (extreme_multipliers param)
+let extreme_solutions ?sweep netlist c param =
+  List.filter_map (solution_with ?sweep netlist c param) (extreme_multipliers param)
 
 let analyze netlist =
-  let base = Mna.solve netlist in
+  (* One sweep for the whole analysis: the nominal system solved first
+     becomes the factor base every 1 % probe re-solves against (the
+     matrix perturbations are rank-1 per parameter); a fresh context
+     per call keeps the result a pure function of the netlist. *)
+  let sweep = Mna.sweep () in
+  let base = Mna.solve ~sweep netlist in
   let nodes =
     List.filter (fun n -> n <> netlist.N.ground) (N.nodes netlist)
   in
@@ -63,11 +68,11 @@ let analyze netlist =
         let deltas =
           List.filter_map
             (fun param ->
-              match perturbed_solution netlist c param with
+              match perturbed_solution ~sweep netlist c param with
               | None -> None
               | Some sol ->
                 let tol = relative_tolerance (C.nominal_parameter c param) in
-                let extremes = extreme_solutions netlist c param in
+                let extremes = extreme_solutions ~sweep netlist c param in
                 Some
                   (List.map
                      (fun n ->

@@ -261,6 +261,13 @@ let test_chaos_session () =
 let test_degraded_oracle () =
   expect_pass "degraded oracle" 60 Gen.scenario Oracle.check_degraded
 
+(* Satellite: the compiled-schedule differential oracle — >= 300 seeded
+   scenarios, each diagnosed through the compiled schedule and the
+   interpreter (full, schedule-reuse and budget-tripped variants) and
+   required to agree hex-fingerprint-exactly. *)
+let test_compiled_oracle () =
+  expect_pass "compiled vs interpreter" 300 Gen.scenario Oracle.check_compiled
+
 let test_budget_charges () =
   let b = Budget.start (Budget.spec ~max_steps:3 ()) in
   check_bool "ok before" true (Budget.ok b);
@@ -434,6 +441,7 @@ let () =
           Alcotest.test_case "chaos-wall-budget" `Slow test_chaos_wall_budget;
           Alcotest.test_case "chaos-session-100" `Slow test_chaos_session;
           Alcotest.test_case "degraded-oracle" `Slow test_degraded_oracle;
+          Alcotest.test_case "compiled-oracle-300" `Slow test_compiled_oracle;
           Alcotest.test_case "budget-charges" `Quick test_budget_charges;
           Alcotest.test_case "hitting-interrupt-floor" `Quick
             test_hitting_interrupt_floor;

@@ -296,6 +296,41 @@ let diagnose_amp fault probes =
   in
   Diagnose.run ~config nominal obs
 
+(* The compiled flat schedule is an execution strategy, not a semantic
+   fork: the same diagnosis through [~use_compiled:false] (interpreter),
+   the default compiled path, and an explicitly pre-compiled reused
+   schedule must agree on every reported field.  (The hex-exact
+   fingerprint version of this check runs over >= 300 random scenarios
+   in the check suite; this is the directed fig-7-shaped case.) *)
+let test_diagnose_compiled_matches_interpreter () =
+  let nominal = L.three_stage_amplifier ~tolerance:0.005 () in
+  let faulty = F.inject nominal (F.short "r2" ~parameter:"R") in
+  let sol = Flames_sim.Mna.solve faulty in
+  let obs =
+    Flames_sim.Measure.probe_all ~instrument sol
+      (List.map Q.voltage [ "vs"; "n2"; "v1" ])
+  in
+  let interp = Diagnose.run ~config ~use_compiled:false nominal obs in
+  let compiled = Diagnose.run ~config nominal obs in
+  let schedule =
+    Flames_core.Schedule.compile ~config nominal
+  in
+  let reused = Diagnose.run ~config ~schedule nominal obs in
+  let same label (a : Diagnose.result) (b : Diagnose.result) =
+    check_bool (label ^ ": same conflicts") true
+      (a.Diagnose.conflicts = b.Diagnose.conflicts);
+    check_bool (label ^ ": same symptoms") true
+      (a.Diagnose.symptoms = b.Diagnose.symptoms);
+    check_bool (label ^ ": same suspects") true
+      (a.Diagnose.suspects = b.Diagnose.suspects);
+    check_bool (label ^ ": same diagnoses") true
+      (a.Diagnose.diagnoses = b.Diagnose.diagnoses);
+    check_bool (label ^ ": same single faults") true
+      (a.Diagnose.single_faults = b.Diagnose.single_faults)
+  in
+  same "compiled" interp compiled;
+  same "reused schedule" interp reused
+
 let test_diagnose_healthy () =
   let r = diagnose_amp None [ "vs"; "n2"; "v1" ] in
   check_bool "healthy" true (Diagnose.healthy r);
@@ -496,6 +531,8 @@ let () =
       ( "diagnose",
         [
           Alcotest.test_case "healthy" `Quick test_diagnose_healthy;
+          Alcotest.test_case "compiled matches interpreter" `Quick
+            test_diagnose_compiled_matches_interpreter;
           Alcotest.test_case "hard fault" `Quick
             test_diagnose_hard_fault_detected;
           Alcotest.test_case "fault-mode refinement" `Quick

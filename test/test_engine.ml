@@ -258,6 +258,41 @@ let test_cache_eviction () =
   let s = Cache.stats cache in
   check_int "oldest entry was evicted" 4 s.Cache.misses
 
+(* Satellite: the schema/version tag.  v1 entries held compiled models,
+   v2 holds flat schedules; the tag leads the fingerprint input, so the
+   two representations live under disjoint keys — a consumer can never
+   be handed a stale-format value — and a stale-format entry behaves
+   like any never-requeried key: it ages out through LRU eviction. *)
+let test_cache_schema_mismatch () =
+  let net = divider () in
+  check_bool "current schema is v2" true (Cache.schema_version = 2);
+  (* disjointness: same netlist, same config, different schema tag *)
+  check_bool "v1 key never collides with v2" true
+    (Cache.fingerprint ~schema:1 net <> Cache.fingerprint net);
+  check_string "explicit current schema is the default key"
+    (Cache.fingerprint ~schema:Cache.schema_version net)
+    (Cache.fingerprint net);
+  let config = { Model.default_config with Model.trusted = [ "vin" ] } in
+  check_bool "disjoint under every config" true
+    (Cache.fingerprint ~schema:1 ~config net
+    <> Cache.fingerprint ~config net);
+  (* the mismatch eviction path: an old-schema entry is exactly an
+     entry whose key the upgraded process never asks for again, so
+     under capacity pressure it is the LRU victim while live keys stay
+     resident *)
+  let cache = Cache.create ~capacity:2 () in
+  ignore (Cache.compile cache net) (* the "stale" entry: never re-keyed *);
+  ignore (Cache.compile cache (L.rc_lowpass ()));
+  ignore (Cache.compile cache (L.rc_lowpass ())) (* keep the live key warm *);
+  ignore (Cache.compile cache (L.diode_resistor ~powered:true ()));
+  let s = Cache.stats cache in
+  check_int "stale entry evicted" 1 s.Cache.evictions;
+  check_int "live keys resident" 2 s.Cache.size;
+  ignore (Cache.compile cache (L.rc_lowpass ()));
+  check_int "live key still hits" 2 (Cache.stats cache).Cache.hits;
+  ignore (Cache.compile cache net);
+  check_int "stale key is gone: recompiles" 4 (Cache.stats cache).Cache.misses
+
 let test_cache_clear () =
   let cache = Cache.create () in
   ignore (Cache.compile cache (divider ()));
@@ -444,6 +479,8 @@ let () =
           Alcotest.test_case "fault changes the key" `Quick
             test_cache_fault_sensitivity;
           Alcotest.test_case "LRU eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "schema mismatch" `Quick
+            test_cache_schema_mismatch;
           Alcotest.test_case "clear" `Quick test_cache_clear;
         ] );
       ( "batch",

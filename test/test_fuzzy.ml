@@ -9,6 +9,7 @@ module C = Flames_fuzzy.Consistency
 module L = Flames_fuzzy.Linguistic
 module E = Flames_fuzzy.Entropy
 module T = Flames_fuzzy.Tnorm
+module K = Flames_fuzzy.Kernel
 
 let check_float = Alcotest.(check (float 1e-9))
 let check_float_loose = Alcotest.(check (float 1e-6))
@@ -473,6 +474,30 @@ let properties =
             ~alpha:(a.I.alpha +. 1.) ~beta:(a.I.beta +. 1.)
         in
         C.dc ~measured:a ~nominal:wider >= 1. -. 1e-6);
+    (* the compiled propagation path relies on the Kernel replicas being
+       byte-for-byte equal to the list/closure originals — exact
+       [Float.equal], not tolerance *)
+    prop "kernel height_of_min bit-identical" 500
+      QCheck.(pair arb_interval arb_interval)
+      (fun (a, b) -> Float.equal (K.height_of_min a b) (P.height_of_min a b));
+    prop "kernel min_area bit-identical" 500
+      QCheck.(pair arb_interval arb_interval)
+      (fun (a, b) -> Float.equal (K.min_area a b) (P.min_area a b));
+    prop "kernel dc bit-identical" 500
+      QCheck.(pair arb_interval arb_interval)
+      (fun (a, b) ->
+        Float.equal
+          (K.dc ~measured:a ~nominal:b ())
+          (C.dc ~measured:a ~nominal:b));
+    prop "kernel consist = max(dc, height), shared scratch" 500
+      QCheck.(pair arb_interval arb_interval)
+      (fun (a, b) ->
+        let scratch = Array.make 8 0. in
+        Float.equal
+          (K.consist ~scratch ~measured:a ~nominal:b)
+          (Float.max
+             (C.dc ~measured:a ~nominal:b)
+             (P.height_of_min a b)));
     prop "min_area symmetric" 200
       QCheck.(pair arb_interval arb_interval)
       (fun (a, b) ->

@@ -75,6 +75,114 @@ let test_solve_random_roundtrip () =
   let x = Linalg.solve a b in
   Array.iteri (fun i xi -> check_close "roundtrip" 1e-9 x_true.(i) xi) x
 
+(* {1 Lu: reusable factors for right-hand-side sweeps} *)
+
+module Lu = Flames_sim.Lu
+
+let bits_equal x y =
+  Array.length x = Array.length y
+  && Array.for_all2
+       (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+       x y
+
+(* the contract the fault sweep rests on: [resolve (factor a) b] is
+   bit-identical to [Linalg.solve_opt a b] — including the row-swap
+   sequence, the relative pivot threshold and the zero-multiplier skip —
+   over random dense and sparse-ish systems of varying conditioning *)
+let test_lu_resolve_bit_identity () =
+  let seed = ref 42 in
+  let rand () =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int !seed /. float_of_int 0x3FFFFFFF
+  in
+  let total = ref 0 in
+  for n = 1 to 10 do
+    for _trial = 1 to 100 do
+      let a =
+        Array.init n (fun _ ->
+            Array.init n (fun _ ->
+                (* wide magnitude spread, ~1/5 exact zeros: exercises
+                   pivoting and the f <> 0 multiplier skip *)
+                if rand () < 0.2 then 0.
+                else (rand () -. 0.5) *. (10. ** ((rand () *. 6.) -. 3.))))
+      in
+      let b = Array.init n (fun _ -> (rand () -. 0.5) *. 10.) in
+      match (Linalg.solve_opt a b, Lu.factor a) with
+      | Error `Singular, Error `Singular -> ()
+      | Error `Singular, Ok _ -> Alcotest.fail "factor missed a singularity"
+      | Ok _, Error `Singular -> Alcotest.fail "factor spuriously singular"
+      | Ok x, Ok f ->
+        incr total;
+        if not (bits_equal x (Lu.resolve f b)) then
+          Alcotest.failf "resolve not bit-identical at n=%d" n
+    done
+  done;
+  check_bool "exercised nonsingular systems" true (!total > 500)
+
+let test_lu_resolve_many_rhs () =
+  (* one factorisation, many right-hand sides — the sweep shape *)
+  let a = [| [| 0.; 1.; 2. |]; [| 3.; 1.; 0. |]; [| 1.; 0.; 1. |] |] in
+  let f =
+    match Lu.factor a with
+    | Ok f -> f
+    | Error `Singular -> Alcotest.fail "unexpected singular"
+  in
+  List.iter
+    (fun b ->
+      match Linalg.solve_opt a b with
+      | Ok x -> check_bool "rhs bit-identical" true (bits_equal x (Lu.resolve f b))
+      | Error `Singular -> Alcotest.fail "unexpected singular")
+    [ [| 1.; 2.; 3. |]; [| 0.; 0.; 1. |]; [| -5.; 7.; 0.25 |] ]
+
+let test_lu_rank1_refresh () =
+  let a = [| [| 4.; 1.; 0. |]; [| 1.; 5.; 2. |]; [| 0.; 2.; 6. |] |] in
+  let f =
+    match Lu.factor a with
+    | Ok f -> f
+    | Error `Singular -> Alcotest.fail "unexpected singular"
+  in
+  (* perturb one row: A' = A + u·vᵀ with u = e1, v = (0, 0.5, 0.25) *)
+  let u = [| 1.; 0.; 0. |] and v = [| 0.; 0.5; 0.25 |] in
+  let a' = Array.map Array.copy a in
+  a'.(0).(1) <- a'.(0).(1) +. 0.5;
+  a'.(0).(2) <- a'.(0).(2) +. 0.25;
+  let b = [| 1.; 2.; 3. |] in
+  (match Lu.rank1_refresh f ~u ~v ~a' b with
+  | None -> Alcotest.fail "well-conditioned rank-1 update declined"
+  | Some x ->
+    check_bool "residual verified" true (Linalg.residual_norm a' x b <= 1e-8));
+  (* degenerate denominator (1 + vᵀA⁻¹u = 0): must decline, not return
+     a wrong answer.  A = I, u = e1, v = -e1 makes A' singular. *)
+  let id = [| [| 1.; 0. |]; [| 0.; 1. |] |] in
+  let fid =
+    match Lu.factor id with Ok f -> f | Error `Singular -> assert false
+  in
+  let u = [| 1.; 0. |] and v = [| -1.; 0. |] in
+  let a' = [| [| 0.; 0. |]; [| 0.; 1. |] |] in
+  (match Lu.rank1_refresh fid ~u ~v ~a' [| 1.; 1. |] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "singular rank-1 update accepted")
+
+(* the sweep context must be transparent: repeated solves of the same
+   circuit through one sweep return bit-identical solutions to the
+   sweep-free path (exact factor reuse, no rank-1 involved) *)
+let test_mna_sweep_transparent () =
+  let net = L.three_stage_amplifier () in
+  let plain = Mna.solve net in
+  let sweep = Mna.sweep () in
+  let first = Mna.solve ~sweep net in
+  let again = Mna.solve ~sweep net (* the factor-reuse hit *) in
+  let same (a : Mna.solution) (b : Mna.solution) =
+    List.for_all2
+      (fun (n1, v1) (n2, v2) ->
+        String.equal n1 n2
+        && Int64.equal (Int64.bits_of_float v1) (Int64.bits_of_float v2))
+      a.Mna.voltages b.Mna.voltages
+    && a.Mna.regions = b.Mna.regions
+  in
+  check_bool "sweep first solve bit-identical" true (same plain first);
+  check_bool "sweep reuse bit-identical" true (same plain again)
+
 (* {1 MNA basics} *)
 
 let test_divider () =
@@ -261,6 +369,16 @@ let () =
           Alcotest.test_case "dimensions" `Quick
             test_solve_dimension_mismatch;
           Alcotest.test_case "roundtrip" `Quick test_solve_random_roundtrip;
+        ] );
+      ( "lu",
+        [
+          Alcotest.test_case "resolve bit-identity" `Quick
+            test_lu_resolve_bit_identity;
+          Alcotest.test_case "many right-hand sides" `Quick
+            test_lu_resolve_many_rhs;
+          Alcotest.test_case "rank-1 refresh" `Quick test_lu_rank1_refresh;
+          Alcotest.test_case "sweep transparent" `Quick
+            test_mna_sweep_transparent;
         ] );
       ( "mna",
         [
