@@ -2,7 +2,7 @@
 # stay green before every commit (tier-1 verify + engine tests + dune-file
 # formatting).
 
-.PHONY: all build test fmt check check-deep chaos corpus bench bench-engine bench-atms bench-session bench-serve bench-obs bench-compile serve trace clean
+.PHONY: all build test fmt check check-deep chaos corpus bench bench-engine bench-atms bench-session bench-serve bench-obs bench-compile bench-store serve trace clean
 
 all: build
 
@@ -69,6 +69,13 @@ bench-obs: build
 # speedup >= 5).  Add --compile-smoke for the reduced CI variant
 bench-compile: build
 	dune exec bench/main.exe -- --compile-json-only
+
+# journal durability costs: per-step append overhead over an in-memory
+# session at each fsync discipline (paired loops, median ratio) and
+# recovery replay time vs journal length (writes BENCH_store.json; the
+# claim is interval-mode overhead <= 5)
+bench-store: build
+	dune exec bench/main.exe -- --store-json-only
 
 # run the diagnosis service on the default port (SERVE_ARGS appends
 # e.g. --port 9000 --quota-rate 5)

@@ -634,7 +634,8 @@ let chaos_cmd =
 let serve_cmd =
   let module Server = Flames_serve.Server in
   let run () () flight_dump host port workers max_inflight quota_rate
-      quota_burst max_body default_wall max_wall session_cap session_ttl =
+      quota_burst max_body default_wall max_wall session_cap session_ttl
+      journal fsync fsync_interval journal_segment_bytes =
     if workers < 1 then
       die_input "serve: --workers must be >= 1 (got %d)" workers;
     if max_inflight < 1 then
@@ -645,6 +646,20 @@ let serve_cmd =
       die_input "serve: --session-cap must be >= 1 (got %d)" session_cap;
     if session_ttl <= 0. then
       die_input "serve: --session-ttl must be > 0 (got %g)" session_ttl;
+    if fsync_interval <= 0. then
+      die_input "serve: --fsync-interval must be > 0 (got %g)" fsync_interval;
+    if journal_segment_bytes < 4096 then
+      die_input "serve: --journal-segment-bytes must be >= 4096 (got %d)"
+        journal_segment_bytes;
+    let journal_fsync =
+      match fsync with
+      | "always" -> Flames_store.Journal.Always
+      | "interval" -> Flames_store.Journal.Interval fsync_interval
+      | "never" -> Flames_store.Journal.Never
+      | other ->
+        die_input "serve: --fsync must be always, interval or never (got %S)"
+          other
+    in
     protect @@ fun () ->
     Flames_obs.Recorder.arm_crash_dump flight_dump;
     let config =
@@ -661,6 +676,9 @@ let serve_cmd =
         max_wall;
         session_cap;
         session_ttl;
+        journal_dir = journal;
+        journal_fsync;
+        journal_segment_bytes;
       }
     in
     Server.run ~config ()
@@ -750,6 +768,39 @@ let serve_cmd =
       & opt string "flames-flight.json"
       & info [ "flight-dump" ] ~docv:"FILE" ~doc)
   in
+  let journal_arg =
+    let doc =
+      "Session journal directory: every mutating /session/* step is \
+       written ahead of its reply, a restart replays the journal so \
+       sessions survive kill -9, and SIGTERM snapshots them on drain.  \
+       Omit to keep sessions in memory only."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "journal" ] ~docv:"DIR" ~doc)
+  in
+  let fsync_arg =
+    let doc =
+      "Journal durability: $(b,always) fsyncs every step before its \
+       reply, $(b,interval) fsyncs at most every --fsync-interval \
+       seconds, $(b,never) leaves it to the OS."
+    in
+    Arg.(value & opt string "interval" & info [ "fsync" ] ~docv:"MODE" ~doc)
+  in
+  let fsync_interval_arg =
+    let doc = "Seconds between journal fsyncs when --fsync=interval." in
+    Arg.(
+      value & opt float 0.05 & info [ "fsync-interval" ] ~docv:"S" ~doc)
+  in
+  let journal_segment_bytes_arg =
+    let doc =
+      "Journal segment size before rotation compacts the live sessions \
+       into a fresh segment."
+    in
+    Arg.(
+      value
+      & opt int d.Server.journal_segment_bytes
+      & info [ "journal-segment-bytes" ] ~docv:"BYTES" ~doc)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -758,14 +809,16 @@ let serve_cmd =
           inline netlist, POST /session/* for persistent interactive \
           troubleshooting sessions (create/measure/retract/refine/\
           diagnoses/next, bounded by --session-cap with an idle \
-          --session-ttl), GET /metrics for Prometheus exposition, \
-          /healthz, /readyz and /version.  Overload is shed with 429 and \
-          Retry-After; SIGTERM drains gracefully.")
+          --session-ttl, optionally journaled to --journal so they \
+          survive restarts and kill -9), GET /metrics for Prometheus \
+          exposition, /healthz, /readyz and /version.  Overload is shed \
+          with 429 and Retry-After; SIGTERM drains gracefully.")
     Term.(
       const run $ obs_term $ wide_events_term $ flight_dump_arg $ host_arg
       $ port_arg $ workers_arg $ inflight_arg $ quota_rate_arg
       $ quota_burst_arg $ max_body_arg $ default_wall_arg $ max_wall_arg
-      $ session_cap_arg $ session_ttl_arg)
+      $ session_cap_arg $ session_ttl_arg $ journal_arg $ fsync_arg
+      $ fsync_interval_arg $ journal_segment_bytes_arg)
 
 let troubleshoot_cmd =
   let module Script = Flames_session.Script in

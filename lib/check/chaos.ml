@@ -248,6 +248,9 @@ let check ?(config = default) seed =
 (* {1 Mid-session fault injection} *)
 
 module Session = Flames_session.Session
+module Journal = Flames_store.Journal
+module Record = Flames_store.Record
+module Frame = Flames_store.Frame
 
 let check_session ?(config = default) seed =
   let cfg = { config with seed } in
@@ -369,4 +372,233 @@ let check_session ?(config = default) seed =
       | exception e ->
         fail "budget-tripped session unusable after another add: %s"
           (Printexc.to_string e)
+  end
+
+(* {1 Crash injection: damage the journal mid-write, restart, compare} *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter
+      (fun name -> rm_rf (Filename.concat path name))
+      (try Sys.readdir path with Sys_error _ -> [||]);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+
+let fresh_dir =
+  let counter = Atomic.make 0 in
+  fun tag ->
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "flames-%s-%d-%d" tag (Unix.getpid ())
+           (Atomic.fetch_and_add counter 1))
+    in
+    rm_rf dir;
+    dir
+
+type crash_state = {
+  ms : (int * Flames_circuit.Quantity.t * Interval.t) list;
+  next : int;
+}
+
+let crash_state session =
+  {
+    ms =
+      List.map
+        (fun (m : Session.measurement) ->
+          (m.Session.id, m.Session.quantity, m.Session.interval))
+        (Session.measurements session);
+    next = Session.next_id session;
+  }
+
+(* Where the crash lands, relative to the framed journal bytes.  The
+   three shapes cover the whole failure surface of [Frame.read]: a cut
+   exactly between frames (clean prefix), a cut inside a frame (torn
+   tail) and a flipped bit with the length intact (checksum failure). *)
+type injection =
+  | Cut_boundary of int  (** truncate after this many frames *)
+  | Cut_inside of int  (** truncate inside frame [i] (0-based) *)
+  | Flip of int  (** flip one payload/crc byte of frame [i] *)
+
+let check_crash ?(config = default) seed =
+  let cfg = { config with seed } in
+  let rng = Rng.make (Rng.case_seed ~seed:cfg.seed ~case:9001) in
+  let script = Gen.session_script.Gen.gen rng in
+  let pool = Gen.session_pool script.Gen.base in
+  if pool = [] then Ok ()
+  else begin
+    let nominal, _ = Gen.scenario_netlists script.Gen.base in
+    let model = Flames_core.Model.compile nominal in
+    let sid = "s1" in
+    let dir = fresh_dir "crash" in
+    Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+    (* 1. the "before the crash" run: a journaled session, with the
+       mirror state (surviving measurements + id counter) captured after
+       every acknowledged record — exactly what recovery from a prefix
+       of r records must reproduce. *)
+    let journal = Journal.open_ ~fsync:Journal.Never dir in
+    let session = Session.create ~model nominal in
+    (* slot 0 = "no records survived": no session to compare *)
+    let mirrors = ref [ { ms = []; next = 0 } ] in
+    let record r =
+      Journal.append journal r;
+      mirrors := crash_state session :: !mirrors
+    in
+    record (Record.Create { sid; source = Record.Inline "chaos"; trusted = [] });
+    List.iter
+      (fun op ->
+        match op with
+        | Gen.S_add i ->
+          let q, v = List.nth pool (i mod List.length pool) in
+          let m = Session.add_measurement session q v in
+          record
+            (Record.Measure { sid; mid = m.Session.id; quantity = q; interval = v })
+        | Gen.S_retract n -> begin
+          match Session.measurements session with
+          | [] -> ()
+          | ms ->
+            let m = List.nth ms (n mod List.length ms) in
+            ignore (Session.retract session ~id:m.Session.id);
+            record (Record.Retract { sid; mid = m.Session.id })
+        end
+        | Gen.S_refine n -> begin
+          match Session.measurements session with
+          | [] -> ()
+          | ms ->
+            let m = List.nth ms (n mod List.length ms) in
+            ignore (Session.refine session ~id:m.Session.id m.Session.interval);
+            record
+              (Record.Refine
+                 { sid; mid = m.Session.id; interval = m.Session.interval })
+        end)
+      script.Gen.ops;
+    Journal.close journal;
+    (* mirror.(k) = state after k records; mirror.(0) = no session *)
+    let mirror = Array.of_list (List.rev !mirrors) in
+    let n = Array.length mirror - 1 in
+    let path = Filename.concat dir "segment-00000001.wal" in
+    let content =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    (* 2. frame boundaries: boundary.(k) = byte offset after k frames *)
+    let boundaries = ref [ String.length Frame.header ] in
+    let rec walk pos =
+      match Frame.read content ~pos with
+      | Frame.Frame { next; _ } ->
+        boundaries := next :: !boundaries;
+        walk next
+      | Frame.End -> ()
+      | Frame.Torn | Frame.Corrupt ->
+        invalid_arg "check_crash: undamaged journal failed to scan"
+    in
+    walk (String.length Frame.header);
+    let boundary = Array.of_list (List.rev !boundaries) in
+    let* () =
+      if Array.length boundary <> n + 1 then
+        fail "journal holds %d frames, %d records appended"
+          (Array.length boundary - 1)
+          n
+      else Ok ()
+    in
+    (* 3. seeded damage *)
+    let irng = Rng.make (Rng.case_seed ~seed:cfg.seed ~case:9002) in
+    let injection =
+      match Rng.int irng 3 with
+      | 0 -> Cut_boundary (Rng.int irng (n + 1))
+      | 1 -> Cut_inside (Rng.int irng n)
+      | _ -> Flip (Rng.int irng n)
+    in
+    let total = String.length content in
+    let damaged, expect_r, expect_torn, expect_corrupt, expect_skipped =
+      match injection with
+      | Cut_boundary k -> (String.sub content 0 boundary.(k), k, false, 0, 0)
+      | Cut_inside i ->
+        let flen = boundary.(i + 1) - boundary.(i) in
+        let cut = boundary.(i) + 1 + Rng.int irng (flen - 1) in
+        (String.sub content 0 cut, i, true, 0, cut - boundary.(i))
+      | Flip i ->
+        (* anywhere past the length field: a payload or checksum byte,
+           so the frame still parses as a frame and fails its CRC *)
+        let lo = boundary.(i) + 4 in
+        let off = lo + Rng.int irng (boundary.(i + 1) - lo) in
+        let b = Bytes.of_string content in
+        Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x40));
+        (Bytes.to_string b, i, false, 1, total - boundary.(i))
+    in
+    let oc = open_out_bin path in
+    output_string oc damaged;
+    close_out oc;
+    (* 4. restart: recover the damaged directory *)
+    let r = Journal.recover ~resolve:(fun _ -> Ok nominal) dir in
+    let* () =
+      if r.Journal.records <> expect_r then
+        fail "recovered %d records, expected %d (%d journaled)"
+          r.Journal.records expect_r n
+      else Ok ()
+    in
+    let* () =
+      if r.Journal.torn_tail <> expect_torn then
+        fail "torn_tail %b, expected %b" r.Journal.torn_tail expect_torn
+      else Ok ()
+    in
+    let* () =
+      if r.Journal.corrupt_frames <> expect_corrupt then
+        fail "%d corrupt frames, expected %d" r.Journal.corrupt_frames
+          expect_corrupt
+      else Ok ()
+    in
+    let* () =
+      if r.Journal.skipped_bytes <> expect_skipped then
+        fail "%d bytes skipped, expected %d" r.Journal.skipped_bytes
+          expect_skipped
+      else Ok ()
+    in
+    let* () =
+      if r.Journal.dropped_records <> 0 || r.Journal.dropped_sessions <> 0 then
+        fail "clean prefix dropped %d records, %d sessions"
+          r.Journal.dropped_records r.Journal.dropped_sessions
+      else Ok ()
+    in
+    (* 5. the equivalence oracle: the recovered session is bit-identical
+       to the pre-crash state at the surviving prefix *)
+    match (r.Journal.entries, expect_r) with
+    | [], 0 -> Ok ()
+    | [], _ -> fail "no session recovered from %d surviving records" expect_r
+    | _ :: _, 0 -> fail "session recovered from an empty prefix"
+    | [ e ], _ ->
+      let want = mirror.(expect_r) in
+      let got = crash_state e.Journal.session in
+      let* () =
+        if e.Journal.sid <> sid then fail "recovered sid %S" e.Journal.sid
+        else Ok ()
+      in
+      let* () =
+        if got.ms <> want.ms then
+          fail "recovered measurements diverge at prefix %d (%d vs %d)"
+            expect_r (List.length got.ms) (List.length want.ms)
+        else Ok ()
+      in
+      let* () =
+        if got.next <> want.next then
+          fail "recovered next_id %d, expected %d" got.next want.next
+        else Ok ()
+      in
+      let reference =
+        Diagnose.run ~model nominal
+          (List.map (fun (_, q, v) -> (q, v)) want.ms)
+      in
+      if
+        String.equal
+          (Oracle.result_fingerprint (Session.diagnoses e.Journal.session))
+          (Oracle.result_fingerprint reference)
+      then Ok ()
+      else
+        fail "recovered session diverges from scratch run at prefix %d"
+          expect_r
+    | _ :: _ :: _, _ -> fail "one session journaled, several recovered"
   end

@@ -74,3 +74,24 @@ val check_session : ?config:config -> int -> (unit, string) result
       truncated, never invented), deterministic on re-query (degraded
       results are not cached), and the session keeps accepting
       measurements afterwards. *)
+
+val check_crash : ?config:config -> int -> (unit, string) result
+(** Crash injection against the session journal: run a random
+    {!Gen.session_script} through a journaled session (every acknowledged
+    mutation appended as a {!Flames_store.Record}), then damage the
+    segment the way a [kill -9] mid-write would — truncate exactly at a
+    seeded frame boundary, truncate {e inside} a seeded frame (torn
+    tail), or flip a payload/checksum bit (CRC corruption) — restart by
+    running {!Flames_store.Journal.recover} over the damaged directory,
+    and assert the recovery invariants:
+
+    - exactly the clean prefix of records before the damage is applied,
+      nothing dropped, with the torn-tail / corrupt-frame / skipped-byte
+      accounting matching the injected shape exactly;
+    - the recovered session carries the same surviving measurement list
+      (ids, quantities and intervals bit-exact through the codec) and
+      the same id counter as the pre-crash session held after that
+      prefix;
+    - the equivalence oracle holds across the restart: the recovered
+      session's diagnosis is {!Oracle.result_fingerprint}-identical to a
+      from-scratch run over the surviving measurements. *)

@@ -175,23 +175,18 @@ module Sessions = struct
 
   (* Expiry is checked lazily on access, so a TTL test with an injected
      clock needs no background thread; a hit refreshes the deadline
-     (idle sessions expire, active ones live on). *)
+     (idle sessions expire, active ones live on).  Every lookup runs a
+     full sweep — not just a check of the touched entry — so an
+     expired-but-unswept sibling can never linger past the next access,
+     and the expired counter stays honest without a janitor thread. *)
   let find_entry t id =
     locked t @@ fun () ->
+    ignore (sweep_locked t);
     match Hashtbl.find_opt t.table id with
     | None -> None
     | Some e ->
-      if e.deadline <= t.now () then begin
-        Hashtbl.remove t.table id;
-        expired_event id;
-        Metrics.gauge_set Telemetry.open_sessions
-          (float_of_int (Hashtbl.length t.table));
-        None
-      end
-      else begin
-        e.deadline <- t.now () +. t.ttl;
-        Some e
-      end
+      e.deadline <- t.now () +. t.ttl;
+      Some e
 
   let with_session t id f =
     match find_entry t id with
@@ -210,6 +205,56 @@ module Sessions = struct
       Metrics.gauge_set Telemetry.open_sessions
         (float_of_int (Hashtbl.length t.table));
     existed
+
+  (* Journal recovery re-registers sessions under their original ids —
+     the id is the client's resume handle, so it must survive the
+     restart.  [next_id] jumps past any numeric suffix to keep future
+     [put] ids disjoint. *)
+  let restore t ~id value =
+    locked t @@ fun () ->
+    ignore (sweep_locked t);
+    if Hashtbl.mem t.table id then Error `Duplicate
+    else if Hashtbl.length t.table >= t.cap then begin
+      Metrics.incr Telemetry.sessions_shed_total;
+      Error `Capacity
+    end
+    else begin
+      (match
+         if String.length id > 1 && id.[0] = 's' then
+           int_of_string_opt (String.sub id 1 (String.length id - 1))
+         else None
+       with
+      | Some n when n >= t.next_id -> t.next_id <- n + 1
+      | Some _ | None -> ());
+      Hashtbl.add t.table id
+        { value; lock = Mutex.create (); deadline = t.now () +. t.ttl };
+      Metrics.gauge_set Telemetry.open_sessions
+        (float_of_int (Hashtbl.length t.table));
+      Ok ()
+    end
+
+  (* Snapshot support: run [f] over every live entry under that entry's
+     own mutex, taken one at a time (the registry mutex is NOT held
+     while [f] runs, so request threads blocked on an entry lock cannot
+     deadlock against us — the global lock order stays
+     [entry -> journal]). *)
+  let map_sessions t f =
+    let ids =
+      locked t @@ fun () ->
+      ignore (sweep_locked t);
+      Hashtbl.fold (fun id e acc -> (id, e) :: acc) t.table []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    List.filter_map
+      (fun (id, e) ->
+        Mutex.lock e.lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock e.lock)
+          (fun () ->
+            (* the entry may have expired or been closed since listing *)
+            let live = locked t @@ fun () -> Hashtbl.mem t.table id in
+            if live then Some (id, f id e.value) else None))
+      ids
 
   let count t = locked t @@ fun () -> Hashtbl.length t.table
   let cap t = t.cap

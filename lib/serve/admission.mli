@@ -71,9 +71,25 @@ module Sessions : sig
 
   val with_session : 'a t -> string -> ('a -> 'b) -> 'b option
   (** Run [f] on the named session under its per-session mutex,
-      refreshing the TTL; [None] when the id is unknown or expired. *)
+      refreshing the TTL; [None] when the id is unknown or expired.
+      Every lookup first sweeps {e all} expired entries (not only the
+      one touched), so expiry is observable — and counted in
+      [flames_serve_sessions_expired_total] — no later than the next
+      access to the registry. *)
 
   val remove : 'a t -> string -> bool
+
+  val restore : 'a t -> id:string -> 'a -> (unit, [ `Capacity | `Duplicate ]) result
+  (** Re-register a recovered session under its original id (the
+      client's resume handle), with a fresh TTL.  Future {!put} ids are
+      kept disjoint by advancing the id counter past [id]'s numeric
+      suffix. *)
+
+  val map_sessions : 'a t -> (string -> 'a -> 'b) -> (string * 'b) list
+  (** Apply [f] to every live session, each under its own per-session
+      mutex (taken one at a time; the registry lock is not held while
+      [f] runs).  Drives the journal's rotation and drain snapshots. *)
+
   val sweep : 'a t -> int
   (** Drop every expired entry now; the count removed. *)
 

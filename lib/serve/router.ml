@@ -18,12 +18,30 @@ module Digest = Flames_obs.Digest
 module Recorder = Flames_obs.Recorder
 
 module Session = Flames_session.Session
+module Journal = Flames_store.Journal
+module Record = Flames_store.Record
+
+(* What the registry holds per session: the session itself plus the
+   provenance (source netlist, trusted components) every journal record
+   about it needs — recovery must be able to rebuild the session from
+   the journal alone. *)
+type live = {
+  session : Session.t;
+  source : Record.source;
+  trusted : string list;
+}
 
 type deps = {
   pool : Pool.t;
   cache : Cache.t;
   admission : Admission.t;
-  sessions : Session.t Admission.Sessions.t;
+  sessions : live Admission.Sessions.t;
+  store : Journal.t option ref;
+      (** the session journal, once the server opened it (after
+          recovery); [None] = persistence off *)
+  ready : unit -> bool;
+      (** startup recovery finished; until then /readyz answers 503 and
+          mutating routes refuse *)
   draining : unit -> bool;
   default_wall : float;
   max_wall : float;
@@ -416,6 +434,12 @@ let session_create deps (r : Http.request) =
   let* label, nominal =
     resolve_circuit ~circuit:(str_field "circuit") ~netlist:(str_field "netlist")
   in
+  let source =
+    match (str_field "circuit", str_field "netlist") with
+    | Some name, _ -> Record.Builtin name
+    | None, Some text -> Record.Inline text
+    | None, None -> Record.Builtin label (* unreachable: resolve succeeded *)
+  in
   let* trusted = str_list_field j "trusted" in
   let config = { Model.default_config with trusted } in
   (* the schedule comes from the shared compilation cache, so
@@ -423,7 +447,28 @@ let session_create deps (r : Http.request) =
      shares the warm consistency memo *)
   let schedule = Cache.compile deps.cache ~config nominal in
   let session = Session.create ~config ~schedule nominal in
-  Ok (label, session)
+  Ok (label, { session; source; trusted })
+
+(* Write-ahead discipline: the record is framed, written and (per the
+   fsync mode) synced before the 200 goes out, so an acknowledged step
+   survives kill -9.  A failed append must not let acknowledged state
+   diverge from the journal — the step is answered 500 and the counter
+   flags the journal as the thing that broke. *)
+let journal deps record =
+  match !(deps.store) with
+  | None -> Ok ()
+  | Some store -> (
+    match Journal.append store record with
+    | () -> Ok ()
+    | exception e ->
+      Metrics.incr Flames_store.Telemetry.append_errors_total;
+      Error
+        (Printf.sprintf "journal append failed: %s" (Printexc.to_string e)))
+
+let journal_or_500 deps record reply =
+  match journal deps record with
+  | Ok () -> reply
+  | Error m -> json_error 500 m
 
 let session_step deps id f =
   (* the session id joins the step's wide event whether or not the
@@ -461,77 +506,114 @@ let session_routes deps (r : Http.request) segments =
     else begin
       match session_create deps r with
       | Error m -> json_error 400 m
-      | Ok (label, session) -> (
-        match Admission.Sessions.put deps.sessions session with
+      | Ok (label, live) -> (
+        match Admission.Sessions.put deps.sessions live with
         | Error `Capacity ->
           json_error
             ~headers:[ Admission.retry_after_header (Admission.Sessions.ttl deps.sessions) ]
             429
             (Printf.sprintf "session registry full (%d live), retry later"
                (Admission.Sessions.cap deps.sessions))
-        | Ok id ->
+        | Ok id -> (
           Context.set_session id;
-          json_reply 200
-            (Json.Obj
-               [
-                 ("session", Json.Str id);
-                 ("circuit", Json.Str label);
-                 ("ttl_s", Json.Num (Admission.Sessions.ttl deps.sessions));
-               ]))
+          match
+            journal deps
+              (Record.Create { sid = id; source = live.source; trusted = live.trusted })
+          with
+          | Error m ->
+            (* never hand out a session id the journal does not know:
+               a restart would lose it silently *)
+            ignore (Admission.Sessions.remove deps.sessions id);
+            json_error 500 m
+          | Ok () ->
+            json_reply 200
+              (Json.Obj
+                 [
+                   ("session", Json.Str id);
+                   ("circuit", Json.Str label);
+                   ("ttl_s", Json.Num (Admission.Sessions.ttl deps.sessions));
+                 ])))
     end
   | [ id; "measure" ] ->
-    session_step deps id (fun session ->
+    session_step deps id (fun live ->
         with_json (fun j ->
-            let* q, v = measurement_of_json (Session.netlist session) j in
-            let m = Session.add_measurement session q v in
-            Ok (json_reply 200 (measurement_json m))))
+            let* q, v = measurement_of_json (Session.netlist live.session) j in
+            let m = Session.add_measurement live.session q v in
+            Ok
+              (journal_or_500 deps
+                 (Record.Measure
+                    { sid = id; mid = m.Session.id; quantity = q; interval = v })
+                 (json_reply 200 (measurement_json m)))))
   | [ id; "retract" ] ->
-    session_step deps id (fun session ->
+    session_step deps id (fun live ->
         with_json (fun j ->
             let* mid = int_field j "id" in
-            if Session.retract session ~id:mid then
+            if Session.retract live.session ~id:mid then
               Ok
-                (json_reply 200
-                   (Json.Obj [ ("retracted", Json.Num (float_of_int mid)) ]))
+                (journal_or_500 deps
+                   (Record.Retract { sid = id; mid })
+                   (json_reply 200
+                      (Json.Obj [ ("retracted", Json.Num (float_of_int mid)) ])))
             else Ok (json_error 404 (Printf.sprintf "no measurement %d" mid))))
   | [ id; "refine" ] ->
-    session_step deps id (fun session ->
+    session_step deps id (fun live ->
         with_json (fun j ->
             let* mid = int_field j "id" in
             let* v = interval_of_json j in
-            match Session.refine session ~id:mid v with
-            | Some m -> Ok (json_reply 200 (measurement_json m))
+            match Session.refine live.session ~id:mid v with
+            | Some m ->
+              Ok
+                (journal_or_500 deps
+                   (Record.Refine { sid = id; mid; interval = v })
+                   (json_reply 200 (measurement_json m)))
             | None ->
               Ok (json_error 404 (Printf.sprintf "no measurement %d" mid))))
   | [ id; "diagnoses" ] ->
-    session_step deps id (fun session ->
+    session_step deps id (fun live ->
         let t0 = Unix.gettimeofday () in
-        let result = Session.diagnoses session in
+        let result = Session.diagnoses live.session in
         json_reply 200
           (result_json
-             ~label:(Session.netlist session).Netlist.name
+             ~label:(Session.netlist live.session).Netlist.name
              ~elapsed:(Unix.gettimeofday () -. t0)
              result))
   | [ id; "next" ] ->
-    session_step deps id (fun session ->
-        match Session.next_test session with
+    session_step deps id (fun live ->
+        match Session.next_test live.session with
         | Some e -> json_reply 200 (evaluation_json e)
         | None -> json_reply 200 (Json.Obj [ ("test", Json.Null) ]))
   | [ id; "close" ] ->
     Context.set_session id;
     if Admission.Sessions.remove deps.sessions id then
-      json_reply 200 (Json.Obj [ ("closed", Json.Str id) ])
+      journal_or_500 deps (Record.Close { sid = id })
+        (json_reply 200 (Json.Obj [ ("closed", Json.Str id) ]))
     else json_error 404 (Printf.sprintf "no such session %S" id)
   | _ ->
     json_error 404
       "session routes: POST /session/create or \
        /session/<id>/{measure,retract,refine,diagnoses,next,close}"
 
+(* Startup recovery in progress: the listener is up (so orchestrators
+   see the port) but state is still being replayed — answer 503 with a
+   Retry-After instead of serving requests against missing sessions. *)
+let recovering_reply () =
+  json_reply
+    ~headers:[ Admission.retry_after_header 1. ]
+    503
+    (Json.Obj
+       [
+         ("ready", Json.Bool false);
+         ("error", Json.Str "recovering: replaying the session journal");
+       ])
+
 let readyz deps =
+  if not (deps.ready ()) then recovering_reply ()
+  else
   let admitted = Admission.in_flight deps.admission in
   let draining = deps.draining () in
   let ready = (not draining) && admitted < Admission.max_inflight deps.admission in
   json_reply
+    ~headers:(if ready then [] else [ Admission.retry_after_header 1. ])
     (if ready then 200 else 503)
     (Json.Obj
        [
@@ -594,7 +676,8 @@ let dispatch deps (r : Http.request) =
   match r.Http.path with
   | "/diagnose" ->
     require "POST" (fun () ->
-        if deps.draining () then
+        if not (deps.ready ()) then recovering_reply ()
+        else if deps.draining () then
           json_error 503 "draining: not accepting new diagnoses"
         else diagnose deps r)
   | "/metrics" ->
@@ -614,7 +697,9 @@ let dispatch deps (r : Http.request) =
           body = Recorder.dump ();
         })
   | path when is_session_path path ->
-    require "POST" (fun () -> session_routes deps r (session_segments path))
+    require "POST" (fun () ->
+        if not (deps.ready ()) then recovering_reply ()
+        else session_routes deps r (session_segments path))
   | "/healthz" -> require "GET" (fun () -> text_reply 200 "ok\n")
   | "/readyz" -> require "GET" (fun () -> readyz deps)
   | "/version" -> require "GET" (fun () -> version_reply ())

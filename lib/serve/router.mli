@@ -55,12 +55,32 @@
     and a budget-degraded diagnosis is still 200 with
     [degraded: true]. *)
 
+(** A registered session plus the provenance every journal record about
+    it must carry (how to rebuild its netlist, which components are
+    trusted) — recovery reconstructs sessions from the journal alone. *)
+type live = {
+  session : Flames_session.Session.t;
+  source : Flames_store.Record.source;
+  trusted : string list;
+}
+
 type deps = {
   pool : Flames_engine.Pool.t;
   cache : Flames_engine.Cache.t;
   admission : Admission.t;
-  sessions : Flames_session.Session.t Admission.Sessions.t;
+  sessions : live Admission.Sessions.t;
       (** live troubleshooting sessions behind [POST /session/*] *)
+  store : Flames_store.Journal.t option ref;
+      (** the session write-ahead journal; every mutating [/session/*]
+          route appends (and per the fsync mode syncs) {e before}
+          replying, so an acknowledged step survives [kill -9].  A
+          failed append answers 500 and, on create, rolls the session
+          back out of the registry — acknowledged state never diverges
+          from the journal.  [None] = persistence off. *)
+  ready : unit -> bool;
+      (** [false] while startup recovery replays the journal: [/readyz]
+          answers 503 + [Retry-After] and mutating routes refuse with
+          the same, so no request can race the replay *)
   draining : unit -> bool;
   default_wall : float;  (** per-request budget when none is asked for *)
   max_wall : float;  (** server-side cap on the requested budget *)

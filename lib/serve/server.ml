@@ -1,6 +1,8 @@
 module Pool = Flames_engine.Pool
 module Cache = Flames_engine.Cache
 module Metrics = Flames_obs.Metrics
+module Journal = Flames_store.Journal
+module Record = Flames_store.Record
 
 type config = {
   host : string;
@@ -15,6 +17,9 @@ type config = {
   backlog : int;
   session_cap : int;
   session_ttl : float;
+  journal_dir : string option;
+  journal_fsync : Journal.fsync;
+  journal_segment_bytes : int;
 }
 
 let default_config =
@@ -31,6 +36,9 @@ let default_config =
     backlog = 64;
     session_cap = 64;
     session_ttl = 600.;
+    journal_dir = None;
+    journal_fsync = Journal.Interval 0.05;
+    journal_segment_bytes = 1 lsl 20;
   }
 
 type t = {
@@ -39,9 +47,11 @@ type t = {
   bound_port : int;
   pool : Pool.t;
   deps : Router.deps;
+  ready_flag : bool Atomic.t;  (* startup recovery finished *)
   stop_flag : bool Atomic.t;
   active : int Atomic.t;  (* open connections *)
   mutable accept_thread : Thread.t option;
+  mutable maintenance_thread : Thread.t option;  (* segment rotation *)
   lifecycle : Mutex.t;  (* serialises stop against itself *)
   mutable stopped : bool;
 }
@@ -131,6 +141,85 @@ let accept_loop server =
   in
   loop ()
 
+(* One snapshot record per live session, each built under that
+   session's own lock — the journal's rotation and drain payload. *)
+let snapshot_records sessions =
+  Admission.Sessions.map_sessions sessions (fun sid (live : Router.live) ->
+      let module S = Flames_session.Session in
+      let s = live.Router.session in
+      Record.Snapshot
+        {
+          sid;
+          source = live.Router.source;
+          trusted = live.Router.trusted;
+          next_id = S.next_id s;
+          steps = S.steps s;
+          measurements =
+            List.map
+              (fun (m : S.measurement) -> (m.S.id, m.S.quantity, m.S.interval))
+              (S.measurements s);
+        })
+  |> List.map snd
+
+(* Rotation runs on a dedicated maintenance thread, never inside a
+   request's append: building the snapshot takes every session entry
+   lock in turn, and a request thread already holds its own entry lock
+   while appending — rotating there would invert the
+   [entry -> journal] lock order and deadlock. *)
+let maintenance_loop server journal =
+  let rec loop () =
+    if Atomic.get server.stop_flag then ()
+    else begin
+      (try
+         if Journal.due_for_rotation journal then
+           Journal.rotate journal
+             ~snapshot:(snapshot_records server.deps.Router.sessions)
+       with _ -> ());
+      Thread.delay 0.25;
+      loop ()
+    end
+  in
+  loop ()
+
+(* Startup recovery: replay existing segments into sessions, re-register
+   them under their original ids, then compact everything into a fresh
+   segment — appends never follow a torn tail, and the old (possibly
+   damaged) segments are gone once the snapshot is durable. *)
+let recover_into server dir =
+  let deps = server.deps in
+  let recovered =
+    Journal.recover
+      ~schedule_of:(fun config netlist ->
+        Some (Cache.compile deps.Router.cache ~config netlist))
+      dir
+  in
+  List.iter
+    (fun (e : Journal.entry) ->
+      let live =
+        {
+          Router.session = e.Journal.session;
+          source = e.Journal.source;
+          trusted = e.Journal.trusted;
+        }
+      in
+      match
+        Admission.Sessions.restore deps.Router.sessions ~id:e.Journal.sid live
+      with
+      | Ok () -> Metrics.incr Telemetry.sessions_restored_total
+      | Error (`Capacity | `Duplicate) ->
+        (* cap shrank across the restart, or a damaged journal produced
+           a duplicate id: drop the extra session rather than refuse to
+           start *)
+        Metrics.incr Telemetry.sessions_shed_total)
+    recovered.Journal.entries;
+  let journal =
+    Journal.open_ ~fsync:server.config.journal_fsync
+      ~segment_bytes:server.config.journal_segment_bytes dir
+  in
+  if recovered.Journal.segments > 0 then
+    Journal.rotate journal ~snapshot:(snapshot_records deps.Router.sessions);
+  journal
+
 let start ?(config = default_config) () =
   (* A peer closing mid-write must surface as EPIPE, not kill us. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -154,6 +243,8 @@ let start ?(config = default_config) () =
     | Unix.ADDR_UNIX _ -> config.port
   in
   let stop_flag = Atomic.make false in
+  let ready_flag = Atomic.make (config.journal_dir = None) in
+  Metrics.gauge_set Telemetry.ready (if Atomic.get ready_flag then 1. else 0.);
   let admission =
     Admission.create ~max_inflight:config.max_inflight
       ~quota_rate:config.quota_rate ~quota_burst:config.quota_burst ()
@@ -168,6 +259,8 @@ let start ?(config = default_config) () =
       cache = Cache.create ();
       admission;
       sessions;
+      store = ref None;
+      ready = (fun () -> Atomic.get ready_flag);
       draining = (fun () -> Atomic.get stop_flag);
       default_wall = config.default_wall;
       max_wall = config.max_wall;
@@ -180,14 +273,35 @@ let start ?(config = default_config) () =
       bound_port;
       pool;
       deps;
+      ready_flag;
       stop_flag;
       active = Atomic.make 0;
       accept_thread = None;
+      maintenance_thread = None;
       lifecycle = Mutex.create ();
       stopped = false;
     }
   in
+  (* The listener goes up first so orchestrators can see the port, then
+     recovery replays under the not-ready gate: any request racing the
+     replay is answered 503 + Retry-After by the router. *)
   server.accept_thread <- Some (Thread.create accept_loop server);
+  (match config.journal_dir with
+  | None -> ()
+  | Some dir ->
+    (match recover_into server dir with
+    | journal ->
+      deps.Router.store := Some journal;
+      server.maintenance_thread <-
+        Some (Thread.create (fun () -> maintenance_loop server journal) ())
+    | exception e ->
+      Atomic.set stop_flag true;
+      Option.iter Thread.join server.accept_thread;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      Pool.shutdown pool;
+      raise e);
+    Atomic.set ready_flag true;
+    Metrics.gauge_set Telemetry.ready 1.);
   server
 
 let stop t =
@@ -197,6 +311,7 @@ let stop t =
   Mutex.unlock t.lifecycle;
   if first then begin
     Atomic.set t.stop_flag true;
+    Metrics.gauge_set Telemetry.ready 0.;
     Option.iter Thread.join t.accept_thread;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     (* Keep-alive loops notice the flag after at most one request; block
@@ -204,6 +319,19 @@ let stop t =
     while Atomic.get t.active > 0 do
       Thread.delay 0.01
     done;
+    Option.iter Thread.join t.maintenance_thread;
+    (* Drain snapshot: with every request finished, compact the live
+       sessions into a fresh durable segment and close the journal — a
+       SIGTERM deploy restarts from one clean snapshot, no replay of the
+       step-by-step history needed. *)
+    (match !(t.deps.Router.store) with
+    | None -> ()
+    | Some journal ->
+      (try
+         Journal.rotate journal ~snapshot:(snapshot_records t.deps.Router.sessions);
+         Journal.close journal
+       with _ -> ());
+      t.deps.Router.store := None);
     Pool.shutdown t.pool
   end
 

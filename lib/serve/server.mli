@@ -27,12 +27,24 @@ type config = {
   backlog : int;  (** listen(2) backlog *)
   session_cap : int;  (** live troubleshooting sessions, 429 beyond *)
   session_ttl : float;  (** idle session expiry, seconds *)
+  journal_dir : string option;
+      (** session write-ahead journal directory; [None] (the default)
+          turns persistence off.  With a journal, {!start} replays any
+          existing segments before reporting ready — recovered sessions
+          keep their ids and answer bit-identical diagnoses — and
+          {!stop} snapshots the live sessions so a graceful deploy
+          restarts from one compact segment. *)
+  journal_fsync : Flames_store.Journal.fsync;
+      (** durability of acknowledged steps, see
+          {!Flames_store.Journal.fsync} *)
+  journal_segment_bytes : int;  (** rotation threshold *)
 }
 
 val default_config : config
 (** [127.0.0.1:8089], 2 workers, [max_inflight = 16], quotas off,
     1 MiB bodies, 2 s default / 10 s max wall, backlog 64, 64 sessions
-    with a 600 s idle TTL. *)
+    with a 600 s idle TTL; no journal (fsync interval 0.05 s and 1 MiB
+    segments once one is configured). *)
 
 type t
 

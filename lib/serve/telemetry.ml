@@ -67,6 +67,16 @@ let events_total =
   Metrics.counter "flames_serve_events_total"
     ~help:"Wide events emitted for HTTP requests"
 
+let ready =
+  Metrics.gauge "flames_serve_ready"
+    ~help:
+      "1 once startup recovery finished and /readyz can answer 200; 0 \
+       while the listener is up but the journal is still replaying"
+
+let sessions_restored_total =
+  Metrics.counter "flames_serve_sessions_restored_total"
+    ~help:"Sessions re-registered from the journal at startup"
+
 (* Per-route latency digests: p50/p95/p99 are computed server-side from
    fixed log-spaced buckets and exported as a summary; observations
    above the SLO threshold burn the per-route

@@ -17,8 +17,10 @@ type command =
   | Imprecision of float
   | Probe of string
   | Measure of string * float * float option
+  | Observe of Quantity.t * Interval.t
   | Retract of int
   | Refine of int * float * float option
+  | Refine_interval of int * Interval.t
   | Diagnoses
   | Next
   | Status
@@ -68,9 +70,32 @@ let parse_line line =
         | _ -> Error "measure: too many arguments"
       in
       some (Measure (node, center, spread))
+    | "observe", [ node; m1; m2; alpha; beta ] ->
+      let* m1 = float_arg "observe m1" m1 in
+      let* m2 = float_arg "observe m2" m2 in
+      let* alpha = float_arg "observe alpha" alpha in
+      let* beta = float_arg "observe beta" beta in
+      let* interval =
+        match Interval.make ~m1 ~m2 ~alpha ~beta with
+        | v -> Ok v
+        | exception Interval.Invalid msg -> Error ("observe: " ^ msg)
+      in
+      some (Observe (Quantity.voltage node, interval))
     | "retract", [ id ] ->
       let* id = int_arg "retract" id in
       some (Retract id)
+    | "refine-interval", [ id; m1; m2; alpha; beta ] ->
+      let* id = int_arg "refine-interval" id in
+      let* m1 = float_arg "refine-interval m1" m1 in
+      let* m2 = float_arg "refine-interval m2" m2 in
+      let* alpha = float_arg "refine-interval alpha" alpha in
+      let* beta = float_arg "refine-interval beta" beta in
+      let* interval =
+        match Interval.make ~m1 ~m2 ~alpha ~beta with
+        | v -> Ok v
+        | exception Interval.Invalid msg -> Error ("refine-interval: " ^ msg)
+      in
+      some (Refine_interval (id, interval))
     | "refine", id :: center :: rest ->
       let* id = int_arg "refine" id in
       let* center = float_arg "refine center" center in
@@ -226,6 +251,11 @@ let exec ~print ~session_of st cmd =
     let m = Session.add_measurement session (Quantity.voltage node) interval in
     print (Format.asprintf "%a" pp_measurement m);
     ok
+  | Observe (quantity, interval) ->
+    let* session = require_session st in
+    let m = Session.add_measurement session quantity interval in
+    print (Format.asprintf "%a" pp_measurement m);
+    ok
   | Retract id ->
     let* session = require_session st in
     if Session.retract session ~id then begin
@@ -240,6 +270,13 @@ let exec ~print ~session_of st cmd =
       | Some s -> Interval.number center ~spread:s
       | None -> Measure.fuzzify (instrument st) center
     in
+    match Session.refine session ~id interval with
+    | Some m ->
+      print (Format.asprintf "refined %a" pp_measurement m);
+      ok
+    | None -> Error (Printf.sprintf "no measurement [%d]" id))
+  | Refine_interval (id, interval) -> (
+    let* session = require_session st in
     match Session.refine session ~id interval with
     | Some m ->
       print (Format.asprintf "refined %a" pp_measurement m);
@@ -291,10 +328,17 @@ let run ?(echo = false) ?(print = print_endline)
     | Measure (n, c, s) ->
       Printf.sprintf "measure %s %g%s" n c
         (match s with Some s -> Printf.sprintf " %g" s | None -> "")
+    | Observe (q, v) ->
+      Printf.sprintf "observe %s %h %h %h %h"
+        (match q with Quantity.Node_voltage n -> n | q -> Quantity.to_string q)
+        v.Interval.m1 v.Interval.m2 v.Interval.alpha v.Interval.beta
     | Retract id -> Printf.sprintf "retract %d" id
     | Refine (id, c, s) ->
       Printf.sprintf "refine %d %g%s" id c
         (match s with Some s -> Printf.sprintf " %g" s | None -> "")
+    | Refine_interval (id, v) ->
+      Printf.sprintf "refine-interval %d %h %h %h %h" id v.Interval.m1
+        v.Interval.m2 v.Interval.alpha v.Interval.beta
     | Diagnoses -> "diagnoses"
     | Next -> "next"
     | Status -> "status"
@@ -344,5 +388,30 @@ let run ?(echo = false) ?(print = print_endline)
       match exec_step cmd with
       | Ok () -> if cmd = Quit then Ok st.session else go rest
       | Error e -> Error (Printf.sprintf "line %d: %s" line e))
+  in
+  go commands
+
+(* Journal recovery enters here: the session is already open (rebuilt
+   from a create or snapshot record), so the interpreter starts with it
+   bound instead of waiting for a [circuit] directive.  The replayed
+   commands go through the very same [exec] the live interpreter uses —
+   which is what makes a recovered session bit-identical to one that
+   never restarted. *)
+let replay ~session commands =
+  let st =
+    {
+      session = Some session;
+      nominal = Some (Session.netlist session);
+      faults = [];
+      imprecision = 0.002;
+      truth = None;
+    }
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | cmd :: rest -> (
+      match exec ~print:ignore ~session_of:(fun _ -> session) st cmd with
+      | Ok () -> go rest
+      | Error _ as e -> e)
   in
   go commands

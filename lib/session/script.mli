@@ -27,8 +27,16 @@ type command =
   | Imprecision of float
   | Probe of string  (** node name *)
   | Measure of string * float * float option  (** node, center, spread *)
+  | Observe of Flames_circuit.Quantity.t * Flames_fuzzy.Interval.t
+      (** a measurement with an explicit trapezoid, no fuzzification —
+          text form [observe <node> <m1> <m2> <alpha> <beta>] (floats may
+          be hex literals); the journal replays through this so recovered
+          intervals are bit-exact *)
   | Retract of int
   | Refine of int * float * float option
+  | Refine_interval of int * Flames_fuzzy.Interval.t
+      (** [refine-interval <id> <m1> <m2> <alpha> <beta>] — the
+          explicit-trapezoid sibling of [Refine], used by replay *)
   | Diagnoses
   | Next
   | Status
@@ -54,3 +62,10 @@ val run :
     [circuit] directive executes, letting callers thread budgets or
     fault points.  Returns the final session (for inspection or
     benchmarking), or an error naming the line that failed. *)
+
+val replay :
+  session:Session.t -> command list -> (unit, string) result
+(** Interpret commands against an already-open session — the journal
+    recovery entry point.  Identical semantics to {!run} (same [exec]
+    path), but no [circuit] directive is needed or expected and output
+    is discarded.  Stops at the first failing command. *)

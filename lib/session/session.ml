@@ -216,7 +216,40 @@ let next_test ?points t =
   in
   Best_test.best ests candidates
 
+let restore ?config ?limits ?model ?schedule ?use_compiled ?budget_spec
+    ?prediction_floor ?sensitivity_threshold ?prediction_degree
+    ?simulate_predictions ?fault_point ~measurements ~next_id ~steps netlist =
+  let t =
+    create ?config ?limits ?model ?schedule ?use_compiled ?budget_spec
+      ?prediction_floor ?sensitivity_threshold ?prediction_degree
+      ?simulate_predictions ?fault_point netlist
+  in
+  let ms =
+    List.map (fun (id, quantity, interval) -> { id; quantity; interval })
+      measurements
+  in
+  let max_id =
+    List.fold_left
+      (fun hi (m : measurement) ->
+        if m.id <= 0 then invalid_arg "Session.restore: measurement id <= 0";
+        if List.exists (fun (o : measurement) -> o != m && o.id = m.id) ms then
+          invalid_arg "Session.restore: duplicate measurement id";
+        Int.max hi m.id)
+      0 ms
+  in
+  if next_id <= max_id then
+    invalid_arg "Session.restore: next_id must exceed every measurement id";
+  if steps < List.length ms then
+    invalid_arg "Session.restore: fewer steps than surviving measurements";
+  t.measurements <- ms;
+  t.next_id <- next_id;
+  t.steps <- steps;
+  t.live <- None;
+  t.cached <- None;
+  t
+
 let measurements t = t.measurements
+let next_id t = t.next_id
 let netlist t = t.netlist
 let model t = t.model
 let schedule t = t.schedule

@@ -79,6 +79,35 @@ val create :
     the step without half-applying it — the chaos harness raises from it
     to prove a mid-session fault never corrupts the reusable state. *)
 
+val restore :
+  ?config:Model.config ->
+  ?limits:Propagate.limits ->
+  ?model:Model.t ->
+  ?schedule:Schedule.t ->
+  ?use_compiled:bool ->
+  ?budget_spec:Budget.spec ->
+  ?prediction_floor:float ->
+  ?sensitivity_threshold:float ->
+  ?prediction_degree:float ->
+  ?simulate_predictions:bool ->
+  ?fault_point:(string -> unit) ->
+  measurements:(int * Quantity.t * Interval.t) list ->
+  next_id:int ->
+  steps:int ->
+  Netlist.t ->
+  t
+(** [restore ~measurements ~next_id ~steps netlist] rebuilds a session
+    from externally persisted state (the journal's snapshot records):
+    {!create}, then the surviving measurements installed verbatim — ids
+    included, because they are client-visible retraction handles and are
+    not contiguous after retractions — with the id counter and step
+    count picked up where the original left off.  The equivalence
+    contract holds unchanged: the next {!diagnoses} rebuilds through the
+    same full pass a never-restarted session would use.
+    @raise Invalid_argument on duplicate or non-positive measurement
+    ids, [next_id] not past every id, or [steps] below the survivor
+    count. *)
+
 val add_measurement : t -> Quantity.t -> Interval.t -> measurement
 (** Enter a measurement.  The compiled model, simulator predictions and
     prediction pass are never recomputed; the propagation pass over the
@@ -116,6 +145,11 @@ val measurements : t -> measurement list
 (** Surviving measurements, insertion order. *)
 
 val find_measurement : t -> id:int -> measurement option
+
+val next_id : t -> int
+(** The id the next {!add_measurement} will assign (strictly above every
+    id ever assigned, retracted ones included) — persisted by the
+    journal's snapshots so ids never repeat across a restart. *)
 
 val netlist : t -> Netlist.t
 

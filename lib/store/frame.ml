@@ -1,0 +1,63 @@
+let header = "FLMWAL01"
+let max_payload = 1 lsl 24
+
+(* CRC-32, IEEE 802.3 polynomial (reflected 0xEDB88320), byte-at-a-time
+   table.  OCaml's 63-bit ints hold the 32-bit state without masking
+   gymnastics: every intermediate stays below 2^32. *)
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+let add_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF))
+
+let get_u32 s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let add_frame buf payload =
+  add_u32 buf (String.length payload);
+  add_u32 buf (crc32 payload);
+  Buffer.add_string buf payload
+
+let frame payload =
+  let buf = Buffer.create (String.length payload + 8) in
+  add_frame buf payload;
+  Buffer.contents buf
+
+type read =
+  | Frame of { payload : string; next : int }
+  | End
+  | Torn
+  | Corrupt
+
+let read s ~pos =
+  let total = String.length s in
+  if pos = total then End
+  else if pos + 8 > total then Torn
+  else
+    let len = get_u32 s pos in
+    if len > max_payload then Corrupt
+    else if pos + 8 + len > total then Torn
+    else
+      let payload = String.sub s (pos + 8) len in
+      if crc32 payload <> get_u32 s (pos + 4) then Corrupt
+      else Frame { payload; next = pos + 8 + len }

@@ -1,0 +1,40 @@
+(** Record framing for the session journal.
+
+    A segment file is the 8-byte {!header} followed by frames.  Each
+    frame is [len:4][crc:4][payload:len] with both integers little
+    endian; [crc] is the CRC-32 (IEEE 802.3 polynomial) of the payload
+    bytes.  The framing is what makes recovery after [kill -9] safe: a
+    write torn anywhere inside a frame fails the length or the checksum,
+    never yields a half-record, and everything before it is untouched. *)
+
+val header : string
+(** Magic the first 8 bytes of every segment must equal. *)
+
+val max_payload : int
+(** Upper bound on a frame payload; a decoded length beyond it is
+    treated as corruption (it can only come from a damaged length
+    field). *)
+
+val crc32 : string -> int
+(** CRC-32 of the whole string, in [0, 2^32). *)
+
+val frame : string -> string
+(** [frame payload] is the encoded frame (length, checksum, payload). *)
+
+val add_frame : Buffer.t -> string -> unit
+(** Append [frame payload] to a buffer without intermediate copies. *)
+
+type read =
+  | Frame of { payload : string; next : int }
+      (** a whole, checksummed frame; the next frame starts at [next] *)
+  | End  (** clean end of the segment, exactly at a frame boundary *)
+  | Torn
+      (** the segment ends inside a frame — the classic torn tail of a
+          crash mid-write *)
+  | Corrupt
+      (** the length field is implausible or the checksum fails — bit
+          rot or an overwritten suffix *)
+
+val read : string -> pos:int -> read
+(** Decode the frame starting at [pos] of a whole segment's contents
+    (the caller has already checked {!header} at offset 0). *)

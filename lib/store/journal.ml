@@ -1,0 +1,421 @@
+module Session = Flames_session.Session
+module Script = Flames_session.Script
+module Trace = Flames_obs.Trace
+module Metrics = Flames_obs.Metrics
+
+type fsync = Always | Interval of float | Never
+
+type t = {
+  dir : string;
+  fsync : fsync;
+  segment_bytes : int;
+  mutex : Mutex.t;
+  mutable fd : Unix.file_descr;
+  mutable seg_index : int;
+  mutable seg_size : int;
+  mutable last_sync : float;
+  mutable closed : bool;
+}
+
+let dir t = t.dir
+let fsync_mode t = t.fsync
+let segment_name dir i = Filename.concat dir (Printf.sprintf "segment-%08d.wal" i)
+
+let segment_index name =
+  if
+    String.length name = String.length "segment-00000000.wal"
+    && String.starts_with ~prefix:"segment-" name
+    && String.ends_with ~suffix:".wal" name
+  then int_of_string_opt (String.sub name 8 8)
+  else None
+
+(* oldest first *)
+let list_segments dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter_map segment_index
+    |> List.sort Int.compare
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Durability of file creation/deletion needs the directory synced too;
+   a filesystem that cannot fsync a directory fd just skips it. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+        try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let new_segment dir index =
+  let fd =
+    Unix.openfile (segment_name dir index)
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ]
+      0o644
+  in
+  (try write_all fd Frame.header
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let open_ ?(fsync = Interval 0.05) ?(segment_bytes = 1 lsl 20) dir =
+  mkdir_p dir;
+  let next = match List.rev (list_segments dir) with [] -> 1 | i :: _ -> i + 1 in
+  let fd = new_segment dir next in
+  Unix.fsync fd;
+  fsync_dir dir;
+  Metrics.gauge_set Telemetry.segments (float_of_int (List.length (list_segments dir)));
+  Metrics.gauge_set Telemetry.journal_bytes (float_of_int (String.length Frame.header));
+  {
+    dir;
+    fsync;
+    segment_bytes;
+    mutex = Mutex.create ();
+    fd;
+    seg_index = next;
+    seg_size = String.length Frame.header;
+    last_sync = Unix.gettimeofday ();
+    closed = false;
+  }
+
+let do_sync t =
+  Unix.fsync t.fd;
+  t.last_sync <- Unix.gettimeofday ();
+  Metrics.incr Telemetry.fsyncs_total
+
+let sync_per_policy t =
+  match t.fsync with
+  | Always -> do_sync t
+  | Interval s -> if Unix.gettimeofday () -. t.last_sync >= s then do_sync t
+  | Never -> ()
+
+let append t record =
+  Trace.with_span ~record:Telemetry.append_seconds "store.append" @@ fun () ->
+  locked t @@ fun () ->
+  if t.closed then invalid_arg "Journal.append: closed journal";
+  let framed = Frame.frame (Record.encode record) in
+  write_all t.fd framed;
+  t.seg_size <- t.seg_size + String.length framed;
+  sync_per_policy t;
+  Metrics.incr Telemetry.appends_total;
+  Metrics.incr ~by:(String.length framed) Telemetry.append_bytes_total;
+  Metrics.gauge_set Telemetry.journal_bytes (float_of_int t.seg_size)
+
+let sync t =
+  locked t @@ fun () -> if not t.closed then do_sync t
+
+let due_for_rotation t =
+  locked t @@ fun () -> (not t.closed) && t.seg_size >= t.segment_bytes
+
+(* The new segment is made fully durable (records, fsync, directory
+   entry) before any old segment is unlinked, so every crash point
+   leaves a journal that recovers to the same state: either the old
+   segments still exist (snapshot records in the new one overwrite
+   per-session state on replay) or only the new one does. *)
+let rotate t ~snapshot =
+  locked t @@ fun () ->
+  if t.closed then invalid_arg "Journal.rotate: closed journal";
+  let next = t.seg_index + 1 in
+  let fd = new_segment t.dir next in
+  (try
+     let buf = Buffer.create 4096 in
+     List.iter (fun r -> Frame.add_frame buf (Record.encode r)) snapshot;
+     write_all fd (Buffer.contents buf);
+     Unix.fsync fd
+   with e ->
+     Unix.close fd;
+     (try Sys.remove (segment_name t.dir next) with Sys_error _ -> ());
+     raise e);
+  fsync_dir t.dir;
+  let old_fd = t.fd in
+  let old_index = t.seg_index in
+  t.fd <- fd;
+  t.seg_index <- next;
+  t.seg_size <-
+    String.length Frame.header
+    + List.fold_left (fun n r -> n + String.length (Record.encode r) + 8) 0 snapshot;
+  t.last_sync <- Unix.gettimeofday ();
+  Unix.close old_fd;
+  List.iter
+    (fun i ->
+      if i <= old_index then
+        try Sys.remove (segment_name t.dir i) with Sys_error _ -> ())
+    (list_segments t.dir);
+  fsync_dir t.dir;
+  Metrics.incr Telemetry.rotations_total;
+  Metrics.incr ~by:(List.length snapshot) Telemetry.snapshot_records_total;
+  Metrics.gauge_set Telemetry.segments 1.;
+  Metrics.gauge_set Telemetry.journal_bytes (float_of_int t.seg_size)
+
+let close t =
+  locked t @@ fun () ->
+  if not t.closed then begin
+    do_sync t;
+    Unix.close t.fd;
+    t.closed <- true
+  end
+
+(* {1 Recovery} *)
+
+type entry = {
+  sid : string;
+  session : Session.t;
+  source : Record.source;
+  trusted : string list;
+}
+
+type recovered = {
+  entries : entry list;
+  segments : int;
+  records : int;
+  torn_tail : bool;
+  corrupt_frames : int;
+  skipped_bytes : int;
+  dropped_records : int;
+  dropped_sessions : int;
+}
+
+let default_resolve = function
+  | Record.Builtin name -> (
+    match List.assoc_opt name Flames_circuit.Library.builtins with
+    | Some build -> Ok (build ())
+    | None -> Error (Printf.sprintf "unknown builtin circuit %S" name))
+  | Record.Inline text -> (
+    match Flames_circuit.Parser.parse text with
+    | Ok netlist -> Ok netlist
+    | Error e -> Error (Format.asprintf "%a" Flames_circuit.Parser.pp_error e))
+
+let config_of_trusted trusted =
+  { Flames_core.Model.default_config with trusted }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+type session_state = {
+  s_session : Session.t;
+  s_source : Record.source;
+  s_trusted : string list;
+}
+
+let recover ?(resolve = default_resolve) ?schedule_of dir =
+  Trace.with_span ~record:Telemetry.recover_seconds "store.recover"
+  @@ fun () ->
+  let table : (string, session_state) Hashtbl.t = Hashtbl.create 16 in
+  let records = ref 0 in
+  let torn_tail = ref false in
+  let corrupt_frames = ref 0 in
+  let skipped_bytes = ref 0 in
+  let dropped_records = ref 0 in
+  let dropped_sessions = ref 0 in
+  let resolve_parts source trusted =
+    match resolve source with
+    | Error msg -> Error msg
+    | Ok netlist ->
+      let config = config_of_trusted trusted in
+      let schedule =
+        match schedule_of with None -> None | Some f -> f config netlist
+      in
+      Ok (netlist, config, schedule)
+  in
+  let drop_session sid =
+    if Hashtbl.mem table sid then begin
+      Hashtbl.remove table sid;
+      incr dropped_sessions;
+      Metrics.incr Telemetry.dropped_sessions_total
+    end
+  in
+  (* [Ok] = the record took effect; [Error] = dropped (counted by the
+     caller).  A replay that diverges from what the journal promised —
+     a measurement id the rebuilt session does not reproduce — abandons
+     the whole session rather than keep silently different state. *)
+  let apply record =
+    match (record : Record.t) with
+    | Create { sid; source; trusted } -> (
+      match resolve_parts source trusted with
+      | Error msg ->
+        drop_session sid;
+        Error msg
+      | Ok (netlist, config, schedule) -> (
+        match Session.create ~config ?schedule netlist with
+        | session ->
+          Hashtbl.replace table sid
+            { s_session = session; s_source = source; s_trusted = trusted };
+          Ok ()
+        | exception exn ->
+          drop_session sid;
+          Error
+            (Printf.sprintf "session rebuild failed: %s"
+               (Printexc.to_string exn))))
+    | Snapshot { sid; source; trusted; next_id; steps; measurements } -> (
+      match resolve_parts source trusted with
+      | Error msg ->
+        drop_session sid;
+        Error msg
+      | Ok (netlist, config, schedule) -> (
+        match
+          Session.restore ~config ?schedule ~measurements ~next_id ~steps
+            netlist
+        with
+        | session ->
+          Hashtbl.replace table sid
+            { s_session = session; s_source = source; s_trusted = trusted };
+          Ok ()
+        | exception exn ->
+          drop_session sid;
+          Error
+            (Printf.sprintf "snapshot restore failed: %s"
+               (Printexc.to_string exn))))
+    | Close { sid } ->
+      if Hashtbl.mem table sid then begin
+        Hashtbl.remove table sid;
+        Ok ()
+      end
+      else Error (Printf.sprintf "close of unknown session %s" sid)
+    | Measure { sid; mid; quantity; interval } -> (
+      match Hashtbl.find_opt table sid with
+      | None -> Error (Printf.sprintf "measure for unknown session %s" sid)
+      | Some st -> (
+        match
+          Script.replay ~session:st.s_session [ Observe (quantity, interval) ]
+        with
+        | Error e ->
+          drop_session sid;
+          Error e
+        | Ok () -> (
+          match Session.find_measurement st.s_session ~id:mid with
+          | Some m when Flames_circuit.Quantity.equal m.Session.quantity quantity
+            -> Ok ()
+          | Some _ | None ->
+            drop_session sid;
+            Error
+              (Printf.sprintf
+                 "session %s diverged: journaled measurement id %d not \
+                  reproduced"
+                 sid mid))))
+    | Retract { sid; mid } -> (
+      match Hashtbl.find_opt table sid with
+      | None -> Error (Printf.sprintf "retract for unknown session %s" sid)
+      | Some st -> (
+        match Script.replay ~session:st.s_session [ Retract mid ] with
+        | Ok () -> Ok ()
+        | Error e ->
+          drop_session sid;
+          Error e))
+    | Refine { sid; mid; interval } -> (
+      match Hashtbl.find_opt table sid with
+      | None -> Error (Printf.sprintf "refine for unknown session %s" sid)
+      | Some st -> (
+        match
+          Script.replay ~session:st.s_session
+            [ Refine_interval (mid, interval) ]
+        with
+        | Ok () -> Ok ()
+        | Error e ->
+          drop_session sid;
+          Error e))
+  in
+  (* A bad suffix of the newest segment is the expected shape of a crash
+     (torn tail); the same damage anywhere else is corruption.  Either
+     way the scan of that segment stops and everything before the damage
+     — and every other segment — is still recovered. *)
+  let bad_suffix ~is_last nbytes =
+    skipped_bytes := !skipped_bytes + nbytes;
+    if is_last then begin
+      torn_tail := true;
+      Metrics.incr Telemetry.torn_tails_total
+    end
+    else begin
+      incr corrupt_frames;
+      Metrics.incr Telemetry.corrupt_frames_total
+    end
+  in
+  let segments = list_segments dir in
+  let last = match List.rev segments with [] -> -1 | i :: _ -> i in
+  List.iter
+    (fun index ->
+      let is_last = index = last in
+      match read_file (segment_name dir index) with
+      | exception Sys_error _ ->
+        incr corrupt_frames;
+        Metrics.incr Telemetry.corrupt_frames_total
+      | content ->
+        let total = String.length content in
+        let hlen = String.length Frame.header in
+        if total < hlen then bad_suffix ~is_last total
+        else if String.sub content 0 hlen <> Frame.header then begin
+          incr corrupt_frames;
+          Metrics.incr Telemetry.corrupt_frames_total;
+          skipped_bytes := !skipped_bytes + total
+        end
+        else begin
+          let rec scan pos =
+            match Frame.read content ~pos with
+            | End -> ()
+            | Torn -> bad_suffix ~is_last (total - pos)
+            | Corrupt ->
+              incr corrupt_frames;
+              Metrics.incr Telemetry.corrupt_frames_total;
+              skipped_bytes := !skipped_bytes + (total - pos)
+            | Frame { payload; next } ->
+              (match Record.decode payload with
+              | Error _ ->
+                incr dropped_records;
+                Metrics.incr Telemetry.dropped_records_total
+              | Ok record -> (
+                match apply record with
+                | Ok () ->
+                  incr records;
+                  Metrics.incr Telemetry.recovered_records_total
+                | Error _ ->
+                  incr dropped_records;
+                  Metrics.incr Telemetry.dropped_records_total));
+              scan next
+          in
+          scan hlen
+        end)
+    segments;
+  Metrics.incr ~by:!skipped_bytes Telemetry.skipped_bytes_total;
+  let entries =
+    Hashtbl.fold
+      (fun sid st acc ->
+        { sid; session = st.s_session; source = st.s_source; trusted = st.s_trusted }
+        :: acc)
+      table []
+    |> List.sort (fun a b -> String.compare a.sid b.sid)
+  in
+  Metrics.incr ~by:(List.length entries) Telemetry.recovered_sessions_total;
+  {
+    entries;
+    segments = List.length segments;
+    records = !records;
+    torn_tail = !torn_tail;
+    corrupt_frames = !corrupt_frames;
+    skipped_bytes = !skipped_bytes;
+    dropped_records = !dropped_records;
+    dropped_sessions = !dropped_sessions;
+  }

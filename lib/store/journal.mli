@@ -1,0 +1,105 @@
+(** The write-ahead session journal: append, rotate, recover.
+
+    A journal is a directory of segment files
+    [segment-00000001.wal, …], each the {!Frame.header} magic followed
+    by CRC-framed {!Record} lines.  Appends go to the newest segment
+    only; {!rotate} starts a fresh segment seeded with {!Record.Snapshot}
+    records for every live session and deletes the older segments once
+    the snapshot is durable, so the journal's size tracks the live state
+    rather than the full history.
+
+    Thread-safety: every operation takes the journal's internal mutex.
+    Callers that hold per-session locks (the server's request threads)
+    may append freely — the journal never takes session locks.  The
+    reverse order (collect a snapshot under session locks, then call
+    {!rotate}) is reserved for the server's maintenance thread, keeping
+    the lock order [session entry -> journal] global. *)
+
+type fsync =
+  | Always  (** fsync after every append — an acked write survives kill -9 *)
+  | Interval of float
+      (** fsync when the last one is older than [s] seconds, checked at
+          append time — bounds loss to the interval without paying a
+          sync per step *)
+  | Never  (** leave durability to the OS page cache *)
+
+type t
+
+val open_ : ?fsync:fsync -> ?segment_bytes:int -> string -> t
+(** [open_ dir] creates [dir] if needed and starts a fresh segment after
+    any already present (existing segments are never appended to — they
+    may end in a torn tail).  [?fsync] defaults to [Interval 0.05];
+    [?segment_bytes] (default 1 MiB) is the rotation threshold reported
+    by {!due_for_rotation}.
+    @raise Unix.Unix_error when the directory or segment cannot be
+    created. *)
+
+val dir : t -> string
+val fsync_mode : t -> fsync
+
+val append : t -> Record.t -> unit
+(** Frame, write and (per the fsync discipline) sync one record.
+    Runs inside a [store.append] span feeding
+    [flames_store_append_seconds].
+    @raise Unix.Unix_error on write failure; the journal is unusable
+    for further appends after a raised write (the segment may hold a
+    torn frame — recovery handles it). *)
+
+val sync : t -> unit
+(** Force an fsync now, whatever the discipline. *)
+
+val due_for_rotation : t -> bool
+(** The current segment has outgrown [segment_bytes]. *)
+
+val rotate : t -> snapshot:Record.t list -> unit
+(** Start a new segment containing exactly [snapshot] (typically one
+    {!Record.Snapshot} per live session), fsync it, then delete every
+    older segment.  A crash between the new segment becoming durable and
+    the old ones being unlinked is safe: recovery replays old segments
+    first and the snapshot records then overwrite per-session state. *)
+
+val close : t -> unit
+(** Final sync and close.  Idempotent; appends after close raise. *)
+
+(** {1 Recovery} *)
+
+type entry = {
+  sid : string;
+  session : Flames_session.Session.t;
+  source : Record.source;
+  trusted : string list;
+}
+
+type recovered = {
+  entries : entry list;  (** sessions alive at the journal's end, in sid order *)
+  segments : int;  (** segment files scanned *)
+  records : int;  (** records applied successfully *)
+  torn_tail : bool;  (** the newest segment ended mid-frame *)
+  corrupt_frames : int;
+  skipped_bytes : int;
+  dropped_records : int;  (** well-framed but undecodable/inapplicable *)
+  dropped_sessions : int;  (** abandoned after a divergent replay *)
+}
+
+val recover :
+  ?resolve:(Record.source -> (Flames_circuit.Netlist.t, string) result) ->
+  ?schedule_of:
+    (Flames_core.Model.config ->
+    Flames_circuit.Netlist.t ->
+    Flames_core.Schedule.t option) ->
+  string ->
+  recovered
+(** Replay every segment of [dir] (oldest first) through the
+    {!Flames_session.Script} interpreter, rebuilding each live session.
+    Corruption degrades instead of failing: a torn or corrupt frame ends
+    the scan of that segment (counted, remaining bytes skipped), a
+    record that decodes but does not apply cleanly is dropped, and a
+    session whose replay diverges (a journaled measurement id the
+    rebuilt session does not reproduce) is abandoned — everything intact
+    before the damage is recovered.  A missing directory recovers empty.
+
+    [?resolve] maps record sources to netlists (default:
+    {!Flames_circuit.Library.builtins} by name, {!Flames_circuit.Parser}
+    for inline text).  [?schedule_of] lets the server reuse its compiled
+    schedule cache across the recovered sessions.  Runs inside a
+    [store.recover] span feeding [flames_store_recover_seconds]. *)

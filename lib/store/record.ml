@@ -1,0 +1,290 @@
+module Interval = Flames_fuzzy.Interval
+module Quantity = Flames_circuit.Quantity
+
+type source = Builtin of string | Inline of string
+
+type t =
+  | Create of { sid : string; source : source; trusted : string list }
+  | Measure of {
+      sid : string;
+      mid : int;
+      quantity : Quantity.t;
+      interval : Interval.t;
+    }
+  | Retract of { sid : string; mid : int }
+  | Refine of { sid : string; mid : int; interval : Interval.t }
+  | Close of { sid : string }
+  | Snapshot of {
+      sid : string;
+      source : source;
+      trusted : string list;
+      next_id : int;
+      steps : int;
+      measurements : (int * Quantity.t * Interval.t) list;
+    }
+
+let sid = function
+  | Create { sid; _ }
+  | Measure { sid; _ }
+  | Retract { sid; _ }
+  | Refine { sid; _ }
+  | Close { sid }
+  | Snapshot { sid; _ } ->
+      sid
+
+(* {2 Token escaping}
+
+   Tokens are separated by single spaces; anything that could be
+   mistaken for structure (whitespace, '%', ':') is percent-escaped.
+   Netlist text — multi-line, space-heavy — rides through as one
+   token. *)
+
+let must_escape c =
+  match c with
+  | ' ' | '\t' | '\n' | '\r' | '%' | ':' -> true
+  | c -> Char.code c < 0x20 || Char.code c = 0x7F
+
+let esc s =
+  if String.for_all (fun c -> not (must_escape c)) s && s <> "" then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    if s = "" then Buffer.add_string buf "%e"
+    else
+      String.iter
+        (fun c ->
+          if must_escape c then Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+          else Buffer.add_char buf c)
+        s;
+    Buffer.contents buf
+  end
+
+let unesc s =
+  if s = "%e" then Ok ""
+  else if not (String.contains s '%') then Ok s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let rec go i =
+      if i >= n then Ok (Buffer.contents buf)
+      else if s.[i] = '%' then
+        if i + 2 >= n then Error "truncated escape"
+        else
+          match int_of_string_opt (Printf.sprintf "0x%c%c" s.[i + 1] s.[i + 2]) with
+          | Some code ->
+              Buffer.add_char buf (Char.chr code);
+              go (i + 3)
+          | None -> Error "malformed escape"
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+    in
+    go 0
+  end
+
+let ( let* ) = Result.bind
+
+(* {2 Scalar codecs} *)
+
+let efloat = Printf.sprintf "%h"
+
+let dfloat what s =
+  match float_of_string_opt s with
+  | Some f when Float.is_finite f -> Ok f
+  | Some _ | None -> Error (Printf.sprintf "bad float for %s: %s" what s)
+
+let dint what s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "bad int for %s: %s" what s)
+
+let einterval (v : Interval.t) =
+  [ efloat v.m1; efloat v.m2; efloat v.alpha; efloat v.beta ]
+
+let dinterval m1 m2 alpha beta =
+  let* m1 = dfloat "m1" m1 in
+  let* m2 = dfloat "m2" m2 in
+  let* alpha = dfloat "alpha" alpha in
+  let* beta = dfloat "beta" beta in
+  match Interval.make ~m1 ~m2 ~alpha ~beta with
+  | v -> Ok v
+  | exception Interval.Invalid msg -> Error ("bad interval: " ^ msg)
+
+let equantity q =
+  match (q : Quantity.t) with
+  | Node_voltage n -> "v:" ^ esc n
+  | Branch_current c -> "i:" ^ esc c
+  | Terminal_current (c, t) -> "t:" ^ esc c ^ ":" ^ esc t
+  | Voltage_drop c -> "u:" ^ esc c
+  | Parameter (c, p) -> "p:" ^ esc c ^ ":" ^ esc p
+
+let dquantity s =
+  match String.split_on_char ':' s with
+  | [ "v"; n ] ->
+      let* n = unesc n in
+      Ok (Quantity.voltage n)
+  | [ "i"; c ] ->
+      let* c = unesc c in
+      Ok (Quantity.current c)
+  | [ "t"; c; t ] ->
+      let* c = unesc c in
+      let* t = unesc t in
+      Ok (Quantity.terminal_current c t)
+  | [ "u"; c ] ->
+      let* c = unesc c in
+      Ok (Quantity.drop c)
+  | [ "p"; c; p ] ->
+      let* c = unesc c in
+      let* p = unesc p in
+      Ok (Quantity.parameter c p)
+  | _ -> Error ("bad quantity: " ^ s)
+
+let esource = function
+  | Builtin name -> "b:" ^ esc name
+  | Inline text -> "n:" ^ esc text
+
+let dsource s =
+  match String.split_on_char ':' s with
+  | [ "b"; name ] ->
+      let* name = unesc name in
+      Ok (Builtin name)
+  | [ "n"; text ] ->
+      let* text = unesc text in
+      Ok (Inline text)
+  | _ -> Error ("bad source: " ^ s)
+
+(* {2 Records} *)
+
+let encode t =
+  let tokens =
+    match t with
+    | Create { sid; source; trusted } ->
+        "create" :: esc sid :: esource source
+        :: string_of_int (List.length trusted)
+        :: List.map esc trusted
+    | Measure { sid; mid; quantity; interval } ->
+        "measure" :: esc sid :: string_of_int mid :: equantity quantity
+        :: einterval interval
+    | Retract { sid; mid } -> [ "retract"; esc sid; string_of_int mid ]
+    | Refine { sid; mid; interval } ->
+        "refine" :: esc sid :: string_of_int mid :: einterval interval
+    | Close { sid } -> [ "close"; esc sid ]
+    | Snapshot { sid; source; trusted; next_id; steps; measurements } ->
+        "snapshot" :: esc sid :: esource source
+        :: string_of_int (List.length trusted)
+        :: List.map esc trusted
+        @ string_of_int next_id :: string_of_int steps
+          :: string_of_int (List.length measurements)
+          :: List.concat_map
+               (fun (mid, q, v) ->
+                 string_of_int mid :: equantity q :: einterval v)
+               measurements
+  in
+  String.concat " " tokens
+
+(* a tiny token-stream reader over the split line *)
+let take what = function
+  | [] -> Error ("missing token: " ^ what)
+  | tok :: rest -> Ok (tok, rest)
+
+let take_n what n toks =
+  let rec go acc n toks =
+    if n = 0 then Ok (List.rev acc, toks)
+    else
+      match toks with
+      | [] -> Error ("missing token: " ^ what)
+      | tok :: rest -> go (tok :: acc) (n - 1) rest
+  in
+  go [] n toks
+
+let take_interval toks =
+  let* quad, toks = take_n "interval" 4 toks in
+  match quad with
+  | [ m1; m2; a; b ] ->
+      let* v = dinterval m1 m2 a b in
+      Ok (v, toks)
+  | _ -> assert false
+
+let take_trusted toks =
+  let* n, toks = take "trusted count" toks in
+  let* n = dint "trusted count" n in
+  if n < 0 || n > 4096 then Error "bad trusted count"
+  else
+    let* raw, toks = take_n "trusted" n toks in
+    let* trusted =
+      List.fold_right
+        (fun tok acc ->
+          let* acc = acc in
+          let* t = unesc tok in
+          Ok (t :: acc))
+        raw (Ok [])
+    in
+    Ok (trusted, toks)
+
+let finish v = function
+  | [] -> Ok v
+  | tok :: _ -> Error ("trailing token: " ^ tok)
+
+let decode line =
+  let* tag, toks = take "tag" (String.split_on_char ' ' line) in
+  match tag with
+  | "create" ->
+      let* sid, toks = take "sid" toks in
+      let* sid = unesc sid in
+      let* source, toks = take "source" toks in
+      let* source = dsource source in
+      let* trusted, toks = take_trusted toks in
+      finish (Create { sid; source; trusted }) toks
+  | "measure" ->
+      let* sid, toks = take "sid" toks in
+      let* sid = unesc sid in
+      let* mid, toks = take "mid" toks in
+      let* mid = dint "mid" mid in
+      let* q, toks = take "quantity" toks in
+      let* quantity = dquantity q in
+      let* interval, toks = take_interval toks in
+      finish (Measure { sid; mid; quantity; interval }) toks
+  | "retract" ->
+      let* sid, toks = take "sid" toks in
+      let* sid = unesc sid in
+      let* mid, toks = take "mid" toks in
+      let* mid = dint "mid" mid in
+      finish (Retract { sid; mid }) toks
+  | "refine" ->
+      let* sid, toks = take "sid" toks in
+      let* sid = unesc sid in
+      let* mid, toks = take "mid" toks in
+      let* mid = dint "mid" mid in
+      let* interval, toks = take_interval toks in
+      finish (Refine { sid; mid; interval }) toks
+  | "close" ->
+      let* sid, toks = take "sid" toks in
+      let* sid = unesc sid in
+      finish (Close { sid }) toks
+  | "snapshot" ->
+      let* sid, toks = take "sid" toks in
+      let* sid = unesc sid in
+      let* source, toks = take "source" toks in
+      let* source = dsource source in
+      let* trusted, toks = take_trusted toks in
+      let* next_id, toks = take "next_id" toks in
+      let* next_id = dint "next_id" next_id in
+      let* steps, toks = take "steps" toks in
+      let* steps = dint "steps" steps in
+      let* k, toks = take "measurement count" toks in
+      let* k = dint "measurement count" k in
+      if k < 0 || k > 1_000_000 then Error "bad measurement count"
+      else
+        let rec go acc k toks =
+          if k = 0 then Ok (List.rev acc, toks)
+          else
+            let* mid, toks = take "mid" toks in
+            let* mid = dint "mid" mid in
+            let* q, toks = take "quantity" toks in
+            let* q = dquantity q in
+            let* v, toks = take_interval toks in
+            go ((mid, q, v) :: acc) (k - 1) toks
+        in
+        let* measurements, toks = go [] k toks in
+        finish (Snapshot { sid; source; trusted; next_id; steps; measurements }) toks
+  | tag -> Error ("unknown record tag: " ^ tag)

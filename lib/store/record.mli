@@ -1,0 +1,48 @@
+(** Journal records for diagnosis sessions.
+
+    One record per mutating session operation, in the order the server
+    acknowledged them.  The codec is a line of space-separated tokens
+    with percent-escaping, so journals are greppable with standard
+    tools; floats are rendered as OCaml hex-float literals ([%h]) and
+    parsed back bit-exactly, which is what lets a recovered session be
+    compared fingerprint-for-fingerprint against one that never
+    restarted. *)
+
+type source =
+  | Builtin of string  (** a named circuit from {!Flames_circuit.Library} *)
+  | Inline of string  (** full netlist text, as posted to the service *)
+
+type t =
+  | Create of { sid : string; source : source; trusted : string list }
+  | Measure of {
+      sid : string;
+      mid : int;
+      quantity : Flames_circuit.Quantity.t;
+      interval : Flames_fuzzy.Interval.t;
+    }
+  | Retract of { sid : string; mid : int }
+  | Refine of {
+      sid : string;
+      mid : int;
+      interval : Flames_fuzzy.Interval.t;
+    }
+  | Close of { sid : string }
+  | Snapshot of {
+      sid : string;
+      source : source;
+      trusted : string list;
+      next_id : int;
+      steps : int;
+      measurements :
+        (int * Flames_circuit.Quantity.t * Flames_fuzzy.Interval.t) list;
+    }
+      (** the full surviving state of one session, written on rotation
+          and drain so older segments can be deleted; measurement ids
+          are preserved verbatim (they are client-visible handles and
+          survivors are not contiguous after retractions) *)
+
+val sid : t -> string
+(** The session the record belongs to. *)
+
+val encode : t -> string
+val decode : string -> (t, string) result

@@ -1,0 +1,73 @@
+(* Metric handles for the journal, created once at module init.  Names
+   follow the flames_store_* prefix so the Prometheus export groups the
+   durability subsystem together. *)
+
+module Metrics = Flames_obs.Metrics
+
+let appends_total =
+  Metrics.counter "flames_store_appends_total"
+    ~help:"Records appended to the session journal"
+
+let append_bytes_total =
+  Metrics.counter "flames_store_append_bytes_total"
+    ~help:"Framed bytes appended to the session journal"
+
+let append_errors_total =
+  Metrics.counter "flames_store_append_errors_total"
+    ~help:"Journal appends that failed (the request is answered 500)"
+
+let fsyncs_total =
+  Metrics.counter "flames_store_fsyncs_total"
+    ~help:"fsync calls issued by the journal"
+
+let rotations_total =
+  Metrics.counter "flames_store_rotations_total"
+    ~help:"Segment rotations (snapshot compactions)"
+
+let snapshot_records_total =
+  Metrics.counter "flames_store_snapshot_records_total"
+    ~help:"Session snapshot records written during rotations and drains"
+
+let recovered_records_total =
+  Metrics.counter "flames_store_recovered_records_total"
+    ~help:"Journal records applied successfully during recovery"
+
+let recovered_sessions_total =
+  Metrics.counter "flames_store_recovered_sessions_total"
+    ~help:"Sessions alive at the end of a recovery replay"
+
+let torn_tails_total =
+  Metrics.counter "flames_store_torn_tails_total"
+    ~help:"Torn tails (truncated trailing frames) found during recovery"
+
+let corrupt_frames_total =
+  Metrics.counter "flames_store_corrupt_frames_total"
+    ~help:"Frames with failed checksums or implausible lengths found during recovery"
+
+let skipped_bytes_total =
+  Metrics.counter "flames_store_skipped_bytes_total"
+    ~help:"Journal bytes skipped by recovery after torn or corrupt frames"
+
+let dropped_records_total =
+  Metrics.counter "flames_store_dropped_records_total"
+    ~help:"Well-framed records recovery could not decode or apply"
+
+let dropped_sessions_total =
+  Metrics.counter "flames_store_dropped_sessions_total"
+    ~help:"Sessions abandoned during recovery after a divergent replay"
+
+let segments =
+  Metrics.gauge "flames_store_segments"
+    ~help:"Segment files the open journal currently spans"
+
+let journal_bytes =
+  Metrics.gauge "flames_store_journal_bytes"
+    ~help:"Bytes in the open journal's current segment"
+
+let append_seconds =
+  Metrics.histogram "flames_store_append_seconds"
+    ~help:"Journal append latency (encode, write, fsync) in seconds"
+
+let recover_seconds =
+  Metrics.histogram "flames_store_recover_seconds"
+    ~help:"Startup recovery replay wall time in seconds"

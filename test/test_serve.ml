@@ -7,6 +7,7 @@ module Json = Flames_serve.Json
 module Http = Flames_serve.Http
 module Admission = Flames_serve.Admission
 module Server = Flames_serve.Server
+module Router = Flames_serve.Router
 module Version = Flames_serve.Version
 
 let check_bool = Alcotest.(check bool)
@@ -509,11 +510,226 @@ let test_e2e_session_errors () =
       check_int "refine unknown measurement" 404
         (step "refine" {|{"id": 9, "value": 1}|}).Http.status)
 
+(* {1 Readiness gate (router level)} *)
+
+(* A deps record whose ready hook says the journal replay is still
+   running: readiness and every session route must refuse with 503 +
+   Retry-After while liveness stays green. *)
+let test_router_recovering () =
+  let pool = Flames_engine.Pool.create ~workers:1 () in
+  Fun.protect ~finally:(fun () -> Flames_engine.Pool.shutdown pool)
+  @@ fun () ->
+  let deps =
+    {
+      Router.pool;
+      cache = Flames_engine.Cache.create ();
+      admission = Admission.create ();
+      sessions = Admission.Sessions.create ();
+      store = ref None;
+      ready = (fun () -> false);
+      draining = (fun () -> false);
+      default_wall = 2.;
+      max_wall = 10.;
+    }
+  in
+  let req ?(meth = "GET") ?(body = "") path =
+    Router.handle deps
+      {
+        Http.meth;
+        path;
+        query = "";
+        version = "HTTP/1.1";
+        headers = [];
+        body;
+      }
+  in
+  let expect_503 name (reply : Router.reply) =
+    check_int (name ^ " answers 503") 503 reply.Router.status;
+    check_bool (name ^ " has Retry-After") true
+      (List.mem_assoc "Retry-After" reply.Router.headers);
+    check_bool (name ^ " says recovering") true
+      (contains reply.Router.body "recovering")
+  in
+  expect_503 "readyz" (req "/readyz");
+  expect_503 "create" (req ~meth:"POST" ~body:{|{"circuit":"divider"}|} "/session/create");
+  expect_503 "step" (req ~meth:"POST" ~body:"{}" "/session/s1/diagnoses");
+  expect_503 "diagnose" (req ~meth:"POST" ~body:{|{"circuit":"divider"}|} "/diagnose");
+  check_int "healthz stays live" 200 (req "/healthz").Router.status;
+  check_int "version stays live" 200 (req "/version").Router.status;
+  check_int "metrics stay scrapeable" 200 (req "/metrics").Router.status
+
+(* {1 Sweep on lookup (injected clock)} *)
+
+let test_sessions_sweep_on_lookup () =
+  let module Metrics = Flames_obs.Metrics in
+  let expired0 =
+    Metrics.counter_value Flames_serve.Telemetry.sessions_expired_total
+  in
+  let now = ref 0. in
+  let reg = Admission.Sessions.create ~now:(fun () -> !now) ~cap:8 ~ttl:10. () in
+  let a =
+    match Admission.Sessions.put reg "a" with
+    | Ok id -> id
+    | Error `Capacity -> Alcotest.fail "put a"
+  in
+  let _b =
+    match Admission.Sessions.put reg "b" with
+    | Ok id -> id
+    | Error `Capacity -> Alcotest.fail "put b"
+  in
+  check_int "both live" 2 (Admission.Sessions.count reg);
+  now := 25.;
+  (* one lookup expires *every* idle entry, not only the touched one:
+     before the sweep-on-lookup fix, b would linger holding capacity
+     until a put or an explicit sweep *)
+  check_bool "a expired" true
+    (Admission.Sessions.with_session reg a (fun v -> v) = None);
+  check_int "b swept by a's lookup" 0 (Admission.Sessions.count reg);
+  let expired1 =
+    Metrics.counter_value Flames_serve.Telemetry.sessions_expired_total
+  in
+  check_int "both expiries counted" 2 (expired1 - expired0)
+
+(* {1 Byte-dribbled reads} *)
+
+(* A session-route request fed to the server one byte at a time: the
+   request parser must assemble frames across however many partial
+   reads the transport produces (and retry reads interrupted by
+   signals — a SIGALRM ticker runs while the bytes dribble). *)
+let test_dribbled_request () =
+  with_server ~config:ephemeral (fun server ->
+      let port = Server.port server in
+      let created = post ~port "/session/create" {|{"circuit": "divider"}|} in
+      check_int "create status" 200 created.Http.status;
+      let sid =
+        match
+          Option.bind (Json.mem "session" (body_json created)) Json.str_opt
+        with
+        | Some id -> id
+        | None -> Alcotest.fail "no session id"
+      in
+      let body = {|{"node": "mid", "value": 0.02, "spread": 0.05}|} in
+      let raw =
+        Printf.sprintf
+          "POST /session/%s/measure HTTP/1.1\r\nHost: t\r\nContent-Length: \
+           %d\r\nConnection: close\r\n\r\n%s"
+          sid (String.length body) body
+      in
+      let old_alarm =
+        Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ()))
+      in
+      let old_timer =
+        Unix.setitimer Unix.ITIMER_REAL
+          { Unix.it_interval = 0.002; it_value = 0.002 }
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          ignore (Unix.setitimer Unix.ITIMER_REAL old_timer);
+          Sys.set_signal Sys.sigalrm old_alarm)
+      @@ fun () ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          String.iteri
+            (fun i c ->
+              let rec put () =
+                match Unix.write_substring fd (String.make 1 c) 0 1 with
+                | 1 -> ()
+                | _ -> Alcotest.fail "partial single-byte write"
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> put ()
+              in
+              put ();
+              (* pause at frame-ish boundaries so the server really sees
+                 the request arrive in many reads, not one burst *)
+              if i mod 16 = 0 then Unix.sleepf 0.001)
+            raw;
+          match Http.read_response (Http.conn fd) with
+          | Ok r ->
+            check_int "dribbled request answered" 200 r.Http.status;
+            check_bool "measurement entered" true
+              (Json.mem "id" (body_json r) <> None)
+          | Error _ -> Alcotest.fail "no parsable response to dribbled bytes"))
+
+(* {1 Journaled restart (graceful drain)} *)
+
+let test_e2e_journal_restart () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "flames-serve-journal-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | exception Unix.Unix_error _ -> ()
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter
+        (fun name -> rm_rf (Filename.concat path name))
+        (try Sys.readdir path with Sys_error _ -> [||]);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let config = { ephemeral with Server.journal_dir = Some dir } in
+  let stable (r : Http.response) =
+    match body_json r with
+    | Json.Obj fields ->
+      Json.to_string
+        (Json.Obj (List.filter (fun (k, _) -> k <> "elapsed_ms") fields))
+    | j -> Json.to_string j
+  in
+  let sid = ref "" in
+  let before = ref "" in
+  with_server ~config (fun server ->
+      let port = Server.port server in
+      let created = post ~port "/session/create" {|{"circuit": "divider"}|} in
+      check_int "create status" 200 created.Http.status;
+      (sid :=
+         match
+           Option.bind (Json.mem "session" (body_json created)) Json.str_opt
+         with
+         | Some id -> id
+         | None -> Alcotest.fail "no session id");
+      let step verb body =
+        post ~port (Printf.sprintf "/session/%s/%s" !sid verb) body
+      in
+      check_int "measure mid" 200
+        (step "measure" {|{"node": "mid", "value": 0.02, "spread": 0.05}|})
+          .Http.status;
+      check_int "measure in" 200
+        (step "measure" {|{"node": "in", "value": 10.0, "spread": 0.1}|})
+          .Http.status;
+      before := stable (step "diagnoses" "{}"));
+  (* stop snapshotted the drain; a second server on the same directory
+     resumes the same session id with the identical diagnosis *)
+  with_server ~config (fun server ->
+      let port = Server.port server in
+      let after =
+        stable (post ~port (Printf.sprintf "/session/%s/diagnoses" !sid) "{}")
+      in
+      check_string "diagnosis survives the restart" !before after;
+      (* recovered ids are reserved: a fresh session gets a new one *)
+      let fresh = post ~port "/session/create" {|{"circuit": "divider"}|} in
+      check_int "fresh create after recovery" 200 fresh.Http.status;
+      (match
+         Option.bind (Json.mem "session" (body_json fresh)) Json.str_opt
+       with
+      | Some id -> check_bool "fresh id differs" true (id <> !sid)
+      | None -> Alcotest.fail "no fresh session id");
+      (* the journal directory was compacted to snapshots on restart *)
+      let metrics = request ~port "/metrics" in
+      check_bool "restore counted" true
+        (contains metrics.Http.resp_body
+           "flames_serve_sessions_restored_total 1");
+      check_bool "ready gauge up" true
+        (contains metrics.Http.resp_body "flames_serve_ready 1"))
+
 (* {1 Request-scoped observability over loopback} *)
 
 module Events = Flames_obs.Events
 module Recorder = Flames_obs.Recorder
-module Router = Flames_serve.Router
 
 (* Probe both `dune runtest` and `dune exec` working directories, like
    test_cli.ml. *)
@@ -713,6 +929,13 @@ let () =
           Alcotest.test_case "session TTL (fake clock)" `Quick
             test_sessions_ttl;
           Alcotest.test_case "session cap and sweep" `Quick test_sessions_cap;
+          Alcotest.test_case "sweep on lookup (fake clock)" `Quick
+            test_sessions_sweep_on_lookup;
+        ] );
+      ( "readiness",
+        [
+          Alcotest.test_case "503 while recovering" `Quick
+            test_router_recovering;
         ] );
       ( "e2e",
         [
@@ -727,6 +950,10 @@ let () =
             test_e2e_session_cap;
           Alcotest.test_case "session input errors" `Quick
             test_e2e_session_errors;
+          Alcotest.test_case "byte-dribbled session request" `Quick
+            test_dribbled_request;
+          Alcotest.test_case "journaled restart" `Quick
+            test_e2e_journal_restart;
           Alcotest.test_case "graceful drain" `Quick test_e2e_drain;
         ] );
       ( "observability",

@@ -1,0 +1,664 @@
+(* The session write-ahead journal (lib/store): CRC framing, the record
+   codec, append/rotate/recover, seeded crash injection, and a real
+   kill -9 end-to-end through the served CLI binary. *)
+
+module Frame = Flames_store.Frame
+module Record = Flames_store.Record
+module Journal = Flames_store.Journal
+module Session = Flames_session.Session
+module Script = Flames_session.Script
+module I = Flames_fuzzy.Interval
+module Q = Flames_circuit.Quantity
+module Library = Flames_circuit.Library
+module Diagnose = Flames_core.Diagnose
+module Chaos = Flames_check.Chaos
+module Oracle = Flames_check.Oracle
+module Http = Flames_serve.Http
+module Json = Flames_serve.Json
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter
+      (fun name -> rm_rf (Filename.concat path name))
+      (try Sys.readdir path with Sys_error _ -> [||]);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "flames-store-test-%d-%d" (Unix.getpid ()) !counter)
+    in
+    rm_rf dir;
+    dir
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let spit path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let segment1 dir = Filename.concat dir "segment-00000001.wal"
+
+(* {1 Framing} *)
+
+let walk_payloads content =
+  let rec go pos acc =
+    match Frame.read content ~pos with
+    | Frame.Frame { payload; next } -> go next (payload :: acc)
+    | Frame.End -> List.rev acc
+    | Frame.Torn -> Alcotest.fail "unexpected torn frame"
+    | Frame.Corrupt -> Alcotest.fail "unexpected corrupt frame"
+  in
+  go (String.length Frame.header) []
+
+let test_frame_roundtrip () =
+  let payloads = [ ""; "x"; "measure s1 1 v:mid"; String.make 9001 'z' ] in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf Frame.header;
+  List.iter (Frame.add_frame buf) payloads;
+  let content = Buffer.contents buf in
+  check_bool "payloads roundtrip" true (walk_payloads content = payloads);
+  let via_frame =
+    String.concat "" (Frame.header :: List.map Frame.frame payloads)
+  in
+  check_string "frame and add_frame agree" content via_frame;
+  (* the standard CRC-32 check value pins the polynomial and reflection *)
+  check_bool "crc32 check value" true (Frame.crc32 "123456789" = 0xCBF43926);
+  check_int "crc32 of empty" 0 (Frame.crc32 "")
+
+let test_frame_damage () =
+  let content = Frame.header ^ Frame.frame "hello world" in
+  let hlen = String.length Frame.header in
+  (* every possible truncation inside the frame is Torn, never a parse *)
+  for cut = hlen + 1 to String.length content - 1 do
+    match Frame.read (String.sub content 0 cut) ~pos:hlen with
+    | Frame.Torn -> ()
+    | Frame.Frame _ | Frame.End | Frame.Corrupt ->
+      Alcotest.failf "cut at %d not reported torn" cut
+  done;
+  (* a flipped payload or checksum byte is Corrupt *)
+  for off = hlen + 4 to String.length content - 1 do
+    let b = Bytes.of_string content in
+    Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x10));
+    match Frame.read (Bytes.to_string b) ~pos:hlen with
+    | Frame.Corrupt -> ()
+    | Frame.Frame _ | Frame.End | Frame.Torn ->
+      Alcotest.failf "flip at %d not reported corrupt" off
+  done;
+  (* an implausible length field is Corrupt, not a gigantic torn read *)
+  let b = Bytes.of_string content in
+  Bytes.set b (hlen + 3) '\xff';
+  (match Frame.read (Bytes.to_string b) ~pos:hlen with
+  | Frame.Corrupt -> ()
+  | _ -> Alcotest.fail "oversized length not reported corrupt");
+  check_bool "clean end" true (Frame.read content ~pos:(String.length content) = Frame.End)
+
+(* {1 Record codec} *)
+
+let roundtrip r =
+  match Record.decode (Record.encode r) with
+  | Ok r' -> r'
+  | Error m -> Alcotest.failf "decode failed: %s (%s)" m (Record.encode r)
+
+let check_roundtrip name r = check_bool name true (roundtrip r = r)
+
+let gnarly =
+  I.make ~m1:(-0.30000000000000004) ~m2:0.1 ~alpha:1.0e-30 ~beta:3.75
+
+let test_record_roundtrip () =
+  check_roundtrip "create builtin"
+    (Record.Create { sid = "s1"; source = Record.Builtin "divider"; trusted = [] });
+  check_roundtrip "create inline with structure"
+    (Record.Create
+       {
+         sid = "s 2%:";
+         source = Record.Inline ".circuit t\n.ground gnd\nR r1 a b 10k\n";
+         trusted = [ "r1"; "odd name%" ];
+       });
+  check_roundtrip "create empty inline"
+    (Record.Create { sid = ""; source = Record.Inline ""; trusted = [ "" ] });
+  check_roundtrip "measure hex-exact"
+    (Record.Measure
+       { sid = "s1"; mid = 3; quantity = Q.voltage "mid node"; interval = gnarly });
+  check_roundtrip "measure terminal current"
+    (Record.Measure
+       {
+         sid = "s1";
+         mid = 12;
+         quantity = Q.terminal_current "q1" "base";
+         interval = I.crisp 0.7;
+       });
+  check_roundtrip "retract" (Record.Retract { sid = "s1"; mid = 7 });
+  check_roundtrip "refine"
+    (Record.Refine { sid = "s1"; mid = 7; interval = I.number 2.5 ~spread:0.05 });
+  check_roundtrip "close" (Record.Close { sid = "s1" });
+  check_roundtrip "snapshot"
+    (Record.Snapshot
+       {
+         sid = "s9";
+         source = Record.Builtin "divider";
+         trusted = [ "vs" ];
+         next_id = 14;
+         steps = 21;
+         measurements =
+           [
+             (2, Q.voltage "mid", gnarly);
+             (13, Q.parameter "r2" "R", I.number 10000. ~spread:500.);
+           ];
+       });
+  check_roundtrip "empty snapshot"
+    (Record.Snapshot
+       {
+         sid = "s9";
+         source = Record.Inline "";
+         trusted = [];
+         next_id = 1;
+         steps = 0;
+         measurements = [];
+       })
+
+let test_record_bit_exactness () =
+  (* the decoded floats are the written floats, bit for bit *)
+  let v = I.make ~m1:0.1 ~m2:(0.1 +. Float.epsilon) ~alpha:1e-308 ~beta:0. in
+  match roundtrip (Record.Refine { sid = "s"; mid = 1; interval = v }) with
+  | Record.Refine { interval; _ } ->
+    check_bool "m1 bits" true
+      (Int64.equal (Int64.bits_of_float interval.I.m1) (Int64.bits_of_float v.I.m1));
+    check_bool "m2 bits" true
+      (Int64.equal (Int64.bits_of_float interval.I.m2) (Int64.bits_of_float v.I.m2));
+    check_bool "alpha bits" true
+      (Int64.equal
+         (Int64.bits_of_float interval.I.alpha)
+         (Int64.bits_of_float v.I.alpha))
+  | _ -> Alcotest.fail "refine did not round-trip to refine"
+
+let test_record_decode_errors () =
+  let bad s =
+    match Record.decode s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "decoded %S" s
+  in
+  bad "";
+  bad "frobnicate s1";
+  bad "measure s1";
+  bad "measure s1 notanint v:mid 0x1p0 0x1p0 0x0p0 0x0p0";
+  bad "measure s1 1 w:mid 0x1p0 0x1p0 0x0p0 0x0p0";
+  bad "measure s1 1 v:mid 0x1p0 0x1p0 0x0p0 nan";
+  bad "measure s1 1 v:mid 0x2p0 0x1p0 0x0p0 0x0p0" (* m1 > m2 *);
+  bad "retract s1 1 extra";
+  bad "create s1 b:divider 2 only_one";
+  bad "create s1 b:divider -1";
+  bad "create s1 q:divider 0";
+  bad "create s1 b:div%zzider 0" (* malformed escape *);
+  bad "snapshot s1 b:divider 0 1 0 9999999"
+
+(* {1 Journal append / recover} *)
+
+let meas_triples session =
+  List.map
+    (fun (m : Session.measurement) ->
+      (m.Session.id, m.Session.quantity, m.Session.interval))
+    (Session.measurements session)
+
+let mid_v = I.number 0.02 ~spread:0.05
+let in_v = I.number 10.0 ~spread:0.1
+
+let write_basic_journal dir =
+  let j = Journal.open_ ~fsync:Journal.Always dir in
+  Journal.append j
+    (Record.Create { sid = "s1"; source = Record.Builtin "divider"; trusted = [] });
+  Journal.append j
+    (Record.Measure
+       { sid = "s1"; mid = 1; quantity = Q.voltage "mid"; interval = mid_v });
+  Journal.append j
+    (Record.Measure
+       { sid = "s1"; mid = 2; quantity = Q.voltage "in"; interval = in_v });
+  j
+
+let test_journal_roundtrip () =
+  with_dir @@ fun dir ->
+  let j = write_basic_journal dir in
+  Journal.append j (Record.Retract { sid = "s1"; mid = 1 });
+  Journal.append j
+    (Record.Refine { sid = "s1"; mid = 2; interval = I.number 9.9 ~spread:0.1 });
+  Journal.close j;
+  (match Journal.append j (Record.Close { sid = "s1" }) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "append after close must raise");
+  let r = Journal.recover dir in
+  check_int "records" 5 r.Journal.records;
+  check_int "segments" 1 r.Journal.segments;
+  check_bool "no torn tail" false r.Journal.torn_tail;
+  check_int "no corruption" 0 r.Journal.corrupt_frames;
+  check_int "nothing dropped" 0 (r.Journal.dropped_records + r.Journal.dropped_sessions);
+  match r.Journal.entries with
+  | [ e ] ->
+    check_string "sid" "s1" e.Journal.sid;
+    check_bool "source" true (e.Journal.source = Record.Builtin "divider");
+    (match meas_triples e.Journal.session with
+    | [ (2, q, v) ] ->
+      check_bool "quantity" true (Q.equal q (Q.voltage "in"));
+      check_bool "refined interval" true (v = I.number 9.9 ~spread:0.1)
+    | ms -> Alcotest.failf "expected one surviving measurement, got %d" (List.length ms));
+    check_int "next id continues past the retracted one" 3
+      (Session.next_id e.Journal.session)
+  | es -> Alcotest.failf "expected one session, got %d" (List.length es)
+
+let test_journal_close_record () =
+  with_dir @@ fun dir ->
+  let j = write_basic_journal dir in
+  Journal.append j (Record.Close { sid = "s1" });
+  Journal.close j;
+  let r = Journal.recover dir in
+  check_int "all records applied" 4 r.Journal.records;
+  check_int "closed session not restored" 0 (List.length r.Journal.entries)
+
+let test_journal_torn_tail () =
+  with_dir @@ fun dir ->
+  Journal.close (write_basic_journal dir);
+  (* a crash mid-write: half a frame appended to the newest segment *)
+  let tail =
+    Frame.frame (Record.encode (Record.Retract { sid = "s1"; mid = 2 }))
+  in
+  let partial = String.sub tail 0 (String.length tail - 3) in
+  let oc =
+    open_out_gen [ Open_append; Open_binary ] 0o644 (segment1 dir)
+  in
+  output_string oc partial;
+  close_out oc;
+  let r = Journal.recover dir in
+  check_bool "torn tail seen" true r.Journal.torn_tail;
+  check_int "everything before the tear recovered" 3 r.Journal.records;
+  check_int "skipped the partial frame" (String.length partial)
+    r.Journal.skipped_bytes;
+  check_int "no corrupt frames" 0 r.Journal.corrupt_frames;
+  match r.Journal.entries with
+  | [ e ] ->
+    check_int "both measurements live" 2
+      (List.length (Session.measurements e.Journal.session))
+  | es -> Alcotest.failf "expected one session, got %d" (List.length es)
+
+let test_journal_corrupt_frame () =
+  with_dir @@ fun dir ->
+  Journal.close (write_basic_journal dir);
+  let content = slurp (segment1 dir) in
+  (* flip one byte in the second record's frame: the Create before it
+     must survive, the damage and everything after is skipped *)
+  let create_len =
+    String.length
+      (Frame.frame
+         (Record.encode
+            (Record.Create
+               { sid = "s1"; source = Record.Builtin "divider"; trusted = [] })))
+  in
+  let off = String.length Frame.header + create_len + 6 in
+  let b = Bytes.of_string content in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x20));
+  spit (segment1 dir) (Bytes.to_string b);
+  let r = Journal.recover dir in
+  check_int "one corrupt frame" 1 r.Journal.corrupt_frames;
+  check_bool "not a torn tail" false r.Journal.torn_tail;
+  check_int "prefix recovered" 1 r.Journal.records;
+  match r.Journal.entries with
+  | [ e ] ->
+    check_int "session restored empty" 0
+      (List.length (Session.measurements e.Journal.session))
+  | es -> Alcotest.failf "expected one session, got %d" (List.length es)
+
+let test_journal_rotation () =
+  with_dir @@ fun dir ->
+  let j = Journal.open_ ~fsync:Journal.Never ~segment_bytes:256 dir in
+  Journal.append j
+    (Record.Create { sid = "s1"; source = Record.Builtin "divider"; trusted = [] });
+  for i = 1 to 8 do
+    Journal.append j
+      (Record.Measure
+         { sid = "s1"; mid = i; quantity = Q.voltage "mid"; interval = mid_v })
+  done;
+  check_bool "due for rotation" true (Journal.due_for_rotation j);
+  let snapshot =
+    [
+      Record.Snapshot
+        {
+          sid = "s1";
+          source = Record.Builtin "divider";
+          trusted = [];
+          next_id = 9;
+          steps = 8;
+          measurements = [ (1, Q.voltage "mid", mid_v); (8, Q.voltage "in", in_v) ];
+        };
+    ]
+  in
+  Journal.rotate j ~snapshot;
+  Journal.close j;
+  let segments =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun n -> Filename.check_suffix n ".wal")
+  in
+  check_int "old segments deleted" 1 (List.length segments);
+  let r = Journal.recover dir in
+  check_int "snapshot is the only record" 1 r.Journal.records;
+  match r.Journal.entries with
+  | [ e ] ->
+    let s = e.Journal.session in
+    check_int "snapshot measurements" 2 (List.length (Session.measurements s));
+    check_int "next_id from snapshot" 9 (Session.next_id s);
+    check_int "steps from snapshot" 8 (Session.steps s);
+    check_bool "ids preserved verbatim" true
+      (List.map (fun (m : Session.measurement) -> m.Session.id)
+         (Session.measurements s)
+      = [ 1; 8 ])
+  | es -> Alcotest.failf "expected one session, got %d" (List.length es)
+
+let test_journal_missing_dir () =
+  let r = Journal.recover (Filename.concat (fresh_dir ()) "nowhere") in
+  check_int "no segments" 0 r.Journal.segments;
+  check_int "no records" 0 r.Journal.records;
+  check_int "no sessions" 0 (List.length r.Journal.entries)
+
+let test_journal_open_never_reuses_segments () =
+  with_dir @@ fun dir ->
+  Journal.close (write_basic_journal dir);
+  (* a second incarnation appends to a fresh segment, never the old one *)
+  let j2 = Journal.open_ ~fsync:Journal.Never dir in
+  Journal.append j2 (Record.Retract { sid = "s1"; mid = 1 });
+  Journal.close j2;
+  let segments = List.sort compare (Array.to_list (Sys.readdir dir)) in
+  check_bool "two segments on disk" true
+    (segments = [ "segment-00000001.wal"; "segment-00000002.wal" ]);
+  let r = Journal.recover dir in
+  check_int "records across segments" 4 r.Journal.records;
+  match r.Journal.entries with
+  | [ e ] ->
+    check_int "retract from the second segment applied" 1
+      (List.length (Session.measurements e.Journal.session))
+  | es -> Alcotest.failf "expected one session, got %d" (List.length es)
+
+(* {1 Session.restore validation} *)
+
+let test_restore_validation () =
+  let divider () = Library.voltage_divider () in
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s must raise Invalid_argument" name
+  in
+  expect_invalid "duplicate ids" (fun () ->
+      Session.restore
+        ~measurements:[ (1, Q.voltage "mid", mid_v); (1, Q.voltage "in", in_v) ]
+        ~next_id:2 ~steps:2 (divider ()));
+  expect_invalid "non-positive id" (fun () ->
+      Session.restore
+        ~measurements:[ (0, Q.voltage "mid", mid_v) ]
+        ~next_id:1 ~steps:1 (divider ()));
+  expect_invalid "next_id not past ids" (fun () ->
+      Session.restore
+        ~measurements:[ (3, Q.voltage "mid", mid_v) ]
+        ~next_id:3 ~steps:1 (divider ()));
+  expect_invalid "steps below survivors" (fun () ->
+      Session.restore
+        ~measurements:[ (1, Q.voltage "mid", mid_v) ]
+        ~next_id:2 ~steps:0 (divider ()));
+  (* a valid restore is bit-identical to the session it mirrors *)
+  let live = Session.create (divider ()) in
+  ignore (Session.add_measurement live (Q.voltage "mid") mid_v);
+  ignore (Session.add_measurement live (Q.voltage "in") in_v);
+  ignore (Session.retract live ~id:1);
+  let restored =
+    Session.restore ~measurements:(meas_triples live)
+      ~next_id:(Session.next_id live) ~steps:(Session.steps live) (divider ())
+  in
+  check_bool "restored measurements" true
+    (meas_triples restored = meas_triples live);
+  check_int "restored next_id" (Session.next_id live) (Session.next_id restored);
+  check_bool "restored diagnosis identical" true
+    (String.equal
+       (Oracle.result_fingerprint (Session.diagnoses restored))
+       (Oracle.result_fingerprint (Session.diagnoses live)));
+  check_int "restored add continues the id sequence" (Session.next_id live)
+    (Session.add_measurement restored (Q.voltage "mid") mid_v).Session.id
+
+(* {1 Script replay commands} *)
+
+let test_script_observe_parse () =
+  (match Script.parse_line "observe mid 0x1.3p1 0x1.4p1 0x1p-4 0x1p-4" with
+  | Ok (Some (Script.Observe (q, v))) ->
+    check_bool "quantity" true (Q.equal q (Q.voltage "mid"));
+    check_bool "hex floats parsed" true
+      (v = I.make ~m1:0x1.3p1 ~m2:0x1.4p1 ~alpha:0x1p-4 ~beta:0x1p-4)
+  | Ok _ -> Alcotest.fail "observe line not parsed as Observe"
+  | Error m -> Alcotest.failf "observe line rejected: %s" m);
+  (match Script.parse_line "refine-interval 2 1.0 2.0 0.5 0.5" with
+  | Ok (Some (Script.Refine_interval (2, v))) ->
+    check_bool "interval" true (v = I.make ~m1:1.0 ~m2:2.0 ~alpha:0.5 ~beta:0.5)
+  | Ok _ -> Alcotest.fail "refine-interval line not parsed"
+  | Error m -> Alcotest.failf "refine-interval rejected: %s" m);
+  (match Script.parse_line "observe mid 2.0 1.0 0 0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "inverted core must be rejected");
+  match Script.parse_line "observe mid 1.0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing fields must be rejected"
+
+let test_script_replay () =
+  let session = Session.create (Library.voltage_divider ()) in
+  (match
+     Script.replay ~session
+       [
+         Script.Observe (Q.voltage "mid", mid_v);
+         Script.Observe (Q.voltage "in", in_v);
+         Script.Refine_interval (1, I.number 0.03 ~spread:0.04);
+         Script.Retract 2;
+       ]
+   with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "replay failed: %s" m);
+  (match meas_triples session with
+  | [ (1, _, v) ] -> check_bool "refined" true (v = I.number 0.03 ~spread:0.04)
+  | ms -> Alcotest.failf "expected one measurement, got %d" (List.length ms));
+  match Script.replay ~session [ Script.Retract 99 ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "retract of unknown id must fail the replay"
+
+(* {1 Seeded crash injection: the 300-case acceptance loop} *)
+
+let test_crash_cases () =
+  let failures = ref [] in
+  for seed = 0 to 299 do
+    match Chaos.check_crash seed with
+    | Ok () -> ()
+    | Error m -> failures := (seed, m) :: !failures
+  done;
+  match !failures with
+  | [] -> ()
+  | (seed, m) :: _ as all ->
+    Alcotest.failf "%d/300 crash cases diverged; first: seed %d: %s"
+      (List.length all) seed m
+
+(* {1 kill -9 end to end through the CLI} *)
+
+let cli =
+  let candidates =
+    [
+      Filename.concat ".." (Filename.concat "bin" "flames_cli.exe");
+      "_build/default/bin/flames_cli.exe";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> failwith "flames_cli.exe not found (build bin/ first)"
+
+type served = { pid : int; port : int; out : in_channel }
+
+let start_served dir =
+  let r, w = Unix.pipe ~cloexec:false () in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Unix.create_process cli
+      [|
+        cli; "serve"; "--port"; "0"; "--workers"; "1"; "--journal"; dir;
+        "--fsync"; "always";
+      |]
+      devnull w Unix.stderr
+  in
+  Unix.close w;
+  Unix.close devnull;
+  let out = Unix.in_channel_of_descr r in
+  (* "flames_serve <v> listening on 127.0.0.1:<port> (1 workers)" — and
+     printed only after recovery, so the service is ready once we see it *)
+  let line =
+    try input_line out
+    with End_of_file ->
+      ignore (Unix.waitpid [] pid);
+      Alcotest.fail "served process exited before announcing its port"
+  in
+  let port =
+    try Scanf.sscanf (String.trim line) "flames_serve %s listening on %s@:%d (%_d workers)"
+          (fun _ _ p -> p)
+    with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      Alcotest.failf "cannot parse port from %S" line
+  in
+  { pid; port; out }
+
+let request ~port ?(meth = "POST") ?(body = "{}") path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Http.write_request fd ~headers:[] ~meth ~path body;
+      match Http.read_response (Http.conn fd) with
+      | Ok r -> r
+      | Error _ -> Alcotest.fail "no parsable response")
+
+(* diagnosis JSON minus the timing field, for cross-restart comparison *)
+let stable_body (r : Http.response) =
+  match Json.parse_result r.Http.resp_body with
+  | Error m -> Alcotest.failf "body is not JSON (%s): %s" m r.Http.resp_body
+  | Ok (Json.Obj fields) ->
+    Json.to_string
+      (Json.Obj (List.filter (fun (k, _) -> k <> "elapsed_ms") fields))
+  | Ok j -> Json.to_string j
+
+let test_kill9_e2e () =
+  with_dir @@ fun dir ->
+  let s1 = start_served dir in
+  let killed = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      if not !killed then (try Unix.kill s1.pid Sys.sigkill with Unix.Unix_error _ -> ());
+      close_in_noerr s1.out)
+  @@ fun () ->
+  let created =
+    request ~port:s1.port "/session/create" ~body:{|{"circuit": "divider"}|}
+  in
+  check_int "create status" 200 created.Http.status;
+  let sid =
+    match Option.bind (Json.mem "session" (Json.parse created.Http.resp_body)) Json.str_opt with
+    | Some id -> id
+    | None -> Alcotest.fail "no session id"
+  in
+  let step port verb body =
+    request ~port (Printf.sprintf "/session/%s/%s" sid verb) ~body
+  in
+  check_int "measure mid" 200
+    (step s1.port "measure" {|{"node": "mid", "value": 0.02, "spread": 0.05}|}).Http.status;
+  check_int "measure in" 200
+    (step s1.port "measure" {|{"node": "in", "value": 10.0, "spread": 0.1}|}).Http.status;
+  let before = stable_body (step s1.port "diagnoses" "{}") in
+  check_bool "symptomatic before the crash" true (contains before "\"healthy\": false" || contains before "\"healthy\":false");
+  (* the crash: no drain, no snapshot, the acked appends must carry it *)
+  Unix.kill s1.pid Sys.sigkill;
+  killed := true;
+  ignore (Unix.waitpid [] s1.pid);
+  close_in_noerr s1.out;
+  let s2 = start_served dir in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill s2.pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] s2.pid);
+      close_in_noerr s2.out)
+  @@ fun () ->
+  let ready = request ~port:s2.port ~meth:"GET" ~body:"" "/readyz" in
+  check_int "ready after recovery" 200 ready.Http.status;
+  let after = stable_body (step s2.port "diagnoses" "{}") in
+  check_string "diagnosis survives kill -9 bit-for-bit" before after;
+  (* the restarted server keeps journaling: a further step works *)
+  check_int "retract after restart" 200
+    (step s2.port "retract" {|{"id": 1}|}).Http.status;
+  let metrics = request ~port:s2.port ~meth:"GET" ~body:"" "/metrics" in
+  check_bool "recovery counted" true
+    (contains metrics.Http.resp_body "flames_store_recovered_records_total");
+  check_bool "restore counted" true
+    (contains metrics.Http.resp_body "flames_serve_sessions_restored_total 1");
+  check_bool "ready gauge up" true
+    (contains metrics.Http.resp_body "flames_serve_ready 1")
+
+let () =
+  Alcotest.run "flames_store"
+    [
+      ( "frame",
+        [
+          Alcotest.test_case "roundtrip and crc" `Quick test_frame_roundtrip;
+          Alcotest.test_case "torn and corrupt detection" `Quick
+            test_frame_damage;
+        ] );
+      ( "record",
+        [
+          Alcotest.test_case "codec roundtrip" `Quick test_record_roundtrip;
+          Alcotest.test_case "floats are bit-exact" `Quick
+            test_record_bit_exactness;
+          Alcotest.test_case "decode errors" `Quick test_record_decode_errors;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "append then recover" `Quick test_journal_roundtrip;
+          Alcotest.test_case "close record drops the session" `Quick
+            test_journal_close_record;
+          Alcotest.test_case "torn tail" `Quick test_journal_torn_tail;
+          Alcotest.test_case "corrupt frame" `Quick test_journal_corrupt_frame;
+          Alcotest.test_case "rotation compacts" `Quick test_journal_rotation;
+          Alcotest.test_case "missing directory" `Quick test_journal_missing_dir;
+          Alcotest.test_case "restart opens a fresh segment" `Quick
+            test_journal_open_never_reuses_segments;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "restore validation and equivalence" `Quick
+            test_restore_validation;
+          Alcotest.test_case "observe/refine-interval parse" `Quick
+            test_script_observe_parse;
+          Alcotest.test_case "replay" `Quick test_script_replay;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "300 seeded kill-mid-write cases" `Quick
+            test_crash_cases;
+          Alcotest.test_case "kill -9 through the CLI" `Quick test_kill9_e2e;
+        ] );
+    ]
