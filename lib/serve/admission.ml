@@ -107,6 +107,8 @@ module Sessions = struct
     now : unit -> float;
     cap : int;
     ttl : float;
+    sweep_every : float;  (** min spacing of full sweeps from lookups *)
+    mutable last_sweep : float;
     mutable next_id : int;
     table : (string, 'a entry) Hashtbl.t;
   }
@@ -121,6 +123,8 @@ module Sessions = struct
       now;
       cap;
       ttl;
+      sweep_every = Float.min 1.0 (ttl /. 8.);
+      last_sweep = now ();
       next_id = 1;
       table = Hashtbl.create 16;
     }
@@ -137,6 +141,7 @@ module Sessions = struct
 
   let sweep_locked t =
     let now = t.now () in
+    t.last_sweep <- now;
     let dead =
       Hashtbl.fold
         (fun id e acc -> if e.deadline <= now then id :: acc else acc)
@@ -175,17 +180,27 @@ module Sessions = struct
 
   (* Expiry is checked lazily on access, so a TTL test with an injected
      clock needs no background thread; a hit refreshes the deadline
-     (idle sessions expire, active ones live on).  Every lookup runs a
-     full sweep — not just a check of the touched entry — so an
-     expired-but-unswept sibling can never linger past the next access,
-     and the expired counter stays honest without a janitor thread. *)
+     (idle sessions expire, active ones live on).  The *touched* entry's
+     deadline is checked on every lookup — an expired-but-unswept
+     session can never resurrect on touch — while the full-table sweep
+     (which keeps the expired counter honest about idle siblings) runs
+     at most once per [sweep_every], so a lookup is O(1) amortised
+     rather than O(live sessions) under the registry lock on every
+     request. *)
   let find_entry t id =
     locked t @@ fun () ->
-    ignore (sweep_locked t);
+    let now = t.now () in
+    if now -. t.last_sweep >= t.sweep_every then ignore (sweep_locked t);
     match Hashtbl.find_opt t.table id with
     | None -> None
+    | Some e when e.deadline <= now ->
+      Hashtbl.remove t.table id;
+      expired_event id;
+      Metrics.gauge_set Telemetry.open_sessions
+        (float_of_int (Hashtbl.length t.table));
+      None
     | Some e ->
-      e.deadline <- t.now () +. t.ttl;
+      e.deadline <- now +. t.ttl;
       Some e
 
   let with_session t id f =

@@ -72,10 +72,13 @@ module Sessions : sig
   val with_session : 'a t -> string -> ('a -> 'b) -> 'b option
   (** Run [f] on the named session under its per-session mutex,
       refreshing the TTL; [None] when the id is unknown or expired.
-      Every lookup first sweeps {e all} expired entries (not only the
-      one touched), so expiry is observable — and counted in
-      [flames_serve_sessions_expired_total] — no later than the next
-      access to the registry. *)
+      The touched entry's deadline is checked on {e every} lookup (an
+      expired session can never resurrect on access), and a full sweep
+      of idle siblings — counted in
+      [flames_serve_sessions_expired_total] — runs on lookups at most
+      once per short interval, so lookups stay O(1) amortised under the
+      registry lock while expiry is still observable no later than the
+      next sweep-due access (or {!put}/{!sweep}, which always sweep). *)
 
   val remove : 'a t -> string -> bool
 

@@ -450,10 +450,12 @@ let session_create deps (r : Http.request) =
   Ok (label, { session; source; trusted })
 
 (* Write-ahead discipline: the record is framed, written and (per the
-   fsync mode) synced before the 200 goes out, so an acknowledged step
-   survives kill -9.  A failed append must not let acknowledged state
-   diverge from the journal — the step is answered 500 and the counter
-   flags the journal as the thing that broke. *)
+   fsync mode) synced before the in-memory mutation is applied and the
+   200 goes out, so an acknowledged step survives kill -9 — and a
+   failed append answers 500 with the session state *untouched*, so
+   memory never runs ahead of what a restart would replay.  The journal
+   quarantines its own torn segment on failure; here the error is just
+   counted and surfaced. *)
 let journal deps record =
   match !(deps.store) with
   | None -> Ok ()
@@ -464,11 +466,6 @@ let journal deps record =
       Metrics.incr Flames_store.Telemetry.append_errors_total;
       Error
         (Printf.sprintf "journal append failed: %s" (Printexc.to_string e)))
-
-let journal_or_500 deps record reply =
-  match journal deps record with
-  | Ok () -> reply
-  | Error m -> json_error 500 m
 
 let session_step deps id f =
   (* the session id joins the step's wide event whether or not the
@@ -538,36 +535,53 @@ let session_routes deps (r : Http.request) segments =
     session_step deps id (fun live ->
         with_json (fun j ->
             let* q, v = measurement_of_json (Session.netlist live.session) j in
-            let m = Session.add_measurement live.session q v in
+            (* the id the add will assign is known up front, so the
+               record can be durable before the session mutates *)
+            let mid = Session.next_id live.session in
             Ok
-              (journal_or_500 deps
-                 (Record.Measure
-                    { sid = id; mid = m.Session.id; quantity = q; interval = v })
-                 (json_reply 200 (measurement_json m)))))
+              (match
+                 journal deps
+                   (Record.Measure { sid = id; mid; quantity = q; interval = v })
+               with
+              | Error m -> json_error 500 m
+              | Ok () ->
+                let m = Session.add_measurement live.session q v in
+                json_reply 200 (measurement_json m))))
   | [ id; "retract" ] ->
     session_step deps id (fun live ->
         with_json (fun j ->
             let* mid = int_field j "id" in
-            if Session.retract live.session ~id:mid then
+            match Session.find_measurement live.session ~id:mid with
+            | None -> Ok (json_error 404 (Printf.sprintf "no measurement %d" mid))
+            | Some _ ->
               Ok
-                (journal_or_500 deps
-                   (Record.Retract { sid = id; mid })
-                   (json_reply 200
-                      (Json.Obj [ ("retracted", Json.Num (float_of_int mid)) ])))
-            else Ok (json_error 404 (Printf.sprintf "no measurement %d" mid))))
+                (match journal deps (Record.Retract { sid = id; mid }) with
+                | Error m -> json_error 500 m
+                | Ok () ->
+                  ignore (Session.retract live.session ~id:mid);
+                  json_reply 200
+                    (Json.Obj [ ("retracted", Json.Num (float_of_int mid)) ]))))
   | [ id; "refine" ] ->
     session_step deps id (fun live ->
         with_json (fun j ->
             let* mid = int_field j "id" in
             let* v = interval_of_json j in
-            match Session.refine live.session ~id:mid v with
-            | Some m ->
+            match Session.find_measurement live.session ~id:mid with
+            | None -> Ok (json_error 404 (Printf.sprintf "no measurement %d" mid))
+            | Some _ ->
               Ok
-                (journal_or_500 deps
-                   (Record.Refine { sid = id; mid; interval = v })
-                   (json_reply 200 (measurement_json m)))
-            | None ->
-              Ok (json_error 404 (Printf.sprintf "no measurement %d" mid))))
+                (match
+                   journal deps (Record.Refine { sid = id; mid; interval = v })
+                 with
+                | Error m -> json_error 500 m
+                | Ok () -> (
+                  match Session.refine live.session ~id:mid v with
+                  | Some m -> json_reply 200 (measurement_json m)
+                  | None ->
+                    (* unreachable: the entry lock is held and the id
+                       was just found *)
+                    json_error 500
+                      (Printf.sprintf "measurement %d vanished mid-step" mid)))))
   | [ id; "diagnoses" ] ->
     session_step deps id (fun live ->
         let t0 = Unix.gettimeofday () in
@@ -583,11 +597,16 @@ let session_routes deps (r : Http.request) segments =
         | Some e -> json_reply 200 (evaluation_json e)
         | None -> json_reply 200 (Json.Obj [ ("test", Json.Null) ]))
   | [ id; "close" ] ->
-    Context.set_session id;
-    if Admission.Sessions.remove deps.sessions id then
-      journal_or_500 deps (Record.Close { sid = id })
-        (json_reply 200 (Json.Obj [ ("closed", Json.Str id) ]))
-    else json_error 404 (Printf.sprintf "no such session %S" id)
+    (* under the entry lock so the Close record is ordered against the
+       session's other journaled steps; journal-first, so a failed
+       append leaves the session registered — it must not be gone in
+       memory yet alive in the journal, resurrecting on restart *)
+    session_step deps id (fun _live ->
+        match journal deps (Record.Close { sid = id }) with
+        | Error m -> json_error 500 m
+        | Ok () ->
+          ignore (Admission.Sessions.remove deps.sessions id);
+          json_reply 200 (Json.Obj [ ("closed", Json.Str id) ]))
   | _ ->
     json_error 404
       "session routes: POST /session/create or \

@@ -73,10 +73,12 @@ type deps = {
   store : Flames_store.Journal.t option ref;
       (** the session write-ahead journal; every mutating [/session/*]
           route appends (and per the fsync mode syncs) {e before}
-          replying, so an acknowledged step survives [kill -9].  A
-          failed append answers 500 and, on create, rolls the session
-          back out of the registry — acknowledged state never diverges
-          from the journal.  [None] = persistence off. *)
+          applying the in-memory mutation and replying, so an
+          acknowledged step survives [kill -9] and a failed append
+          answers 500 with the session state untouched (create, whose
+          id is allocated by the registry, instead rolls the session
+          back out) — acknowledged state never diverges from the
+          journal in either direction.  [None] = persistence off. *)
   ready : unit -> bool;
       (** [false] while startup recovery replays the journal: [/readyz]
           answers 503 + [Retry-After] and mutating routes refuse with

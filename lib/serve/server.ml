@@ -141,40 +141,60 @@ let accept_loop server =
   in
   loop ()
 
-(* One snapshot record per live session, each built under that
-   session's own lock — the journal's rotation and drain payload. *)
-let snapshot_records sessions =
-  Admission.Sessions.map_sessions sessions (fun sid (live : Router.live) ->
-      let module S = Flames_session.Session in
-      let s = live.Router.session in
-      Record.Snapshot
-        {
-          sid;
-          source = live.Router.source;
-          trusted = live.Router.trusted;
-          next_id = S.next_id s;
-          steps = S.steps s;
-          measurements =
-            List.map
-              (fun (m : S.measurement) -> (m.S.id, m.S.quantity, m.S.interval))
-              (S.measurements s);
-        })
-  |> List.map snd
+let snapshot_record sid (live : Router.live) =
+  let module S = Flames_session.Session in
+  let s = live.Router.session in
+  Record.Snapshot
+    {
+      sid;
+      source = live.Router.source;
+      trusted = live.Router.trusted;
+      next_id = S.next_id s;
+      steps = S.steps s;
+      measurements =
+        List.map
+          (fun (m : S.measurement) -> (m.S.id, m.S.quantity, m.S.interval))
+          (S.measurements s);
+    }
+
+(* Compaction without a lost-update window: appends are first swapped
+   to a fresh segment, and only then is each session's snapshot record
+   captured *and appended* under that session's own entry lock.  Per
+   session the entry lock totally orders journaled mutations against
+   the snapshot record: a step journaled before the capture is inside
+   the snapshot (even if its record sits in a segment the commit
+   deletes), one journaled after it lands behind the snapshot record in
+   a surviving segment and replays on top.  Closed-mid-rotation
+   sessions are skipped by [map_sessions]; their stray [Close] record
+   either dies with the old segments or replays as a no-op drop. *)
+let rotate_sessions sessions journal =
+  let rot = Journal.begin_rotation journal in
+  let written =
+    Admission.Sessions.map_sessions sessions (fun sid live ->
+        Journal.append journal (snapshot_record sid live))
+  in
+  Metrics.incr
+    ~by:(List.length written)
+    Flames_store.Telemetry.snapshot_records_total;
+  Journal.commit_rotation journal rot
 
 (* Rotation runs on a dedicated maintenance thread, never inside a
    request's append: building the snapshot takes every session entry
    lock in turn, and a request thread already holds its own entry lock
    while appending — rotating there would invert the
-   [entry -> journal] lock order and deadlock. *)
+   [entry -> journal] lock order and deadlock.  The same tick flushes
+   the interval-fsync discipline's idle tail: append only syncs when a
+   later append sees the interval elapsed, so after a burst the last
+   unsynced bytes would otherwise wait for the next request. *)
 let maintenance_loop server journal =
   let rec loop () =
     if Atomic.get server.stop_flag then ()
     else begin
       (try
          if Journal.due_for_rotation journal then
-           Journal.rotate journal
-             ~snapshot:(snapshot_records server.deps.Router.sessions)
+           rotate_sessions server.deps.Router.sessions journal
        with _ -> ());
+      (try Journal.sync_if_due journal with _ -> ());
       Thread.delay 0.25;
       loop ()
     end
@@ -217,7 +237,7 @@ let recover_into server dir =
       ~segment_bytes:server.config.journal_segment_bytes dir
   in
   if recovered.Journal.segments > 0 then
-    Journal.rotate journal ~snapshot:(snapshot_records deps.Router.sessions);
+    rotate_sessions deps.Router.sessions journal;
   journal
 
 let start ?(config = default_config) () =
@@ -327,10 +347,8 @@ let stop t =
     (match !(t.deps.Router.store) with
     | None -> ()
     | Some journal ->
-      (try
-         Journal.rotate journal ~snapshot:(snapshot_records t.deps.Router.sessions);
-         Journal.close journal
-       with _ -> ());
+      (try rotate_sessions t.deps.Router.sessions journal with _ -> ());
+      (try Journal.close journal with _ -> ());
       t.deps.Router.store := None);
     Pool.shutdown t.pool
   end

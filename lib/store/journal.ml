@@ -14,6 +14,8 @@ type t = {
   mutable seg_index : int;
   mutable seg_size : int;
   mutable last_sync : float;
+  mutable dirty : bool;  (* bytes written since the last fsync *)
+  mutable broken : bool;  (* a failed write could not be quarantined *)
   mutable closed : bool;
 }
 
@@ -97,12 +99,15 @@ let open_ ?(fsync = Interval 0.05) ?(segment_bytes = 1 lsl 20) dir =
     seg_index = next;
     seg_size = String.length Frame.header;
     last_sync = Unix.gettimeofday ();
+    dirty = false;
+    broken = false;
     closed = false;
   }
 
 let do_sync t =
   Unix.fsync t.fd;
   t.last_sync <- Unix.gettimeofday ();
+  t.dirty <- false;
   Metrics.incr Telemetry.fsyncs_total
 
 let sync_per_policy t =
@@ -111,69 +116,137 @@ let sync_per_policy t =
   | Interval s -> if Unix.gettimeofday () -. t.last_sync >= s then do_sync t
   | Never -> ()
 
+(* Callers hold [t.mutex].  Start segment [next] and point appends at
+   it; the outgoing segment is synced first so nothing already acked
+   can be lost by the swap. *)
+let swap_segment_locked t next =
+  let fd = new_segment t.dir next in
+  (try
+     Unix.fsync fd;
+     fsync_dir t.dir
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     (try Sys.remove (segment_name t.dir next) with Sys_error _ -> ());
+     raise e);
+  (try do_sync t with Unix.Unix_error _ -> ());
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  t.fd <- fd;
+  t.seg_index <- next;
+  t.seg_size <- String.length Frame.header;
+  t.last_sync <- Unix.gettimeofday ();
+  t.dirty <- false
+
+(* A failed write may leave a torn frame mid-segment, and recovery
+   stops scanning a segment at the first tear — so nothing may ever be
+   appended after one.  Quarantine the damage by swapping to a fresh
+   segment (the torn one keeps its recoverable prefix); if even that
+   fails the journal poisons itself and every later append raises. *)
+let quarantine_locked t =
+  match swap_segment_locked t (t.seg_index + 1) with
+  | () -> ()
+  | exception _ -> t.broken <- true
+
+let check_usable_locked t op =
+  if t.closed then invalid_arg (Printf.sprintf "Journal.%s: closed journal" op);
+  if t.broken then
+    failwith
+      (Printf.sprintf
+         "Journal.%s: journal poisoned by an unrecoverable write failure" op)
+
 let append t record =
   Trace.with_span ~record:Telemetry.append_seconds "store.append" @@ fun () ->
   locked t @@ fun () ->
-  if t.closed then invalid_arg "Journal.append: closed journal";
+  check_usable_locked t "append";
   let framed = Frame.frame (Record.encode record) in
-  write_all t.fd framed;
+  let size_before = t.seg_size in
+  (match write_all t.fd framed with
+  | () -> ()
+  | exception e ->
+    quarantine_locked t;
+    raise e);
   t.seg_size <- t.seg_size + String.length framed;
-  sync_per_policy t;
+  t.dirty <- true;
+  (match sync_per_policy t with
+  | () -> ()
+  | exception e ->
+    (* the frame is fully written but its durability was refused: cut
+       it back off so recovery agrees with the 500 the caller answers *)
+    (try Unix.ftruncate t.fd size_before with Unix.Unix_error _ -> ());
+    quarantine_locked t;
+    raise e);
   Metrics.incr Telemetry.appends_total;
   Metrics.incr ~by:(String.length framed) Telemetry.append_bytes_total;
   Metrics.gauge_set Telemetry.journal_bytes (float_of_int t.seg_size)
 
 let sync t =
-  locked t @@ fun () -> if not t.closed then do_sync t
+  locked t @@ fun () -> if not (t.closed || t.broken) then do_sync t
+
+(* The periodic half of the [Interval] discipline: append only syncs
+   when a *later* append finds the interval elapsed, so a burst
+   followed by idleness would otherwise leave its tail unsynced
+   forever.  The maintenance thread calls this every tick. *)
+let sync_if_due t =
+  locked t @@ fun () ->
+  if (not t.closed) && (not t.broken) && t.dirty then
+    match t.fsync with
+    | Interval s -> if Unix.gettimeofday () -. t.last_sync >= s then do_sync t
+    | Always | Never -> ()
 
 let due_for_rotation t =
-  locked t @@ fun () -> (not t.closed) && t.seg_size >= t.segment_bytes
-
-(* The new segment is made fully durable (records, fsync, directory
-   entry) before any old segment is unlinked, so every crash point
-   leaves a journal that recovers to the same state: either the old
-   segments still exist (snapshot records in the new one overwrite
-   per-session state on replay) or only the new one does. *)
-let rotate t ~snapshot =
   locked t @@ fun () ->
-  if t.closed then invalid_arg "Journal.rotate: closed journal";
-  let next = t.seg_index + 1 in
-  let fd = new_segment t.dir next in
-  (try
-     let buf = Buffer.create 4096 in
-     List.iter (fun r -> Frame.add_frame buf (Record.encode r)) snapshot;
-     write_all fd (Buffer.contents buf);
-     Unix.fsync fd
-   with e ->
-     Unix.close fd;
-     (try Sys.remove (segment_name t.dir next) with Sys_error _ -> ());
-     raise e);
+  (not t.closed) && (not t.broken) && t.seg_size >= t.segment_bytes
+
+type rotation = { upto : int  (** delete segments through this index *) }
+
+(* Swap-first rotation: appends are redirected to the fresh segment
+   *before* any snapshot is captured, so a record acked concurrently
+   with the rotation can never land in a segment the commit deletes.
+   Old segments stay on disk until {!commit_rotation}. *)
+let begin_rotation t =
+  locked t @@ fun () ->
+  check_usable_locked t "begin_rotation";
+  let upto = t.seg_index in
+  swap_segment_locked t (t.seg_index + 1);
+  { upto }
+
+(* The snapshot records (and any appends interleaved with them) are
+   made fully durable — bytes, fsync, directory entry — before any old
+   segment is unlinked, so every crash point recovers to the same
+   state: either the old segments still exist (snapshot records then
+   overwrite per-session state on replay) or only the new ones do. *)
+let commit_rotation t rot =
+  locked t @@ fun () ->
+  check_usable_locked t "commit_rotation";
+  do_sync t;
   fsync_dir t.dir;
-  let old_fd = t.fd in
-  let old_index = t.seg_index in
-  t.fd <- fd;
-  t.seg_index <- next;
-  t.seg_size <-
-    String.length Frame.header
-    + List.fold_left (fun n r -> n + String.length (Record.encode r) + 8) 0 snapshot;
-  t.last_sync <- Unix.gettimeofday ();
-  Unix.close old_fd;
   List.iter
     (fun i ->
-      if i <= old_index then
+      if i <= rot.upto then
         try Sys.remove (segment_name t.dir i) with Sys_error _ -> ())
     (list_segments t.dir);
   fsync_dir t.dir;
   Metrics.incr Telemetry.rotations_total;
-  Metrics.incr ~by:(List.length snapshot) Telemetry.snapshot_records_total;
-  Metrics.gauge_set Telemetry.segments 1.;
+  Metrics.gauge_set Telemetry.segments
+    (float_of_int (List.length (list_segments t.dir)));
   Metrics.gauge_set Telemetry.journal_bytes (float_of_int t.seg_size)
+
+(* Quiescent-caller convenience (startup compaction, drain, tests):
+   with no concurrent appenders the swap/append/commit sequence is
+   exactly the atomic rotation it replaced.  Live rotation with
+   concurrent request threads must instead capture each snapshot under
+   its session's own lock between {!begin_rotation} and
+   {!commit_rotation} — see the server's maintenance loop. *)
+let rotate t ~snapshot =
+  let rot = begin_rotation t in
+  List.iter (fun r -> append t r) snapshot;
+  Metrics.incr ~by:(List.length snapshot) Telemetry.snapshot_records_total;
+  commit_rotation t rot
 
 let close t =
   locked t @@ fun () ->
   if not t.closed then begin
-    do_sync t;
-    Unix.close t.fd;
+    (try if not t.broken then do_sync t with Unix.Unix_error _ -> ());
+    (try Unix.close t.fd with Unix.Unix_error _ -> ());
     t.closed <- true
   end
 

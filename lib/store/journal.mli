@@ -10,10 +10,12 @@
 
     Thread-safety: every operation takes the journal's internal mutex.
     Callers that hold per-session locks (the server's request threads)
-    may append freely — the journal never takes session locks.  The
-    reverse order (collect a snapshot under session locks, then call
-    {!rotate}) is reserved for the server's maintenance thread, keeping
-    the lock order [session entry -> journal] global. *)
+    may append freely — the journal never takes session locks, so the
+    lock order [session entry -> journal] is global.  Rotation is
+    two-phase precisely so a live server can capture each snapshot
+    under its session's own lock {e after} {!begin_rotation} has
+    redirected appends: at most one rotation may be in flight at a time
+    (the server's single maintenance thread). *)
 
 type fsync =
   | Always  (** fsync after every append — an acked write survives kill -9 *)
@@ -41,22 +43,56 @@ val append : t -> Record.t -> unit
 (** Frame, write and (per the fsync discipline) sync one record.
     Runs inside a [store.append] span feeding
     [flames_store_append_seconds].
-    @raise Unix.Unix_error on write failure; the journal is unusable
-    for further appends after a raised write (the segment may hold a
-    torn frame — recovery handles it). *)
+    @raise Unix.Unix_error on write or sync failure.  The record is
+    {e not} acked: a torn frame is quarantined by swapping appends to a
+    fresh segment (the damaged one keeps its recoverable prefix; the
+    tear ends its scan), and a written-but-unsynced frame is truncated
+    back off, so a raised append never becomes visible to recovery
+    ahead of later acked records.  Only if even the quarantine swap
+    fails does the journal poison itself, after which every append
+    raises [Failure] immediately. *)
 
 val sync : t -> unit
 (** Force an fsync now, whatever the discipline. *)
 
+val sync_if_due : t -> unit
+(** Fsync if the discipline is [Interval s], unsynced bytes exist and
+    the last sync is older than [s].  Called periodically by the
+    server's maintenance thread: append alone only syncs when a later
+    append observes the elapsed interval, so without this a burst
+    followed by idleness would stay unsynced indefinitely. *)
+
 val due_for_rotation : t -> bool
 (** The current segment has outgrown [segment_bytes]. *)
 
+type rotation
+(** An in-flight rotation: the pre-swap segments awaiting deletion. *)
+
+val begin_rotation : t -> rotation
+(** Swap appends to a fresh segment (syncing the outgoing one first).
+    Old segments stay on disk until {!commit_rotation}; appends made
+    after this call land at or after the swap point and therefore
+    survive the commit.  Callers then append one {!Record.Snapshot} per
+    live session, each captured {e and appended} under that session's
+    own lock: per session, the entry lock orders every journaled
+    mutation against its snapshot record, so a mutation is either
+    inside the snapshot (journaled before the capture, possibly into a
+    doomed old segment) or replays after it. *)
+
+val commit_rotation : t -> rotation -> unit
+(** Make everything appended since the swap fully durable (bytes,
+    fsync, directory entry), then delete the pre-swap segments.  A
+    crash at any point recovers to the same state: either the old
+    segments still exist and the snapshot records overwrite per-session
+    state on replay, or only the post-swap segments do.  Skipping the
+    commit (an append raised mid-snapshot) is safe — old segments are
+    simply kept and the next rotation compacts them. *)
+
 val rotate : t -> snapshot:Record.t list -> unit
-(** Start a new segment containing exactly [snapshot] (typically one
-    {!Record.Snapshot} per live session), fsync it, then delete every
-    older segment.  A crash between the new segment becoming durable and
-    the old ones being unlinked is safe: recovery replays old segments
-    first and the snapshot records then overwrite per-session state. *)
+(** [begin_rotation]; append each of [snapshot]; [commit_rotation] —
+    the whole compaction for {e quiescent} callers (startup, drain,
+    tests) with no concurrent appenders.  A live server must capture
+    snapshots between the two phases itself, as described above. *)
 
 val close : t -> unit
 (** Final sync and close.  Idempotent; appends after close raise. *)

@@ -590,6 +590,137 @@ let test_sessions_sweep_on_lookup () =
   in
   check_int "both expiries counted" 2 (expired1 - expired0)
 
+(* A lookup can never resurrect an expired entry even when the gated
+   full sweep does not run: the touched entry's own deadline is checked
+   every time, while idle siblings wait (bounded) for the next due
+   sweep — lookups stay O(1) amortised instead of sweeping the whole
+   table under the registry lock on every request. *)
+let test_sessions_gated_sweep () =
+  let module Metrics = Flames_obs.Metrics in
+  let expired0 =
+    Metrics.counter_value Flames_serve.Telemetry.sessions_expired_total
+  in
+  let now = ref 0.5 in
+  let reg = Admission.Sessions.create ~now:(fun () -> !now) ~cap:8 ~ttl:10. () in
+  let put v =
+    match Admission.Sessions.put reg v with
+    | Ok id -> id
+    | Error `Capacity -> Alcotest.failf "put %s" v
+  in
+  let a = put "a" in
+  let _b = put "b" in
+  now := 5.;
+  let c = put "c" in
+  now := 10.;
+  (* a live lookup runs the due sweep (a and b still have 0.5 s left)
+     and resets the sweep clock *)
+  check_bool "c alive" true
+    (Admission.Sessions.with_session reg c (fun v -> v) = Some "c");
+  now := 10.6;
+  (* a and b are now expired but the full sweep is not due again yet:
+     the touched entry is still refused and dropped... *)
+  check_bool "expired a refused on touch" true
+    (Admission.Sessions.with_session reg a (fun v -> v) = None);
+  (* ...while the idle sibling waits for the next due sweep *)
+  check_int "b unswept inside the gate window" 2 (Admission.Sessions.count reg);
+  now := 11.1;
+  check_bool "unknown id lookup runs the due sweep" true
+    (Admission.Sessions.with_session reg "zz" (fun v -> v) = None);
+  check_int "b swept once due" 1 (Admission.Sessions.count reg);
+  let expired1 =
+    Metrics.counter_value Flames_serve.Telemetry.sessions_expired_total
+  in
+  check_int "both expiries counted" 2 (expired1 - expired0)
+
+(* {1 Write-ahead ordering under journal failure (router level)} *)
+
+(* Every mutating session route journals *before* touching in-memory
+   state, so a failed append answers 500 with the step not applied:
+   acknowledged memory never runs ahead of what a restart would
+   replay, and a close can never be gone in memory yet live in the
+   journal. A closed journal makes every append raise deterministically. *)
+let test_router_journal_failure_keeps_state () =
+  let pool = Flames_engine.Pool.create ~workers:1 () in
+  Fun.protect ~finally:(fun () -> Flames_engine.Pool.shutdown pool)
+  @@ fun () ->
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "flames-serve-deadwal-%d" (Unix.getpid ()))
+  in
+  let dead = Flames_store.Journal.open_ ~fsync:Flames_store.Journal.Never dir in
+  Flames_store.Journal.close dead;
+  Fun.protect ~finally:(fun () ->
+      Array.iter
+        (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let store = ref (Some dead) in
+  let deps =
+    {
+      Router.pool;
+      cache = Flames_engine.Cache.create ();
+      admission = Admission.create ();
+      sessions = Admission.Sessions.create ~cap:1 ();
+      store;
+      ready = (fun () -> true);
+      draining = (fun () -> false);
+      default_wall = 2.;
+      max_wall = 10.;
+    }
+  in
+  let req ?(body = "") path =
+    Router.handle deps
+      {
+        Http.meth = "POST";
+        path;
+        query = "";
+        version = "HTTP/1.1";
+        headers = [];
+        body;
+      }
+  in
+  (* create: the journal refuses, so the only registry slot must be
+     rolled back, not leaked *)
+  check_int "create with dead journal" 500
+    (req ~body:{|{"circuit":"divider"}|} "/session/create").Router.status;
+  store := None;
+  let created = req ~body:{|{"circuit":"divider"}|} "/session/create" in
+  check_int "rolled-back slot reusable" 200 created.Router.status;
+  let sid =
+    match
+      Option.bind
+        (Result.to_option (Json.parse_result created.Router.body))
+        (fun j -> Option.bind (Json.mem "session" j) Json.str_opt)
+    with
+    | Some id -> id
+    | None -> Alcotest.fail "no session id"
+  in
+  let step op body = req ~body (Printf.sprintf "/session/%s/%s" sid op) in
+  check_int "seed measurement" 200
+    (step "measure" {|{"node": "mid", "value": 0.02, "spread": 0.05}|}).Router.status;
+  store := Some dead;
+  (* measure: 500 and the measurement was never entered *)
+  check_int "measure with dead journal" 500
+    (step "measure" {|{"node": "in", "value": 10.0, "spread": 0.1}|}).Router.status;
+  check_int "refused measurement not applied" 404
+    (step "retract" {|{"id": 2}|}).Router.status;
+  (* retract/refine of the surviving measurement: 500, still there *)
+  check_int "retract with dead journal" 500
+    (step "retract" {|{"id": 1}|}).Router.status;
+  check_int "refine with dead journal" 500
+    (step "refine" {|{"id": 1, "value": 0.03}|}).Router.status;
+  (* close: 500 and the session must still be registered *)
+  check_int "close with dead journal" 500 (step "close" "{}").Router.status;
+  check_int "session survives the refused close" 200
+    (step "diagnoses" "{}").Router.status;
+  store := None;
+  check_int "measurement 1 survived the refused mutations" 200
+    (step "refine" {|{"id": 1, "value": 0.03}|}).Router.status;
+  check_int "close once the journal is back" 200 (step "close" "{}").Router.status;
+  check_int "closed for real" 404 (step "diagnoses" "{}").Router.status
+
 (* {1 Byte-dribbled reads} *)
 
 (* A session-route request fed to the server one byte at a time: the
@@ -931,11 +1062,15 @@ let () =
           Alcotest.test_case "session cap and sweep" `Quick test_sessions_cap;
           Alcotest.test_case "sweep on lookup (fake clock)" `Quick
             test_sessions_sweep_on_lookup;
+          Alcotest.test_case "gated sweep never resurrects (fake clock)" `Quick
+            test_sessions_gated_sweep;
         ] );
       ( "readiness",
         [
           Alcotest.test_case "503 while recovering" `Quick
             test_router_recovering;
+          Alcotest.test_case "journal failure keeps state consistent" `Quick
+            test_router_journal_failure_keeps_state;
         ] );
       ( "e2e",
         [
